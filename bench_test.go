@@ -1,0 +1,351 @@
+package vist_test
+
+// Benchmarks regenerating the paper's evaluation (Section 4), one family
+// per table/figure:
+//
+//	BenchmarkTable4/*        — Q1–Q8 on each engine (Table 4)
+//	BenchmarkFig10a/*        — query time vs query length (Figure 10a)
+//	BenchmarkFig10b/*        — query time vs data size (Figure 10b)
+//	BenchmarkFig11a          — index sizes via -benchtime=1x (Figure 11a)
+//	BenchmarkFig11b/*        — construction time vs element count (Figure 11b)
+//	BenchmarkAblation*       — design-choice ablations
+//
+// Run: go test -bench=. -benchmem
+// For paper-style tables, use cmd/vistbench instead.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vist/internal/bench"
+	"vist/internal/core"
+	"vist/internal/gen"
+	"vist/internal/nodeindex"
+	"vist/internal/pathindex"
+	"vist/internal/rist"
+	"vist/internal/xmltree"
+)
+
+// ---- shared fixtures (built once) ------------------------------------------
+
+type engines struct {
+	vist *core.Index
+	rist *rist.Index
+	path *pathindex.Index
+	node *nodeindex.Index
+}
+
+func buildEngines(b *testing.B, docs []*xmltree.Node, schema []string) *engines {
+	b.Helper()
+	clone := func() []*xmltree.Node {
+		out := make([]*xmltree.Node, len(docs))
+		for i, d := range docs {
+			out[i] = d.Clone()
+		}
+		return out
+	}
+	sc := xmltree.NewSchema(schema...)
+	e := &engines{}
+	var err error
+	if e.vist, err = core.NewMem(core.Options{Schema: schema, SkipDocumentStore: true, Lambda: 4}); err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range clone() {
+		if _, err := e.vist.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if e.rist, err = rist.Build(clone(), core.Options{Schema: schema, SkipDocumentStore: true}); err != nil {
+		b.Fatal(err)
+	}
+	if e.path, err = pathindex.New(sc, 0); err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range clone() {
+		if _, err := e.path.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if e.node, err = nodeindex.New(sc, 0); err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range clone() {
+		if _, err := e.node.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+var (
+	dblpOnce  sync.Once
+	dblpEng   *engines
+	xmarkOnce sync.Once
+	xmarkEng  *engines
+)
+
+const (
+	benchDBLPRecords = 5000
+	benchXMarkPer    = 750
+)
+
+func dblpEngines(b *testing.B) *engines {
+	dblpOnce.Do(func() {
+		dblpEng = buildEngines(b,
+			gen.DBLP(gen.DBLPConfig{Records: benchDBLPRecords, Seed: 1}),
+			gen.DBLPSchema())
+	})
+	if dblpEng == nil {
+		b.Fatal("dblp fixture failed to build")
+	}
+	return dblpEng
+}
+
+func xmarkEngines(b *testing.B) *engines {
+	xmarkOnce.Do(func() {
+		n := benchXMarkPer
+		xmarkEng = buildEngines(b,
+			gen.XMark(gen.XMarkConfig{Items: n, Persons: n, OpenAuctions: n, ClosedAuctions: n, Seed: 2}),
+			gen.XMarkSchema())
+	})
+	if xmarkEng == nil {
+		b.Fatal("xmark fixture failed to build")
+	}
+	return xmarkEng
+}
+
+// ---- Table 4 ----------------------------------------------------------------
+
+func BenchmarkTable4(b *testing.B) {
+	for _, q := range bench.Table3Queries {
+		var e *engines
+		if q.Dataset == "dblp" {
+			e = dblpEngines(b)
+		} else {
+			e = xmarkEngines(b)
+		}
+		b.Run(q.ID+"/vist", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.vist.Query(q.Expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.ID+"/rist", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.rist.Query(q.Expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.ID+"/rawpath", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.path.Query(q.Expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.ID+"/nodeindex", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.node.Query(q.Expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 10(a): query time vs query length -------------------------------
+
+var (
+	synthOnce sync.Once
+	synthIx   *core.Index
+	synthCfg  = gen.SyntheticConfig{K: 10, J: 8, L: 30, N: 5000, Seed: 3}
+)
+
+func synthIndex(b *testing.B) *core.Index {
+	synthOnce.Do(func() {
+		ix, err := core.NewMem(core.Options{SkipDocumentStore: true, Lambda: 8})
+		if err != nil {
+			return
+		}
+		for _, d := range gen.Synthetic(synthCfg) {
+			if _, err := ix.Insert(d); err != nil {
+				return
+			}
+		}
+		synthIx = ix
+	})
+	if synthIx == nil {
+		b.Fatal("synthetic fixture failed to build")
+	}
+	return synthIx
+}
+
+func BenchmarkFig10a(b *testing.B) {
+	ix := synthIndex(b)
+	for _, l := range []int{2, 4, 6, 8, 10, 12} {
+		queries := gen.SyntheticQueries(synthCfg, 10, l, 100+int64(l))
+		b.Run(fmt.Sprintf("len=%d", l), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Query(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 10(b): query time vs data size ----------------------------------
+
+func BenchmarkFig10b(b *testing.B) {
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		cfg := gen.SyntheticConfig{K: 10, J: 8, L: 60, N: n, Seed: 4}
+		ix, err := core.NewMem(core.Options{SkipDocumentStore: true, Lambda: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range gen.Synthetic(cfg) {
+			if _, err := ix.Insert(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		queries := gen.SyntheticQueries(cfg, 10, 6, 77)
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Query(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 11(a): index size (reported via one-iteration benchmark) --------
+
+func BenchmarkFig11a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig11a(bench.Config{Scale: 0.1, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(float64(row.ViSTBytes), row.Dataset+"_vist_bytes")
+			b.ReportMetric(float64(row.RISTBytes), row.Dataset+"_rist_bytes")
+		}
+	}
+}
+
+// ---- Figure 11(b): construction time vs element count ------------------------
+
+func BenchmarkFig11b(b *testing.B) {
+	for _, n := range []int{1000, 2000, 4000} {
+		cfg := gen.SyntheticConfig{K: 10, J: 8, L: 32, N: n, Seed: 6}
+		docs := gen.Synthetic(cfg)
+		b.Run(fmt.Sprintf("elements=%d", n*32), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				clones := make([]*xmltree.Node, len(docs))
+				for j, d := range docs {
+					clones[j] = d.Clone()
+				}
+				ix, err := core.NewMem(core.Options{SkipDocumentStore: true, Lambda: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, d := range clones {
+					if _, err := ix.Insert(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationVerify compares raw candidate queries with verified
+// (refined) queries.
+func BenchmarkAblationVerify(b *testing.B) {
+	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range gen.DBLP(gen.DBLPConfig{Records: 2000, Seed: 8}) {
+		if _, err := ix.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	expr := "//author[text()='" + gen.DBLPDavid + "']"
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Query(expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("verified", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.QueryVerified(expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLabeling compares insertion cost across labeling
+// strategies.
+func BenchmarkAblationLabeling(b *testing.B) {
+	cfg := gen.SyntheticConfig{K: 10, J: 8, L: 30, N: 1000, Seed: 9}
+	strategies := []struct {
+		name string
+		opts func() core.Options
+	}{
+		{"uniform-lambda2", func() core.Options { return core.Options{SkipDocumentStore: true, Lambda: 2} }},
+		{"uniform-lambda8", func() core.Options { return core.Options{SkipDocumentStore: true, Lambda: 8} }},
+		{"stats", func() core.Options {
+			tr := core.Train(gen.Synthetic(gen.SyntheticConfig{K: 10, J: 8, L: 30, N: 200, Seed: 10}), nil)
+			return core.Options{SkipDocumentStore: true, Training: tr}
+		}},
+	}
+	for _, s := range strategies {
+		docs := gen.Synthetic(cfg)
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				clones := make([]*xmltree.Node, len(docs))
+				for j, d := range docs {
+					clones[j] = d.Clone()
+				}
+				ix, err := core.NewMem(s.opts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, d := range clones {
+					if _, err := ix.Insert(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsert measures single-document insert latency on a warm index.
+func BenchmarkInsert(b *testing.B) {
+	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := gen.DBLP(gen.DBLPConfig{Records: 10000, Seed: 11})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Insert(docs[i%len(docs)].Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

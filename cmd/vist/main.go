@@ -1,0 +1,175 @@
+// Command vist builds and queries file-backed ViST indexes.
+//
+// Usage:
+//
+//	vist index  -dir ./idx [-dtd s.dtd] doc.xml …  index XML files (each file
+//	                                               may hold many record fragments)
+//	vist query  -dir ./idx [-verify|-explain] 'EXPR'  run a path expression
+//	vist get    -dir ./idx ID                      print a stored document
+//	vist delete -dir ./idx ID                      remove a document
+//	vist stats  -dir ./idx                         show index statistics
+//	vist check  -dir ./idx                         verify structural invariants
+//	vist export -dir ./idx > docs.xml              dump all stored documents
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"vist/internal/core"
+	"vist/internal/xmltree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dir := fs.String("dir", "", "index directory (required)")
+	verify := fs.Bool("verify", false, "refine candidates against stored documents (query only)")
+	explain := fs.Bool("explain", false, "print execution counters (query only)")
+	lambda := fs.Uint64("lambda", 0, "expected fan-out for dynamic labeling (index creation)")
+	dtd := fs.String("dtd", "", "DTD file supplying the sibling order (index creation)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "vist: -dir is required")
+		os.Exit(2)
+	}
+	var schema []string
+	if *dtd != "" {
+		f, err := os.Open(*dtd)
+		if err != nil {
+			fatal(err)
+		}
+		schema, err = xmltree.ParseDTD(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *dtd, err))
+		}
+	}
+	ix, err := core.Open(*dir, core.Options{Lambda: *lambda, Schema: schema})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := ix.Close(); err != nil {
+			fatal(err)
+		}
+	}()
+
+	switch cmd {
+	case "index":
+		total := 0
+		for _, path := range fs.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			docs, err := xmltree.ParseAll(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			for _, d := range docs {
+				id, err := ix.Insert(d)
+				if err != nil {
+					fatal(fmt.Errorf("%s: %w", path, err))
+				}
+				total++
+				_ = id
+			}
+		}
+		fmt.Printf("indexed %d documents (%d total, %d suffix-tree nodes, %d bytes)\n",
+			total, ix.DocCount(), ix.NodeCount(), ix.SizeBytes())
+	case "query":
+		if fs.NArg() != 1 {
+			fatal(fmt.Errorf("query takes exactly one expression"))
+		}
+		var ids []core.DocID
+		switch {
+		case *verify:
+			ids, err = ix.QueryVerified(fs.Arg(0))
+		case *explain:
+			var stats core.QueryStats
+			ids, stats, err = ix.QueryWithStats(fs.Arg(0))
+			if err == nil {
+				fmt.Fprintln(os.Stderr, stats)
+			}
+		default:
+			ids, err = ix.Query(fs.Arg(0))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		fmt.Fprintf(os.Stderr, "%d documents\n", len(ids))
+	case "get":
+		id := parseID(fs.Arg(0))
+		doc, err := ix.Get(core.DocID(id))
+		if err != nil {
+			fatal(err)
+		}
+		if err := xmltree.WriteXML(os.Stdout, doc); err != nil {
+			fatal(err)
+		}
+	case "delete":
+		id := parseID(fs.Arg(0))
+		if err := ix.Delete(core.DocID(id)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deleted %d\n", id)
+	case "stats":
+		fmt.Printf("documents:          %d\n", ix.DocCount())
+		fmt.Printf("suffix-tree nodes:  %d\n", ix.NodeCount())
+		fmt.Printf("max tree depth:     %d\n", ix.MaxTreeDepth())
+		fmt.Printf("index bytes:        %d\n", ix.IndexSizeBytes())
+		fmt.Printf("total bytes:        %d\n", ix.SizeBytes())
+		fmt.Printf("dictionary names:   %d\n", ix.Dict().Len())
+	case "export":
+		if err := ix.ExportXML(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "check":
+		rep, err := ix.Check()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nodes=%d docs=%d sequential=%d maxDepth=%d"+"\n",
+			rep.Nodes, rep.Docs, rep.Sequential, rep.MaxDepthSeen)
+		if rep.Ok() {
+			fmt.Println("OK")
+			return
+		}
+		for _, p := range rep.Problems {
+			fmt.Println("PROBLEM:", p)
+		}
+		os.Exit(1)
+	default:
+		usage()
+	}
+}
+
+func parseID(s string) uint64 {
+	id, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad document ID %q", s))
+	}
+	return id
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vist:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vist {index|query|get|delete|stats|check|export} -dir DIR [args]")
+	os.Exit(2)
+}

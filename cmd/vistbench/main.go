@@ -1,0 +1,66 @@
+// Command vistbench regenerates the tables and figures of the ViST paper's
+// evaluation (Section 4) against generated workloads.
+//
+// Usage:
+//
+//	vistbench -exp all -scale 0.2
+//	vistbench -exp table4,fig10a
+//
+// Experiments: table4, fig10a, fig10b, fig11a, fig11b, ablation-labeling,
+// ablation-verify, ablation-pager, ablation-refined, scaling, all. The -scale flag multiplies dataset
+// sizes (1.0 is a laptop-sized run; the paper's full sizes need 15–50).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"vist/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiments: table4, fig10a, fig10b, fig11a, fig11b, ablation-labeling, ablation-verify, ablation-pager, ablation-refined, scaling, all")
+		scale   = flag.Float64("scale", 0.2, "dataset size multiplier (1.0 ≈ laptop-sized)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		minTime = flag.Duration("mintime", 100*time.Millisecond, "minimum measurement window per query")
+	)
+	flag.Parse()
+	cfg := bench.Config{Scale: *scale, Seed: *seed, MinTime: *minTime}
+
+	selected := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(e)] = true
+	}
+	all := selected["all"]
+
+	type printer interface{ Fprint(w io.Writer) }
+	run := func(name string, f func() (printer, error)) {
+		if !all && !selected[name] {
+			return
+		}
+		start := time.Now()
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vistbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		res.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table4", func() (printer, error) { return bench.RunTable4(cfg) })
+	run("fig10a", func() (printer, error) { return bench.RunFig10a(cfg) })
+	run("fig10b", func() (printer, error) { return bench.RunFig10b(cfg) })
+	run("fig11a", func() (printer, error) { return bench.RunFig11a(cfg) })
+	run("fig11b", func() (printer, error) { return bench.RunFig11b(cfg) })
+	run("ablation-labeling", func() (printer, error) { return bench.RunAblationLabeling(cfg) })
+	run("ablation-verify", func() (printer, error) { return bench.RunAblationVerify(cfg) })
+	run("ablation-pager", func() (printer, error) { return bench.RunAblationPager(cfg) })
+	run("ablation-refined", func() (printer, error) { return bench.RunAblationRefined(cfg) })
+	run("scaling", func() (printer, error) { return bench.RunScaling(cfg) })
+}

@@ -1,0 +1,66 @@
+// Command vistgen emits the paper's evaluation workloads as XML record
+// streams suitable for `vist index`.
+//
+// Usage:
+//
+//	vistgen -dataset dblp  -n 1000  > dblp.xml
+//	vistgen -dataset xmark -n 400   > xmark.xml
+//	vistgen -dataset synthetic -n 100 -k 10 -j 8 -l 30 > synth.xml
+//	vistgen -dataset synthetic -queries 10 -l 6        # emit queries instead
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"vist/internal/gen"
+	"vist/internal/xmltree"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "dblp", "dblp, xmark, or synthetic")
+		n       = flag.Int("n", 100, "number of records")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		k       = flag.Int("k", 10, "synthetic: conceptual tree height")
+		j       = flag.Int("j", 8, "synthetic: conceptual fan-out")
+		l       = flag.Int("l", 30, "synthetic: nodes per record (or query length with -queries)")
+		queries = flag.Int("queries", 0, "synthetic: emit this many random queries instead of records")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var docs []*xmltree.Node
+	switch *dataset {
+	case "dblp":
+		docs = gen.DBLP(gen.DBLPConfig{Records: *n, Seed: *seed})
+	case "xmark":
+		per := *n / 4
+		if per < 1 {
+			per = 1
+		}
+		docs = gen.XMark(gen.XMarkConfig{Items: per, Persons: per, OpenAuctions: per, ClosedAuctions: per, Seed: *seed})
+	case "synthetic":
+		cfg := gen.SyntheticConfig{K: *k, J: *j, L: *l, N: *n, Seed: *seed}
+		if *queries > 0 {
+			for _, q := range gen.SyntheticQueries(cfg, *queries, *l, *seed+1) {
+				fmt.Fprintln(w, q)
+			}
+			return
+		}
+		docs = gen.Synthetic(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "vistgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	for _, d := range docs {
+		if err := xmltree.WriteXML(w, d); err != nil {
+			fmt.Fprintln(os.Stderr, "vistgen:", err)
+			os.Exit(1)
+		}
+	}
+}

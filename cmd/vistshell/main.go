@@ -1,0 +1,194 @@
+// Command vistshell is an interactive explorer for ViST indexes.
+//
+//	vistshell -dir ./idx
+//
+// Commands:
+//
+//	query EXPR        run a path expression (candidate answers)
+//	verify EXPR       run a path expression with exact refinement
+//	explain EXPR      run a query and show execution counters
+//	get ID            print a stored document
+//	delete ID         remove a document
+//	load FILE         index every record in an XML file
+//	stats             index statistics
+//	check             structural integrity scan
+//	seq ID            print a document's structure-encoded sequence
+//	help              this text
+//	quit              exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+func main() {
+	dir := flag.String("dir", "", "index directory (required)")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "vistshell: -dir is required")
+		os.Exit(2)
+	}
+	ix, err := core.Open(*dir, core.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vistshell:", err)
+		os.Exit(1)
+	}
+	defer ix.Close()
+
+	fmt.Printf("vistshell — %d documents, %d suffix-tree nodes. Type 'help'.\n", ix.DocCount(), ix.NodeCount())
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("vist> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, arg := splitCommand(line)
+		if err := run(ix, cmd, arg); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func splitCommand(line string) (cmd, arg string) {
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return line[:i], strings.TrimSpace(line[i+1:])
+	}
+	return line, ""
+}
+
+func run(ix *core.Index, cmd, arg string) error {
+	switch cmd {
+	case "quit", "exit", "q":
+		return errQuit
+	case "help", "?":
+		fmt.Println("query EXPR | verify EXPR | explain EXPR | get ID | delete ID | load FILE | seq ID | stats | check | quit")
+		return nil
+	case "query", "verify":
+		start := time.Now()
+		var ids []core.DocID
+		var err error
+		if cmd == "verify" {
+			ids, err = ix.QueryVerified(arg)
+		} else {
+			ids, err = ix.Query(arg)
+		}
+		if err != nil {
+			return err
+		}
+		printIDs(ids)
+		fmt.Printf("%d documents in %s\n", len(ids), time.Since(start).Round(time.Microsecond))
+		return nil
+	case "explain":
+		start := time.Now()
+		ids, stats, err := ix.QueryWithStats(arg)
+		if err != nil {
+			return err
+		}
+		printIDs(ids)
+		fmt.Printf("%d documents in %s\n%s\n", len(ids), time.Since(start).Round(time.Microsecond), stats)
+		return nil
+	case "get":
+		id, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad ID %q", arg)
+		}
+		doc, err := ix.Get(core.DocID(id))
+		if err != nil {
+			return err
+		}
+		return xmltree.WriteXML(os.Stdout, doc)
+	case "seq":
+		id, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad ID %q", arg)
+		}
+		doc, err := ix.Get(core.DocID(id))
+		if err != nil {
+			return err
+		}
+		s := seq.Encode(doc, ix.Dict())
+		fmt.Println(s.String(ix.Dict()))
+		return nil
+	case "delete":
+		id, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad ID %q", arg)
+		}
+		if err := ix.Delete(core.DocID(id)); err != nil {
+			return err
+		}
+		fmt.Println("deleted", id)
+		return nil
+	case "load":
+		f, err := os.Open(arg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		docs, err := xmltree.ParseAll(f)
+		if err != nil {
+			return err
+		}
+		for _, d := range docs {
+			if _, err := ix.Insert(d); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("indexed %d documents (%d total)\n", len(docs), ix.DocCount())
+		return nil
+	case "stats":
+		fmt.Printf("documents:         %d\n", ix.DocCount())
+		fmt.Printf("suffix-tree nodes: %d\n", ix.NodeCount())
+		fmt.Printf("max tree depth:    %d\n", ix.MaxTreeDepth())
+		fmt.Printf("index bytes:       %d\n", ix.IndexSizeBytes())
+		fmt.Printf("dictionary names:  %d\n", ix.Dict().Len())
+		return nil
+	case "check":
+		rep, err := ix.Check()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("nodes=%d docs=%d sequential=%d\n", rep.Nodes, rep.Docs, rep.Sequential)
+		if rep.Ok() {
+			fmt.Println("OK")
+		} else {
+			for _, p := range rep.Problems {
+				fmt.Println("PROBLEM:", p)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func printIDs(ids []core.DocID) {
+	for i, id := range ids {
+		if i == 20 {
+			fmt.Printf("… and %d more\n", len(ids)-20)
+			return
+		}
+		fmt.Println(id)
+	}
+}

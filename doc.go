@@ -1,0 +1,18 @@
+// Package vist is a Go reproduction of "ViST: A Dynamic Index Method for
+// Querying XML Data by Tree Structures" (Wang, Park, Fan, Yu; SIGMOD 2003).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core      — the ViST index (the paper's contribution)
+//   - internal/rist      — the statically-labeled RIST variant
+//   - internal/naive     — Algorithm 1 on a materialized suffix tree
+//   - internal/pathindex — Index-Fabric-like raw-path comparator
+//   - internal/nodeindex — XISS-like node-index comparator
+//   - internal/btree     — disk-paged B+Tree substrate
+//   - internal/...       — sequences, labeling, query parsing, generators
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// bench_test.go at this level regenerates every table and figure as Go
+// benchmarks; cmd/vistbench prints them as paper-style tables.
+package vist

@@ -1,0 +1,62 @@
+// Quickstart: index a handful of XML documents in memory and query them by
+// tree structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vist/internal/core"
+	"vist/internal/xmltree"
+)
+
+func main() {
+	// An in-memory index; use core.Open(dir, ...) for a persistent one.
+	ix, err := core.NewMem(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	for _, doc := range []string{
+		`<order id="1"><customer region="EU"><name>Ada</name></customer><total>99</total></order>`,
+		`<order id="2"><customer region="US"><name>Bob</name></customer><total>250</total></order>`,
+		`<order id="3"><customer region="EU"><name>Cy</name></customer><item><sku>X1</sku></item></order>`,
+	} {
+		n, err := xmltree.ParseString(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err := ix.Insert(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("indexed document %d\n", id)
+	}
+
+	// Structural queries run as whole trees — no joins. Branches ([...]),
+	// wildcards (*), descendants (//), attribute and text predicates all
+	// compile to a single subsequence match.
+	for _, expr := range []string{
+		"/order/customer",                      // simple path
+		"/order/customer[@region='EU']",        // attribute value
+		"/order[customer[@region='EU']]/total", // branching
+		"//sku",                                // anywhere
+		"/order/*/name",                        // wildcard step
+	} {
+		ids, err := ix.Query(expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s -> %v\n", expr, ids)
+	}
+
+	// QueryVerified filters the (paper-faithful) candidate answers through
+	// an exact tree matcher, removing structural false positives and hash
+	// collisions.
+	ids, err := ix.QueryVerified("/order[customer[@region='EU']]/total")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: %v\n", ids)
+}

@@ -1,0 +1,3 @@
+module vist
+
+go 1.22

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+	"vist/internal/pathindex"
+	"vist/internal/xmltree"
+)
+
+// AblationLabelingRow reports one labeling strategy.
+type AblationLabelingRow struct {
+	Strategy  string
+	BuildTime time.Duration
+	QueryTime time.Duration
+	Nodes     uint64
+	Borrows   uint64
+	Bytes     int64
+}
+
+// AblationLabelingResult compares dynamic-labeling strategies: uniform λ
+// values against statistics-guided allocation (Section 3.4.1). Fewer
+// reserve borrows mean the strategy's scope estimates fit the data better.
+type AblationLabelingResult struct {
+	Sequences int
+	Rows      []AblationLabelingRow
+}
+
+// RunAblationLabeling builds the same synthetic corpus under each labeling
+// strategy and measures build time, query time, node count, and underflow
+// borrows.
+func RunAblationLabeling(cfg Config) (*AblationLabelingResult, error) {
+	scfg := gen.SyntheticConfig{K: 10, J: 8, L: 30, N: cfg.scale(5000), Seed: cfg.Seed}
+	res := &AblationLabelingResult{Sequences: scfg.N}
+	queries := gen.SyntheticQueries(scfg, 10, 6, cfg.Seed+11)
+
+	run := func(name string, opts core.Options) error {
+		docs := gen.Synthetic(scfg)
+		ix, err := core.NewMem(opts)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := insertAll(ix, docs); err != nil {
+			return err
+		}
+		buildTime := time.Since(start)
+		e := vistEngine(ix)
+		var qt time.Duration
+		for _, expr := range queries {
+			d, _, err := timeQuery(e, expr, cfg.minTime()/10)
+			if err != nil {
+				return err
+			}
+			qt += d
+		}
+		res.Rows = append(res.Rows, AblationLabelingRow{
+			Strategy:  name,
+			BuildTime: buildTime,
+			QueryTime: qt / time.Duration(len(queries)),
+			Nodes:     ix.NodeCount(),
+			Borrows:   ix.BorrowCount(),
+			Bytes:     ix.IndexSizeBytes(),
+		})
+		return nil
+	}
+
+	for _, lam := range []uint64{2, 8, 32} {
+		if err := run(fmt.Sprintf("uniform λ=%d", lam), core.Options{SkipDocumentStore: true, Lambda: lam}); err != nil {
+			return nil, err
+		}
+	}
+	training := core.Train(gen.Synthetic(gen.SyntheticConfig{K: 10, J: 8, L: 30, N: 500, Seed: cfg.Seed + 99}), nil)
+	if err := run("stats-guided", core.Options{SkipDocumentStore: true, Training: training}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fprint renders the labeling ablation.
+func (r *AblationLabelingResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Ablation — dynamic labeling strategy",
+		fmt.Sprintf("Synthetic, %d sequences. Borrows count scope underflows resolved from reserves.", r.Sequences))
+	fmt.Fprintf(w, "%-16s %12s %12s %10s %10s %14s\n", "strategy", "build", "query", "nodes", "borrows", "index bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %12s %12s %10d %10d %14d\n",
+			row.Strategy, row.BuildTime.Round(time.Millisecond), row.QueryTime.Round(time.Microsecond),
+			row.Nodes, row.Borrows, row.Bytes)
+	}
+}
+
+// AblationVerifyResult compares raw candidate queries against verified
+// (refined) queries — the cost of exactness on top of the paper's
+// algorithm.
+type AblationVerifyResult struct {
+	Records int
+	Rows    []AblationVerifyRow
+}
+
+// AblationVerifyRow is one query's raw-vs-verified comparison.
+type AblationVerifyRow struct {
+	Expr       string
+	Raw        time.Duration
+	Verified   time.Duration
+	Candidates int
+	Exact      int
+}
+
+// RunAblationVerify measures Query vs QueryVerified on the DBLP-like
+// corpus (document storage enabled).
+func RunAblationVerify(cfg Config) (*AblationVerifyResult, error) {
+	res := &AblationVerifyResult{Records: cfg.scale(5000)}
+	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema()})
+	if err != nil {
+		return nil, err
+	}
+	if err := insertAll(ix, gen.DBLP(gen.DBLPConfig{Records: res.Records, Seed: cfg.Seed})); err != nil {
+		return nil, err
+	}
+	exprs := []string{
+		"/inproceedings/title",
+		"/book/author[text()='" + gen.DBLPDavid + "']",
+		"//author[text()='" + gen.DBLPDavid + "']",
+		"/book[@key='" + gen.DBLPKey + "']/author",
+	}
+	for _, expr := range exprs {
+		raw, nraw, err := timeQuery(vistEngine(ix), expr, cfg.minTime())
+		if err != nil {
+			return nil, err
+		}
+		verifiedEngine := engine{name: "verified", query: func(e string) (int, error) {
+			ids, err := ix.QueryVerified(e)
+			return len(ids), err
+		}}
+		ver, nver, err := timeQuery(verifiedEngine, expr, cfg.minTime())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationVerifyRow{
+			Expr: expr, Raw: raw, Verified: ver, Candidates: nraw, Exact: nver,
+		})
+	}
+	return res, nil
+}
+
+// Fprint renders the verification ablation.
+func (r *AblationVerifyResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Ablation — candidate vs verified queries",
+		fmt.Sprintf("DBLP-like, %d records. Verified answers filter sequence-matching false positives and hash collisions.", r.Records))
+	fmt.Fprintf(w, "%-52s %12s %12s %10s %8s\n", "query", "raw", "verified", "candidates", "exact")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-52s %12s %12s %10d %8d\n",
+			row.Expr, row.Raw.Round(time.Microsecond), row.Verified.Round(time.Microsecond), row.Candidates, row.Exact)
+	}
+}
+
+// AblationPagerResult compares memory-backed and file-backed indexes.
+type AblationPagerResult struct {
+	Records   int
+	MemBuild  time.Duration
+	FileBuild time.Duration
+	MemQuery  time.Duration
+	FileQuery time.Duration
+}
+
+// RunAblationPager measures build and query times for the same corpus on a
+// MemPager and on a FilePager with an LRU buffer pool.
+func RunAblationPager(cfg Config) (*AblationPagerResult, error) {
+	res := &AblationPagerResult{Records: cfg.scale(5000)}
+	expr := "//author[text()='" + gen.DBLPDavid + "']"
+
+	mem, err := core.NewMem(core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := insertAll(mem, gen.DBLP(gen.DBLPConfig{Records: res.Records, Seed: cfg.Seed})); err != nil {
+		return nil, err
+	}
+	res.MemBuild = time.Since(start)
+	res.MemQuery, _, err = timeQuery(vistEngine(mem), expr, cfg.minTime())
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "vist-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	file, err := core.Open(filepath.Join(dir, "ix"), core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true})
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	start = time.Now()
+	if err := insertAll(file, gen.DBLP(gen.DBLPConfig{Records: res.Records, Seed: cfg.Seed})); err != nil {
+		return nil, err
+	}
+	if err := file.Sync(); err != nil {
+		return nil, err
+	}
+	res.FileBuild = time.Since(start)
+	res.FileQuery, _, err = timeQuery(vistEngine(file), expr, cfg.minTime())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fprint renders the pager ablation.
+func (r *AblationPagerResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Ablation — memory vs file pager",
+		fmt.Sprintf("DBLP-like, %d records; file pager uses a write-back LRU buffer pool.", r.Records))
+	fmt.Fprintf(w, "%-8s %14s %14s\n", "pager", "build", "query")
+	fmt.Fprintf(w, "%-8s %14s %14s\n", "memory", r.MemBuild.Round(time.Millisecond), r.MemQuery.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-8s %14s %14s\n", "file", r.FileBuild.Round(time.Millisecond), r.FileQuery.Round(time.Microsecond))
+}
+
+// AblationRefinedResult measures Index Fabric's refined-path extension
+// (which the paper's Table 4 configuration deliberately excluded): query
+// speedup for registered patterns vs the per-insert maintenance cost every
+// refined path adds.
+type AblationRefinedResult struct {
+	Records      int
+	RefinedPaths int
+	BuildRaw     time.Duration
+	BuildRefined time.Duration
+	Rows         []AblationRefinedRow
+}
+
+// AblationRefinedRow is one query's raw-vs-refined comparison.
+type AblationRefinedRow struct {
+	Expr    string
+	Raw     time.Duration
+	Refined time.Duration
+}
+
+// RunAblationRefined builds the XMARK-like corpus twice — once as raw
+// paths, once with Q6–Q8 registered as refined paths — and compares both
+// build and query times.
+func RunAblationRefined(cfg Config) (*AblationRefinedResult, error) {
+	n := cfg.scale(1250)
+	res := &AblationRefinedResult{Records: n * 4}
+	schema := xmltreeSchema()
+	exprs := []string{
+		"/site//item[location='" + gen.XMarkUS + "']/mail/date[text()='" + gen.XMarkDate + "']",
+		"/site//person/*/city[text()='" + gen.XMarkCity + "']",
+		"//closed_auction[*[person='" + gen.XMarkPerson + "']]/date[text()='" + gen.XMarkDate + "']",
+	}
+	res.RefinedPaths = len(exprs)
+
+	build := func(register bool) (*pathindex.Index, time.Duration, error) {
+		ix, err := pathindex.New(schema, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		if register {
+			for _, e := range exprs {
+				if err := ix.RegisterRefinedPath(e); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		docs := gen.XMark(gen.XMarkConfig{Items: n, Persons: n, OpenAuctions: n, ClosedAuctions: n, Seed: cfg.Seed})
+		start := time.Now()
+		for _, d := range docs {
+			if _, err := ix.Insert(d); err != nil {
+				return nil, 0, err
+			}
+		}
+		return ix, time.Since(start), nil
+	}
+
+	raw, rawBuild, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	refined, refBuild, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	res.BuildRaw, res.BuildRefined = rawBuild, refBuild
+
+	for _, expr := range exprs {
+		rawT, _, err := timeQuery(pathEngine(raw), expr, cfg.minTime())
+		if err != nil {
+			return nil, err
+		}
+		refT, _, err := timeQuery(pathEngine(refined), expr, cfg.minTime())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRefinedRow{Expr: expr, Raw: rawT, Refined: refT})
+	}
+	return res, nil
+}
+
+func xmltreeSchema() *xmltree.Schema {
+	return xmltree.NewSchema(gen.XMarkSchema()...)
+}
+
+// Fprint renders the refined-paths ablation.
+func (r *AblationRefinedResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Ablation — Index Fabric refined paths",
+		fmt.Sprintf("XMARK-like, %d records, %d registered patterns. The paper's critique: each refined path taxes every insertion; only registered queries benefit.", r.Records, r.RefinedPaths))
+	fmt.Fprintf(w, "build (raw paths):     %s\n", r.BuildRaw.Round(time.Millisecond))
+	fmt.Fprintf(w, "build (+refined):      %s\n\n", r.BuildRefined.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-70s %12s %12s\n", "query", "raw", "refined")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-70s %12s %12s\n", row.Expr, row.Raw.Round(time.Microsecond), row.Refined.Round(time.Microsecond))
+	}
+}

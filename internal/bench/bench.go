@@ -1,0 +1,128 @@
+// Package bench regenerates every table and figure of the ViST paper's
+// evaluation (Section 4) against the generated workloads:
+//
+//	Table 4     — Q1–Q8 query times: RIST/ViST vs raw-path index vs node index
+//	Figure 10a  — query time vs query length (synthetic)
+//	Figure 10b  — query time vs data size (synthetic, sub-linear)
+//	Figure 11a  — index size (DBLP-like, XMARK-like; ViST vs RIST)
+//	Figure 11b  — index construction time vs element count (linear)
+//
+// plus ablations for the design choices DESIGN.md calls out. Absolute times
+// differ from the paper's 2003 hardware; the comparisons reproduce the
+// *shape*: who wins, by roughly what factor, and how curves scale.
+// Experiments accept a Scale factor so they run anywhere from laptop smoke
+// tests to full-size runs.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/nodeindex"
+	"vist/internal/pathindex"
+	"vist/internal/rist"
+	"vist/internal/xmltree"
+)
+
+// Config controls experiment sizing.
+type Config struct {
+	// Scale multiplies the default dataset sizes (1.0 ≈ a laptop-scale
+	// run; the paper's full sizes need Scale ≈ 15–50 and correspondingly
+	// more time).
+	Scale float64
+	// Seed makes workloads deterministic.
+	Seed int64
+	// MinTime is the minimum measurement window per timed query (default
+	// 100ms).
+	MinTime time.Duration
+}
+
+func (c Config) scale(n int) int {
+	if c.Scale <= 0 {
+		return n
+	}
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (c Config) minTime() time.Duration {
+	if c.MinTime <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.MinTime
+}
+
+// engine abstracts the three query processors under comparison.
+type engine struct {
+	name  string
+	query func(expr string) (int, error)
+}
+
+func vistEngine(ix *core.Index) engine {
+	return engine{name: "RIST/ViST", query: func(expr string) (int, error) {
+		ids, err := ix.Query(expr)
+		return len(ids), err
+	}}
+}
+
+func ristEngine(r *rist.Index) engine {
+	return engine{name: "RIST/ViST", query: func(expr string) (int, error) {
+		ids, err := r.Query(expr)
+		return len(ids), err
+	}}
+}
+
+func pathEngine(ix *pathindex.Index) engine {
+	return engine{name: "raw path (Index Fabric)", query: func(expr string) (int, error) {
+		ids, err := ix.Query(expr)
+		return len(ids), err
+	}}
+}
+
+func nodeEngine(ix *nodeindex.Index) engine {
+	return engine{name: "node index (XISS)", query: func(expr string) (int, error) {
+		ids, err := ix.Query(expr)
+		return len(ids), err
+	}}
+}
+
+// timeQuery measures the average latency of one query on one engine,
+// running at least three iterations and at least minTime of wall clock.
+func timeQuery(e engine, expr string, minTime time.Duration) (time.Duration, int, error) {
+	// Warm-up & sanity run.
+	n, err := e.query(expr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %q: %w", e.name, expr, err)
+	}
+	var iters int
+	start := time.Now()
+	for iters = 0; iters < 3 || time.Since(start) < minTime; iters++ {
+		if iters >= 1000 {
+			break
+		}
+		if _, err := e.query(expr); err != nil {
+			return 0, 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), n, nil
+}
+
+// insertAll indexes documents into a ViST index.
+func insertAll(ix *core.Index, docs []*xmltree.Node) error {
+	for _, d := range docs {
+		if _, err := ix.Insert(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fprintHeader writes a section banner.
+func fprintHeader(w io.Writer, title, caption string) {
+	fmt.Fprintf(w, "\n=== %s ===\n%s\n\n", title, caption)
+}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for CI smoke tests.
+func tiny() Config {
+	return Config{Scale: 0.02, Seed: 1, MinTime: time.Millisecond}
+}
+
+func TestRunTable4Smoke(t *testing.T) {
+	res, err := RunTable4(tiny())
+	if err != nil {
+		t.Fatalf("RunTable4: %v", err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ViST <= 0 || row.RawPath <= 0 || row.NodeIdx <= 0 {
+			t.Fatalf("%s: non-positive timing: %+v", row.ID, row)
+		}
+	}
+	// The planted literals must produce hits for the value queries.
+	for _, id := range []int{1, 3, 4} { // Q2, Q4, Q5
+		if res.Rows[id].Results == 0 {
+			t.Errorf("%s returned no results; planted values missing", res.Rows[id].ID)
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty Table 4 rendering")
+	}
+}
+
+func TestRunFig10aSmoke(t *testing.T) {
+	res, err := RunFig10a(tiny())
+	if err != nil {
+		t.Fatalf("RunFig10a: %v", err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.AvgTime <= 0 {
+			t.Fatalf("non-positive time at length %d", p.QueryLength)
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestRunFig10bSmoke(t *testing.T) {
+	res, err := RunFig10b(tiny())
+	if err != nil {
+		t.Fatalf("RunFig10b: %v", err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Elements <= res.Points[i-1].Elements {
+			t.Fatal("element counts must increase")
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+}
+
+func TestRunFig11aSmoke(t *testing.T) {
+	res, err := RunFig11a(tiny())
+	if err != nil {
+		t.Fatalf("RunFig11a: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ViSTBytes <= 0 || row.RISTBytes <= 0 {
+			t.Fatalf("%s: non-positive sizes: %+v", row.Dataset, row)
+		}
+		// The paper's shape: RIST carries the materialized trie on top.
+		if row.RISTBytes <= row.ViSTBytes/4 {
+			t.Errorf("%s: RIST unexpectedly tiny: %d vs ViST %d", row.Dataset, row.RISTBytes, row.ViSTBytes)
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+}
+
+func TestRunFig11bSmoke(t *testing.T) {
+	res, err := RunFig11b(tiny())
+	if err != nil {
+		t.Fatalf("RunFig11b: %v", err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+}
+
+func TestRunAblationLabelingSmoke(t *testing.T) {
+	res, err := RunAblationLabeling(tiny())
+	if err != nil {
+		t.Fatalf("RunAblationLabeling: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+}
+
+func TestRunAblationVerifySmoke(t *testing.T) {
+	res, err := RunAblationVerify(tiny())
+	if err != nil {
+		t.Fatalf("RunAblationVerify: %v", err)
+	}
+	for _, row := range res.Rows {
+		if row.Exact > row.Candidates {
+			t.Fatalf("%s: verified %d > candidates %d", row.Expr, row.Exact, row.Candidates)
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+}
+
+func TestRunAblationPagerSmoke(t *testing.T) {
+	res, err := RunAblationPager(tiny())
+	if err != nil {
+		t.Fatalf("RunAblationPager: %v", err)
+	}
+	if res.MemBuild <= 0 || res.FileBuild <= 0 {
+		t.Fatalf("non-positive build times: %+v", res)
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+}
+
+func TestRunAblationRefinedSmoke(t *testing.T) {
+	res, err := RunAblationRefined(tiny())
+	if err != nil {
+		t.Fatalf("RunAblationRefined: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Refined > row.Raw {
+			t.Logf("note: refined slower than raw at tiny scale for %s", row.Expr)
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	var buf bytes.Buffer
+	asciiPlot(&buf, "title", []string{"a", "bb"}, []time.Duration{time.Millisecond, 2 * time.Millisecond})
+	out := buf.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "█") {
+		t.Fatalf("plot output: %q", out)
+	}
+	// Degenerate inputs must not panic or emit garbage.
+	buf.Reset()
+	asciiPlot(&buf, "t", nil, nil)
+	asciiPlot(&buf, "t", []string{"x"}, []time.Duration{0})
+	if buf.Len() != 0 {
+		t.Fatalf("degenerate plots emitted %q", buf.String())
+	}
+}
+
+func TestRunScalingSmoke(t *testing.T) {
+	res, err := RunScaling(tiny())
+	if err != nil {
+		t.Fatalf("RunScaling: %v", err)
+	}
+	if len(res.Rows) != 2 || len(res.Sizes) != 4 {
+		t.Fatalf("rows=%d sizes=%d", len(res.Rows), len(res.Sizes))
+	}
+	for _, row := range res.Rows {
+		if len(row.Points) != len(res.Sizes) {
+			t.Fatalf("%s has %d points", row.ID, len(row.Points))
+		}
+		for _, p := range row.Points {
+			if p.ViST <= 0 || p.RawPath <= 0 {
+				t.Fatalf("%s: non-positive timing %+v", row.ID, p)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "growth") {
+		t.Fatalf("rendering: %q", buf.String())
+	}
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+)
+
+// Fig10aPoint is one point of Figure 10(a): average query time at a query
+// length.
+type Fig10aPoint struct {
+	QueryLength int
+	AvgTime     time.Duration
+	Queries     int
+}
+
+// Fig10aResult aggregates the query-length sweep.
+type Fig10aResult struct {
+	Sequences int
+	SeqLength int
+	Points    []Fig10aPoint
+}
+
+// RunFig10a reproduces Figure 10(a): synthetic data (k=10, j=8, L=30,
+// N=1,000,000 scaled), random queries of lengths 2–12, ViST query time per
+// length.
+func RunFig10a(cfg Config) (*Fig10aResult, error) {
+	scfg := gen.SyntheticConfig{K: 10, J: 8, L: 30, N: cfg.scale(20000), Seed: cfg.Seed}
+	res := &Fig10aResult{Sequences: scfg.N, SeqLength: scfg.L}
+
+	ix, err := core.NewMem(core.Options{SkipDocumentStore: true, Lambda: 8})
+	if err != nil {
+		return nil, err
+	}
+	if err := insertAll(ix, gen.Synthetic(scfg)); err != nil {
+		return nil, err
+	}
+	e := vistEngine(ix)
+
+	const perLength = 10
+	for _, l := range []int{2, 4, 6, 8, 10, 12} {
+		queries := gen.SyntheticQueries(scfg, perLength, l, cfg.Seed+int64(l))
+		var total time.Duration
+		for _, expr := range queries {
+			d, _, err := timeQuery(e, expr, cfg.minTime()/perLength)
+			if err != nil {
+				return nil, err
+			}
+			total += d
+		}
+		res.Points = append(res.Points, Fig10aPoint{
+			QueryLength: l,
+			AvgTime:     total / time.Duration(len(queries)),
+			Queries:     len(queries),
+		})
+	}
+	return res, nil
+}
+
+// Fprint renders the Figure 10(a) series.
+func (r *Fig10aResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Figure 10(a) — query time vs query length",
+		fmt.Sprintf("Synthetic: N=%d sequences of length %d (k=10, j=8). Paper shape: time grows with query length.", r.Sequences, r.SeqLength))
+	fmt.Fprintf(w, "%-14s %14s %10s\n", "query length", "avg time", "queries")
+	labels := make([]string, len(r.Points))
+	values := make([]time.Duration, len(r.Points))
+	for i, p := range r.Points {
+		fmt.Fprintf(w, "%-14d %14s %10d\n", p.QueryLength, p.AvgTime.Round(time.Microsecond), p.Queries)
+		labels[i] = fmt.Sprintf("len=%d", p.QueryLength)
+		values[i] = p.AvgTime
+	}
+	fmt.Fprintln(w)
+	asciiPlot(w, "query time by query length:", labels, values)
+}
+
+// Fig10bPoint is one point of Figure 10(b): query time at a data size.
+type Fig10bPoint struct {
+	Sequences int
+	Elements  int
+	AvgTime   time.Duration
+}
+
+// Fig10bResult aggregates the data-size sweep.
+type Fig10bResult struct {
+	SeqLength   int
+	QueryLength int
+	Points      []Fig10bPoint
+}
+
+// RunFig10b reproduces Figure 10(b): synthetic datasets of increasing size
+// (L = 60), fixed query length 6; query time must scale sub-linearly.
+func RunFig10b(cfg Config) (*Fig10bResult, error) {
+	res := &Fig10bResult{SeqLength: 60, QueryLength: 6}
+	base := cfg.scale(2000)
+	for _, mult := range []int{1, 2, 3, 4, 5} {
+		scfg := gen.SyntheticConfig{K: 10, J: 8, L: 60, N: base * mult, Seed: cfg.Seed}
+		ix, err := core.NewMem(core.Options{SkipDocumentStore: true, Lambda: 8})
+		if err != nil {
+			return nil, err
+		}
+		if err := insertAll(ix, gen.Synthetic(scfg)); err != nil {
+			return nil, err
+		}
+		e := vistEngine(ix)
+		queries := gen.SyntheticQueries(scfg, 10, res.QueryLength, cfg.Seed+7)
+		var total time.Duration
+		for _, expr := range queries {
+			d, _, err := timeQuery(e, expr, cfg.minTime()/10)
+			if err != nil {
+				return nil, err
+			}
+			total += d
+		}
+		res.Points = append(res.Points, Fig10bPoint{
+			Sequences: scfg.N,
+			Elements:  scfg.N * scfg.L,
+			AvgTime:   total / time.Duration(len(queries)),
+		})
+	}
+	return res, nil
+}
+
+// Fprint renders the Figure 10(b) series.
+func (r *Fig10bResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Figure 10(b) — query time vs data size",
+		fmt.Sprintf("Synthetic: sequences of length %d, queries of length %d. Paper shape: sub-linear scaling with data size.", r.SeqLength, r.QueryLength))
+	fmt.Fprintf(w, "%-12s %-12s %14s\n", "sequences", "elements", "avg time")
+	labels := make([]string, len(r.Points))
+	values := make([]time.Duration, len(r.Points))
+	for i, p := range r.Points {
+		fmt.Fprintf(w, "%-12d %-12d %14s\n", p.Sequences, p.Elements, p.AvgTime.Round(time.Microsecond))
+		labels[i] = fmt.Sprintf("%dk elems", p.Elements/1000)
+		values[i] = p.AvgTime
+	}
+	fmt.Fprintln(w)
+	asciiPlot(w, "query time by data size (sub-linear shape expected):", labels, values)
+}

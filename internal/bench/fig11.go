@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+	"vist/internal/rist"
+	"vist/internal/xmltree"
+)
+
+// Fig11aRow reports index sizes for one dataset.
+type Fig11aRow struct {
+	Dataset   string
+	Records   int
+	Elements  int
+	ViSTBytes int64
+	RISTBytes int64
+}
+
+// Fig11aResult aggregates the index-size experiment.
+type Fig11aResult struct {
+	Rows []Fig11aRow
+}
+
+// RunFig11a reproduces Figure 11(a): index sizes for the DBLP-like and
+// XMARK-like datasets, ViST vs RIST. RIST's footprint includes the
+// materialized suffix trie ViST avoids.
+func RunFig11a(cfg Config) (*Fig11aResult, error) {
+	res := &Fig11aResult{}
+	build := func(name string, docs []*xmltree.Node, schema []string) error {
+		elements := 0
+		for _, d := range docs {
+			elements += d.Count()
+		}
+		vist, err := core.NewMem(core.Options{Schema: schema, SkipDocumentStore: true, Lambda: 4})
+		if err != nil {
+			return err
+		}
+		vdocs := make([]*xmltree.Node, len(docs))
+		for i, d := range docs {
+			vdocs[i] = d.Clone()
+		}
+		if err := insertAll(vist, vdocs); err != nil {
+			return err
+		}
+		r, err := rist.Build(docs, core.Options{Schema: schema, SkipDocumentStore: true})
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, Fig11aRow{
+			Dataset:   name,
+			Records:   len(docs),
+			Elements:  elements,
+			ViSTBytes: vist.IndexSizeBytes(),
+			RISTBytes: r.IndexSizeBytes(),
+		})
+		return r.Close()
+	}
+	if err := build("DBLP-like",
+		gen.DBLP(gen.DBLPConfig{Records: cfg.scale(20000), Seed: cfg.Seed}),
+		gen.DBLPSchema()); err != nil {
+		return nil, err
+	}
+	n := cfg.scale(2500)
+	if err := build("XMARK-like",
+		gen.XMark(gen.XMarkConfig{Items: n, Persons: n, OpenAuctions: n, ClosedAuctions: n, Seed: cfg.Seed + 1}),
+		gen.XMarkSchema()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fprint renders the Figure 11(a) table.
+func (r *Fig11aResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Figure 11(a) — index size",
+		"Paper shape: RIST larger than ViST (it keeps the materialized suffix tree).")
+	fmt.Fprintf(w, "%-12s %10s %10s %14s %14s\n", "dataset", "records", "elements", "ViST bytes", "RIST bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %10d %10d %14d %14d\n", row.Dataset, row.Records, row.Elements, row.ViSTBytes, row.RISTBytes)
+	}
+}
+
+// Fig11bPoint is one point of Figure 11(b): construction time at a dataset
+// size.
+type Fig11bPoint struct {
+	Sequences int
+	Elements  int
+	BuildTime time.Duration
+}
+
+// Fig11bResult aggregates the construction-time sweep.
+type Fig11bResult struct {
+	Points []Fig11bPoint
+}
+
+// RunFig11b reproduces Figure 11(b): ViST index construction time on
+// synthetic data (k=10, j=8, L=32) as the element count grows; the curve
+// must be (near-)linear.
+func RunFig11b(cfg Config) (*Fig11bResult, error) {
+	res := &Fig11bResult{}
+	base := cfg.scale(2500)
+	for _, mult := range []int{1, 2, 3, 4} {
+		scfg := gen.SyntheticConfig{K: 10, J: 8, L: 32, N: base * mult, Seed: cfg.Seed}
+		docs := gen.Synthetic(scfg)
+		ix, err := core.NewMem(core.Options{SkipDocumentStore: true, Lambda: 8})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := insertAll(ix, docs); err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig11bPoint{
+			Sequences: scfg.N,
+			Elements:  scfg.N * scfg.L,
+			BuildTime: time.Since(start),
+		})
+	}
+	return res, nil
+}
+
+// Fprint renders the Figure 11(b) series.
+func (r *Fig11bResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Figure 11(b) — index construction time",
+		"Synthetic: k=10, j=8, L=32. Paper shape: construction time linear in element count.")
+	fmt.Fprintf(w, "%-12s %-12s %14s\n", "sequences", "elements", "build time")
+	labels := make([]string, len(r.Points))
+	values := make([]time.Duration, len(r.Points))
+	for i, p := range r.Points {
+		fmt.Fprintf(w, "%-12d %-12d %14s\n", p.Sequences, p.Elements, p.BuildTime.Round(time.Millisecond))
+		labels[i] = fmt.Sprintf("%dk elems", p.Elements/1000)
+		values[i] = p.BuildTime
+	}
+	fmt.Fprintln(w)
+	asciiPlot(w, "construction time by element count (linear shape expected):", labels, values)
+}

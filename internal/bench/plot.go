@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// asciiPlot renders a simple bar chart of a series so figure shapes are
+// visible directly in terminal output, next to the numeric tables.
+func asciiPlot(w io.Writer, title string, labels []string, values []time.Duration) {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return
+	}
+	var max time.Duration
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	const width = 48
+	fmt.Fprintf(w, "%s\n", title)
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i, v := range values {
+		bar := int(int64(v) * width / int64(max))
+		if bar == 0 && v > 0 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "  %-*s %s %s\n", labelWidth, labels[i], strings.Repeat("█", bar), v.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+	"vist/internal/nodeindex"
+	"vist/internal/pathindex"
+	"vist/internal/xmltree"
+)
+
+// Table3Queries are the eight queries of the paper's Table 3, with the
+// generator's planted literals substituted for the paper's.
+var Table3Queries = []struct {
+	ID      string
+	Expr    string
+	Dataset string // "dblp" or "xmark"
+}{
+	{"Q1", "/inproceedings/title", "dblp"},
+	{"Q2", "/book/author[text()='" + gen.DBLPDavid + "']", "dblp"},
+	{"Q3", "/*/author[text()='" + gen.DBLPDavid + "']", "dblp"},
+	{"Q4", "//author[text()='" + gen.DBLPDavid + "']", "dblp"},
+	{"Q5", "/book[@key='" + gen.DBLPKey + "']/author", "dblp"},
+	{"Q6", "/site//item[location='" + gen.XMarkUS + "']/mail/date[text()='" + gen.XMarkDate + "']", "xmark"},
+	{"Q7", "/site//person/*/city[text()='" + gen.XMarkCity + "']", "xmark"},
+	{"Q8", "//closed_auction[*[person='" + gen.XMarkPerson + "']]/date[text()='" + gen.XMarkDate + "']", "xmark"},
+}
+
+// Table4Row is one measured row of Table 4.
+type Table4Row struct {
+	ID, Expr, Dataset string
+	ViST              time.Duration
+	RawPath           time.Duration
+	NodeIdx           time.Duration
+	Results           int
+}
+
+// Table4Result aggregates the experiment.
+type Table4Result struct {
+	DBLPRecords, XMarkRecords int
+	Rows                      []Table4Row
+}
+
+// RunTable4 builds DBLP-like and XMARK-like datasets, indexes each with the
+// three engines, and times the eight queries of Table 3.
+func RunTable4(cfg Config) (*Table4Result, error) {
+	res := &Table4Result{
+		DBLPRecords:  cfg.scale(20000),
+		XMarkRecords: cfg.scale(2500) * 4,
+	}
+
+	type corpus struct {
+		engines []engine
+	}
+	corpora := map[string]*corpus{}
+
+	// DBLP-like.
+	dblpEngines, err := buildEngines(
+		gen.DBLP(gen.DBLPConfig{Records: res.DBLPRecords, Seed: cfg.Seed}),
+		gen.DBLPSchema(),
+	)
+	if err != nil {
+		return nil, err
+	}
+	corpora["dblp"] = &corpus{engines: dblpEngines}
+
+	// XMARK-like.
+	n := cfg.scale(2500)
+	xmarkEngines, err := buildEngines(
+		gen.XMark(gen.XMarkConfig{Items: n, Persons: n, OpenAuctions: n, ClosedAuctions: n, Seed: cfg.Seed + 1}),
+		gen.XMarkSchema(),
+	)
+	if err != nil {
+		return nil, err
+	}
+	corpora["xmark"] = &corpus{engines: xmarkEngines}
+
+	for _, q := range Table3Queries {
+		c := corpora[q.Dataset]
+		row := Table4Row{ID: q.ID, Expr: q.Expr, Dataset: q.Dataset}
+		for i, e := range c.engines {
+			d, nres, err := timeQuery(e, q.Expr, cfg.minTime())
+			if err != nil {
+				return nil, err
+			}
+			switch i {
+			case 0:
+				row.ViST = d
+				row.Results = nres
+			case 1:
+				row.RawPath = d
+			case 2:
+				row.NodeIdx = d
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// buildEngines indexes the documents with ViST, the raw-path index, and the
+// node index. Documents are cloned per engine because indexing normalizes
+// in place and the engines must not share trees.
+func buildEngines(docs []*xmltree.Node, schema []string) ([]engine, error) {
+	clone := func() []*xmltree.Node {
+		out := make([]*xmltree.Node, len(docs))
+		for i, d := range docs {
+			out[i] = d.Clone()
+		}
+		return out
+	}
+	sc := xmltree.NewSchema(schema...)
+
+	vist, err := core.NewMem(core.Options{Schema: schema, SkipDocumentStore: true, Lambda: 4})
+	if err != nil {
+		return nil, err
+	}
+	if err := insertAll(vist, clone()); err != nil {
+		return nil, err
+	}
+
+	pidx, err := pathindex.New(sc, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range clone() {
+		if _, err := pidx.Insert(d); err != nil {
+			return nil, err
+		}
+	}
+
+	nidx, err := nodeindex.New(sc, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range clone() {
+		if _, err := nidx.Insert(d); err != nil {
+			return nil, err
+		}
+	}
+	return []engine{vistEngine(vist), pathEngine(pidx), nodeEngine(nidx)}, nil
+}
+
+// Fprint renders the result in the paper's Table 4 layout.
+func (r *Table4Result) Fprint(w io.Writer) {
+	fprintHeader(w, "Table 4 — query processing time",
+		fmt.Sprintf("DBLP-like: %d records; XMARK-like: %d records. Paper shape: RIST/ViST wins Q2–Q8; raw paths competitive only on Q1; node index slow throughout.", r.DBLPRecords, r.XMarkRecords))
+	fmt.Fprintf(w, "%-4s %-62s %-7s %12s %12s %12s %8s\n", "", "query", "dataset", "RIST/ViST", "raw-path", "node-idx", "results")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-4s %-62s %-7s %12s %12s %12s %8d\n",
+			row.ID, row.Expr, row.Dataset,
+			row.ViST.Round(time.Microsecond),
+			row.RawPath.Round(time.Microsecond),
+			row.NodeIdx.Round(time.Microsecond),
+			row.Results)
+	}
+}

@@ -1,0 +1,710 @@
+// Package btree implements a disk-paged B+Tree with variable-length keys
+// and values, range cursors, and delete rebalancing.
+//
+// It is the storage substrate the ViST paper assumes: the paper's
+// experiments run on Berkeley DB B+Trees with 2 KB pages; this package
+// provides the same point/range API on top of a Pager abstraction that can
+// be file-backed (with an LRU buffer pool) or memory-backed.
+package btree
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+const (
+	magic = "VISTBT01"
+
+	pageFree = byte(3)
+
+	// DefaultPageSize matches the paper's experimental setup ("we use disk
+	// pages of size 2K for Berkeley DB B+Trees").
+	DefaultPageSize = 2048
+
+	defaultNodeCache = 512
+
+	metaHeaderSize = 8 + 4 + 4 + 4 + 8 + 2 // magic, pageSize, root, freeHead, count, userMetaLen
+)
+
+// Options configures a B+Tree.
+type Options struct {
+	// PageSize is used when creating a new tree; opening an existing tree
+	// validates against the stored size. Zero selects DefaultPageSize.
+	PageSize int
+	// NodeCache bounds the decoded-node cache. Zero selects a default.
+	NodeCache int
+}
+
+// BTree is a B+Tree over a Pager. All methods are safe for concurrent use.
+type BTree struct {
+	mu       sync.RWMutex
+	pg       Pager
+	pageSize int
+	cacheCap int
+
+	root      PageID
+	freeHead  PageID
+	count     uint64
+	userMeta  []byte
+	metaDirty bool
+
+	cache map[PageID]*node
+	lru   *list.List // of PageID; front = most recently used
+	elems map[PageID]*list.Element
+
+	buf []byte // scratch page buffer
+}
+
+// New opens the tree stored in pg, creating an empty tree when the pager has
+// no pages yet.
+func New(pg Pager, opts Options) (*BTree, error) {
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = DefaultPageSize
+	}
+	if pg.PageSize() != ps && opts.PageSize != 0 {
+		return nil, fmt.Errorf("btree: pager page size %d != requested %d", pg.PageSize(), ps)
+	}
+	ps = pg.PageSize()
+	nc := opts.NodeCache
+	if nc <= 0 {
+		nc = defaultNodeCache
+	}
+	t := &BTree{
+		pg:       pg,
+		pageSize: ps,
+		cacheCap: nc,
+		cache:    make(map[PageID]*node),
+		lru:      list.New(),
+		elems:    make(map[PageID]*list.Element),
+		buf:      make([]byte, ps),
+	}
+	if pg.NumPages() == 0 {
+		if err := t.create(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	if err := t.readMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *BTree) create() error {
+	metaID, err := t.pg.Allocate()
+	if err != nil {
+		return err
+	}
+	if metaID != 0 {
+		return fmt.Errorf("btree: meta page allocated as %d, want 0", metaID)
+	}
+	rootID, err := t.pg.Allocate()
+	if err != nil {
+		return err
+	}
+	root := &node{id: rootID, leaf: true}
+	if err := t.flushNode(root); err != nil {
+		return err
+	}
+	t.root = rootID
+	t.metaDirty = true
+	return t.writeMeta()
+}
+
+func (t *BTree) readMeta() error {
+	if err := t.pg.Read(0, t.buf); err != nil {
+		return err
+	}
+	if string(t.buf[:8]) != magic {
+		return fmt.Errorf("btree: bad magic %q", t.buf[:8])
+	}
+	storedPS := int(binary.BigEndian.Uint32(t.buf[8:12]))
+	if storedPS != t.pageSize {
+		return fmt.Errorf("btree: stored page size %d != pager page size %d", storedPS, t.pageSize)
+	}
+	t.root = PageID(binary.BigEndian.Uint32(t.buf[12:16]))
+	t.freeHead = PageID(binary.BigEndian.Uint32(t.buf[16:20]))
+	t.count = binary.BigEndian.Uint64(t.buf[20:28])
+	umLen := int(binary.BigEndian.Uint16(t.buf[28:30]))
+	if metaHeaderSize+umLen > t.pageSize {
+		return fmt.Errorf("btree: user meta length %d overflows page", umLen)
+	}
+	t.userMeta = append([]byte(nil), t.buf[metaHeaderSize:metaHeaderSize+umLen]...)
+	return nil
+}
+
+func (t *BTree) writeMeta() error {
+	for i := range t.buf {
+		t.buf[i] = 0
+	}
+	copy(t.buf[:8], magic)
+	binary.BigEndian.PutUint32(t.buf[8:12], uint32(t.pageSize))
+	binary.BigEndian.PutUint32(t.buf[12:16], uint32(t.root))
+	binary.BigEndian.PutUint32(t.buf[16:20], uint32(t.freeHead))
+	binary.BigEndian.PutUint64(t.buf[20:28], t.count)
+	if metaHeaderSize+len(t.userMeta) > t.pageSize {
+		return fmt.Errorf("btree: user meta of %d bytes overflows page", len(t.userMeta))
+	}
+	binary.BigEndian.PutUint16(t.buf[28:30], uint16(len(t.userMeta)))
+	copy(t.buf[metaHeaderSize:], t.userMeta)
+	if err := t.pg.Write(0, t.buf); err != nil {
+		return err
+	}
+	t.metaDirty = false
+	return nil
+}
+
+// MaxEntrySize reports the largest key+value payload a single Put accepts.
+// It is sized so that every leaf can hold at least two cells.
+func (t *BTree) MaxEntrySize() int { return (t.pageSize - leafHeaderSize) / 2 }
+
+// maxKeySize keeps internal nodes able to hold at least three separators.
+func (t *BTree) maxKeySize() int { return (t.pageSize - internalHeaderSize) / 3 }
+
+func (t *BTree) minFill() int { return t.pageSize / 4 }
+
+// --- node cache -----------------------------------------------------------
+
+func (t *BTree) touch(id PageID) {
+	if e, ok := t.elems[id]; ok {
+		t.lru.MoveToFront(e)
+		return
+	}
+	t.elems[id] = t.lru.PushFront(id)
+}
+
+func (t *BTree) evict() error {
+	for len(t.cache) > t.cacheCap {
+		tail := t.lru.Back()
+		if tail == nil {
+			return nil
+		}
+		id := tail.Value.(PageID)
+		n := t.cache[id]
+		if n != nil && n.dirty {
+			if err := t.flushNode(n); err != nil {
+				return err
+			}
+		}
+		t.lru.Remove(tail)
+		delete(t.elems, id)
+		delete(t.cache, id)
+	}
+	return nil
+}
+
+func (t *BTree) load(id PageID) (*node, error) {
+	if n, ok := t.cache[id]; ok {
+		t.touch(id)
+		return n, nil
+	}
+	if err := t.pg.Read(id, t.buf); err != nil {
+		return nil, err
+	}
+	n, err := deserializeNode(id, t.buf)
+	if err != nil {
+		return nil, err
+	}
+	t.cache[id] = n
+	t.touch(id)
+	if err := t.evict(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// markDirty registers n in the cache as modified.
+func (t *BTree) markDirty(n *node) {
+	n.dirty = true
+	t.cache[n.id] = n
+	t.touch(n.id)
+}
+
+func (t *BTree) flushNode(n *node) error {
+	if err := n.serialize(t.buf); err != nil {
+		return err
+	}
+	if err := t.pg.Write(n.id, t.buf); err != nil {
+		return err
+	}
+	n.dirty = false
+	return nil
+}
+
+func (t *BTree) dropFromCache(id PageID) {
+	if e, ok := t.elems[id]; ok {
+		t.lru.Remove(e)
+		delete(t.elems, id)
+	}
+	delete(t.cache, id)
+}
+
+// --- page allocation ------------------------------------------------------
+
+func (t *BTree) allocPage() (PageID, error) {
+	if t.freeHead != 0 {
+		id := t.freeHead
+		if err := t.pg.Read(id, t.buf); err != nil {
+			return 0, err
+		}
+		if t.buf[0] != pageFree {
+			return 0, fmt.Errorf("btree: freelist page %d is not free (type %d)", id, t.buf[0])
+		}
+		t.freeHead = PageID(binary.BigEndian.Uint32(t.buf[1:5]))
+		t.metaDirty = true
+		return id, nil
+	}
+	return t.pg.Allocate()
+}
+
+func (t *BTree) freePage(id PageID) error {
+	t.dropFromCache(id)
+	for i := range t.buf {
+		t.buf[i] = 0
+	}
+	t.buf[0] = pageFree
+	binary.BigEndian.PutUint32(t.buf[1:5], uint32(t.freeHead))
+	if err := t.pg.Write(id, t.buf); err != nil {
+		return err
+	}
+	t.freeHead = id
+	t.metaDirty = true
+	return nil
+}
+
+// --- public API -----------------------------------------------------------
+
+// Len reports the number of stored entries.
+func (t *BTree) Len() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// UserMeta returns the caller-owned metadata blob stored in the meta page.
+func (t *BTree) UserMeta() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]byte(nil), t.userMeta...)
+}
+
+// SetUserMeta replaces the caller-owned metadata blob. It must fit in the
+// meta page alongside the header.
+func (t *BTree) SetUserMeta(m []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if metaHeaderSize+len(m) > t.pageSize {
+		return fmt.Errorf("btree: user meta of %d bytes exceeds page size %d", len(m), t.pageSize)
+	}
+	t.userMeta = append(t.userMeta[:0], m...)
+	t.metaDirty = true
+	return nil
+}
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key []byte) ([]byte, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+			if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+				return append([]byte(nil), n.vals[i]...), true, nil
+			}
+			return nil, false, nil
+		}
+		id = n.kids[t.childIndex(n, key)]
+	}
+}
+
+// childIndex returns the child slot to descend into for key.
+func (t *BTree) childIndex(n *node, key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+}
+
+type splitResult struct {
+	sep   []byte
+	right PageID
+}
+
+// Put inserts or replaces the value stored under key.
+func (t *BTree) Put(key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("btree: empty key")
+	}
+	if len(key) > t.maxKeySize() {
+		return fmt.Errorf("btree: key of %d bytes exceeds max %d", len(key), t.maxKeySize())
+	}
+	if leafCellSize(key, val) > t.MaxEntrySize() {
+		return fmt.Errorf("btree: entry of %d bytes exceeds max %d", leafCellSize(key, val), t.MaxEntrySize())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	split, err := t.put(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		newRootID, err := t.allocPage()
+		if err != nil {
+			return err
+		}
+		newRoot := &node{
+			id:   newRootID,
+			keys: [][]byte{split.sep},
+			kids: []PageID{t.root, split.right},
+		}
+		t.markDirty(newRoot)
+		t.root = newRootID
+		t.metaDirty = true
+	}
+	// markDirty does not evict (it has no error path); bound the cache
+	// once per operation instead.
+	return t.evict()
+}
+
+func (t *BTree) put(id PageID, key, val []byte) (*splitResult, error) {
+	n, err := t.load(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = append([]byte(nil), val...)
+		} else {
+			n.insertLeafCell(i, append([]byte(nil), key...), append([]byte(nil), val...))
+			t.count++
+			t.metaDirty = true
+		}
+		t.markDirty(n)
+		if n.serializedSize() <= t.pageSize {
+			return nil, nil
+		}
+		return t.splitLeaf(n)
+	}
+	idx := t.childIndex(n, key)
+	split, err := t.put(n.kids[idx], key, val)
+	if err != nil {
+		return nil, err
+	}
+	if split == nil {
+		return nil, nil
+	}
+	n.insertInternalCell(idx, split.sep, split.right)
+	t.markDirty(n)
+	if n.serializedSize() <= t.pageSize {
+		return nil, nil
+	}
+	return t.splitInternal(n)
+}
+
+// splitLeaf moves the upper half of n's cells into a fresh right sibling.
+func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
+	rightID, err := t.allocPage()
+	if err != nil {
+		return nil, err
+	}
+	// Find the split point where the left half first reaches half the
+	// serialized payload.
+	total := n.serializedSize() - leafHeaderSize
+	acc, mid := 0, 0
+	for i := range n.keys {
+		acc += leafCellSize(n.keys[i], n.vals[i])
+		if acc >= total/2 {
+			mid = i + 1
+			break
+		}
+	}
+	if mid == 0 || mid >= len(n.keys) {
+		mid = len(n.keys) / 2
+	}
+	right := &node{
+		id:   rightID,
+		leaf: true,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([][]byte(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = rightID
+	t.markDirty(n)
+	t.markDirty(right)
+	sep := append([]byte(nil), right.keys[0]...)
+	return &splitResult{sep: sep, right: rightID}, nil
+}
+
+// splitInternal promotes the middle separator of n.
+func (t *BTree) splitInternal(n *node) (*splitResult, error) {
+	rightID, err := t.allocPage()
+	if err != nil {
+		return nil, err
+	}
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		id:   rightID,
+		keys: append([][]byte(nil), n.keys[mid+1:]...),
+		kids: append([]PageID(nil), n.kids[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.kids = n.kids[:mid+1]
+	t.markDirty(n)
+	t.markDirty(right)
+	return &splitResult{sep: sep, right: rightID}, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *BTree) Delete(key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	deleted, _, err := t.del(t.root, key)
+	if err != nil || !deleted {
+		return deleted, err
+	}
+	root, err := t.load(t.root)
+	if err != nil {
+		return true, err
+	}
+	if !root.leaf && len(root.keys) == 0 {
+		old := t.root
+		t.root = root.kids[0]
+		t.metaDirty = true
+		if err := t.freePage(old); err != nil {
+			return true, err
+		}
+	}
+	return true, t.evict()
+}
+
+func (t *BTree) del(id PageID, key []byte) (deleted, underflow bool, err error) {
+	n, err := t.load(id)
+	if err != nil {
+		return false, false, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+			return false, false, nil
+		}
+		n.removeLeafCell(i)
+		t.count--
+		t.metaDirty = true
+		t.markDirty(n)
+		return true, n.serializedSize() < t.minFill(), nil
+	}
+	idx := t.childIndex(n, key)
+	deleted, childUnder, err := t.del(n.kids[idx], key)
+	if err != nil || !deleted {
+		return deleted, false, err
+	}
+	if childUnder {
+		if err := t.rebalance(n, idx); err != nil {
+			return true, false, err
+		}
+	}
+	return true, n.serializedSize() < t.minFill(), nil
+}
+
+// rebalance restores the fill of n.kids[idx] by borrowing from a sibling or
+// merging with one. If neither is possible the underfull child is tolerated.
+func (t *BTree) rebalance(parent *node, idx int) error {
+	child, err := t.load(parent.kids[idx])
+	if err != nil {
+		return err
+	}
+	if child.serializedSize() >= t.minFill() {
+		return nil
+	}
+	// Try borrowing from the left sibling.
+	if idx > 0 {
+		left, err := t.load(parent.kids[idx-1])
+		if err != nil {
+			return err
+		}
+		if t.borrow(parent, idx-1, left, child, true) {
+			return nil
+		}
+		if left.serializedSize()+child.serializedSize()-t.headerSize(child) <= t.pageSize {
+			return t.merge(parent, idx-1, left, child)
+		}
+	}
+	// Try borrowing from the right sibling.
+	if idx < len(parent.kids)-1 {
+		right, err := t.load(parent.kids[idx+1])
+		if err != nil {
+			return err
+		}
+		if t.borrow(parent, idx, child, right, false) {
+			return nil
+		}
+		if child.serializedSize()+right.serializedSize()-t.headerSize(right) <= t.pageSize {
+			return t.merge(parent, idx, child, right)
+		}
+	}
+	return nil
+}
+
+func (t *BTree) headerSize(n *node) int {
+	if n.leaf {
+		return leafHeaderSize
+	}
+	return internalHeaderSize
+}
+
+// borrow moves cells from the donor side toward the receiver until the
+// receiver is adequately filled. left and right are adjacent children with
+// separator parent.keys[sepIdx]; fromLeft selects the donor.
+func (t *BTree) borrow(parent *node, sepIdx int, left, right *node, fromLeft bool) bool {
+	moved := false
+	for {
+		var donor, recv *node
+		if fromLeft {
+			donor, recv = left, right
+		} else {
+			donor, recv = right, left
+		}
+		if recv.serializedSize() >= t.minFill() {
+			break
+		}
+		if donor.serializedSize() <= t.minFill() || len(donor.keys) <= 1 {
+			break
+		}
+		if donor.leaf {
+			if fromLeft {
+				k, v := donor.keys[len(donor.keys)-1], donor.vals[len(donor.vals)-1]
+				if recv.serializedSize()+leafCellSize(k, v) > t.pageSize {
+					break
+				}
+				donor.removeLeafCell(len(donor.keys) - 1)
+				recv.insertLeafCell(0, k, v)
+				parent.keys[sepIdx] = append([]byte(nil), recv.keys[0]...)
+			} else {
+				k, v := donor.keys[0], donor.vals[0]
+				if recv.serializedSize()+leafCellSize(k, v) > t.pageSize {
+					break
+				}
+				donor.removeLeafCell(0)
+				recv.keys = append(recv.keys, k)
+				recv.vals = append(recv.vals, v)
+				parent.keys[sepIdx] = append([]byte(nil), donor.keys[0]...)
+			}
+		} else {
+			sep := parent.keys[sepIdx]
+			if fromLeft {
+				k := donor.keys[len(donor.keys)-1]
+				if recv.serializedSize()+internalCellSize(sep) > t.pageSize {
+					break
+				}
+				c := donor.kids[len(donor.kids)-1]
+				donor.keys = donor.keys[:len(donor.keys)-1]
+				donor.kids = donor.kids[:len(donor.kids)-1]
+				recv.keys = append([][]byte{append([]byte(nil), sep...)}, recv.keys...)
+				recv.kids = append([]PageID{c}, recv.kids...)
+				parent.keys[sepIdx] = append([]byte(nil), k...)
+			} else {
+				k := donor.keys[0]
+				if recv.serializedSize()+internalCellSize(sep) > t.pageSize {
+					break
+				}
+				c := donor.kids[0]
+				donor.keys = donor.keys[1:]
+				donor.kids = donor.kids[1:]
+				recv.keys = append(recv.keys, append([]byte(nil), sep...))
+				recv.kids = append(recv.kids, c)
+				parent.keys[sepIdx] = append([]byte(nil), k...)
+			}
+		}
+		t.markDirty(donor)
+		t.markDirty(recv)
+		t.markDirty(parent)
+		moved = true
+	}
+	if !moved {
+		return false
+	}
+	// The receiver must have reached adequate fill for the borrow to count.
+	var recv *node
+	if fromLeft {
+		recv = right
+	} else {
+		recv = left
+	}
+	return recv.serializedSize() >= t.minFill()
+}
+
+// merge folds right into left and removes separator sepIdx from the parent.
+func (t *BTree) merge(parent *node, sepIdx int, left, right *node) error {
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, append([]byte(nil), parent.keys[sepIdx]...))
+		left.keys = append(left.keys, right.keys...)
+		left.kids = append(left.kids, right.kids...)
+	}
+	parent.removeInternalCell(sepIdx)
+	t.markDirty(left)
+	t.markDirty(parent)
+	return t.freePage(right.id)
+}
+
+// Sync flushes all dirty state to the pager and the pager to stable storage.
+func (t *BTree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.syncLocked()
+}
+
+func (t *BTree) syncLocked() error {
+	for id, n := range t.cache {
+		if n.dirty {
+			if err := t.flushNode(n); err != nil {
+				return fmt.Errorf("btree: flush page %d: %w", id, err)
+			}
+		}
+	}
+	if t.metaDirty {
+		if err := t.writeMeta(); err != nil {
+			return err
+		}
+	}
+	return t.pg.Sync()
+}
+
+// Close flushes and closes the underlying pager.
+func (t *BTree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.syncLocked(); err != nil {
+		t.pg.Close()
+		return err
+	}
+	return t.pg.Close()
+}
+
+// PageCount reports the number of pages, a proxy for index size.
+func (t *BTree) PageCount() uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.pg.NumPages()
+}
+
+// SizeBytes reports the storage footprint in bytes.
+func (t *BTree) SizeBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int64(t.pg.NumPages()) * int64(t.pageSize)
+}

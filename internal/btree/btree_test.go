@@ -1,0 +1,688 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func newMemTree(t *testing.T, pageSize int) *BTree {
+	t.Helper()
+	tr, err := New(NewMemPager(pageSize), Options{PageSize: pageSize})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newMemTree(t, 512)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	_, ok, err := tr.Get([]byte("missing"))
+	if err != nil || ok {
+		t.Fatalf("Get on empty tree: ok=%v err=%v", ok, err)
+	}
+	deleted, err := tr.Delete([]byte("missing"))
+	if err != nil || deleted {
+		t.Fatalf("Delete on empty tree: deleted=%v err=%v", deleted, err)
+	}
+	if _, _, ok, _ := tr.First(); ok {
+		t.Fatal("First on empty tree reported an entry")
+	}
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr := newMemTree(t, 512)
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := tr.Get([]byte("k"))
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := newMemTree(t, 512)
+	for i := 0; i < 3; i++ {
+		if err := tr.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	got, ok, _ := tr.Get([]byte("k"))
+	if !ok || string(got) != "v2" {
+		t.Fatalf("Get = %q, want v2", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replaces, want 1", tr.Len())
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	tr := newMemTree(t, 512)
+	if err := tr.Put(nil, []byte("v")); err == nil {
+		t.Fatal("Put with empty key succeeded")
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	tr := newMemTree(t, 512)
+	big := make([]byte, 600)
+	if err := tr.Put([]byte("k"), big); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+	bigKey := make([]byte, 400)
+	for i := range bigKey {
+		bigKey[i] = 'x'
+	}
+	if err := tr.Put(bigKey, nil); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%d", i)) }
+
+func TestManyInsertsAscending(t *testing.T) {
+	tr := newMemTree(t, 512)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := tr.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get %d = %q, %v, %v", i, got, ok, err)
+		}
+	}
+}
+
+func TestManyInsertsRandomOrder(t *testing.T) {
+	tr := newMemTree(t, 512)
+	const n = 5000
+	perm := rand.New(rand.NewSource(42)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, ok, _ := tr.Get(key(i))
+		if !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get %d = %q %v", i, got, ok)
+		}
+	}
+}
+
+func TestScanFullOrdered(t *testing.T) {
+	tr := newMemTree(t, 512)
+	const n = 2000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []string
+	var prev []byte
+	err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		seen = append(seen, string(k))
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("scan saw %d entries, want %d", len(seen), n)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := newMemTree(t, 512)
+	for i := 0; i < 100; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.Scan(key(10), key(20), func(k, v []byte) (bool, error) {
+		got = append(got, string(k))
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != string(key(10)) || got[9] != string(key(19)) {
+		t.Fatalf("range scan got %v", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := newMemTree(t, 512)
+	for i := 0; i < 100; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		count++
+		return count < 5, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("early stop after %d entries, want 5", count)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	tr := newMemTree(t, 512)
+	for _, k := range []string{"a/1", "a/2", "ab", "b/1", "a", "c"} {
+		if err := tr.Put([]byte(k), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := tr.ScanPrefix([]byte("a/"), func(k, v []byte) (bool, error) {
+		got = append(got, string(k))
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a/1", "a/2"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("prefix scan got %v, want %v", got, want)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := newMemTree(t, 512)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm {
+		deleted, err := tr.Delete(key(i))
+		if err != nil || !deleted {
+			t.Fatalf("Delete %d: deleted=%v err=%v", i, deleted, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all, want 0", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		if _, ok, _ := tr.Get(key(i)); ok {
+			t.Fatalf("key %d still present after delete", i)
+		}
+	}
+}
+
+func TestDeleteHalfThenScan(t *testing.T) {
+	tr := newMemTree(t, 512)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if deleted, err := tr.Delete(key(i)); err != nil || !deleted {
+			t.Fatalf("Delete %d: %v %v", i, deleted, err)
+		}
+	}
+	count := 0
+	err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		count++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n/2 {
+		t.Fatalf("scan after deletes saw %d, want %d", count, n/2)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := newMemTree(t, 512)
+	if err := tr.Put([]byte("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := tr.Delete([]byte("b"))
+	if err != nil || deleted {
+		t.Fatalf("Delete missing: deleted=%v err=%v", deleted, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestFreelistReuse(t *testing.T) {
+	tr := newMemTree(t, 512)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := tr.PageCount()
+	for i := 0; i < n; i++ {
+		if _, err := tr.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-inserting the same data must not grow storage unboundedly: freed
+	// pages must be recycled. Allow some slack for different tree shape.
+	if got := tr.PageCount(); got > grown*2 {
+		t.Fatalf("pages grew from %d to %d; freelist not reused", grown, got)
+	}
+}
+
+func TestUserMetaRoundTrip(t *testing.T) {
+	tr := newMemTree(t, 512)
+	meta := []byte("hello metadata")
+	if err := tr.SetUserMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.UserMeta(); !bytes.Equal(got, meta) {
+		t.Fatalf("UserMeta = %q, want %q", got, meta)
+	}
+	if err := tr.SetUserMeta(make([]byte, 1024)); err == nil {
+		t.Fatal("oversized user meta accepted")
+	}
+}
+
+func TestFilePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.db")
+	pg, err := OpenFilePager(path, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(pg, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.SetUserMeta([]byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pg2, err := OpenFilePager(path, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := New(pg2, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if tr2.Len() != n {
+		t.Fatalf("reopened Len = %d, want %d", tr2.Len(), n)
+	}
+	if got := tr2.UserMeta(); string(got) != "persisted" {
+		t.Fatalf("reopened UserMeta = %q", got)
+	}
+	for i := 0; i < n; i += 97 {
+		got, ok, err := tr2.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("reopened Get %d = %q %v %v", i, got, ok, err)
+		}
+	}
+}
+
+func TestFilePagerPageSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.db")
+	pg, err := OpenFilePager(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(pg, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("a"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := OpenFilePager(path, 1024, 16)
+	if err == nil {
+		// File size 3*512 is not a multiple of 1024, so OpenFilePager should
+		// have failed; if it didn't, New must catch the meta mismatch.
+		if _, err := New(pg2, Options{PageSize: 1024}); err == nil {
+			t.Fatal("page size mismatch undetected")
+		}
+		pg2.Close()
+	}
+}
+
+func TestSmallPagesStressSplits(t *testing.T) {
+	// A 512-byte page with 12-byte keys forces frequent splits at every
+	// level, exercising internal-node splitting deeply.
+	tr := newMemTree(t, 512)
+	const n = 20000
+	rng := rand.New(rand.NewSource(99))
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Verify order and completeness.
+	i := 0
+	err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if !bytes.Equal(k, key(i)) {
+			t.Fatalf("position %d: got %q want %q", i, k, key(i))
+		}
+		i++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scan saw %d entries, want %d", i, n)
+	}
+}
+
+// TestModelRandomOps drives the tree with a random op sequence and compares
+// against a map+sorted-slice model after every batch.
+func TestModelRandomOps(t *testing.T) {
+	for _, pageSize := range []int{512, 2048} {
+		t.Run(fmt.Sprintf("page%d", pageSize), func(t *testing.T) {
+			tr := newMemTree(t, pageSize)
+			model := map[string]string{}
+			rng := rand.New(rand.NewSource(2024))
+			const ops = 30000
+			for op := 0; op < ops; op++ {
+				k := fmt.Sprintf("k%04d", rng.Intn(2500))
+				switch rng.Intn(3) {
+				case 0, 1: // put
+					v := fmt.Sprintf("v%d", rng.Intn(1000000))
+					if err := tr.Put([]byte(k), []byte(v)); err != nil {
+						t.Fatalf("op %d Put: %v", op, err)
+					}
+					model[k] = v
+				case 2: // delete
+					deleted, err := tr.Delete([]byte(k))
+					if err != nil {
+						t.Fatalf("op %d Delete: %v", op, err)
+					}
+					_, inModel := model[k]
+					if deleted != inModel {
+						t.Fatalf("op %d Delete %q: got %v, model %v", op, k, deleted, inModel)
+					}
+					delete(model, k)
+				}
+				if op%5000 == 4999 {
+					verifyAgainstModel(t, tr, model)
+				}
+			}
+			verifyAgainstModel(t, tr, model)
+		})
+	}
+}
+
+func verifyAgainstModel(t *testing.T, tr *BTree, model map[string]string) {
+	t.Helper()
+	if int(tr.Len()) != len(model) {
+		t.Fatalf("Len = %d, model has %d", tr.Len(), len(model))
+	}
+	keys := make([]string, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if i >= len(keys) {
+			t.Fatalf("scan produced extra key %q", k)
+		}
+		if string(k) != keys[i] || string(v) != model[keys[i]] {
+			t.Fatalf("scan position %d: got (%q,%q) want (%q,%q)", i, k, v, keys[i], model[keys[i]])
+		}
+		i++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(keys) {
+		t.Fatalf("scan saw %d keys, model has %d", i, len(keys))
+	}
+}
+
+func TestSeekFirst(t *testing.T) {
+	tr := newMemTree(t, 512)
+	for i := 0; i < 50; i++ {
+		if err := tr.Put(key(i*2), val(i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k, _, ok, err := tr.SeekFirst(key(11), nil)
+	if err != nil || !ok || !bytes.Equal(k, key(12)) {
+		t.Fatalf("SeekFirst(11) = %q %v %v, want key 12", k, ok, err)
+	}
+	_, _, ok, err = tr.SeekFirst(key(99), key(99))
+	if err != nil || ok {
+		t.Fatalf("SeekFirst with empty range: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestValuelessEntries(t *testing.T) {
+	tr := newMemTree(t, 512)
+	if err := tr.Put([]byte("only-key"), nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get([]byte("only-key"))
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+}
+
+func TestFilePagerEviction(t *testing.T) {
+	dir := t.TempDir()
+	pg, err := OpenFilePager(filepath.Join(dir, "t.db"), 512, 4) // tiny pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(pg, Options{PageSize: 512, NodeCache: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 31 {
+		got, ok, err := tr.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get %d under tiny caches = %q %v %v", i, got, ok, err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutSequential(b *testing.B) {
+	tr, _ := New(NewMemPager(2048), Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetRandom(b *testing.B) {
+	tr, _ := New(NewMemPager(2048), Options{})
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tr.Get(key(rng.Intn(n))); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFilePagerCacheStats(t *testing.T) {
+	dir := t.TempDir()
+	pg, err := OpenFilePager(filepath.Join(dir, "c.db"), 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny decoded-node cache forces the tree back to the pager, and the
+	// tiny pool forces the pager back to disk.
+	tr, err := New(pg, Options{PageSize: 512, NodeCache: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(5)).Perm(1000)
+	for _, i := range perm {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range perm[:200] {
+		if _, ok, err := tr.Get(key(i)); err != nil || !ok {
+			t.Fatalf("Get %d: %v %v", i, ok, err)
+		}
+	}
+	hits, misses := pg.CacheStats()
+	if hits == 0 {
+		t.Fatal("no buffer-pool hits recorded")
+	}
+	// With only 8 resident pages and a tree larger than that, misses must
+	// occur too.
+	if misses == 0 {
+		t.Fatal("no buffer-pool misses recorded despite tiny pool")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBinaryKeys drives the tree with arbitrary binary keys and
+// values (not just printable strings) against a map model.
+func TestPropertyBinaryKeys(t *testing.T) {
+	tr := newMemTree(t, 512)
+	model := map[string][]byte{}
+	rng := rand.New(rand.NewSource(77))
+	randBytes := func(maxLen int) []byte {
+		b := make([]byte, 1+rng.Intn(maxLen))
+		rng.Read(b)
+		return b
+	}
+	for op := 0; op < 8000; op++ {
+		k := randBytes(24)
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := randBytes(40)
+			if err := tr.Put(k, v); err != nil {
+				t.Fatalf("op %d Put(%x): %v", op, k, err)
+			}
+			model[string(k)] = v
+		case 2:
+			got, ok, err := tr.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, inModel := model[string(k)]
+			if ok != inModel || (ok && !bytes.Equal(got, want)) {
+				t.Fatalf("op %d Get(%x) = %x,%v want %x,%v", op, k, got, ok, want, inModel)
+			}
+		case 3:
+			deleted, err := tr.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, inModel := model[string(k)]
+			if deleted != inModel {
+				t.Fatalf("op %d Delete(%x) = %v, model %v", op, k, deleted, inModel)
+			}
+			delete(model, string(k))
+		}
+	}
+	verifyAgainstModel(t, tr, toStringModel(model))
+}
+
+func toStringModel(m map[string][]byte) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = string(v)
+	}
+	return out
+}
+
+func TestZeroByteKeys(t *testing.T) {
+	// Keys containing 0x00 and 0xFF must order and round-trip correctly.
+	tr := newMemTree(t, 512)
+	keys := [][]byte{{0}, {0, 0}, {0, 1}, {0xFF}, {0xFF, 0}, {1, 0xFF}}
+	for i, k := range keys {
+		if err := tr.Put(k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	if err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		got = append(got, append([]byte(nil), k...))
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("binary keys out of order: %x then %x", got[i-1], got[i])
+		}
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("scan saw %d keys, want %d", len(got), len(keys))
+	}
+}

@@ -1,0 +1,101 @@
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Scan visits all entries with lo <= key < hi in ascending key order. A nil
+// lo starts at the smallest key; a nil hi runs to the end. fn returns false
+// to stop early. fn must not call back into the tree (the scan holds the
+// tree lock); collect keys first if mutation is needed.
+func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			return t.scanLeaves(n, lo, hi, fn)
+		}
+		if lo == nil {
+			id = n.kids[0]
+		} else {
+			id = n.kids[t.childIndex(n, lo)]
+		}
+	}
+}
+
+func (t *BTree) scanLeaves(n *node, lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], lo) >= 0 })
+	}
+	for {
+		for i := start; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return nil
+			}
+			cont, err := fn(n.keys[i], n.vals[i])
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		if n.next == 0 {
+			return nil
+		}
+		next, err := t.load(n.next)
+		if err != nil {
+			return err
+		}
+		n = next
+		start = 0
+	}
+}
+
+// ScanPrefix visits all entries whose key begins with prefix.
+func (t *BTree) ScanPrefix(prefix []byte, fn func(key, val []byte) (bool, error)) error {
+	return t.Scan(prefix, prefixSuccessor(prefix), fn)
+}
+
+// prefixSuccessor mirrors keyenc.PrefixSuccessor locally to avoid an import
+// cycle; the btree package must stay dependency-free.
+func prefixSuccessor(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// First returns the smallest entry, or ok=false when the tree is empty.
+func (t *BTree) First() (key, val []byte, ok bool, err error) {
+	err = t.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		key = append([]byte(nil), k...)
+		val = append([]byte(nil), v...)
+		ok = true
+		return false, nil
+	})
+	return key, val, ok, err
+}
+
+// SeekFirst returns the smallest entry with key >= lo and key < hi.
+func (t *BTree) SeekFirst(lo, hi []byte) (key, val []byte, ok bool, err error) {
+	err = t.Scan(lo, hi, func(k, v []byte) (bool, error) {
+		key = append([]byte(nil), k...)
+		val = append([]byte(nil), v...)
+		ok = true
+		return false, nil
+	})
+	return key, val, ok, err
+}

@@ -1,0 +1,194 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	pageLeaf     = byte(1)
+	pageInternal = byte(2)
+
+	// leaf page layout:
+	//   [0]      type
+	//   [1:3]    cell count (uint16)
+	//   [3:7]    next leaf PageID (uint32, 0 = none)
+	//   cells... each: klen uint16, vlen uint16, key, val
+	leafHeaderSize = 7
+
+	// internal page layout:
+	//   [0]      type
+	//   [1:3]    cell count (uint16)
+	//   [3:7]    child[0] PageID
+	//   cells... each: klen uint16, key, child PageID (uint32)
+	internalHeaderSize = 7
+)
+
+// node is the in-memory form of a B+Tree page. Leaves carry keys/vals and a
+// right-sibling link; internal nodes carry keys as separators with
+// len(keys)+1 children, where kids[i] holds keys < keys[i] and kids[len]
+// holds keys >= keys[len-1].
+type node struct {
+	id    PageID
+	leaf  bool
+	keys  [][]byte
+	vals  [][]byte // leaves only
+	kids  []PageID // internal only; len(kids) == len(keys)+1
+	next  PageID   // leaves only
+	dirty bool
+}
+
+func leafCellSize(k, v []byte) int  { return 4 + len(k) + len(v) }
+func internalCellSize(k []byte) int { return 6 + len(k) }
+func (n *node) serializedSize() int {
+	if n.leaf {
+		sz := leafHeaderSize
+		for i, k := range n.keys {
+			sz += leafCellSize(k, n.vals[i])
+		}
+		return sz
+	}
+	sz := internalHeaderSize
+	for _, k := range n.keys {
+		sz += internalCellSize(k)
+	}
+	return sz
+}
+
+// serialize writes the node into buf, which must be a full page.
+func (n *node) serialize(buf []byte) error {
+	need := n.serializedSize()
+	if need > len(buf) {
+		return fmt.Errorf("btree: node %d overflows page: %d > %d", n.id, need, len(buf))
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = pageLeaf
+		binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+		binary.BigEndian.PutUint32(buf[3:7], uint32(n.next))
+		off := leafHeaderSize
+		for i, k := range n.keys {
+			v := n.vals[i]
+			binary.BigEndian.PutUint16(buf[off:], uint16(len(k)))
+			binary.BigEndian.PutUint16(buf[off+2:], uint16(len(v)))
+			off += 4
+			off += copy(buf[off:], k)
+			off += copy(buf[off:], v)
+		}
+		return nil
+	}
+	buf[0] = pageInternal
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	binary.BigEndian.PutUint32(buf[3:7], uint32(n.kids[0]))
+	off := internalHeaderSize
+	for i, k := range n.keys {
+		binary.BigEndian.PutUint16(buf[off:], uint16(len(k)))
+		off += 2
+		off += copy(buf[off:], k)
+		binary.BigEndian.PutUint32(buf[off:], uint32(n.kids[i+1]))
+		off += 4
+	}
+	return nil
+}
+
+// deserializeNode parses a page image into a node. Key and value slices are
+// copied out of buf so the caller may reuse the buffer.
+func deserializeNode(id PageID, buf []byte) (*node, error) {
+	if len(buf) < leafHeaderSize {
+		return nil, fmt.Errorf("btree: page %d too short (%d bytes)", id, len(buf))
+	}
+	count := int(binary.BigEndian.Uint16(buf[1:3]))
+	switch buf[0] {
+	case pageLeaf:
+		n := &node{
+			id:   id,
+			leaf: true,
+			keys: make([][]byte, 0, count),
+			vals: make([][]byte, 0, count),
+			next: PageID(binary.BigEndian.Uint32(buf[3:7])),
+		}
+		off := leafHeaderSize
+		for i := 0; i < count; i++ {
+			if off+4 > len(buf) {
+				return nil, fmt.Errorf("btree: leaf %d truncated at cell %d", id, i)
+			}
+			klen := int(binary.BigEndian.Uint16(buf[off:]))
+			vlen := int(binary.BigEndian.Uint16(buf[off+2:]))
+			off += 4
+			if off+klen+vlen > len(buf) {
+				return nil, fmt.Errorf("btree: leaf %d cell %d out of bounds", id, i)
+			}
+			k := make([]byte, klen)
+			copy(k, buf[off:off+klen])
+			off += klen
+			v := make([]byte, vlen)
+			copy(v, buf[off:off+vlen])
+			off += vlen
+			n.keys = append(n.keys, k)
+			n.vals = append(n.vals, v)
+		}
+		return n, nil
+	case pageInternal:
+		n := &node{
+			id:   id,
+			keys: make([][]byte, 0, count),
+			kids: make([]PageID, 0, count+1),
+		}
+		n.kids = append(n.kids, PageID(binary.BigEndian.Uint32(buf[3:7])))
+		off := internalHeaderSize
+		for i := 0; i < count; i++ {
+			if off+2 > len(buf) {
+				return nil, fmt.Errorf("btree: internal %d truncated at cell %d", id, i)
+			}
+			klen := int(binary.BigEndian.Uint16(buf[off:]))
+			off += 2
+			if off+klen+4 > len(buf) {
+				return nil, fmt.Errorf("btree: internal %d cell %d out of bounds", id, i)
+			}
+			k := make([]byte, klen)
+			copy(k, buf[off:off+klen])
+			off += klen
+			n.keys = append(n.keys, k)
+			n.kids = append(n.kids, PageID(binary.BigEndian.Uint32(buf[off:])))
+			off += 4
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("btree: page %d has unknown type %d", id, buf[0])
+	}
+}
+
+// insertLeafCell inserts key/val at index i.
+func (n *node) insertLeafCell(i int, key, val []byte) {
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = key
+	n.vals = append(n.vals, nil)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = val
+}
+
+// removeLeafCell deletes the cell at index i.
+func (n *node) removeLeafCell(i int) {
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+}
+
+// insertInternalCell inserts separator key at index i with the new child to
+// its right (child index i+1).
+func (n *node) insertInternalCell(i int, key []byte, child PageID) {
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = key
+	n.kids = append(n.kids, 0)
+	copy(n.kids[i+2:], n.kids[i+1:])
+	n.kids[i+1] = child
+}
+
+// removeInternalCell deletes separator i and the child to its right.
+func (n *node) removeInternalCell(i int) {
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.kids = append(n.kids[:i+1], n.kids[i+2:]...)
+}

@@ -1,0 +1,253 @@
+package btree
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PageID identifies a fixed-size page within a Pager. Page 0 is always the
+// tree's meta page; 0 therefore doubles as the nil page reference.
+type PageID uint32
+
+// Pager is the raw page I/O abstraction under a B+Tree. Implementations must
+// return pages of exactly PageSize bytes. Allocation is grow-only at this
+// layer; reuse of freed pages is handled by the tree's freelist.
+type Pager interface {
+	// PageSize reports the fixed page size in bytes.
+	PageSize() int
+	// NumPages reports how many pages have been allocated so far.
+	NumPages() uint32
+	// Allocate appends a new zeroed page and returns its ID.
+	Allocate() (PageID, error)
+	// Read fills buf (len == PageSize) with the page's content.
+	Read(id PageID, buf []byte) error
+	// Write stores data (len == PageSize) as the page's content.
+	Write(id PageID, data []byte) error
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases resources, flushing first.
+	Close() error
+}
+
+// MemPager keeps all pages in memory. It is used by tests and by benchmarks
+// that want to measure algorithmic cost without disk I/O.
+type MemPager struct {
+	pageSize int
+	pages    [][]byte
+}
+
+// NewMemPager returns an in-memory pager with the given page size.
+func NewMemPager(pageSize int) *MemPager {
+	return &MemPager{pageSize: pageSize}
+}
+
+// PageSize implements Pager.
+func (m *MemPager) PageSize() int { return m.pageSize }
+
+// NumPages implements Pager.
+func (m *MemPager) NumPages() uint32 { return uint32(len(m.pages)) }
+
+// Allocate implements Pager.
+func (m *MemPager) Allocate() (PageID, error) {
+	m.pages = append(m.pages, make([]byte, m.pageSize))
+	return PageID(len(m.pages) - 1), nil
+}
+
+// Read implements Pager.
+func (m *MemPager) Read(id PageID, buf []byte) error {
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("btree: read of unallocated page %d", id)
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// Write implements Pager.
+func (m *MemPager) Write(id PageID, data []byte) error {
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("btree: write of unallocated page %d", id)
+	}
+	copy(m.pages[id], data)
+	return nil
+}
+
+// Sync implements Pager.
+func (m *MemPager) Sync() error { return nil }
+
+// Close implements Pager.
+func (m *MemPager) Close() error { return nil }
+
+// Size reports the total bytes held by the pager. It stands in for on-disk
+// index size in experiments that run against memory pagers.
+func (m *MemPager) Size() int64 { return int64(len(m.pages)) * int64(m.pageSize) }
+
+type filePage struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// FilePager stores pages in a single file with a write-back LRU buffer pool.
+type FilePager struct {
+	f        *os.File
+	pageSize int
+	npages   uint32
+	cap      int
+	cache    map[PageID]*filePage
+	lru      *list.List // front = most recently used; values are *filePage
+
+	hits, misses uint64 // buffer-pool statistics
+}
+
+// DefaultCachePages is the buffer-pool capacity used when the caller passes
+// a non-positive cache size.
+const DefaultCachePages = 4096
+
+// OpenFilePager opens (or creates) the page file at path. pageSize must
+// match the file's existing page size when the file is non-empty; cachePages
+// bounds the buffer pool (<=0 selects DefaultCachePages).
+func OpenFilePager(path string, pageSize, cachePages int) (*FilePager, error) {
+	if pageSize < 512 {
+		return nil, fmt.Errorf("btree: page size %d too small (min 512)", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("btree: file size %d is not a multiple of page size %d", st.Size(), pageSize)
+	}
+	if cachePages <= 0 {
+		cachePages = DefaultCachePages
+	}
+	return &FilePager{
+		f:        f,
+		pageSize: pageSize,
+		npages:   uint32(st.Size() / int64(pageSize)),
+		cap:      cachePages,
+		cache:    make(map[PageID]*filePage),
+		lru:      list.New(),
+	}, nil
+}
+
+// PageSize implements Pager.
+func (p *FilePager) PageSize() int { return p.pageSize }
+
+// NumPages implements Pager.
+func (p *FilePager) NumPages() uint32 { return p.npages }
+
+// Size reports the current file size in bytes.
+func (p *FilePager) Size() int64 { return int64(p.npages) * int64(p.pageSize) }
+
+// CacheStats reports buffer-pool hits and misses since the pager opened.
+func (p *FilePager) CacheStats() (hits, misses uint64) { return p.hits, p.misses }
+
+// Allocate implements Pager.
+func (p *FilePager) Allocate() (PageID, error) {
+	id := PageID(p.npages)
+	p.npages++
+	fp := &filePage{id: id, data: make([]byte, p.pageSize), dirty: true}
+	p.insert(fp)
+	return id, nil
+}
+
+func (p *FilePager) insert(fp *filePage) {
+	fp.elem = p.lru.PushFront(fp)
+	p.cache[fp.id] = fp
+	for len(p.cache) > p.cap {
+		tail := p.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*filePage)
+		if victim.dirty {
+			if err := p.writeFile(victim); err != nil {
+				// Keep the dirty page resident rather than losing data; the
+				// error will resurface on the next Sync.
+				p.lru.MoveToFront(tail)
+				return
+			}
+		}
+		p.lru.Remove(tail)
+		delete(p.cache, victim.id)
+	}
+}
+
+func (p *FilePager) writeFile(fp *filePage) error {
+	if _, err := p.f.WriteAt(fp.data, int64(fp.id)*int64(p.pageSize)); err != nil {
+		return err
+	}
+	fp.dirty = false
+	return nil
+}
+
+func (p *FilePager) load(id PageID) (*filePage, error) {
+	if fp, ok := p.cache[id]; ok {
+		p.hits++
+		p.lru.MoveToFront(fp.elem)
+		return fp, nil
+	}
+	p.misses++
+	if uint32(id) >= p.npages {
+		return nil, fmt.Errorf("btree: access to unallocated page %d (have %d)", id, p.npages)
+	}
+	data := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(data, int64(id)*int64(p.pageSize)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	fp := &filePage{id: id, data: data}
+	p.insert(fp)
+	return fp, nil
+}
+
+// Read implements Pager.
+func (p *FilePager) Read(id PageID, buf []byte) error {
+	fp, err := p.load(id)
+	if err != nil {
+		return err
+	}
+	copy(buf, fp.data)
+	return nil
+}
+
+// Write implements Pager.
+func (p *FilePager) Write(id PageID, data []byte) error {
+	fp, err := p.load(id)
+	if err != nil {
+		return err
+	}
+	copy(fp.data, data)
+	fp.dirty = true
+	return nil
+}
+
+// Sync implements Pager.
+func (p *FilePager) Sync() error {
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		fp := e.Value.(*filePage)
+		if fp.dirty {
+			if err := p.writeFile(fp); err != nil {
+				return err
+			}
+		}
+	}
+	return p.f.Sync()
+}
+
+// Close implements Pager.
+func (p *FilePager) Close() error {
+	if err := p.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

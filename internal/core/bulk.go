@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+// The Bulk* methods load pre-labeled virtual-suffix-tree structure directly
+// into the index trees. They exist for RIST (Section 3.3), which assigns
+// static preorder labels to a materialized trie and then bulk-loads the
+// same B+Tree layout ViST maintains dynamically; both variants then share
+// Algorithm 2 for search.
+
+// BulkInsertNode stores one suffix-tree node with an externally computed
+// label. The caller owns label consistency (nested scopes, disjoint
+// siblings).
+func (ix *Index) BulkInsertNode(sym seq.Symbol, prefix []seq.Symbol, n, size, parentN uint64, refcount uint32) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	rec := nodeRecord{size: size, parentN: parentN, refcount: refcount}
+	return ix.nodes.Put(nodeKey(daKey(sym, prefix), n), rec.encode())
+}
+
+// BulkInsertDoc registers a document as ending at label n, stores its bytes
+// (unless the index skips document storage), and returns its ID. The
+// document must already be normalized and encoded by the caller with this
+// index's dictionary and schema.
+func (ix *Index) BulkInsertDoc(n uint64, doc *xmltree.Node, depth int) (DocID, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := ix.nextDoc
+	if err := ix.docs.Put(docKey(n, id), nil); err != nil {
+		return 0, err
+	}
+	if !ix.opts.SkipDocumentStore && doc != nil {
+		if err := ix.storeDoc(id, n, doc); err != nil {
+			return 0, err
+		}
+	}
+	ix.nextDoc++
+	ix.docCount++
+	if depth > ix.maxDepth {
+		ix.maxDepth = depth
+	}
+	ix.metaDirty = true
+	return id, nil
+}
+
+// BulkFreeze marks a bulk-loaded index static: subsequent Insert calls
+// fail. RIST's static labels leave no room for dynamic growth (the paper's
+// motivation for ViST).
+func (ix *Index) BulkFreeze() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.frozen = true
+}
+
+var errFrozen = fmt.Errorf("core: index is statically labeled (RIST); rebuild to add documents")

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckReport summarizes an integrity scan of the index structure.
+type CheckReport struct {
+	// Nodes is the number of virtual-suffix-tree node records scanned.
+	Nodes int
+	// Docs is the number of DocId entries scanned.
+	Docs int
+	// Sequential is the number of underflow-borrowed (sequential) nodes.
+	Sequential int
+	// MaxDepthSeen is the deepest prefix observed (plus one).
+	MaxDepthSeen int
+	// Problems lists every invariant violation found (empty when healthy).
+	Problems []string
+}
+
+// Ok reports whether the scan found no violations.
+func (r *CheckReport) Ok() bool { return len(r.Problems) == 0 }
+
+func (r *CheckReport) problemf(format string, args ...interface{}) {
+	if len(r.Problems) < 100 { // cap the report; one violation is enough to fail
+		r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	}
+}
+
+// Check verifies the structural invariants of the index:
+//
+//   - node labels are unique and parent links resolve;
+//   - every child scope nests strictly inside its parent scope, and
+//     sibling scopes are pairwise disjoint (Definition 3);
+//   - every DocId entry points at an existing node label;
+//   - each node's refcount equals the number of stored documents whose
+//     insertion path passes through it.
+//
+// The scan materializes the node table in memory; it is intended for tests
+// and offline verification, not hot paths.
+func (ix *Index) Check() (*CheckReport, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	report := &CheckReport{}
+
+	type nodeInfo struct {
+		rec      nodeRecord
+		plen     int
+		children []uint64
+		expected uint32 // recomputed refcount
+	}
+	nodes := make(map[uint64]*nodeInfo)
+
+	err := ix.nodes.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		da, n, err := splitNodeKey(k)
+		if err != nil {
+			report.problemf("unparseable node key: %v", err)
+			return true, nil
+		}
+		rec, err := decodeNodeRecord(v)
+		if err != nil {
+			report.problemf("node %d: unparseable record: %v", n, err)
+			return true, nil
+		}
+		_, prefix, err := parseDAKey(da)
+		if err != nil {
+			report.problemf("node %d: unparseable D-Ancestor key: %v", n, err)
+			return true, nil
+		}
+		if _, dup := nodes[n]; dup {
+			report.problemf("duplicate node label %d", n)
+			return true, nil
+		}
+		nodes[n] = &nodeInfo{rec: rec, plen: len(prefix)}
+		report.Nodes++
+		if rec.sequential() {
+			report.Sequential++
+		}
+		if d := len(prefix) + 1; d > report.MaxDepthSeen {
+			report.MaxDepthSeen = d
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Parent resolution and scope nesting.
+	rootN := rootScope.N
+	for n, info := range nodes {
+		p := info.rec.parentN
+		if p == rootN {
+			if !rootScope.ContainsLabel(n) || n-rootScope.N+info.rec.size > rootScope.Size {
+				report.problemf("node %d escapes the root scope", n)
+			}
+			continue
+		}
+		parent, ok := nodes[p]
+		if !ok {
+			report.problemf("node %d: parent label %d does not exist", n, p)
+			continue
+		}
+		parent.children = append(parent.children, n)
+		// Child scope must nest strictly: n ∈ (p, p+size_p] and
+		// n+size_n <= p+size_p.
+		if !(n > p && n-p <= parent.rec.size && n-p+info.rec.size <= parent.rec.size) {
+			report.problemf("node %d ⟨%d,%d⟩ not nested in parent %d ⟨%d,%d⟩",
+				n, n, info.rec.size, p, p, parent.rec.size)
+		}
+	}
+
+	// Sibling disjointness (per explicit parent; root's children are
+	// checked against each other too).
+	rootChildren := []uint64{}
+	for n, info := range nodes {
+		if info.rec.parentN == rootN {
+			rootChildren = append(rootChildren, n)
+		}
+	}
+	checkSiblings := func(parent string, kids []uint64) {
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for i := 0; i+1 < len(kids); i++ {
+			a, b := kids[i], kids[i+1]
+			if a+nodes[a].rec.size >= b {
+				report.problemf("%s: sibling scopes overlap: ⟨%d,%d⟩ and ⟨%d,%d⟩",
+					parent, a, nodes[a].rec.size, b, nodes[b].rec.size)
+			}
+		}
+	}
+	checkSiblings("root", rootChildren)
+	for n, info := range nodes {
+		if len(info.children) > 1 {
+			checkSiblings(fmt.Sprintf("node %d", n), info.children)
+		}
+	}
+
+	// DocId entries must land on real nodes; recompute refcounts by
+	// walking parent chains.
+	err = ix.docs.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		n, id, err := parseDocKey(k)
+		if err != nil {
+			report.problemf("unparseable DocId key: %v", err)
+			return true, nil
+		}
+		report.Docs++
+		cur := n
+		steps := 0
+		for cur != rootN {
+			info, ok := nodes[cur]
+			if !ok {
+				report.problemf("doc %d: path label %d does not exist", id, cur)
+				break
+			}
+			info.expected++
+			cur = info.rec.parentN
+			if steps++; steps > MaxDepth*2 {
+				report.problemf("doc %d: parent chain from %d exceeds %d steps (cycle?)", id, n, MaxDepth*2)
+				break
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for n, info := range nodes {
+		if info.rec.refcount != info.expected {
+			report.problemf("node %d: refcount %d, but %d document paths pass through it",
+				n, info.rec.refcount, info.expected)
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCheckHealthyIndex(t *testing.T) {
+	ix := mustMem(t, Options{})
+	insertXML(t, ix, purchaseBoston, purchaseChicago, purchaseBoston)
+	rep, err := ix.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("healthy index failed check: %v", rep.Problems)
+	}
+	if rep.Docs != 3 || rep.Nodes == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestCheckAfterChurn(t *testing.T) {
+	// Insert/delete churn (including underflow-borrowed chains) must keep
+	// every invariant intact.
+	ix := mustMem(t, Options{Lambda: 1 << 16, ReserveDen: 4})
+	rng := rand.New(rand.NewSource(31))
+	var live []DocID
+	for op := 0; op < 300; op++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			if err := ix.Delete(live[i]); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+			continue
+		}
+		doc := randomRecords(rng, 1)[0]
+		ids := insertXML(t, ix, doc)
+		live = append(live, ids[0])
+	}
+	rep, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("index failed check after churn: %v", rep.Problems[:min(5, len(rep.Problems))])
+	}
+	if rep.Docs != len(live) {
+		t.Fatalf("report docs = %d, live = %d", rep.Docs, len(live))
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	ix := mustMem(t, Options{})
+	insertXML(t, ix, purchaseBoston)
+	// Corrupt one node record: blow up its refcount.
+	var key, val []byte
+	err := ix.nodes.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		key = append([]byte(nil), k...)
+		val = append([]byte(nil), v...)
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodeNodeRecord(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.refcount = 99
+	if err := ix.nodes.Put(key, rec.encode()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("corrupted refcount not detected")
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "refcount") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no refcount problem in %v", rep.Problems)
+	}
+}
+
+func TestCheckDetectsDanglingDoc(t *testing.T) {
+	ix := mustMem(t, Options{})
+	insertXML(t, ix, purchaseBoston)
+	// Add a DocId entry pointing at a nonexistent label.
+	if err := ix.docs.Put(docKey(424242, 99), nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("dangling DocId entry not detected")
+	}
+}
+
+func TestQueryWithStats(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	gotIDs, stats, err := ix.QueryWithStats("/purchase/seller/item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIDs) != len(ids) {
+		t.Fatalf("ids = %v", gotIDs)
+	}
+	if stats.Sequences != 1 {
+		t.Fatalf("Sequences = %d", stats.Sequences)
+	}
+	if stats.Candidates != 2 || stats.NodesVisited == 0 || stats.RangeScans == 0 || stats.DocScans == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+
+	// A '//' query must issue more range scans (one per candidate prefix
+	// length) than the equivalent exact path.
+	_, exact, err := ix.QueryWithStats("/purchase/seller/item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, desc, err := ix.QueryWithStats("//item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.RangeScans <= exact.RangeScans {
+		t.Fatalf("descendant query issued %d scans, exact %d", desc.RangeScans, exact.RangeScans)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,854 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vist/internal/query"
+	"vist/internal/seq"
+	"vist/internal/seqmatch"
+	"vist/internal/treematch"
+	"vist/internal/xmltree"
+)
+
+func mustMem(t testing.TB, opts Options) *Index {
+	t.Helper()
+	ix, err := NewMem(opts)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	return ix
+}
+
+func insertXML(t testing.TB, ix *Index, docs ...string) []DocID {
+	t.Helper()
+	var ids []DocID
+	for _, d := range docs {
+		n, err := xmltree.ParseString(d)
+		if err != nil {
+			t.Fatalf("parse %q: %v", d, err)
+		}
+		id, err := ix.Insert(n)
+		if err != nil {
+			t.Fatalf("insert %q: %v", d, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func queryIDs(t testing.TB, ix *Index, expr string) []DocID {
+	t.Helper()
+	ids, err := ix.Query(expr)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", expr, err)
+	}
+	return ids
+}
+
+// The paper's running purchase example (Figure 3), plus a second record so
+// queries can discriminate.
+const (
+	purchaseBoston = `
+<purchase>
+  <seller ID="dell">
+    <item ID="x7" name="part#1" manufacturer="ibm">
+      <item name="part#2" manufacturer="intel"/>
+    </item>
+    <item name="panasia"/>
+    <location>boston</location>
+  </seller>
+  <buyer ID="ibm">
+    <location>newyork</location>
+  </buyer>
+</purchase>`
+	purchaseChicago = `
+<purchase>
+  <seller ID="hp">
+    <item name="printer" manufacturer="canon"/>
+    <location>chicago</location>
+  </seller>
+  <buyer ID="dell">
+    <location>boston</location>
+  </buyer>
+</purchase>`
+)
+
+func TestInsertAndSimplePathQuery(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	got := queryIDs(t, ix, "/purchase/seller/item")
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("both purchases have seller items: got %v want %v", got, ids)
+	}
+	got = queryIDs(t, ix, "/purchase/seller/item/item")
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("nested item only in doc 1: got %v", got)
+	}
+}
+
+func TestQueryPaperQ1toQ4(t *testing.T) {
+	// Figure 2's four queries, against the Figure 3 record.
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	boston, chicago := ids[0], ids[1]
+
+	// Q1: find all manufacturers that supply items.
+	got := queryIDs(t, ix, "/purchase/seller/item/@manufacturer")
+	if len(got) != 2 {
+		t.Fatalf("Q1: got %v", got)
+	}
+	// Q2: orders with Boston sellers and NY buyers.
+	got = queryIDs(t, ix, "/purchase[seller[location='boston']]/buyer[location='newyork']")
+	if !reflect.DeepEqual(got, []DocID{boston}) {
+		t.Fatalf("Q2: got %v, want [%d]", got, boston)
+	}
+	// Q3: orders with a Boston seller or buyer (the paper's '*' query).
+	got = queryIDs(t, ix, "/purchase/*[location='boston']")
+	if !reflect.DeepEqual(got, []DocID{boston, chicago}) {
+		t.Fatalf("Q3: got %v", got)
+	}
+	// Q4: orders containing Intel products at any depth.
+	got = queryIDs(t, ix, "/purchase//item[@manufacturer='intel']")
+	if !reflect.DeepEqual(got, []DocID{boston}) {
+		t.Fatalf("Q4: got %v", got)
+	}
+}
+
+func TestQueryValuePredicates(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	if got := queryIDs(t, ix, "/purchase/seller[@ID='dell']"); !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("seller dell: %v", got)
+	}
+	if got := queryIDs(t, ix, "/purchase/seller[@ID='nosuch']"); len(got) != 0 {
+		t.Fatalf("nonexistent value matched: %v", got)
+	}
+	if got := queryIDs(t, ix, "/purchase/seller/location[text()='chicago']"); !reflect.DeepEqual(got, ids[1:]) {
+		t.Fatalf("chicago seller: %v", got)
+	}
+}
+
+func TestQueryUnknownNames(t *testing.T) {
+	ix := mustMem(t, Options{})
+	insertXML(t, ix, purchaseBoston)
+	if got := queryIDs(t, ix, "/warehouse/shelf"); len(got) != 0 {
+		t.Fatalf("unknown names matched: %v", got)
+	}
+}
+
+func TestQueryEmptyIndex(t *testing.T) {
+	ix := mustMem(t, Options{})
+	if got := queryIDs(t, ix, "//anything"); len(got) != 0 {
+		t.Fatalf("empty index matched: %v", got)
+	}
+}
+
+func TestLeadingDescendant(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	got := queryIDs(t, ix, "//location[text()='newyork']")
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("//location newyork: %v", got)
+	}
+	got = queryIDs(t, ix, "//item")
+	if len(got) != 2 {
+		t.Fatalf("//item: %v", got)
+	}
+}
+
+func TestStarAfterDescendant(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix,
+		"<site><people><person><address><city>Pocatello</city></address></person></people></site>",
+		"<site><people><person><address><city>Boise</city></address></person></people></site>",
+	)
+	got := queryIDs(t, ix, "/site//person/*/city[text()='Pocatello']")
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("Q7-style query: %v", got)
+	}
+}
+
+func TestIdenticalSiblingBranch(t *testing.T) {
+	// The paper's Q5 case: /a[b/c]/b/d — data can order the two b's either
+	// way; both permutations must be tried.
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix,
+		"<a><b><c/></b><b><d/></b></a>",
+		"<a><b><d/></b><b><c/></b></a>",
+		"<a><b><c/></b></a>",
+	)
+	got := queryIDs(t, ix, "/a[b/c]/b/d")
+	if !reflect.DeepEqual(got, ids[:2]) {
+		t.Fatalf("Q5 permutations: got %v, want %v", got, ids[:2])
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston)
+	doc, err := ix.Get(ids[0])
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if doc.Name != "purchase" || doc.Count() != 26 {
+		t.Fatalf("round-tripped doc = %v", doc)
+	}
+}
+
+func TestDeleteRemovesFromResults(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	if err := ix.Delete(ids[0]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	got := queryIDs(t, ix, "/purchase/seller/item")
+	if !reflect.DeepEqual(got, ids[1:]) {
+		t.Fatalf("after delete: %v", got)
+	}
+	if got := queryIDs(t, ix, "/purchase//item[@manufacturer='intel']"); len(got) != 0 {
+		t.Fatalf("deleted doc still matches: %v", got)
+	}
+	if ix.DocCount() != 1 {
+		t.Fatalf("DocCount = %d", ix.DocCount())
+	}
+	if _, err := ix.Get(ids[0]); err == nil {
+		t.Fatal("Get of deleted doc succeeded")
+	}
+}
+
+func TestDeleteAllReclaimsNodes(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago, purchaseBoston)
+	for _, id := range ids {
+		if err := ix.Delete(id); err != nil {
+			t.Fatalf("Delete %d: %v", id, err)
+		}
+	}
+	if n := ix.NodeCount(); n != 0 {
+		t.Fatalf("NodeCount = %d after deleting everything", n)
+	}
+	if got := queryIDs(t, ix, "//purchase"); len(got) != 0 {
+		t.Fatalf("matches after full delete: %v", got)
+	}
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston)
+	if err := ix.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	ids2 := insertXML(t, ix, purchaseBoston)
+	got := queryIDs(t, ix, "/purchase//item[@manufacturer='intel']")
+	if !reflect.DeepEqual(got, ids2) {
+		t.Fatalf("reinserted doc not found: %v", got)
+	}
+}
+
+func TestSharedPrefixRefcounts(t *testing.T) {
+	// Two identical docs share every node; deleting one must keep the
+	// other fully queryable.
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseBoston)
+	if err := ix.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	got := queryIDs(t, ix, "/purchase[seller[location='boston']]/buyer[location='newyork']")
+	if !reflect.DeepEqual(got, ids[1:]) {
+		t.Fatalf("after deleting twin: %v", got)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	ix := mustMem(t, Options{})
+	// Build a chain deeper than MaxDepth.
+	leaf := xmltree.NewElement("x")
+	root := leaf
+	for i := 0; i < MaxDepth+1; i++ {
+		root = xmltree.NewElement("x", root)
+	}
+	if _, err := ix.Insert(root); err == nil {
+		t.Fatal("over-deep document accepted")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer ix2.Close()
+	if ix2.DocCount() != 2 {
+		t.Fatalf("reopened DocCount = %d", ix2.DocCount())
+	}
+	got := queryIDs(t, ix2, "/purchase//item[@manufacturer='intel']")
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("reopened query: %v", got)
+	}
+	// Inserting after reopen must keep working (dictionary, labels, meta).
+	ids3 := insertXML(t, ix2, purchaseBoston)
+	got = queryIDs(t, ix2, "/purchase//item[@manufacturer='intel']")
+	want := []DocID{ids[0], ids3[0]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after post-reopen insert: got %v want %v", got, want)
+	}
+}
+
+func TestSchemaOrderPersisted(t *testing.T) {
+	dir := t.TempDir()
+	schema := []string{"purchase", "seller", "buyer"}
+	ix, err := Open(dir, Options{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertXML(t, ix, purchaseBoston)
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	if ix2.Schema() == nil {
+		t.Fatal("schema lost on reopen")
+	}
+	// Queries with branches must still match (consistent ordering).
+	got := queryIDs(t, ix2, "/purchase[seller[location='boston']]/buyer[location='newyork']")
+	if len(got) != 1 {
+		t.Fatalf("branch query after reopen: %v", got)
+	}
+}
+
+// randomRecords builds small random documents over a tiny vocabulary so
+// structural overlap is common.
+func randomRecords(rng *rand.Rand, n int) []string {
+	names := []string{"a", "b", "c", "d"}
+	values := []string{"x", "y", "z"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		name := names[rng.Intn(len(names))]
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return fmt.Sprintf("<%s>%s</%s>", name, values[rng.Intn(len(values))], name)
+		}
+		s := "<" + name
+		if rng.Intn(3) == 0 {
+			s += fmt.Sprintf(" %s=%q", names[rng.Intn(len(names))], values[rng.Intn(len(values))])
+		}
+		s += ">"
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			s += build(depth - 1)
+		}
+		return s + "</" + name + ">"
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "<r>" + build(3) + "</r>"
+	}
+	return out
+}
+
+// TestOracleComparison cross-checks ViST candidates against the
+// ground-truth tree matcher on random data: verified results must equal
+// the oracle exactly, and raw candidates must be a superset.
+func TestOracleComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	docs := randomRecords(rng, 120)
+	ix := mustMem(t, Options{})
+	parsed := make([]*xmltree.Node, len(docs))
+	var ids []DocID
+	for i, d := range docs {
+		n, err := xmltree.ParseString(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := ix.Insert(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed[i] = n // already normalized by Insert
+		ids = append(ids, id)
+	}
+	exprs := []string{
+		"/r", "/r/a", "/r/a/b", "/r//c", "//d", "/r/*[a]", "/r[a][b]",
+		"/r/a[b]/c", "//b[text()='x']", "/r//c[text()='y']",
+		"/r[a[b]]", "//a//b", "/r/*/*[text()='z']", "/r[@a='x']",
+		"//b[c='x']",
+	}
+	for _, expr := range exprs {
+		q := query.MustParse(expr)
+		var oracle []DocID
+		for i, doc := range parsed {
+			if treematch.Matches(q, doc) {
+				oracle = append(oracle, ids[i])
+			}
+		}
+		candidates, err := ix.QueryParsed(q)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		// Candidates ⊇ oracle (no false negatives).
+		cset := map[DocID]bool{}
+		for _, id := range candidates {
+			cset[id] = true
+		}
+		for _, id := range oracle {
+			if !cset[id] {
+				t.Errorf("%s: false negative: doc %d in oracle but not candidates", expr, id)
+			}
+		}
+		// Verified == oracle exactly.
+		verified, err := ix.QueryVerified(expr)
+		if err != nil {
+			t.Fatalf("%s verified: %v", expr, err)
+		}
+		if !reflect.DeepEqual(normalize(verified), normalize(oracle)) {
+			t.Errorf("%s: verified %v != oracle %v", expr, verified, oracle)
+		}
+	}
+}
+
+func normalize(ids []DocID) []DocID {
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
+}
+
+func TestManyDocsScale(t *testing.T) {
+	ix := mustMem(t, Options{Lambda: 8})
+	var want []DocID
+	for i := 0; i < 500; i++ {
+		city := "city" + fmt.Sprint(i%10)
+		id := insertXML(t, ix, fmt.Sprintf(
+			"<order><cust region=%q><name>n%d</name></cust><total>%d</total></order>", city, i, i))[0]
+		if i%10 == 3 {
+			want = append(want, id)
+		}
+	}
+	got := queryIDs(t, ix, "/order/cust[@region='city3']")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %d ids, want %d", len(got), len(want))
+	}
+}
+
+func TestStatsAllocatorEndToEnd(t *testing.T) {
+	// Build the same workload with uniform and stats-guided labeling; both
+	// must answer identically.
+	docs := randomRecords(rand.New(rand.NewSource(21)), 150)
+
+	uniform := mustMem(t, Options{})
+	insertAll := func(ix *Index) {
+		for _, d := range docs {
+			insertXML(t, ix, d)
+		}
+	}
+	insertAll(uniform)
+
+	tr := trainFromXML(t, docs)
+	guided := mustMem(t, Options{Training: tr})
+	insertAll(guided)
+
+	for _, expr := range []string{"/r/a", "//b", "/r//c[text()='y']", "/r[a][b]"} {
+		u := queryIDs(t, uniform, expr)
+		g := queryIDs(t, guided, expr)
+		if !reflect.DeepEqual(u, g) {
+			t.Fatalf("%s: uniform %v != stats %v", expr, u, g)
+		}
+	}
+}
+
+func TestStatsPersistedOnReopen(t *testing.T) {
+	docs := randomRecords(rand.New(rand.NewSource(33)), 60)
+	dir := t.TempDir()
+	ix, err := Open(dir, Options{Training: trainFromXML(t, docs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs[:30] {
+		insertXML(t, ix, d)
+	}
+	before := queryIDs(t, ix, "/r/a")
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without passing stats: they must be restored from disk.
+	ix2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	for _, d := range docs[30:] {
+		insertXML(t, ix2, d)
+	}
+	after := queryIDs(t, ix2, "/r/a")
+	if len(after) < len(before) {
+		t.Fatalf("results shrank after reopen: %d -> %d", len(before), len(after))
+	}
+}
+
+func TestScopeUnderflowBorrowing(t *testing.T) {
+	// Force underflow with a tiny lambda... lambda can't go below 2, so use
+	// deep, branchy documents instead: each level halves the scope, and
+	// 2^64 shrinks fast when every node also has many arrival slots.
+	ix := mustMem(t, Options{Lambda: 1 << 20, ReserveDen: 4})
+	// With λ = 2^20 each child gets scope/2^20: after 4 levels scopes hit
+	// ~2^(64-80) → underflow; the reserve machinery must absorb it.
+	doc := "<a><b><c><d><e><f><g>deep</g></f></e></d></c></b></a>"
+	ids := insertXML(t, ix, doc, doc, "<a><b><c><d><e><f><g>deep2</g></f></e></d></c></b></a>")
+	got := queryIDs(t, ix, "/a/b/c/d/e/f/g[text()='deep']")
+	if !reflect.DeepEqual(got, ids[:2]) {
+		t.Fatalf("underflow docs not found: %v (want %v)", got, ids[:2])
+	}
+	got = queryIDs(t, ix, "//g[text()='deep2']")
+	if !reflect.DeepEqual(got, ids[2:]) {
+		t.Fatalf("underflow doc2 not found: %v", got)
+	}
+	// Deletion must also handle sequential chains.
+	if err := ix.Delete(ids[0]); err != nil {
+		t.Fatalf("delete borrowed doc: %v", err)
+	}
+	got = queryIDs(t, ix, "/a/b/c/d/e/f/g[text()='deep']")
+	if !reflect.DeepEqual(got, ids[1:2]) {
+		t.Fatalf("after deleting one borrowed doc: %v", got)
+	}
+}
+
+func TestSkipDocumentStore(t *testing.T) {
+	ix := mustMem(t, Options{SkipDocumentStore: true})
+	ids := insertXML(t, ix, purchaseBoston)
+	if got := queryIDs(t, ix, "/purchase/seller"); !reflect.DeepEqual(got, ids) {
+		t.Fatalf("query without store: %v", got)
+	}
+	if _, err := ix.Get(ids[0]); err == nil {
+		t.Fatal("Get succeeded without document store")
+	}
+	if err := ix.Delete(ids[0]); err == nil {
+		t.Fatal("Delete succeeded without document store")
+	}
+	if _, err := ix.QueryVerified("/purchase"); err == nil {
+		t.Fatal("QueryVerified succeeded without document store")
+	}
+}
+
+func TestValueHashCollisionFilteredByVerify(t *testing.T) {
+	// We cannot easily synthesize an FNV collision, but QueryVerified must
+	// at minimum return exactly the oracle's answer on a value query.
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, "<a><b>v1</b></a>", "<a><b>v2</b></a>")
+	got, err := ix.QueryVerified("/a/b[text()='v1']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("verified value query: %v", got)
+	}
+}
+
+// trainFromXML builds Training data from raw XML strings.
+func trainFromXML(t testing.TB, docs []string) *Training {
+	t.Helper()
+	parsed := make([]*xmltree.Node, len(docs))
+	for i, d := range docs {
+		n, err := xmltree.ParseString(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed[i] = n
+	}
+	return Train(parsed, nil)
+}
+
+func TestAttributeElementBranchOrdering(t *testing.T) {
+	// Regression: document normalization and query conversion must order an
+	// attribute branch and an element branch identically ("@key" vs
+	// "author"), or queries like Q5 of Table 3 silently return nothing.
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, `<book key="k1"><author>Al</author><title>T</title></book>`)
+	got := queryIDs(t, ix, "/book[@key='k1']/author")
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("attr+element branch: %v, want %v", got, ids)
+	}
+	// And with a schema that ranks them.
+	ix2 := mustMem(t, Options{Schema: []string{"book", "@key", "author", "title"}})
+	ids2 := insertXML(t, ix2, `<book key="k1"><author>Al</author><title>T</title></book>`)
+	got2 := queryIDs(t, ix2, "/book[@key='k1']/author")
+	if !reflect.DeepEqual(got2, ids2) {
+		t.Fatalf("schema-ranked attr+element branch: %v, want %v", got2, ids2)
+	}
+}
+
+func TestDisassembleFallback(t *testing.T) {
+	// Seven identical-name branches would need 7! > 64 permutations; the
+	// index must fall back to disassemble-and-join instead of erroring.
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix,
+		"<a><b><c/></b><b><d/></b><b><e/></b><b><f/></b><b><g/></b><b><h/></b><b><i/></b></a>",
+		"<a><b><c/></b></a>",
+	)
+	got, err := ix.Query("/a[b/c][b/d][b/e][b/f][b/g][b/h]/b/i")
+	if err != nil {
+		t.Fatalf("fallback query: %v", err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("fallback result = %v, want %v", got, ids[:1])
+	}
+	// Candidates must still cover the oracle on a satisfiable subset query.
+	got, err = ix.Query("/a[b/c][b/d][b/e][b/f][b/g][b/h][b/i]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("fallback branch-only result = %v", got)
+	}
+}
+
+func TestConcurrentQueriesAndInserts(t *testing.T) {
+	// Queries and inserts from many goroutines must be linearizable enough
+	// to never error or return IDs that were never assigned.
+	ix := mustMem(t, Options{})
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+	done := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				doc, err := xmltree.ParseString(purchaseBoston)
+				if err != nil {
+					done <- err
+					return
+				}
+				if _, err := ix.Insert(doc); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+		go func() {
+			for i := 0; i < 100; i++ {
+				ids, err := ix.Query("/purchase//item[@manufacturer='intel']")
+				if err != nil {
+					done <- err
+					return
+				}
+				if len(ids) == 0 {
+					done <- fmt.Errorf("concurrent query lost the baseline document")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything settled: 2 + 4*50 documents, index still consistent.
+	if ix.DocCount() != 202 {
+		t.Fatalf("DocCount = %d", ix.DocCount())
+	}
+	rep, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("post-concurrency check failed: %v", rep.Problems[:min(3, len(rep.Problems))])
+	}
+}
+
+func TestDocsIterationAndExport(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	var seen []DocID
+	err := ix.Docs(func(id DocID, doc *xmltree.Node) (bool, error) {
+		seen = append(seen, id)
+		if doc.Name != "purchase" {
+			t.Fatalf("doc %d root = %q", id, doc.Name)
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, ids) {
+		t.Fatalf("Docs order = %v, want %v", seen, ids)
+	}
+	var buf strings.Builder
+	if err := ix.ExportXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The export must round-trip through a fresh index.
+	back, err := xmltree.ParseAll(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("reparse export: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("export produced %d docs", len(back))
+	}
+	ix2 := mustMem(t, Options{})
+	for _, d := range back {
+		if _, err := ix2.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := queryIDs(t, ix, "/purchase//item[@manufacturer='intel']")
+	b := queryIDs(t, ix2, "/purchase//item[@manufacturer='intel']")
+	if len(a) != len(b) {
+		t.Fatalf("export round trip changed results: %v vs %v", a, b)
+	}
+}
+
+func TestDocsEarlyStop(t *testing.T) {
+	ix := mustMem(t, Options{})
+	insertXML(t, ix, purchaseBoston, purchaseChicago, purchaseBoston)
+	n := 0
+	err := ix.Docs(func(id DocID, doc *xmltree.Node) (bool, error) {
+		n++
+		return n < 2, nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+// TestPropertyIndexEqualsBruteForce is the strongest correctness property:
+// on random corpora and a battery of query shapes, the index's candidate
+// set must EXACTLY equal the paper's brute-force sequence matcher
+// (internal/seqmatch), not merely cover the tree-matching oracle.
+func TestPropertyIndexEqualsBruteForce(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		docs := randomRecords(rng, 40)
+		ix := mustMem(t, Options{})
+		var ids []DocID
+		var seqs []seq.Sequence
+		for _, x := range docs {
+			n, err := xmltree.ParseString(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, err := ix.Insert(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+			seqs = append(seqs, seq.Encode(n, ix.Dict()))
+		}
+		exprs := []string{
+			"/r/a", "/r//c", "//d", "/r/*[a]", "/r[a][b]", "/r/a[b]/c",
+			"//b[text()='x']", "//a//b", "/r[@a='x']", "/r/*/*[text()='z']",
+		}
+		for _, expr := range exprs {
+			variants, err := query.MustParse(expr).Sequences(ix.Dict(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[DocID]bool{}
+			for i, s := range seqs {
+				if seqmatch.MatchesAny(variants, s) {
+					want[ids[i]] = true
+				}
+			}
+			got, err := ix.Query(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Logf("seed %d %s: index %v != spec size %d", seedRaw, expr, got, len(want))
+				return false
+			}
+			for _, id := range got {
+				if !want[id] {
+					t.Logf("seed %d %s: index returned %d, spec did not", seedRaw, expr, id)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeDocumentChunking(t *testing.T) {
+	// A document whose encoding exceeds one B+Tree page must round-trip
+	// through the chunked document store.
+	ix := mustMem(t, Options{})
+	big := xmltree.NewElement("catalog")
+	for i := 0; i < 40; i++ {
+		big.Children = append(big.Children, xmltree.NewElement("entry",
+			xmltree.NewAttr("id", fmt.Sprintf("id-%04d-%s", i, strings.Repeat("x", 60))),
+			xmltree.NewElementText("desc", strings.Repeat("lorem ipsum ", 10)),
+		))
+	}
+	if len(xmltree.Encode(big)) < 3*2048 {
+		t.Fatal("test fixture too small to exercise chunking")
+	}
+	id, err := ix.Insert(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ix.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(big, back) {
+		t.Fatal("chunked document round trip mismatch")
+	}
+	// Delete must remove every chunk.
+	if err := ix.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if n := ix.store.Len(); n != 0 {
+		t.Fatalf("store still holds %d chunks after delete", n)
+	}
+}
+
+func TestDictionaryBlobChunking(t *testing.T) {
+	// Hundreds of distinct names force the dictionary blob across multiple
+	// aux-tree chunks; it must survive a reopen.
+	dir := t.TempDir()
+	ix, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.NewElement("root")
+	for i := 0; i < 400; i++ {
+		doc.Children = append(doc.Children, xmltree.NewElement(fmt.Sprintf("field%04d", i)))
+	}
+	if _, err := ix.Insert(doc); err != nil {
+		t.Fatal(err)
+	}
+	names := ix.Dict().Len()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	if ix2.Dict().Len() != names {
+		t.Fatalf("dictionary shrank across reopen: %d -> %d", names, ix2.Dict().Len())
+	}
+	if got := queryIDs(t, ix2, "/root/field0399"); len(got) != 1 {
+		t.Fatalf("deep field query after reopen: %v", got)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"vist/internal/query"
+	"vist/internal/treematch"
+)
+
+// This file catalogs the soundness boundary of ViST's subsequence matching.
+// Later literature showed the paper's algorithm can report false positives
+// for some branching queries: a non-contiguous subsequence match checks
+// D-Ancestorship (prefix paths) and S-Ancestorship (suffix-tree order), but
+// neither pins two branch matches to the *same* branching node instance.
+// Each case below documents one such pattern, asserting three things:
+//
+//  1. candidates ⊇ oracle (ViST never loses a true answer),
+//  2. the specific doc is (or is not) a false positive, as cataloged,
+//  3. QueryVerified == oracle (refinement restores exactness).
+
+type fpCase struct {
+	name string
+	docs []string
+	expr string
+	// oraclePos lists the doc positions a correct matcher returns.
+	oraclePos []int
+	// falsePos lists doc positions ViST candidates additionally contain.
+	// Empty means the pattern is NOT a false positive for ViST (also worth
+	// pinning down).
+	falsePos []int
+}
+
+var fpCases = []fpCase{
+	{
+		// The classic sibling-ambiguity false positive: the query wants ONE
+		// b owning both c and d; the document has two sibling b's, one with
+		// c and one with d. The document's sequence (a)(b,a)(c,ab)(b,a)(d,ab)
+		// contains the query sequence (a)(b,a)(c,ab)(d,ab) as a subsequence
+		// — (d,ab) matches under the SECOND b while (c,ab) matched under
+		// the first — and every prefix test passes, so sequence matching
+		// cannot tell the two b instances apart.
+		name:      "split-branch-across-siblings",
+		docs:      []string{"<a><b><c/><d/></b></a>", "<a><b><c/></b><b><d/></b></a>"},
+		expr:      "/a/b[c][d]",
+		oraclePos: []int{0},
+		falsePos:  []int{1},
+	},
+	{
+		// Same shape one level deeper, with values.
+		name: "split-branch-with-values",
+		docs: []string{
+			"<r><p><s><l>x</l><n>y</n></s></p></r>",
+			"<r><p><s><l>x</l></s><s><n>y</n></s></p></r>",
+		},
+		expr:      "/r/p/s[l='x'][n='y']",
+		oraclePos: []int{0},
+		falsePos:  []int{1},
+	},
+	{
+		// NOT a false positive: when the branches hang off the document
+		// root, there is only one instance of the branching node, so the
+		// subsequence match is exact.
+		name:      "root-branch-is-exact",
+		docs:      []string{"<a><b/><c/></a>", "<a><b/></a>", "<a><c/></a>"},
+		expr:      "/a[b][c]",
+		oraclePos: []int{0},
+		falsePos:  nil,
+	},
+	{
+		// Wildcard variant of the split branch: '*' instantiates to the
+		// same symbol for both branches but different instances.
+		name: "split-branch-under-wildcard",
+		docs: []string{
+			"<a><x><b/><c/></x></a>",
+			"<a><x><b/></x><x><c/></x></a>",
+		},
+		expr:      "/a/*[b]/c",
+		oraclePos: []int{0},
+		falsePos:  []int{1},
+	},
+	{
+		// NOT a false positive: when the two m instances sit on DIFFERENT
+		// root paths ([s,m] vs [s,q,m]), the D-Ancestorship prefix test
+		// tells them apart — the second branch's prefix must extend the
+		// instantiated path of the first match exactly. Only same-path
+		// sibling instances evade sequence matching.
+		name: "split-branch-different-paths-is-exact",
+		docs: []string{
+			"<s><m><u>1</u><v>2</v></m></s>",
+			"<s><m><u>1</u></m><q><m><v>2</v></m></q></s>",
+		},
+		expr:      "//m[u='1'][v='2']",
+		oraclePos: []int{0},
+		falsePos:  nil,
+	},
+	{
+		// The descendant-axis variant of the same-path split IS a false
+		// positive, exactly like the child-axis one.
+		name: "split-branch-descendant-same-path",
+		docs: []string{
+			"<s><m><u>1</u><v>2</v></m></s>",
+			"<s><m><u>1</u></m><m><v>2</v></m></s>",
+		},
+		expr:      "//m[u='1'][v='2']",
+		oraclePos: []int{0},
+		falsePos:  []int{1},
+	},
+}
+
+func TestFalsePositiveCatalog(t *testing.T) {
+	for _, c := range fpCases {
+		t.Run(c.name, func(t *testing.T) {
+			ix := mustMem(t, Options{})
+			ids := insertXML(t, ix, c.docs...)
+
+			q := query.MustParse(c.expr)
+			var oracle []DocID
+			for _, p := range c.oraclePos {
+				oracle = append(oracle, ids[p])
+			}
+			wantCandidates := append([]DocID(nil), oracle...)
+			for _, p := range c.falsePos {
+				wantCandidates = append(wantCandidates, ids[p])
+			}
+			sortDocIDs(wantCandidates)
+
+			candidates, err := ix.Query(c.expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(normalize(candidates), normalize(wantCandidates)) {
+				t.Errorf("candidates = %v, cataloged %v", candidates, wantCandidates)
+			}
+
+			// The oracle agrees with the catalog (sanity of the catalog
+			// itself).
+			for i, p := range c.docs {
+				doc, _ := ix.Get(ids[i])
+				want := contains(c.oraclePos, i)
+				if got := treematch.Matches(q, doc); got != want {
+					t.Errorf("oracle(%s doc %d %q) = %v, catalog says %v", c.name, i, p, got, want)
+				}
+			}
+
+			verified, err := ix.QueryVerified(c.expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(normalize(verified), normalize(oracle)) {
+				t.Errorf("verified = %v, oracle %v", verified, oracle)
+			}
+		})
+	}
+}
+
+func sortDocIDs(ids []DocID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

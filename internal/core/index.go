@@ -1,0 +1,419 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"vist/internal/btree"
+	"vist/internal/keyenc"
+	"vist/internal/labeling"
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+// Options configures an Index.
+type Options struct {
+	// PageSize for the underlying B+Trees. Zero selects
+	// btree.DefaultPageSize (2 KB, matching the paper's experiments).
+	PageSize int
+	// CachePages bounds each file pager's buffer pool (file-backed indexes
+	// only). Zero selects a default.
+	CachePages int
+	// Lambda is the expected fan-out for clue-free dynamic labeling
+	// (Section 3.4.1). Values below 2 select 2.
+	Lambda uint64
+	// Training, when non-nil, selects statistics-guided labeling (Eq. 1–4)
+	// instead of the uniform strategy. Build it with Train; the statistics
+	// and the training dictionary are persisted with the index.
+	Training *Training
+	// Schema, when non-nil, fixes the sibling order for document
+	// normalization and query conversion (DTD order; Section 2). The
+	// names are persisted with the index.
+	Schema []string
+	// ReserveDen sets the underflow-reserve fraction (1/ReserveDen of each
+	// scope). Zero selects 16.
+	ReserveDen uint64
+	// StoreDocuments controls whether full documents are stored. It is
+	// required for Get, Delete, and QueryVerified; large benchmark runs
+	// can disable it. Default true (zero value is inverted — see
+	// SkipDocumentStore).
+	SkipDocumentStore bool
+}
+
+// Index is a ViST index over XML documents. All methods are safe for
+// concurrent use by multiple goroutines; writes are serialized.
+type Index struct {
+	mu sync.Mutex
+
+	nodes *btree.BTree // combined D-Ancestor + S-Ancestor tree
+	docs  *btree.BTree // DocId tree: (n, docID) → ∅
+	store *btree.BTree // document store: (docID, chunk) → bytes
+	aux   *btree.BTree // dictionary, statistics, metadata blobs
+
+	dict   *seq.Dict
+	schema *xmltree.Schema
+	alloc  labeling.Allocator
+	stats  *labeling.Stats
+	opts   Options
+
+	// mutable metadata (persisted on Sync/Close)
+	nextDoc   DocID
+	docCount  uint64
+	maxDepth  int
+	rootK     uint32
+	rootResvd uint32
+	metaDirty bool
+	dictLen   int // interned names at last persist
+	frozen    bool
+	borrows   uint64 // reserve-borrowing events (not persisted; diagnostics)
+}
+
+// rootScope is the virtual suffix tree root's scope.
+var rootScope = labeling.Root()
+
+// NewMem creates an in-memory index, useful for tests and benchmarks.
+func NewMem(opts Options) (*Index, error) {
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = btree.DefaultPageSize
+	}
+	open := func() (*btree.BTree, error) {
+		return btree.New(btree.NewMemPager(ps), btree.Options{PageSize: ps})
+	}
+	nodes, err := open()
+	if err != nil {
+		return nil, err
+	}
+	docs, err := open()
+	if err != nil {
+		return nil, err
+	}
+	store, err := open()
+	if err != nil {
+		return nil, err
+	}
+	aux, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return initIndex(nodes, docs, store, aux, opts)
+}
+
+// Open opens (or creates) a file-backed index in dir.
+func Open(dir string, opts Options) (*Index, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = btree.DefaultPageSize
+	}
+	open := func(name string) (*btree.BTree, error) {
+		pg, err := btree.OpenFilePager(filepath.Join(dir, name), ps, opts.CachePages)
+		if err != nil {
+			return nil, err
+		}
+		return btree.New(pg, btree.Options{PageSize: ps})
+	}
+	nodes, err := open("nodes.db")
+	if err != nil {
+		return nil, err
+	}
+	docs, err := open("docs.db")
+	if err != nil {
+		nodes.Close()
+		return nil, err
+	}
+	store, err := open("store.db")
+	if err != nil {
+		nodes.Close()
+		docs.Close()
+		return nil, err
+	}
+	aux, err := open("aux.db")
+	if err != nil {
+		nodes.Close()
+		docs.Close()
+		store.Close()
+		return nil, err
+	}
+	ix, err := initIndex(nodes, docs, store, aux, opts)
+	if err != nil {
+		nodes.Close()
+		docs.Close()
+		store.Close()
+		aux.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+func initIndex(nodes, docs, store, aux *btree.BTree, opts Options) (*Index, error) {
+	ix := &Index{nodes: nodes, docs: docs, store: store, aux: aux, opts: opts}
+	existing, err := ix.loadMeta()
+	if err != nil {
+		return nil, err
+	}
+	if !existing {
+		ix.dict = seq.NewDict()
+		ix.nextDoc = 1
+		if len(opts.Schema) > 0 {
+			ix.schema = xmltree.NewSchema(opts.Schema...)
+		}
+		if opts.Training != nil {
+			ix.dict = opts.Training.Dict
+			ix.stats = opts.Training.Stats
+		}
+		ix.metaDirty = true
+	}
+	cfg := labeling.Config{ReserveDen: opts.ReserveDen}
+	if ix.stats != nil {
+		ix.alloc = labeling.NewStatsAllocator(ix.stats, cfg)
+	} else {
+		ix.alloc = labeling.Uniform{Config: cfg, Lambda: opts.Lambda}
+	}
+	return ix, nil
+}
+
+// Dict exposes the index's symbol dictionary (read-mostly; shared).
+func (ix *Index) Dict() *seq.Dict { return ix.dict }
+
+// Schema exposes the sibling-ordering schema, if any.
+func (ix *Index) Schema() *xmltree.Schema { return ix.schema }
+
+// DocCount reports the number of indexed documents.
+func (ix *Index) DocCount() uint64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.docCount
+}
+
+// NodeCount reports the number of virtual-suffix-tree nodes.
+func (ix *Index) NodeCount() uint64 { return ix.nodes.Len() }
+
+// BorrowCount reports how many insertions resolved a scope underflow by
+// reserve borrowing since the index was opened (diagnostics for labeling
+// ablations; not persisted).
+func (ix *Index) BorrowCount() uint64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.borrows
+}
+
+// SizeBytes reports the total storage footprint of all trees.
+func (ix *Index) SizeBytes() int64 {
+	return ix.nodes.SizeBytes() + ix.docs.SizeBytes() + ix.store.SizeBytes() + ix.aux.SizeBytes()
+}
+
+// IndexSizeBytes reports the footprint of the index structure alone (the
+// combined D/S-Ancestor tree plus the DocId tree), the quantity Figure 11(a)
+// of the paper measures.
+func (ix *Index) IndexSizeBytes() int64 {
+	return ix.nodes.SizeBytes() + ix.docs.SizeBytes()
+}
+
+// Sync persists metadata and flushes all trees.
+func (ix *Index) Sync() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.syncLocked()
+}
+
+func (ix *Index) syncLocked() error {
+	if err := ix.saveMeta(); err != nil {
+		return err
+	}
+	for _, t := range []*btree.BTree{ix.nodes, ix.docs, ix.store, ix.aux} {
+		if err := t.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close persists and closes the index.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var firstErr error
+	if err := ix.saveMeta(); err != nil {
+		firstErr = err
+	}
+	for _, t := range []*btree.BTree{ix.nodes, ix.docs, ix.store, ix.aux} {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- metadata persistence ---------------------------------------------------
+
+const metaVersion = 1
+
+// loadMeta restores persisted metadata; existing reports whether the aux
+// tree held an index.
+func (ix *Index) loadMeta() (existing bool, err error) {
+	blob, ok, err := ix.getBlob("meta")
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	if len(blob) < 33 {
+		return false, fmt.Errorf("core: meta blob truncated (%d bytes)", len(blob))
+	}
+	if v := binary.BigEndian.Uint32(blob[0:4]); v != metaVersion {
+		return false, fmt.Errorf("core: unsupported index version %d", v)
+	}
+	ix.nextDoc = DocID(binary.BigEndian.Uint64(blob[4:12]))
+	ix.docCount = binary.BigEndian.Uint64(blob[12:20])
+	ix.maxDepth = int(binary.BigEndian.Uint32(blob[20:24]))
+	ix.rootK = binary.BigEndian.Uint32(blob[24:28])
+	ix.rootResvd = binary.BigEndian.Uint32(blob[28:32])
+	// Remaining: schema names (uvarint count + strings).
+	rest := blob[32:]
+	nNames, m := binary.Uvarint(rest)
+	if m <= 0 {
+		return false, fmt.Errorf("core: meta schema truncated")
+	}
+	rest = rest[m:]
+	var names []string
+	for i := uint64(0); i < nNames; i++ {
+		l, m := binary.Uvarint(rest)
+		if m <= 0 || uint64(len(rest)-m) < l {
+			return false, fmt.Errorf("core: meta schema name %d truncated", i)
+		}
+		rest = rest[m:]
+		names = append(names, string(rest[:l]))
+		rest = rest[l:]
+	}
+	if len(names) > 0 {
+		ix.schema = xmltree.NewSchema(names...)
+		ix.opts.Schema = names
+	}
+
+	dictBlob, ok, err := ix.getBlob("dict")
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, fmt.Errorf("core: index has meta but no dictionary")
+	}
+	ix.dict, err = seq.DecodeDict(dictBlob)
+	if err != nil {
+		return false, err
+	}
+	ix.dictLen = ix.dict.Len()
+
+	statsBlob, ok, err := ix.getBlob("stats")
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		st, err := labeling.DecodeStats(statsBlob)
+		if err != nil {
+			return false, err
+		}
+		ix.stats = st
+	} else if ix.opts.Training != nil {
+		// The caller supplied training but the index was built without it;
+		// honouring it would corrupt scope allocation.
+		return false, fmt.Errorf("core: index was built without labeling statistics; cannot add them on reopen")
+	}
+	return true, nil
+}
+
+func (ix *Index) saveMeta() error {
+	if !ix.metaDirty && ix.dict != nil && ix.dict.Len() == ix.dictLen {
+		return nil
+	}
+	blob := make([]byte, 32)
+	binary.BigEndian.PutUint32(blob[0:4], metaVersion)
+	binary.BigEndian.PutUint64(blob[4:12], uint64(ix.nextDoc))
+	binary.BigEndian.PutUint64(blob[12:20], ix.docCount)
+	binary.BigEndian.PutUint32(blob[20:24], uint32(ix.maxDepth))
+	binary.BigEndian.PutUint32(blob[24:28], ix.rootK)
+	binary.BigEndian.PutUint32(blob[28:32], ix.rootResvd)
+	blob = binary.AppendUvarint(blob, uint64(len(ix.opts.Schema)))
+	for _, n := range ix.opts.Schema {
+		blob = binary.AppendUvarint(blob, uint64(len(n)))
+		blob = append(blob, n...)
+	}
+	if err := ix.putBlob("meta", blob); err != nil {
+		return err
+	}
+	if err := ix.putBlob("dict", ix.dict.Encode()); err != nil {
+		return err
+	}
+	if ix.stats != nil {
+		if err := ix.putBlob("stats", ix.stats.Encode()); err != nil {
+			return err
+		}
+	}
+	ix.metaDirty = false
+	ix.dictLen = ix.dict.Len()
+	return nil
+}
+
+// --- blob storage in the aux tree -------------------------------------------
+
+func blobChunkKey(name string, i int) []byte {
+	k := append([]byte(name), '/')
+	return keyenc.AppendUint32(k, uint32(i))
+}
+
+func (ix *Index) putBlob(name string, data []byte) error {
+	max := ix.aux.MaxEntrySize() - len(name) - 64
+	if max < 64 {
+		return fmt.Errorf("core: page size too small for blob storage")
+	}
+	i := 0
+	for off := 0; off < len(data) || i == 0; i++ {
+		end := off + max
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := ix.aux.Put(blobChunkKey(name, i), data[off:end]); err != nil {
+			return err
+		}
+		off = end
+		if off >= len(data) {
+			i++
+			break
+		}
+	}
+	// Remove stale chunks from a previous, longer blob.
+	var stale [][]byte
+	err := ix.aux.ScanPrefix(append([]byte(name), '/'), func(k, v []byte) (bool, error) {
+		idx := binary.BigEndian.Uint32(k[len(k)-4:])
+		if int(idx) >= i {
+			stale = append(stale, append([]byte(nil), k...))
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range stale {
+		if _, err := ix.aux.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *Index) getBlob(name string) ([]byte, bool, error) {
+	var out []byte
+	found := false
+	err := ix.aux.ScanPrefix(append([]byte(name), '/'), func(k, v []byte) (bool, error) {
+		found = true
+		out = append(out, v...)
+		return true, nil
+	})
+	return out, found, err
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vist/internal/labeling"
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+// Insert indexes a document and returns its assigned DocID. The document is
+// normalized (deterministic sibling order) as a side effect, encoded into
+// its structure-encoded sequence, and inserted into the virtual suffix tree
+// per Algorithm 4 of the paper.
+func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
+	if doc == nil {
+		return 0, fmt.Errorf("core: nil document")
+	}
+	if doc.Depth() > MaxDepth {
+		return 0, fmt.Errorf("core: document depth %d exceeds max %d; split the structure into sub-structures", doc.Depth(), MaxDepth)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.frozen {
+		return 0, errFrozen
+	}
+
+	xmltree.Normalize(doc, ix.schema)
+	s := seq.Encode(doc, ix.dict)
+	id := ix.nextDoc
+
+	last, err := ix.insertSequence(s)
+	if err != nil {
+		return 0, err
+	}
+	if err := ix.docs.Put(docKey(last, id), nil); err != nil {
+		return 0, err
+	}
+	if !ix.opts.SkipDocumentStore {
+		if err := ix.storeDoc(id, last, doc); err != nil {
+			return 0, err
+		}
+	}
+	ix.nextDoc++
+	ix.docCount++
+	if d := s.MaxLen(); d > ix.maxDepth {
+		ix.maxDepth = d
+	}
+	ix.metaDirty = true
+	return id, nil
+}
+
+// pathEntry tracks one step of an insertion path for underflow borrowing
+// and refcount rollback.
+type pathEntry struct {
+	key   []byte // full node key (daKey ‖ n); nil for the root
+	rec   nodeRecord
+	scope labeling.Scope
+}
+
+// insertSequence inserts a structure-encoded sequence into the virtual
+// suffix tree, returning the label of the node where insertion ends.
+func (ix *Index) insertSequence(s seq.Sequence) (uint64, error) {
+	if len(s) == 0 {
+		return 0, fmt.Errorf("core: empty sequence")
+	}
+	path := make([]pathEntry, 1, len(s)+1)
+	path[0] = pathEntry{scope: rootScope, rec: nodeRecord{size: rootScope.Size, k: ix.rootK, reserveUsed: ix.rootResvd}}
+
+	prevKey := "" // element key of the current node (root = empty)
+	for i := range s {
+		cur := &path[len(path)-1]
+		da := daKey(s[i].Symbol, s[i].Prefix)
+		childKey, childRec, found, err := ix.findChild(da, cur.scope)
+		if err != nil {
+			return 0, err
+		}
+		if found {
+			childRec.refcount++
+			if err := ix.nodes.Put(childKey, childRec.encode()); err != nil {
+				return 0, err
+			}
+			_, n, err := splitNodeKey(childKey)
+			if err != nil {
+				return 0, err
+			}
+			path = append(path, pathEntry{key: childKey, rec: childRec, scope: labeling.Scope{N: n, Size: childRec.size}})
+			prevKey = s[i].Key()
+			continue
+		}
+		sub, usedK, ok := ix.alloc.SubScope(cur.scope, prevKey, int(cur.rec.k), s[i].Key())
+		if !ok {
+			// Scope underflow: borrow a sequential run from an ancestor's
+			// reserve for elements i..len(s)-1 (Section 3.4.1).
+			return ix.borrow(path, s, i)
+		}
+		if usedK {
+			cur.rec.k++
+			if err := ix.writePathEntry(cur); err != nil {
+				return 0, err
+			}
+		}
+		rec := nodeRecord{size: sub.Size, parentN: cur.scope.N, refcount: 1}
+		key := nodeKey(da, sub.N)
+		if err := ix.nodes.Put(key, rec.encode()); err != nil {
+			return 0, err
+		}
+		path = append(path, pathEntry{key: key, rec: rec, scope: sub})
+		prevKey = s[i].Key()
+	}
+	return path[len(path)-1].scope.N, nil
+}
+
+// writePathEntry persists a (possibly root) path entry's record.
+func (ix *Index) writePathEntry(e *pathEntry) error {
+	if e.key == nil {
+		ix.rootK = e.rec.k
+		ix.rootResvd = e.rec.reserveUsed
+		ix.metaDirty = true
+		return nil
+	}
+	return ix.nodes.Put(e.key, e.rec.encode())
+}
+
+// findChild locates the shareable (non-sequential) immediate child of the
+// node with scope parent carrying D-Ancestor key da.
+func (ix *Index) findChild(da []byte, parent labeling.Scope) ([]byte, nodeRecord, bool, error) {
+	lo := nodeKey(da, parent.N+1)
+	// Scan (parent.N, parent.N+parent.Size]; the upper bound label is
+	// inclusive, so extend the bound key by one byte.
+	hiEx := append(nodeKey(da, parent.N+parent.Size), 0)
+	var (
+		foundKey []byte
+		foundRec nodeRecord
+		found    bool
+		scanErr  error
+	)
+	err := ix.nodes.Scan(lo, hiEx, func(k, v []byte) (bool, error) {
+		rec, err := decodeNodeRecord(v)
+		if err != nil {
+			scanErr = err
+			return false, err
+		}
+		if rec.parentN == parent.N && !rec.sequential() {
+			foundKey = append([]byte(nil), k...)
+			foundRec = rec
+			found = true
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, nodeRecord{}, false, err
+	}
+	if scanErr != nil {
+		return nil, nodeRecord{}, false, scanErr
+	}
+	return foundKey, foundRec, found, nil
+}
+
+// borrow resolves a scope underflow at sequence position i: walking up the
+// insertion path, it finds the nearest ancestor whose reserve can hold one
+// label per remaining element, rolls back the refcounts taken below that
+// ancestor, and lays the remaining elements out as a sequential chain.
+func (ix *Index) borrow(path []pathEntry, s seq.Sequence, i int) (uint64, error) {
+	// path[j] is the node reached after matching elements 0..j-1 (path[0]
+	// is the root). Borrowing from path[j] lays out a fresh sequential
+	// chain for elements j..len(s)-1, duplicating any nodes the descent
+	// had already passed below path[j] — sequential nodes are never shared
+	// across sequences, so duplication keeps the structure consistent.
+	for j := len(path) - 1; j >= 0; j-- {
+		need := uint64(len(s) - j)
+		lo, hi := ix.alloc.Reserve(path[j].scope)
+		avail := uint64(0)
+		if hi > lo {
+			avail = hi - lo
+		}
+		if uint64(path[j].rec.reserveUsed) >= avail || avail-uint64(path[j].rec.reserveUsed) < need {
+			continue
+		}
+		start := lo + uint64(path[j].rec.reserveUsed)
+		ix.borrows++
+		// Roll back refcounts taken on path entries below j during this
+		// insertion (they were incremented in insertSequence).
+		for t := j + 1; t < len(path); t++ {
+			path[t].rec.refcount--
+			if err := ix.writePathEntry(&path[t]); err != nil {
+				return 0, err
+			}
+		}
+		// Lay out the sequential chain.
+		scopes := labeling.Sequential(start, need)
+		parentN := path[j].scope.N
+		for t := 0; t < int(need); t++ {
+			el := s[j+t]
+			rec := nodeRecord{
+				size:     scopes[t].Size,
+				parentN:  parentN,
+				refcount: 1,
+				flags:    flagSequential,
+			}
+			if err := ix.nodes.Put(nodeKey(daKey(el.Symbol, el.Prefix), scopes[t].N), rec.encode()); err != nil {
+				return 0, err
+			}
+			parentN = scopes[t].N
+		}
+		path[j].rec.reserveUsed += uint32(need)
+		if err := ix.writePathEntry(&path[j]); err != nil {
+			return 0, err
+		}
+		return scopes[need-1].N, nil
+	}
+	return 0, fmt.Errorf("core: scope space exhausted: no ancestor reserve can hold %d labels", len(s))
+}
+
+// --- document store ----------------------------------------------------------
+
+// storeDoc persists the document with its final label for later retrieval
+// and deletion. Large documents are chunked across consecutive keys; chunk
+// 0 starts with the final label and chunk count.
+func (ix *Index) storeDoc(id DocID, last uint64, doc *xmltree.Node) error {
+	data := xmltree.Encode(doc)
+	max := ix.store.MaxEntrySize() - 64
+	header := make([]byte, 12)
+	binary.BigEndian.PutUint64(header[0:8], last)
+	first := max - len(header)
+	var chunks [][]byte
+	if len(data) <= first {
+		chunks = [][]byte{data}
+	} else {
+		chunks = [][]byte{data[:first]}
+		for off := first; off < len(data); off += max {
+			end := off + max
+			if end > len(data) {
+				end = len(data)
+			}
+			chunks = append(chunks, data[off:end])
+		}
+	}
+	binary.BigEndian.PutUint32(header[8:12], uint32(len(chunks)))
+	if err := ix.store.Put(storeKey(id, 0), append(header, chunks[0]...)); err != nil {
+		return err
+	}
+	for i := 1; i < len(chunks); i++ {
+		if err := ix.store.Put(storeKey(id, uint32(i)), chunks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadDoc retrieves a stored document and its final label.
+func (ix *Index) loadDoc(id DocID) (*xmltree.Node, uint64, error) {
+	v0, ok, err := ix.store.Get(storeKey(id, 0))
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("core: document %d not found", id)
+	}
+	if len(v0) < 12 {
+		return nil, 0, fmt.Errorf("core: document %d header truncated", id)
+	}
+	last := binary.BigEndian.Uint64(v0[0:8])
+	nchunks := binary.BigEndian.Uint32(v0[8:12])
+	data := append([]byte(nil), v0[12:]...)
+	for i := uint32(1); i < nchunks; i++ {
+		v, ok, err := ix.store.Get(storeKey(id, i))
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, fmt.Errorf("core: document %d chunk %d missing", id, i)
+		}
+		data = append(data, v...)
+	}
+	doc, err := xmltree.Decode(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return doc, last, nil
+}
+
+// Get returns the stored document (requires document storage).
+func (ix *Index) Get(id DocID) (*xmltree.Node, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	doc, _, err := ix.loadDoc(id)
+	return doc, err
+}
+
+// Delete removes a document from the index: its DocId entry, its stored
+// bytes, and — via refcounts — every virtual-suffix-tree node that no other
+// document shares. Requires document storage.
+func (ix *Index) Delete(id DocID) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.opts.SkipDocumentStore {
+		return fmt.Errorf("core: Delete requires document storage (SkipDocumentStore is set)")
+	}
+	doc, last, err := ix.loadDoc(id)
+	if err != nil {
+		return err
+	}
+	s := seq.Encode(doc, ix.dict)
+	if _, err := ix.docs.Delete(docKey(last, id)); err != nil {
+		return err
+	}
+	// Walk the path bottom-up via parentN links, decrementing refcounts.
+	n := last
+	for i := len(s) - 1; i >= 0; i-- {
+		key := nodeKey(daKey(s[i].Symbol, s[i].Prefix), n)
+		v, ok, err := ix.nodes.Get(key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("core: delete %d: path node at element %d (label %d) missing", id, i, n)
+		}
+		rec, err := decodeNodeRecord(v)
+		if err != nil {
+			return err
+		}
+		parent := rec.parentN
+		if rec.refcount <= 1 {
+			if _, err := ix.nodes.Delete(key); err != nil {
+				return err
+			}
+		} else {
+			rec.refcount--
+			if err := ix.nodes.Put(key, rec.encode()); err != nil {
+				return err
+			}
+		}
+		n = parent
+	}
+	// Remove stored chunks.
+	var stale [][]byte
+	err = ix.store.Scan(storeKey(id, 0), storeKey(id+1, 0), func(k, v []byte) (bool, error) {
+		stale = append(stale, append([]byte(nil), k...))
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range stale {
+		if _, err := ix.store.Delete(k); err != nil {
+			return err
+		}
+	}
+	ix.docCount--
+	ix.metaDirty = true
+	return nil
+}
+
+// Docs iterates over all stored documents in DocID order, stopping early
+// when fn returns false. Requires document storage.
+func (ix *Index) Docs(fn func(id DocID, doc *xmltree.Node) (bool, error)) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.opts.SkipDocumentStore {
+		return fmt.Errorf("core: Docs requires document storage (SkipDocumentStore is set)")
+	}
+	var ids []DocID
+	err := ix.store.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if len(k) != 12 {
+			return false, fmt.Errorf("core: malformed store key (%d bytes)", len(k))
+		}
+		if binary.BigEndian.Uint32(k[8:12]) == 0 { // chunk 0 marks a document
+			ids = append(ids, DocID(binary.BigEndian.Uint64(k[:8])))
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		doc, _, err := ix.loadDoc(id)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(id, doc)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ExportXML writes every stored document to w as an XML record stream (the
+// format vist index and xmltree.ParseAll consume). Requires document
+// storage.
+func (ix *Index) ExportXML(w io.Writer) error {
+	return ix.Docs(func(id DocID, doc *xmltree.Node) (bool, error) {
+		if err := xmltree.WriteXML(w, doc); err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+}

@@ -1,0 +1,127 @@
+// Package core implements the ViST index — the paper's primary
+// contribution (Section 3.4): a unified structure+content XML index in
+// which structure-encoded sequences are inserted into a *virtual* suffix
+// tree whose nodes are labeled dynamically with nested scopes, and queries
+// are answered by non-contiguous subsequence matching over two B+Trees:
+//
+//   - the combined D-Ancestor/S-Ancestor tree, keyed by
+//     (symbol, len(prefix), prefix, n) so that a (symbol, prefix) pair
+//     identifies an S-Ancestor sub-range and wildcard prefixes become key
+//     ranges;
+//   - the DocId tree, keyed by (n, docID).
+//
+// A third tree stores the documents themselves (for retrieval, deletion,
+// and the optional verification phase), and a fourth stores auxiliary blobs
+// (symbol dictionary, labeling statistics, index metadata).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vist/internal/keyenc"
+	"vist/internal/seq"
+)
+
+// DocID identifies a document within an index.
+type DocID uint64
+
+// MaxDepth bounds document and query tree depth. It keeps D-Ancestor keys
+// comfortably within B+Tree key limits (the paper bounds sequence length by
+// splitting large structures into sub-structures; Section 3.4.1).
+const MaxDepth = 64
+
+// daKey encodes the D-Ancestor part of a node key:
+//
+//	symbol(4) ‖ len(prefix)(2) ‖ prefix[0](4) ‖ … ‖ prefix[plen-1](4)
+//
+// The paper prescribes exactly this ordering: "the key of the D-Ancestor
+// B+Tree is ordered first by the Symbol, then by the length of the Prefix,
+// and lastly by the content of the Prefix", which turns '*' and '//'
+// prefixes into range scans.
+func daKey(sym seq.Symbol, prefix []seq.Symbol) []byte {
+	b := make([]byte, 0, 6+4*len(prefix)+8)
+	b = keyenc.AppendUint32(b, uint32(sym))
+	b = keyenc.AppendUint16(b, uint16(len(prefix)))
+	for _, p := range prefix {
+		b = keyenc.AppendUint32(b, uint32(p))
+	}
+	return b
+}
+
+// daPartial encodes the beginning of a D-Ancestor key for a wildcard range:
+// the symbol, an exact prefix length, and only the first len(base) known
+// prefix symbols. All keys with plen-length prefixes starting with base
+// fall in [daPartial, PrefixSuccessor(daPartial)).
+func daPartial(sym seq.Symbol, plen int, base []seq.Symbol) []byte {
+	b := make([]byte, 0, 6+4*len(base))
+	b = keyenc.AppendUint32(b, uint32(sym))
+	b = keyenc.AppendUint16(b, uint16(plen))
+	for _, p := range base {
+		b = keyenc.AppendUint32(b, uint32(p))
+	}
+	return b
+}
+
+// nodeKey is a full combined-tree key: daKey ‖ n.
+func nodeKey(da []byte, n uint64) []byte {
+	return keyenc.AppendUint64(append([]byte(nil), da...), n)
+}
+
+// splitNodeKey separates a combined key into its D-Ancestor part and label.
+func splitNodeKey(key []byte) (da []byte, n uint64, err error) {
+	if len(key) < 14 { // 4+2+8 minimum
+		return nil, 0, fmt.Errorf("core: node key too short (%d bytes)", len(key))
+	}
+	da = key[:len(key)-8]
+	n = binary.BigEndian.Uint64(key[len(key)-8:])
+	return da, n, nil
+}
+
+// parseDAKey decodes symbol and prefix from a D-Ancestor key part.
+func parseDAKey(da []byte) (sym seq.Symbol, prefix []seq.Symbol, err error) {
+	s, rest, err := keyenc.Uint32(da)
+	if err != nil {
+		return 0, nil, err
+	}
+	plen, rest, err := keyenc.Uint16(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	raw, rest, err := keyenc.Symbols(rest, int(plen))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("core: %d trailing bytes in D-Ancestor key", len(rest))
+	}
+	prefix = make([]seq.Symbol, plen)
+	for i, v := range raw {
+		prefix[i] = seq.Symbol(v)
+	}
+	return seq.Symbol(s), prefix, nil
+}
+
+// docKey encodes a DocId-tree key: n ‖ docID.
+func docKey(n uint64, id DocID) []byte {
+	b := make([]byte, 0, 16)
+	b = keyenc.AppendUint64(b, n)
+	b = keyenc.AppendUint64(b, uint64(id))
+	return b
+}
+
+// parseDocKey decodes a DocId-tree key.
+func parseDocKey(key []byte) (n uint64, id DocID, err error) {
+	if len(key) != 16 {
+		return 0, 0, fmt.Errorf("core: doc key has %d bytes, want 16", len(key))
+	}
+	return binary.BigEndian.Uint64(key[:8]), DocID(binary.BigEndian.Uint64(key[8:])), nil
+}
+
+// storeKey encodes a document-store key: docID ‖ chunk.
+func storeKey(id DocID, chunk uint32) []byte {
+	b := make([]byte, 0, 12)
+	b = keyenc.AppendUint64(b, uint64(id))
+	b = keyenc.AppendUint32(b, chunk)
+	return b
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// nodeRecord is the value stored with each virtual-suffix-tree node in the
+// combined D/S-Ancestor tree. Together with the n in the key it forms the
+// paper's dynamic scope ⟨n, size, k⟩ (Definition 3), extended with the
+// bookkeeping that dynamic insertion and deletion need.
+type nodeRecord struct {
+	// size completes the node's scope ⟨n, size⟩.
+	size uint64
+	// parentN is the label of the node's immediate parent in the virtual
+	// suffix tree (the root's children carry the root label 0). It makes
+	// "is an immediate child of" checks exact during insertion and lets
+	// deletion walk a document's path bottom-up.
+	parentN uint64
+	// k counts the arrival-order child slots consumed under this node
+	// (Definition 3's k).
+	k uint32
+	// reserveUsed counts labels consumed from this node's underflow
+	// reserve.
+	reserveUsed uint32
+	// refcount counts documents whose insertion path passes through this
+	// node; the node is removed when it drops to zero.
+	refcount uint32
+	// flags carries flagSequential for nodes labeled by underflow
+	// borrowing.
+	flags uint8
+}
+
+const (
+	// flagSequential marks nodes created by reserve borrowing; the paper:
+	// sequentially labeled nodes "can not be shared with other sequences,
+	// but they are still properly indexed for matching".
+	flagSequential = 1 << 0
+
+	nodeRecordSize = 8 + 8 + 4 + 4 + 4 + 1
+)
+
+func (r nodeRecord) sequential() bool { return r.flags&flagSequential != 0 }
+
+func (r nodeRecord) encode() []byte {
+	b := make([]byte, nodeRecordSize)
+	binary.BigEndian.PutUint64(b[0:8], r.size)
+	binary.BigEndian.PutUint64(b[8:16], r.parentN)
+	binary.BigEndian.PutUint32(b[16:20], r.k)
+	binary.BigEndian.PutUint32(b[20:24], r.reserveUsed)
+	binary.BigEndian.PutUint32(b[24:28], r.refcount)
+	b[28] = r.flags
+	return b
+}
+
+func decodeNodeRecord(b []byte) (nodeRecord, error) {
+	if len(b) != nodeRecordSize {
+		return nodeRecord{}, fmt.Errorf("core: node record has %d bytes, want %d", len(b), nodeRecordSize)
+	}
+	return nodeRecord{
+		size:        binary.BigEndian.Uint64(b[0:8]),
+		parentN:     binary.BigEndian.Uint64(b[8:16]),
+		k:           binary.BigEndian.Uint32(b[16:20]),
+		reserveUsed: binary.BigEndian.Uint32(b[20:24]),
+		refcount:    binary.BigEndian.Uint32(b[24:28]),
+		flags:       b[28],
+	}, nil
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vist/internal/keyenc"
+	"vist/internal/labeling"
+	"vist/internal/query"
+	"vist/internal/seq"
+	"vist/internal/treematch"
+)
+
+// Query parses and executes a path expression, returning the IDs of
+// candidate documents in ascending order (Algorithm 2 of the paper).
+//
+// Faithful to the paper, the result is computed purely by non-contiguous
+// subsequence matching over the index; for some branching queries this can
+// include false positives (documents containing all query elements in a
+// compatible sequence order without an actual subtree embedding). Use
+// QueryVerified for exact results.
+func (ix *Index) Query(expr string) ([]DocID, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return ix.QueryParsed(q)
+}
+
+// QueryParsed executes an already-parsed query. Queries whose
+// identical-sibling permutations exceed the variant cap fall back to the
+// paper's disassemble-and-join strategy: each root-to-leaf query path runs
+// as its own sequence match and the DocID sets are intersected.
+func (ix *Index) QueryParsed(q *query.Query) ([]DocID, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.queryLocked(q)
+}
+
+func (ix *Index) queryLocked(q *query.Query) ([]DocID, error) {
+	seqs, err := q.Sequences(ix.dict, ix.schema)
+	if query.IsVariantCapError(err) {
+		return ix.queryDisassembled(q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[DocID]struct{})
+	for _, qs := range seqs {
+		if err := ix.matchSeqStats(qs, out, nil); err != nil {
+			return nil, err
+		}
+	}
+	return sortedIDs(out), nil
+}
+
+// queryDisassembled joins the results of the query's single-path splits
+// (Section 2's fallback; each split has exactly one sequence variant).
+func (ix *Index) queryDisassembled(q *query.Query) ([]DocID, error) {
+	var result map[DocID]struct{}
+	for _, part := range query.Disassemble(q) {
+		ids, err := ix.queryLocked(part)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[DocID]struct{}, len(ids))
+		for _, id := range ids {
+			set[id] = struct{}{}
+		}
+		if result == nil {
+			result = set
+			continue
+		}
+		for id := range result {
+			if _, ok := set[id]; !ok {
+				delete(result, id)
+			}
+		}
+	}
+	return sortedIDs(result), nil
+}
+
+func sortedIDs(out map[DocID]struct{}) []DocID {
+	ids := make([]DocID, 0, len(out))
+	for id := range out {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// QueryVerified executes a query and refines the candidate set against the
+// stored documents, removing both the structural false positives inherent
+// to sequence matching and value-hash collisions. Requires document
+// storage.
+func (ix *Index) QueryVerified(expr string) ([]DocID, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	candidates, err := ix.QueryParsed(q)
+	if err != nil {
+		return nil, err
+	}
+	if ix.opts.SkipDocumentStore {
+		return nil, fmt.Errorf("core: QueryVerified requires document storage (SkipDocumentStore is set)")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := candidates[:0]
+	for _, id := range candidates {
+		doc, _, err := ix.loadDoc(id)
+		if err != nil {
+			return nil, err
+		}
+		if treematch.Matches(q, doc) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// match records a matched query element: the suffix-tree node's scope and
+// the concrete document-tree path of the matched element (prefix + symbol),
+// which instantiates wildcards for its descendants.
+type match struct {
+	scope labeling.Scope
+	path  []seq.Symbol
+}
+
+// matchSeqStats finds all documents containing qs as a non-contiguous
+// subsequence with consistent D-Ancestorship and S-Ancestorship, adding
+// their IDs to out. stats may be nil.
+func (ix *Index) matchSeqStats(qs query.Seq, out map[DocID]struct{}, stats *QueryStats) error {
+	if len(qs) == 0 {
+		return nil
+	}
+	matches := make([]match, len(qs))
+	var rec func(i int, prev labeling.Scope) error
+	rec = func(i int, prev labeling.Scope) error {
+		if i == len(qs) {
+			if stats != nil {
+				stats.DocScans++
+			}
+			return ix.collectDocs(prev, out)
+		}
+		qe := qs[i]
+		var base []seq.Symbol
+		if qe.Anchor >= 0 {
+			base = matches[qe.Anchor].path
+		}
+		minPlen := len(base) + qe.Stars
+		maxPlen := minPlen
+		if qe.Desc {
+			maxPlen = ix.maxDepth - 1
+		}
+		if maxPlen >= MaxDepth {
+			maxPlen = MaxDepth - 1
+		}
+		// The paper's wildcard handling: one D-Ancestor range query per
+		// candidate prefix length (Section 3.3, "Handling Wild Cards").
+		for plen := minPlen; plen <= maxPlen; plen++ {
+			if stats != nil {
+				stats.RangeScans++
+			}
+			err := ix.scanCandidates(qe.Symbol, plen, base, prev, func(prefix []seq.Symbol, scope labeling.Scope) error {
+				if stats != nil {
+					stats.NodesVisited++
+				}
+				path := make([]seq.Symbol, 0, len(prefix)+1)
+				path = append(path, prefix...)
+				path = append(path, qe.Symbol)
+				matches[i] = match{scope: scope, path: path}
+				return rec(i+1, scope)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, rootScope)
+}
+
+// scanCandidates visits every index node whose element has the given
+// symbol, a prefix of exactly plen symbols starting with base, and a label
+// inside (prev.N, prev.N+prev.Size] — the S-Ancestorship range query. For
+// each distinct D-Ancestor key the scan jumps directly to the label range,
+// mirroring the paper's per-S-Ancestor-tree range queries.
+func (ix *Index) scanCandidates(sym seq.Symbol, plen int, base []seq.Symbol, prev labeling.Scope, fn func(prefix []seq.Symbol, scope labeling.Scope) error) error {
+	loPrefix := daPartial(sym, plen, base)
+	hiPrefix := keyenc.PrefixSuccessor(loPrefix)
+	nLo, nHi := prev.N+1, prev.N+prev.Size // inclusive label range
+
+	cur := append([]byte(nil), loPrefix...)
+	for {
+		k, v, ok, err := ix.nodes.SeekFirst(cur, hiPrefix)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		da, n, err := splitNodeKey(k)
+		if err != nil {
+			return err
+		}
+		switch {
+		case n < nLo:
+			// Jump into this D-Ancestor key's label range.
+			cur = nodeKey(da, nLo)
+		case n > nHi:
+			// Done with this D-Ancestor key; jump to the next one.
+			next := keyenc.PrefixSuccessor(da)
+			if next == nil {
+				return nil
+			}
+			cur = next
+		default:
+			recd, err := decodeNodeRecord(v)
+			if err != nil {
+				return err
+			}
+			_, prefix, err := parseDAKey(da)
+			if err != nil {
+				return err
+			}
+			if err := fn(prefix, labeling.Scope{N: n, Size: recd.size}); err != nil {
+				return err
+			}
+			cur = append(append([]byte(nil), k...), 0)
+		}
+	}
+}
+
+// collectDocs performs the final range query [n, n+size] on the DocId tree
+// and adds every document ID found to out.
+func (ix *Index) collectDocs(scope labeling.Scope, out map[DocID]struct{}) error {
+	lo := docKey(scope.N, 0)
+	var hi []byte
+	if end := scope.N + scope.Size; end < math.MaxUint64 {
+		hi = docKey(end+1, 0)
+	}
+	return ix.docs.Scan(lo, hi, func(k, v []byte) (bool, error) {
+		_, id, err := parseDocKey(k)
+		if err != nil {
+			return false, err
+		}
+		out[id] = struct{}{}
+		return true, nil
+	})
+}
+
+// MaxTreeDepth reports the deepest indexed sequence (prefix length + 1).
+func (ix *Index) MaxTreeDepth() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.maxDepth
+}

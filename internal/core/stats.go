@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vist/internal/query"
+)
+
+// QueryStats reports how much work a query's execution performed — the
+// quantities the paper's analysis reasons about: how many D-Ancestor range
+// queries were issued, how many S-Ancestor entries they touched, and how
+// many DocId range queries produced the answers. RIST/ViST's advantage over
+// the naive algorithm is visible here: NodesVisited stays close to the
+// number of genuine partial matches instead of the size of traversed
+// subtrees.
+type QueryStats struct {
+	// Sequences counts the structure-encoded sequences the query expanded
+	// into (branch permutations × name-kind alternatives).
+	Sequences int
+	// RangeScans counts D-Ancestor/S-Ancestor range queries issued
+	// (B+Tree seeks; one per candidate prefix length per partial match).
+	RangeScans int
+	// NodesVisited counts index entries that matched some query element
+	// (partial-match states entered).
+	NodesVisited int
+	// DocScans counts final DocId-tree range queries.
+	DocScans int
+	// Candidates is the number of distinct documents returned.
+	Candidates int
+}
+
+// String renders the counters compactly.
+func (s QueryStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sequences=%d rangeScans=%d nodesVisited=%d docScans=%d candidates=%d",
+		s.Sequences, s.RangeScans, s.NodesVisited, s.DocScans, s.Candidates)
+	return b.String()
+}
+
+// QueryWithStats executes a query and reports execution counters alongside
+// the candidate document IDs.
+func (ix *Index) QueryWithStats(expr string) ([]DocID, QueryStats, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	seqs, err := q.Sequences(ix.dict, ix.schema)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	stats := QueryStats{Sequences: len(seqs)}
+	out := make(map[DocID]struct{})
+	for _, qs := range seqs {
+		if err := ix.matchSeqStats(qs, out, &stats); err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+	ids := sortedIDs(out)
+	stats.Candidates = len(ids)
+	return ids, stats, nil
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"vist/internal/labeling"
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+// Training bundles labeling statistics with the dictionary they are keyed
+// by. Statistics refer to elements by (symbol, prefix) keys, and symbols
+// are dictionary-assigned, so an index built with statistics must start
+// from the same dictionary the training pass used. Build one with Train and
+// pass it to Options.Training when creating an index.
+type Training struct {
+	Stats *labeling.Stats
+	Dict  *seq.Dict
+}
+
+// Train collects follow-set statistics (Section 3.4.1, "Semantic and
+// Statistical Clues") from a sample of documents. The samples are
+// normalized with the given schema order — pass the same schema to
+// Options.Schema. The documents are modified in place (normalized).
+func Train(docs []*xmltree.Node, schema []string) *Training {
+	var sc *xmltree.Schema
+	if len(schema) > 0 {
+		sc = xmltree.NewSchema(schema...)
+	}
+	d := seq.NewDict()
+	st := labeling.NewStats()
+	for _, doc := range docs {
+		xmltree.Normalize(doc, sc)
+		st.AddSequence(seq.Encode(doc, d))
+	}
+	st.Finalize()
+	return &Training{Stats: st, Dict: d}
+}

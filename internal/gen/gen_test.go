@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"testing"
+
+	"vist/internal/query"
+	"vist/internal/seq"
+	"vist/internal/treematch"
+	"vist/internal/xmltree"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	cfg := SyntheticConfig{K: 10, J: 8, L: 30, N: 50, Seed: 1}
+	docs := Synthetic(cfg)
+	if len(docs) != 50 {
+		t.Fatalf("got %d docs", len(docs))
+	}
+	for i, d := range docs {
+		if d.Count() != 30 {
+			t.Fatalf("doc %d has %d nodes, want 30", i, d.Count())
+		}
+		if d.Depth() > 10 {
+			t.Fatalf("doc %d depth %d exceeds k", i, d.Depth())
+		}
+		if d.Name != "root" {
+			t.Fatalf("doc %d root = %q", i, d.Name)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{K: 6, J: 4, L: 12, N: 5, Seed: 42}
+	a := Synthetic(cfg)
+	b := Synthetic(cfg)
+	for i := range a {
+		xmltree.Normalize(a[i], nil)
+		xmltree.Normalize(b[i], nil)
+		if !xmltree.Equal(a[i], b[i]) {
+			t.Fatalf("doc %d differs across runs", i)
+		}
+	}
+}
+
+func TestSyntheticSequenceLength(t *testing.T) {
+	cfg := SyntheticConfig{K: 10, J: 8, L: 30, N: 20, Seed: 2}
+	d := seq.NewDict()
+	for _, doc := range Synthetic(cfg) {
+		xmltree.Normalize(doc, nil)
+		if got := len(seq.Encode(doc, d)); got != 30 {
+			t.Fatalf("sequence length %d, want 30", got)
+		}
+	}
+}
+
+func TestSyntheticQueriesParse(t *testing.T) {
+	cfg := SyntheticConfig{K: 10, J: 8, L: 30, N: 0, Seed: 3}
+	for _, l := range []int{2, 4, 6, 8, 10, 12} {
+		for _, expr := range SyntheticQueries(cfg, 10, l, 99) {
+			q, err := query.Parse(expr)
+			if err != nil {
+				t.Fatalf("length %d: %q: %v", l, expr, err)
+			}
+			if n := countQueryNodes(q.Root) - 1; n != l {
+				t.Fatalf("query %q has %d nodes, want %d", expr, n, l)
+			}
+		}
+	}
+}
+
+func countQueryNodes(n *query.Node) int {
+	c := 1
+	for _, ch := range n.Children {
+		c += countQueryNodes(ch)
+	}
+	return c
+}
+
+func TestSyntheticQueriesSometimesMatch(t *testing.T) {
+	cfg := SyntheticConfig{K: 10, J: 8, L: 30, N: 200, Seed: 4}
+	docs := Synthetic(cfg)
+	queries := SyntheticQueries(cfg, 20, 4, 5)
+	hits := 0
+	for _, expr := range queries {
+		q := query.MustParse(expr)
+		for _, d := range docs {
+			if treematch.Matches(q, d) {
+				hits++
+				break
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no generated query matched any generated document")
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	docs := DBLP(DBLPConfig{Records: 500, Seed: 7})
+	if len(docs) != 500 {
+		t.Fatalf("got %d records", len(docs))
+	}
+	d := seq.NewDict()
+	totalLen, maxDepth := 0, 0
+	sawDavid, sawKey := false, false
+	for _, doc := range docs {
+		xmltree.Normalize(doc, xmltree.NewSchema(DBLPSchema()...))
+		s := seq.Encode(doc, d)
+		totalLen += len(s)
+		if doc.Depth() > maxDepth {
+			maxDepth = doc.Depth()
+		}
+		if treematch.Matches(query.MustParse("//author[text()='"+DBLPDavid+"']"), doc) {
+			sawDavid = true
+		}
+		if treematch.Matches(query.MustParse("/book[@key='"+DBLPKey+"']"), doc) {
+			sawKey = true
+		}
+	}
+	avg := totalLen / len(docs)
+	// The paper reports ≈31 for DBLP; accept a broad band.
+	if avg < 15 || avg > 45 {
+		t.Fatalf("average sequence length %d outside [15,45]", avg)
+	}
+	if maxDepth > 6 {
+		t.Fatalf("record depth %d exceeds DBLP's 6", maxDepth)
+	}
+	if !sawDavid {
+		t.Fatal("planted author never generated (Q2-Q4 would be empty)")
+	}
+	if !sawKey {
+		t.Fatal("planted book key never generated (Q5 would be empty)")
+	}
+}
+
+func TestXMarkShapeAndPlantedValues(t *testing.T) {
+	docs := XMark(XMarkConfig{Items: 300, Persons: 300, OpenAuctions: 150, ClosedAuctions: 300, Seed: 9})
+	if len(docs) != 1050 {
+		t.Fatalf("got %d records", len(docs))
+	}
+	schema := xmltree.NewSchema(XMarkSchema()...)
+	q6 := query.MustParse("/site//item[location='" + XMarkUS + "']/mail/date[text()='" + XMarkDate + "']")
+	q7 := query.MustParse("/site//person/*/city[text()='" + XMarkCity + "']")
+	q8 := query.MustParse("//closed_auction[*[person='" + XMarkPerson + "']]/date[text()='" + XMarkDate + "']")
+	var hit6, hit7, hit8 int
+	for _, doc := range docs {
+		xmltree.Normalize(doc, schema)
+		if doc.Name != "site" {
+			t.Fatalf("record root = %q", doc.Name)
+		}
+		if treematch.Matches(q6, doc) {
+			hit6++
+		}
+		if treematch.Matches(q7, doc) {
+			hit7++
+		}
+		if treematch.Matches(q8, doc) {
+			hit8++
+		}
+	}
+	if hit6 == 0 || hit7 == 0 || hit8 == 0 {
+		t.Fatalf("planted query hits: Q6=%d Q7=%d Q8=%d (all must be > 0)", hit6, hit7, hit8)
+	}
+}
+
+func TestIMDBShapeAndPlantedValues(t *testing.T) {
+	docs := IMDB(IMDBConfig{Movies: 400, Seed: 13})
+	if len(docs) != 400 {
+		t.Fatalf("got %d movies", len(docs))
+	}
+	schema := xmltree.NewSchema(IMDBSchema()...)
+	qDirector := query.MustParse("/movie/director/name[text()='" + IMDBDirector + "']")
+	qActor := query.MustParse("//actor/name[text()='" + IMDBActor + "']")
+	var hitD, hitA int
+	for _, doc := range docs {
+		xmltree.Normalize(doc, schema)
+		if doc.Name != "movie" {
+			t.Fatalf("record root = %q", doc.Name)
+		}
+		if doc.Depth() > 6 {
+			t.Fatalf("movie depth %d", doc.Depth())
+		}
+		if treematch.Matches(qDirector, doc) {
+			hitD++
+		}
+		if treematch.Matches(qActor, doc) {
+			hitA++
+		}
+	}
+	if hitD == 0 || hitA == 0 {
+		t.Fatalf("planted values missing: director=%d actor=%d", hitD, hitA)
+	}
+}
+
+func TestIMDBDeterministic(t *testing.T) {
+	a := IMDB(IMDBConfig{Movies: 20, Seed: 5})
+	b := IMDB(IMDBConfig{Movies: 20, Seed: 5})
+	for i := range a {
+		xmltree.Normalize(a[i], nil)
+		xmltree.Normalize(b[i], nil)
+		if !xmltree.Equal(a[i], b[i]) {
+			t.Fatalf("movie %d differs across runs", i)
+		}
+	}
+}

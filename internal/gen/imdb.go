@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vist/internal/xmltree"
+)
+
+// IMDBConfig parameterizes the IMDB-like record generator. The paper names
+// the Internet Movie Database alongside DBLP as an XML database that
+// "contains a large set of records of the same structure"; this generator
+// produces movie records in that spirit: a movie with title, year, genres,
+// a director, a cast of actors with roles, and ratings.
+type IMDBConfig struct {
+	// Movies is the number of movie records.
+	Movies int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Planted values for selective queries over the IMDB-like corpus.
+const (
+	// IMDBDirector directs ~1% of movies.
+	IMDBDirector = "Chantal Akerman"
+	// IMDBActor appears in ~2% of casts.
+	IMDBActor = "Delphine Seyrig"
+	// IMDBGenre tags roughly a sixth of the movies.
+	IMDBGenre = "Documentary"
+)
+
+var (
+	imdbFirst  = []string{"Delphine", "Chantal", "Akira", "Agnès", "Orson", "Greta", "Satyajit", "Maya", "Jean", "Lucrecia"}
+	imdbLast   = []string{"Seyrig", "Akerman", "Kurosawa", "Varda", "Welles", "Gerwig", "Ray", "Deren", "Renoir", "Martel"}
+	imdbWords  = []string{"Night", "River", "Mirror", "City", "Garden", "Winter", "Voyage", "Letter", "Island", "Shadow"}
+	imdbGenres = []string{IMDBGenre, "Drama", "Comedy", "Thriller", "Musical", "Western"}
+	imdbRoles  = []string{"lead", "support", "cameo"}
+)
+
+// IMDBSchema returns the DTD-order schema for movie records.
+func IMDBSchema() []string {
+	return []string{
+		"movie", "@id", "@year", "title", "genre", "director", "name",
+		"cast", "actor", "@role", "rating", "@source", "runtime", "country",
+	}
+}
+
+// IMDB generates movie records.
+func IMDB(cfg IMDBConfig) []*xmltree.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*xmltree.Node, cfg.Movies)
+	for i := range out {
+		out[i] = imdbMovie(rng, i)
+	}
+	return out
+}
+
+func imdbName(rng *rand.Rand) string {
+	return imdbFirst[rng.Intn(len(imdbFirst))] + " " + imdbLast[rng.Intn(len(imdbLast))]
+}
+
+func imdbMovie(rng *rand.Rand, i int) *xmltree.Node {
+	title := imdbWords[rng.Intn(len(imdbWords))] + " of the " + imdbWords[rng.Intn(len(imdbWords))]
+	m := xmltree.NewElement("movie",
+		xmltree.NewAttr("id", fmt.Sprintf("tt%07d", i)),
+		xmltree.NewAttr("year", fmt.Sprint(1920+rng.Intn(85))),
+		xmltree.NewElementText("title", title),
+	)
+	for g := 0; g < 1+rng.Intn(2); g++ {
+		m.Children = append(m.Children, xmltree.NewElementText("genre", imdbGenres[rng.Intn(len(imdbGenres))]))
+	}
+	director := imdbName(rng)
+	if i%100 == 0 {
+		director = IMDBDirector
+	}
+	m.Children = append(m.Children, xmltree.NewElement("director",
+		xmltree.NewElementText("name", director)))
+	cast := xmltree.NewElement("cast")
+	for a := 0; a < 2+rng.Intn(4); a++ {
+		name := imdbName(rng)
+		if a == 0 && i%50 == 0 {
+			name = IMDBActor
+		}
+		cast.Children = append(cast.Children, xmltree.NewElement("actor",
+			xmltree.NewAttr("role", imdbRoles[rng.Intn(len(imdbRoles))]),
+			xmltree.NewElementText("name", name),
+		))
+	}
+	m.Children = append(m.Children, cast)
+	m.Children = append(m.Children,
+		xmltree.NewElement("rating",
+			xmltree.NewAttr("source", "critics"),
+			xmltree.NewText(fmt.Sprintf("%d.%d", 4+rng.Intn(6), rng.Intn(10))),
+		),
+		xmltree.NewElementText("runtime", fmt.Sprint(60+rng.Intn(140))),
+		xmltree.NewElementText("country", []string{"BE", "FR", "JP", "US", "IN", "AR"}[rng.Intn(6)]),
+	)
+	return m
+}

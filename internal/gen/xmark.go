@@ -1,0 +1,206 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vist/internal/xmltree"
+)
+
+// XMarkConfig parameterizes the XMARK-like sub-structure generator. The
+// paper splits the single huge XMARK record "into a set of sub structures,
+// including item (objects for sale), person (buyers and sellers), open
+// auction, closed auction, etc" and indexes each instance as a record; we
+// generate those records directly, each rooted at site so Table 3's
+// /site//… queries run verbatim.
+type XMarkConfig struct {
+	Items          int
+	Persons        int
+	OpenAuctions   int
+	ClosedAuctions int
+	Seed           int64
+}
+
+// Planted values referenced by Table 3's queries.
+const (
+	// XMarkUS: item location used by Q6.
+	XMarkUS = "US"
+	// XMarkDate: the date literal of Q6 and Q8.
+	XMarkDate = "12/15/1999"
+	// XMarkCity: the city literal of Q7.
+	XMarkCity = "Pocatello"
+	// XMarkPerson: the person reference of Q8.
+	XMarkPerson = "person1"
+)
+
+var (
+	xmarkLocations = []string{XMarkUS, "Germany", "Japan", "Korea", "France", "Brazil"}
+	xmarkCities    = []string{XMarkCity, "Boise", "Seattle", "Austin", "Madison", "Ithaca"}
+	xmarkWords     = []string{"vintage", "rare", "mint", "boxed", "signed", "antique", "modern", "classic"}
+	xmarkRegions   = []string{"namerica", "europe", "asia", "africa", "australia", "samerica"}
+)
+
+// XMarkSchema returns the DTD-order schema for the generated records.
+func XMarkSchema() []string {
+	return []string{
+		"site", "regions", "namerica", "europe", "asia", "africa",
+		"australia", "samerica", "people", "open_auctions",
+		"closed_auctions", "item", "person", "open_auction",
+		"closed_auction", "@id", "@person", "@item", "location", "quantity",
+		"name", "payment", "mail", "from", "to", "date", "emailaddress",
+		"phone", "address", "street", "city", "country", "zipcode",
+		"profile", "interest", "education", "gender", "age", "seller",
+		"buyer", "itemref", "price", "type", "annotation", "author",
+		"description", "happiness", "initial", "current", "reserve",
+		"bidder", "increase", "time",
+	}
+}
+
+// XMark generates the configured record mix, interleaved deterministically.
+func XMark(cfg XMarkConfig) []*xmltree.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []*xmltree.Node
+	for i := 0; i < cfg.Items; i++ {
+		out = append(out, xmarkItem(rng, i))
+	}
+	for i := 0; i < cfg.Persons; i++ {
+		out = append(out, xmarkPerson(rng, i))
+	}
+	for i := 0; i < cfg.OpenAuctions; i++ {
+		out = append(out, xmarkOpenAuction(rng, i))
+	}
+	for i := 0; i < cfg.ClosedAuctions; i++ {
+		out = append(out, xmarkClosedAuction(rng, i))
+	}
+	return out
+}
+
+func xmarkDate(rng *rand.Rand) string {
+	if rng.Intn(50) == 0 {
+		return XMarkDate
+	}
+	return fmt.Sprintf("%02d/%02d/%d", 1+rng.Intn(12), 1+rng.Intn(28), 1998+rng.Intn(4))
+}
+
+func xmarkName(rng *rand.Rand) string {
+	return xmarkWords[rng.Intn(len(xmarkWords))] + " " + xmarkWords[rng.Intn(len(xmarkWords))]
+}
+
+func personRef(rng *rand.Rand) string {
+	if rng.Intn(40) == 0 {
+		return XMarkPerson
+	}
+	return fmt.Sprintf("person%d", rng.Intn(5000))
+}
+
+// site wraps a record payload under the path the queries expect.
+func site(payload *xmltree.Node, section string) *xmltree.Node {
+	return xmltree.NewElement("site", xmltree.NewElement(section, payload))
+}
+
+// xmarkItem: /site/regions/<region>/item with a mail thread directly under
+// the item (the shape Q6 = /site//item[location='US']/mail/date queries).
+func xmarkItem(rng *rand.Rand, i int) *xmltree.Node {
+	location := xmarkLocations[rng.Intn(len(xmarkLocations))]
+	if i%40 == 0 {
+		location = XMarkUS // Q6's hot records: US location + target mail date
+	}
+	item := xmltree.NewElement("item",
+		xmltree.NewAttr("id", fmt.Sprintf("item%d", i)),
+		xmltree.NewElementText("location", location),
+		xmltree.NewElementText("quantity", fmt.Sprint(1+rng.Intn(5))),
+		xmltree.NewElementText("name", xmarkName(rng)),
+		xmltree.NewElementText("payment", "Creditcard"),
+		xmltree.NewElement("description",
+			xmltree.NewElementText("text", xmarkName(rng)),
+		),
+	)
+	for m := 0; m < 1+rng.Intn(2); m++ {
+		date := xmarkDate(rng)
+		if m == 0 && i%40 == 0 {
+			date = XMarkDate
+		}
+		item.Children = append(item.Children, xmltree.NewElement("mail",
+			xmltree.NewElementText("from", personRef(rng)),
+			xmltree.NewElementText("to", personRef(rng)),
+			xmltree.NewElementText("date", date),
+		))
+	}
+	region := xmltree.NewElement(xmarkRegions[rng.Intn(len(xmarkRegions))], item)
+	return xmltree.NewElement("site", xmltree.NewElement("regions", region))
+}
+
+// xmarkPerson: /site/people/person with an address containing a city (the
+// shape Q7 = /site//person/*/city[text()='Pocatello'] queries; '*' matches
+// the address element).
+func xmarkPerson(rng *rand.Rand, i int) *xmltree.Node {
+	p := xmltree.NewElement("person",
+		xmltree.NewAttr("id", fmt.Sprintf("person%d", i)),
+		xmltree.NewElementText("name", xmarkName(rng)),
+		xmltree.NewElementText("emailaddress", fmt.Sprintf("p%d@example.com", i)),
+		xmltree.NewElement("address",
+			xmltree.NewElementText("street", fmt.Sprintf("%d Main St", 1+rng.Intn(999))),
+			xmltree.NewElementText("city", xmarkCities[rng.Intn(len(xmarkCities))]),
+			xmltree.NewElementText("country", xmarkLocations[rng.Intn(len(xmarkLocations))]),
+			xmltree.NewElementText("zipcode", fmt.Sprint(10000+rng.Intn(89999))),
+		),
+	)
+	if rng.Intn(2) == 0 {
+		p.Children = append(p.Children, xmltree.NewElement("profile",
+			xmltree.NewElementText("interest", xmarkWords[rng.Intn(len(xmarkWords))]),
+			xmltree.NewElementText("education", "Graduate School"),
+			xmltree.NewElementText("gender", []string{"male", "female"}[rng.Intn(2)]),
+			xmltree.NewElementText("age", fmt.Sprint(18+rng.Intn(60))),
+		))
+	}
+	return site(p, "people")
+}
+
+// xmarkOpenAuction: /site/open_auctions/open_auction with bidders.
+func xmarkOpenAuction(rng *rand.Rand, i int) *xmltree.Node {
+	a := xmltree.NewElement("open_auction",
+		xmltree.NewAttr("id", fmt.Sprintf("open%d", i)),
+		xmltree.NewElement("itemref", xmltree.NewAttr("item", fmt.Sprintf("item%d", rng.Intn(5000)))),
+		xmltree.NewElement("seller", xmltree.NewAttr("person", personRef(rng))),
+		xmltree.NewElementText("initial", fmt.Sprintf("%d.%02d", 1+rng.Intn(200), rng.Intn(100))),
+		xmltree.NewElementText("current", fmt.Sprintf("%d.%02d", 1+rng.Intn(400), rng.Intn(100))),
+		xmltree.NewElementText("quantity", fmt.Sprint(1+rng.Intn(4))),
+		xmltree.NewElementText("type", "Regular"),
+	)
+	for b := 0; b < rng.Intn(3); b++ {
+		a.Children = append(a.Children, xmltree.NewElement("bidder",
+			xmltree.NewElementText("time", fmt.Sprintf("%02d:%02d:%02d", rng.Intn(24), rng.Intn(60), rng.Intn(60))),
+			xmltree.NewElementText("increase", fmt.Sprintf("%d.00", 1+rng.Intn(30))),
+		))
+	}
+	return site(a, "open_auctions")
+}
+
+// xmarkClosedAuction: /site/closed_auctions/closed_auction with
+// seller/buyer person references (Q8 = //closed_auction[*[person='…']]/
+// date[text()='…']; '*' matches seller or buyer via their person
+// attribute).
+func xmarkClosedAuction(rng *rand.Rand, i int) *xmltree.Node {
+	buyer := personRef(rng)
+	date := xmarkDate(rng)
+	if i%50 == 0 {
+		// Q8's hot records: the target buyer and the target date together.
+		buyer = XMarkPerson
+		date = XMarkDate
+	}
+	a := xmltree.NewElement("closed_auction",
+		xmltree.NewElement("seller", xmltree.NewAttr("person", personRef(rng))),
+		xmltree.NewElement("buyer", xmltree.NewAttr("person", buyer)),
+		xmltree.NewElement("itemref", xmltree.NewAttr("item", fmt.Sprintf("item%d", rng.Intn(5000)))),
+		xmltree.NewElementText("price", fmt.Sprintf("%d.%02d", 1+rng.Intn(500), rng.Intn(100))),
+		xmltree.NewElementText("date", date),
+		xmltree.NewElementText("quantity", fmt.Sprint(1+rng.Intn(4))),
+		xmltree.NewElementText("type", "Regular"),
+		xmltree.NewElement("annotation",
+			xmltree.NewElement("author", xmltree.NewAttr("person", personRef(rng))),
+			xmltree.NewElementText("description", xmarkName(rng)),
+			xmltree.NewElementText("happiness", fmt.Sprint(1+rng.Intn(10))),
+		),
+	)
+	return site(a, "closed_auctions")
+}

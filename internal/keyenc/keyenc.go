@@ -1,0 +1,101 @@
+// Package keyenc provides order-preserving binary encodings for the
+// composite keys used by the B+Tree-backed indexes in this repository.
+//
+// All encodings guarantee that bytes.Compare on the encoded form equals the
+// natural ordering of the decoded tuples, which is what makes wildcard
+// prefixes expressible as B+Tree range queries (Section 3.3 of the ViST
+// paper: the D-Ancestor key is ordered first by the symbol, then by the
+// length of the prefix, and lastly by the content of the prefix).
+package keyenc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendUint64 appends the big-endian encoding of v, which sorts like v.
+func AppendUint64(dst []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return append(dst, buf[:]...)
+}
+
+// AppendUint32 appends the big-endian encoding of v, which sorts like v.
+func AppendUint32(dst []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return append(dst, buf[:]...)
+}
+
+// AppendUint16 appends the big-endian encoding of v, which sorts like v.
+func AppendUint16(dst []byte, v uint16) []byte {
+	var buf [2]byte
+	binary.BigEndian.PutUint16(buf[:], v)
+	return append(dst, buf[:]...)
+}
+
+// Uint64 decodes a big-endian uint64 from the front of b and returns the
+// remaining bytes.
+func Uint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("keyenc: need 8 bytes for uint64, have %d", len(b))
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+// Uint32 decodes a big-endian uint32 from the front of b and returns the
+// remaining bytes.
+func Uint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("keyenc: need 4 bytes for uint32, have %d", len(b))
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+// Uint16 decodes a big-endian uint16 from the front of b and returns the
+// remaining bytes.
+func Uint16(b []byte) (uint16, []byte, error) {
+	if len(b) < 2 {
+		return 0, nil, fmt.Errorf("keyenc: need 2 bytes for uint16, have %d", len(b))
+	}
+	return binary.BigEndian.Uint16(b), b[2:], nil
+}
+
+// AppendSymbols appends a fixed-width encoding of a symbol-ID sequence.
+// Because each symbol occupies exactly 4 bytes, sequences of equal length
+// sort lexicographically by content; callers that need shorter-before-longer
+// ordering must prepend the length (see the D-Ancestor key layout in
+// internal/core).
+func AppendSymbols(dst []byte, syms []uint32) []byte {
+	for _, s := range syms {
+		dst = AppendUint32(dst, s)
+	}
+	return dst
+}
+
+// Symbols decodes n fixed-width symbol IDs from the front of b.
+func Symbols(b []byte, n int) ([]uint32, []byte, error) {
+	if len(b) < 4*n {
+		return nil, nil, fmt.Errorf("keyenc: need %d bytes for %d symbols, have %d", 4*n, n, len(b))
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(b[4*i:])
+	}
+	return out, b[4*n:], nil
+}
+
+// PrefixSuccessor returns the smallest key that is strictly greater than
+// every key having p as a prefix, or nil if no such key exists (p is all
+// 0xFF). It is the canonical upper bound for a prefix range scan.
+func PrefixSuccessor(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUintRoundTrips(t *testing.T) {
+	for _, v := range []uint64{0, 1, 255, 1 << 32, math.MaxUint64} {
+		b := AppendUint64(nil, v)
+		got, rest, err := Uint64(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("Uint64(%d) = %d, %v, %v", v, got, rest, err)
+		}
+	}
+	b := AppendUint32(AppendUint16(nil, 7), 9)
+	v16, rest, err := Uint16(b)
+	if err != nil || v16 != 7 {
+		t.Fatalf("Uint16 = %d, %v", v16, err)
+	}
+	v32, rest, err := Uint32(rest)
+	if err != nil || v32 != 9 || len(rest) != 0 {
+		t.Fatalf("Uint32 = %d, %v", v32, err)
+	}
+}
+
+func TestTruncatedDecodes(t *testing.T) {
+	if _, _, err := Uint64([]byte{1, 2}); err == nil {
+		t.Fatal("short Uint64 accepted")
+	}
+	if _, _, err := Uint32([]byte{1}); err == nil {
+		t.Fatal("short Uint32 accepted")
+	}
+	if _, _, err := Uint16(nil); err == nil {
+		t.Fatal("short Uint16 accepted")
+	}
+	if _, _, err := Symbols([]byte{1, 2, 3}, 1); err == nil {
+		t.Fatal("short Symbols accepted")
+	}
+}
+
+func TestSymbolsRoundTrip(t *testing.T) {
+	in := []uint32{1, 0, math.MaxUint32, 42}
+	b := AppendSymbols(nil, in)
+	out, rest, err := Symbols(b, len(in))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Symbols: %v, %d rest", err, len(rest))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("symbol %d: %d != %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestPropertyUint64OrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka := AppendUint64(nil, a)
+		kb := AppendUint64(nil, b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{1, 2, 3}, []byte{1, 2, 4}},
+		{[]byte{1, 0xFF}, []byte{2}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{0}, []byte{1}},
+	}
+	for _, c := range cases {
+		got := PrefixSuccessor(c.in)
+		if !bytes.Equal(got, c.want) {
+			t.Fatalf("PrefixSuccessor(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPropertyPrefixSuccessorBounds(t *testing.T) {
+	// For any p and any extension e, p‖e < PrefixSuccessor(p) (when it
+	// exists), and p <= p‖e.
+	f := func(p, e []byte) bool {
+		succ := PrefixSuccessor(p)
+		if succ == nil {
+			return true
+		}
+		key := append(append([]byte(nil), p...), e...)
+		return bytes.Compare(key, succ) < 0 && bytes.Compare(p, key) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSuccessorDoesNotMutate(t *testing.T) {
+	p := []byte{1, 0xFF}
+	_ = PrefixSuccessor(p)
+	if p[0] != 1 || p[1] != 0xFF {
+		t.Fatalf("input mutated: %v", p)
+	}
+}

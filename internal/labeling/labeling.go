@@ -1,0 +1,160 @@
+// Package labeling implements ViST's dynamic virtual-suffix-tree labeling
+// (Section 3.4.1 of the paper): nested scopes assigned top-down as sequences
+// are inserted, so that the suffix tree itself never needs to be
+// materialized and labels never change after assignment.
+//
+// Two allocation strategies are provided, mirroring the paper:
+//
+//   - Uniform: "Dynamic Scope Allocation without Clues" — the k-th inserted
+//     child of a node receives 1/λ of the remaining scope (Eq. 5–6).
+//   - StatsAllocator: "Semantic and Statistical Clues" — children receive
+//     scopes proportional to their follow-set probabilities (Eq. 1–4),
+//     collected from sample data.
+//
+// Scope underflow (the allocated size reaching zero) is signalled to the
+// caller, which resolves it by borrowing a sequential run of labels from an
+// ancestor's reserve region (the paper: "we borrow scopes from the parent
+// nodes ... we preserve certain amount of scope in each node for this
+// unexpected situation").
+package labeling
+
+import (
+	"math"
+)
+
+// Scope is a virtual-suffix-tree node label ⟨n, size⟩ (Definition 3 without
+// the child counter k, which the index stores per node record). The node's
+// own label is N; the labels of all its descendants lie in (N, N+Size].
+type Scope struct {
+	N    uint64
+	Size uint64
+}
+
+// Root is the scope of the virtual suffix tree's root: it covers the entire
+// label space.
+func Root() Scope { return Scope{N: 0, Size: math.MaxUint64 - 1} }
+
+// ContainsLabel reports whether label n belongs to a descendant of s.
+func (s Scope) ContainsLabel(n uint64) bool {
+	return n > s.N && n-s.N <= s.Size
+}
+
+// Contains reports whether c is a (strict) descendant scope of s.
+func (s Scope) Contains(c Scope) bool {
+	if !s.ContainsLabel(c.N) {
+		return false
+	}
+	// c's descendant region must also stay inside s's.
+	return c.N-s.N+c.Size <= s.Size
+}
+
+// Disjoint reports whether the two scopes (each taken with its descendant
+// region) share no labels.
+func (s Scope) Disjoint(o Scope) bool {
+	return s.N+s.Size < o.N || o.N+o.Size < s.N
+}
+
+// Allocator chooses child subscopes under a parent scope. Nodes are
+// identified by the canonical element keys of seq.Elem.Key (the virtual
+// suffix tree's root has the empty key). Implementations must return
+// pairwise-disjoint scopes for distinct (k, childKey) requests under the
+// same parent, all contained in the parent's usable region.
+type Allocator interface {
+	// SubScope computes the scope for a new child of parent: parentKey
+	// identifies the parent node's element, k is the number of
+	// arrival-ordered children already allocated under it, and childKey
+	// identifies the new child's element. usedK reports whether the
+	// allocation consumed an arrival-order slot (the caller must then
+	// increment the parent's counter); ok is false on scope underflow, in
+	// which case the caller must fall back to reserve borrowing.
+	SubScope(parent Scope, parentKey string, k int, childKey string) (sub Scope, usedK, ok bool)
+	// Reserve returns the parent's sequential-label reserve region
+	// [lo, hi), used to resolve underflow.
+	Reserve(parent Scope) (lo, hi uint64)
+}
+
+// Config carries the knobs shared by the allocators.
+type Config struct {
+	// ReserveDen sets the reserve fraction: 1/ReserveDen of each node's
+	// scope is held back for underflow borrowing. Zero selects 16.
+	ReserveDen uint64
+}
+
+func (c Config) reserveDen() uint64 {
+	if c.ReserveDen == 0 {
+		return 16
+	}
+	return c.ReserveDen
+}
+
+// usable reports the size of the parent's child-allocation region after
+// setting aside the reserve.
+func (c Config) usable(parent Scope) uint64 {
+	return parent.Size - parent.Size/c.reserveDen()
+}
+
+// Reserve implements the reserve-region part of Allocator.
+func (c Config) Reserve(parent Scope) (lo, hi uint64) {
+	u := c.usable(parent)
+	return parent.N + 1 + u, parent.N + 1 + parent.Size
+}
+
+// Uniform is the clue-free allocator: with expected fan-out λ, the k-th
+// inserted child receives 1/λ of whatever scope remains, reproducing
+// Eq. (5): sₖ = (r−l−1)(λ−1)^(k−1)/λᵏ. Integer arithmetic is used so that
+// sibling scopes are exactly disjoint.
+type Uniform struct {
+	Config
+	// Lambda is the expected number of children per node; values below 2
+	// select 2 (the paper's running example).
+	Lambda uint64
+}
+
+func (u Uniform) lambda() uint64 {
+	if u.Lambda < 2 {
+		return 2
+	}
+	return u.Lambda
+}
+
+// SubScope implements Allocator.
+func (u Uniform) SubScope(parent Scope, _ string, k int, _ string) (Scope, bool, bool) {
+	sub, ok := uniformAt(parent.N+1, u.usable(parent), u.lambda(), k)
+	return sub, true, ok
+}
+
+var _ Allocator = Uniform{}
+
+// uniformAt performs the Eq. (5–6) remaining-scope halving inside the
+// region [base, base+avail): child k receives 1/λ of what the first k
+// children left over.
+func uniformAt(base, avail, lam uint64, k int) (Scope, bool) {
+	remaining := avail
+	start := base
+	for i := 0; i < k; i++ {
+		si := remaining / lam
+		if si == 0 {
+			return Scope{}, false
+		}
+		start += si
+		remaining -= si
+	}
+	sk := remaining / lam
+	if sk == 0 {
+		return Scope{}, false
+	}
+	return Scope{N: start, Size: sk - 1}, true
+}
+
+// Sequential lays out the run of labels [lo, lo+count) as a chain of nested
+// single-child scopes, the layout the paper prescribes for underflow
+// borrowing: "the involved nodes are labeled sequentially (each node is
+// allocated a scope for only one child)". Element i of the run gets scope
+// ⟨lo+i, count−i−1⟩ so each remains an ancestor scope of the ones after it.
+func Sequential(lo, count uint64) []Scope {
+	out := make([]Scope, count)
+	for i := uint64(0); i < count; i++ {
+		out[i] = Scope{N: lo + i, Size: count - i - 1}
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+package labeling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+func TestRootScope(t *testing.T) {
+	r := Root()
+	if r.N != 0 {
+		t.Fatalf("root N = %d", r.N)
+	}
+	if !r.ContainsLabel(1) || !r.ContainsLabel(math.MaxUint64-1) {
+		t.Fatal("root scope must contain almost all labels")
+	}
+	if r.ContainsLabel(0) {
+		t.Fatal("a scope must not contain its own label as a descendant")
+	}
+}
+
+func TestScopeContains(t *testing.T) {
+	parent := Scope{N: 100, Size: 100} // descendants in (100, 200]
+	child := Scope{N: 150, Size: 20}   // descendants in (150, 170]
+	if !parent.Contains(child) {
+		t.Fatal("parent must contain child")
+	}
+	if child.Contains(parent) {
+		t.Fatal("child must not contain parent")
+	}
+	edge := Scope{N: 101, Size: 99} // uses the full region
+	if !parent.Contains(edge) {
+		t.Fatal("full-region child must be contained")
+	}
+	over := Scope{N: 150, Size: 51} // reaches 201 > 200
+	if parent.Contains(over) {
+		t.Fatal("overflowing child must not be contained")
+	}
+	if !parent.ContainsLabel(200) || parent.ContainsLabel(201) {
+		t.Fatal("ContainsLabel boundary wrong")
+	}
+}
+
+func TestScopeDisjoint(t *testing.T) {
+	a := Scope{N: 10, Size: 5}  // [10, 15]
+	b := Scope{N: 16, Size: 3}  // [16, 19]
+	c := Scope{N: 15, Size: 10} // overlaps a at 15
+	if !a.Disjoint(b) || !b.Disjoint(a) {
+		t.Fatal("a and b must be disjoint")
+	}
+	if a.Disjoint(c) {
+		t.Fatal("a and c overlap")
+	}
+}
+
+func TestUniformHalving(t *testing.T) {
+	// The paper's Figure 8: with λ = 2, child k gets 1/2^(k+1) of the
+	// parent region.
+	u := Uniform{Lambda: 2, Config: Config{ReserveDen: math.MaxUint64}} // effectively no reserve
+	parent := Scope{N: 0, Size: 20480}
+	c0, usedK, ok := u.SubScope(parent, "", 0, "")
+	if !ok || !usedK {
+		t.Fatalf("child 0 alloc failed")
+	}
+	if c0.N != 1 || c0.Size != 20480/2-1 {
+		t.Fatalf("child 0 = %+v, want N=1 Size=%d", c0, 20480/2-1)
+	}
+	c1, _, ok := u.SubScope(parent, "", 1, "")
+	if !ok {
+		t.Fatal("child 1 alloc failed")
+	}
+	if c1.N != 1+10240 || c1.Size != 10240/2-1 {
+		t.Fatalf("child 1 = %+v", c1)
+	}
+	if !c0.Disjoint(c1) {
+		t.Fatal("siblings overlap")
+	}
+	if !parent.Contains(c0) || !parent.Contains(c1) {
+		t.Fatal("children escape parent")
+	}
+}
+
+func TestUniformUnderflow(t *testing.T) {
+	u := Uniform{Lambda: 2}
+	parent := Scope{N: 0, Size: 3}
+	// usable = 3 - 0 = 3 (3/16 = 0 reserve); child 0 gets 1, child 1 gets 1,
+	// child 2 underflows.
+	var scopes []Scope
+	for k := 0; ; k++ {
+		s, _, ok := u.SubScope(parent, "", k, "")
+		if !ok {
+			if k == 0 {
+				t.Fatal("no child allocated at all")
+			}
+			break
+		}
+		scopes = append(scopes, s)
+		if k > 10 {
+			t.Fatal("underflow never signalled")
+		}
+	}
+	for i := range scopes {
+		for j := i + 1; j < len(scopes); j++ {
+			if !scopes[i].Disjoint(scopes[j]) {
+				t.Fatalf("scopes %d and %d overlap: %+v %+v", i, j, scopes[i], scopes[j])
+			}
+		}
+	}
+}
+
+func TestReserveRegion(t *testing.T) {
+	cfg := Config{ReserveDen: 16}
+	parent := Scope{N: 100, Size: 1600}
+	lo, hi := cfg.Reserve(parent)
+	if hi-lo != 100 {
+		t.Fatalf("reserve size = %d, want 100", hi-lo)
+	}
+	if hi != parent.N+1+parent.Size {
+		t.Fatalf("reserve must end at the scope end: hi=%d", hi)
+	}
+	// The uniform allocator must never intrude into the reserve.
+	u := Uniform{Lambda: 2, Config: cfg}
+	for k := 0; k < 20; k++ {
+		s, _, ok := u.SubScope(parent, "", k, "")
+		if !ok {
+			break
+		}
+		if s.N+s.Size >= lo {
+			t.Fatalf("child %d (%+v) intrudes into reserve [%d,%d)", k, s, lo, hi)
+		}
+	}
+}
+
+func TestSequentialLayout(t *testing.T) {
+	scopes := Sequential(1000, 4)
+	if len(scopes) != 4 {
+		t.Fatalf("got %d scopes", len(scopes))
+	}
+	for i := 0; i < len(scopes)-1; i++ {
+		if !scopes[i].Contains(scopes[i+1]) {
+			t.Fatalf("sequential scope %d does not contain %d: %+v %+v", i, i+1, scopes[i], scopes[i+1])
+		}
+	}
+	if scopes[3].Size != 0 {
+		t.Fatalf("last sequential scope must be size 0: %+v", scopes[3])
+	}
+	if scopes[0].N != 1000 || scopes[0].Size != 3 {
+		t.Fatalf("first = %+v", scopes[0])
+	}
+}
+
+func TestFollowProbabilitiesEq2(t *testing.T) {
+	// Paper worked numbers: p(y1|x)=0.8, p(y2|x)=0.8 (independent) gives
+	// P_x(y1)=0.8, P_x(y2)=(1-0.8)*0.8=0.16.
+	in := []FollowEntry{{Key: "u", P: 0.8}, {Key: "v", P: 0.8}, {Key: "w", P: 0.5}}
+	out := FollowProbabilities(in)
+	if math.Abs(out[0].P-0.8) > 1e-12 {
+		t.Fatalf("P(u) = %v", out[0].P)
+	}
+	if math.Abs(out[1].P-0.16) > 1e-12 {
+		t.Fatalf("P(v) = %v", out[1].P)
+	}
+	if math.Abs(out[2].P-0.2*0.2*0.5) > 1e-12 {
+		t.Fatalf("P(w) = %v", out[2].P)
+	}
+}
+
+func sampleSequences(t *testing.T) []seq.Sequence {
+	t.Helper()
+	d := seq.NewDict()
+	docs := []*xmltree.Node{
+		xmltree.NewElement("p",
+			xmltree.NewElement("s", xmltree.NewElementText("n", "dell")),
+			xmltree.NewElement("b", xmltree.NewElementText("l", "ny")),
+		),
+		xmltree.NewElement("p",
+			xmltree.NewElement("s", xmltree.NewElementText("n", "ibm")),
+		),
+		xmltree.NewElement("p",
+			xmltree.NewElement("b", xmltree.NewElementText("l", "boston")),
+		),
+	}
+	var out []seq.Sequence
+	for _, doc := range docs {
+		xmltree.Normalize(doc, nil)
+		out = append(out, seq.Encode(doc, d))
+	}
+	return out
+}
+
+func TestStatsFollowOrdering(t *testing.T) {
+	st := NewStats()
+	for _, s := range sampleSequences(t) {
+		st.AddSequence(s)
+	}
+	st.Finalize()
+	// All three docs start with "p": the root's follow set has exactly one
+	// entry with probability 1.
+	root := st.Follow("")
+	if len(root) != 1 || math.Abs(root[0].P-1) > 1e-12 {
+		t.Fatalf("root follow = %+v", root)
+	}
+}
+
+func TestStatsEncodeDecode(t *testing.T) {
+	st := NewStats()
+	for _, s := range sampleSequences(t) {
+		st.AddSequence(s)
+	}
+	b := st.Encode()
+	st2, err := DecodeStats(b)
+	if err != nil {
+		t.Fatalf("DecodeStats: %v", err)
+	}
+	st.Finalize()
+	st2.Finalize()
+	for x, entries := range st.order {
+		entries2 := st2.order[x]
+		if len(entries) != len(entries2) {
+			t.Fatalf("follow(%x): %d vs %d entries", x, len(entries), len(entries2))
+		}
+		for i := range entries {
+			if entries[i].Key != entries2[i].Key || math.Abs(entries[i].P-entries2[i].P) > 1e-12 {
+				t.Fatalf("follow(%x)[%d]: %+v vs %+v", x, i, entries[i], entries2[i])
+			}
+		}
+	}
+	if _, err := DecodeStats(append(b, 7)); err == nil {
+		t.Fatal("DecodeStats accepted trailing bytes")
+	}
+	if _, err := DecodeStats([]byte{255}); err == nil {
+		t.Fatal("DecodeStats accepted garbage")
+	}
+}
+
+func TestStatsAllocatorDisjointKnown(t *testing.T) {
+	st := NewStats()
+	for _, s := range sampleSequences(t) {
+		st.AddSequence(s)
+	}
+	a := NewStatsAllocator(st, Config{})
+	parent := Root()
+	// Allocate one scope per known follower of every observed context and
+	// assert pairwise disjointness under the same parent.
+	for x := range st.counts {
+		var scopes []Scope
+		for _, f := range st.Follow(x) {
+			s, usedK, ok := a.SubScope(parent, x, 0, f.Key)
+			if !ok {
+				t.Fatalf("known follower %x underflowed under huge scope", f.Key)
+			}
+			if usedK {
+				t.Fatalf("known follower consumed arrival slot")
+			}
+			scopes = append(scopes, s)
+		}
+		for i := range scopes {
+			if !parent.Contains(scopes[i]) {
+				t.Fatalf("scope %+v escapes parent", scopes[i])
+			}
+			for j := i + 1; j < len(scopes); j++ {
+				if !scopes[i].Disjoint(scopes[j]) {
+					t.Fatalf("known scopes overlap: %+v %+v", scopes[i], scopes[j])
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAllocatorUnknownRegionDisjointFromKnown(t *testing.T) {
+	st := NewStats()
+	for _, s := range sampleSequences(t) {
+		st.AddSequence(s)
+	}
+	a := NewStatsAllocator(st, Config{})
+	parent := Root()
+	var known, unknown []Scope
+	for x := range st.counts {
+		for _, f := range st.Follow(x) {
+			s, _, ok := a.SubScope(parent, x, 0, f.Key)
+			if ok {
+				known = append(known, s)
+			}
+		}
+		// Unknown children in arrival order.
+		for k := 0; k < 5; k++ {
+			s, usedK, ok := a.SubScope(parent, x, k, "\x00\x00\x00\x99unknown")
+			if !ok {
+				t.Fatalf("unknown alloc %d failed under huge scope", k)
+			}
+			if !usedK {
+				t.Fatal("unknown follower must consume arrival slot")
+			}
+			unknown = append(unknown, s)
+		}
+		for _, ks := range known {
+			for _, us := range unknown {
+				if !ks.Disjoint(us) {
+					t.Fatalf("known %+v overlaps unknown %+v", ks, us)
+				}
+			}
+		}
+		known, unknown = known[:0], unknown[:0]
+	}
+}
+
+func TestStatsAllocatorFallbackForUnseenParent(t *testing.T) {
+	st := NewStats()
+	a := NewStatsAllocator(st, Config{})
+	parent := Root()
+	s0, usedK, ok := a.SubScope(parent, "never-seen", 0, "x")
+	if !ok || !usedK {
+		t.Fatal("fallback allocation failed")
+	}
+	s1, _, ok := a.SubScope(parent, "never-seen", 1, "y")
+	if !ok || !s0.Disjoint(s1) {
+		t.Fatalf("fallback siblings overlap: %+v %+v", s0, s1)
+	}
+}
+
+func TestPropertyUniformSiblingsDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lam := uint64(2 + rng.Intn(20))
+		u := Uniform{Lambda: lam}
+		n := rng.Uint64() >> 1
+		size := 1 + rng.Uint64()>>uint(rng.Intn(40))
+		// Real scopes never overflow the label space: N+Size+1 <= MaxUint64.
+		if size > math.MaxUint64-n-1 {
+			size = math.MaxUint64 - n - 1
+		}
+		parent := Scope{N: n, Size: size}
+		var scopes []Scope
+		for k := 0; k < 30; k++ {
+			s, _, ok := u.SubScope(parent, "", k, "")
+			if !ok {
+				break
+			}
+			if !parent.Contains(s) {
+				return false
+			}
+			scopes = append(scopes, s)
+		}
+		lo, hi := u.Reserve(parent)
+		for i := range scopes {
+			if scopes[i].N+scopes[i].Size >= lo && lo < hi {
+				return false // intrudes into reserve
+			}
+			for j := i + 1; j < len(scopes); j++ {
+				if !scopes[i].Disjoint(scopes[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySequentialNested(t *testing.T) {
+	f := func(lo uint64, cnt uint8) bool {
+		count := uint64(cnt%32) + 1
+		if lo > math.MaxUint64-count {
+			lo = math.MaxUint64 - count
+		}
+		scopes := Sequential(lo, count)
+		for i := 0; i+1 < len(scopes); i++ {
+			if !scopes[i].Contains(scopes[i+1]) {
+				return false
+			}
+		}
+		return scopes[len(scopes)-1].Size == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsFromClues(t *testing.T) {
+	// The paper's worked example: p(u|x)=0.8, p(v|x)=0.8 in follow order
+	// gives P_x(u)=0.8, P_x(v)=0.16; the resulting table must rank u first
+	// with ~5x v's share.
+	clues := map[string][]FollowEntry{
+		"x": {{Key: "u", P: 0.8}, {Key: "v", P: 0.8}},
+	}
+	st := StatsFromClues(clues)
+	follow := st.Follow("x")
+	if len(follow) != 2 || follow[0].Key != "u" {
+		t.Fatalf("follow = %+v", follow)
+	}
+	ratio := follow[0].P / follow[1].P
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Fatalf("P(u)/P(v) = %v, want ≈5", ratio)
+	}
+	// The table must drive an allocator: u's scope ≈ 5x v's scope.
+	a := NewStatsAllocator(st, Config{})
+	parent := Root()
+	su, _, ok := a.SubScope(parent, "x", 0, "u")
+	if !ok {
+		t.Fatal("u alloc failed")
+	}
+	sv, _, ok := a.SubScope(parent, "x", 0, "v")
+	if !ok {
+		t.Fatal("v alloc failed")
+	}
+	if !su.Disjoint(sv) {
+		t.Fatalf("clue scopes overlap: %+v %+v", su, sv)
+	}
+	sizeRatio := float64(su.Size) / float64(sv.Size)
+	if sizeRatio < 4 || sizeRatio > 6 {
+		t.Fatalf("scope size ratio = %v, want ≈5", sizeRatio)
+	}
+}
+
+func TestStatsFromCluesZeroAndTiny(t *testing.T) {
+	st := StatsFromClues(map[string][]FollowEntry{
+		"x": {{Key: "a", P: 1.0}, {Key: "b", P: 0.0000001}, {Key: "c", P: 0}},
+	})
+	follow := st.Follow("x")
+	// a certain; b tiny but retained (quantized up to 1); c dropped after
+	// a's certainty zeroes its Eq(2) probability.
+	if len(follow) == 0 || follow[0].Key != "a" {
+		t.Fatalf("follow = %+v", follow)
+	}
+	for _, f := range follow {
+		if f.Key == "c" {
+			t.Fatalf("zero-probability entry retained: %+v", follow)
+		}
+	}
+}

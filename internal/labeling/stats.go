@@ -1,0 +1,325 @@
+package labeling
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"vist/internal/seq"
+)
+
+// FollowEntry is one member of a node's follow set with its probability
+// P_x(yᵢ) of immediately following x (Eq. 2 of the paper). Nodes are
+// identified by canonical element keys (seq.Elem.Key); the virtual suffix
+// tree's root has the empty key.
+type FollowEntry struct {
+	Key string
+	P   float64
+}
+
+// FollowProbabilities derives P_x(yᵢ) from the occurrence probabilities
+// p(yᵢ|x) of an ordered follow set, per Eq. (2):
+//
+//	P_x(yᵢ) = p(yᵢ|x) · Π_{k<i} (1 − p(y_k|x))
+//
+// It is exported for callers that hold schema-level conditional
+// probabilities (the paper's "semantic clues"); Stats computes the same
+// quantities empirically instead.
+func FollowProbabilities(follow []FollowEntry) []FollowEntry {
+	out := make([]FollowEntry, len(follow))
+	rem := 1.0
+	for i, f := range follow {
+		out[i] = FollowEntry{Key: f.Key, P: f.P * rem}
+		rem *= 1 - f.P
+	}
+	return out
+}
+
+// Stats accumulates empirical follow statistics from sample sequences: how
+// often each element is immediately followed by each other element. This is
+// exactly the distribution the dynamic labeler needs, because the children
+// of a virtual-suffix-tree node for element x are the possible next
+// elements after x in inserted sequences.
+//
+// Statistics are part of an index's identity: once an index has been built
+// with a Stats table, reopening it must use the same table (persist it with
+// Encode) or newly allocated scopes could overlap existing ones.
+type Stats struct {
+	counts map[string]map[string]uint64
+	totals map[string]uint64
+
+	// finalized tables
+	index map[string]map[string]int
+	cum   map[string][]float64 // cum[i] = Σ_{j<i} normalized P of entry j
+	order map[string][]FollowEntry
+}
+
+// NewStats returns an empty statistics collector.
+func NewStats() *Stats {
+	return &Stats{
+		counts: make(map[string]map[string]uint64),
+		totals: make(map[string]uint64),
+	}
+}
+
+// AddSequence folds one sample sequence into the statistics, including the
+// transition from the virtual root (empty key) to the first element.
+func (st *Stats) AddSequence(s seq.Sequence) {
+	prev := ""
+	for _, e := range s {
+		cur := e.Key()
+		st.add(prev, cur, 1)
+		prev = cur
+	}
+	st.index = nil // invalidate finalized tables
+}
+
+func (st *Stats) add(x, y string, c uint64) {
+	m := st.counts[x]
+	if m == nil {
+		m = make(map[string]uint64)
+		st.counts[x] = m
+	}
+	m[y] += c
+	st.totals[x] += c
+}
+
+// Finalize computes the normalized, probability-ordered follow tables.
+// Adding more sequences afterwards requires calling it again.
+func (st *Stats) Finalize() {
+	st.index = make(map[string]map[string]int, len(st.counts))
+	st.cum = make(map[string][]float64, len(st.counts))
+	st.order = make(map[string][]FollowEntry, len(st.counts))
+	for x, m := range st.counts {
+		entries := make([]FollowEntry, 0, len(m))
+		total := float64(st.totals[x])
+		for y, c := range m {
+			entries = append(entries, FollowEntry{Key: y, P: float64(c) / total})
+		}
+		// Highest probability first (largest scopes first); ties broken by
+		// key for determinism.
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].P != entries[j].P {
+				return entries[i].P > entries[j].P
+			}
+			return entries[i].Key < entries[j].Key
+		})
+		idx := make(map[string]int, len(entries))
+		cum := make([]float64, len(entries)+1)
+		for i, e := range entries {
+			idx[e.Key] = i
+			cum[i+1] = cum[i] + e.P
+		}
+		if last := cum[len(entries)]; last > 0 {
+			for i := range cum {
+				cum[i] /= last
+			}
+		}
+		st.index[x] = idx
+		st.cum[x] = cum
+		st.order[x] = entries
+	}
+}
+
+// Follow returns the finalized follow set of x, highest probability first.
+func (st *Stats) Follow(x string) []FollowEntry {
+	if st.index == nil {
+		st.Finalize()
+	}
+	return st.order[x]
+}
+
+// Encode serializes the raw counts for persistence alongside an index.
+func (st *Stats) Encode() []byte {
+	xs := make([]string, 0, len(st.counts))
+	for x := range st.counts {
+		xs = append(xs, x)
+	}
+	sort.Strings(xs)
+	out := binary.AppendUvarint(nil, uint64(len(xs)))
+	for _, x := range xs {
+		out = appendString(out, x)
+		m := st.counts[x]
+		ys := make([]string, 0, len(m))
+		for y := range m {
+			ys = append(ys, y)
+		}
+		sort.Strings(ys)
+		out = binary.AppendUvarint(out, uint64(len(ys)))
+		for _, y := range ys {
+			out = appendString(out, y)
+			out = binary.AppendUvarint(out, m[y])
+		}
+	}
+	return out
+}
+
+// DecodeStats restores a table produced by Encode.
+func DecodeStats(b []byte) (*Stats, error) {
+	st := NewStats()
+	nx, b, err := readUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nx; i++ {
+		var x string
+		x, b, err = readString(b)
+		if err != nil {
+			return nil, err
+		}
+		var ny uint64
+		ny, b, err = readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < ny; j++ {
+			var y string
+			y, b, err = readString(b)
+			if err != nil {
+				return nil, err
+			}
+			var c uint64
+			c, b, err = readUvarint(b)
+			if err != nil {
+				return nil, err
+			}
+			st.add(x, y, c)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("labeling: %d trailing stats bytes", len(b))
+	}
+	return st, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("labeling: truncated varint")
+	}
+	return v, b[n:], nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	l, b, err := readUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < l {
+		return "", nil, fmt.Errorf("labeling: truncated string")
+	}
+	return string(b[:l]), b[l:], nil
+}
+
+// StatsAllocator allocates subscopes proportional to follow-set
+// probabilities (Eq. 3–4). Elements absent from the training data are
+// allocated uniformly, in arrival order, inside a disjoint unknown-element
+// region; parents with no statistics at all fall back to the uniform
+// strategy over the whole usable region (consistently for all of their
+// children), so disjointness always holds.
+type StatsAllocator struct {
+	Config
+	stats *Stats
+	// UnknownLambda is the fan-out estimate for the unknown-element region;
+	// values below 2 select 8.
+	UnknownLambda uint64
+}
+
+// NewStatsAllocator builds an allocator over st, finalizing it if needed.
+func NewStatsAllocator(st *Stats, cfg Config) *StatsAllocator {
+	if st.index == nil {
+		st.Finalize()
+	}
+	return &StatsAllocator{Config: cfg, stats: st}
+}
+
+func (a *StatsAllocator) unknownLambda() uint64 {
+	if a.UnknownLambda < 2 {
+		return 8
+	}
+	return a.UnknownLambda
+}
+
+// knownFracNum/knownFracDen: the share of the usable region devoted to
+// elements present in the statistics; the rest is the unknown-element
+// region.
+const (
+	knownFracNum = 3
+	knownFracDen = 4
+)
+
+// SubScope implements Allocator.
+func (a *StatsAllocator) SubScope(parent Scope, parentKey string, k int, childKey string) (Scope, bool, bool) {
+	cum, ok := a.stats.cum[parentKey]
+	if !ok {
+		// No clues for this parent: pure uniform over the usable region.
+		sub, _, allocOK := Uniform{Config: a.Config}.SubScope(parent, parentKey, k, childKey)
+		return sub, true, allocOK
+	}
+	u := a.usable(parent)
+	knownSize := u / knownFracDen * knownFracNum
+	base := parent.N + 1
+	if i, known := a.stats.index[parentKey][childKey]; known {
+		lo := base + scale(knownSize, cum[i])
+		hi := base + scale(knownSize, cum[i+1])
+		if hi <= lo {
+			return Scope{}, false, false
+		}
+		return Scope{N: lo, Size: hi - lo - 1}, false, true
+	}
+	// Unknown element: uniform allocation by arrival order inside the
+	// unknown region.
+	sub, allocOK := uniformAt(base+knownSize, u-knownSize, a.unknownLambda(), k)
+	return sub, true, allocOK
+}
+
+var _ Allocator = (*StatsAllocator)(nil)
+
+// scale computes floor(size · frac) monotonically in frac, clamped to
+// [0, size]. Monotonicity guarantees that consecutive cumulative boundaries
+// never cross, which keeps sibling scopes disjoint even under float64
+// rounding.
+func scale(size uint64, frac float64) uint64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return size
+	}
+	v := uint64(float64(size) * frac)
+	if v > size {
+		v = size
+	}
+	return v
+}
+
+// StatsFromClues builds a statistics table from schema-level occurrence
+// probabilities — the paper's "semantic clues" route to dynamic labeling.
+// For each context x (a canonical element key; "" is the virtual root),
+// clues[x] lists x's follow set with occurrence probabilities p(yᵢ|x) in
+// follow-set order; Eq. (2) converts them to immediate-follow
+// probabilities, which are folded into the table as weighted counts. The
+// result plugs into NewStatsAllocator exactly like empirically collected
+// statistics.
+func StatsFromClues(clues map[string][]FollowEntry) *Stats {
+	const scale = 1 << 20 // probability resolution when quantized to counts
+	st := NewStats()
+	for x, follow := range clues {
+		for _, f := range FollowProbabilities(follow) {
+			c := uint64(f.P * scale)
+			if c == 0 && f.P > 0 {
+				c = 1
+			}
+			if c > 0 {
+				st.add(x, f.Key, c)
+			}
+		}
+	}
+	st.Finalize()
+	return st
+}

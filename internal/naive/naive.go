@@ -1,0 +1,141 @@
+// Package naive implements the paper's Algorithm 1: non-contiguous
+// subsequence matching by direct traversal of a materialized suffix tree.
+// For every query element it walks all descendants of the current node
+// ("searching for nodes satisfying both S-Ancestorship and D-Ancestorship
+// is extremely costly since we need to traverse a large portion of the
+// subtree for each match") — the baseline RIST and ViST improve on.
+package naive
+
+import (
+	"sort"
+
+	"vist/internal/query"
+	"vist/internal/seq"
+	"vist/internal/suffixtree"
+	"vist/internal/xmltree"
+)
+
+// Index is a suffix-tree-backed naive matcher.
+type Index struct {
+	tree   *suffixtree.Tree
+	dict   *seq.Dict
+	schema *xmltree.Schema
+	nextID uint64
+}
+
+// New builds an empty naive index with the given DTD-order schema (nil for
+// lexicographic ordering).
+func New(schema *xmltree.Schema) *Index {
+	return &Index{tree: suffixtree.New(), dict: seq.NewDict(), schema: schema, nextID: 1}
+}
+
+// Insert indexes a document (normalized in place) and returns its ID.
+func (ix *Index) Insert(doc *xmltree.Node) uint64 {
+	xmltree.Normalize(doc, ix.schema)
+	s := seq.Encode(doc, ix.dict)
+	id := ix.nextID
+	ix.nextID++
+	ix.tree.Insert(s, id)
+	return id
+}
+
+// Dict exposes the symbol dictionary.
+func (ix *Index) Dict() *seq.Dict { return ix.dict }
+
+// Tree exposes the underlying trie.
+func (ix *Index) Tree() *suffixtree.Tree { return ix.tree }
+
+// Query evaluates a path expression with Algorithm 1.
+func (ix *Index) Query(expr string) ([]uint64, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	seqs, err := q.Sequences(ix.dict, ix.schema)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]struct{})
+	for _, qs := range seqs {
+		ix.matchSeq(qs, out)
+	}
+	ids := make([]uint64, 0, len(out))
+	for id := range out {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// matchSeq is NaiveSearch: at each step it enumerates every descendant of
+// the current suffix-tree node and keeps those whose (symbol, prefix)
+// matches the next query element.
+func (ix *Index) matchSeq(qs query.Seq, out map[uint64]struct{}) {
+	if len(qs) == 0 {
+		return
+	}
+	paths := make([][]seq.Symbol, len(qs)) // concrete path per matched element
+	var rec func(i int, node *suffixtree.Node)
+	rec = func(i int, node *suffixtree.Node) {
+		if i == len(qs) {
+			collectDocs(node, out)
+			return
+		}
+		qe := qs[i]
+		var base []seq.Symbol
+		if qe.Anchor >= 0 {
+			base = paths[qe.Anchor]
+		}
+		// Walk the whole subtree under node (the naive part).
+		var walk func(c *suffixtree.Node)
+		walk = func(c *suffixtree.Node) {
+			if elementMatches(c.Elem, qe, base) {
+				path := append(append([]seq.Symbol(nil), c.Elem.Prefix...), c.Elem.Symbol)
+				paths[i] = path
+				rec(i+1, c)
+			}
+			for _, cc := range c.Children() {
+				walk(cc)
+			}
+		}
+		for _, c := range node.Children() {
+			walk(c)
+		}
+	}
+	rec(0, ix.tree.Root())
+}
+
+// elementMatches checks the D-Ancestorship condition: the element's symbol
+// equals the query symbol and its prefix extends base by exactly Stars
+// symbols (plus any number when Desc).
+func elementMatches(e seq.Elem, qe query.QElem, base []seq.Symbol) bool {
+	if e.Symbol != qe.Symbol {
+		return false
+	}
+	min := len(base) + qe.Stars
+	if qe.Desc {
+		if len(e.Prefix) < min {
+			return false
+		}
+	} else if len(e.Prefix) != min {
+		return false
+	}
+	for i, b := range base {
+		if e.Prefix[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// collectDocs gathers the document IDs attached to node and every
+// descendant ("output all document IDs attached to the nodes under node
+// n").
+func collectDocs(node *suffixtree.Node, out map[uint64]struct{}) {
+	for _, id := range node.Docs {
+		out[id] = struct{}{}
+	}
+	for _, c := range node.Children() {
+		collectDocs(c, out)
+	}
+}

@@ -1,0 +1,112 @@
+package naive
+
+import (
+	"reflect"
+	"testing"
+
+	"vist/internal/xmltree"
+)
+
+func insert(t *testing.T, ix *Index, xmls ...string) []uint64 {
+	t.Helper()
+	var ids []uint64
+	for _, x := range xmls {
+		n, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ix.Insert(n))
+	}
+	return ids
+}
+
+func TestNaiveBasicQueries(t *testing.T) {
+	ix := New(nil)
+	ids := insert(t, ix,
+		`<purchase><seller ID="dell"><location>boston</location></seller><buyer><location>newyork</location></buyer></purchase>`,
+		`<purchase><seller ID="hp"><location>chicago</location></seller></purchase>`,
+	)
+	cases := []struct {
+		expr string
+		want []uint64
+	}{
+		{"/purchase", ids},
+		{"/purchase/seller", ids},
+		{"/purchase/seller[@ID='dell']", ids[:1]},
+		{"/purchase/buyer", ids[:1]},
+		{"/purchase/*[location='boston']", ids[:1]},
+		{"//location[text()='chicago']", ids[1:]},
+		{"/purchase[seller[location='boston']]/buyer[location='newyork']", ids[:1]},
+		{"/nosuch", nil},
+	}
+	for _, c := range cases {
+		got, err := ix.Query(c.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", c.expr, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(c.want)) {
+			t.Errorf("%s: got %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestNaiveDescendantAndStars(t *testing.T) {
+	ix := New(nil)
+	ids := insert(t, ix,
+		"<a><b><c><d>x</d></c></b></a>",
+		"<a><c><d>y</d></c></a>",
+	)
+	got, err := ix.Query("/a//d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("/a//d = %v", got)
+	}
+	got, err = ix.Query("/a/*/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[1:]) {
+		t.Fatalf("/a/*/d = %v", got)
+	}
+	got, err = ix.Query("//d[text()='x']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("//d[x] = %v", got)
+	}
+}
+
+func TestNaiveDocsUnderSubtreeCollected(t *testing.T) {
+	// A query matching an interior suffix-tree node must report documents
+	// attached below it (Algorithm 1: "output all document IDs attached to
+	// the nodes under node n").
+	ix := New(nil)
+	ids := insert(t, ix,
+		"<a><b/></a>",
+		"<a><b><c/></b></a>",
+	)
+	got, err := ix.Query("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("/a/b = %v, want both docs", got)
+	}
+}
+
+func TestNaiveParseError(t *testing.T) {
+	ix := New(nil)
+	if _, err := ix.Query("/a["); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+}
+
+func normalize(ids []uint64) []uint64 {
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
+}

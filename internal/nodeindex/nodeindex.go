@@ -1,0 +1,324 @@
+// Package nodeindex implements the node-index comparator of the paper's
+// evaluation: an XISS-like index (Li & Moon, VLDB 2001) that labels every
+// node of every document with an extended-preorder ⟨order, size⟩ pair,
+// stores per-symbol node lists in a B+Tree, and answers path expressions by
+// decomposing them into atom expressions combined with binary structural
+// joins (parent–child and ancestor–descendant). Every multi-step query
+// pays per-node join costs — the behaviour Table 4 of the paper contrasts
+// with ViST's whole-structure matching.
+package nodeindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"vist/internal/btree"
+	"vist/internal/keyenc"
+	"vist/internal/query"
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+// DocID identifies a document within the index.
+type DocID uint64
+
+// nodeRef is one labeled document node: ⟨order, size⟩ extended preorder
+// within its document plus its depth (root = 1).
+type nodeRef struct {
+	doc   DocID
+	order uint32
+	size  uint32
+	depth uint16
+}
+
+// Index is the XISS-like node index.
+type Index struct {
+	// nodes holds one entry per document node:
+	//   key = symbol(4) ‖ docID(8) ‖ order(4), value = size(4) ‖ depth(2).
+	nodes  *btree.BTree
+	dict   *seq.Dict
+	schema *xmltree.Schema
+	nextID DocID
+	count  uint64
+}
+
+// New creates an in-memory node index.
+func New(schema *xmltree.Schema, pageSize int) (*Index, error) {
+	if pageSize == 0 {
+		pageSize = btree.DefaultPageSize
+	}
+	t, err := btree.New(btree.NewMemPager(pageSize), btree.Options{PageSize: pageSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{nodes: t, dict: seq.NewDict(), schema: schema, nextID: 1}, nil
+}
+
+// DocCount reports the number of indexed documents.
+func (ix *Index) DocCount() uint64 { return ix.count }
+
+// SizeBytes reports the index footprint.
+func (ix *Index) SizeBytes() int64 { return ix.nodes.SizeBytes() }
+
+func nodeIndexKey(sym seq.Symbol, doc DocID, order uint32) []byte {
+	b := make([]byte, 0, 16)
+	b = keyenc.AppendUint32(b, uint32(sym))
+	b = keyenc.AppendUint64(b, uint64(doc))
+	return keyenc.AppendUint32(b, order)
+}
+
+// Insert labels the document (normalized in place) with extended preorder
+// numbers and stores one entry per node.
+func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
+	xmltree.Normalize(doc, ix.schema)
+	id := ix.nextID
+	order := uint32(0)
+	var walk func(n *xmltree.Node, depth uint16) (uint32, error) // returns subtree size
+	walk = func(n *xmltree.Node, depth uint16) (uint32, error) {
+		myOrder := order
+		order++
+		var size uint32
+		for _, ch := range n.Children {
+			s, err := walk(ch, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			size += 1 + s
+		}
+		val := make([]byte, 6)
+		binary.BigEndian.PutUint32(val[0:4], size)
+		binary.BigEndian.PutUint16(val[4:6], depth)
+		sym := seq.SymbolOf(n, ix.dict)
+		if err := ix.nodes.Put(nodeIndexKey(sym, id, myOrder), val); err != nil {
+			return 0, err
+		}
+		return size, nil
+	}
+	if _, err := walk(doc, 1); err != nil {
+		return 0, err
+	}
+	ix.nextID++
+	ix.count++
+	return id, nil
+}
+
+// fetch returns all labeled nodes carrying the symbol, sorted by
+// (doc, order).
+func (ix *Index) fetch(sym seq.Symbol) ([]nodeRef, error) {
+	var out []nodeRef
+	prefix := keyenc.AppendUint32(nil, uint32(sym))
+	err := ix.nodes.ScanPrefix(prefix, func(k, v []byte) (bool, error) {
+		ref, err := parseEntry(k, v)
+		if err != nil {
+			return false, err
+		}
+		out = append(out, ref)
+		return true, nil
+	})
+	return out, err
+}
+
+// fetchAll returns every labeled node that is not a value leaf — the
+// candidate list for '*' steps. XISS has no wildcard-specific structure, so
+// the whole element index is scanned.
+func (ix *Index) fetchAll() ([]nodeRef, error) {
+	var out []nodeRef
+	err := ix.nodes.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if len(k) < 4 {
+			return false, fmt.Errorf("nodeindex: short key")
+		}
+		sym := seq.Symbol(binary.BigEndian.Uint32(k[:4]))
+		if sym.IsValue() {
+			return true, nil
+		}
+		ref, err := parseEntry(k, v)
+		if err != nil {
+			return false, err
+		}
+		out = append(out, ref)
+		return true, nil
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].doc != out[j].doc {
+			return out[i].doc < out[j].doc
+		}
+		return out[i].order < out[j].order
+	})
+	return out, err
+}
+
+func parseEntry(k, v []byte) (nodeRef, error) {
+	if len(k) != 16 || len(v) != 6 {
+		return nodeRef{}, fmt.Errorf("nodeindex: malformed entry (%d/%d bytes)", len(k), len(v))
+	}
+	return nodeRef{
+		doc:   DocID(binary.BigEndian.Uint64(k[4:12])),
+		order: binary.BigEndian.Uint32(k[12:16]),
+		size:  binary.BigEndian.Uint32(v[0:4]),
+		depth: binary.BigEndian.Uint16(v[4:6]),
+	}, nil
+}
+
+// Query evaluates a path expression by structural joins.
+func (ix *Index) Query(expr string) ([]DocID, error) {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	var result map[DocID]struct{}
+	for _, stepNode := range q.Root.Children {
+		refs, err := ix.evalNode(stepNode)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[DocID]struct{})
+		for _, r := range refs {
+			if stepNode.Axis == query.Child && r.depth != 1 {
+				continue // absolute step: must be the document root
+			}
+			set[r.doc] = struct{}{}
+		}
+		if result == nil {
+			result = set
+			continue
+		}
+		for id := range result {
+			if _, ok := set[id]; !ok {
+				delete(result, id)
+			}
+		}
+	}
+	ids := make([]DocID, 0, len(result))
+	for id := range result {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// evalNode computes the labeled nodes matching the query subtree rooted at
+// qn: its own atom expression semi-joined with each branch.
+func (ix *Index) evalNode(qn *query.Node) ([]nodeRef, error) {
+	base, err := ix.candidates(qn)
+	if err != nil {
+		return nil, err
+	}
+	for _, qc := range qn.Children {
+		if len(base) == 0 {
+			return nil, nil
+		}
+		var childRefs []nodeRef
+		if qc.Kind == query.Value {
+			childRefs, err = ix.fetch(seq.ValueSymbol(qc.Text))
+		} else {
+			childRefs, err = ix.evalNode(qc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		axis := qc.Axis
+		if qc.Kind == query.Value {
+			axis = query.Child
+		}
+		base = semiJoin(base, childRefs, axis)
+	}
+	return base, nil
+}
+
+// candidates returns the atom-expression node list for a query node.
+func (ix *Index) candidates(qn *query.Node) ([]nodeRef, error) {
+	switch qn.Kind {
+	case query.Star:
+		return ix.fetchAll()
+	case query.Name:
+		var names []string
+		switch {
+		case qn.IsAttr:
+			names = []string{seq.AttrName(qn.Name)}
+		case qn.AnyKind:
+			names = []string{qn.Name, seq.AttrName(qn.Name)}
+		default:
+			names = []string{qn.Name}
+		}
+		var out []nodeRef
+		for _, name := range names {
+			sym, ok := ix.dict.Lookup(name)
+			if !ok {
+				continue
+			}
+			refs, err := ix.fetch(sym)
+			if err != nil {
+				return nil, err
+			}
+			out = merge(out, refs)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("nodeindex: unexpected query node kind %d", qn.Kind)
+	}
+}
+
+// merge combines two (doc, order)-sorted lists.
+func merge(a, b []nodeRef) []nodeRef {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]nodeRef, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func less(x, y nodeRef) bool {
+	if x.doc != y.doc {
+		return x.doc < y.doc
+	}
+	return x.order < y.order
+}
+
+// semiJoin keeps the parents that have at least one child/descendant in
+// children, using the ⟨order, size⟩ containment test: c is inside p iff
+// same doc and c.order ∈ (p.order, p.order+p.size]; parent–child adds
+// c.depth == p.depth+1.
+func semiJoin(parents, children []nodeRef, axis query.Axis) []nodeRef {
+	if len(parents) == 0 || len(children) == 0 {
+		return nil
+	}
+	// children are sorted by (doc, order); for each parent binary-search
+	// the containment window.
+	out := parents[:0:0]
+	for _, p := range parents {
+		lo := sort.Search(len(children), func(i int) bool {
+			c := children[i]
+			return c.doc > p.doc || (c.doc == p.doc && c.order > p.order)
+		})
+		for i := lo; i < len(children); i++ {
+			c := children[i]
+			if c.doc != p.doc || uint64(c.order) > uint64(p.order)+uint64(p.size) {
+				break
+			}
+			if axis == query.Child && c.depth != p.depth+1 {
+				continue
+			}
+			out = append(out, p)
+			break
+		}
+	}
+	return out
+}
+
+// Close releases resources.
+func (ix *Index) Close() error { return ix.nodes.Close() }

@@ -1,0 +1,208 @@
+package nodeindex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vist/internal/query"
+	"vist/internal/treematch"
+	"vist/internal/xmltree"
+)
+
+func newIdx(t *testing.T) *Index {
+	t.Helper()
+	ix, err := New(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func insert(t *testing.T, ix *Index, xmls ...string) ([]DocID, []*xmltree.Node) {
+	t.Helper()
+	var ids []DocID
+	var docs []*xmltree.Node
+	for _, x := range xmls {
+		n, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := ix.Insert(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		docs = append(docs, n)
+	}
+	return ids, docs
+}
+
+func TestAtomExpression(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix, "<a><b/></a>", "<c/>")
+	got, err := ix.Query("//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("//b = %v", got)
+	}
+}
+
+func TestRootAnchoring(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix, "<a><b><a/></b></a>", "<b><a/></b>")
+	got, err := ix.Query("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("/a must match only root elements: %v", got)
+	}
+	got, err = ix.Query("//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("//a = %v", got)
+	}
+}
+
+func TestParentChildVsAncestorDescendant(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix, "<a><x><b/></x></a>", "<a><b/></a>")
+	got, err := ix.Query("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[1:]) {
+		t.Fatalf("/a/b = %v", got)
+	}
+	got, err = ix.Query("/a//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("/a//b = %v", got)
+	}
+}
+
+func TestValueAndAttributeJoins(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		`<p><s id="dell"><l>boston</l></s></p>`,
+		`<p><s id="hp"><l>boston</l></s></p>`,
+	)
+	got, err := ix.Query("/p/s[@id='dell']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("@id join = %v", got)
+	}
+	got, err = ix.Query("/p/s[l='boston']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("l join = %v", got)
+	}
+}
+
+func TestStarJoin(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		"<p><s><l>boston</l></s></p>",
+		"<p><b><l>boston</l></b></p>",
+		"<p><b><l>ny</l></b></p>",
+	)
+	got, err := ix.Query("/p/*[l='boston']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:2]) {
+		t.Fatalf("star join = %v", got)
+	}
+}
+
+func TestBranchNeedsSingleWitness(t *testing.T) {
+	// Unlike raw-path DocID joins, per-node structural joins require one
+	// node satisfying all branches.
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		"<r><a><b/><c/></a></r>",
+		"<r><a><b/></a><a><c/></a></r>",
+	)
+	got, err := ix.Query("/r/a[b][c]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("structural join = %v (must exclude the split-witness doc)", got)
+	}
+}
+
+func randomXML(rng *rand.Rand, n int) []string {
+	names := []string{"a", "b", "c", "d"}
+	values := []string{"x", "y", "z"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		name := names[rng.Intn(len(names))]
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return fmt.Sprintf("<%s>%s</%s>", name, values[rng.Intn(len(values))], name)
+		}
+		s := "<" + name
+		if rng.Intn(3) == 0 {
+			s += fmt.Sprintf(" %s=%q", names[rng.Intn(len(names))], values[rng.Intn(len(values))])
+		}
+		s += ">"
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			s += build(depth - 1)
+		}
+		return s + "</" + name + ">"
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "<r>" + build(3) + "</r>"
+	}
+	return out
+}
+
+// TestMatchesOracleExactly: per-node structural joins implement XPath
+// semantics, so the node index must agree with the ground-truth matcher on
+// every query shape (modulo value-hash collisions, absent here).
+func TestMatchesOracleExactly(t *testing.T) {
+	ix := newIdx(t)
+	xmls := randomXML(rand.New(rand.NewSource(23)), 100)
+	ids, docs := insert(t, ix, xmls...)
+	exprs := []string{
+		"/r", "/r/a", "/r/a/b", "//d", "/r//c", "//b[text()='x']",
+		"/r[a][b]", "/r/a[b]/c", "/r/*[a]", "//b[c='x']", "//a//b",
+		"/r[@a='x']", "/r/*/*[text()='z']",
+	}
+	for _, expr := range exprs {
+		q := query.MustParse(expr)
+		var oracle []DocID
+		for i, d := range docs {
+			if treematch.Matches(q, d) {
+				oracle = append(oracle, ids[i])
+			}
+		}
+		got, err := ix.Query(expr)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(oracle)) {
+			t.Errorf("%s: got %v, oracle %v", expr, got, oracle)
+		}
+	}
+}
+
+func normalize(ids []DocID) []DocID {
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
+}

@@ -1,0 +1,313 @@
+// Package pathindex implements the raw-path comparator used in the paper's
+// evaluation (Section 4): an Index-Fabric-like index over every root-to-leaf
+// path of every document, without the "refined paths" extension.
+//
+// Keys are structure paths (element/attribute names only); leaf text is
+// stored as the entry's payload, not in the key — mirroring the paper's
+// observation that for Index Fabric "value indexes require special
+// handling": a value predicate cannot be seeked, it must filter the scanned
+// entries. Simple path queries are key-prefix scans; branching queries
+// decompose into one sub-query per root-to-leaf query path whose DocID sets
+// are then joined (intersected); wildcard steps degrade to scanning the
+// range of the longest wildcard-free key prefix with per-key pattern
+// matching — the exact weaknesses Table 4 of the paper demonstrates.
+package pathindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"vist/internal/btree"
+	"vist/internal/keyenc"
+	"vist/internal/query"
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+// DocID identifies a document within the index.
+type DocID uint64
+
+// Index stores raw paths in a single B+Tree. Keys are
+// nameComponent*‖docID(8)‖ordinal(4); each component is the name bytes plus
+// a 0x00 terminator — order-preserving, so path prefixes are key prefixes.
+// The entry payload is the leaf's text value (empty for childless
+// elements).
+type Index struct {
+	paths   *btree.BTree
+	schema  *xmltree.Schema
+	nextID  DocID
+	count   uint64
+	refined map[string]*refined
+}
+
+// New creates an in-memory raw-path index.
+func New(schema *xmltree.Schema, pageSize int) (*Index, error) {
+	if pageSize == 0 {
+		pageSize = btree.DefaultPageSize
+	}
+	t, err := btree.New(btree.NewMemPager(pageSize), btree.Options{PageSize: pageSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{paths: t, schema: schema, nextID: 1}, nil
+}
+
+// DocCount reports the number of indexed documents.
+func (ix *Index) DocCount() uint64 { return ix.count }
+
+// SizeBytes reports the index footprint.
+func (ix *Index) SizeBytes() int64 { return ix.paths.SizeBytes() }
+
+// appendComponent encodes one path component. NUL bytes in names are
+// replaced (NUL is not valid in XML names anyway).
+func appendComponent(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == 0 {
+			c = 1
+		}
+		dst = append(dst, c)
+	}
+	return append(dst, 0)
+}
+
+// Insert indexes every root-to-leaf path of the document (normalized in
+// place) and returns its ID.
+func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
+	xmltree.Normalize(doc, ix.schema)
+	id := ix.nextID
+	ord := uint32(0)
+	emit := func(path []byte, value string) error {
+		key := append([]byte(nil), path...)
+		key = keyenc.AppendUint64(key, uint64(id))
+		key = keyenc.AppendUint32(key, ord)
+		ord++
+		return ix.paths.Put(key, []byte(value))
+	}
+	var walk func(n *xmltree.Node, prefix []byte) error
+	walk = func(n *xmltree.Node, prefix []byte) error {
+		if n.Kind == xmltree.Value {
+			// The text leaf instantiates its parent's path.
+			return emit(prefix, n.Text)
+		}
+		path := appendComponent(prefix, xmltree.SortName(n))
+		if len(n.Children) == 0 {
+			return emit(path, "")
+		}
+		for _, ch := range n.Children {
+			if err := walk(ch, path); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(doc, nil); err != nil {
+		return 0, err
+	}
+	ix.maintainRefined(id, doc)
+	ix.nextID++
+	ix.count++
+	return id, nil
+}
+
+// step is one component pattern of a decomposed query path.
+type step struct {
+	kind  query.Kind // Name, Star, or Value
+	names []string   // candidate component spellings for Name steps
+	text  string     // Value steps
+	desc  bool       // '//' axis before this step
+}
+
+// Query evaluates a path expression: it decomposes the query tree into
+// root-to-leaf paths, answers each with a prefix scan (or a filtered range
+// scan when wildcards are present), and intersects the resulting DocID
+// sets.
+func (ix *Index) Query(expr string) ([]DocID, error) {
+	if ids, ok := ix.queryRefined(expr); ok {
+		return ids, nil
+	}
+	q, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	paths := decompose(q)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("pathindex: query has no paths")
+	}
+	var result map[DocID]struct{}
+	for _, p := range paths {
+		set, err := ix.evalPath(p)
+		if err != nil {
+			return nil, err
+		}
+		if result == nil {
+			result = set
+			continue
+		}
+		// Join: intersect DocID sets (the expensive step the paper calls
+		// out for path-based indexes on branching queries).
+		for id := range result {
+			if _, ok := set[id]; !ok {
+				delete(result, id)
+			}
+		}
+	}
+	ids := make([]DocID, 0, len(result))
+	for id := range result {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// decompose flattens the query tree into its root-to-leaf paths.
+func decompose(q *query.Query) [][]step {
+	var out [][]step
+	var walk func(n *query.Node, acc []step)
+	walk = func(n *query.Node, acc []step) {
+		s := step{desc: n.Axis == query.Descendant}
+		switch n.Kind {
+		case query.Star:
+			s.kind = query.Star
+		case query.Value:
+			s.kind = query.Value
+			s.text = n.Text
+		default:
+			s.kind = query.Name
+			switch {
+			case n.IsAttr:
+				s.names = []string{seq.AttrName(n.Name)}
+			case n.AnyKind:
+				s.names = []string{n.Name, seq.AttrName(n.Name)}
+			default:
+				s.names = []string{n.Name}
+			}
+		}
+		acc = append(acc, s)
+		if len(n.Children) == 0 {
+			out = append(out, append([]step(nil), acc...))
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch, acc)
+		}
+	}
+	for _, stepNode := range q.Root.Children {
+		walk(stepNode, nil)
+	}
+	return out
+}
+
+// evalPath answers one root-to-leaf query path.
+func (ix *Index) evalPath(p []step) (map[DocID]struct{}, error) {
+	// Expand AnyKind alternatives into concrete component paths.
+	variants := [][]step{nil}
+	for _, s := range p {
+		var next [][]step
+		if s.kind == query.Name && len(s.names) > 1 {
+			for _, v := range variants {
+				for _, name := range s.names {
+					alt := s
+					alt.names = []string{name}
+					next = append(next, append(append([]step(nil), v...), alt))
+				}
+			}
+		} else {
+			for _, v := range variants {
+				next = append(next, append(append([]step(nil), v...), s))
+			}
+		}
+		variants = next
+	}
+	out := make(map[DocID]struct{})
+	for _, v := range variants {
+		if err := ix.evalVariant(v, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (ix *Index) evalVariant(p []step, out map[DocID]struct{}) error {
+	// Longest wildcard-free key prefix (value steps end the key pattern;
+	// the value itself is a payload filter, never part of the key).
+	var prefix []byte
+	i := 0
+	for ; i < len(p); i++ {
+		s := p[i]
+		if s.desc || s.kind == query.Star || s.kind == query.Value {
+			break
+		}
+		prefix = appendComponent(prefix, s.names[0])
+	}
+	rest := p[i:]
+	return ix.paths.ScanPrefix(prefix, func(k, v []byte) (bool, error) {
+		comps, id, err := parseKey(k)
+		if err != nil {
+			return false, err
+		}
+		if matchRest(comps[i:], rest, v) {
+			out[id] = struct{}{}
+		}
+		return true, nil
+	})
+}
+
+func parseKey(k []byte) ([]string, DocID, error) {
+	if len(k) < 12 {
+		return nil, 0, fmt.Errorf("pathindex: key too short")
+	}
+	body, tail := k[:len(k)-12], k[len(k)-12:]
+	var comps []string
+	for len(body) > 0 {
+		end := bytes.IndexByte(body, 0)
+		if end < 0 {
+			return nil, 0, fmt.Errorf("pathindex: unterminated component")
+		}
+		comps = append(comps, string(body[:end]))
+		body = body[end+1:]
+	}
+	return comps, DocID(binary.BigEndian.Uint64(tail[:8])), nil
+}
+
+// matchRest matches the remaining (wildcard- or value-bearing) steps
+// against the remaining key components and the entry's stored value. A
+// name-terminated pattern may be extended by deeper components (paths to
+// deeper leaves still witness the query path); a value-terminated pattern
+// must end exactly at the entry's node with an equal stored value.
+func matchRest(comps []string, steps []step, value []byte) bool {
+	if len(steps) == 0 {
+		return true
+	}
+	s := steps[0]
+	if s.kind == query.Value {
+		return len(comps) == 0 && string(value) == s.text
+	}
+	if s.desc {
+		for skip := 0; skip <= len(comps); skip++ {
+			anchored := s
+			anchored.desc = false
+			if matchRest(comps[skip:], append([]step{anchored}, steps[1:]...), value) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(comps) == 0 {
+		return false
+	}
+	switch s.kind {
+	case query.Star:
+		// any name component matches
+	default:
+		if comps[0] != s.names[0] {
+			return false
+		}
+	}
+	return matchRest(comps[1:], steps[1:], value)
+}
+
+// Close releases resources.
+func (ix *Index) Close() error { return ix.paths.Close() }

@@ -1,0 +1,269 @@
+package pathindex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vist/internal/query"
+	"vist/internal/treematch"
+	"vist/internal/xmltree"
+)
+
+func newIdx(t *testing.T) *Index {
+	t.Helper()
+	ix, err := New(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func insert(t *testing.T, ix *Index, xmls ...string) ([]DocID, []*xmltree.Node) {
+	t.Helper()
+	var ids []DocID
+	var docs []*xmltree.Node
+	for _, x := range xmls {
+		n, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := ix.Insert(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		docs = append(docs, n)
+	}
+	return ids, docs
+}
+
+func TestSimplePathPrefixScan(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		"<inproceedings><title>A</title><author>X</author></inproceedings>",
+		"<inproceedings><author>Y</author></inproceedings>",
+		"<article><title>B</title></article>",
+	)
+	got, err := ix.Query("/inproceedings/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestValuePredicate(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		"<book><author>David</author></book>",
+		"<book><author>Mary</author></book>",
+	)
+	got, err := ix.Query("/book/author[text()='David']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAttributeAndAnyKind(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		`<book key="k1"><author>A</author></book>`,
+		`<book><key>k1</key><author>B</author></book>`,
+	)
+	got, err := ix.Query("/book[@key='k1']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("@key: %v", got)
+	}
+	// Bare name: matches the attribute in doc 1 and the element in doc 2.
+	got, err = ix.Query("/book[key='k1']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("key: %v", got)
+	}
+}
+
+func TestBranchingJoin(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		"<p><s><l>boston</l></s><b><l>newyork</l></b></p>",
+		"<p><s><l>chicago</l></s><b><l>newyork</l></b></p>",
+		"<p><s><l>boston</l></s></p>",
+	)
+	got, err := ix.Query("/p[s[l='boston']]/b[l='newyork']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("join: %v", got)
+	}
+}
+
+func TestWildcardScans(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		"<p><s><l>boston</l></s></p>",
+		"<p><b><l>boston</l></b></p>",
+		"<p><b><l>ny</l></b></p>",
+	)
+	got, err := ix.Query("/p/*[l='boston']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:2]) {
+		t.Fatalf("star: %v", got)
+	}
+	got, err = ix.Query("//l[text()='ny']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[2:]) {
+		t.Fatalf("descendant: %v", got)
+	}
+}
+
+func TestDescendantMidPath(t *testing.T) {
+	ix := newIdx(t)
+	ids, _ := insert(t, ix,
+		"<site><a><item><m>intel</m></item></a></site>",
+		"<site><item><m>amd</m></item></site>",
+	)
+	got, err := ix.Query("/site//item[m='intel']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("//item: %v", got)
+	}
+}
+
+func randomXML(rng *rand.Rand, n int) []string {
+	names := []string{"a", "b", "c", "d"}
+	values := []string{"x", "y", "z"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		name := names[rng.Intn(len(names))]
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return fmt.Sprintf("<%s>%s</%s>", name, values[rng.Intn(len(values))], name)
+		}
+		s := "<" + name
+		if rng.Intn(3) == 0 {
+			s += fmt.Sprintf(" %s=%q", names[rng.Intn(len(names))], values[rng.Intn(len(values))])
+		}
+		s += ">"
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			s += build(depth - 1)
+		}
+		return s + "</" + name + ">"
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "<r>" + build(3) + "</r>"
+	}
+	return out
+}
+
+// TestSupersetOfOracle: raw-path DocID joins can over-approximate XPath on
+// branching queries (different witnesses per branch), but must never miss a
+// true match, and must be exact on single-path queries.
+func TestSupersetOfOracle(t *testing.T) {
+	ix := newIdx(t)
+	xmls := randomXML(rand.New(rand.NewSource(17)), 100)
+	ids, docs := insert(t, ix, xmls...)
+	singlePath := []string{"/r", "/r/a", "/r/a/b", "//d", "/r//c", "//b[text()='x']"}
+	branching := []string{"/r[a][b]", "/r/a[b]/c", "/r/*[a]", "//b[c='x']"}
+	for _, expr := range append(append([]string(nil), singlePath...), branching...) {
+		q := query.MustParse(expr)
+		var oracle []DocID
+		for i, d := range docs {
+			if treematch.Matches(q, d) {
+				oracle = append(oracle, ids[i])
+			}
+		}
+		got, err := ix.Query(expr)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		set := map[DocID]bool{}
+		for _, id := range got {
+			set[id] = true
+		}
+		for _, id := range oracle {
+			if !set[id] {
+				t.Errorf("%s: false negative for doc %d", expr, id)
+			}
+		}
+	}
+	for _, expr := range singlePath {
+		q := query.MustParse(expr)
+		var oracle []DocID
+		for i, d := range docs {
+			if treematch.Matches(q, d) {
+				oracle = append(oracle, ids[i])
+			}
+		}
+		got, _ := ix.Query(expr)
+		if !reflect.DeepEqual(normalize(got), normalize(oracle)) {
+			t.Errorf("%s: got %v, oracle %v", expr, got, oracle)
+		}
+	}
+}
+
+func normalize(ids []DocID) []DocID {
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
+}
+
+func TestRefinedPaths(t *testing.T) {
+	ix := newIdx(t)
+	expr := "/p[s[l='boston']]/b[l='newyork']"
+	if err := ix.RegisterRefinedPath(expr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.RegisterRefinedPath(expr); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	if err := ix.RegisterRefinedPath("/bad["); err == nil {
+		t.Fatal("bad pattern registered")
+	}
+	ids, _ := insert(t, ix,
+		"<p><s><l>boston</l></s><b><l>newyork</l></b></p>",
+		"<p><s><l>chicago</l></s><b><l>newyork</l></b></p>",
+	)
+	if ix.RefinedPathCount() != 1 {
+		t.Fatalf("RefinedPathCount = %d", ix.RefinedPathCount())
+	}
+	got, err := ix.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("refined answer: %v", got)
+	}
+	// The materialized answer must equal the raw-path answer for covered
+	// documents.
+	ix2 := newIdx(t)
+	insert(t, ix2,
+		"<p><s><l>boston</l></s><b><l>newyork</l></b></p>",
+		"<p><s><l>chicago</l></s><b><l>newyork</l></b></p>",
+	)
+	raw, err := ix2.Query(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, raw) {
+		t.Fatalf("refined %v != raw %v", got, raw)
+	}
+}

@@ -1,0 +1,73 @@
+package pathindex
+
+import (
+	"fmt"
+	"sort"
+
+	"vist/internal/query"
+	"vist/internal/treematch"
+	"vist/internal/xmltree"
+)
+
+// Refined paths are Index Fabric's answer to branching and wildcard
+// queries: "special index entries for frequently occurring multiple-path
+// queries" (the paper's Related Work). The paper's Table 4 deliberately
+// runs Index Fabric *without* them ("raw paths") and lists their costs:
+// query patterns must be monitored, only registered queries benefit, and
+// every refined path adds maintenance work to each insertion. This file
+// implements them so those trade-offs can be measured (see the
+// ablation-refined experiment).
+
+// refined is one registered query pattern with its materialized answer set.
+type refined struct {
+	q   *query.Query
+	ids map[DocID]struct{}
+}
+
+// RegisterRefinedPath precomputes and thereafter maintains the answer set
+// of the given query pattern. Documents inserted before registration are
+// not covered (Index Fabric would backfill with a full scan; callers can
+// re-insert or register before loading). Returns an error if the pattern
+// does not parse.
+func (ix *Index) RegisterRefinedPath(expr string) error {
+	q, err := query.Parse(expr)
+	if err != nil {
+		return err
+	}
+	if ix.refined == nil {
+		ix.refined = make(map[string]*refined)
+	}
+	if _, dup := ix.refined[expr]; dup {
+		return fmt.Errorf("pathindex: refined path %q already registered", expr)
+	}
+	ix.refined[expr] = &refined{q: q, ids: make(map[DocID]struct{})}
+	return nil
+}
+
+// RefinedPathCount reports how many patterns are registered.
+func (ix *Index) RefinedPathCount() int { return len(ix.refined) }
+
+// maintainRefined evaluates every registered pattern against a newly
+// inserted document — the per-insert maintenance cost the paper warns
+// about.
+func (ix *Index) maintainRefined(id DocID, doc *xmltree.Node) {
+	for _, r := range ix.refined {
+		if treematch.Matches(r.q, doc) {
+			r.ids[id] = struct{}{}
+		}
+	}
+}
+
+// queryRefined answers expr from a materialized set if one is registered.
+func (ix *Index) queryRefined(expr string) ([]DocID, bool) {
+	r, ok := ix.refined[expr]
+	if !ok {
+		return nil, false
+	}
+	ids := make([]DocID, 0, len(r.ids))
+	for id := range r.ids {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, true
+}

@@ -1,0 +1,53 @@
+package query
+
+import "errors"
+
+// Disassemble splits a query tree into one single-path query per
+// root-to-leaf path. The paper prescribes this as the fallback for branch
+// queries whose identical-sibling permutations would explode: "we can
+// choose to disassemble the tree at the branch into multiple trees, and
+// use join operations to combine their results" (Section 2; its footnote
+// notes that for Q5 each split tree is a single path). Intersecting the
+// per-path document sets yields a candidate superset of the whole-tree
+// match, consistent with ViST's candidate semantics.
+func Disassemble(q *Query) []*Query {
+	var out []*Query
+	var walk func(n *Node, acc []*Node)
+	walk = func(n *Node, acc []*Node) {
+		flat := &Node{
+			Kind:    n.Kind,
+			Name:    n.Name,
+			IsAttr:  n.IsAttr,
+			AnyKind: n.AnyKind,
+			Text:    n.Text,
+			Axis:    n.Axis,
+		}
+		acc = append(acc, flat)
+		if len(n.Children) == 0 {
+			// Chain the accumulated nodes into a fresh single-path tree.
+			root := &Node{Kind: Name, Name: "<root>"}
+			cur := root
+			for _, link := range acc {
+				c := *link // copy; a node may appear on several paths
+				c.Children = nil
+				cur.Children = []*Node{&c}
+				cur = cur.Children[0]
+			}
+			out = append(out, &Query{Root: root, Raw: q.Raw + " (disassembled path)"})
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch, acc)
+		}
+	}
+	for _, step := range q.Root.Children {
+		walk(step, nil)
+	}
+	return out
+}
+
+// IsVariantCapError reports whether err came from the sequence-variant cap
+// (the condition under which Disassemble applies).
+func IsVariantCapError(err error) bool {
+	return errors.Is(err, ErrTooManyVariants)
+}

@@ -1,0 +1,289 @@
+// Package query implements the XPath subset the ViST paper evaluates
+// (Table 3): child steps (/), descendant steps (//), element wildcards (*),
+// attribute tests (@name), branching predicates ([...]), and value
+// predicates ([name='v'], [@a='v'], [text()='v']).
+//
+// A parsed query is a tree (Figure 2 of the paper). Sequences converts the
+// tree into one or more structure-encoded query sequences (Table 2),
+// applying the paper's conversion rules: preorder order, wildcard nodes
+// discarded but recorded in their descendants' prefixes, and the
+// identical-sibling permutation rule for branches like /A[B/C]/B/D.
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is the edge type between a query node and its parent.
+type Axis uint8
+
+const (
+	// Child is the XPath '/' axis: the node is a direct child.
+	Child Axis = iota
+	// Descendant is the XPath '//' axis: the node is any descendant.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Kind distinguishes query node flavours.
+type Kind uint8
+
+const (
+	// Name tests an element or attribute name.
+	Name Kind = iota
+	// Star matches exactly one element of any name.
+	Star
+	// Value tests text content (an attribute value or element text).
+	Value
+)
+
+// Node is one node of a query tree.
+type Node struct {
+	Kind     Kind
+	Name     string // element name, or attribute name for IsAttr nodes
+	IsAttr   bool   // explicit @name test
+	AnyKind  bool   // bare name in a value predicate: element or attribute
+	Text     string // for Value nodes
+	Axis     Axis   // edge from parent
+	Children []*Node
+}
+
+// Query is a parsed path expression.
+type Query struct {
+	Root *Node  // synthetic root context; its children are the first steps
+	Raw  string // original expression text
+}
+
+// String reconstructs a normalized path-expression form (for diagnostics).
+func (q *Query) String() string { return q.Raw }
+
+// Parse parses a path expression.
+func Parse(expr string) (*Query, error) {
+	p := &parser{in: expr}
+	root := &Node{Kind: Name, Name: "<root>"}
+	if _, err := p.parsePath(root, true); err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("query: trailing input at offset %d: %q", p.pos, p.in[p.pos:])
+	}
+	return &Query{Root: root, Raw: expr}, nil
+}
+
+// MustParse is Parse for tests and examples with known-good expressions.
+func MustParse(expr string) *Query {
+	q, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.in) {
+		return p.in[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) eat(c byte) bool {
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parsePath parses (axis step)+ attaching the chain under owner and
+// returning the final step. When absolute is true a leading axis is
+// required; otherwise a missing leading axis means Child (relative paths
+// inside predicates).
+func (p *parser) parsePath(owner *Node, absolute bool) (*Node, error) {
+	p.skipSpace()
+	axis := Child
+	switch {
+	case strings.HasPrefix(p.in[p.pos:], "//"):
+		p.pos += 2
+		axis = Descendant
+	case p.eat('/'):
+		axis = Child
+	default:
+		if absolute {
+			return nil, fmt.Errorf("expected '/' or '//' at offset %d", p.pos)
+		}
+	}
+	cur := owner
+	for {
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		cur.Children = append(cur.Children, step)
+		cur = step
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(p.in[p.pos:], "//"):
+			p.pos += 2
+			axis = Descendant
+		case p.eat('/'):
+			axis = Child
+		default:
+			return cur, nil
+		}
+	}
+}
+
+// parseStep parses one name test plus its predicates.
+func (p *parser) parseStep(axis Axis) (*Node, error) {
+	p.skipSpace()
+	var n *Node
+	switch {
+	case p.eat('*'):
+		n = &Node{Kind: Star, Axis: axis}
+	case p.eat('@'):
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		n = &Node{Kind: Name, Name: name, IsAttr: true, Axis: axis}
+	default:
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		if name == "text()" {
+			return nil, fmt.Errorf("text() step outside a predicate at offset %d", p.pos)
+		}
+		n = &Node{Kind: Name, Name: name, Axis: axis}
+	}
+	for {
+		p.skipSpace()
+		if !p.eat('[') {
+			return n, nil
+		}
+		if err := p.parsePredicate(n); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.eat(']') {
+			return nil, fmt.Errorf("missing ']' at offset %d", p.pos)
+		}
+	}
+}
+
+// parsePredicate parses the expression inside [...] and attaches it to
+// owner as branch children.
+func (p *parser) parsePredicate(owner *Node) error {
+	p.skipSpace()
+	// text() = 'literal' attaches a value directly to the owner.
+	if strings.HasPrefix(p.in[p.pos:], "text()") {
+		p.pos += len("text()")
+		p.skipSpace()
+		if !p.eat('=') {
+			return fmt.Errorf("expected '=' after text() at offset %d", p.pos)
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		owner.Children = append(owner.Children, &Node{Kind: Value, Text: lit, Axis: Child})
+		return nil
+	}
+	// Shorthand: [text='v'] is accepted as a synonym for [text()='v'] when
+	// followed directly by '='.
+	if strings.HasPrefix(p.in[p.pos:], "text") {
+		save := p.pos
+		p.pos += len("text")
+		p.skipSpace()
+		if p.eat('=') {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return err
+			}
+			owner.Children = append(owner.Children, &Node{Kind: Value, Text: lit, Axis: Child})
+			return nil
+		}
+		p.pos = save
+	}
+	// Otherwise: a relative path, optionally compared to a literal.
+	branch := &Node{Kind: Name, Name: "<pred>"}
+	tip, err := p.parsePath(branch, false)
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.eat('=') {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		// Bare names in value predicates may denote either an element or an
+		// attribute; symbol resolution decides (or tries both).
+		if tip.Kind == Name && !tip.IsAttr {
+			tip.AnyKind = true
+		}
+		tip.Children = append(tip.Children, &Node{Kind: Value, Text: lit, Axis: Child})
+	}
+	owner.Children = append(owner.Children, branch.Children...)
+	return nil
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.' || c == ':' || c == '#'
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	for p.pos < len(p.in) && isNameByte(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected a name at offset %d", start)
+	}
+	name := p.in[start:p.pos]
+	// Swallow the () of text().
+	if name == "text" && strings.HasPrefix(p.in[p.pos:], "()") {
+		p.pos += 2
+		return "text()", nil
+	}
+	return name, nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	p.skipSpace()
+	q := p.peek()
+	if q != '\'' && q != '"' {
+		return "", fmt.Errorf("expected a quoted literal at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != q {
+		p.pos++
+	}
+	if p.pos == len(p.in) {
+		return "", fmt.Errorf("unterminated literal starting at offset %d", start-1)
+	}
+	lit := p.in[start:p.pos]
+	p.pos++
+	return lit, nil
+}

@@ -1,0 +1,544 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"vist/internal/seq"
+)
+
+func TestParseSimplePath(t *testing.T) {
+	q := MustParse("/inproceedings/title")
+	steps := q.Root.Children
+	if len(steps) != 1 {
+		t.Fatalf("root has %d steps", len(steps))
+	}
+	a := steps[0]
+	if a.Name != "inproceedings" || a.Axis != Child || a.Kind != Name {
+		t.Fatalf("first step = %+v", a)
+	}
+	if len(a.Children) != 1 || a.Children[0].Name != "title" {
+		t.Fatalf("second step = %+v", a.Children)
+	}
+}
+
+func TestParseTextPredicate(t *testing.T) {
+	for _, expr := range []string{
+		"/book/author[text()='David']",
+		"/book/author[text='David']",
+	} {
+		q := MustParse(expr)
+		author := q.Root.Children[0].Children[0]
+		if author.Name != "author" {
+			t.Fatalf("%s: step = %+v", expr, author)
+		}
+		if len(author.Children) != 1 || author.Children[0].Kind != Value || author.Children[0].Text != "David" {
+			t.Fatalf("%s: predicate = %+v", expr, author.Children)
+		}
+	}
+}
+
+func TestParseStarStep(t *testing.T) {
+	q := MustParse("/*/author[text()='David']")
+	star := q.Root.Children[0]
+	if star.Kind != Star || star.Axis != Child {
+		t.Fatalf("star step = %+v", star)
+	}
+	if star.Children[0].Name != "author" {
+		t.Fatalf("author under star = %+v", star.Children[0])
+	}
+}
+
+func TestParseDescendantAxis(t *testing.T) {
+	q := MustParse("//author[text()='David']")
+	author := q.Root.Children[0]
+	if author.Axis != Descendant || author.Name != "author" {
+		t.Fatalf("author = %+v", author)
+	}
+	q2 := MustParse("/site//item")
+	item := q2.Root.Children[0].Children[0]
+	if item.Axis != Descendant || item.Name != "item" {
+		t.Fatalf("item = %+v", item)
+	}
+}
+
+func TestParseAttributePredicate(t *testing.T) {
+	q := MustParse("/book[@key='books/bc/MaierW88']/author")
+	book := q.Root.Children[0]
+	if len(book.Children) != 2 {
+		t.Fatalf("book children = %+v", book.Children)
+	}
+	key := book.Children[0]
+	if !key.IsAttr || key.Name != "key" {
+		t.Fatalf("key predicate = %+v", key)
+	}
+	if len(key.Children) != 1 || key.Children[0].Text != "books/bc/MaierW88" {
+		t.Fatalf("key value = %+v", key.Children)
+	}
+	if book.Children[1].Name != "author" {
+		t.Fatalf("author = %+v", book.Children[1])
+	}
+}
+
+func TestParseBareNameValuePredicateIsAnyKind(t *testing.T) {
+	q := MustParse("/book[key='k1']/author")
+	key := q.Root.Children[0].Children[0]
+	if !key.AnyKind || key.IsAttr {
+		t.Fatalf("bare-name predicate = %+v", key)
+	}
+}
+
+func TestParseNestedPredicates(t *testing.T) {
+	// Q2 of Figure 2: /Purchase[Seller[Loc='boston']]/Buyer[Loc='newyork']
+	q := MustParse("/purchase[seller[loc='boston']]/buyer[loc='newyork']")
+	purchase := q.Root.Children[0]
+	if len(purchase.Children) != 2 {
+		t.Fatalf("purchase children = %d", len(purchase.Children))
+	}
+	seller, buyer := purchase.Children[0], purchase.Children[1]
+	if seller.Name != "seller" || buyer.Name != "buyer" {
+		t.Fatalf("children = %q, %q", seller.Name, buyer.Name)
+	}
+	loc := seller.Children[0]
+	if loc.Name != "loc" || loc.Children[0].Text != "boston" {
+		t.Fatalf("seller loc = %+v", loc)
+	}
+}
+
+func TestParseXmarkQ8(t *testing.T) {
+	q := MustParse("//closed_auction[*[person='person1']]/date[text()='12/15/1999']")
+	ca := q.Root.Children[0]
+	if ca.Axis != Descendant || ca.Name != "closed_auction" {
+		t.Fatalf("closed_auction = %+v", ca)
+	}
+	if len(ca.Children) != 2 {
+		t.Fatalf("closed_auction children = %d", len(ca.Children))
+	}
+	star := ca.Children[0]
+	if star.Kind != Star || star.Children[0].Name != "person" {
+		t.Fatalf("star branch = %+v", star)
+	}
+	date := ca.Children[1]
+	if date.Name != "date" || date.Children[0].Text != "12/15/1999" {
+		t.Fatalf("date = %+v", date)
+	}
+}
+
+func TestParsePathInsidePredicate(t *testing.T) {
+	q := MustParse("/a[b/c='v']/d")
+	a := q.Root.Children[0]
+	b := a.Children[0]
+	if b.Name != "b" || b.Children[0].Name != "c" {
+		t.Fatalf("predicate path = %+v", b)
+	}
+	c := b.Children[0]
+	if len(c.Children) != 1 || c.Children[0].Text != "v" {
+		t.Fatalf("value attaches to c: %+v", c.Children)
+	}
+}
+
+func TestParsePredicateWithInnerPredicateAndValue(t *testing.T) {
+	// The value must attach to the tip of the chain (c), not to its
+	// predicate (d).
+	q := MustParse("/a[b[d]/c='v']")
+	b := q.Root.Children[0].Children[0]
+	if b.Name != "b" || len(b.Children) != 2 {
+		t.Fatalf("b = %+v", b)
+	}
+	d, c := b.Children[0], b.Children[1]
+	if d.Name != "d" || len(d.Children) != 0 {
+		t.Fatalf("d = %+v", d)
+	}
+	if c.Name != "c" || len(c.Children) != 1 || c.Children[0].Text != "v" {
+		t.Fatalf("c = %+v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a/b",             // missing leading axis
+		"/a[",             // unterminated predicate
+		"/a[b='v]",        // unterminated literal
+		"/a/b[text()]",    // text() without comparison
+		"/a]/b",           // stray bracket
+		"/a/text()",       // text() as a step
+		"/a[@='v']",       // attribute without a name
+		"/a//",            // trailing axis
+		"/a[b='v'] extra", // trailing input
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestParseWhitespaceTolerant(t *testing.T) {
+	q, err := Parse("/a[ b = 'v' ] / c")
+	if err != nil {
+		t.Fatalf("Parse with spaces: %v", err)
+	}
+	a := q.Root.Children[0]
+	if a.Children[0].Name != "b" || a.Children[1].Name != "c" {
+		t.Fatalf("parsed = %+v", a.Children)
+	}
+}
+
+// --- sequence conversion ---------------------------------------------------
+
+// dictWith interns the given names.
+func dictWith(names ...string) *seq.Dict {
+	d := seq.NewDict()
+	for _, n := range names {
+		d.Intern(n)
+	}
+	return d
+}
+
+func TestSequencesSimplePath(t *testing.T) {
+	d := dictWith("purchase", "seller", "item", "manufacturer")
+	q := MustParse("/purchase/seller/item/manufacturer")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 {
+		t.Fatalf("got %d sequences", len(seqs))
+	}
+	s := seqs[0]
+	if len(s) != 4 {
+		t.Fatalf("sequence length %d", len(s))
+	}
+	for i, e := range s {
+		if e.Anchor != i-1 || e.Stars != 0 || e.Desc {
+			t.Fatalf("element %d = %+v", i, e)
+		}
+	}
+	P, _ := d.Lookup("purchase")
+	if s[0].Symbol != P {
+		t.Fatalf("first symbol = %v", s[0].Symbol)
+	}
+}
+
+func TestSequencesUnknownNameMeansEmpty(t *testing.T) {
+	d := dictWith("purchase")
+	q := MustParse("/purchase/unknownelement")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 0 {
+		t.Fatalf("expected no sequences, got %d", len(seqs))
+	}
+}
+
+func TestSequencesStar(t *testing.T) {
+	// Q3: /purchase/*[loc='v'] → (P,)(L,P*)(v,P*L)
+	d := dictWith("purchase", "loc")
+	q := MustParse("/purchase/*[loc='boston']")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 {
+		t.Fatalf("got %d sequences", len(seqs))
+	}
+	s := seqs[0]
+	if len(s) != 3 {
+		t.Fatalf("sequence = %+v", s)
+	}
+	// loc is anchored at purchase with one star.
+	if s[1].Anchor != 0 || s[1].Stars != 1 || s[1].Desc {
+		t.Fatalf("loc elem = %+v", s[1])
+	}
+	// the value is anchored at loc with no wildcards.
+	if s[2].Anchor != 1 || s[2].Stars != 0 || s[2].Desc {
+		t.Fatalf("value elem = %+v", s[2])
+	}
+	if s[2].Symbol != seq.ValueSymbol("boston") {
+		t.Fatalf("value symbol = %v", s[2].Symbol)
+	}
+}
+
+func TestSequencesDescendant(t *testing.T) {
+	// Q4: /purchase//item[manufacturer='v']
+	d := dictWith("purchase", "item", "manufacturer")
+	q := MustParse("/purchase//item[manufacturer='intel']")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seqs[0]
+	if len(s) != 4 {
+		t.Fatalf("sequence = %+v", s)
+	}
+	if s[1].Anchor != 0 || !s[1].Desc || s[1].Stars != 0 {
+		t.Fatalf("item elem = %+v", s[1])
+	}
+	if s[2].Desc || s[2].Anchor != 1 {
+		t.Fatalf("manufacturer elem = %+v", s[2])
+	}
+}
+
+func TestSequencesLeadingDescendant(t *testing.T) {
+	d := dictWith("author")
+	q := MustParse("//author[text()='David']")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seqs[0]
+	if s[0].Anchor != -1 || !s[0].Desc {
+		t.Fatalf("leading // elem = %+v", s[0])
+	}
+}
+
+func TestSequencesStarAfterDescendant(t *testing.T) {
+	// Q7: /site//person/*/city[text()='Pocatello']
+	d := dictWith("site", "person", "city")
+	q := MustParse("/site//person/*/city[text()='Pocatello']")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seqs[0]
+	if len(s) != 4 {
+		t.Fatalf("sequence = %+v", s)
+	}
+	// city: anchored at person with exactly one star, no desc.
+	if s[2].Anchor != 1 || s[2].Stars != 1 || s[2].Desc {
+		t.Fatalf("city elem = %+v", s[2])
+	}
+}
+
+func TestSequencesBranchOrdering(t *testing.T) {
+	// Children must come out in normalized (lexicographic) order: buyer
+	// before seller without a schema.
+	d := dictWith("purchase", "seller", "buyer", "loc")
+	q := MustParse("/purchase[seller[loc='b']]/buyer[loc='n']")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 {
+		t.Fatalf("got %d sequences", len(seqs))
+	}
+	s := seqs[0]
+	B, _ := d.Lookup("buyer")
+	if s[1].Symbol != B {
+		t.Fatalf("lexicographic order puts buyer first; got %+v", s[1])
+	}
+	// Both loc elements anchor at their respective parents.
+	if s[2].Anchor != 1 || s[5].Anchor != 4 {
+		t.Fatalf("loc anchors = %d, %d", s[2].Anchor, s[5].Anchor)
+	}
+}
+
+func TestSequencesIdenticalSiblingPermutations(t *testing.T) {
+	// The paper's Q5 = /A[B/C]/B/D must expand to 2 sequences.
+	d := dictWith("a", "b", "c", "dd")
+	q := MustParse("/a[b/c]/b/dd")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d sequences, want 2", len(seqs))
+	}
+	C, _ := d.Lookup("c")
+	D, _ := d.Lookup("dd")
+	// One variant has c before dd, the other dd before c.
+	firstHasC := seqs[0][2].Symbol == C
+	secondHasD := seqs[1][2].Symbol == D
+	if firstHasC != secondHasD {
+		t.Fatalf("permutations wrong: %+v / %+v", seqs[0], seqs[1])
+	}
+}
+
+func TestSequencesPermutationCap(t *testing.T) {
+	d := dictWith("a", "b")
+	// 6 identical children → 720 permutations > 64.
+	q := MustParse("/a[b][b][b][b][b][b]/b")
+	_, err := q.Sequences(d, nil)
+	if err == nil {
+		t.Fatal("expected a variant-cap error")
+	}
+}
+
+func TestSequencesAnyKindExpansion(t *testing.T) {
+	// "key" exists both as an element and as an attribute: bare-name value
+	// predicates must try both.
+	d := dictWith("book", "key", seq.AttrName("key"))
+	q := MustParse("/book[key='k']")
+	seqs, err := q.Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("got %d sequences, want 2 (element + attribute)", len(seqs))
+	}
+	e, _ := d.Lookup("key")
+	a, _ := d.Lookup(seq.AttrName("key"))
+	got := map[seq.Symbol]bool{seqs[0][1].Symbol: true, seqs[1][1].Symbol: true}
+	if !got[e] || !got[a] {
+		t.Fatalf("expansion symbols = %v, want {%v, %v}", got, e, a)
+	}
+}
+
+func TestSequencesAnchorAlwaysEarlier(t *testing.T) {
+	d := dictWith("a", "b", "c", "d", "e")
+	for _, expr := range []string{
+		"/a/b/c", "/a[b]/c", "//a[b[c]]/d[e]", "/a/*[b]//c",
+	} {
+		q := MustParse(expr)
+		seqs, err := q.Sequences(d, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		for _, s := range seqs {
+			for i, e := range s {
+				if e.Anchor >= i {
+					t.Fatalf("%s: element %d anchored at %d", expr, i, e.Anchor)
+				}
+			}
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	q := MustParse("/a[b/c]/b/dd")
+	parts := Disassemble(q)
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts, want 2", len(parts))
+	}
+	// Part 1: /a/b/c; part 2: /a/b/dd — each a pure chain.
+	for i, p := range parts {
+		n := p.Root
+		depth := 0
+		for len(n.Children) > 0 {
+			if len(n.Children) != 1 {
+				t.Fatalf("part %d is not a single path", i)
+			}
+			n = n.Children[0]
+			depth++
+		}
+		if depth != 3 {
+			t.Fatalf("part %d has depth %d", i, depth)
+		}
+	}
+	// A disassembled part must produce exactly one sequence.
+	d := dictWith("a", "b", "c", "dd")
+	for i, p := range parts {
+		seqs, err := p.Sequences(d, nil)
+		if err != nil {
+			t.Fatalf("part %d: %v", i, err)
+		}
+		if len(seqs) != 1 {
+			t.Fatalf("part %d expands to %d sequences", i, len(seqs))
+		}
+	}
+}
+
+func TestDisassemblePreservesAxesAndValues(t *testing.T) {
+	q := MustParse("//a[@k='v']/*/b")
+	parts := Disassemble(q)
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	// First part: //a/@k/'v'.
+	a := parts[0].Root.Children[0]
+	if a.Axis != Descendant || a.Name != "a" {
+		t.Fatalf("part 0 root step = %+v", a)
+	}
+	k := a.Children[0]
+	if !k.IsAttr || k.Children[0].Kind != Value || k.Children[0].Text != "v" {
+		t.Fatalf("part 0 attr chain = %+v", k)
+	}
+	// Second part: //a/*/b.
+	star := parts[1].Root.Children[0].Children[0]
+	if star.Kind != Star {
+		t.Fatalf("part 1 star = %+v", star)
+	}
+}
+
+func TestIsVariantCapError(t *testing.T) {
+	d := dictWith("a", "b")
+	_, err := MustParse("/a[b][b][b][b][b][b]/b").Sequences(d, nil)
+	if !IsVariantCapError(err) {
+		t.Fatalf("cap error not recognized: %v", err)
+	}
+	if IsVariantCapError(nil) {
+		t.Fatal("nil recognized as cap error")
+	}
+}
+
+// TestPropertySequenceInvariants checks structural invariants of the
+// conversion over randomly generated query trees: every variant has one
+// element per non-wildcard query node, anchors always point backwards, and
+// Stars/Desc are non-negative and consistent.
+func TestPropertySequenceInvariants(t *testing.T) {
+	d := dictWith("a", "b", "c", "d", "e")
+	rng := rand.New(rand.NewSource(99))
+	names := []string{"a", "b", "c", "d", "e"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		if depth <= 0 {
+			return names[rng.Intn(len(names))]
+		}
+		s := names[rng.Intn(len(names))]
+		switch rng.Intn(4) {
+		case 0:
+			s = "*"
+		case 1:
+			s += "[" + build(depth-1) + "]"
+		}
+		if rng.Intn(2) == 0 {
+			sep := "/"
+			if rng.Intn(4) == 0 {
+				sep = "//"
+			}
+			s += sep + build(depth-1)
+		}
+		return s
+	}
+	for trial := 0; trial < 300; trial++ {
+		expr := "/" + build(3)
+		q, err := Parse(expr)
+		if err != nil {
+			t.Fatalf("generated query %q failed to parse: %v", expr, err)
+		}
+		nonStar := countNonStar(q.Root) - 1 // exclude synthetic root
+		seqs, err := q.Sequences(d, nil)
+		if err != nil {
+			if IsVariantCapError(err) {
+				continue
+			}
+			t.Fatalf("%q: %v", expr, err)
+		}
+		for _, s := range seqs {
+			if len(s) != nonStar {
+				t.Fatalf("%q: sequence has %d elements, query has %d non-star nodes", expr, len(s), nonStar)
+			}
+			for i, e := range s {
+				if e.Anchor >= i || e.Anchor < -1 {
+					t.Fatalf("%q: element %d anchor %d", expr, i, e.Anchor)
+				}
+				if e.Stars < 0 {
+					t.Fatalf("%q: element %d negative stars", expr, i)
+				}
+			}
+		}
+	}
+}
+
+func countNonStar(n *Node) int {
+	c := 0
+	if n.Kind != Star {
+		c = 1
+	}
+	for _, ch := range n.Children {
+		c += countNonStar(ch)
+	}
+	return c
+}

@@ -1,0 +1,317 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+// QElem is one element of a structure-encoded query sequence (Table 2 of
+// the paper). Instead of materializing '*' and '//' placeholders inside a
+// textual prefix, each element records how its prefix relates to the prefix
+// of its nearest retained ancestor: the concrete base path is the ancestor's
+// matched path, extended by exactly Stars unknown symbols, plus any number
+// of further unknown symbols when Desc is set.
+type QElem struct {
+	// Symbol to match (element/attribute name symbol or hashed value).
+	Symbol seq.Symbol
+	// Anchor is the index (within the same Seq) of the nearest retained
+	// ancestor element, or -1 when anchored at the document root.
+	Anchor int
+	// Stars counts '*' wildcard nodes between the anchor and this element.
+	Stars int
+	// Desc reports whether a '//' axis occurs between the anchor and this
+	// element, allowing extra path symbols beyond Stars.
+	Desc bool
+}
+
+// Seq is a structure-encoded query sequence, in preorder.
+type Seq []QElem
+
+// ErrTooManyVariants is wrapped by conversion errors when a query expands
+// past the variant cap; callers can fall back to Disassemble (errors.Is).
+var ErrTooManyVariants = errors.New("too many sequence variants")
+
+// DefaultMaxVariants bounds the number of sequences a single query may
+// expand into (identical-sibling permutations × element/attribute name
+// ambiguity). The paper notes that queries with many identical branch
+// children can be disassembled and joined instead; we surface an error so
+// the caller can choose.
+const DefaultMaxVariants = 64
+
+// Sequences converts the query into its structure-encoded sequences,
+// resolving names against d and ordering branches with the same comparator
+// used to normalize documents (schema order, else lexicographic). The
+// result is empty (with a nil error) when some query name does not occur in
+// the dictionary at all — no document can match.
+func (q *Query) Sequences(d *seq.Dict, schema *xmltree.Schema) ([]Seq, error) {
+	return q.SequencesMax(d, schema, DefaultMaxVariants)
+}
+
+// SequencesMax is Sequences with an explicit variant cap.
+func (q *Query) SequencesMax(d *seq.Dict, schema *xmltree.Schema, maxVariants int) ([]Seq, error) {
+	// Resolve name ambiguity (bare names in value predicates may be
+	// elements or attributes) into concrete trees.
+	variants, ok := resolve(q.Root, d)
+	if !ok {
+		return nil, nil
+	}
+	var out []Seq
+	for _, v := range variants {
+		seqs, err := emitAll(v, schema, maxVariants)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seqs...)
+		if len(out) > maxVariants {
+			return nil, fmt.Errorf("query: %q expands to more than %d sequences; disassemble the branch and join instead: %w", q.Raw, maxVariants, ErrTooManyVariants)
+		}
+	}
+	return out, nil
+}
+
+// rnode is a resolved query node: names replaced by symbols.
+type rnode struct {
+	kind     Kind
+	sym      seq.Symbol // for Name nodes: resolved symbol; for Value: hash
+	name     string     // retained for ordering
+	desc     bool       // axis from parent is Descendant
+	children []*rnode
+}
+
+// resolve expands AnyKind names into element/attribute alternatives and
+// maps every name to a symbol. ok is false when some name cannot resolve at
+// all.
+func resolve(n *Node, d *seq.Dict) ([]*rnode, bool) {
+	var alts []*rnode
+	switch n.Kind {
+	case Star:
+		alts = []*rnode{{kind: Star, desc: n.Axis == Descendant}}
+	case Value:
+		alts = []*rnode{{kind: Value, sym: seq.ValueSymbol(n.Text), desc: false}}
+	default:
+		if n.Name == "<root>" {
+			alts = []*rnode{{kind: Name, name: n.Name}}
+			break
+		}
+		var names []string
+		if n.IsAttr {
+			names = []string{seq.AttrName(n.Name)}
+		} else if n.AnyKind {
+			names = []string{n.Name, seq.AttrName(n.Name)}
+		} else {
+			names = []string{n.Name}
+		}
+		for _, name := range names {
+			if sym, found := d.Lookup(name); found {
+				alts = append(alts, &rnode{kind: Name, sym: sym, name: name, desc: n.Axis == Descendant})
+			}
+		}
+		if len(alts) == 0 {
+			return nil, false
+		}
+	}
+	// Resolve children; take the cartesian product over alternatives.
+	results := alts
+	for _, ch := range n.Children {
+		childAlts, ok := resolve(ch, d)
+		if !ok {
+			return nil, false
+		}
+		var next []*rnode
+		for _, r := range results {
+			for _, ca := range childAlts {
+				nr := cloneR(r)
+				nr.children = append(nr.children, ca)
+				next = append(next, nr)
+			}
+		}
+		results = next
+	}
+	return results, true
+}
+
+func cloneR(r *rnode) *rnode {
+	out := &rnode{kind: r.kind, sym: r.sym, name: r.name, desc: r.desc}
+	out.children = append([]*rnode(nil), r.children...)
+	return out
+}
+
+// sortKey orders siblings the way document normalization does: value leaves
+// first, then names ordered by schema rank when available and
+// lexicographically otherwise (schema-known names before unknown ones,
+// mirroring xmltree.Normalize); wildcard and descendant-axis branches sort
+// last, since their match position among siblings is not determined by a
+// name.
+func (r *rnode) sortKey(schema *xmltree.Schema) string {
+	switch {
+	case r.kind == Value:
+		return "\x00"
+	case r.kind == Star || r.desc:
+		return "\xff" + r.name
+	default:
+		if rank, ok := schema.Rank(r.name); ok {
+			return fmt.Sprintf("\x01%08d", rank)
+		}
+		return "\x02" + r.name
+	}
+}
+
+// emitAll produces every preorder sequence of the resolved tree, one per
+// combination of permutations of identical-key sibling groups (the paper's
+// Q5 = /A[B/C]/B/D rule).
+func emitAll(root *rnode, schema *xmltree.Schema, maxVariants int) ([]Seq, error) {
+	trees, err := orderings(root, schema, maxVariants)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Seq, 0, len(trees))
+	for _, tr := range trees {
+		var s Seq
+		var walk func(n *rnode, anchor, stars int, desc bool)
+		walk = func(n *rnode, anchor, stars int, desc bool) {
+			if n.desc {
+				desc = true
+			}
+			if n.kind == Star {
+				for _, ch := range n.children {
+					walk(ch, anchor, stars+1, desc)
+				}
+				return
+			}
+			idx := len(s)
+			s = append(s, QElem{Symbol: n.sym, Anchor: anchor, Stars: stars, Desc: desc})
+			for _, ch := range n.children {
+				walk(ch, idx, 0, false)
+			}
+		}
+		for _, ch := range tr.children {
+			walk(ch, -1, 0, false)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// orderings sorts every sibling list and expands permutations of groups of
+// identical-key siblings, returning the distinct ordered trees.
+func orderings(root *rnode, schema *xmltree.Schema, maxVariants int) ([]*rnode, error) {
+	trees := []*rnode{root}
+	// Expand node by node, breadth-first over a work list of (tree, path)
+	// would be complex; instead recursively build alternatives bottom-up.
+	var build func(n *rnode) ([]*rnode, error)
+	build = func(n *rnode) ([]*rnode, error) {
+		// Alternatives for each child subtree.
+		childAlts := make([][]*rnode, len(n.children))
+		for i, ch := range n.children {
+			alts, err := build(ch)
+			if err != nil {
+				return nil, err
+			}
+			childAlts[i] = alts
+		}
+		// Cartesian product of child alternatives.
+		combos := [][]*rnode{nil}
+		for _, alts := range childAlts {
+			var next [][]*rnode
+			for _, c := range combos {
+				for _, a := range alts {
+					nc := append(append([]*rnode(nil), c...), a)
+					next = append(next, nc)
+					if len(next) > maxVariants {
+						return nil, fmt.Errorf("query: more than %d branch variants: %w", maxVariants, ErrTooManyVariants)
+					}
+				}
+			}
+			combos = next
+		}
+		var out []*rnode
+		for _, combo := range combos {
+			perms, err := siblingOrders(combo, schema, maxVariants)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range perms {
+				nr := &rnode{kind: n.kind, sym: n.sym, name: n.name, desc: n.desc, children: p}
+				out = append(out, nr)
+				if len(out) > maxVariants {
+					return nil, fmt.Errorf("query: more than %d branch variants: %w", maxVariants, ErrTooManyVariants)
+				}
+			}
+		}
+		return out, nil
+	}
+	var out []*rnode
+	for _, tr := range trees {
+		alts, err := build(tr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, alts...)
+	}
+	return out, nil
+}
+
+// siblingOrders sorts children by key and returns every permutation of each
+// group of identical keys (only groups of size > 1 multiply the output).
+func siblingOrders(children []*rnode, schema *xmltree.Schema, maxVariants int) ([][]*rnode, error) {
+	sorted := append([]*rnode(nil), children...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].sortKey(schema) < sorted[j].sortKey(schema) })
+	// Identify identical-key groups.
+	type group struct{ start, end int }
+	var groups []group
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		for j < len(sorted) && sorted[j].sortKey(schema) == sorted[i].sortKey(schema) {
+			j++
+		}
+		if j-i > 1 {
+			groups = append(groups, group{i, j})
+		}
+		i = j
+	}
+	results := [][]*rnode{sorted}
+	for _, g := range groups {
+		var next [][]*rnode
+		for _, base := range results {
+			perms := permutations(base[g.start:g.end])
+			for _, p := range perms {
+				nb := append([]*rnode(nil), base...)
+				copy(nb[g.start:g.end], p)
+				next = append(next, nb)
+				if len(next) > maxVariants {
+					return nil, fmt.Errorf("query: more than %d sibling permutations: %w", maxVariants, ErrTooManyVariants)
+				}
+			}
+		}
+		results = next
+	}
+	return results, nil
+}
+
+// permutations returns all orderings of items (Heap's algorithm).
+func permutations(items []*rnode) [][]*rnode {
+	n := len(items)
+	work := append([]*rnode(nil), items...)
+	var out [][]*rnode
+	var heap func(k int)
+	heap = func(k int) {
+		if k == 1 {
+			out = append(out, append([]*rnode(nil), work...))
+			return
+		}
+		for i := 0; i < k; i++ {
+			heap(k - 1)
+			if k%2 == 0 {
+				work[i], work[k-1] = work[k-1], work[i]
+			} else {
+				work[0], work[k-1] = work[k-1], work[0]
+			}
+		}
+	}
+	heap(n)
+	return out
+}

@@ -1,0 +1,138 @@
+// Package rist implements RIST (Relationships Indexed Suffix Tree,
+// Section 3.3 of the ViST paper): a materialized sequence trie is built
+// from the whole corpus, labeled statically by preorder traversal, and the
+// labels are bulk-loaded into the same D-Ancestor/S-Ancestor and DocId
+// B+Tree layout ViST maintains dynamically. Search is therefore shared with
+// ViST (Algorithm 2); the differences RIST pays for are the materialized
+// trie (extra space, Figure 11(a)) and static labels (no dynamic insertion,
+// the paper's motivation for ViST).
+package rist
+
+import (
+	"fmt"
+
+	"vist/internal/core"
+	"vist/internal/seq"
+	"vist/internal/suffixtree"
+	"vist/internal/xmltree"
+)
+
+// Index is a statically labeled ViST-compatible index.
+type Index struct {
+	ix   *core.Index
+	tree *suffixtree.Tree
+	ids  []core.DocID
+}
+
+// Build indexes the documents in one pass. The documents are normalized in
+// place. opts.Training and opts.Lambda are ignored (labels are static).
+func Build(docs []*xmltree.Node, opts core.Options) (*Index, error) {
+	ix, err := core.NewMem(opts)
+	if err != nil {
+		return nil, err
+	}
+	return build(ix, docs)
+}
+
+// BuildAt is Build with file-backed storage in dir.
+func BuildAt(dir string, docs []*xmltree.Node, opts core.Options) (*Index, error) {
+	ix, err := core.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ix.DocCount() != 0 {
+		ix.Close()
+		return nil, fmt.Errorf("rist: directory already holds an index; RIST builds are one-shot")
+	}
+	return build(ix, docs)
+}
+
+func build(ix *core.Index, docs []*xmltree.Node) (*Index, error) {
+	r := &Index{ix: ix, tree: suffixtree.New()}
+	dict := ix.Dict()
+	schema := ix.Schema()
+
+	// Phase 1: trie of all sequences (doc slot i carries a placeholder ID
+	// equal to i; real IDs are assigned during bulk load).
+	seqs := make([]seq.Sequence, len(docs))
+	maxDepth := 0
+	for i, doc := range docs {
+		xmltree.Normalize(doc, schema)
+		s := seq.Encode(doc, dict)
+		seqs[i] = s
+		if d := s.MaxLen(); d > maxDepth {
+			maxDepth = d
+		}
+		if d := s.MaxLen(); d > core.MaxDepth {
+			return nil, fmt.Errorf("rist: document %d depth %d exceeds max %d", i, d, core.MaxDepth)
+		}
+		r.tree.Insert(s, uint64(i))
+	}
+
+	// Phase 2: static preorder labels.
+	r.tree.Label()
+
+	// Phase 3: bulk-load node records and document entries.
+	var loadErr error
+	r.tree.Walk(func(n, parent *suffixtree.Node) {
+		if loadErr != nil {
+			return
+		}
+		loadErr = ix.BulkInsertNode(n.Elem.Symbol, n.Elem.Prefix, n.N, n.Size, parent.N, uint32(len(n.Docs)))
+	})
+	if loadErr != nil {
+		ix.Close()
+		return nil, loadErr
+	}
+	r.ids = make([]core.DocID, len(docs))
+	assigned := make(map[uint64]bool, len(docs))
+	r.tree.Walk(func(n, _ *suffixtree.Node) {
+		if loadErr != nil {
+			return
+		}
+		for _, slot := range n.Docs {
+			if assigned[slot] {
+				loadErr = fmt.Errorf("rist: doc slot %d assigned twice", slot)
+				return
+			}
+			assigned[slot] = true
+			id, err := ix.BulkInsertDoc(n.N, docs[slot], seqs[slot].MaxLen())
+			if err != nil {
+				loadErr = err
+				return
+			}
+			r.ids[slot] = id
+		}
+	})
+	if loadErr != nil {
+		ix.Close()
+		return nil, loadErr
+	}
+	ix.BulkFreeze()
+	return r, nil
+}
+
+// DocIDs maps input positions to assigned document IDs.
+func (r *Index) DocIDs() []core.DocID { return r.ids }
+
+// Query runs a path expression (Algorithm 2, shared with ViST).
+func (r *Index) Query(expr string) ([]core.DocID, error) { return r.ix.Query(expr) }
+
+// QueryVerified refines candidates against stored documents.
+func (r *Index) QueryVerified(expr string) ([]core.DocID, error) { return r.ix.QueryVerified(expr) }
+
+// Core exposes the underlying index (read-only use).
+func (r *Index) Core() *core.Index { return r.ix }
+
+// Tree exposes the materialized suffix tree.
+func (r *Index) Tree() *suffixtree.Tree { return r.tree }
+
+// IndexSizeBytes reports B+Tree bytes plus the materialized trie estimate —
+// RIST's total footprint (Section 4: "RIST takes more space than ViST,
+// since it maintains a suffix tree").
+func (r *Index) IndexSizeBytes() int64 {
+	return r.ix.IndexSizeBytes() + r.tree.MemoryEstimate()
+}
+
+// Close releases the underlying index.
+func (r *Index) Close() error { return r.ix.Close() }

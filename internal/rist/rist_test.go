@@ -1,0 +1,275 @@
+package rist
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vist/internal/core"
+	"vist/internal/naive"
+	"vist/internal/treematch"
+
+	"vist/internal/query"
+	"vist/internal/xmltree"
+)
+
+func parseAll(t testing.TB, xmls []string) []*xmltree.Node {
+	t.Helper()
+	out := make([]*xmltree.Node, len(xmls))
+	for i, x := range xmls {
+		n, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = n
+	}
+	return out
+}
+
+var corpus = []string{
+	`<purchase><seller ID="dell"><item name="p1" manufacturer="ibm"><item name="p2" manufacturer="intel"/></item><location>boston</location></seller><buyer ID="ibm"><location>newyork</location></buyer></purchase>`,
+	`<purchase><seller ID="hp"><item name="printer" manufacturer="canon"/><location>chicago</location></seller><buyer ID="dell"><location>boston</location></buyer></purchase>`,
+	`<purchase><seller ID="acme"><location>boston</location></seller></purchase>`,
+}
+
+var exprs = []string{
+	"/purchase/seller/item",
+	"/purchase/seller/item/item",
+	"/purchase[seller[location='boston']]/buyer[location='newyork']",
+	"/purchase/*[location='boston']",
+	"/purchase//item[@manufacturer='intel']",
+	"//location[text()='newyork']",
+	"//item",
+	"/purchase/seller[@ID='acme']",
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	docs := parseAll(t, corpus)
+	r, err := Build(docs, core.Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer r.Close()
+	ids := r.DocIDs()
+	if len(ids) != 3 {
+		t.Fatalf("DocIDs = %v", ids)
+	}
+	got, err := r.Query("/purchase//item[@manufacturer='intel']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []core.DocID{ids[0]}) {
+		t.Fatalf("intel query: %v", got)
+	}
+	got, err = r.Query("/purchase/*[location='boston']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk load assigns DocIDs in trie preorder, so compare as positions.
+	if pos := positions(t, got, ids); !reflect.DeepEqual(pos, []int{0, 1, 2}) {
+		t.Fatalf("boston query positions: %v", pos)
+	}
+}
+
+func TestFrozenAfterBuild(t *testing.T) {
+	docs := parseAll(t, corpus)
+	r, err := Build(docs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	extra := parseAll(t, []string{"<purchase/>"})
+	if _, err := r.Core().Insert(extra[0]); err == nil {
+		t.Fatal("insert into static RIST index succeeded")
+	}
+}
+
+func TestRistSizeExceedsCore(t *testing.T) {
+	docs := parseAll(t, corpus)
+	r, err := Build(docs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.IndexSizeBytes() <= r.Core().IndexSizeBytes() {
+		t.Fatal("RIST footprint must include the materialized trie")
+	}
+}
+
+func randomXML(rng *rand.Rand, n int) []string {
+	names := []string{"a", "b", "c", "d"}
+	values := []string{"x", "y", "z"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		name := names[rng.Intn(len(names))]
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return fmt.Sprintf("<%s>%s</%s>", name, values[rng.Intn(len(values))], name)
+		}
+		s := "<" + name
+		if rng.Intn(3) == 0 {
+			s += fmt.Sprintf(" %s=%q", names[rng.Intn(len(names))], values[rng.Intn(len(values))])
+		}
+		s += ">"
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			s += build(depth - 1)
+		}
+		return s + "</" + name + ">"
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "<r>" + build(3) + "</r>"
+	}
+	return out
+}
+
+// TestThreeEnginesAgree checks that ViST, RIST, and the naive suffix-tree
+// matcher return identical candidate sets on random data (they implement
+// the same matching semantics with different machinery), and that all three
+// cover the ground-truth oracle.
+func TestThreeEnginesAgree(t *testing.T) {
+	xmls := randomXML(rand.New(rand.NewSource(5)), 100)
+
+	vist, err := core.NewMem(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vistIDs := make([]core.DocID, 0, len(xmls))
+	vistDocs := make([]*xmltree.Node, 0, len(xmls))
+	for _, x := range xmls {
+		n, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := vist.Insert(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vistIDs = append(vistIDs, id)
+		vistDocs = append(vistDocs, n)
+	}
+
+	ristDocs := parseAll(t, xmls)
+	r, err := Build(ristDocs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	nv := naive.New(nil)
+	nvIDs := make([]uint64, len(xmls))
+	for i, x := range xmls {
+		n, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nvIDs[i] = nv.Insert(n)
+	}
+
+	testExprs := []string{
+		"/r", "/r/a", "/r//c", "//d", "/r/*[a]", "/r[a][b]", "/r/a[b]/c",
+		"//b[text()='x']", "/r//c[text()='y']", "//a//b", "/r[@a='x']",
+	}
+	for _, expr := range testExprs {
+		v, err := vist.Query(expr)
+		if err != nil {
+			t.Fatalf("%s vist: %v", expr, err)
+		}
+		rr, err := r.Query(expr)
+		if err != nil {
+			t.Fatalf("%s rist: %v", expr, err)
+		}
+		nn, err := nv.Query(expr)
+		if err != nil {
+			t.Fatalf("%s naive: %v", expr, err)
+		}
+		// Translate to input positions for comparison.
+		vPos := positions(t, v, vistIDs)
+		rPos := positions(t, rr, r.DocIDs())
+		nPos := positionsU(t, nn, nvIDs)
+		if !reflect.DeepEqual(vPos, rPos) || !reflect.DeepEqual(vPos, nPos) {
+			t.Errorf("%s: vist=%v rist=%v naive=%v", expr, vPos, rPos, nPos)
+		}
+		// Superset of the oracle.
+		q := query.MustParse(expr)
+		inV := map[int]bool{}
+		for _, p := range vPos {
+			inV[p] = true
+		}
+		for i, d := range vistDocs {
+			if treematch.Matches(q, d) && !inV[i] {
+				t.Errorf("%s: false negative at doc %d", expr, i)
+			}
+		}
+	}
+}
+
+func positions(t testing.TB, got []core.DocID, ids []core.DocID) []int {
+	t.Helper()
+	rev := make(map[core.DocID]int, len(ids))
+	for i, id := range ids {
+		rev[id] = i
+	}
+	out := make([]int, 0, len(got))
+	for _, g := range got {
+		p, ok := rev[g]
+		if !ok {
+			t.Fatalf("unknown doc id %d", g)
+		}
+		out = append(out, p)
+	}
+	sortInts(out)
+	return out
+}
+
+func positionsU(t testing.TB, got []uint64, ids []uint64) []int {
+	t.Helper()
+	rev := make(map[uint64]int, len(ids))
+	for i, id := range ids {
+		rev[id] = i
+	}
+	out := make([]int, 0, len(got))
+	for _, g := range got {
+		p, ok := rev[g]
+		if !ok {
+			t.Fatalf("unknown doc id %d", g)
+		}
+		out = append(out, p)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+}
+
+func TestBuildAtPersists(t *testing.T) {
+	dir := t.TempDir()
+	docs := parseAll(t, corpus)
+	r, err := BuildAt(dir, docs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := r.DocIDs()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen through core: search still works (static labels persist).
+	ix, err := core.Open(dir, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	got, err := ix.Query("/purchase//item[@manufacturer='intel']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []core.DocID{ids[0]}) {
+		t.Fatalf("reopened RIST query: %v", got)
+	}
+}

@@ -1,0 +1,297 @@
+// Package seq implements structure-encoded sequences (Definition 1 of the
+// ViST paper): the preorder sequence of (symbol, prefix) pairs derived from
+// an XML document tree, where the prefix is the symbol path from the root to
+// the node's parent.
+//
+// Element and attribute names are interned into a Dict; attribute values and
+// element text are mapped into a disjoint symbol range by a hash function
+// h() (the paper: "we use a hash function, h(), to encode attribute values
+// into integers").
+package seq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"vist/internal/xmltree"
+)
+
+// Symbol is a compact node identifier. Name symbols occupy [1, 2^31);
+// value symbols have the top bit set. 0 is invalid.
+type Symbol uint32
+
+// valueBit marks hashed value symbols.
+const valueBit Symbol = 1 << 31
+
+// IsValue reports whether s encodes a hashed text value rather than an
+// element/attribute name.
+func (s Symbol) IsValue() bool { return s&valueBit != 0 }
+
+// ValueSymbol hashes text content into the value symbol range, mirroring the
+// paper's h(). Collisions are possible by design; exact-match applications
+// use the refinement phase to weed them out.
+func ValueSymbol(text string) Symbol {
+	h := fnv.New32a()
+	h.Write([]byte(text))
+	return Symbol(h.Sum32())&^valueBit | valueBit
+}
+
+// AttrName is the dictionary spelling of an attribute, keeping attribute and
+// element namespaces distinct ("ID" the attribute vs a hypothetical <ID>).
+func AttrName(name string) string { return "@" + name }
+
+// Dict interns element/attribute names to symbols. It is safe for
+// concurrent use and serializable for persistence alongside an index.
+type Dict struct {
+	mu    sync.RWMutex
+	ids   map[string]Symbol
+	names []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]Symbol)}
+}
+
+// Intern returns the symbol for name, assigning the next free one on first
+// sight.
+func (d *Dict) Intern(name string) Symbol {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.ids[name]; ok {
+		return s
+	}
+	s := Symbol(len(d.names) + 1)
+	if s >= valueBit {
+		panic("seq: dictionary exhausted (2^31 names)")
+	}
+	d.ids[name] = s
+	d.names = append(d.names, name)
+	return s
+}
+
+// Lookup returns the symbol for name without assigning one.
+func (d *Dict) Lookup(name string) (Symbol, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.ids[name]
+	return s, ok
+}
+
+// Name returns the spelling of a name symbol.
+func (d *Dict) Name(s Symbol) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if s == 0 || s.IsValue() || int(s) > len(d.names) {
+		return "", false
+	}
+	return d.names[s-1], true
+}
+
+// Len reports how many names are interned.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
+
+// Encode serializes the dictionary (names in symbol order).
+func (d *Dict) Encode() []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := binary.AppendUvarint(nil, uint64(len(d.names)))
+	for _, n := range d.names {
+		out = binary.AppendUvarint(out, uint64(len(n)))
+		out = append(out, n...)
+	}
+	return out
+}
+
+// DecodeDict restores a dictionary produced by Encode.
+func DecodeDict(b []byte) (*Dict, error) {
+	n, m := binary.Uvarint(b)
+	if m <= 0 {
+		return nil, fmt.Errorf("seq: truncated dictionary header")
+	}
+	b = b[m:]
+	d := NewDict()
+	for i := uint64(0); i < n; i++ {
+		l, m := binary.Uvarint(b)
+		if m <= 0 || uint64(len(b)-m) < l {
+			return nil, fmt.Errorf("seq: truncated dictionary entry %d", i)
+		}
+		b = b[m:]
+		d.Intern(string(b[:l]))
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("seq: %d trailing dictionary bytes", len(b))
+	}
+	return d, nil
+}
+
+// Elem is one (symbol, prefix) pair of a structure-encoded sequence. The
+// prefix holds the symbols on the path from the root to the node's parent,
+// root first.
+type Elem struct {
+	Symbol Symbol
+	Prefix []Symbol
+}
+
+// Sequence is a structure-encoded sequence: the preorder walk of a document
+// tree as (symbol, prefix) pairs.
+type Sequence []Elem
+
+// Encode converts a normalized document tree into its structure-encoded
+// sequence, interning names into d.
+func Encode(root *xmltree.Node, d *Dict) Sequence {
+	out := make(Sequence, 0, root.Count())
+	var walk func(n *xmltree.Node, prefix []Symbol)
+	walk = func(n *xmltree.Node, prefix []Symbol) {
+		sym := SymbolOf(n, d)
+		// Copy the prefix: the walk mutates its backing array.
+		p := make([]Symbol, len(prefix))
+		copy(p, prefix)
+		out = append(out, Elem{Symbol: sym, Prefix: p})
+		if len(n.Children) == 0 {
+			return
+		}
+		child := append(prefix, sym)
+		for _, ch := range n.Children {
+			walk(ch, child)
+		}
+	}
+	walk(root, nil)
+	return out
+}
+
+// SymbolOf maps a node to its symbol: hashed text for value leaves,
+// interned (possibly @-prefixed) name otherwise.
+func SymbolOf(n *xmltree.Node, d *Dict) Symbol {
+	switch n.Kind {
+	case xmltree.Value:
+		return ValueSymbol(n.Text)
+	case xmltree.Attribute:
+		return d.Intern(AttrName(n.Name))
+	default:
+		return d.Intern(n.Name)
+	}
+}
+
+// String renders the sequence in the paper's (a, p) notation using d for
+// name spellings; value symbols render as v<hex>.
+func (s Sequence) String(d *Dict) string {
+	var b strings.Builder
+	for i, e := range s {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('(')
+		b.WriteString(symString(e.Symbol, d))
+		b.WriteByte(',')
+		for _, p := range e.Prefix {
+			b.WriteString(symString(p, d))
+			b.WriteByte('/')
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func symString(s Symbol, d *Dict) string {
+	if s.IsValue() {
+		return fmt.Sprintf("v%08x", uint32(s))
+	}
+	if name, ok := d.Name(s); ok {
+		return name
+	}
+	return fmt.Sprintf("#%d", uint32(s))
+}
+
+// MaxLen reports the longest prefix length in the sequence plus one — the
+// tree depth the sequence encodes.
+func (s Sequence) MaxLen() int {
+	max := 0
+	for _, e := range s {
+		if l := len(e.Prefix) + 1; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Key returns a canonical, comparable identity for the element: the symbol
+// followed by the prefix symbols, 4 bytes each, big-endian. It is used as a
+// map key by the statistics collector and the dynamic labeler.
+func (e Elem) Key() string {
+	b := make([]byte, 0, 4*(len(e.Prefix)+1))
+	b = appendSym(b, e.Symbol)
+	for _, p := range e.Prefix {
+		b = appendSym(b, p)
+	}
+	return string(b)
+}
+
+func appendSym(b []byte, s Symbol) []byte {
+	return append(b, byte(s>>24), byte(s>>16), byte(s>>8), byte(s))
+}
+
+// Reconstruct rebuilds a document tree from a structure-encoded sequence
+// (the second dimension of the sequence — the prefixes — carries exactly
+// the "extra information needed to reconstruct trees from preorder
+// sequences" the paper describes). Name symbols resolve through d;
+// value symbols cannot be inverted (h() is a hash), so value leaves come
+// back as placeholder text "v<hex>". Reconstruct(Encode(doc)) is therefore
+// structurally identical to doc with hashed leaf texts.
+func Reconstruct(s Sequence, d *Dict) (*xmltree.Node, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("seq: empty sequence")
+	}
+	if len(s[0].Prefix) != 0 {
+		return nil, fmt.Errorf("seq: first element has non-empty prefix")
+	}
+	nodeFor := func(e Elem) (*xmltree.Node, error) {
+		if e.Symbol.IsValue() {
+			return xmltree.NewText(fmt.Sprintf("v%08x", uint32(e.Symbol))), nil
+		}
+		name, ok := d.Name(e.Symbol)
+		if !ok {
+			return nil, fmt.Errorf("seq: unknown symbol %d", e.Symbol)
+		}
+		if len(name) > 0 && name[0] == '@' {
+			return &xmltree.Node{Kind: xmltree.Attribute, Name: name[1:]}, nil
+		}
+		return xmltree.NewElement(name), nil
+	}
+	root, err := nodeFor(s[0])
+	if err != nil {
+		return nil, err
+	}
+	type frame struct {
+		node *xmltree.Node
+		sym  Symbol
+	}
+	stack := []frame{{root, s[0].Symbol}}
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		// The element's depth equals its prefix length; pop to its parent.
+		if len(e.Prefix) == 0 || len(e.Prefix) > len(stack) {
+			return nil, fmt.Errorf("seq: element %d has inconsistent prefix depth %d", i, len(e.Prefix))
+		}
+		stack = stack[:len(e.Prefix)]
+		parent := stack[len(stack)-1]
+		if e.Prefix[len(e.Prefix)-1] != parent.sym {
+			return nil, fmt.Errorf("seq: element %d prefix does not end with its parent's symbol", i)
+		}
+		n, err := nodeFor(e)
+		if err != nil {
+			return nil, err
+		}
+		parent.node.Children = append(parent.node.Children, n)
+		stack = append(stack, frame{n, e.Symbol})
+	}
+	return root, nil
+}

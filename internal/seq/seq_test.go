@@ -1,0 +1,327 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vist/internal/xmltree"
+)
+
+func TestValueSymbolProperties(t *testing.T) {
+	a := ValueSymbol("dell")
+	b := ValueSymbol("ibm")
+	if !a.IsValue() || !b.IsValue() {
+		t.Fatal("value symbols must have the value bit set")
+	}
+	if a == b {
+		t.Fatal("distinct strings hashed identically (astronomically unlikely)")
+	}
+	if ValueSymbol("dell") != a {
+		t.Fatal("ValueSymbol not deterministic")
+	}
+}
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	p := d.Intern("purchase")
+	s := d.Intern("seller")
+	if p == s {
+		t.Fatal("distinct names share a symbol")
+	}
+	if d.Intern("purchase") != p {
+		t.Fatal("re-intern changed the symbol")
+	}
+	if p.IsValue() || s.IsValue() {
+		t.Fatal("name symbols must not carry the value bit")
+	}
+	if name, ok := d.Name(p); !ok || name != "purchase" {
+		t.Fatalf("Name(%d) = %q, %v", p, name, ok)
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("Lookup of missing name succeeded")
+	}
+	if _, ok := d.Name(ValueSymbol("x")); ok {
+		t.Fatal("Name of a value symbol succeeded")
+	}
+}
+
+func TestDictEncodeDecode(t *testing.T) {
+	d := NewDict()
+	for _, n := range []string{"purchase", "seller", "@ID", "item", "location"} {
+		d.Intern(n)
+	}
+	d2, err := DecodeDict(d.Encode())
+	if err != nil {
+		t.Fatalf("DecodeDict: %v", err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("lengths differ: %d vs %d", d2.Len(), d.Len())
+	}
+	for _, n := range []string{"purchase", "seller", "@ID", "item", "location"} {
+		a, _ := d.Lookup(n)
+		b, ok := d2.Lookup(n)
+		if !ok || a != b {
+			t.Fatalf("symbol for %q: %d vs %d (ok=%v)", n, a, b, ok)
+		}
+	}
+	if _, err := DecodeDict([]byte{200}); err == nil {
+		t.Fatal("DecodeDict accepted garbage")
+	}
+	if _, err := DecodeDict(append(d.Encode(), 0)); err == nil {
+		t.Fatal("DecodeDict accepted trailing bytes")
+	}
+}
+
+// paperDoc builds the Figure 3 purchase record.
+func paperDoc() *xmltree.Node {
+	doc := xmltree.NewElement("purchase",
+		xmltree.NewElement("seller",
+			xmltree.NewAttr("ID", "dell"),
+			xmltree.NewElement("item",
+				xmltree.NewAttr("ID", "ibm"),
+				xmltree.NewAttr("name", "part#1"),
+				xmltree.NewElement("item",
+					xmltree.NewAttr("name", "part#2"),
+					xmltree.NewAttr("manufacturer", "intel"),
+				),
+			),
+			xmltree.NewElement("item", xmltree.NewAttr("name", "panasia")),
+			xmltree.NewElementText("location", "boston"),
+		),
+		xmltree.NewElement("buyer",
+			xmltree.NewAttr("ID", "ibm"),
+			xmltree.NewElementText("location", "newyork"),
+		),
+	)
+	schema := xmltree.NewSchema(
+		"purchase", "seller", "buyer",
+		AttrName("ID"), AttrName("location"), AttrName("name"),
+		"item", AttrName("manufacturer"), "location", "name",
+	)
+	xmltree.Normalize(doc, schema)
+	return doc
+}
+
+func TestEncodePaperExample(t *testing.T) {
+	d := NewDict()
+	doc := paperDoc()
+	s := Encode(doc, d)
+	if len(s) != doc.Count() {
+		t.Fatalf("sequence length %d != node count %d", len(s), doc.Count())
+	}
+	// First element is the root with an empty prefix.
+	P, _ := d.Lookup("purchase")
+	if s[0].Symbol != P || len(s[0].Prefix) != 0 {
+		t.Fatalf("first element = %+v", s[0])
+	}
+	// Second element is seller with prefix [P] (schema puts seller first).
+	S, _ := d.Lookup("seller")
+	if s[1].Symbol != S || len(s[1].Prefix) != 1 || s[1].Prefix[0] != P {
+		t.Fatalf("second element = %+v", s[1])
+	}
+	// The deepest prefix is purchase/seller/item/item/@manufacturer = 5,
+	// so MaxLen (depth) is 6.
+	if s.MaxLen() != 6 {
+		t.Fatalf("MaxLen = %d, want 6", s.MaxLen())
+	}
+	// "boston" must appear with prefix purchase/seller/location.
+	L, _ := d.Lookup("location")
+	want := []Symbol{P, S, L}
+	found := false
+	for _, e := range s {
+		if e.Symbol == ValueSymbol("boston") {
+			if len(e.Prefix) != 3 {
+				t.Fatalf("boston prefix = %v", e.Prefix)
+			}
+			for i := range want {
+				if e.Prefix[i] != want[i] {
+					t.Fatalf("boston prefix = %v, want %v", e.Prefix, want)
+				}
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("value 'boston' missing from sequence")
+	}
+}
+
+func TestEncodePrefixInvariant(t *testing.T) {
+	// Every element's prefix must equal its parent's prefix plus the
+	// parent's symbol; verify via an independent stack walk.
+	d := NewDict()
+	doc := paperDoc()
+	s := Encode(doc, d)
+	type frame struct {
+		sym  Symbol
+		plen int
+	}
+	var stack []frame
+	for i, e := range s {
+		for len(stack) > 0 && stack[len(stack)-1].plen+1 > len(e.Prefix) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.plen+1 != len(e.Prefix) || e.Prefix[len(e.Prefix)-1] != top.sym {
+				t.Fatalf("element %d prefix %v inconsistent with parent %+v", i, e.Prefix, top)
+			}
+		} else if len(e.Prefix) != 0 {
+			t.Fatalf("element %d has prefix %v with empty stack", i, e.Prefix)
+		}
+		stack = append(stack, frame{e.Symbol, len(e.Prefix)})
+	}
+}
+
+func TestEncodePrefixAliasing(t *testing.T) {
+	// Prefixes must be independent copies, not views of a shared buffer.
+	d := NewDict()
+	doc := xmltree.NewElement("a",
+		xmltree.NewElement("b", xmltree.NewElement("c")),
+		xmltree.NewElement("d", xmltree.NewElement("e")),
+	)
+	s := Encode(doc, d)
+	// c has prefix [a b]; e has prefix [a d]. If the walk aliased buffers,
+	// c's prefix would have been overwritten by d.
+	b, _ := d.Lookup("b")
+	if s[2].Prefix[1] != b {
+		t.Fatalf("prefix aliasing: c's prefix = %v", s[2].Prefix)
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	d := NewDict()
+	doc := xmltree.NewElement("a", xmltree.NewElementText("b", "x"))
+	s := Encode(doc, d)
+	str := s.String(d)
+	if str == "" {
+		t.Fatal("String returned empty")
+	}
+	for _, want := range []string{"(a,)", "(b,a/)"} {
+		if !contains(str, want) {
+			t.Fatalf("String = %q, missing %q", str, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func randomDoc(rng *rand.Rand, depth int) *xmltree.Node {
+	names := []string{"a", "b", "c", "d"}
+	n := xmltree.NewElement(names[rng.Intn(len(names))])
+	if depth > 0 {
+		for i := 0; i < rng.Intn(4); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				n.Children = append(n.Children, xmltree.NewAttr(names[rng.Intn(len(names))], names[rng.Intn(len(names))]))
+			case 1:
+				n.Children = append(n.Children, xmltree.NewText(names[rng.Intn(len(names))]))
+			default:
+				n.Children = append(n.Children, randomDoc(rng, depth-1))
+			}
+		}
+	}
+	return n
+}
+
+func TestPropertySequenceLengthEqualsNodeCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 4)
+		xmltree.Normalize(doc, nil)
+		d := NewDict()
+		return len(Encode(doc, d)) == doc.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPrefixDepthBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 4)
+		xmltree.Normalize(doc, nil)
+		d := NewDict()
+		s := Encode(doc, d)
+		return s.MaxLen() == doc.Depth()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructRoundTrip(t *testing.T) {
+	d := NewDict()
+	doc := paperDoc()
+	s := Encode(doc, d)
+	back, err := Reconstruct(s, d)
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	// Structure must be identical; value leaves come back as hash
+	// placeholders, so compare shape: kinds, names, child counts.
+	var sameShape func(a, b *xmltree.Node) bool
+	sameShape = func(a, b *xmltree.Node) bool {
+		if a.Kind != b.Kind || a.Name != b.Name || len(a.Children) != len(b.Children) {
+			return false
+		}
+		for i := range a.Children {
+			if !sameShape(a.Children[i], b.Children[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if !sameShape(doc, back) {
+		t.Fatalf("shapes differ:\n%v\n%v", doc, back)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("a")
+	b := d.Intern("b")
+	cases := []Sequence{
+		{},                                 // empty
+		{{Symbol: a, Prefix: []Symbol{b}}}, // root with prefix
+		{{Symbol: a}, {Symbol: b, Prefix: []Symbol{b}}},           // prefix not ending with parent
+		{{Symbol: a}, {Symbol: b, Prefix: []Symbol{a, a}}},        // too-deep jump
+		{{Symbol: a}, {Symbol: Symbol(999), Prefix: []Symbol{a}}}, // unknown symbol
+	}
+	for i, s := range cases {
+		if _, err := Reconstruct(s, d); err == nil {
+			t.Errorf("case %d: Reconstruct accepted invalid sequence", i)
+		}
+	}
+}
+
+func TestPropertyReconstructShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 4)
+		xmltree.Normalize(doc, nil)
+		d := NewDict()
+		s := Encode(doc, d)
+		back, err := Reconstruct(s, d)
+		if err != nil {
+			return false
+		}
+		return back.Count() == doc.Count() && back.Depth() == doc.Depth()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package seqmatch implements the brute-force non-contiguous subsequence
+// matcher the paper describes as the baseline semantics: "After both XML
+// data and XML queries are converted to structure-encoded sequences, it is
+// straightforward to devise a brute force algorithm to perform
+// (non-contiguous) sequence matching" (Section 2).
+//
+// Within a single document's sequence, the virtual suffix tree is a chain,
+// so S-Ancestorship reduces to position ordering; D-Ancestorship is the
+// prefix-compatibility test. A document is a ViST *candidate* answer if
+// and only if MatchesDoc holds for some of the query's sequences — making
+// this package the executable specification the index implementations
+// (core, rist, naive) are property-tested against.
+package seqmatch
+
+import (
+	"vist/internal/query"
+	"vist/internal/seq"
+)
+
+// MatchesDoc reports whether the document sequence s contains the query
+// sequence qs as a non-contiguous subsequence with consistent
+// D-Ancestorship (prefix compatibility, wildcards included).
+func MatchesDoc(qs query.Seq, s seq.Sequence) bool {
+	if len(qs) == 0 {
+		return false
+	}
+	// matched[i] is the data position chosen for query element i.
+	matched := make([]int, len(qs))
+	var rec func(qi, from int) bool
+	rec = func(qi, from int) bool {
+		if qi == len(qs) {
+			return true
+		}
+		qe := qs[qi]
+		var base []seq.Symbol
+		if qe.Anchor >= 0 {
+			p := matched[qe.Anchor]
+			base = append(append([]seq.Symbol(nil), s[p].Prefix...), s[p].Symbol)
+		}
+		for pos := from; pos < len(s); pos++ {
+			if !elementMatches(s[pos], qe, base) {
+				continue
+			}
+			matched[qi] = pos
+			if rec(qi+1, pos+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// elementMatches is the D-Ancestorship test: the element's symbol equals
+// the query symbol and its prefix extends base by exactly Stars symbols
+// (plus any number when Desc).
+func elementMatches(e seq.Elem, qe query.QElem, base []seq.Symbol) bool {
+	if e.Symbol != qe.Symbol {
+		return false
+	}
+	min := len(base) + qe.Stars
+	if qe.Desc {
+		if len(e.Prefix) < min {
+			return false
+		}
+	} else if len(e.Prefix) != min {
+		return false
+	}
+	for i, b := range base {
+		if e.Prefix[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesAny reports whether any of the query's sequence variants matches
+// the document sequence — the candidate-set membership test.
+func MatchesAny(variants []query.Seq, s seq.Sequence) bool {
+	for _, qs := range variants {
+		if MatchesDoc(qs, s) {
+			return true
+		}
+	}
+	return false
+}

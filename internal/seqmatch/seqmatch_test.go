@@ -1,0 +1,107 @@
+package seqmatch
+
+import (
+	"testing"
+
+	"vist/internal/query"
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+func encode(t *testing.T, d *seq.Dict, xml string) seq.Sequence {
+	t.Helper()
+	n, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmltree.Normalize(n, nil)
+	return seq.Encode(n, d)
+}
+
+func variants(t *testing.T, d *seq.Dict, expr string) []query.Seq {
+	t.Helper()
+	qs, err := query.MustParse(expr).Sequences(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs
+}
+
+func TestMatchesDocBasics(t *testing.T) {
+	d := seq.NewDict()
+	s := encode(t, d, `<purchase><seller ID="dell"><location>boston</location></seller><buyer><location>newyork</location></buyer></purchase>`)
+
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"/purchase", true},
+		{"/purchase/seller", true},
+		{"/purchase/seller/location", true},
+		{"/purchase/location", false},
+		{"//location", true},
+		{"/purchase/*[location='boston']", true},
+		{"/purchase/*[location='austin']", false},
+		{"/purchase[buyer[location='newyork']]/seller", true},
+		{"/purchase/seller[@ID='dell']", true},
+		{"/purchase/seller[@ID='hp']", false},
+	}
+	for _, c := range cases {
+		got := MatchesAny(variants(t, d, c.expr), s)
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestMatchesDocOrderSensitivity(t *testing.T) {
+	// The subsequence semantics require query elements in document order;
+	// a branch whose elements appear reversed in the data must NOT match
+	// for a single fixed sequence — that is exactly why the conversion
+	// layer emits sibling permutations.
+	d := seq.NewDict()
+	s := encode(t, d, "<a><c/><b/></a>") // normalized order: b, c
+	// Hand-build the reversed query sequence (c before b).
+	b, _ := d.Lookup("b")
+	c, _ := d.Lookup("c")
+	a, _ := d.Lookup("a")
+	reversed := query.Seq{
+		{Symbol: a, Anchor: -1},
+		{Symbol: c, Anchor: 0},
+		{Symbol: b, Anchor: 0},
+	}
+	if MatchesDoc(reversed, s) {
+		t.Fatal("reversed-order sequence matched")
+	}
+	inOrder := query.Seq{
+		{Symbol: a, Anchor: -1},
+		{Symbol: b, Anchor: 0},
+		{Symbol: c, Anchor: 0},
+	}
+	if !MatchesDoc(inOrder, s) {
+		t.Fatal("in-order sequence did not match")
+	}
+}
+
+func TestMatchesDocKnownFalsePositive(t *testing.T) {
+	// The executable spec must exhibit the algorithm's documented false
+	// positive: /a/b[c][d] "matches" a document whose c and d live under
+	// two different sibling b's.
+	d := seq.NewDict()
+	split := encode(t, d, "<a><b><c/></b><b><d/></b></a>")
+	if !MatchesAny(variants(t, d, "/a/b[c][d]"), split) {
+		t.Fatal("spec does not reproduce the sibling-split false positive")
+	}
+	neither := encode(t, d, "<a><b><c/></b></a>")
+	if MatchesAny(variants(t, d, "/a/b[c][d]"), neither) {
+		t.Fatal("spec matched a document missing the d branch")
+	}
+}
+
+func TestMatchesDocEmptyQuery(t *testing.T) {
+	d := seq.NewDict()
+	s := encode(t, d, "<a/>")
+	if MatchesDoc(query.Seq{}, s) {
+		t.Fatal("empty query sequence matched")
+	}
+}

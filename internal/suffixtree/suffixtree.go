@@ -1,0 +1,131 @@
+// Package suffixtree implements the materialized sequence trie that the
+// paper's Naive algorithm (Section 3.2) searches directly and that RIST
+// (Section 3.3) labels statically before bulk-loading B+Trees.
+//
+// Structure-encoded sequences are inserted from the root ("the insertion
+// process is much like that of inserting a sequence into a suffix tree — we
+// follow the branches, and when there is no branch to follow, we create
+// one"); each node carries the document IDs of the sequences that end at
+// it. Label assigns the static ⟨n, size⟩ labels by preorder traversal.
+package suffixtree
+
+import (
+	"sort"
+
+	"vist/internal/seq"
+)
+
+// Node is one trie node. After Label, N is its preorder number and Size the
+// count of its descendants, so a node y is a descendant of x iff
+// y.N ∈ (x.N, x.N+x.Size].
+type Node struct {
+	// Elem is the structure-encoded element this node represents (zero for
+	// the root).
+	Elem seq.Elem
+	// Docs lists the IDs of documents whose sequences end at this node.
+	Docs []uint64
+	// N and Size form the static ⟨n, size⟩ label.
+	N, Size uint64
+
+	children map[string]*Node
+	ordered  []*Node // deterministic child order for traversal/labeling
+}
+
+// Children returns the node's children in deterministic (insertion-sorted)
+// order.
+func (n *Node) Children() []*Node { return n.ordered }
+
+// Tree is a sequence trie.
+type Tree struct {
+	root    *Node
+	nodes   int
+	labeled bool
+}
+
+// New returns an empty trie.
+func New() *Tree {
+	return &Tree{root: &Node{children: make(map[string]*Node)}}
+}
+
+// Root returns the root node (which represents no element).
+func (t *Tree) Root() *Node { return t.root }
+
+// NodeCount reports the number of nodes excluding the root.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// Labeled reports whether Label has run since the last insertion.
+func (t *Tree) Labeled() bool { return t.labeled }
+
+// Insert adds a structure-encoded sequence, attaching docID to the node
+// where it ends. Inserting invalidates existing labels.
+func (t *Tree) Insert(s seq.Sequence, docID uint64) {
+	t.labeled = false
+	cur := t.root
+	for _, e := range s {
+		key := e.Key()
+		next, ok := cur.children[key]
+		if !ok {
+			next = &Node{Elem: e, children: make(map[string]*Node)}
+			cur.children[key] = next
+			cur.ordered = insertOrdered(cur.ordered, next, key)
+			t.nodes++
+		}
+		cur = next
+	}
+	cur.Docs = append(cur.Docs, docID)
+}
+
+// insertOrdered keeps children sorted by element key for deterministic
+// preorder labeling.
+func insertOrdered(list []*Node, n *Node, key string) []*Node {
+	i := sort.Search(len(list), func(i int) bool { return list[i].Elem.Key() >= key })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = n
+	return list
+}
+
+// Label assigns static ⟨n, size⟩ labels by a depth-first traversal
+// (Section 3.3: "labeling can be accomplished by making a depth-first
+// traversal of the suffix tree"). The root receives n = 0 and a size
+// covering the whole tree.
+func (t *Tree) Label() {
+	var next uint64
+	var walk func(n *Node) uint64 // returns the number of descendants
+	walk = func(n *Node) uint64 {
+		n.N = next
+		next++
+		var desc uint64
+		for _, c := range n.ordered {
+			desc += 1 + walk(c)
+		}
+		n.Size = desc
+		return desc
+	}
+	walk(t.root)
+	t.labeled = true
+}
+
+// Walk visits every node except the root in preorder, passing its parent.
+func (t *Tree) Walk(fn func(n, parent *Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		for _, c := range n.ordered {
+			fn(c, n)
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
+// MemoryEstimate roughly accounts the trie's in-memory footprint in bytes —
+// the extra cost RIST pays over ViST for keeping the suffix tree
+// materialized (Figure 11(a)).
+func (t *Tree) MemoryEstimate() int64 {
+	var total int64
+	t.Walk(func(n, _ *Node) {
+		// struct + map/slice headers + element prefix + doc IDs.
+		total += 96 + int64(4*(len(n.Elem.Prefix)+1)) + int64(8*len(n.Docs))
+	})
+	return total
+}

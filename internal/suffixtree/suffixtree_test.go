@@ -1,0 +1,162 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vist/internal/seq"
+	"vist/internal/xmltree"
+)
+
+func encode(t *testing.T, d *seq.Dict, xml string) seq.Sequence {
+	t.Helper()
+	n, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmltree.Normalize(n, nil)
+	return seq.Encode(n, d)
+}
+
+func TestInsertSharesPrefixes(t *testing.T) {
+	d := seq.NewDict()
+	tr := New()
+	s1 := encode(t, d, "<p><s><n>dell</n></s></p>")
+	s2 := encode(t, d, "<p><s><n>ibm</n></s></p>")
+	tr.Insert(s1, 1)
+	tr.Insert(s2, 2)
+	// p, s, n are shared; the two values differ: 3 + 2 = 5 nodes.
+	if tr.NodeCount() != 5 {
+		t.Fatalf("NodeCount = %d, want 5", tr.NodeCount())
+	}
+	// Same sequence again adds nothing.
+	tr.Insert(encode(t, d, "<p><s><n>dell</n></s></p>"), 3)
+	if tr.NodeCount() != 5 {
+		t.Fatalf("NodeCount after duplicate = %d", tr.NodeCount())
+	}
+}
+
+func TestDocIDsAttachToEndNode(t *testing.T) {
+	d := seq.NewDict()
+	tr := New()
+	s := encode(t, d, "<a><b/></a>")
+	tr.Insert(s, 7)
+	tr.Insert(s, 8)
+	// Find the deepest node.
+	var end *Node
+	tr.Walk(func(n, _ *Node) {
+		if len(n.Children()) == 0 {
+			end = n
+		}
+	})
+	if end == nil || len(end.Docs) != 2 || end.Docs[0] != 7 || end.Docs[1] != 8 {
+		t.Fatalf("end node docs = %+v", end)
+	}
+}
+
+func TestLabelInvariants(t *testing.T) {
+	d := seq.NewDict()
+	tr := New()
+	for i, x := range []string{
+		"<p><s><n>dell</n></s></p>",
+		"<p><s><n>ibm</n><l>ny</l></s></p>",
+		"<p><b><l>boston</l></b></p>",
+	} {
+		tr.Insert(encode(t, d, x), uint64(i+1))
+	}
+	tr.Label()
+	if !tr.Labeled() {
+		t.Fatal("Labeled() false after Label")
+	}
+	if tr.Root().N != 0 || tr.Root().Size != uint64(tr.NodeCount()) {
+		t.Fatalf("root label = ⟨%d,%d⟩, nodes = %d", tr.Root().N, tr.Root().Size, tr.NodeCount())
+	}
+	// Every child's label range nests strictly inside its parent's, and
+	// sibling ranges are disjoint.
+	seen := map[uint64]bool{}
+	tr.Walk(func(n, parent *Node) {
+		if seen[n.N] {
+			t.Fatalf("duplicate label %d", n.N)
+		}
+		seen[n.N] = true
+		if !(n.N > parent.N && n.N+n.Size <= parent.N+parent.Size) {
+			t.Fatalf("child ⟨%d,%d⟩ not inside parent ⟨%d,%d⟩", n.N, n.Size, parent.N, parent.Size)
+		}
+		kids := n.Children()
+		for i := 0; i < len(kids); i++ {
+			for j := i + 1; j < len(kids); j++ {
+				a, b := kids[i], kids[j]
+				if !(a.N+a.Size < b.N || b.N+b.Size < a.N) {
+					t.Fatalf("sibling ranges overlap: ⟨%d,%d⟩ ⟨%d,%d⟩", a.N, a.Size, b.N, b.Size)
+				}
+			}
+		}
+	})
+	if len(seen) != tr.NodeCount() {
+		t.Fatalf("labeled %d nodes, trie has %d", len(seen), tr.NodeCount())
+	}
+}
+
+func TestInsertInvalidatesLabels(t *testing.T) {
+	d := seq.NewDict()
+	tr := New()
+	tr.Insert(encode(t, d, "<a/>"), 1)
+	tr.Label()
+	tr.Insert(encode(t, d, "<b/>"), 2)
+	if tr.Labeled() {
+		t.Fatal("labels must be invalidated by insertion")
+	}
+}
+
+func TestPropertyLabelSizeEqualsDescendants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := seq.NewDict()
+		tr := New()
+		names := []string{"a", "b", "c"}
+		for i := 0; i < 20; i++ {
+			// Random short sequences built from random documents.
+			var build func(depth int) *xmltree.Node
+			build = func(depth int) *xmltree.Node {
+				n := xmltree.NewElement(names[rng.Intn(len(names))])
+				if depth > 0 {
+					for j := 0; j < rng.Intn(3); j++ {
+						n.Children = append(n.Children, build(depth-1))
+					}
+				}
+				return n
+			}
+			doc := build(3)
+			xmltree.Normalize(doc, nil)
+			tr.Insert(seq.Encode(doc, d), uint64(i))
+		}
+		tr.Label()
+		ok := true
+		var count func(n *Node) uint64
+		count = func(n *Node) uint64 {
+			var c uint64
+			for _, ch := range n.Children() {
+				c += 1 + count(ch)
+			}
+			if n.Size != c {
+				ok = false
+			}
+			return c
+		}
+		count(tr.Root())
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryEstimatePositive(t *testing.T) {
+	d := seq.NewDict()
+	tr := New()
+	tr.Insert(encode(t, d, "<a><b>x</b></a>"), 1)
+	if tr.MemoryEstimate() <= 0 {
+		t.Fatal("MemoryEstimate must be positive for a non-empty trie")
+	}
+}

@@ -1,0 +1,117 @@
+// Package treematch evaluates parsed queries directly against XML document
+// trees — the semantics ViST's sequence matching approximates. It serves
+// two roles:
+//
+//   - test oracle: ViST's candidate sets are compared against it (the
+//     paper's approach can produce false positives on some branching
+//     queries; candidates must always be a superset);
+//   - refinement filter: vist.Index.QueryVerified post-filters candidate
+//     documents through this matcher, also eliminating value-hash
+//     collisions, since matching here compares exact text.
+package treematch
+
+import (
+	"vist/internal/query"
+	"vist/internal/xmltree"
+)
+
+// Matches reports whether doc satisfies q.
+func Matches(q *query.Query, doc *xmltree.Node) bool {
+	for _, step := range q.Root.Children {
+		if !matchTop(step, doc) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchTop handles a top-level step: a leading '/' anchors at the document
+// root; a leading '//' may match anywhere in the tree.
+func matchTop(qn *query.Node, root *xmltree.Node) bool {
+	if qn.Axis == query.Child {
+		return matchSubtree(qn, root)
+	}
+	return anyNode(root, func(n *xmltree.Node) bool { return matchSubtree(qn, n) })
+}
+
+// matchSubtree reports whether dn itself satisfies the name test of qn and
+// all of qn's branch conditions.
+func matchSubtree(qn *query.Node, dn *xmltree.Node) bool {
+	if !nameMatches(qn, dn) {
+		return false
+	}
+	for _, qc := range qn.Children {
+		if !matchChild(qc, dn) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchChild(qc *query.Node, dn *xmltree.Node) bool {
+	if qc.Kind == query.Value {
+		for _, dc := range dn.Children {
+			if dc.Kind == xmltree.Value && dc.Text == qc.Text {
+				return true
+			}
+		}
+		return false
+	}
+	if qc.Axis == query.Child {
+		for _, dc := range dn.Children {
+			if matchSubtree(qc, dc) {
+				return true
+			}
+		}
+		return false
+	}
+	// Descendant axis: any strict descendant of dn.
+	for _, dc := range dn.Children {
+		if anyNode(dc, func(n *xmltree.Node) bool { return matchSubtree(qc, n) }) {
+			return true
+		}
+	}
+	return false
+}
+
+func nameMatches(qn *query.Node, dn *xmltree.Node) bool {
+	switch qn.Kind {
+	case query.Star:
+		return dn.Kind == xmltree.Element || dn.Kind == xmltree.Attribute
+	case query.Name:
+		switch {
+		case qn.IsAttr:
+			return dn.Kind == xmltree.Attribute && dn.Name == qn.Name
+		case qn.AnyKind:
+			return (dn.Kind == xmltree.Element || dn.Kind == xmltree.Attribute) && dn.Name == qn.Name
+		default:
+			return dn.Kind == xmltree.Element && dn.Name == qn.Name
+		}
+	default:
+		return false
+	}
+}
+
+// anyNode applies f to n and all its descendants until f reports true.
+func anyNode(n *xmltree.Node, f func(*xmltree.Node) bool) bool {
+	if f(n) {
+		return true
+	}
+	for _, ch := range n.Children {
+		if anyNode(ch, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the documents among docs that satisfy q, preserving order.
+func Filter(q *query.Query, docs []*xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, d := range docs {
+		if Matches(q, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

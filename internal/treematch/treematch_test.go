@@ -1,0 +1,101 @@
+package treematch
+
+import (
+	"testing"
+
+	"vist/internal/query"
+	"vist/internal/xmltree"
+)
+
+func purchase() *xmltree.Node {
+	doc, err := xmltree.ParseString(`
+<purchase>
+  <seller ID="dell">
+    <item ID="ibm" name="part#1">
+      <item name="part#2" manufacturer="intel"/>
+    </item>
+    <location>boston</location>
+  </seller>
+  <buyer ID="ibm">
+    <location>newyork</location>
+  </buyer>
+</purchase>`)
+	if err != nil {
+		panic(err)
+	}
+	xmltree.Normalize(doc, nil)
+	return doc
+}
+
+func TestMatchesTable(t *testing.T) {
+	doc := purchase()
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"/purchase", true},
+		{"/purchase/seller", true},
+		{"/purchase/seller/item", true},
+		{"/purchase/seller/item/item", true},
+		{"/purchase/buyer/item", false},
+		{"/seller", false},     // seller is not the root
+		{"//seller", true},     // but it is somewhere
+		{"//item/item", true},  // nested items
+		{"//item//item", true}, // descendant axis too
+		{"/purchase//item[@manufacturer='intel']", true},
+		{"/purchase//item[@manufacturer='amd']", false},
+		{"/purchase/*[location='boston']", true},
+		{"/purchase/*[location='chicago']", false},
+		{"/purchase[seller[location='boston']]/buyer[location='newyork']", true},
+		{"/purchase[seller[location='newyork']]/buyer[location='boston']", false},
+		{"/purchase/seller/location[text()='boston']", true},
+		{"/purchase/seller/location[text()='austin']", false},
+		{"/purchase/seller[@ID='dell']", true},
+		{"/purchase/seller[@ID='ibm']", false},
+		{"/purchase/buyer[@ID='ibm']", true},
+		// Bare name in a value predicate matches the attribute too.
+		{"/purchase/seller[ID='dell']", true},
+		// Star matches attributes as well as elements.
+		{"/purchase/seller/item/*[text()='part#1']", true},
+		{"//location[text()='newyork']", true},
+		{"/purchase[buyer][seller]", true},
+		{"/purchase[buyer[location='boston']]", false},
+	}
+	for _, c := range cases {
+		q := query.MustParse(c.expr)
+		if got := Matches(q, doc); got != c.want {
+			t.Errorf("Matches(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestMatchesDescendantIsStrict(t *testing.T) {
+	// /a//a must require a nested a, not match the same node.
+	doc, _ := xmltree.ParseString("<a><b/></a>")
+	if Matches(query.MustParse("/a//a"), doc) {
+		t.Fatal("/a//a matched a document with a single a")
+	}
+	doc2, _ := xmltree.ParseString("<a><a/></a>")
+	if !Matches(query.MustParse("/a//a"), doc2) {
+		t.Fatal("/a//a did not match nested a")
+	}
+}
+
+func TestMatchesIndependentPredicates(t *testing.T) {
+	// XPath semantics: two [b] predicates can be satisfied by the same b.
+	doc, _ := xmltree.ParseString("<a><b/></a>")
+	if !Matches(query.MustParse("/a[b][b]"), doc) {
+		t.Fatal("independent predicates must reuse the same child")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	d1, _ := xmltree.ParseString("<a><b>x</b></a>")
+	d2, _ := xmltree.ParseString("<a><b>y</b></a>")
+	d3, _ := xmltree.ParseString("<c/>")
+	q := query.MustParse("/a/b[text()='x']")
+	got := Filter(q, []*xmltree.Node{d1, d2, d3})
+	if len(got) != 1 || got[0] != d1 {
+		t.Fatalf("Filter returned %d docs", len(got))
+	}
+}

@@ -1,0 +1,115 @@
+package xmltree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseDTD extracts the linear element/attribute order from a DTD document
+// (the paper's Figure 1 input): <!ELEMENT name ...> declarations contribute
+// the element name, and <!ATTLIST name a1 ... a2 ...> declarations
+// contribute "@a1", "@a2", … immediately after their owner element. The
+// resulting name list feeds NewSchema / core.Options.Schema.
+//
+// This is a DTD subset reader: entities, conditional sections, and external
+// subsets are not resolved; unknown declarations are skipped.
+func ParseDTD(r io.Reader) ([]string, error) {
+	decls, err := scanDeclarations(r)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+	}
+	// attrsOf accumulates attribute names per element so they can be
+	// spliced in right after the element.
+	attrsOf := map[string][]string{}
+	var elements []string
+	for _, d := range decls {
+		fields := strings.Fields(d)
+		if len(fields) < 2 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "ELEMENT":
+			elements = append(elements, fields[1])
+		case "ATTLIST":
+			owner := fields[1]
+			// Attribute declarations come in triples: name type default.
+			for i := 2; i < len(fields); i += 3 {
+				attrsOf[owner] = append(attrsOf[owner], "@"+fields[i])
+			}
+		}
+	}
+	if len(elements) == 0 {
+		return nil, fmt.Errorf("xmltree: no ELEMENT declarations found")
+	}
+	for _, el := range elements {
+		add(el)
+		for _, a := range attrsOf[el] {
+			add(a)
+		}
+	}
+	// Attributes of undeclared elements still get an order, after
+	// everything else.
+	for owner, attrs := range attrsOf {
+		if !seen[owner] {
+			for _, a := range attrs {
+				add(a)
+			}
+		}
+	}
+	return order, nil
+}
+
+// ParseDTDString is ParseDTD over a string.
+func ParseDTDString(s string) ([]string, error) {
+	return ParseDTD(strings.NewReader(s))
+}
+
+// scanDeclarations returns the contents of each <!...> declaration.
+func scanDeclarations(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var decls []string
+	var cur strings.Builder
+	in := false
+	for {
+		c, err := br.ReadByte()
+		if err == io.EOF {
+			if in {
+				return nil, fmt.Errorf("xmltree: unterminated declaration %q", cur.String())
+			}
+			return decls, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case !in && c == '<':
+			next, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("xmltree: dangling '<' at end of DTD")
+			}
+			if next == '!' {
+				in = true
+				cur.Reset()
+			}
+		case in && c == '>':
+			d := cur.String()
+			// Skip comments (<!-- ... -->).
+			if !strings.HasPrefix(d, "--") {
+				decls = append(decls, d)
+			}
+			in = false
+		case in:
+			cur.WriteByte(c)
+		}
+	}
+}

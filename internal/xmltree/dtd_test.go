@@ -1,0 +1,97 @@
+package xmltree
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// figure1DTD is the paper's Figure 1 purchase-record DTD.
+const figure1DTD = `
+<!ELEMENT purchases (purchase*)>
+<!ELEMENT purchase  (seller, buyer)>
+<!ATTLIST seller    ID ID #REQUIRED location CDATA #IMPLIED name CDATA #IMPLIED>
+<!ELEMENT seller    (item*)>
+<!ATTLIST buyer     ID ID #REQUIRED location CDATA #IMPLIED name CDATA #IMPLIED>
+<!ELEMENT buyer     (item*)>
+<!ELEMENT item      (item*)>
+<!ATTLIST item      name CDATA #IMPLIED manufacturer CDATA #IMPLIED>
+`
+
+func TestParseDTDFigure1(t *testing.T) {
+	order, err := ParseDTDString(figure1DTD)
+	if err != nil {
+		t.Fatalf("ParseDTD: %v", err)
+	}
+	want := []string{
+		"purchases", "purchase",
+		"seller", "@ID", "@location", "@name",
+		"buyer",                 // @ID/@location/@name already seen under seller
+		"item", "@manufacturer", // @name already seen
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v\nwant   %v", order, want)
+	}
+	// The resulting schema must rank seller before buyer (the paper: "the
+	// DTD schema embodies a linear order").
+	s := NewSchema(order...)
+	sr, _ := s.Rank("seller")
+	br, _ := s.Rank("buyer")
+	if sr >= br {
+		t.Fatalf("seller rank %d >= buyer rank %d", sr, br)
+	}
+}
+
+func TestParseDTDSkipsComments(t *testing.T) {
+	order, err := ParseDTDString(`
+<!-- a comment with <!ELEMENT fake (x)> inside -->
+<!ELEMENT real (y)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []string{"real"}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	if _, err := ParseDTDString(""); err == nil {
+		t.Fatal("empty DTD accepted")
+	}
+	if _, err := ParseDTDString("<!ELEMENT unterminated (x)"); err == nil {
+		t.Fatal("unterminated declaration accepted")
+	}
+	if _, err := ParseDTDString("no declarations here"); err == nil {
+		t.Fatal("DTD without elements accepted")
+	}
+}
+
+func TestParseDTDAttlistWithoutElement(t *testing.T) {
+	order, err := ParseDTDString(`
+<!ELEMENT a (b)>
+<!ATTLIST ghost attr CDATA #IMPLIED>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "@attr" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestParseDTDLargeInput(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 500; i++ {
+		b.WriteString("<!ELEMENT e")
+		b.WriteByte(byte('a' + i%26))
+		b.WriteString(" (#PCDATA)>\n")
+	}
+	order, err := ParseDTD(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 26 { // deduped by name
+		t.Fatalf("got %d names", len(order))
+	}
+}

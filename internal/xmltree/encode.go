@@ -1,0 +1,90 @@
+package xmltree
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode renders the subtree in a compact binary form suitable for storage
+// in the document store. The format is a preorder walk:
+//
+//	node := kind(1) name|text(uvarint len + bytes) childCount(uvarint) node*
+func Encode(n *Node) []byte {
+	return appendNode(nil, n)
+}
+
+func appendNode(dst []byte, n *Node) []byte {
+	dst = append(dst, byte(n.Kind))
+	s := n.Name
+	if n.Kind == Value {
+		s = n.Text
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	dst = append(dst, s...)
+	dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
+	for _, ch := range n.Children {
+		dst = appendNode(dst, ch)
+	}
+	return dst
+}
+
+// Decode parses a subtree previously produced by Encode.
+func Decode(b []byte) (*Node, error) {
+	n, rest, err := decodeNode(b, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("xmltree: %d trailing bytes after decode", len(rest))
+	}
+	return n, nil
+}
+
+const maxDecodeDepth = 10000
+
+func decodeNode(b []byte, depth int) (*Node, []byte, error) {
+	if depth > maxDecodeDepth {
+		return nil, nil, fmt.Errorf("xmltree: decode depth exceeds %d", maxDecodeDepth)
+	}
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("xmltree: truncated node header")
+	}
+	kind := Kind(b[0])
+	if kind > Value {
+		return nil, nil, fmt.Errorf("xmltree: invalid kind %d", b[0])
+	}
+	b = b[1:]
+	slen, m := binary.Uvarint(b)
+	if m <= 0 || uint64(len(b)-m) < slen {
+		return nil, nil, fmt.Errorf("xmltree: truncated string")
+	}
+	b = b[m:]
+	s := string(b[:slen])
+	b = b[slen:]
+	nkids, m := binary.Uvarint(b)
+	if m <= 0 {
+		return nil, nil, fmt.Errorf("xmltree: truncated child count")
+	}
+	b = b[m:]
+	if nkids > uint64(len(b)) { // every child needs >= 1 byte
+		return nil, nil, fmt.Errorf("xmltree: impossible child count %d", nkids)
+	}
+	n := &Node{Kind: kind}
+	if kind == Value {
+		n.Text = s
+	} else {
+		n.Name = s
+	}
+	if nkids > 0 {
+		n.Children = make([]*Node, 0, nkids)
+		for i := uint64(0); i < nkids; i++ {
+			child, rest, err := decodeNode(b, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			n.Children = append(n.Children, child)
+			b = rest
+		}
+	}
+	return n, b, nil
+}

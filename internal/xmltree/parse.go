@@ -1,0 +1,160 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads one XML document from r and returns its root node. Attributes
+// become Attribute children carrying a Value leaf; non-whitespace character
+// data becomes Value leaves.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("xmltree: no root element")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			return parseElement(dec, start)
+		}
+	}
+}
+
+// ParseAll reads every top-level element from r. It accepts both a single
+// rooted document and a concatenation of record fragments (the shape of
+// record-oriented datasets like DBLP exports).
+func ParseAll(r io.Reader) ([]*Node, error) {
+	dec := xml.NewDecoder(r)
+	var out []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			n, err := parseElement(dec, start)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		}
+	}
+}
+
+// ParseString parses a single document held in a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseElement(dec *xml.Decoder, start xml.StartElement) (*Node, error) {
+	n := NewElement(start.Name.Local)
+	for _, a := range start.Attr {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		n.Children = append(n.Children, NewAttr(a.Name.Local, a.Value))
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: in <%s>: %w", start.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := parseElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		case xml.EndElement:
+			return n, nil
+		case xml.CharData:
+			text := strings.TrimSpace(string(t))
+			if text != "" {
+				n.Children = append(n.Children, NewText(text))
+			}
+		}
+	}
+}
+
+// WriteXML serializes the subtree as XML text. Value leaves render as
+// character data; attribute children render as XML attributes when they are
+// the simple name=value shape, and as elements otherwise.
+func WriteXML(w io.Writer, n *Node) error {
+	return writeXML(w, n, 0)
+}
+
+// MarshalString renders the subtree as an XML string.
+func MarshalString(n *Node) string {
+	var b strings.Builder
+	// strings.Builder never errors.
+	_ = WriteXML(&b, n)
+	return b.String()
+}
+
+func writeXML(w io.Writer, n *Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case Value:
+		_, err := fmt.Fprintf(w, "%s%s\n", indent, escapeText(n.Text))
+		return err
+	case Attribute:
+		// Reached only when an attribute cannot be inlined (non-simple
+		// shape); render as an element to stay lossless.
+		el := &Node{Kind: Element, Name: n.Name, Children: n.Children}
+		return writeXML(w, el, depth)
+	}
+	attrs, kids := splitAttrs(n)
+	if _, err := fmt.Fprintf(w, "%s<%s", indent, n.Name); err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		if _, err := fmt.Fprintf(w, " %s=%q", a.Name, a.Children[0].Text); err != nil {
+			return err
+		}
+	}
+	if len(kids) == 0 {
+		_, err := fmt.Fprintf(w, "/>\n")
+		return err
+	}
+	if len(kids) == 1 && kids[0].Kind == Value {
+		_, err := fmt.Fprintf(w, ">%s</%s>\n", escapeText(kids[0].Text), n.Name)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, ">\n"); err != nil {
+		return err
+	}
+	for _, ch := range kids {
+		if err := writeXML(w, ch, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, n.Name)
+	return err
+}
+
+// splitAttrs partitions children into inlineable attributes and the rest.
+func splitAttrs(n *Node) (attrs, kids []*Node) {
+	for _, ch := range n.Children {
+		if ch.Kind == Attribute && len(ch.Children) == 1 && ch.Children[0].Kind == Value {
+			attrs = append(attrs, ch)
+		} else {
+			kids = append(kids, ch)
+		}
+	}
+	return attrs, kids
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

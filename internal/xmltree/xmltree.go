@@ -1,0 +1,219 @@
+// Package xmltree provides the XML document model used throughout the
+// repository: ordered trees of element, attribute, and value nodes, a parser
+// built on encoding/xml, deterministic sibling ordering (Section 2 of the
+// ViST paper), and compact binary and XML serializations.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes node flavours in a document tree.
+type Kind uint8
+
+const (
+	// Element is a named XML element.
+	Element Kind = iota
+	// Attribute is a named XML attribute, modeled as a child node of its
+	// owning element (as in Figure 3 of the paper, where ID, Location, and
+	// Name hang off Seller/Buyer/Item).
+	Attribute
+	// Value is a text leaf: either an attribute's value or an element's
+	// character data.
+	Value
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Attribute:
+		return "attribute"
+	case Value:
+		return "value"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is one node of an XML document tree.
+type Node struct {
+	Kind     Kind
+	Name     string // element/attribute name; empty for Value nodes
+	Text     string // text content; only set for Value nodes
+	Children []*Node
+}
+
+// NewElement builds an element node with the given children.
+func NewElement(name string, children ...*Node) *Node {
+	return &Node{Kind: Element, Name: name, Children: children}
+}
+
+// NewAttr builds an attribute node carrying a single value leaf.
+func NewAttr(name, value string) *Node {
+	return &Node{Kind: Attribute, Name: name, Children: []*Node{NewText(value)}}
+}
+
+// NewText builds a value leaf.
+func NewText(text string) *Node {
+	return &Node{Kind: Value, Text: text}
+}
+
+// NewElementText builds an element whose only child is a value leaf — the
+// common <name>dell</name> shape.
+func NewElementText(name, text string) *Node {
+	return &Node{Kind: Element, Name: name, Children: []*Node{NewText(text)}}
+}
+
+// Count reports the number of nodes in the subtree rooted at n, including n.
+func (n *Node) Count() int {
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.Count()
+	}
+	return c
+}
+
+// Depth reports the height of the subtree (a single node has depth 1).
+func (n *Node) Depth() int {
+	max := 0
+	for _, ch := range n.Children {
+		if d := ch.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Clone deep-copies the subtree.
+func (n *Node) Clone() *Node {
+	out := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
+	if len(n.Children) > 0 {
+		out.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			out.Children[i] = ch.Clone()
+		}
+	}
+	return out
+}
+
+// String renders a compact single-line debug form.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.debug(&b)
+	return b.String()
+}
+
+func (n *Node) debug(b *strings.Builder) {
+	switch n.Kind {
+	case Value:
+		fmt.Fprintf(b, "%q", n.Text)
+		return
+	case Attribute:
+		b.WriteByte('@')
+	}
+	b.WriteString(n.Name)
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		for i, ch := range n.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			ch.debug(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Schema carries the linear element/attribute order a DTD would imply
+// (Section 2: "The DTD schema embodies a linear order of all
+// elements/attributes defined therein"). A nil *Schema means no DTD is
+// available, in which case lexicographic name order applies.
+type Schema struct {
+	rank map[string]int
+}
+
+// NewSchema records the given names in DTD declaration order.
+func NewSchema(names ...string) *Schema {
+	s := &Schema{rank: make(map[string]int, len(names))}
+	for i, n := range names {
+		if _, dup := s.rank[n]; !dup {
+			s.rank[n] = i
+		}
+	}
+	return s
+}
+
+// Rank reports a name's position in the schema order; unknown names sort
+// after all known names, lexicographically among themselves.
+func (s *Schema) Rank(name string) (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	r, ok := s.rank[name]
+	return r, ok
+}
+
+// SortName is the canonical spelling used for sibling ordering and schema
+// ranks: attributes are distinguished from elements by an "@" prefix (the
+// same convention the symbol dictionary uses), so "@key" the attribute and
+// "key" the element order consistently everywhere.
+func SortName(n *Node) string {
+	if n.Kind == Attribute {
+		return "@" + n.Name
+	}
+	return n.Name
+}
+
+// Normalize enforces the paper's deterministic sibling order, in place:
+// value leaves first (they instantiate their parent), then attributes and
+// elements ordered by schema rank when available, else lexicographically by
+// canonical name (SortName). Multiple occurrences of the same name keep
+// their input order (the paper orders them arbitrarily). Children are
+// normalized recursively.
+func Normalize(n *Node, s *Schema) {
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		a, b := n.Children[i], n.Children[j]
+		av, bv := a.Kind == Value, b.Kind == Value
+		if av != bv {
+			return av
+		}
+		if av && bv {
+			return false // values keep input order
+		}
+		an, bn := SortName(a), SortName(b)
+		ar, aok := s.Rank(an)
+		br, bok := s.Rank(bn)
+		switch {
+		case aok && bok:
+			if ar != br {
+				return ar < br
+			}
+			return false
+		case aok:
+			return true
+		case bok:
+			return false
+		default:
+			return an < bn
+		}
+	})
+	for _, ch := range n.Children {
+		Normalize(ch, s)
+	}
+}
+
+// Equal reports deep structural equality of two subtrees.
+func Equal(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Name != b.Name || a.Text != b.Text || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,318 @@
+package xmltree
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// purchaseXML is the paper's running example (Figure 3), serialized.
+const purchaseXML = `
+<purchase>
+  <seller ID="dell">
+    <item ID="ibm" name="part#1">
+      <item name="part#2" manufacturer="intel"/>
+    </item>
+    <item name="panasia"/>
+    <location>boston</location>
+  </seller>
+  <buyer ID="ibm">
+    <location>newyork</location>
+  </buyer>
+</purchase>`
+
+func TestParsePurchaseRecord(t *testing.T) {
+	root, err := ParseString(purchaseXML)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if root.Name != "purchase" || root.Kind != Element {
+		t.Fatalf("root = %v %q", root.Kind, root.Name)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(root.Children))
+	}
+	seller := root.Children[0]
+	if seller.Name != "seller" {
+		t.Fatalf("first child = %q, want seller", seller.Name)
+	}
+	// seller: ID attr + 2 items + 1 location = 4 children.
+	if len(seller.Children) != 4 {
+		t.Fatalf("seller has %d children: %v", len(seller.Children), seller)
+	}
+	id := seller.Children[0]
+	if id.Kind != Attribute || id.Name != "ID" || id.Children[0].Text != "dell" {
+		t.Fatalf("seller ID attr = %v", id)
+	}
+}
+
+func TestParseNoRoot(t *testing.T) {
+	if _, err := ParseString("   "); err == nil {
+		t.Fatal("Parse of empty input succeeded")
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	if _, err := ParseString("<a><b></a>"); err == nil {
+		t.Fatal("Parse of mismatched tags succeeded")
+	}
+}
+
+func TestParseAllFragments(t *testing.T) {
+	docs, err := ParseAll(strings.NewReader("<a x='1'/><b>text</b><c><d/></c>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("ParseAll returned %d docs, want 3", len(docs))
+	}
+	if docs[0].Name != "a" || docs[1].Name != "b" || docs[2].Name != "c" {
+		t.Fatalf("names: %s %s %s", docs[0].Name, docs[1].Name, docs[2].Name)
+	}
+	if docs[1].Children[0].Text != "text" {
+		t.Fatalf("text child = %v", docs[1].Children[0])
+	}
+}
+
+func TestCharDataWhitespaceSkipped(t *testing.T) {
+	n, err := ParseString("<a>\n   <b/>\n</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Children) != 1 || n.Children[0].Name != "b" {
+		t.Fatalf("whitespace was not skipped: %v", n)
+	}
+}
+
+func TestNormalizeLexicographic(t *testing.T) {
+	n := NewElement("r",
+		NewElement("z"),
+		NewElement("a"),
+		NewElement("m"),
+	)
+	Normalize(n, nil)
+	got := []string{n.Children[0].Name, n.Children[1].Name, n.Children[2].Name}
+	if !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Fatalf("lexicographic order: %v", got)
+	}
+}
+
+func TestNormalizeSchemaOrder(t *testing.T) {
+	// The paper's example: "under lexicographical order, the Buyer node will
+	// precede the Seller node under Purchase" — but the DTD order puts
+	// seller first.
+	s := NewSchema("purchase", "seller", "buyer", "item", "location", "name")
+	n := NewElement("purchase", NewElement("buyer"), NewElement("seller"))
+	Normalize(n, s)
+	if n.Children[0].Name != "seller" || n.Children[1].Name != "buyer" {
+		t.Fatalf("schema order: %v then %v", n.Children[0].Name, n.Children[1].Name)
+	}
+	Normalize(n, nil)
+	if n.Children[0].Name != "buyer" {
+		t.Fatalf("lexicographic fallback: first = %v", n.Children[0].Name)
+	}
+}
+
+func TestNormalizeValuesFirstAndStable(t *testing.T) {
+	n := NewElement("x",
+		NewElement("b"),
+		NewText("v"),
+		NewElement("a"),
+		NewElement("a"), // duplicate keeps relative order
+	)
+	n.Children[2].Children = append(n.Children[2].Children, NewText("first"))
+	Normalize(n, nil)
+	if n.Children[0].Kind != Value {
+		t.Fatalf("value leaf not first: %v", n)
+	}
+	if n.Children[1].Name != "a" || len(n.Children[1].Children) != 1 {
+		t.Fatalf("duplicate 'a' order unstable: %v", n)
+	}
+}
+
+func TestNormalizeUnknownAfterKnown(t *testing.T) {
+	s := NewSchema("known")
+	n := NewElement("r", NewElement("aaa"), NewElement("known"))
+	Normalize(n, s)
+	if n.Children[0].Name != "known" {
+		t.Fatalf("schema-known name must sort before unknown: %v", n)
+	}
+}
+
+func TestCountDepth(t *testing.T) {
+	root, _ := ParseString(purchaseXML)
+	// purchase + seller + @ID(+val) + item + @ID(+val) + @name(+val) +
+	// item + @name(+val) + @manufacturer(+val) + item + @name(+val) +
+	// location(+val) + buyer + @ID(+val) + location(+val) = count below.
+	if got := root.Count(); got != 24 {
+		t.Fatalf("Count = %d, want 24 (%v)", got, root)
+	}
+	if got := root.Depth(); got != 6 {
+		t.Fatalf("Depth = %d, want 6", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	root, _ := ParseString(purchaseXML)
+	c := root.Clone()
+	if !Equal(root, c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Children[0].Name = "mutated"
+	if Equal(root, c) {
+		t.Fatal("mutation of clone affected original")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	root, _ := ParseString(purchaseXML)
+	Normalize(root, nil)
+	b := Encode(root)
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !Equal(root, back) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", root, back)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{9},                                // bad kind
+		{0, 1},                             // truncated name
+		{0, 0, 200, 200},                   // absurd child count, truncated
+		append(Encode(NewElement("a")), 0), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("case %d: Decode of garbage succeeded", i)
+		}
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	root, _ := ParseString(purchaseXML)
+	Normalize(root, nil)
+	s := MarshalString(root)
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s)
+	}
+	Normalize(back, nil)
+	if !Equal(root, back) {
+		t.Fatalf("XML round trip mismatch:\n%v\n%v", root, back)
+	}
+}
+
+func TestWriteXMLEscaping(t *testing.T) {
+	n := NewElementText("a", "1 < 2 & 3 > 2")
+	s := MarshalString(n)
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse escaped: %v\n%s", err, s)
+	}
+	if back.Children[0].Text != "1 < 2 & 3 > 2" {
+		t.Fatalf("escape round trip = %q", back.Children[0].Text)
+	}
+}
+
+// randomTree builds a random document for property tests.
+func randomTree(rng *rand.Rand, depth int) *Node {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		return NewText(randName(rng))
+	}
+	names := []string{"a", "b", "c", "dd", "ee"}
+	n := NewElement(names[rng.Intn(len(names))])
+	kids := rng.Intn(4)
+	for i := 0; i < kids; i++ {
+		if rng.Intn(5) == 0 {
+			n.Children = append(n.Children, NewAttr(names[rng.Intn(len(names))], randName(rng)))
+		} else {
+			n.Children = append(n.Children, randomTree(rng, depth-1))
+		}
+	}
+	return n
+}
+
+func randName(rng *rand.Rand) string {
+	letters := "abcdefg"
+	n := 1 + rng.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func TestPropertyEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		tree := randomTree(rand.New(rand.NewSource(seed)), 5)
+		_ = rng
+		back, err := Decode(Encode(tree))
+		return err == nil && Equal(tree, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := randomTree(rand.New(rand.NewSource(seed)), 5)
+		Normalize(tree, nil)
+		once := tree.Clone()
+		Normalize(tree, nil)
+		return Equal(once, tree)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormalizePreservesMultiset(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := randomTree(rand.New(rand.NewSource(seed)), 5)
+		before := tree.Count()
+		Normalize(tree, nil)
+		return tree.Count() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCDATAAndEntities(t *testing.T) {
+	n, err := ParseString("<a><![CDATA[1 < 2 & raw]]></a>")
+	if err != nil {
+		t.Fatalf("CDATA parse: %v", err)
+	}
+	if len(n.Children) != 1 || n.Children[0].Text != "1 < 2 & raw" {
+		t.Fatalf("CDATA text = %v", n.Children)
+	}
+	n, err = ParseString("<a>&lt;tag&gt; &amp; &quot;x&quot;</a>")
+	if err != nil {
+		t.Fatalf("entity parse: %v", err)
+	}
+	if n.Children[0].Text != `<tag> & "x"` {
+		t.Fatalf("entity text = %q", n.Children[0].Text)
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	n, err := ParseString("<p>before <b>bold</b> after</p>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three children: text, element, text.
+	if len(n.Children) != 3 {
+		t.Fatalf("mixed content children = %v", n.Children)
+	}
+	if n.Children[0].Text != "before" || n.Children[1].Name != "b" || n.Children[2].Text != "after" {
+		t.Fatalf("mixed content = %v", n)
+	}
+}
