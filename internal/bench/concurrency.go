@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+)
+
+// ConcurrencyPoint is one worker count in the batch-query sweep.
+type ConcurrencyPoint struct {
+	Workers int
+	Elapsed time.Duration
+	PerSec  float64
+	Speedup float64 // vs the 1-worker run
+}
+
+// ConcurrencyResult measures Index.QueryAll on a file-backed index as the
+// worker count grows. With the shared read lock through the B+Tree and a
+// thread-safe pager, throughput scales with workers up to the core count;
+// the old whole-index mutex kept it flat regardless of hardware.
+type ConcurrencyResult struct {
+	Records int
+	Queries int
+	Cores   int
+	Points  []ConcurrencyPoint
+}
+
+// RunConcurrency builds a file-backed DBLP-like index and replays the same
+// query batch through QueryAll at increasing worker counts.
+func RunConcurrency(cfg Config) (*ConcurrencyResult, error) {
+	dir, err := os.MkdirTemp("", "vistbench-conc")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	records := cfg.scale(5000)
+	docs := gen.DBLP(gen.DBLPConfig{Records: records, Seed: cfg.Seed})
+	ix, err := core.Open(filepath.Join(dir, "ix"), core.Options{
+		Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+	if err := insertAll(ix, docs); err != nil {
+		return nil, err
+	}
+	if err := ix.Sync(); err != nil {
+		return nil, err
+	}
+
+	base := []string{
+		"/book/author[text()='" + gen.DBLPDavid + "']",
+		"//author[text()='" + gen.DBLPDavid + "']",
+		"/book/title",
+		"//year",
+	}
+	batch := make([]string, 0, cfg.scale(200))
+	for len(batch) < cap(batch) {
+		batch = append(batch, base[len(batch)%len(base)])
+	}
+
+	res := &ConcurrencyResult{Records: records, Queries: len(batch), Cores: runtime.NumCPU()}
+	for _, workers := range []int{1, 2, 4, 8} {
+		// One untimed pass warms the page and node caches so every worker
+		// count sees the same cache state.
+		for _, r := range ix.QueryAll(batch, workers) {
+			if r.Err != nil {
+				return nil, r.Err
+			}
+		}
+		start := time.Now()
+		for _, r := range ix.QueryAll(batch, workers) {
+			if r.Err != nil {
+				return nil, r.Err
+			}
+		}
+		elapsed := time.Since(start)
+		p := ConcurrencyPoint{
+			Workers: workers,
+			Elapsed: elapsed,
+			PerSec:  float64(len(batch)) / elapsed.Seconds(),
+		}
+		if len(res.Points) > 0 {
+			p.Speedup = float64(res.Points[0].Elapsed) / float64(elapsed)
+		} else {
+			p.Speedup = 1
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Fprint renders the worker sweep.
+func (r *ConcurrencyResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Concurrent batch queries — QueryAll worker sweep",
+		"File-backed index, fixed query batch. Speedup is vs the 1-worker run.")
+	fmt.Fprintf(w, "%d records, %d queries per batch, %d CPU core(s) available\n", r.Records, r.Queries, r.Cores)
+	fmt.Fprintf(w, "  %-8s %14s %14s %10s\n", "workers", "elapsed", "queries/s", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-8d %14s %14.0f %10s\n",
+			p.Workers, p.Elapsed.Round(time.Microsecond), p.PerSec, fmt.Sprintf("×%.2f", p.Speedup))
+	}
+	if r.Cores == 1 {
+		fmt.Fprintln(w, "note: single-core host — speedup beyond ×1.0 is not physically possible here")
+	}
+	fmt.Fprintln(w)
+}

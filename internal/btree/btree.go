@@ -9,11 +9,11 @@ package btree
 
 import (
 	"bytes"
-	"container/list"
 	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -39,24 +39,39 @@ type Options struct {
 	NodeCache int
 }
 
-// BTree is a B+Tree over a Pager. All methods are safe for concurrent use.
+// BTree is a B+Tree over a Pager. All methods are safe for concurrent use:
+// readers (Get, Scan, SeekFirst, ...) hold a shared lock and run in parallel
+// with each other, while writers (Put, Delete, Sync, ...) hold the exclusive
+// lock. The decoded-node cache has its own small mutex so parallel readers
+// can fault pages in and maintain the LRU without serializing on the tree
+// lock.
 type BTree struct {
 	mu       sync.RWMutex
 	pg       Pager
 	pageSize int
 	cacheCap int
 
+	// Tree state below is written only under mu (exclusive) and read under
+	// mu or mu.RLock.
 	root      PageID
 	freeHead  PageID
 	count     uint64
 	userMeta  []byte
 	metaDirty bool
 
-	cache map[PageID]*node
-	lru   *list.List // of PageID; front = most recently used
-	elems map[PageID]*list.Element
+	// The decoded-node cache is a lock-free-on-hit clock cache: cache maps
+	// PageID → *node, cacheN tracks its size, and each node carries a ref
+	// bit that hits set and eviction sweeps clear (second chance). A
+	// mutex+LRU design serialized every reader on the hot path; here cache
+	// hits are a single sync.Map load. Node *contents* are immutable while
+	// any reader holds mu.RLock: only writers mutate nodes, and they hold
+	// mu exclusively.
+	cache   sync.Map // PageID → *node
+	cacheN  atomic.Int64
+	sweepMu sync.Mutex // at most one reader sweeps at a time
 
-	buf []byte // scratch page buffer
+	buf     []byte    // scratch page buffer; exclusive-lock holders only
+	bufPool sync.Pool // page buffers for the shared-lock read path
 }
 
 // New opens the tree stored in pg, creating an empty tree when the pager has
@@ -78,11 +93,9 @@ func New(pg Pager, opts Options) (*BTree, error) {
 		pg:       pg,
 		pageSize: ps,
 		cacheCap: nc,
-		cache:    make(map[PageID]*node),
-		lru:      list.New(),
-		elems:    make(map[PageID]*list.Element),
 		buf:      make([]byte, ps),
 	}
+	t.bufPool.New = func() any { return make([]byte, ps) }
 	if pg.NumPages() == 0 {
 		if err := t.create(); err != nil {
 			return nil, err
@@ -169,62 +182,136 @@ func (t *BTree) maxKeySize() int { return (t.pageSize - internalHeaderSize) / 3 
 func (t *BTree) minFill() int { return t.pageSize / 4 }
 
 // --- node cache -----------------------------------------------------------
+//
+// The cache uses the clock (second-chance) policy instead of strict LRU so
+// that a cache hit performs no shared-state mutation beyond one atomic
+// ref-bit store: recency lives on the node itself, and eviction sweeps the
+// map clearing ref bits, reclaiming only nodes that went un-referenced for a
+// full sweep. Hot upper-level nodes are re-referenced constantly and survive.
 
-func (t *BTree) touch(id PageID) {
-	if e, ok := t.elems[id]; ok {
-		t.lru.MoveToFront(e)
+// evict bounds the cache, flushing dirty victims. Only exclusive-lock
+// holders may call it (flushing uses t.buf and writes to the pager).
+func (t *BTree) evict() error {
+	var err error
+	for t.cacheN.Load() > int64(t.cacheCap) {
+		evicted := false
+		t.cache.Range(func(k, v any) bool {
+			if t.cacheN.Load() <= int64(t.cacheCap) {
+				return false
+			}
+			n := v.(*node)
+			if n.ref.Load() != 0 {
+				n.ref.Store(0) // second chance
+				return true
+			}
+			if n.dirty {
+				if err = t.flushNode(n); err != nil {
+					return false
+				}
+			}
+			if t.cache.CompareAndDelete(k, v) {
+				t.cacheN.Add(-1)
+				evicted = true
+			}
+			return true
+		})
+		if err != nil || !evicted {
+			// Nothing reclaimable this round (all nodes re-referenced);
+			// their ref bits are now cleared, so the next call makes
+			// progress. Leaving the cache briefly over cap is safe.
+			break
+		}
+	}
+	return err
+}
+
+// evictClean bounds the cache from the shared-lock read path: it may only
+// drop clean nodes (a reader has no scratch buffer and must not write), so
+// dirty nodes — which exist only between a writer's mutation and its evict
+// or Sync — are skipped and left for the next writer to flush. At most one
+// reader sweeps at a time; the rest skip.
+func (t *BTree) evictClean() {
+	if !t.sweepMu.TryLock() {
 		return
 	}
-	t.elems[id] = t.lru.PushFront(id)
-}
-
-func (t *BTree) evict() error {
-	for len(t.cache) > t.cacheCap {
-		tail := t.lru.Back()
-		if tail == nil {
-			return nil
-		}
-		id := tail.Value.(PageID)
-		n := t.cache[id]
-		if n != nil && n.dirty {
-			if err := t.flushNode(n); err != nil {
-				return err
+	defer t.sweepMu.Unlock()
+	for t.cacheN.Load() > int64(t.cacheCap) {
+		evicted := false
+		t.cache.Range(func(k, v any) bool {
+			if t.cacheN.Load() <= int64(t.cacheCap) {
+				return false
 			}
+			n := v.(*node)
+			if n.dirty {
+				return true
+			}
+			if n.ref.Load() != 0 {
+				n.ref.Store(0)
+				return true
+			}
+			if t.cache.CompareAndDelete(k, v) {
+				t.cacheN.Add(-1)
+				evicted = true
+			}
+			return true
+		})
+		if !evicted {
+			break
 		}
-		t.lru.Remove(tail)
-		delete(t.elems, id)
-		delete(t.cache, id)
 	}
-	return nil
 }
 
+// load returns the decoded node for id, faulting it in on a miss. It is safe
+// under either the shared or the exclusive tree lock: hits are a lock-free
+// map load plus a ref-bit store, and misses read the page image into a
+// pooled buffer, so parallel readers never share scratch state. When two
+// readers miss on the same page at once, the loser adopts the winner's node.
 func (t *BTree) load(id PageID) (*node, error) {
-	if n, ok := t.cache[id]; ok {
-		t.touch(id)
+	if v, ok := t.cache.Load(id); ok {
+		n := v.(*node)
+		if n.ref.Load() == 0 {
+			n.ref.Store(1)
+		}
 		return n, nil
 	}
-	if err := t.pg.Read(id, t.buf); err != nil {
+
+	buf := t.bufPool.Get().([]byte)
+	err := t.pg.Read(id, buf)
+	if err != nil {
+		t.bufPool.Put(buf)
 		return nil, err
 	}
-	n, err := deserializeNode(id, t.buf)
+	n, err := deserializeNode(id, buf)
+	t.bufPool.Put(buf) // deserializeNode copies; the buffer is reusable
 	if err != nil {
 		return nil, err
 	}
-	t.cache[id] = n
-	t.touch(id)
-	if err := t.evict(); err != nil {
-		return nil, err
+	n.ref.Store(1)
+
+	if existing, loaded := t.cache.LoadOrStore(id, n); loaded {
+		return existing.(*node), nil
+	}
+	if t.cacheN.Add(1) > int64(t.cacheCap) {
+		t.evictClean()
 	}
 	return n, nil
 }
 
-// markDirty registers n in the cache as modified.
+// markDirty registers n in the cache as modified. Exclusive-lock holders
+// only (it mutates node state readers would otherwise observe). The store
+// is unconditional: if an earlier eviction dropped n while this operation
+// still held its pointer, n — carrying the operation's mutations — must
+// displace any freshly deserialized copy.
 func (t *BTree) markDirty(n *node) {
 	n.dirty = true
-	t.cache[n.id] = n
-	t.touch(n.id)
+	n.ref.Store(1)
+	if _, loaded := t.cache.Swap(n.id, n); !loaded {
+		t.cacheN.Add(1)
+	}
 }
 
+// flushNode serializes n through the scratch buffer. Exclusive-lock holders
+// only.
 func (t *BTree) flushNode(n *node) error {
 	if err := n.serialize(t.buf); err != nil {
 		return err
@@ -237,11 +324,9 @@ func (t *BTree) flushNode(n *node) error {
 }
 
 func (t *BTree) dropFromCache(id PageID) {
-	if e, ok := t.elems[id]; ok {
-		t.lru.Remove(e)
-		delete(t.elems, id)
+	if _, loaded := t.cache.LoadAndDelete(id); loaded {
+		t.cacheN.Add(-1)
 	}
-	delete(t.cache, id)
 }
 
 // --- page allocation ------------------------------------------------------
@@ -306,10 +391,11 @@ func (t *BTree) SetUserMeta(m []byte) error {
 	return nil
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. It holds the shared lock, so
+// concurrent Gets and Scans proceed in parallel.
 func (t *BTree) Get(key []byte) ([]byte, bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	id := t.root
 	for {
 		n, err := t.load(id)
@@ -669,12 +755,19 @@ func (t *BTree) Sync() error {
 }
 
 func (t *BTree) syncLocked() error {
-	for id, n := range t.cache {
+	var flushErr error
+	t.cache.Range(func(_, v any) bool {
+		n := v.(*node)
 		if n.dirty {
 			if err := t.flushNode(n); err != nil {
-				return fmt.Errorf("btree: flush page %d: %w", id, err)
+				flushErr = fmt.Errorf("btree: flush page %d: %w", n.id, err)
+				return false
 			}
 		}
+		return true
+	})
+	if flushErr != nil {
+		return flushErr
 	}
 	if t.metaDirty {
 		if err := t.writeMeta(); err != nil {

@@ -7,11 +7,13 @@ import (
 
 // Scan visits all entries with lo <= key < hi in ascending key order. A nil
 // lo starts at the smallest key; a nil hi runs to the end. fn returns false
-// to stop early. fn must not call back into the tree (the scan holds the
-// tree lock); collect keys first if mutation is needed.
+// to stop early. It holds the shared lock, so concurrent Scans and Gets
+// proceed in parallel. fn must not call back into the tree (a nested
+// acquisition can deadlock against a queued writer); collect keys first if
+// mutation is needed.
 func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	id := t.root
 	for {
 		n, err := t.load(id)

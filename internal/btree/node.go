@@ -3,6 +3,7 @@ package btree
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 const (
@@ -36,6 +37,10 @@ type node struct {
 	kids  []PageID // internal only; len(kids) == len(keys)+1
 	next  PageID   // leaves only
 	dirty bool
+
+	// ref is the clock cache's second-chance bit: set on every cache hit,
+	// cleared by eviction sweeps. Atomic because parallel readers touch it.
+	ref atomic.Uint32
 }
 
 func leafCellSize(k, v []byte) int  { return 4 + len(k) + len(v) }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a fixed-size page within a Pager. Page 0 is always the
@@ -33,6 +35,10 @@ type Pager interface {
 
 // MemPager keeps all pages in memory. It is used by tests and by benchmarks
 // that want to measure algorithmic cost without disk I/O.
+//
+// Concurrent Reads are safe; Allocate and Write require external
+// serialization against all other calls (the B+Tree's RWMutex provides
+// exactly that: writers hold the exclusive lock).
 type MemPager struct {
 	pageSize int
 	pages    [][]byte
@@ -91,15 +97,20 @@ type filePage struct {
 }
 
 // FilePager stores pages in a single file with a write-back LRU buffer pool.
+// All methods are safe for concurrent use: a single mutex guards the buffer
+// pool (cache map, LRU list, page contents in the pool) and the file offsets,
+// while hit/miss counters are atomic so CacheStats never blocks.
 type FilePager struct {
+	mu       sync.Mutex
 	f        *os.File
 	pageSize int
 	npages   uint32
 	cap      int
 	cache    map[PageID]*filePage
 	lru      *list.List // front = most recently used; values are *filePage
+	evictErr error      // first swallowed write-back error; surfaced by Sync
 
-	hits, misses uint64 // buffer-pool statistics
+	hits, misses atomic.Uint64 // buffer-pool statistics
 }
 
 // DefaultCachePages is the buffer-pool capacity used when the caller passes
@@ -143,16 +154,24 @@ func OpenFilePager(path string, pageSize, cachePages int) (*FilePager, error) {
 func (p *FilePager) PageSize() int { return p.pageSize }
 
 // NumPages implements Pager.
-func (p *FilePager) NumPages() uint32 { return p.npages }
+func (p *FilePager) NumPages() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.npages
+}
 
 // Size reports the current file size in bytes.
-func (p *FilePager) Size() int64 { return int64(p.npages) * int64(p.pageSize) }
+func (p *FilePager) Size() int64 { return int64(p.NumPages()) * int64(p.pageSize) }
 
 // CacheStats reports buffer-pool hits and misses since the pager opened.
-func (p *FilePager) CacheStats() (hits, misses uint64) { return p.hits, p.misses }
+func (p *FilePager) CacheStats() (hits, misses uint64) {
+	return p.hits.Load(), p.misses.Load()
+}
 
 // Allocate implements Pager.
 func (p *FilePager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	id := PageID(p.npages)
 	p.npages++
 	fp := &filePage{id: id, data: make([]byte, p.pageSize), dirty: true}
@@ -160,28 +179,34 @@ func (p *FilePager) Allocate() (PageID, error) {
 	return id, nil
 }
 
+// insert adds fp to the pool and evicts down to capacity. Eviction prefers
+// the LRU tail; a dirty victim whose write-back fails stays resident (its
+// data must not be lost), the error is recorded for the next Sync, and the
+// scan moves on to the next-oldest victim so the pool still shrinks when any
+// clean (or writable) page exists. Callers must hold p.mu.
 func (p *FilePager) insert(fp *filePage) {
 	fp.elem = p.lru.PushFront(fp)
 	p.cache[fp.id] = fp
-	for len(p.cache) > p.cap {
-		tail := p.lru.Back()
-		if tail == nil {
-			break
-		}
-		victim := tail.Value.(*filePage)
+	e := p.lru.Back()
+	for len(p.cache) > p.cap && e != nil {
+		victim := e.Value.(*filePage)
+		prev := e.Prev()
 		if victim.dirty {
 			if err := p.writeFile(victim); err != nil {
-				// Keep the dirty page resident rather than losing data; the
-				// error will resurface on the next Sync.
-				p.lru.MoveToFront(tail)
-				return
+				if p.evictErr == nil {
+					p.evictErr = fmt.Errorf("btree: evicting page %d: %w", victim.id, err)
+				}
+				e = prev // keep the dirty page; try an older/cleaner victim
+				continue
 			}
 		}
-		p.lru.Remove(tail)
+		p.lru.Remove(e)
 		delete(p.cache, victim.id)
+		e = prev
 	}
 }
 
+// writeFile writes fp back to disk. Callers must hold p.mu.
 func (p *FilePager) writeFile(fp *filePage) error {
 	if _, err := p.f.WriteAt(fp.data, int64(fp.id)*int64(p.pageSize)); err != nil {
 		return err
@@ -190,13 +215,15 @@ func (p *FilePager) writeFile(fp *filePage) error {
 	return nil
 }
 
+// load returns the pooled page for id, faulting it in on a miss. Callers
+// must hold p.mu.
 func (p *FilePager) load(id PageID) (*filePage, error) {
 	if fp, ok := p.cache[id]; ok {
-		p.hits++
+		p.hits.Add(1)
 		p.lru.MoveToFront(fp.elem)
 		return fp, nil
 	}
-	p.misses++
+	p.misses.Add(1)
 	if uint32(id) >= p.npages {
 		return nil, fmt.Errorf("btree: access to unallocated page %d (have %d)", id, p.npages)
 	}
@@ -211,6 +238,8 @@ func (p *FilePager) load(id PageID) (*filePage, error) {
 
 // Read implements Pager.
 func (p *FilePager) Read(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	fp, err := p.load(id)
 	if err != nil {
 		return err
@@ -221,6 +250,8 @@ func (p *FilePager) Read(id PageID, buf []byte) error {
 
 // Write implements Pager.
 func (p *FilePager) Write(id PageID, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	fp, err := p.load(id)
 	if err != nil {
 		return err
@@ -230,8 +261,13 @@ func (p *FilePager) Write(id PageID, data []byte) error {
 	return nil
 }
 
-// Sync implements Pager.
+// Sync implements Pager. It flushes every dirty pooled page and surfaces any
+// write-back error that eviction had to swallow since the previous Sync;
+// a Sync that manages to flush everything clears that recorded error after
+// reporting it once, so a subsequent Sync returns nil.
 func (p *FilePager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for e := p.lru.Front(); e != nil; e = e.Next() {
 		fp := e.Value.(*filePage)
 		if fp.dirty {
@@ -239,6 +275,10 @@ func (p *FilePager) Sync() error {
 				return err
 			}
 		}
+	}
+	if err := p.evictErr; err != nil {
+		p.evictErr = nil
+		return err
 	}
 	return p.f.Sync()
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult is the outcome of one expression of a QueryAll batch. Err is
+// per-query: a malformed expression fails its own slot without aborting the
+// rest of the batch.
+type BatchResult struct {
+	Expr string
+	IDs  []DocID
+	Err  error
+}
+
+// QueryAll executes a batch of path expressions concurrently on a worker
+// pool and returns one result per expression, in input order. workers <= 0
+// selects GOMAXPROCS. Each query runs exactly as Query would (candidate
+// semantics, shared read lock), so the batch proceeds in parallel with other
+// readers and serializes only against writers.
+func (ix *Index) QueryAll(exprs []string, workers int) []BatchResult {
+	results := make([]BatchResult, len(exprs))
+	if len(exprs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exprs) {
+		workers = len(exprs)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				ids, err := ix.Query(exprs[i])
+				results[i] = BatchResult{Expr: exprs[i], IDs: ids, Err: err}
+			}
+		}()
+	}
+	for i := range exprs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// blobOfSize builds a deterministic, position-dependent payload so chunk
+// reassembly errors (wrong order, stale tail) corrupt the comparison.
+func blobOfSize(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*7)
+	}
+	return b
+}
+
+func blobChunks(t *testing.T, ix *Index, name string) []uint32 {
+	t.Helper()
+	var idxs []uint32
+	err := ix.aux.ScanPrefix(append([]byte(name), '/'), func(k, v []byte) (bool, error) {
+		idxs = append(idxs, binary.BigEndian.Uint32(k[len(k)-4:]))
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idxs
+}
+
+// TestBlobShrinkAcrossChunkBoundary rewrites a multi-chunk blob with a
+// shorter payload whose chunk count drops, and verifies the stale trailing
+// chunks are removed: a read-back must return exactly the new bytes, not the
+// new bytes plus a leftover tail.
+func TestBlobShrinkAcrossChunkBoundary(t *testing.T) {
+	ix := mustMem(t, Options{})
+	chunk := ix.aux.MaxEntrySize() - len("blob") - 64
+	if chunk < 64 {
+		t.Fatalf("chunk size %d too small for the test", chunk)
+	}
+
+	for _, step := range []struct {
+		name string
+		size int
+	}{
+		{"grow to 4 chunks", 3*chunk + chunk/2},
+		{"shrink to 2 chunks", chunk + chunk/2}, // crosses two chunk boundaries down
+		{"shrink to 1 partial chunk", chunk / 3},
+		{"shrink to empty", 0},
+		{"regrow to 3 chunks", 2*chunk + 1},
+	} {
+		want := blobOfSize(step.size, byte(step.size))
+		if err := ix.putBlob("blob", want); err != nil {
+			t.Fatalf("%s: putBlob: %v", step.name, err)
+		}
+		got, ok, err := ix.getBlob("blob")
+		if err != nil {
+			t.Fatalf("%s: getBlob: %v", step.name, err)
+		}
+		if !ok {
+			t.Fatalf("%s: blob vanished", step.name)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: read %d bytes, want %d (stale chunks leaked into the payload?)", step.name, len(got), len(want))
+		}
+		wantChunks := (step.size + chunk - 1) / chunk
+		if wantChunks == 0 {
+			wantChunks = 1 // empty blobs still write chunk 0
+		}
+		idxs := blobChunks(t, ix, "blob")
+		if len(idxs) != wantChunks {
+			t.Fatalf("%s: %d chunks on disk (%v), want %d", step.name, len(idxs), idxs, wantChunks)
+		}
+		for i, idx := range idxs {
+			if int(idx) != i {
+				t.Fatalf("%s: chunk indices %v not dense from 0", step.name, idxs)
+			}
+		}
+	}
+}

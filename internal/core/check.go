@@ -40,8 +40,8 @@ func (r *CheckReport) problemf(format string, args ...interface{}) {
 // The scan materializes the node table in memory; it is intended for tests
 // and offline verification, not hot paths.
 func (ix *Index) Check() (*CheckReport, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	report := &CheckReport{}
 
 	type nodeInfo struct {

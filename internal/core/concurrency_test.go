@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vist/internal/xmltree"
+)
+
+func mustFile(t testing.TB, opts Options) *Index {
+	t.Helper()
+	ix, err := Open(filepath.Join(t.TempDir(), "ix"), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return ix
+}
+
+// TestConcurrentQueryInsertDeleteFileBacked is the end-to-end concurrency
+// stress test: parallel Query, QueryWithStats, and QueryVerified against
+// Insert and Delete on a file-backed index with a deliberately tiny buffer
+// pool, so the B+Tree read path, the pager's LRU, and the index metadata all
+// see real contention. Run with -race.
+func TestConcurrentQueryInsertDeleteFileBacked(t *testing.T) {
+	ix := mustFile(t, Options{CachePages: 16})
+	defer ix.Close()
+
+	// Seed documents; the even-indexed ones get deleted concurrently.
+	var seeded []DocID
+	for i := 0; i < 24; i++ {
+		doc := purchaseBoston
+		if i%2 == 1 {
+			doc = purchaseChicago
+		}
+		seeded = append(seeded, insertXML(t, ix, doc)...)
+	}
+
+	exprs := []string{
+		"/purchase/seller/item",
+		"/purchase//item[@manufacturer='intel']",
+		"/purchase/buyer[location='boston']",
+		"//seller/location",
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 120; i++ {
+				expr := exprs[rng.Intn(len(exprs))]
+				switch i % 3 {
+				case 0:
+					if _, err := ix.Query(expr); err != nil {
+						fail(fmt.Errorf("Query(%q): %w", expr, err))
+						return
+					}
+				case 1:
+					if _, _, err := ix.QueryWithStats(expr); err != nil {
+						fail(fmt.Errorf("QueryWithStats(%q): %w", expr, err))
+						return
+					}
+				case 2:
+					// Races against Delete: a candidate may vanish before
+					// verification, which must not error.
+					if _, err := ix.QueryVerified(expr); err != nil {
+						fail(fmt.Errorf("QueryVerified(%q): %w", expr, err))
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				doc, err := xmltree.ParseString(purchaseBoston)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if _, err := ix.Insert(doc); err != nil {
+					fail(fmt.Errorf("Insert: %w", err))
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(seeded); i += 2 {
+			if err := ix.Delete(seeded[i]); err != nil {
+				fail(fmt.Errorf("Delete(%d): %w", seeded[i], err))
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = ix.DocCount()
+			_ = ix.MaxTreeDepth()
+			_ = ix.NodeCount()
+			_ = ix.BorrowCount()
+			_ = ix.SizeBytes()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// 24 seeded - 12 deleted + 80 inserted.
+	if got := ix.DocCount(); got != 92 {
+		t.Fatalf("DocCount = %d, want 92", got)
+	}
+	rep, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("post-stress integrity check failed: %v", rep.Problems[:min(3, len(rep.Problems))])
+	}
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryAllMatchesSequential(t *testing.T) {
+	ix := mustMem(t, Options{})
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+	exprs := []string{
+		"/purchase/seller/item",
+		"/purchase//item[@manufacturer='intel']",
+		"/purchase[seller/location='chicago']",
+		"//buyer",
+		"(((", // malformed: must fail its own slot only
+		"/purchase/buyer[location='boston']",
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		results := ix.QueryAll(exprs, workers)
+		if len(results) != len(exprs) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(results), len(exprs))
+		}
+		for i, res := range results {
+			if res.Expr != exprs[i] {
+				t.Fatalf("workers=%d: result %d is for %q, want %q (order not preserved)", workers, i, res.Expr, exprs[i])
+			}
+			want, wantErr := ix.Query(exprs[i])
+			if (res.Err == nil) != (wantErr == nil) {
+				t.Fatalf("workers=%d: %q: err = %v, sequential err = %v", workers, exprs[i], res.Err, wantErr)
+			}
+			if res.Err == nil && !reflect.DeepEqual(normalize(res.IDs), normalize(want)) {
+				t.Fatalf("workers=%d: %q: ids = %v, want %v", workers, exprs[i], res.IDs, want)
+			}
+		}
+	}
+	if got := ix.QueryAll(nil, 4); len(got) != 0 {
+		t.Fatalf("QueryAll(nil) = %v, want empty", got)
+	}
+}
+
+func TestQueryVerifiedSkipStoreFailsFast(t *testing.T) {
+	ix := mustMem(t, Options{SkipDocumentStore: true})
+	insertXML(t, ix, purchaseBoston)
+	// The expression is deliberately malformed: with the storage check
+	// ordered first, the storage error must surface before any parse or
+	// matching work happens.
+	_, err := ix.QueryVerified("(((")
+	if err == nil {
+		t.Fatal("QueryVerified without a document store must fail")
+	}
+	if got := err.Error(); got != "core: QueryVerified requires document storage (SkipDocumentStore is set)" {
+		t.Fatalf("want the fail-fast storage error, got: %v", got)
+	}
+}
+
+// TestQueryVerifiedToleratesVanishedCandidate simulates a document deleted
+// between the candidate phase and verification (its stored bytes are gone
+// while its DocId entries linger): verification must skip it, not error.
+func TestQueryVerifiedToleratesVanishedCandidate(t *testing.T) {
+	ix := mustMem(t, Options{})
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+
+	// Remove doc 2's stored chunks directly, leaving its index entries in
+	// place — exactly the intermediate state a racing Delete exposes.
+	var stale [][]byte
+	err := ix.store.Scan(storeKey(ids[1], 0), storeKey(ids[1]+1, 0), func(k, v []byte) (bool, error) {
+		stale = append(stale, append([]byte(nil), k...))
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) == 0 {
+		t.Fatal("no stored chunks found to remove")
+	}
+	for _, k := range stale {
+		if _, err := ix.store.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both documents are candidates for //seller; only the intact one may
+	// verify, and the vanished one must not turn into an error.
+	got, err := ix.QueryVerified("/purchase/seller")
+	if err != nil {
+		t.Fatalf("QueryVerified with a vanished candidate: %v", err)
+	}
+	if !reflect.DeepEqual(got, ids[:1]) {
+		t.Fatalf("QueryVerified = %v, want %v", got, ids[:1])
+	}
+
+	// Get must still report the missing document as an error callers can
+	// classify.
+	if _, err := ix.Get(ids[1]); !errors.Is(err, ErrDocNotFound) {
+		t.Fatalf("Get(vanished) = %v, want ErrDocNotFound", err)
+	}
+}
+
+// BenchmarkConcurrentQuery measures read throughput on a file-backed index
+// under increasing goroutine counts. Run as:
+//
+//	go test -bench ConcurrentQuery -cpu 1,2,4,8 ./internal/core/
+//
+// With the shared read lock down through the B+Tree and a thread-safe
+// pager, ops/sec grows with -cpu (up to the machine's core count) rather
+// than staying flat the way the old whole-index mutex forced. On a
+// single-core host no wall-clock scaling is physically possible and extra
+// goroutines only add scheduler overhead; there, see
+// btree.TestConcurrentGetsOverlapInPager for the schedule-level witness
+// that reads are no longer serialized.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	ix := mustFile(b, Options{CachePages: 256})
+	defer ix.Close()
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range randomRecords(rng, 600) {
+		doc, err := xmltree.ParseString(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ix.Insert(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ix.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	exprs := []string{"/r/a", "/r//b[c='x']", "/r/c/d", "//d[a='y']"}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := ix.Query(exprs[i%len(exprs)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -44,9 +44,14 @@ type Options struct {
 }
 
 // Index is a ViST index over XML documents. All methods are safe for
-// concurrent use by multiple goroutines; writes are serialized.
+// concurrent use by multiple goroutines. Reads (Query, QueryWithStats,
+// QueryVerified, QueryAll, Get, Docs, Check and the metadata accessors) hold
+// a shared lock and execute in parallel with each other; mutations (Insert,
+// Delete, the Bulk* loaders, Sync, Close) hold the exclusive lock and
+// serialize against everything else. See DESIGN.md §6 "Concurrency model"
+// for the full locking story across the index, B+Tree, and pager layers.
 type Index struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	nodes *btree.BTree // combined D-Ancestor + S-Ancestor tree
 	docs  *btree.BTree // DocId tree: (n, docID) → ∅
@@ -178,16 +183,20 @@ func initIndex(nodes, docs, store, aux *btree.BTree, opts Options) (*Index, erro
 	return ix, nil
 }
 
-// Dict exposes the index's symbol dictionary (read-mostly; shared).
+// Dict exposes the index's symbol dictionary. The pointer is fixed for the
+// index's lifetime and the Dict is internally synchronized (inserts intern
+// new names concurrently with query-side lookups), so the returned value is
+// safe to use from any goroutine.
 func (ix *Index) Dict() *seq.Dict { return ix.dict }
 
-// Schema exposes the sibling-ordering schema, if any.
+// Schema exposes the sibling-ordering schema, if any. Schemas are immutable
+// after construction, so the returned value is safe to share.
 func (ix *Index) Schema() *xmltree.Schema { return ix.schema }
 
 // DocCount reports the number of indexed documents.
 func (ix *Index) DocCount() uint64 {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.docCount
 }
 
@@ -198,8 +207,8 @@ func (ix *Index) NodeCount() uint64 { return ix.nodes.Len() }
 // reserve borrowing since the index was opened (diagnostics for labeling
 // ablations; not persisted).
 func (ix *Index) BorrowCount() uint64 {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.borrows
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -251,6 +252,11 @@ func (ix *Index) storeDoc(id DocID, last uint64, doc *xmltree.Node) error {
 	return nil
 }
 
+// ErrDocNotFound reports that a DocID has no stored document. Callers racing
+// against Delete (QueryVerified's refinement phase) test for it with
+// errors.Is and treat the document as a non-match.
+var ErrDocNotFound = errors.New("document not found")
+
 // loadDoc retrieves a stored document and its final label.
 func (ix *Index) loadDoc(id DocID) (*xmltree.Node, uint64, error) {
 	v0, ok, err := ix.store.Get(storeKey(id, 0))
@@ -258,7 +264,7 @@ func (ix *Index) loadDoc(id DocID) (*xmltree.Node, uint64, error) {
 		return nil, 0, err
 	}
 	if !ok {
-		return nil, 0, fmt.Errorf("core: document %d not found", id)
+		return nil, 0, fmt.Errorf("core: document %d: %w", id, ErrDocNotFound)
 	}
 	if len(v0) < 12 {
 		return nil, 0, fmt.Errorf("core: document %d header truncated", id)
@@ -283,10 +289,11 @@ func (ix *Index) loadDoc(id DocID) (*xmltree.Node, uint64, error) {
 	return doc, last, nil
 }
 
-// Get returns the stored document (requires document storage).
+// Get returns the stored document (requires document storage). A missing
+// document reports ErrDocNotFound (wrapped).
 func (ix *Index) Get(id DocID) (*xmltree.Node, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	doc, _, err := ix.loadDoc(id)
 	return doc, err
 }
@@ -358,8 +365,8 @@ func (ix *Index) Delete(id DocID) error {
 // Docs iterates over all stored documents in DocID order, stopping early
 // when fn returns false. Requires document storage.
 func (ix *Index) Docs(fn func(id DocID, doc *xmltree.Node) (bool, error)) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if ix.opts.SkipDocumentStore {
 		return fmt.Errorf("core: Docs requires document storage (SkipDocumentStore is set)")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -33,8 +34,8 @@ func (ix *Index) Query(expr string) ([]DocID, error) {
 // paper's disassemble-and-join strategy: each root-to-leaf query path runs
 // as its own sequence match and the DocID sets are intersected.
 func (ix *Index) QueryParsed(q *query.Query) ([]DocID, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.queryLocked(q)
 }
 
@@ -93,8 +94,15 @@ func sortedIDs(out map[DocID]struct{}) []DocID {
 // QueryVerified executes a query and refines the candidate set against the
 // stored documents, removing both the structural false positives inherent
 // to sequence matching and value-hash collisions. Requires document
-// storage.
+// storage; that precondition is checked before any matching work runs.
+//
+// A candidate that disappears between the candidate phase and verification
+// (a concurrent Delete can win the race for the exclusive lock in between)
+// is treated as a non-match rather than an error.
 func (ix *Index) QueryVerified(expr string) ([]DocID, error) {
+	if ix.opts.SkipDocumentStore {
+		return nil, fmt.Errorf("core: QueryVerified requires document storage (SkipDocumentStore is set)")
+	}
 	q, err := query.Parse(expr)
 	if err != nil {
 		return nil, err
@@ -103,15 +111,15 @@ func (ix *Index) QueryVerified(expr string) ([]DocID, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ix.opts.SkipDocumentStore {
-		return nil, fmt.Errorf("core: QueryVerified requires document storage (SkipDocumentStore is set)")
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	out := candidates[:0]
 	for _, id := range candidates {
 		doc, _, err := ix.loadDoc(id)
 		if err != nil {
+			if errors.Is(err, ErrDocNotFound) {
+				continue
+			}
 			return nil, err
 		}
 		if treematch.Matches(q, doc) {
@@ -254,7 +262,7 @@ func (ix *Index) collectDocs(scope labeling.Scope, out map[DocID]struct{}) error
 
 // MaxTreeDepth reports the deepest indexed sequence (prefix length + 1).
 func (ix *Index) MaxTreeDepth() int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.maxDepth
 }

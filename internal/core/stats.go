@@ -45,8 +45,8 @@ func (ix *Index) QueryWithStats(expr string) ([]DocID, QueryStats, error) {
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	seqs, err := q.Sequences(ix.dict, ix.schema)
 	if err != nil {
 		return nil, QueryStats{}, err
