@@ -56,6 +56,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if ix.Recovered() {
+		info := ix.Recovery()
+		fmt.Fprintf(os.Stderr, "vist: recovered from unclean shutdown (%d committed pages replayed, %d uncommitted records discarded)\n",
+			info.PagesReplayed, info.FramesDiscarded)
+	}
 	defer func() {
 		if err := ix.Close(); err != nil {
 			fatal(err)

@@ -8,8 +8,8 @@
 //
 // Experiments: table4, fig10a, fig10b, fig11a, fig11b, ablation-labeling,
 // ablation-verify, ablation-pager, ablation-refined, scaling, concurrency,
-// all. The -scale flag multiplies dataset sizes (1.0 is a laptop-sized run;
-// the paper's full sizes need 15–50).
+// durability, all. The -scale flag multiplies dataset sizes (1.0 is a
+// laptop-sized run; the paper's full sizes need 15–50).
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: table4, fig10a, fig10b, fig11a, fig11b, ablation-labeling, ablation-verify, ablation-pager, ablation-refined, scaling, concurrency, all")
+		exp     = flag.String("exp", "all", "comma-separated experiments: table4, fig10a, fig10b, fig11a, fig11b, ablation-labeling, ablation-verify, ablation-pager, ablation-refined, scaling, concurrency, durability, all")
 		scale   = flag.Float64("scale", 0.2, "dataset size multiplier (1.0 ≈ laptop-sized)")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		minTime = flag.Duration("mintime", 100*time.Millisecond, "minimum measurement window per query")
@@ -65,4 +65,5 @@ func main() {
 	run("ablation-refined", func() (printer, error) { return bench.RunAblationRefined(cfg) })
 	run("scaling", func() (printer, error) { return bench.RunScaling(cfg) })
 	run("concurrency", func() (printer, error) { return bench.RunConcurrency(cfg) })
+	run("durability", func() (printer, error) { return bench.RunDurability(cfg) })
 }

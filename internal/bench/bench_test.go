@@ -206,3 +206,23 @@ func TestRunScalingSmoke(t *testing.T) {
 		t.Fatalf("rendering: %q", buf.String())
 	}
 }
+
+func TestRunDurabilitySmoke(t *testing.T) {
+	res, err := RunDurability(tiny())
+	if err != nil {
+		t.Fatalf("RunDurability: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Syncs <= 0 || p.Elapsed <= 0 || p.DocsPerS <= 0 {
+			t.Fatalf("%s: degenerate measurement %+v", p.Name, p)
+		}
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "wal (atomic commit)") {
+		t.Fatalf("rendering: %q", buf.String())
+	}
+}

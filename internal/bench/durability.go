@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+)
+
+// DurabilityPoint is one configuration in the Sync-cost sweep.
+type DurabilityPoint struct {
+	Name      string
+	Records   int
+	Syncs     int
+	Elapsed   time.Duration
+	DocsPerS  float64
+	SyncsPerS float64
+	Overhead  float64 // elapsed vs the no-WAL run, ×
+}
+
+// DurabilityResult compares insert+Sync throughput of the crash-safe
+// WAL-backed pager against the raw flush+fsync path (DisableWAL). The WAL
+// writes every dirty page twice (log, then checkpoint) but makes each Sync
+// an atomic commit; this experiment prices that guarantee.
+type DurabilityResult struct {
+	Records   int
+	SyncEvery int
+	Points    []DurabilityPoint
+}
+
+// RunDurability builds two file-backed DBLP indexes — one WAL-backed, one
+// with DisableWAL — inserting the same documents and calling Sync every
+// SyncEvery docs, and reports the throughput of each.
+func RunDurability(cfg Config) (*DurabilityResult, error) {
+	records := cfg.scale(2000)
+	syncEvery := 50
+	if records < syncEvery*4 {
+		syncEvery = records/4 + 1
+	}
+	docs := gen.DBLP(gen.DBLPConfig{Records: records, Seed: cfg.Seed})
+
+	res := &DurabilityResult{Records: records, SyncEvery: syncEvery}
+	for _, mode := range []struct {
+		name       string
+		disableWAL bool
+	}{
+		{"no-wal (fsync only)", true},
+		{"wal (atomic commit)", false},
+	} {
+		dir, err := os.MkdirTemp("", "vistbench-dur")
+		if err != nil {
+			return nil, err
+		}
+		ix, err := core.Open(filepath.Join(dir, "ix"), core.Options{
+			Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4,
+			DisableWAL: mode.disableWAL,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		syncs := 0
+		start := time.Now()
+		for i, d := range docs {
+			if _, err := ix.Insert(d); err != nil {
+				ix.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			if (i+1)%syncEvery == 0 {
+				if err := ix.Sync(); err != nil {
+					ix.Close()
+					os.RemoveAll(dir)
+					return nil, err
+				}
+				syncs++
+			}
+		}
+		if err := ix.Sync(); err != nil {
+			ix.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		syncs++
+		elapsed := time.Since(start)
+		if err := ix.Close(); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		os.RemoveAll(dir)
+		p := DurabilityPoint{
+			Name:      mode.name,
+			Records:   records,
+			Syncs:     syncs,
+			Elapsed:   elapsed,
+			DocsPerS:  float64(records) / elapsed.Seconds(),
+			SyncsPerS: float64(syncs) / elapsed.Seconds(),
+			Overhead:  1,
+		}
+		if len(res.Points) > 0 {
+			p.Overhead = float64(elapsed) / float64(res.Points[0].Elapsed)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Fprint renders the durability sweep.
+func (r *DurabilityResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Durability — Sync cost with and without the WAL",
+		"Same DBLP insert workload, Sync every "+fmt.Sprint(r.SyncEvery)+" docs. The WAL buys atomic,\n"+
+			"torn-write-proof commits at the price of writing each dirty page twice.")
+	fmt.Fprintf(w, "%d records, Sync every %d docs\n", r.Records, r.SyncEvery)
+	fmt.Fprintf(w, "  %-22s %12s %10s %12s %12s %10s\n", "mode", "elapsed", "syncs", "docs/s", "syncs/s", "overhead")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-22s %12s %10d %12.0f %12.1f %10s\n",
+			p.Name, p.Elapsed.Round(time.Millisecond), p.Syncs, p.DocsPerS, p.SyncsPerS,
+			fmt.Sprintf("×%.2f", p.Overhead))
+	}
+	fmt.Fprintln(w)
+}

@@ -754,7 +754,17 @@ func (t *BTree) Sync() error {
 	return t.syncLocked()
 }
 
-func (t *BTree) syncLocked() error {
+// Flush writes all dirty nodes and the meta page through to the pager and
+// stages them one layer down (Pager.Flush) without forcing stable storage.
+// core uses it to stage every tree of an index into a shared WAL before one
+// atomic commit; a standalone tree should call Sync instead.
+func (t *BTree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *BTree) flushLocked() error {
 	var flushErr error
 	t.cache.Range(func(_, v any) bool {
 		n := v.(*node)
@@ -773,6 +783,13 @@ func (t *BTree) syncLocked() error {
 		if err := t.writeMeta(); err != nil {
 			return err
 		}
+	}
+	return t.pg.Flush()
+}
+
+func (t *BTree) syncLocked() error {
+	if err := t.flushLocked(); err != nil {
+		return err
 	}
 	return t.pg.Sync()
 }

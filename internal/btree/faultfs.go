@@ -1,0 +1,277 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrInjectedFault is returned by FaultFS file operations once the plan's
+// write budget is exhausted — the moment the simulated crash happens.
+var ErrInjectedFault = errors.New("btree: injected fault (simulated crash)")
+
+// FaultPlan coordinates crash injection across every file a FaultFS opens.
+//
+// Writes are buffered in a per-file mirror and reach the real file only on
+// Sync (or Close), so "what is on disk" exactly models "what was fsynced".
+// A budget in bytes (KillAfter) tears the run mid-operation: the write that
+// crosses the budget persists only its prefix into the mirror, and every
+// later write, sync, and truncate fails with ErrInjectedFault — as if the
+// process had died at that byte.
+//
+// After the workload errors out, Crash finalizes the on-disk state:
+//
+//	Crash(false) — strict discs: only fsynced data survives (the mirrors
+//	               are discarded). Models a kernel that wrote nothing it
+//	               was not forced to.
+//	Crash(true)  — eager discs: every completed buffered write survives,
+//	               including the torn prefix of the killed one. Models a
+//	               kernel that happened to flush everything, exposing torn
+//	               pages and unsynced WAL tails.
+//
+// Correct recovery must cope with both extremes (and therefore with any
+// write-granular state in between). A run with KillAfter == 0 never kills;
+// use it to record WriteBoundaries, the byte offsets at which each
+// operation completed, from which a crash matrix derives its injection
+// points. Setting DropSyncs makes Sync report success without flushing the
+// mirror (a lying disk): durability of those syncs is forfeit, but reopen
+// must still find a consistent index.
+type FaultPlan struct {
+	// KillAfter is the total byte budget across all files (writes consume
+	// their length, syncs and truncates consume 1). Zero means never kill.
+	KillAfter int64
+	// DropSyncs makes Sync a successful no-op that flushes nothing.
+	DropSyncs bool
+
+	mu         sync.Mutex
+	written    int64
+	killed     bool
+	boundaries []int64
+	files      []*FaultFile
+}
+
+// consume charges n units against the budget, returning how many are
+// granted. Once the budget is crossed the plan is killed and every later
+// call is denied outright.
+func (pl *FaultPlan) consume(n int) (allowed int, killedNow bool) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.killed {
+		return 0, false
+	}
+	allowed = n
+	if pl.KillAfter > 0 && pl.written+int64(n) > pl.KillAfter {
+		allowed = int(pl.KillAfter - pl.written)
+		if allowed < 0 {
+			allowed = 0
+		}
+		pl.killed = true
+		killedNow = true
+	}
+	pl.written += int64(allowed)
+	if !killedNow {
+		pl.boundaries = append(pl.boundaries, pl.written)
+	}
+	return allowed, killedNow
+}
+
+// Killed reports whether the injected crash has happened.
+func (pl *FaultPlan) Killed() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.killed
+}
+
+// BytesWritten reports the total units consumed so far.
+func (pl *FaultPlan) BytesWritten() int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.written
+}
+
+// WriteBoundaries returns the cumulative budget offsets at which each
+// operation completed during this run (recording runs only).
+func (pl *FaultPlan) WriteBoundaries() []int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return append([]int64(nil), pl.boundaries...)
+}
+
+// Crash finalizes the simulated crash: with keepUnsynced, each file's mirror
+// (everything the process wrote, synced or not, including the torn prefix of
+// the killed write) is flushed to the real file; without it, only fsynced
+// state survives. All real handles are closed; the faulted objects must be
+// abandoned, and the paths reopened with a fresh FS to observe recovery.
+func (pl *FaultPlan) Crash(keepUnsynced bool) error {
+	pl.mu.Lock()
+	pl.killed = true // no further writes, even if the budget never tripped
+	files := append([]*FaultFile(nil), pl.files...)
+	pl.mu.Unlock()
+	var firstErr error
+	for _, f := range files {
+		if err := f.crash(keepUnsynced); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// FaultFS is an FS whose files answer to a shared FaultPlan.
+type FaultFS struct{ Plan *FaultPlan }
+
+// OpenFile implements FS.
+func (fs FaultFS) OpenFile(path string) (File, error) {
+	if fs.Plan == nil {
+		return nil, fmt.Errorf("btree: FaultFS with nil plan")
+	}
+	real, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := io.ReadAll(io.NewSectionReader(real, 0, 1<<40))
+	if err != nil {
+		real.Close()
+		return nil, err
+	}
+	f := &FaultFile{plan: fs.Plan, real: real, mem: mem}
+	fs.Plan.mu.Lock()
+	fs.Plan.files = append(fs.Plan.files, f)
+	fs.Plan.mu.Unlock()
+	return f, nil
+}
+
+// FaultFile buffers all writes in memory and flushes them to the real file
+// only on Sync/Close, under the control of a FaultPlan.
+type FaultFile struct {
+	plan *FaultPlan
+	mu   sync.Mutex
+	real *os.File
+	mem  []byte
+}
+
+// ReadAt implements io.ReaderAt over the in-process view (the mirror).
+func (f *FaultFile) ReadAt(b []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off >= int64(len(f.mem)) {
+		return 0, io.EOF
+	}
+	n := copy(b, f.mem[off:])
+	if n < len(b) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt; the write that crosses the plan's budget
+// is torn (only its prefix lands in the mirror) and returns ErrInjectedFault.
+func (f *FaultFile) WriteAt(b []byte, off int64) (int, error) {
+	allowed, killedNow := f.plan.consume(len(b))
+	if allowed == 0 && !killedNow && len(b) > 0 {
+		return 0, ErrInjectedFault // already dead
+	}
+	f.mu.Lock()
+	end := off + int64(allowed)
+	if end > int64(len(f.mem)) {
+		f.mem = append(f.mem, make([]byte, end-int64(len(f.mem)))...)
+	}
+	copy(f.mem[off:end], b[:allowed])
+	f.mu.Unlock()
+	if allowed < len(b) || killedNow {
+		return allowed, ErrInjectedFault
+	}
+	return allowed, nil
+}
+
+// Truncate resizes the mirror.
+func (f *FaultFile) Truncate(size int64) error {
+	if allowed, killedNow := f.plan.consume(1); allowed == 0 || killedNow {
+		return ErrInjectedFault
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size <= int64(len(f.mem)) {
+		f.mem = f.mem[:size]
+	} else {
+		f.mem = append(f.mem, make([]byte, size-int64(len(f.mem)))...)
+	}
+	return nil
+}
+
+// Sync flushes the mirror to the real file and fsyncs it — unless the plan
+// drops syncs (lying disk) or has already killed the run.
+func (f *FaultFile) Sync() error {
+	if allowed, killedNow := f.plan.consume(1); allowed == 0 || killedNow {
+		return ErrInjectedFault
+	}
+	if f.plan.DropSyncs {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.flushRealLocked(); err != nil {
+		return err
+	}
+	return f.real.Sync()
+}
+
+// flushRealLocked makes the real file byte-identical to the mirror.
+func (f *FaultFile) flushRealLocked() error {
+	if err := f.real.Truncate(int64(len(f.mem))); err != nil {
+		return err
+	}
+	if len(f.mem) > 0 {
+		if _, err := f.real.WriteAt(f.mem, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size reports the mirror size.
+func (f *FaultFile) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.mem)), nil
+}
+
+// Close releases the real handle. A live (un-killed) close flushes first,
+// like a clean shutdown; after the injected crash nothing further is
+// written.
+func (f *FaultFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.real == nil {
+		return nil
+	}
+	if !f.plan.Killed() && !f.plan.DropSyncs {
+		if err := f.flushRealLocked(); err != nil {
+			f.real.Close()
+			f.real = nil
+			return err
+		}
+	}
+	err := f.real.Close()
+	f.real = nil
+	return err
+}
+
+// crash finalizes the file per the plan's Crash mode.
+func (f *FaultFile) crash(keepUnsynced bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.real == nil {
+		return nil
+	}
+	var firstErr error
+	if keepUnsynced {
+		firstErr = f.flushRealLocked()
+	}
+	if err := f.real.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	f.real = nil
+	return firstErr
+}

@@ -1,0 +1,52 @@
+package btree
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the pager and WAL need. Abstracting it lets
+// tests interpose a fault-injecting filesystem (see FaultFS) that tears
+// writes and drops fsyncs to simulate crashes at arbitrary byte offsets.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Sync forces buffered writes to stable storage.
+	Sync() error
+	// Close releases the handle without implying a flush to stable storage.
+	Close() error
+	// Size reports the current file size in bytes.
+	Size() (int64, error)
+}
+
+// FS opens files for the pager and WAL. The zero-value OSFS is the real
+// filesystem; FaultFS injects crashes.
+type FS interface {
+	// OpenFile opens (or creates) the file at path for read/write.
+	OpenFile(path string) (File, error)
+}
+
+// OSFS is the passthrough FS backed by the operating system.
+type OSFS struct{}
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// osFile adapts *os.File to the File interface (Size via Stat).
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -2,9 +2,11 @@ package btree
 
 import (
 	"container/list"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -12,6 +14,11 @@ import (
 // PageID identifies a fixed-size page within a Pager. Page 0 is always the
 // tree's meta page; 0 therefore doubles as the nil page reference.
 type PageID uint32
+
+// ErrCorrupt is wrapped by every checksum-mismatch and torn-page error, so
+// callers can distinguish detected corruption from ordinary I/O failures
+// with errors.Is.
+var ErrCorrupt = errors.New("page corrupt")
 
 // Pager is the raw page I/O abstraction under a B+Tree. Implementations must
 // return pages of exactly PageSize bytes. Allocation is grow-only at this
@@ -27,6 +34,9 @@ type Pager interface {
 	Read(id PageID, buf []byte) error
 	// Write stores data (len == PageSize) as the page's content.
 	Write(id PageID, data []byte) error
+	// Flush pushes buffered writes down one layer (to the file, or to the
+	// write-ahead log when one is attached) without forcing stable storage.
+	Flush() error
 	// Sync flushes buffered writes to stable storage.
 	Sync() error
 	// Close releases resources, flushing first.
@@ -34,12 +44,13 @@ type Pager interface {
 }
 
 // MemPager keeps all pages in memory. It is used by tests and by benchmarks
-// that want to measure algorithmic cost without disk I/O.
-//
-// Concurrent Reads are safe; Allocate and Write require external
-// serialization against all other calls (the B+Tree's RWMutex provides
-// exactly that: writers hold the exclusive lock).
+// that want to measure algorithmic cost without disk I/O. All methods are
+// safe for concurrent use: an RWMutex lets parallel readers copy pages while
+// Allocate/Write serialize against them, matching the concurrency contract
+// the rest of the system documents (Index and BTree are safe for concurrent
+// use regardless of the backing pager).
 type MemPager struct {
+	mu       sync.RWMutex
 	pageSize int
 	pages    [][]byte
 }
@@ -53,16 +64,24 @@ func NewMemPager(pageSize int) *MemPager {
 func (m *MemPager) PageSize() int { return m.pageSize }
 
 // NumPages implements Pager.
-func (m *MemPager) NumPages() uint32 { return uint32(len(m.pages)) }
+func (m *MemPager) NumPages() uint32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return uint32(len(m.pages))
+}
 
 // Allocate implements Pager.
 func (m *MemPager) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.pages = append(m.pages, make([]byte, m.pageSize))
 	return PageID(len(m.pages) - 1), nil
 }
 
 // Read implements Pager.
 func (m *MemPager) Read(id PageID, buf []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if int(id) >= len(m.pages) {
 		return fmt.Errorf("btree: read of unallocated page %d", id)
 	}
@@ -72,12 +91,17 @@ func (m *MemPager) Read(id PageID, buf []byte) error {
 
 // Write implements Pager.
 func (m *MemPager) Write(id PageID, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if int(id) >= len(m.pages) {
 		return fmt.Errorf("btree: write of unallocated page %d", id)
 	}
 	copy(m.pages[id], data)
 	return nil
 }
+
+// Flush implements Pager.
+func (m *MemPager) Flush() error { return nil }
 
 // Sync implements Pager.
 func (m *MemPager) Sync() error { return nil }
@@ -87,7 +111,11 @@ func (m *MemPager) Close() error { return nil }
 
 // Size reports the total bytes held by the pager. It stands in for on-disk
 // index size in experiments that run against memory pagers.
-func (m *MemPager) Size() int64 { return int64(len(m.pages)) * int64(m.pageSize) }
+func (m *MemPager) Size() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.pages)) * int64(m.pageSize)
+}
 
 type filePage struct {
 	id    PageID
@@ -96,19 +124,43 @@ type filePage struct {
 	elem  *list.Element
 }
 
+// Every page is stored on disk with a trailer so torn or misdirected writes
+// are detected, never silently zero-read:
+//
+//	[0:pageSize]            page data
+//	[pageSize:pageSize+4]   crc32c(data ‖ pageID.be32)
+//	[pageSize+4:pageSize+8] pageID (uint32, catches misdirected writes)
+//
+// The disk frame is therefore PageSize+pageTrailerSize bytes; PageSize keeps
+// reporting the usable payload size, so the tree layer is unaffected.
+const pageTrailerSize = 8
+
 // FilePager stores pages in a single file with a write-back LRU buffer pool.
 // All methods are safe for concurrent use: a single mutex guards the buffer
 // pool (cache map, LRU list, page contents in the pool) and the file offsets,
 // while hit/miss counters are atomic so CacheStats never blocks.
+//
+// When a WAL is attached, no page write ever reaches the main file directly:
+// write-back (both Sync-driven and eviction-driven) stages pages into the
+// log, and only the WAL's checkpoint — which runs strictly after a durable
+// commit record — copies them into the main file. Without a WAL the pager
+// writes in place and a crash can tear the file; core attaches a WAL to
+// every file-backed index unless explicitly disabled.
 type FilePager struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	pageSize int
+	diskPage int // pageSize + pageTrailerSize
 	npages   uint32
 	cap      int
 	cache    map[PageID]*filePage
 	lru      *list.List // front = most recently used; values are *filePage
 	evictErr error      // first swallowed write-back error; surfaced by Sync
+	diskBuf  []byte     // scratch disk frame; holders of mu only
+
+	wal      *WAL
+	walID    uint8
+	tornTail bool // file ended mid-page at open; the tail is ignored
 
 	hits, misses atomic.Uint64 // buffer-pool statistics
 }
@@ -117,37 +169,72 @@ type FilePager struct {
 // a non-positive cache size.
 const DefaultCachePages = 4096
 
-// OpenFilePager opens (or creates) the page file at path. pageSize must
-// match the file's existing page size when the file is non-empty; cachePages
-// bounds the buffer pool (<=0 selects DefaultCachePages).
+// PagerOptions configures OpenFilePagerOpts.
+type PagerOptions struct {
+	// CachePages bounds the buffer pool (<=0 selects DefaultCachePages).
+	CachePages int
+	// WAL, when non-nil, routes all write-back through the log; WALFileID
+	// distinguishes this pager's frames from other members of the same log.
+	WAL       *WAL
+	WALFileID uint8
+	// FS overrides the filesystem (fault injection); nil selects the OS.
+	FS FS
+}
+
+// OpenFilePager opens (or creates) the page file at path with no WAL
+// attached. pageSize must match the file's existing page size when the file
+// is non-empty; cachePages bounds the buffer pool (<=0 selects
+// DefaultCachePages).
 func OpenFilePager(path string, pageSize, cachePages int) (*FilePager, error) {
+	return OpenFilePagerOpts(path, pageSize, PagerOptions{CachePages: cachePages})
+}
+
+// OpenFilePagerOpts opens (or creates) the page file at path. A trailing
+// partial page — the signature of a torn append — is tolerated by truncating
+// the logical page count to the last full frame; the tail bytes are ignored
+// and reclaimed by the next write or WAL recovery.
+func OpenFilePagerOpts(path string, pageSize int, o PagerOptions) (*FilePager, error) {
 	if pageSize < 512 {
 		return nil, fmt.Errorf("btree: page size %d too small (min 512)", pageSize)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fs := o.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size()%int64(pageSize) != 0 {
-		f.Close()
-		return nil, fmt.Errorf("btree: file size %d is not a multiple of page size %d", st.Size(), pageSize)
-	}
+	cachePages := o.CachePages
 	if cachePages <= 0 {
 		cachePages = DefaultCachePages
 	}
-	return &FilePager{
+	diskPage := pageSize + pageTrailerSize
+	p := &FilePager{
 		f:        f,
 		pageSize: pageSize,
-		npages:   uint32(st.Size() / int64(pageSize)),
+		diskPage: diskPage,
+		npages:   uint32(size / int64(diskPage)),
+		tornTail: size%int64(diskPage) != 0,
 		cap:      cachePages,
 		cache:    make(map[PageID]*filePage),
 		lru:      list.New(),
-	}, nil
+		diskBuf:  make([]byte, diskPage),
+		wal:      o.WAL,
+		walID:    o.WALFileID,
+	}
+	if p.wal != nil {
+		if err := p.wal.attach(p.walID, p); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // PageSize implements Pager.
@@ -160,8 +247,17 @@ func (p *FilePager) NumPages() uint32 {
 	return p.npages
 }
 
-// Size reports the current file size in bytes.
-func (p *FilePager) Size() int64 { return int64(p.NumPages()) * int64(p.pageSize) }
+// Size reports the file footprint in bytes (pages plus their checksum
+// trailers).
+func (p *FilePager) Size() int64 { return int64(p.NumPages()) * int64(p.diskPage) }
+
+// TornTailAtOpen reports whether the file ended in a partial page when the
+// pager was opened (a torn append from a crash; the tail is ignored).
+func (p *FilePager) TornTailAtOpen() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tornTail
+}
 
 // CacheStats reports buffer-pool hits and misses since the pager opened.
 func (p *FilePager) CacheStats() (hits, misses uint64) {
@@ -206,17 +302,89 @@ func (p *FilePager) insert(fp *filePage) {
 	}
 }
 
-// writeFile writes fp back to disk. Callers must hold p.mu.
+// writeFile writes fp back: into the WAL when one is attached (the page then
+// reaches the main file only through a post-commit checkpoint), directly into
+// the file otherwise. Callers must hold p.mu.
 func (p *FilePager) writeFile(fp *filePage) error {
-	if _, err := p.f.WriteAt(fp.data, int64(fp.id)*int64(p.pageSize)); err != nil {
+	if p.wal != nil {
+		if err := p.wal.stagePage(p.walID, fp.id, fp.data); err != nil {
+			return err
+		}
+		fp.dirty = false
+		return nil
+	}
+	if err := p.writeRaw(fp.id, fp.data, p.diskBuf); err != nil {
 		return err
 	}
 	fp.dirty = false
 	return nil
 }
 
-// load returns the pooled page for id, faulting it in on a miss. Callers
-// must hold p.mu.
+// writeRaw writes one checksummed disk frame at the page's offset. scratch
+// must be a diskPage-sized buffer owned by the caller; writeRaw touches no
+// pool state, so the WAL checkpoint may call it without holding p.mu.
+func (p *FilePager) writeRaw(id PageID, data []byte, scratch []byte) error {
+	if len(data) != p.pageSize {
+		return fmt.Errorf("btree: page %d write of %d bytes, want %d", id, len(data), p.pageSize)
+	}
+	frame := scratch[:p.diskPage]
+	copy(frame, data)
+	binary.BigEndian.PutUint32(frame[p.pageSize+4:], uint32(id))
+	crc := crc32.Update(crc32.Checksum(data, castagnoli), castagnoli, frame[p.pageSize+4:p.diskPage])
+	binary.BigEndian.PutUint32(frame[p.pageSize:], crc)
+	_, err := p.f.WriteAt(frame, int64(id)*int64(p.diskPage))
+	return err
+}
+
+// applyRecovered writes a replayed WAL page into the main file, extending
+// the logical page count when the crash happened before the file grew.
+func (p *FilePager) applyRecovered(id PageID, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(data) != p.pageSize {
+		return fmt.Errorf("btree: WAL frame for page %d holds %d bytes, want page size %d", id, len(data), p.pageSize)
+	}
+	if err := p.writeRaw(id, data, p.diskBuf); err != nil {
+		return err
+	}
+	if uint32(id) >= p.npages {
+		p.npages = uint32(id) + 1
+	}
+	return nil
+}
+
+// fileSync fsyncs the main file (used by the WAL's checkpoint and recovery).
+func (p *FilePager) fileSync() error { return p.f.Sync() }
+
+// truncateTornTail physically removes a torn trailing partial page. Only WAL
+// recovery calls it: there the torn tail is positively identified as crash
+// debris (replay has just rewritten every committed page), whereas at plain
+// open time a size mismatch could equally be a wrong --page-size, which must
+// not destroy data.
+func (p *FilePager) truncateTornTail() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.tornTail {
+		return nil
+	}
+	size, err := p.f.Size()
+	if err != nil {
+		return err
+	}
+	want := int64(p.npages) * int64(p.diskPage)
+	if size > want {
+		if err := p.f.Truncate(want); err != nil {
+			return err
+		}
+	}
+	p.tornTail = false
+	return nil
+}
+
+// load returns the pooled page for id, faulting it in on a miss. The latest
+// staged WAL version wins over the main file; a short read or checksum
+// mismatch is an error — a torn page must never be silently zero-read.
+// Callers must hold p.mu.
 func (p *FilePager) load(id PageID) (*filePage, error) {
 	if fp, ok := p.cache[id]; ok {
 		p.hits.Add(1)
@@ -228,12 +396,47 @@ func (p *FilePager) load(id PageID) (*filePage, error) {
 		return nil, fmt.Errorf("btree: access to unallocated page %d (have %d)", id, p.npages)
 	}
 	data := make([]byte, p.pageSize)
-	if _, err := p.f.ReadAt(data, int64(id)*int64(p.pageSize)); err != nil && err != io.EOF {
+	if p.wal != nil {
+		ok, err := p.wal.readStaged(p.walID, id, data)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			fp := &filePage{id: id, data: data}
+			p.insert(fp)
+			return fp, nil
+		}
+	}
+	if err := p.readRaw(id, data); err != nil {
 		return nil, err
 	}
 	fp := &filePage{id: id, data: data}
 	p.insert(fp)
 	return fp, nil
+}
+
+// readRaw reads and verifies one disk frame into data. Callers must hold
+// p.mu (it uses the scratch frame buffer).
+func (p *FilePager) readRaw(id PageID, data []byte) error {
+	frame := p.diskBuf
+	n, err := p.f.ReadAt(frame, int64(id)*int64(p.diskPage))
+	if n < p.diskPage {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("btree: %w: short read of page %d (%d of %d bytes): %v",
+			ErrCorrupt, id, n, p.diskPage, err)
+	}
+	storedID := binary.BigEndian.Uint32(frame[p.pageSize+4:])
+	if storedID != uint32(id) {
+		return fmt.Errorf("btree: %w: page %d trailer names page %d (misdirected write)", ErrCorrupt, id, storedID)
+	}
+	crc := crc32.Update(crc32.Checksum(frame[:p.pageSize], castagnoli), castagnoli, frame[p.pageSize+4:p.diskPage])
+	if crc != binary.BigEndian.Uint32(frame[p.pageSize:]) {
+		return fmt.Errorf("btree: %w: page %d fails CRC32C (torn or corrupted write)", ErrCorrupt, id)
+	}
+	copy(data, frame[:p.pageSize])
+	return nil
 }
 
 // Read implements Pager.
@@ -261,13 +464,9 @@ func (p *FilePager) Write(id PageID, data []byte) error {
 	return nil
 }
 
-// Sync implements Pager. It flushes every dirty pooled page and surfaces any
-// write-back error that eviction had to swallow since the previous Sync;
-// a Sync that manages to flush everything clears that recorded error after
-// reporting it once, so a subsequent Sync returns nil.
-func (p *FilePager) Sync() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// flushPool writes every dirty pooled page back (to the WAL or the file).
+// Callers must hold p.mu.
+func (p *FilePager) flushPool() error {
 	for e := p.lru.Front(); e != nil; e = e.Next() {
 		fp := e.Value.(*filePage)
 		if fp.dirty {
@@ -276,11 +475,53 @@ func (p *FilePager) Sync() error {
 			}
 		}
 	}
+	return nil
+}
+
+// Flush implements Pager: dirty pooled pages are written back (staged into
+// the WAL when one is attached) without forcing stable storage. core uses it
+// to stage all four trees of an index before a single atomic commit.
+func (p *FilePager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushPool()
+}
+
+// Sync implements Pager. It flushes every dirty pooled page and forces the
+// result to stable storage — via WAL commit + checkpoint when a log is
+// attached, via fsync otherwise. Only after durability is established does it
+// surface (and clear) any write-back error eviction had to swallow since the
+// previous Sync: reporting it earlier would claim failure for pages that were
+// in fact just flushed, while never fsyncing them.
+func (p *FilePager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushPool(); err != nil {
+		return err
+	}
+	if p.wal != nil {
+		if err := p.wal.Commit(); err != nil {
+			return err
+		}
+	} else if err := p.f.Sync(); err != nil {
+		return err
+	}
 	if err := p.evictErr; err != nil {
 		p.evictErr = nil
 		return err
 	}
-	return p.f.Sync()
+	return nil
+}
+
+// TakeRecordedError returns (and clears) the first write-back error eviction
+// had to swallow, if any. core's group-commit path calls it after the shared
+// WAL commit, which bypasses the per-pager Sync that normally surfaces it.
+func (p *FilePager) TakeRecordedError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.evictErr
+	p.evictErr = nil
+	return err
 }
 
 // Close implements Pager.

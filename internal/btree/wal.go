@@ -1,0 +1,473 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// The write-ahead log makes page-file mutation crash-atomic. Sync stages
+// every dirty page as a physical redo record in the log, appends a commit
+// record, and fsyncs the log — that fsync is the durability point. Only then
+// are the pages checkpointed into their main files, the main files fsynced,
+// and the log truncated. A crash at any byte offset therefore leaves either
+// (a) a log without a trailing commit record — the uncommitted tail is
+// discarded and the main files still hold the previous committed state — or
+// (b) a committed log — replay on the next open re-applies every page,
+// healing any torn checkpoint writes. Pages never reach a main file before
+// their log record is durable, because eviction-driven write-back also goes
+// through stagePage.
+//
+// Log layout:
+//
+//	header (16 bytes): magic "VISTWAL1", version uint32, reserved uint32
+//	frame:  kind uint8 ('P' page, 'C' commit), fileID uint8,
+//	        flags uint16, pageID uint32, dataLen uint32,
+//	        data [dataLen]byte, crc32c uint32 (over header+data)
+//
+// A commit record commits every frame that precedes it. One WAL may serve
+// several FilePagers (distinguished by fileID), which is how core commits all
+// four of an index's trees atomically.
+const (
+	walMagic           = "VISTWAL1"
+	walVersion         = 1
+	walHeaderSize      = 16
+	walFrameHeaderSize = 12
+	walFrameCRCSize    = 4
+
+	walKindPage   = byte('P')
+	walKindCommit = byte('C')
+
+	// maxWALFrameData bounds dataLen during parsing so a corrupt length
+	// field cannot provoke a huge allocation.
+	maxWALFrameData = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type walKey struct {
+	fileID uint8
+	page   PageID
+}
+
+// walFrameRef locates a staged page's payload inside the log file.
+type walFrameRef struct {
+	off int64 // offset of the data section
+	n   int   // payload length
+	crc uint32
+}
+
+// RecoveryStats reports what OpenWAL and Recover found.
+type RecoveryStats struct {
+	// Replayed is true when committed frames were re-applied to main files.
+	Replayed bool
+	// PagesReplayed counts the committed page frames applied.
+	PagesReplayed int
+	// FramesDiscarded counts page frames that were staged but never
+	// committed (dropped), including any torn trailing frame.
+	FramesDiscarded int
+	// TornTail is true when the log ended in a torn or corrupt frame.
+	TornTail bool
+}
+
+// WAL is a physical redo log shared by one or more FilePagers. All methods
+// are safe for concurrent use; pagers call into the WAL while holding their
+// own mutex (lock order: FilePager.mu → WAL.mu, never reversed).
+type WAL struct {
+	mu      sync.Mutex
+	f       File
+	path    string
+	members map[uint8]*FilePager
+
+	size      int64 // append offset
+	pending   int   // frames appended since the last commit record
+	commitSeq uint32
+	index     map[walKey]walFrameRef // latest staged frame per page
+
+	// replay holds committed frames parsed at open, in log order, until
+	// Recover applies them.
+	replay    []replayFrame
+	stats     RecoveryStats
+	recovered bool
+}
+
+type replayFrame struct {
+	fileID uint8
+	page   PageID
+	ref    walFrameRef
+}
+
+// OpenWAL opens (or creates) the log at path and parses any existing tail:
+// committed frames are retained for Recover, an uncommitted or torn tail is
+// noted for discard. fs == nil selects the OS filesystem. Attach pagers with
+// OpenFilePagerOpts, then call Recover before reading through them.
+func OpenWAL(path string, fs FS) (*WAL, error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{
+		f:       f,
+		path:    path,
+		members: make(map[uint8]*FilePager),
+		index:   make(map[walKey]walFrameRef),
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size < walHeaderSize {
+		// New log, or a crash tore the initial header write: start fresh.
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return w, nil
+	}
+	hdr := make([]byte, walHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr[:8]) != walMagic {
+		f.Close()
+		return nil, fmt.Errorf("btree: %s is not a WAL (magic %q)", path, hdr[:8])
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != walVersion {
+		f.Close()
+		return nil, fmt.Errorf("btree: unsupported WAL version %d", v)
+	}
+	if err := w.parse(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *WAL) writeHeader() error {
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic)
+	binary.BigEndian.PutUint32(hdr[8:12], walVersion)
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	w.size = walHeaderSize
+	return nil
+}
+
+// parse scans frames from the header to the first commit-less or corrupt
+// tail, filling w.replay with committed frames in order.
+func (w *WAL) parse(size int64) error {
+	var pending []replayFrame
+	pos := int64(walHeaderSize)
+	hdr := make([]byte, walFrameHeaderSize)
+	for {
+		fr, next, ok := w.parseFrameAt(pos, size, hdr)
+		if !ok {
+			w.stats.TornTail = pos < size
+			break
+		}
+		switch fr.kind {
+		case walKindPage:
+			pending = append(pending, replayFrame{fileID: fr.fileID, page: fr.page, ref: fr.ref})
+		case walKindCommit:
+			w.replay = append(w.replay, pending...)
+			pending = pending[:0]
+		}
+		pos = next
+	}
+	w.stats.FramesDiscarded = len(pending)
+	w.stats.PagesReplayed = len(w.replay)
+	w.size = size // appends would go here, but Recover truncates first
+	return nil
+}
+
+type parsedFrame struct {
+	kind   byte
+	fileID uint8
+	page   PageID
+	ref    walFrameRef
+}
+
+// parseFrameAt decodes the frame at pos; ok is false on any torn, truncated,
+// corrupt, or unknown frame (recovery treats all of those as end-of-log).
+func (w *WAL) parseFrameAt(pos, size int64, hdr []byte) (fr parsedFrame, next int64, ok bool) {
+	if pos+walFrameHeaderSize+walFrameCRCSize > size {
+		return fr, 0, false
+	}
+	if _, err := w.f.ReadAt(hdr, pos); err != nil {
+		return fr, 0, false
+	}
+	fr.kind = hdr[0]
+	fr.fileID = hdr[1]
+	fr.page = PageID(binary.BigEndian.Uint32(hdr[4:8]))
+	dataLen := int64(binary.BigEndian.Uint32(hdr[8:12]))
+	if fr.kind != walKindPage && fr.kind != walKindCommit {
+		return fr, 0, false
+	}
+	if dataLen > maxWALFrameData || pos+walFrameHeaderSize+dataLen+walFrameCRCSize > size {
+		return fr, 0, false
+	}
+	body := make([]byte, dataLen+walFrameCRCSize)
+	if _, err := w.f.ReadAt(body, pos+walFrameHeaderSize); err != nil {
+		return fr, 0, false
+	}
+	crc := crc32.Update(crc32.Checksum(hdr, castagnoli), castagnoli, body[:dataLen])
+	if crc != binary.BigEndian.Uint32(body[dataLen:]) {
+		return fr, 0, false
+	}
+	fr.ref = walFrameRef{off: pos + walFrameHeaderSize, n: int(dataLen), crc: crc}
+	return fr, pos + walFrameHeaderSize + dataLen + walFrameCRCSize, true
+}
+
+// attach registers a member pager under fileID.
+func (w *WAL) attach(fileID uint8, p *FilePager) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.members[fileID]; dup {
+		return fmt.Errorf("btree: WAL file ID %d attached twice", fileID)
+	}
+	w.members[fileID] = p
+	return nil
+}
+
+// Recover applies the committed tail parsed at open to the attached pagers'
+// main files, fsyncs them, and truncates the log. It must run after every
+// member pager is attached and before any page is read through them; a
+// B+Tree opened over an attached pager before Recover would see pre-crash
+// state. Recover acquires member pager mutexes while holding w.mu — the
+// reverse of the runtime order — which is safe only because recovery runs
+// single-threaded at open, before the pagers serve any traffic.
+func (w *WAL) Recover() (RecoveryStats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.recovered {
+		return w.stats, nil
+	}
+	touched := make(map[uint8]*FilePager)
+	for _, fr := range w.replay {
+		p, ok := w.members[fr.fileID]
+		if !ok {
+			return w.stats, fmt.Errorf("btree: WAL frame for unattached file ID %d", fr.fileID)
+		}
+		data := make([]byte, fr.ref.n)
+		if _, err := w.f.ReadAt(data, fr.ref.off); err != nil {
+			return w.stats, fmt.Errorf("btree: WAL replay read: %w", err)
+		}
+		if err := p.applyRecovered(fr.page, data); err != nil {
+			return w.stats, err
+		}
+		touched[fr.fileID] = p
+	}
+	for _, p := range touched {
+		if err := p.fileSync(); err != nil {
+			return w.stats, err
+		}
+	}
+	// Drop any torn trailing partial page the crash left in member files.
+	for _, p := range w.members {
+		if err := p.truncateTornTail(); err != nil {
+			return w.stats, err
+		}
+	}
+	if err := w.resetLocked(); err != nil {
+		return w.stats, err
+	}
+	w.stats.Replayed = len(w.replay) > 0
+	w.replay = nil
+	w.recovered = true
+	return w.stats, nil
+}
+
+// Stats returns the recovery statistics gathered at open/Recover.
+func (w *WAL) Stats() RecoveryStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// stagePage appends a redo record for one page. The record is not durable
+// (and will be discarded by recovery) until the next Commit.
+func (w *WAL) stagePage(fileID uint8, page PageID, data []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	frame := encodeWALFrame(nil, walKindPage, fileID, page, data)
+	if _, err := w.f.WriteAt(frame, w.size); err != nil {
+		return err
+	}
+	w.index[walKey{fileID, page}] = walFrameRef{
+		off: w.size + walFrameHeaderSize,
+		n:   len(data),
+		crc: binary.BigEndian.Uint32(frame[len(frame)-walFrameCRCSize:]),
+	}
+	w.size += int64(len(frame))
+	w.pending++
+	return nil
+}
+
+// readStaged fills buf with the latest staged version of the page, if the
+// log holds one newer than the main file. The frame CRC is re-verified so a
+// failing disk cannot feed back a torn record.
+func (w *WAL) readStaged(fileID uint8, page PageID, buf []byte) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ref, ok := w.index[walKey{fileID, page}]
+	if !ok {
+		return false, nil
+	}
+	if ref.n > len(buf) {
+		return false, fmt.Errorf("btree: WAL frame for page %d holds %d bytes, want %d", page, ref.n, len(buf))
+	}
+	if _, err := w.f.ReadAt(buf[:ref.n], ref.off); err != nil {
+		return false, err
+	}
+	hdr := [walFrameHeaderSize]byte{walKindPage, fileID}
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(page))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(ref.n))
+	if crc := crc32.Update(crc32.Checksum(hdr[:], castagnoli), castagnoli, buf[:ref.n]); crc != ref.crc {
+		return false, fmt.Errorf("btree: %w: WAL frame for page %d fails CRC", ErrCorrupt, page)
+	}
+	return true, nil
+}
+
+// Commit makes every staged record durable (commit record + fsync — the
+// durability point), then checkpoints the staged pages into their main
+// files, fsyncs those, and truncates the log. A WAL with nothing staged is a
+// no-op.
+func (w *WAL) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.size == walHeaderSize && w.pending == 0 {
+		return nil
+	}
+	if w.pending > 0 {
+		w.commitSeq++
+		frame := encodeWALFrame(nil, walKindCommit, 0, PageID(w.commitSeq), nil)
+		if _, err := w.f.WriteAt(frame, w.size); err != nil {
+			return err
+		}
+		w.size += int64(len(frame))
+		w.pending = 0
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return w.checkpointLocked()
+}
+
+// checkpointLocked copies every staged page into its main file and resets
+// the log. All staged frames are committed when this runs (Commit just
+// fsynced the commit record), so applying them cannot expose partial state.
+func (w *WAL) checkpointLocked() error {
+	touched := make(map[uint8]*FilePager)
+	var data, scratch []byte
+	for key, ref := range w.index {
+		p, ok := w.members[key.fileID]
+		if !ok {
+			return fmt.Errorf("btree: WAL frame for unattached file ID %d", key.fileID)
+		}
+		if cap(data) < ref.n {
+			data = make([]byte, ref.n)
+		}
+		data = data[:ref.n]
+		if _, err := w.f.ReadAt(data, ref.off); err != nil {
+			return fmt.Errorf("btree: WAL checkpoint read: %w", err)
+		}
+		if len(scratch) < ref.n+pageTrailerSize {
+			scratch = make([]byte, ref.n+pageTrailerSize)
+		}
+		if err := p.writeRaw(key.page, data, scratch); err != nil {
+			return fmt.Errorf("btree: WAL checkpoint page %d: %w", key.page, err)
+		}
+		touched[key.fileID] = p
+	}
+	for _, p := range touched {
+		if err := p.fileSync(); err != nil {
+			return err
+		}
+	}
+	return w.resetLocked()
+}
+
+// resetLocked truncates the log back to its header and clears the staged
+// index. Called only when every staged frame has been applied (or is being
+// deliberately discarded at recovery).
+func (w *WAL) resetLocked() error {
+	if err := w.f.Truncate(walHeaderSize); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = walHeaderSize
+	w.pending = 0
+	w.index = make(map[walKey]walFrameRef)
+	return nil
+}
+
+// Size reports the current log size in bytes (diagnostics).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Close releases the log file. Staged-but-uncommitted records are left to be
+// discarded by the next open, exactly as a crash would.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// encodeWALFrame appends one frame to dst and returns the extended slice.
+// data must be nil for commit frames.
+func encodeWALFrame(dst []byte, kind byte, fileID uint8, page PageID, data []byte) []byte {
+	start := len(dst)
+	var hdr [walFrameHeaderSize]byte
+	hdr[0] = kind
+	hdr[1] = fileID
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(page))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, data...)
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// decodeWALFrame parses one frame from b, returning the bytes consumed. It
+// is the pure-codec counterpart of parseFrameAt, shared with the fuzz
+// target; recovery uses parseFrameAt to avoid holding the log in memory.
+func decodeWALFrame(b []byte) (kind byte, fileID uint8, page PageID, data []byte, consumed int, err error) {
+	if len(b) < walFrameHeaderSize+walFrameCRCSize {
+		return 0, 0, 0, nil, 0, fmt.Errorf("btree: WAL frame truncated (%d bytes)", len(b))
+	}
+	kind = b[0]
+	fileID = b[1]
+	if kind != walKindPage && kind != walKindCommit {
+		return 0, 0, 0, nil, 0, fmt.Errorf("btree: unknown WAL frame kind %d", kind)
+	}
+	page = PageID(binary.BigEndian.Uint32(b[4:8]))
+	dataLen := int(binary.BigEndian.Uint32(b[8:12]))
+	if dataLen > maxWALFrameData {
+		return 0, 0, 0, nil, 0, fmt.Errorf("btree: WAL frame length %d exceeds limit", dataLen)
+	}
+	total := walFrameHeaderSize + dataLen + walFrameCRCSize
+	if len(b) < total {
+		return 0, 0, 0, nil, 0, fmt.Errorf("btree: WAL frame truncated (%d of %d bytes)", len(b), total)
+	}
+	payload := b[walFrameHeaderSize : walFrameHeaderSize+dataLen]
+	want := binary.BigEndian.Uint32(b[total-walFrameCRCSize : total])
+	if crc := crc32.Checksum(b[:total-walFrameCRCSize], castagnoli); crc != want {
+		return 0, 0, 0, nil, 0, fmt.Errorf("btree: %w: WAL frame CRC mismatch", ErrCorrupt)
+	}
+	return kind, fileID, page, payload, total, nil
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"vist/internal/btree"
+	"vist/internal/xmltree"
+)
+
+// crashDoc builds a small distinct purchase record; i is recoverable from
+// the seller's location text.
+func crashDoc(i int) string {
+	return fmt.Sprintf(`<purchase><seller ID="s%d"><item name="part#%d"/><location>city%d</location></seller></purchase>`, i, i%5, i)
+}
+
+// crashWorkload drives a deterministic insert/delete/Sync workload against a
+// file-backed index under the given FS. Mirroring the btree-level harness,
+// it returns every doc-ID set a Sync attempted to commit and the index of
+// the last attempt whose Sync returned nil. Open or workload errors after
+// the injected kill are expected and end the run.
+func crashWorkload(t *testing.T, dir string, fs btree.FS) (attempts [][]DocID, committedIdx int) {
+	t.Helper()
+	attempts = append(attempts, nil) // the state before any Sync
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, FS: fs})
+	if err != nil {
+		return attempts, 0
+	}
+	defer func() { _ = ix.Close() }() // Close after a kill fails; that is the point
+
+	live := map[DocID]bool{}
+	snapshot := func() []DocID {
+		ids := make([]DocID, 0, len(live))
+		for id := range live {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		return ids
+	}
+	var inserted []DocID
+	for i := 0; i < 40; i++ {
+		n, perr := xmltree.ParseString(crashDoc(i))
+		if perr != nil {
+			t.Fatalf("parse: %v", perr)
+		}
+		if id, err := ix.Insert(n); err == nil {
+			live[id] = true
+			inserted = append(inserted, id)
+		}
+		if i%9 == 5 && len(inserted) > 3 {
+			victim := inserted[i%len(inserted)]
+			if live[victim] {
+				if err := ix.Delete(victim); err == nil {
+					delete(live, victim)
+				}
+			}
+		}
+		if i%8 == 7 {
+			attempts = append(attempts, snapshot())
+			if err := ix.Sync(); err == nil {
+				committedIdx = len(attempts) - 1
+			}
+		}
+	}
+	return attempts, committedIdx
+}
+
+// reopenAndAudit reopens dir with the real filesystem, verifies structural
+// invariants, and returns the sorted live doc IDs.
+func reopenAndAudit(t *testing.T, dir string) []DocID {
+	t.Helper()
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 16})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer ix.Close()
+	report, err := ix.Check()
+	if err != nil {
+		t.Fatalf("Check after crash: %v", err)
+	}
+	if !report.Ok() {
+		t.Fatalf("index inconsistent after crash: %v", report.Problems)
+	}
+	var ids []DocID
+	err = ix.Docs(func(id DocID, doc *xmltree.Node) (bool, error) {
+		if doc == nil {
+			t.Fatalf("doc %d present but empty", id)
+		}
+		ids = append(ids, id)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatalf("Docs after crash: %v", err)
+	}
+	if got := ix.DocCount(); got != uint64(len(ids)) {
+		t.Fatalf("DocCount = %d but Docs visited %d", got, len(ids))
+	}
+	// Every surviving doc must be fully retrievable and query-visible.
+	for _, id := range ids {
+		if _, err := ix.Get(id); err != nil {
+			t.Fatalf("Get(%d) after crash: %v", id, err)
+		}
+	}
+	if len(ids) > 0 {
+		hits, err := ix.Query("/purchase/seller")
+		if err != nil {
+			t.Fatalf("Query after crash: %v", err)
+		}
+		if len(hits) != len(ids) {
+			t.Fatalf("Query found %d docs, Docs found %d", len(hits), len(ids))
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+func matchIDState(got []DocID, states [][]DocID) int {
+	for j := len(states) - 1; j >= 0; j-- {
+		if len(states[j]) == len(got) && (len(got) == 0 || reflect.DeepEqual(states[j], got)) {
+			return j
+		}
+	}
+	return -1
+}
+
+// TestIndexCrashMatrix is the end-to-end reopen-after-unclean-shutdown
+// matrix from the issue: the process is killed at byte-granular injection
+// points covering every phase of Sync (saveMeta, per-tree flush, WAL append,
+// commit fsync, mid-checkpoint) and of ordinary mutation, under both crash
+// models. Every reopen must recover a consistent index (Check passes, all
+// docs retrievable and query-visible) whose doc set equals an attempted
+// commit no older than the last acknowledged Sync.
+func TestIndexCrashMatrix(t *testing.T) {
+	recPlan := &btree.FaultPlan{}
+	_, recIdx := crashWorkload(t, t.TempDir(), btree.FaultFS{Plan: recPlan})
+	if recIdx == 0 {
+		t.Fatal("recording run committed nothing; workload broken")
+	}
+	bounds := recPlan.WriteBoundaries()
+	if len(bounds) < 30 {
+		t.Fatalf("only %d write operations recorded", len(bounds))
+	}
+	points := crashSamplePoints(bounds, 25)
+
+	for _, kill := range points {
+		for _, keep := range []bool{false, true} {
+			kill, keep := kill, keep
+			t.Run(fmt.Sprintf("kill=%d/keep=%v", kill, keep), func(t *testing.T) {
+				dir := t.TempDir()
+				plan := &btree.FaultPlan{KillAfter: kill}
+				attempts, committedIdx := crashWorkload(t, dir, btree.FaultFS{Plan: plan})
+				if err := plan.Crash(keep); err != nil {
+					t.Fatalf("Crash: %v", err)
+				}
+				got := reopenAndAudit(t, dir)
+				if j := matchIDState(got, attempts); j < 0 {
+					t.Fatalf("recovered doc set %v matches no attempted commit", got)
+				} else if j < committedIdx {
+					t.Fatalf("recovered doc set is attempt %d, older than acknowledged commit %d: durability lost", j, committedIdx)
+				}
+			})
+		}
+	}
+}
+
+func crashSamplePoints(bounds []int64, n int) []int64 {
+	var cand []int64
+	prev := int64(0)
+	for _, b := range bounds {
+		if b-prev > 1 {
+			cand = append(cand, prev+(b-prev)/2)
+		}
+		cand = append(cand, b)
+		prev = b
+	}
+	if len(cand) <= n {
+		return cand
+	}
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cand[i*len(cand)/n])
+	}
+	return out
+}
+
+// TestIndexCrashAfterCleanSync kills the process right after an acknowledged
+// Sync (the strictest durability point): everything committed must survive
+// byte-for-byte even when nothing buffered after the fsync is kept.
+func TestIndexCrashAfterCleanSync(t *testing.T) {
+	dir := t.TempDir()
+	plan := &btree.FaultPlan{}
+	fs := btree.FaultFS{Plan: plan}
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	if err := ix.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// Unsynced tail after the commit: must be allowed to vanish.
+	insertXML(t, ix, crashDoc(99))
+	if err := plan.Crash(false); err != nil {
+		t.Fatal(err)
+	}
+
+	ix2, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer ix2.Close()
+	report, err := ix2.Check()
+	if err != nil || !report.Ok() {
+		t.Fatalf("Check: %v\n%v", err, report)
+	}
+	for _, id := range ids {
+		doc, err := ix2.Get(id)
+		if err != nil || doc == nil {
+			t.Fatalf("committed doc %d lost: %v", id, err)
+		}
+	}
+	if got := queryIDs(t, ix2, "/purchase/seller/location"); len(got) != 2 {
+		t.Fatalf("query after recovery found %d docs, want 2", len(got))
+	}
+}
+
+// TestIndexRecoveryReported: Open must surface that a replay happened when
+// the previous process died between WAL commit and checkpoint.
+func TestIndexRecoveryReported(t *testing.T) {
+	dir := t.TempDir()
+	// Budget chosen empirically inside Sync's checkpoint phase: record a run
+	// first, then kill between the commit fsync and the member fsyncs by
+	// replaying with a budget just past the last acknowledged Sync.
+	plan := &btree.FaultPlan{}
+	fs := btree.FaultFS{Plan: plan}
+	ix, err := Open(t.TempDir(), Options{PageSize: 512, CachePages: 4, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertXML(t, ix, purchaseBoston)
+	preSync := plan.BytesWritten()
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	postSync := plan.BytesWritten()
+	ix.Close()
+
+	// Replay the same workload, killed a few operations into Sync — after
+	// the WAL append begins, before the checkpoint completes.
+	replayed := false
+	for kill := preSync + 2; kill < postSync; kill += (postSync - preSync) / 8 {
+		d := t.TempDir()
+		p2 := &btree.FaultPlan{KillAfter: kill}
+		ix2, err := Open(d, Options{PageSize: 512, CachePages: 4, FS: btree.FaultFS{Plan: p2}})
+		if err != nil {
+			continue
+		}
+		insertXML(t, ix2, purchaseBoston)
+		_ = ix2.Sync() // may fail: that is the point
+		_ = ix2.Close()
+		if err := p2.Crash(true); err != nil {
+			t.Fatal(err)
+		}
+		ix3, err := Open(d, Options{PageSize: 512})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if ix3.Recovered() {
+			replayed = true
+			info := ix3.Recovery()
+			if info.PagesReplayed == 0 {
+				t.Fatalf("Recovered() true but no pages replayed: %+v", info)
+			}
+		}
+		ix3.Close()
+		if replayed {
+			break
+		}
+	}
+	if !replayed {
+		t.Fatal("no injection point between commit and checkpoint produced a replay")
+	}
+	_ = dir
+}
+
+// TestOpenRefusesDisableWALWithPendingLog: opening with DisableWAL while a
+// non-empty log exists would silently drop a committed tail; Open must
+// refuse.
+func TestOpenRefusesDisableWALWithPendingLog(t *testing.T) {
+	dir := t.TempDir()
+	// Produce a directory whose WAL holds a committed, un-checkpointed tail.
+	plan := &btree.FaultPlan{}
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, FS: btree.FaultFS{Plan: plan}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertXML(t, ix, purchaseBoston)
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	insertXML(t, ix, purchaseChicago) // staged frames via eviction, maybe
+	if err := plan.Crash(true); err != nil {
+		t.Fatal(err)
+	}
+	// The WAL file exists (header at minimum). DisableWAL must refuse while
+	// any log file with content is present.
+	if _, err := Open(dir, Options{PageSize: 512, DisableWAL: true}); err == nil {
+		t.Fatal("Open(DisableWAL) succeeded with a WAL present")
+	}
+	// The normal path still opens fine.
+	ix2, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatalf("normal reopen: %v", err)
+	}
+	ix2.Close()
+}

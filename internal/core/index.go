@@ -41,6 +41,27 @@ type Options struct {
 	// can disable it. Default true (zero value is inverted — see
 	// SkipDocumentStore).
 	SkipDocumentStore bool
+	// DisableWAL opens a file-backed index without its write-ahead log:
+	// Sync becomes a plain flush+fsync with no crash atomicity, so a
+	// process killed mid-write can corrupt the index. Benchmarks use it to
+	// measure the WAL's cost; everything else should leave it false.
+	DisableWAL bool
+	// FS overrides the filesystem under the pagers and WAL (fault
+	// injection in crash tests). Nil selects the operating system.
+	FS btree.FS
+}
+
+// RecoveryInfo reports what Open found in the write-ahead log.
+type RecoveryInfo struct {
+	// Replayed is true when a committed WAL tail was re-applied to the
+	// index files (the previous process died between commit and
+	// checkpoint).
+	Replayed bool
+	// PagesReplayed counts the committed page records applied.
+	PagesReplayed int
+	// FramesDiscarded counts staged-but-uncommitted records dropped (the
+	// previous process died before its Sync committed).
+	FramesDiscarded int
 }
 
 // Index is a ViST index over XML documents. All methods are safe for
@@ -57,6 +78,14 @@ type Index struct {
 	docs  *btree.BTree // DocId tree: (n, docID) → ∅
 	store *btree.BTree // document store: (docID, chunk) → bytes
 	aux   *btree.BTree // dictionary, statistics, metadata blobs
+
+	// wal, pagers and recovery are set for file-backed indexes (unless
+	// DisableWAL): all four trees share one write-ahead log, committed
+	// atomically per Sync, so a crash can never persist one tree's state
+	// without the others'.
+	wal      *btree.WAL
+	pagers   []*btree.FilePager
+	recovery RecoveryInfo
 
 	dict   *seq.Dict
 	schema *xmltree.Schema
@@ -107,7 +136,14 @@ func NewMem(opts Options) (*Index, error) {
 	return initIndex(nodes, docs, store, aux, opts)
 }
 
-// Open opens (or creates) a file-backed index in dir.
+// walFileName is the shared write-ahead log inside an index directory.
+const walFileName = "wal"
+
+// Open opens (or creates) a file-backed index in dir. Unless
+// Options.DisableWAL is set, the four trees share a write-ahead log: any
+// committed tail left by a crash is replayed before the trees are read, and
+// any uncommitted tail is discarded, so Open always lands on the state of
+// the last completed Sync. Recovery() reports whether a replay happened.
 func Open(dir string, opts Options) (*Index, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -116,43 +152,76 @@ func Open(dir string, opts Options) (*Index, error) {
 	if ps == 0 {
 		ps = btree.DefaultPageSize
 	}
-	open := func(name string) (*btree.BTree, error) {
-		pg, err := btree.OpenFilePager(filepath.Join(dir, name), ps, opts.CachePages)
-		if err != nil {
+	walPath := filepath.Join(dir, walFileName)
+	var wal *btree.WAL
+	if opts.DisableWAL {
+		// Refuse to ignore a log that may hold the only durable copy of
+		// committed pages: opening past it would silently roll back (or
+		// corrupt) the last committed Sync.
+		if st, err := os.Stat(walPath); err == nil && st.Size() > 0 {
+			return nil, fmt.Errorf("core: %s has a non-empty write-ahead log; open without DisableWAL to recover it", dir)
+		}
+	} else {
+		var err error
+		if wal, err = btree.OpenWAL(walPath, opts.FS); err != nil {
 			return nil, err
 		}
-		return btree.New(pg, btree.Options{PageSize: ps})
 	}
-	nodes, err := open("nodes.db")
-	if err != nil {
+
+	var pagers []*btree.FilePager
+	var trees []*btree.BTree
+	fail := func(err error) (*Index, error) {
+		for _, t := range trees {
+			t.Close()
+		}
+		for _, p := range pagers[len(trees):] {
+			p.Close()
+		}
+		if wal != nil {
+			wal.Close()
+		}
 		return nil, err
 	}
-	docs, err := open("docs.db")
-	if err != nil {
-		nodes.Close()
-		return nil, err
+	for i, name := range []string{"nodes.db", "docs.db", "store.db", "aux.db"} {
+		pg, err := btree.OpenFilePagerOpts(filepath.Join(dir, name), ps, btree.PagerOptions{
+			CachePages: opts.CachePages,
+			WAL:        wal,
+			WALFileID:  uint8(i + 1),
+			FS:         opts.FS,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		pagers = append(pagers, pg)
 	}
-	store, err := open("store.db")
-	if err != nil {
-		nodes.Close()
-		docs.Close()
-		return nil, err
+	var recovery RecoveryInfo
+	if wal != nil {
+		// Replay must precede btree.New: the meta pages the trees are
+		// about to read may exist only as committed WAL records.
+		stats, err := wal.Recover()
+		if err != nil {
+			return fail(fmt.Errorf("core: WAL recovery: %w", err))
+		}
+		recovery = RecoveryInfo{
+			Replayed:        stats.Replayed,
+			PagesReplayed:   stats.PagesReplayed,
+			FramesDiscarded: stats.FramesDiscarded,
+		}
 	}
-	aux, err := open("aux.db")
-	if err != nil {
-		nodes.Close()
-		docs.Close()
-		store.Close()
-		return nil, err
+	for _, pg := range pagers {
+		t, err := btree.New(pg, btree.Options{PageSize: ps})
+		if err != nil {
+			return fail(err)
+		}
+		trees = append(trees, t)
 	}
-	ix, err := initIndex(nodes, docs, store, aux, opts)
+	ix, err := initIndex(trees[0], trees[1], trees[2], trees[3], opts)
 	if err != nil {
-		nodes.Close()
-		docs.Close()
-		store.Close()
-		aux.Close()
-		return nil, err
+		return fail(err)
 	}
+	ix.wal = wal
+	ix.pagers = pagers
+	ix.recovery = recovery
 	return ix, nil
 }
 
@@ -224,7 +293,20 @@ func (ix *Index) IndexSizeBytes() int64 {
 	return ix.nodes.SizeBytes() + ix.docs.SizeBytes()
 }
 
-// Sync persists metadata and flushes all trees.
+// Recovered reports whether opening this index replayed a committed WAL
+// tail left by a crash.
+func (ix *Index) Recovered() bool { return ix.recovery.Replayed }
+
+// Recovery reports what Open found in the write-ahead log.
+func (ix *Index) Recovery() RecoveryInfo { return ix.recovery }
+
+func (ix *Index) trees() []*btree.BTree {
+	return []*btree.BTree{ix.nodes, ix.docs, ix.store, ix.aux}
+}
+
+// Sync persists metadata and flushes all trees. For a WAL-backed index the
+// whole Sync is one atomic commit: either every tree's new state (and the
+// metadata) survives a crash, or none of it does.
 func (ix *Index) Sync() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -235,7 +317,29 @@ func (ix *Index) syncLocked() error {
 	if err := ix.saveMeta(); err != nil {
 		return err
 	}
-	for _, t := range []*btree.BTree{ix.nodes, ix.docs, ix.store, ix.aux} {
+	if ix.wal != nil {
+		// Stage every tree's dirty pages into the shared log, then commit
+		// them together: the commit record's fsync is the one durability
+		// point, after which the pages are checkpointed into the four
+		// main files and the log is truncated.
+		for _, t := range ix.trees() {
+			if err := t.Flush(); err != nil {
+				return err
+			}
+		}
+		if err := ix.wal.Commit(); err != nil {
+			return err
+		}
+		// Surface any write-back error an eviction had to swallow; the
+		// group commit bypasses the per-pager Sync that normally does.
+		for _, p := range ix.pagers {
+			if err := p.TakeRecordedError(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, t := range ix.trees() {
 		if err := t.Sync(); err != nil {
 			return err
 		}
@@ -248,10 +352,29 @@ func (ix *Index) Close() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	var firstErr error
+	if ix.wal != nil {
+		// The group commit must run before the per-tree closes: a tree's
+		// Close syncs its own pager, which for a shared WAL would commit
+		// whatever happened to be staged at that moment — including other
+		// trees' partial state. After syncLocked everything is clean, so
+		// the per-tree closes are no-ops plus file-handle releases.
+		if err := ix.syncLocked(); err != nil {
+			firstErr = err
+		}
+		for _, t := range ix.trees() {
+			if err := t.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := ix.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
 	if err := ix.saveMeta(); err != nil {
 		firstErr = err
 	}
-	for _, t := range []*btree.BTree{ix.nodes, ix.docs, ix.store, ix.aux} {
+	for _, t := range ix.trees() {
 		if err := t.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
