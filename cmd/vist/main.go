@@ -4,7 +4,11 @@
 //
 //	vist index  -dir ./idx [-dtd s.dtd] doc.xml …  index XML files (each file
 //	                                               may hold many record fragments)
-//	vist query  -dir ./idx [-verify|-explain] 'EXPR'  run a path expression
+//	vist query  -dir ./idx [-verify|-explain] [-timeout D] [-max-results N] 'EXPR'
+//	                                               run a path expression; -timeout
+//	                                               and -max-results bound its work
+//	                                               (on cut-off: partial stats to
+//	                                               stderr, exit 1)
 //	vist get    -dir ./idx ID                      print a stored document
 //	vist delete -dir ./idx ID                      remove a document
 //	vist stats  -dir ./idx                         show index statistics
@@ -13,6 +17,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +39,8 @@ func main() {
 	explain := fs.Bool("explain", false, "print execution counters (query only)")
 	lambda := fs.Uint64("lambda", 0, "expected fan-out for dynamic labeling (index creation)")
 	dtd := fs.String("dtd", "", "DTD file supplying the sibling order (index creation)")
+	timeout := fs.Duration("timeout", 0, "cut the query off after this long (query only; 0 = no deadline)")
+	maxResults := fs.Int("max-results", 0, "cut the query off past this many candidate documents (query only; 0 = unlimited)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -95,21 +103,32 @@ func main() {
 		if fs.NArg() != 1 {
 			fatal(fmt.Errorf("query takes exactly one expression"))
 		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		budget := core.Budget{MaxResults: *maxResults}
 		var ids []core.DocID
-		switch {
-		case *verify:
-			ids, err = ix.QueryVerified(fs.Arg(0))
-		case *explain:
-			var stats core.QueryStats
-			ids, stats, err = ix.QueryWithStats(fs.Arg(0))
-			if err == nil {
-				fmt.Fprintln(os.Stderr, stats)
-			}
-		default:
-			ids, err = ix.Query(fs.Arg(0))
+		var stats core.QueryStats
+		if *verify {
+			ids, stats, err = ix.QueryVerifiedCtx(ctx, fs.Arg(0), budget)
+		} else {
+			ids, stats, err = ix.QueryCtx(ctx, fs.Arg(0), budget)
 		}
 		if err != nil {
+			// A deadline or budget cut-off is reported with the partial
+			// progress made up to the stop, then a nonzero exit.
+			if errors.Is(err, core.ErrCanceled) || errors.Is(err, core.ErrBudgetExceeded) {
+				fmt.Fprintln(os.Stderr, "vist: query cut off:", err)
+				fmt.Fprintln(os.Stderr, "vist: partial progress:", stats)
+				os.Exit(1)
+			}
 			fatal(err)
+		}
+		if *explain {
+			fmt.Fprintln(os.Stderr, stats)
 		}
 		for _, id := range ids {
 			fmt.Println(id)

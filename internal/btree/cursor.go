@@ -12,6 +12,18 @@ import (
 // acquisition can deadlock against a queued writer); collect keys first if
 // mutation is needed.
 func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	return t.ScanWith(lo, hi, nil, fn)
+}
+
+// ScanWith is Scan with a per-page hook: onPage (when non-nil) is invoked
+// once for every tree page fetched on behalf of the scan — each node of the
+// root-to-leaf descent and each leaf of the sibling chain. Returning a
+// non-nil error aborts the scan and surfaces that error unchanged, which
+// makes the hook a natural place for per-query page accounting and
+// cancellation checkpoints: the interval between two hook calls is bounded
+// by the work of visiting one page. Like fn, onPage must not call back into
+// the tree.
+func (t *BTree) ScanWith(lo, hi []byte, onPage func() error, fn func(key, val []byte) (bool, error)) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	id := t.root
@@ -20,8 +32,13 @@ func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) (bool, error)) erro
 		if err != nil {
 			return err
 		}
+		if onPage != nil {
+			if err := onPage(); err != nil {
+				return err
+			}
+		}
 		if n.leaf {
-			return t.scanLeaves(n, lo, hi, fn)
+			return t.scanLeaves(n, lo, hi, onPage, fn)
 		}
 		if lo == nil {
 			id = n.kids[0]
@@ -31,7 +48,7 @@ func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) (bool, error)) erro
 	}
 }
 
-func (t *BTree) scanLeaves(n *node, lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+func (t *BTree) scanLeaves(n *node, lo, hi []byte, onPage func() error, fn func(key, val []byte) (bool, error)) error {
 	start := 0
 	if lo != nil {
 		start = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], lo) >= 0 })
@@ -55,6 +72,11 @@ func (t *BTree) scanLeaves(n *node, lo, hi []byte, fn func(key, val []byte) (boo
 		next, err := t.load(n.next)
 		if err != nil {
 			return err
+		}
+		if onPage != nil {
+			if err := onPage(); err != nil {
+				return err
+			}
 		}
 		n = next
 		start = 0
@@ -93,7 +115,12 @@ func (t *BTree) First() (key, val []byte, ok bool, err error) {
 
 // SeekFirst returns the smallest entry with key >= lo and key < hi.
 func (t *BTree) SeekFirst(lo, hi []byte) (key, val []byte, ok bool, err error) {
-	err = t.Scan(lo, hi, func(k, v []byte) (bool, error) {
+	return t.SeekFirstWith(lo, hi, nil)
+}
+
+// SeekFirstWith is SeekFirst with ScanWith's per-page hook.
+func (t *BTree) SeekFirstWith(lo, hi []byte, onPage func() error) (key, val []byte, ok bool, err error) {
+	err = t.ScanWith(lo, hi, onPage, func(k, v []byte) (bool, error) {
 		key = append([]byte(nil), k...)
 		val = append([]byte(nil), v...)
 		ok = true

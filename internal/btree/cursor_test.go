@@ -1,0 +1,79 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestScanWithPageHook verifies that the per-page hook fires at least once
+// per leaf visited plus the root-to-leaf descent, and that a multi-page scan
+// reports more pages than a single-leaf one.
+func TestScanWithPageHook(t *testing.T) {
+	tr := newMemTree(t, 256) // tiny pages force a multi-level tree
+	const n = 200
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if err := tr.Put(k, []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+
+	pages, seen := 0, 0
+	err := tr.ScanWith(nil, nil, func() error { pages++; return nil }, func(k, v []byte) (bool, error) {
+		seen++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatalf("ScanWith: %v", err)
+	}
+	if seen != n {
+		t.Fatalf("visited %d entries, want %d", seen, n)
+	}
+	// 200 entries on 256-byte pages cannot fit one page: the hook must have
+	// fired for the descent plus several leaves.
+	if pages < 3 {
+		t.Fatalf("page hook fired %d times, want >= 3", pages)
+	}
+
+	// A bounded scan touches fewer pages than the full scan.
+	small := 0
+	err = tr.ScanWith([]byte("key-0000"), []byte("key-0002"), func() error { small++; return nil },
+		func(k, v []byte) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatalf("ScanWith(bounded): %v", err)
+	}
+	if small >= pages {
+		t.Fatalf("bounded scan touched %d pages, full scan %d; want fewer", small, pages)
+	}
+}
+
+// TestScanWithHookAborts verifies a hook error aborts the scan and surfaces
+// unchanged — the contract budget/cancellation checkpoints rely on.
+func TestScanWithHookAborts(t *testing.T) {
+	tr := newMemTree(t, 256)
+	for i := 0; i < 200; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	sentinel := errors.New("stop right there")
+	calls, seen := 0, 0
+	err := tr.ScanWith(nil, nil, func() error {
+		calls++
+		if calls == 3 {
+			return sentinel
+		}
+		return nil
+	}, func(k, v []byte) (bool, error) { seen++; return true, nil })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("ScanWith returned %v, want the hook's sentinel", err)
+	}
+	if seen >= 200 {
+		t.Fatalf("scan visited all %d entries despite the aborting hook", seen)
+	}
+	// The tree must remain usable after an aborted scan.
+	if _, _, ok, err := tr.SeekFirstWith(nil, nil, nil); err != nil || !ok {
+		t.Fatalf("SeekFirstWith after abort: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,25 +1,42 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
 // BatchResult is the outcome of one expression of a QueryAll batch. Err is
-// per-query: a malformed expression fails its own slot without aborting the
-// rest of the batch.
+// per-query: a malformed, over-budget, or cancelled expression fails its own
+// slot without aborting the rest of the batch.
 type BatchResult struct {
-	Expr string
-	IDs  []DocID
-	Err  error
+	Expr  string
+	IDs   []DocID
+	Stats QueryStats
+	Err   error
 }
 
 // QueryAll executes a batch of path expressions concurrently on a worker
-// pool and returns one result per expression, in input order. workers <= 0
-// selects GOMAXPROCS. Each query runs exactly as Query would (candidate
-// semantics, shared read lock), so the batch proceeds in parallel with other
-// readers and serializes only against writers.
+// pool and returns one result per expression, in input order. It is
+// QueryAllCtx with a background context and no per-call budget; the index's
+// default timeout and budget still bound each query.
 func (ix *Index) QueryAll(exprs []string, workers int) []BatchResult {
+	return ix.QueryAllCtx(context.Background(), exprs, workers, Budget{})
+}
+
+// QueryAllCtx executes a batch of path expressions concurrently on a worker
+// pool and returns one result per expression, in input order. workers <= 0
+// is clamped to runtime.GOMAXPROCS(0), and workers above len(exprs) is
+// clamped down to len(exprs), so any value is safe. Each query runs exactly
+// as QueryCtx would (candidate semantics, shared read lock, per-query budget
+// b), so the batch proceeds in parallel with other readers and serializes
+// only against writers.
+//
+// The context covers the whole batch: once it is cancelled, in-flight
+// queries stop at their next checkpoint and expressions not yet dispatched
+// are marked with ErrCanceled without running. QueryAllCtx always waits for
+// its workers to exit before returning — it never leaks goroutines.
+func (ix *Index) QueryAllCtx(ctx context.Context, exprs []string, workers int, b Budget) []BatchResult {
 	results := make([]BatchResult, len(exprs))
 	if len(exprs) == 0 {
 		return results
@@ -37,15 +54,30 @@ func (ix *Index) QueryAll(exprs []string, workers int) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				ids, err := ix.Query(exprs[i])
-				results[i] = BatchResult{Expr: exprs[i], IDs: ids, Err: err}
+				ids, stats, err := ix.QueryCtx(ctx, exprs[i], b)
+				results[i] = BatchResult{Expr: exprs[i], IDs: ids, Stats: stats, Err: err}
 			}
 		}()
 	}
-	for i := range exprs {
-		work <- i
+	next := 0
+dispatch:
+	for ; next < len(exprs); next++ {
+		select {
+		case work <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	// Slots never dispatched fail with the cancellation, so callers see a
+	// uniform per-slot verdict instead of zero-valued results.
+	for i := next; i < len(exprs); i++ {
+		results[i] = BatchResult{Expr: exprs[i], Err: &QueryError{
+			Expr:   exprs[i],
+			Reason: ErrCanceled,
+			Cause:  context.Cause(ctx),
+		}}
+	}
 	return results
 }

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"vist/internal/xmltree"
+)
+
+// adversarialTree builds a random tree of hot-symbol <a> elements with <b>
+// leaves: the shape that makes '//'-heavy queries degenerate into chains of
+// wildcard range scans (one per candidate prefix length per partial match;
+// the paper's Section 3.3 wildcard handling).
+func adversarialTree(rng *rand.Rand, depth int) *xmltree.Node {
+	n := xmltree.NewElement("a")
+	if depth <= 0 {
+		n.Children = append(n.Children, xmltree.NewElement("b"))
+		return n
+	}
+	kids := 1
+	if rng.Intn(3) == 0 {
+		kids = 2
+	}
+	for k := 0; k < kids; k++ {
+		n.Children = append(n.Children, adversarialTree(rng, depth-1-rng.Intn(3)))
+	}
+	return n
+}
+
+// adversarialQuery is '//'-heavy over the hot symbol: every step expands to
+// a range scan per candidate prefix length, multiplying per partial match.
+const adversarialQuery = "//a//a//a//a//b"
+
+func buildAdversarialIndex(t testing.TB) *Index {
+	t.Helper()
+	ix := mustMem(t, Options{})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 60; i++ {
+		doc := adversarialTree(rng, 12+rng.Intn(18))
+		if _, err := ix.Insert(doc); err != nil {
+			t.Fatalf("insert adversarial doc %d: %v", i, err)
+		}
+	}
+	// A couple of well-behaved documents good queries can find.
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+	return ix
+}
+
+// TestPathologicalQueryCutByPageBudget is the acceptance check for budget
+// enforcement: the adversarial query must trip MaxPages with a typed error
+// and populated partial stats, while concurrent well-behaved queries on the
+// same index complete successfully.
+func TestPathologicalQueryCutByPageBudget(t *testing.T) {
+	ix := buildAdversarialIndex(t)
+	defer ix.Close()
+
+	// Well-behaved queries run throughout, in parallel with the repeated
+	// budget-limited pathological runs.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			ids, err := ix.Query("/purchase/buyer[location='newyork']")
+			if err != nil || len(ids) != 1 {
+				t.Errorf("well-behaved query: ids=%v err=%v", ids, err)
+				return
+			}
+		}
+	}()
+
+	const budget = 500
+	for i := 0; i < 4; i++ {
+		_, stats, err := ix.QueryCtx(context.Background(), adversarialQuery, Budget{MaxPages: budget})
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("QueryCtx(adversarial, MaxPages=%d) err = %v, want ErrBudgetExceeded", budget, err)
+		}
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("error %T is not a *QueryError", err)
+		}
+		if qe.Expr != adversarialQuery {
+			t.Fatalf("QueryError.Expr = %q, want %q", qe.Expr, adversarialQuery)
+		}
+		if qe.Stats.PagesRead <= budget || qe.Stats.RangeScans == 0 {
+			t.Fatalf("QueryError.Stats not populated: %s", qe.Stats)
+		}
+		if stats.PagesRead != qe.Stats.PagesRead {
+			t.Fatalf("returned stats (%s) disagree with error stats (%s)", stats, qe.Stats)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// The same query also trips the other budget dimensions.
+	for _, b := range []Budget{{MaxRangeScans: 50}, {MaxNodesVisited: 50}} {
+		_, stats, err := ix.QueryCtx(context.Background(), adversarialQuery, b)
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("QueryCtx(adversarial, %+v) err = %v, want ErrBudgetExceeded", b, err)
+		}
+		if stats.RangeScans == 0 {
+			t.Fatalf("stats not populated for %+v: %s", b, stats)
+		}
+	}
+}
+
+// TestPathologicalQueryCutByDeadline: an expired deadline stops the query at
+// its first checkpoint with ErrCanceled, and the context's DeadlineExceeded
+// remains visible through the wrap chain.
+func TestPathologicalQueryCutByDeadline(t *testing.T) {
+	ix := buildAdversarialIndex(t)
+	defer ix.Close()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	_, _, err := ix.QueryCtx(ctx, adversarialQuery, Budget{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("QueryCtx(expired deadline) err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("expired-deadline query took %v, want prompt return", elapsed)
+	}
+
+	// A live deadline that expires mid-scan also cuts the query, and the
+	// partial stats show real work happened before the cut.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	_, stats, err := ix.QueryCtx(ctx2, adversarialQuery, Budget{})
+	if err == nil {
+		t.Skip("index too small for the adversarial query to outlive 10ms on this machine")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("QueryCtx(10ms deadline) err = %v, want ErrCanceled", err)
+	}
+	if stats.PagesRead == 0 && stats.RangeScans == 0 {
+		t.Fatalf("mid-scan deadline left empty stats: %s", stats)
+	}
+
+	// The index stays fully usable after both cuts.
+	ids := queryIDs(t, ix, "/purchase/buyer[location='newyork']")
+	if len(ids) != 1 {
+		t.Fatalf("post-cut query returned %v", ids)
+	}
+}
+
+// TestCancelMidScan cancels from another goroutine while the pathological
+// query is running: the query must return ErrCanceled promptly (bounded
+// checkpoint interval) and leave the index usable.
+func TestCancelMidScan(t *testing.T) {
+	ix := buildAdversarialIndex(t)
+	defer ix.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := ix.QueryCtx(ctx, adversarialQuery, Budget{})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skip("adversarial query finished before the 5ms cancel on this machine")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("QueryCtx(cancel mid-scan) err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v does not unwrap to context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled query took %v to return; checkpoints are not bounded", elapsed)
+	}
+
+	// Index still answers; an exclusive-lock operation also proceeds, which
+	// would deadlock had the cancelled query leaked its read lock.
+	insertXML(t, ix, purchaseBoston)
+	if ids := queryIDs(t, ix, "/purchase/buyer[location='newyork']"); len(ids) != 2 {
+		t.Fatalf("post-cancel query returned %v", ids)
+	}
+}
+
+// TestDefaultBudgetAndTimeoutProtectLegacyAPIs: plain Query (no context) is
+// still bounded by Options-level defaults.
+func TestDefaultBudgetAndTimeoutProtectLegacyAPIs(t *testing.T) {
+	ix := mustMem(t, Options{DefaultBudget: Budget{MaxPages: 100}})
+	defer ix.Close()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		if _, err := ix.Insert(adversarialTree(rng, 12+rng.Intn(12))); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if _, err := ix.Query(adversarialQuery); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Query under DefaultBudget err = %v, want ErrBudgetExceeded", err)
+	}
+
+	ix2 := mustMem(t, Options{DefaultQueryTimeout: time.Nanosecond})
+	defer ix2.Close()
+	insertXML(t, ix2, purchaseBoston)
+	if _, err := ix2.Query("/purchase/seller/item"); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Query under 1ns DefaultQueryTimeout err = %v, want ErrCanceled", err)
+	}
+
+	// A caller budget cannot raise the index ceiling: the merged limit is
+	// the stricter of the two.
+	if _, _, err := ix.QueryCtx(context.Background(), adversarialQuery, Budget{MaxPages: 1 << 30}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("loose caller budget overrode DefaultBudget: %v", err)
+	}
+}
+
+func TestBudgetMerge(t *testing.T) {
+	got := Budget{MaxPages: 100, MaxResults: 5}.merge(Budget{MaxPages: 50, MaxRangeScans: 9})
+	want := Budget{MaxPages: 50, MaxRangeScans: 9, MaxResults: 5}
+	if got != want {
+		t.Fatalf("merge = %+v, want %+v", got, want)
+	}
+	if got := (Budget{}).merge(Budget{}); got != (Budget{}) {
+		t.Fatalf("zero merge = %+v, want zero", got)
+	}
+}
+
+// TestMaxResultsCap: the result-cap dimension stops collection as soon as
+// the cap is crossed, with partial candidates in the stats.
+func TestMaxResultsCap(t *testing.T) {
+	ix := mustMem(t, Options{})
+	defer ix.Close()
+	for i := 0; i < 20; i++ {
+		insertXML(t, ix, purchaseBoston)
+	}
+	_, stats, err := ix.QueryCtx(context.Background(), "/purchase", Budget{MaxResults: 5})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("QueryCtx(MaxResults=5) err = %v, want ErrBudgetExceeded", err)
+	}
+	if stats.Candidates < 5 {
+		t.Fatalf("stats.Candidates = %d, want >= 5 (partial progress)", stats.Candidates)
+	}
+	// Under the cap the same query succeeds.
+	ids, _, err := ix.QueryCtx(context.Background(), "/purchase", Budget{MaxResults: 50})
+	if err != nil || len(ids) != 20 {
+		t.Fatalf("QueryCtx(MaxResults=50): ids=%d err=%v", len(ids), err)
+	}
+}
+
+// TestPanicContainment: a panic inside query execution surfaces as a typed
+// ErrQueryPanic carrying the query text and a stack, releases the read
+// lock, and leaves the index fully usable.
+func TestPanicContainment(t *testing.T) {
+	ix := mustMem(t, Options{})
+	defer ix.Close()
+	insertXML(t, ix, purchaseBoston)
+
+	// Force a real panic on the query path: a nil dictionary blows up
+	// symbol resolution inside the locked, contained region.
+	saved := ix.dict
+	ix.dict = nil
+	_, _, err := ix.QueryCtx(context.Background(), "/purchase/seller", Budget{})
+	ix.dict = saved
+	if !errors.Is(err, ErrQueryPanic) {
+		t.Fatalf("QueryCtx with nil dict err = %v, want ErrQueryPanic", err)
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error %T is not a *QueryError", err)
+	}
+	if qe.Expr != "/purchase/seller" {
+		t.Fatalf("QueryError.Expr = %q", qe.Expr)
+	}
+	if len(qe.Stack) == 0 {
+		t.Fatalf("QueryError.Stack is empty")
+	}
+
+	// Both lock classes still work: a reader, then an exclusive writer
+	// (which would deadlock had the panic leaked the read lock).
+	if ids := queryIDs(t, ix, "/purchase/seller/location"); len(ids) != 1 {
+		t.Fatalf("post-panic query returned %v", ids)
+	}
+	insertXML(t, ix, purchaseChicago)
+}
+
+// TestQueryAllWorkersClamped: workers <= 0 clamps to GOMAXPROCS and workers
+// beyond len(exprs) clamps down; both produce full, correct results.
+func TestQueryAllWorkersClamped(t *testing.T) {
+	ix := mustMem(t, Options{})
+	defer ix.Close()
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+	exprs := []string{
+		"/purchase/buyer[location='newyork']",
+		"/purchase/seller[location='chicago']",
+		"/purchase/seller",
+	}
+	want := []int{1, 1, 2}
+	for _, workers := range []int{0, -3, 1, len(exprs) + 97} {
+		results := ix.QueryAll(exprs, workers)
+		if len(results) != len(exprs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(results), len(exprs))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d: expr %q failed: %v", workers, exprs[i], r.Err)
+			}
+			if r.Expr != exprs[i] {
+				t.Fatalf("workers=%d: result %d is for %q, want %q", workers, i, r.Expr, exprs[i])
+			}
+			if len(r.IDs) != want[i] {
+				t.Fatalf("workers=%d: expr %q returned %v, want %d docs", workers, exprs[i], r.IDs, want[i])
+			}
+		}
+	}
+}
+
+// TestQueryAllCtxCancelNoGoroutineLeak: cancelling a batch mid-flight marks
+// undispatched slots ErrCanceled, always returns results for every slot, and
+// leaks no goroutines (asserted by count; run under -race in CI).
+func TestQueryAllCtxCancelNoGoroutineLeak(t *testing.T) {
+	ix := buildAdversarialIndex(t)
+	defer ix.Close()
+
+	before := runtime.NumGoroutine()
+
+	exprs := make([]string, 64)
+	for i := range exprs {
+		exprs[i] = adversarialQuery
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	results := ix.QueryAllCtx(ctx, exprs, 4, Budget{})
+	if len(results) != len(exprs) {
+		t.Fatalf("%d results, want %d", len(results), len(exprs))
+	}
+	canceled := 0
+	for i, r := range results {
+		if r.Expr != exprs[i] {
+			t.Fatalf("slot %d has expr %q", i, r.Expr)
+		}
+		if r.Err != nil && !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("slot %d: err = %v, want nil or ErrCanceled", i, r.Err)
+		}
+		if errors.Is(r.Err, ErrCanceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Skip("batch finished before the cancel on this machine")
+	}
+
+	// All workers must have exited; allow the runtime a moment to reap.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+	}
+
+	// And the index remains usable for a fresh batch.
+	fresh := ix.QueryAllCtx(context.Background(), []string{"/purchase/seller"}, 0, Budget{})
+	if fresh[0].Err != nil || len(fresh[0].IDs) != 2 {
+		t.Fatalf("post-cancel batch: %+v", fresh[0])
+	}
+}
+
+// TestQueryAllCtxPreCanceled: a dead context fails every slot with
+// ErrCanceled without hanging.
+func TestQueryAllCtxPreCanceled(t *testing.T) {
+	ix := mustMem(t, Options{})
+	defer ix.Close()
+	insertXML(t, ix, purchaseBoston)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := ix.QueryAllCtx(ctx, []string{"/purchase", "/purchase/seller"}, 2, Budget{})
+	for i, r := range results {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("slot %d: err = %v, want ErrCanceled", i, r.Err)
+		}
+	}
+}
+
+// TestQueryVerifiedCtxCancel: the verification phase also honors the
+// context.
+func TestQueryVerifiedCtxCancel(t *testing.T) {
+	ix := mustMem(t, Options{})
+	defer ix.Close()
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ix.QueryVerifiedCtx(ctx, "/purchase/seller", Budget{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("QueryVerifiedCtx(dead ctx) err = %v, want ErrCanceled", err)
+	}
+	// Alive context: verified results unchanged by the new plumbing.
+	ids, stats, err := ix.QueryVerifiedCtx(context.Background(), "/purchase/buyer[location='newyork']", Budget{})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("QueryVerifiedCtx: ids=%v err=%v", ids, err)
+	}
+	if stats.PagesRead == 0 {
+		t.Fatalf("QueryVerifiedCtx stats not populated: %s", stats)
+	}
+}

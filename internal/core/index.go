@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"vist/internal/btree"
 	"vist/internal/keyenc"
@@ -49,6 +50,15 @@ type Options struct {
 	// FS overrides the filesystem under the pagers and WAL (fault
 	// injection in crash tests). Nil selects the operating system.
 	FS btree.FS
+	// DefaultQueryTimeout bounds every query whose context carries no
+	// deadline of its own (including the legacy Query/QueryAll wrappers,
+	// which run under context.Background). Zero means no default deadline.
+	DefaultQueryTimeout time.Duration
+	// DefaultBudget caps the work of every query on this index. Per-call
+	// budgets (QueryCtx and friends) merge with it field-wise, the stricter
+	// positive limit winning, so this acts as an admission-control ceiling
+	// a caller can tighten but not raise. The zero value imposes no limits.
+	DefaultBudget Budget
 }
 
 // RecoveryInfo reports what Open found in the write-ahead log.
@@ -66,11 +76,13 @@ type RecoveryInfo struct {
 
 // Index is a ViST index over XML documents. All methods are safe for
 // concurrent use by multiple goroutines. Reads (Query, QueryWithStats,
-// QueryVerified, QueryAll, Get, Docs, Check and the metadata accessors) hold
-// a shared lock and execute in parallel with each other; mutations (Insert,
-// Delete, the Bulk* loaders, Sync, Close) hold the exclusive lock and
-// serialize against everything else. See DESIGN.md §6 "Concurrency model"
-// for the full locking story across the index, B+Tree, and pager layers.
+// QueryVerified, QueryAll, their *Ctx variants, Get, Docs, Check and the
+// metadata accessors) hold a shared lock and execute in parallel with each
+// other; mutations (Insert, Delete, the Bulk* loaders, Sync, Close) hold the
+// exclusive lock and serialize against everything else. See DESIGN.md §6
+// "Concurrency model" for the full locking story across the index, B+Tree,
+// and pager layers, and §8 "Resource governance" for how queries are
+// bounded, cancelled, and panic-contained.
 type Index struct {
 	mu sync.RWMutex
 

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel errors for bounded query execution. Both are reported wrapped in
+// a *QueryError carrying the query text and partial-progress QueryStats;
+// test with errors.Is.
+var (
+	// ErrCanceled reports that a query stopped because its context was
+	// canceled or its deadline expired. The underlying context error is
+	// also in the wrap chain, so errors.Is(err, context.DeadlineExceeded)
+	// distinguishes timeouts from explicit cancellation.
+	ErrCanceled = errors.New("core: query canceled")
+	// ErrBudgetExceeded reports that a query performed more work than its
+	// Budget allows.
+	ErrBudgetExceeded = errors.New("core: query budget exceeded")
+	// ErrQueryPanic reports that query execution panicked; the panic was
+	// contained and converted into an error so one bad page or logic bug
+	// degrades a single request instead of the whole process.
+	ErrQueryPanic = errors.New("core: query execution panicked")
+)
+
+// Budget caps the work a single query execution may perform. The zero value
+// imposes no limits; each field <= 0 means "unlimited" for that dimension.
+// When the index also carries an Options.DefaultBudget, the effective limit
+// per field is the stricter of the two (the smaller positive value), so an
+// index-wide budget is a ceiling a per-call budget can tighten but not
+// raise.
+type Budget struct {
+	// MaxPages caps B+Tree pages fetched on the query's behalf (descents
+	// and leaf-chain walks in the node and DocId trees). Pages are also
+	// where cancellation is polled, so this is the unit of the checkpoint
+	// interval.
+	MaxPages int
+	// MaxRangeScans caps D-Ancestor/S-Ancestor range queries issued — the
+	// quantity that explodes on '//'-heavy queries (each '//' step becomes
+	// one range scan per candidate prefix length per partial match).
+	MaxRangeScans int
+	// MaxNodesVisited caps index entries entered as partial-match states.
+	MaxNodesVisited int
+	// MaxResults caps distinct candidate documents collected.
+	MaxResults int
+}
+
+// merge returns the field-wise stricter of b and d.
+func (b Budget) merge(d Budget) Budget {
+	return Budget{
+		MaxPages:        stricter(b.MaxPages, d.MaxPages),
+		MaxRangeScans:   stricter(b.MaxRangeScans, d.MaxRangeScans),
+		MaxNodesVisited: stricter(b.MaxNodesVisited, d.MaxNodesVisited),
+		MaxResults:      stricter(b.MaxResults, d.MaxResults),
+	}
+}
+
+func stricter(a, b int) int {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+// QueryError is the error type for queries stopped early — by cancellation,
+// by budget exhaustion, or by a contained panic. It records how far the
+// query got, so operators can tell a query that died instantly from one
+// that burned its whole budget.
+type QueryError struct {
+	// Expr is the query text (Query.Raw for pre-parsed queries).
+	Expr string
+	// Stats is the work performed up to the stop, including any partial
+	// candidate count.
+	Stats QueryStats
+	// Reason is ErrCanceled, ErrBudgetExceeded, or ErrQueryPanic.
+	Reason error
+	// Cause details the stop: the context error for cancellations, a
+	// description of the exhausted dimension for budgets, the recovered
+	// value for panics. May be nil.
+	Cause error
+	// Stack is the goroutine stack captured at recovery for ErrQueryPanic;
+	// nil otherwise.
+	Stack []byte
+}
+
+func (e *QueryError) Error() string {
+	msg := e.Reason.Error()
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return fmt.Sprintf("%s (query %q; %s)", msg, e.Expr, e.Stats.String())
+}
+
+// Unwrap exposes both the sentinel and the underlying cause to errors.Is.
+func (e *QueryError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{e.Reason, e.Cause}
+	}
+	return []error{e.Reason}
+}
+
+// qctx carries one query execution's context, effective budget, and running
+// counters. It is used by a single goroutine; queries never share one.
+type qctx struct {
+	ctx   context.Context
+	b     Budget
+	expr  string
+	stats QueryStats
+	hook  func() error // onPage callback handed to B+Tree scans
+}
+
+// newQctx builds the execution state for one query, merging the caller's
+// budget with the index default.
+func (ix *Index) newQctx(ctx context.Context, expr string, b Budget) *qctx {
+	qc := &qctx{ctx: ctx, b: b.merge(ix.opts.DefaultBudget), expr: expr}
+	qc.hook = qc.onPage
+	return qc
+}
+
+// queryContext applies the index's default timeout to contexts that carry no
+// deadline of their own. The returned cancel func must be called to release
+// the timer.
+func (ix *Index) queryContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ix.opts.DefaultQueryTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, ix.opts.DefaultQueryTimeout)
+		}
+	}
+	return ctx, func() {}
+}
+
+// fail wraps a stop reason with the query text and partial-progress stats.
+func (qc *qctx) fail(reason, cause error) error {
+	return &QueryError{Expr: qc.expr, Stats: qc.stats, Reason: reason, Cause: cause}
+}
+
+// checkCtx is a cancellation checkpoint.
+func (qc *qctx) checkCtx() error {
+	if err := qc.ctx.Err(); err != nil {
+		return qc.fail(ErrCanceled, err)
+	}
+	return nil
+}
+
+// onPage is invoked by the B+Tree once per page fetched for this query: it
+// accounts the page against the budget and polls for cancellation, bounding
+// the checkpoint interval by the work of visiting one page.
+func (qc *qctx) onPage() error {
+	qc.stats.PagesRead++
+	if qc.b.MaxPages > 0 && qc.stats.PagesRead > qc.b.MaxPages {
+		return qc.fail(ErrBudgetExceeded, fmt.Errorf("page budget %d exhausted", qc.b.MaxPages))
+	}
+	return qc.checkCtx()
+}
+
+// contained runs f, converting a panic into a *QueryError (ErrQueryPanic)
+// carrying the query text, partial stats, and the goroutine stack. Deferred
+// unlocks in the enclosing frames still run, so a contained panic degrades
+// only the one request.
+func (qc *qctx) contained(f func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			qe := &QueryError{
+				Expr:   qc.expr,
+				Stats:  qc.stats,
+				Reason: ErrQueryPanic,
+				Cause:  fmt.Errorf("panic: %v", p),
+				Stack:  debug.Stack(),
+			}
+			err = qe
+		}
+	}()
+	return f()
+}

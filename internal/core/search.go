@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,12 +22,30 @@ import (
 // include false positives (documents containing all query elements in a
 // compatible sequence order without an actual subtree embedding). Use
 // QueryVerified for exact results.
+//
+// Query is QueryCtx with a background context and no per-call budget; the
+// index's Options.DefaultQueryTimeout and Options.DefaultBudget still
+// apply, so even legacy callers are protected by default.
 func (ix *Index) Query(expr string) ([]DocID, error) {
+	ids, _, err := ix.QueryCtx(context.Background(), expr, Budget{})
+	return ids, err
+}
+
+// QueryCtx executes a path expression under a context and a work budget.
+// The context is checked at bounded intervals (every B+Tree page fetched and
+// every range scan issued), so cancellation and deadlines take effect
+// promptly even mid-scan. A zero Budget means "index default only".
+//
+// On ErrCanceled or ErrBudgetExceeded (test with errors.Is) the returned IDs
+// and QueryStats reflect the partial progress made before the stop; the
+// error is a *QueryError carrying the same stats and the query text. Panics
+// during execution are contained and surface as ErrQueryPanic.
+func (ix *Index) QueryCtx(ctx context.Context, expr string, b Budget) ([]DocID, QueryStats, error) {
 	q, err := query.Parse(expr)
 	if err != nil {
-		return nil, err
+		return nil, QueryStats{}, err
 	}
-	return ix.QueryParsed(q)
+	return ix.QueryParsedCtx(ctx, q, b)
 }
 
 // QueryParsed executes an already-parsed query. Queries whose
@@ -34,34 +53,62 @@ func (ix *Index) Query(expr string) ([]DocID, error) {
 // paper's disassemble-and-join strategy: each root-to-leaf query path runs
 // as its own sequence match and the DocID sets are intersected.
 func (ix *Index) QueryParsed(q *query.Query) ([]DocID, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.queryLocked(q)
+	ids, _, err := ix.QueryParsedCtx(context.Background(), q, Budget{})
+	return ids, err
 }
 
-func (ix *Index) queryLocked(q *query.Query) ([]DocID, error) {
+// QueryParsedCtx is QueryCtx for an already-parsed query.
+func (ix *Index) QueryParsedCtx(ctx context.Context, q *query.Query, b Budget) ([]DocID, QueryStats, error) {
+	ctx, cancel := ix.queryContext(ctx)
+	defer cancel()
+	qc := ix.newQctx(ctx, q.Raw, b)
+	// Fail fast on an already-dead context, before taking the lock: even a
+	// query that would do no scan work (and so hit no checkpoint) must
+	// report cancellation deterministically.
+	if err := qc.checkCtx(); err != nil {
+		return nil, qc.stats, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var ids []DocID
+	err := qc.contained(func() error {
+		var err error
+		ids, err = ix.queryLocked(qc, q)
+		return err
+	})
+	return ids, qc.stats, err
+}
+
+// queryLocked runs a query under the shared lock, reporting the IDs
+// collected so far even when a budget or cancellation error cuts the run
+// short.
+func (ix *Index) queryLocked(qc *qctx, q *query.Query) ([]DocID, error) {
 	seqs, err := q.Sequences(ix.dict, ix.schema)
 	if query.IsVariantCapError(err) {
-		return ix.queryDisassembled(q)
+		return ix.queryDisassembled(qc, q)
 	}
 	if err != nil {
 		return nil, err
 	}
+	qc.stats.Sequences += len(seqs)
 	out := make(map[DocID]struct{})
 	for _, qs := range seqs {
-		if err := ix.matchSeqStats(qs, out, nil); err != nil {
-			return nil, err
+		if err := ix.matchSeq(qc, qs, out); err != nil {
+			return sortedIDs(out), err
 		}
 	}
-	return sortedIDs(out), nil
+	ids := sortedIDs(out)
+	qc.stats.Candidates = len(ids)
+	return ids, nil
 }
 
 // queryDisassembled joins the results of the query's single-path splits
-// (Section 2's fallback; each split has exactly one sequence variant).
-func (ix *Index) queryDisassembled(q *query.Query) ([]DocID, error) {
+// (Section 2's fallback; each split has exactly one sequence variant). The
+// budget spans all splits: work is accounted against the same qctx.
+func (ix *Index) queryDisassembled(qc *qctx, q *query.Query) ([]DocID, error) {
 	var result map[DocID]struct{}
 	for _, part := range query.Disassemble(q) {
-		ids, err := ix.queryLocked(part)
+		ids, err := ix.queryLocked(qc, part)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +126,9 @@ func (ix *Index) queryDisassembled(q *query.Query) ([]DocID, error) {
 			}
 		}
 	}
-	return sortedIDs(result), nil
+	ids := sortedIDs(result)
+	qc.stats.Candidates = len(ids)
+	return ids, nil
 }
 
 func sortedIDs(out map[DocID]struct{}) []DocID {
@@ -100,33 +149,56 @@ func sortedIDs(out map[DocID]struct{}) []DocID {
 // (a concurrent Delete can win the race for the exclusive lock in between)
 // is treated as a non-match rather than an error.
 func (ix *Index) QueryVerified(expr string) ([]DocID, error) {
+	ids, _, err := ix.QueryVerifiedCtx(context.Background(), expr, Budget{})
+	return ids, err
+}
+
+// QueryVerifiedCtx is QueryVerified under a context and work budget. The
+// candidate phase is bounded exactly as in QueryCtx; the verification phase
+// checks for cancellation before each candidate document it loads (its I/O
+// is not page-accounted, but it is bounded by the candidate count, which
+// MaxResults caps).
+func (ix *Index) QueryVerifiedCtx(ctx context.Context, expr string, b Budget) ([]DocID, QueryStats, error) {
 	if ix.opts.SkipDocumentStore {
-		return nil, fmt.Errorf("core: QueryVerified requires document storage (SkipDocumentStore is set)")
+		return nil, QueryStats{}, fmt.Errorf("core: QueryVerified requires document storage (SkipDocumentStore is set)")
 	}
 	q, err := query.Parse(expr)
 	if err != nil {
-		return nil, err
+		return nil, QueryStats{}, err
 	}
-	candidates, err := ix.QueryParsed(q)
+	// The default timeout is applied here so it spans both phases; the
+	// nested QueryParsedCtx sees a context that already has a deadline and
+	// leaves it alone.
+	ctx, cancel := ix.queryContext(ctx)
+	defer cancel()
+	candidates, stats, err := ix.QueryParsedCtx(ctx, q, b)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
+	qc := ix.newQctx(ctx, q.Raw, b)
+	qc.stats = stats
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	out := candidates[:0]
-	for _, id := range candidates {
-		doc, _, err := ix.loadDoc(id)
-		if err != nil {
-			if errors.Is(err, ErrDocNotFound) {
-				continue
+	err = qc.contained(func() error {
+		for _, id := range candidates {
+			if err := qc.checkCtx(); err != nil {
+				return err
 			}
-			return nil, err
+			doc, _, err := ix.loadDoc(id)
+			if err != nil {
+				if errors.Is(err, ErrDocNotFound) {
+					continue
+				}
+				return err
+			}
+			if treematch.Matches(q, doc) {
+				out = append(out, id)
+			}
 		}
-		if treematch.Matches(q, doc) {
-			out = append(out, id)
-		}
-	}
-	return out, nil
+		return nil
+	})
+	return out, qc.stats, err
 }
 
 // match records a matched query element: the suffix-tree node's scope and
@@ -137,10 +209,11 @@ type match struct {
 	path  []seq.Symbol
 }
 
-// matchSeqStats finds all documents containing qs as a non-contiguous
-// subsequence with consistent D-Ancestorship and S-Ancestorship, adding
-// their IDs to out. stats may be nil.
-func (ix *Index) matchSeqStats(qs query.Seq, out map[DocID]struct{}, stats *QueryStats) error {
+// matchSeq finds all documents containing qs as a non-contiguous subsequence
+// with consistent D-Ancestorship and S-Ancestorship, adding their IDs to
+// out. Work is accounted against qc's budget; cancellation is polled at
+// every range scan and every page the scans fetch.
+func (ix *Index) matchSeq(qc *qctx, qs query.Seq, out map[DocID]struct{}) error {
 	if len(qs) == 0 {
 		return nil
 	}
@@ -148,10 +221,8 @@ func (ix *Index) matchSeqStats(qs query.Seq, out map[DocID]struct{}, stats *Quer
 	var rec func(i int, prev labeling.Scope) error
 	rec = func(i int, prev labeling.Scope) error {
 		if i == len(qs) {
-			if stats != nil {
-				stats.DocScans++
-			}
-			return ix.collectDocs(prev, out)
+			qc.stats.DocScans++
+			return ix.collectDocs(qc, prev, out)
 		}
 		qe := qs[i]
 		var base []seq.Symbol
@@ -169,12 +240,17 @@ func (ix *Index) matchSeqStats(qs query.Seq, out map[DocID]struct{}, stats *Quer
 		// The paper's wildcard handling: one D-Ancestor range query per
 		// candidate prefix length (Section 3.3, "Handling Wild Cards").
 		for plen := minPlen; plen <= maxPlen; plen++ {
-			if stats != nil {
-				stats.RangeScans++
+			qc.stats.RangeScans++
+			if qc.b.MaxRangeScans > 0 && qc.stats.RangeScans > qc.b.MaxRangeScans {
+				return qc.fail(ErrBudgetExceeded, fmt.Errorf("range-scan budget %d exhausted", qc.b.MaxRangeScans))
 			}
-			err := ix.scanCandidates(qe.Symbol, plen, base, prev, func(prefix []seq.Symbol, scope labeling.Scope) error {
-				if stats != nil {
-					stats.NodesVisited++
+			if err := qc.checkCtx(); err != nil {
+				return err
+			}
+			err := ix.scanCandidates(qc, qe.Symbol, plen, base, prev, func(prefix []seq.Symbol, scope labeling.Scope) error {
+				qc.stats.NodesVisited++
+				if qc.b.MaxNodesVisited > 0 && qc.stats.NodesVisited > qc.b.MaxNodesVisited {
+					return qc.fail(ErrBudgetExceeded, fmt.Errorf("node-visit budget %d exhausted", qc.b.MaxNodesVisited))
 				}
 				path := make([]seq.Symbol, 0, len(prefix)+1)
 				path = append(path, prefix...)
@@ -196,14 +272,14 @@ func (ix *Index) matchSeqStats(qs query.Seq, out map[DocID]struct{}, stats *Quer
 // inside (prev.N, prev.N+prev.Size] — the S-Ancestorship range query. For
 // each distinct D-Ancestor key the scan jumps directly to the label range,
 // mirroring the paper's per-S-Ancestor-tree range queries.
-func (ix *Index) scanCandidates(sym seq.Symbol, plen int, base []seq.Symbol, prev labeling.Scope, fn func(prefix []seq.Symbol, scope labeling.Scope) error) error {
+func (ix *Index) scanCandidates(qc *qctx, sym seq.Symbol, plen int, base []seq.Symbol, prev labeling.Scope, fn func(prefix []seq.Symbol, scope labeling.Scope) error) error {
 	loPrefix := daPartial(sym, plen, base)
 	hiPrefix := keyenc.PrefixSuccessor(loPrefix)
 	nLo, nHi := prev.N+1, prev.N+prev.Size // inclusive label range
 
 	cur := append([]byte(nil), loPrefix...)
 	for {
-		k, v, ok, err := ix.nodes.SeekFirst(cur, hiPrefix)
+		k, v, ok, err := ix.nodes.SeekFirstWith(cur, hiPrefix, qc.hook)
 		if err != nil {
 			return err
 		}
@@ -243,19 +319,25 @@ func (ix *Index) scanCandidates(sym seq.Symbol, plen int, base []seq.Symbol, pre
 }
 
 // collectDocs performs the final range query [n, n+size] on the DocId tree
-// and adds every document ID found to out.
-func (ix *Index) collectDocs(scope labeling.Scope, out map[DocID]struct{}) error {
+// and adds every document ID found to out. The running candidate count is
+// checked against the budget's MaxResults as entries arrive, so a scope
+// covering millions of documents stops as soon as the cap is crossed.
+func (ix *Index) collectDocs(qc *qctx, scope labeling.Scope, out map[DocID]struct{}) error {
 	lo := docKey(scope.N, 0)
 	var hi []byte
 	if end := scope.N + scope.Size; end < math.MaxUint64 {
 		hi = docKey(end+1, 0)
 	}
-	return ix.docs.Scan(lo, hi, func(k, v []byte) (bool, error) {
+	return ix.docs.ScanWith(lo, hi, qc.hook, func(k, v []byte) (bool, error) {
 		_, id, err := parseDocKey(k)
 		if err != nil {
 			return false, err
 		}
 		out[id] = struct{}{}
+		qc.stats.Candidates = len(out)
+		if qc.b.MaxResults > 0 && len(out) > qc.b.MaxResults {
+			return false, qc.fail(ErrBudgetExceeded, fmt.Errorf("result cap %d exhausted", qc.b.MaxResults))
+		}
 		return true, nil
 	})
 }

@@ -1,10 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
-
-	"vist/internal/query"
 )
 
 // QueryStats reports how much work a query's execution performed — the
@@ -26,39 +25,27 @@ type QueryStats struct {
 	NodesVisited int
 	// DocScans counts final DocId-tree range queries.
 	DocScans int
-	// Candidates is the number of distinct documents returned.
+	// PagesRead counts B+Tree pages fetched on the query's behalf (descent
+	// nodes and leaf-chain pages of the node and DocId trees) — the unit
+	// the page budget and the cancellation checkpoint interval are
+	// denominated in.
+	PagesRead int
+	// Candidates is the number of distinct documents returned (or collected
+	// so far, when a budget or cancellation stop cut the query short).
 	Candidates int
 }
 
 // String renders the counters compactly.
 func (s QueryStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sequences=%d rangeScans=%d nodesVisited=%d docScans=%d candidates=%d",
-		s.Sequences, s.RangeScans, s.NodesVisited, s.DocScans, s.Candidates)
+	fmt.Fprintf(&b, "sequences=%d rangeScans=%d nodesVisited=%d docScans=%d pagesRead=%d candidates=%d",
+		s.Sequences, s.RangeScans, s.NodesVisited, s.DocScans, s.PagesRead, s.Candidates)
 	return b.String()
 }
 
 // QueryWithStats executes a query and reports execution counters alongside
-// the candidate document IDs.
+// the candidate document IDs. It is QueryCtx with a background context and
+// no per-call budget (the index defaults still apply).
 func (ix *Index) QueryWithStats(expr string) ([]DocID, QueryStats, error) {
-	q, err := query.Parse(expr)
-	if err != nil {
-		return nil, QueryStats{}, err
-	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	seqs, err := q.Sequences(ix.dict, ix.schema)
-	if err != nil {
-		return nil, QueryStats{}, err
-	}
-	stats := QueryStats{Sequences: len(seqs)}
-	out := make(map[DocID]struct{})
-	for _, qs := range seqs {
-		if err := ix.matchSeqStats(qs, out, &stats); err != nil {
-			return nil, QueryStats{}, err
-		}
-	}
-	ids := sortedIDs(out)
-	stats.Candidates = len(ids)
-	return ids, stats, nil
+	return ix.QueryCtx(context.Background(), expr, Budget{})
 }

@@ -1,0 +1,77 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseExprTooLong(t *testing.T) {
+	expr := "/" + strings.Repeat("a", MaxExprLen)
+	if _, err := Parse(expr); !errors.Is(err, ErrExprTooLong) {
+		t.Fatalf("Parse(%d bytes) = %v, want ErrExprTooLong", len(expr), err)
+	}
+	// At the boundary the length check passes (the expression is valid).
+	ok := "/" + strings.Repeat("a", MaxExprLen-1)
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("Parse(%d bytes): %v", len(ok), err)
+	}
+}
+
+func TestParseTooManySteps(t *testing.T) {
+	if _, err := Parse(strings.Repeat("/a", MaxSteps+1)); !errors.Is(err, ErrTooManySteps) {
+		t.Fatalf("Parse(%d steps) = %v, want ErrTooManySteps", MaxSteps+1, err)
+	}
+	if _, err := Parse(strings.Repeat("/a", MaxSteps)); err != nil {
+		t.Fatalf("Parse(%d steps): %v", MaxSteps, err)
+	}
+	// Predicate steps count toward the same limit.
+	deepPred := "/a" + strings.Repeat("[b]", MaxSteps)
+	if _, err := Parse(deepPred); !errors.Is(err, ErrTooManySteps) {
+		t.Fatalf("Parse(predicate-heavy) = %v, want ErrTooManySteps", err)
+	}
+}
+
+// FuzzQueryParse hammers the expression parser with arbitrary input: it must
+// return a tree or an error, never panic or run unbounded. Accepted
+// expressions must round-trip through the step-count invariant.
+func FuzzQueryParse(f *testing.F) {
+	for _, seed := range []string{
+		"/a/b/c",
+		"//a//*[@b='c']",
+		"/a[b/c][text()='x']//d",
+		"/purchase//item[@manufacturer='intel']",
+		"/a[" + strings.Repeat("b[", 40) + strings.Repeat("]", 40) + "]",
+		strings.Repeat("//*", 60),
+		"/a[text='v']",
+		"////",
+		"/@a/@b",
+		"/a['unterminated",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		q, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		// Accepted queries satisfy the structural bounds.
+		if len(expr) > MaxExprLen {
+			t.Fatalf("accepted %d-byte expression past MaxExprLen", len(expr))
+		}
+		steps := 0
+		var count func(n *Node)
+		count = func(n *Node) {
+			for _, ch := range n.Children {
+				if ch.Kind != Value {
+					steps++
+				}
+				count(ch)
+			}
+		}
+		count(q.Root)
+		if steps > MaxSteps {
+			t.Fatalf("accepted query with %d steps past MaxSteps %d", steps, MaxSteps)
+		}
+	})
+}

@@ -11,8 +11,31 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+)
+
+// Parser limits for hostile input: a path expression is operator-supplied
+// text in a server setting, so its size and the work it implies are bounded
+// up front. Both violations are typed; test with errors.Is.
+var (
+	// ErrExprTooLong reports an expression longer than MaxExprLen bytes.
+	ErrExprTooLong = errors.New("query: expression too long")
+	// ErrTooManySteps reports an expression with more than MaxSteps steps
+	// (every name/star/value test counts, including those inside
+	// predicates).
+	ErrTooManySteps = errors.New("query: too many steps")
+)
+
+const (
+	// MaxExprLen caps expression length in bytes. Real queries in the
+	// paper's workloads are under 100 bytes; 64 KiB is beyond any sane use.
+	MaxExprLen = 64 << 10
+	// MaxSteps caps the number of parsed steps. Each step can cost range
+	// scans downstream, so this also bounds the work a parsed query can
+	// request.
+	MaxSteps = 1024
 )
 
 // Axis is the edge type between a query node and its parent.
@@ -64,8 +87,13 @@ type Query struct {
 // String reconstructs a normalized path-expression form (for diagnostics).
 func (q *Query) String() string { return q.Raw }
 
-// Parse parses a path expression.
+// Parse parses a path expression. Expressions longer than MaxExprLen or
+// with more than MaxSteps steps are rejected with typed errors before (or
+// while) building the tree, bounding parser work on hostile input.
 func Parse(expr string) (*Query, error) {
+	if len(expr) > MaxExprLen {
+		return nil, fmt.Errorf("query: expression is %d bytes (limit %d): %w", len(expr), MaxExprLen, ErrExprTooLong)
+	}
 	p := &parser{in: expr}
 	root := &Node{Kind: Name, Name: "<root>"}
 	if _, err := p.parsePath(root, true); err != nil {
@@ -88,8 +116,9 @@ func MustParse(expr string) *Query {
 }
 
 type parser struct {
-	in  string
-	pos int
+	in    string
+	pos   int
+	steps int
 }
 
 func (p *parser) skipSpace() {
@@ -154,6 +183,10 @@ func (p *parser) parsePath(owner *Node, absolute bool) (*Node, error) {
 
 // parseStep parses one name test plus its predicates.
 func (p *parser) parseStep(axis Axis) (*Node, error) {
+	p.steps++
+	if p.steps > MaxSteps {
+		return nil, fmt.Errorf("more than %d steps: %w", MaxSteps, ErrTooManySteps)
+	}
 	p.skipSpace()
 	var n *Node
 	switch {

@@ -1,0 +1,51 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseXML feeds hostile document structures to the parser: the only
+// acceptable outcomes are a tree or an error — never a panic, a stack
+// overflow, or an unbounded allocation. Limits are tightened so the fuzzer
+// can reach the enforcement paths quickly, and every limit error must be one
+// of the typed sentinels.
+func FuzzParseXML(f *testing.F) {
+	// Hostile-structure corpus: deep nesting, giant attributes, unbalanced
+	// and interleaved tags, rogue entities, attribute floods.
+	deep := strings.Repeat("<a>", 200) + strings.Repeat("</a>", 200)
+	f.Add(deep)
+	f.Add(strings.Repeat("<a>", 300)) // never closed
+	f.Add(`<r a="` + strings.Repeat("x", 1<<12) + `"/>`)
+	f.Add("<r>" + strings.Repeat(`<c k="v"/>`, 200) + "</r>")
+	f.Add("<a><b></a></b>")                  // interleaved close tags
+	f.Add("<a>&#xFFFF;&bogus;</a>")          // entity abuse
+	f.Add("<a xmlns:x=\"u\"><x:b/></a>")     // namespaces
+	f.Add("<?xml version=\"1.0\"?><a>t</a>") // declaration + text
+	f.Add("<!DOCTYPE a [<!ENTITY e \"v\">]><a>&e;</a>")
+	f.Add("<a><![CDATA[" + strings.Repeat("y", 4096) + "]]></a>")
+
+	lim := Limits{MaxDepth: 128, MaxNodes: 1 << 16, MaxTokenBytes: 1 << 14}
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := ParseWithLimits(strings.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		// A successful parse must respect the limits it ran under.
+		if d := n.Depth(); d > lim.MaxDepth {
+			t.Fatalf("accepted document of depth %d under MaxDepth %d", d, lim.MaxDepth)
+		}
+		if c := n.Count(); c > lim.MaxNodes {
+			t.Fatalf("accepted document of %d nodes under MaxNodes %d", c, lim.MaxNodes)
+		}
+		// ParseAll on the same input must not behave catastrophically
+		// differently (it may parse more fragments).
+		if _, err := ParseAllWithLimits(strings.NewReader(data), lim); err != nil &&
+			!errors.Is(err, ErrTooDeep) && !errors.Is(err, ErrTooManyNodes) && !errors.Is(err, ErrTokenTooLarge) {
+			// Fragment concatenation can produce new syntax errors; that is
+			// fine. Nothing to assert beyond "no panic".
+			_ = err
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// nested builds <a><a>…</a></a> with the given nesting depth.
+func nested(depth int) string {
+	var b strings.Builder
+	b.Grow(depth * 7)
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	return b.String()
+}
+
+// TestParseDeepNestingRejected is the regression test for the unbounded
+// recursion in the old parseElement: a 500k-deep document must come back as
+// ErrTooDeep, not a goroutine stack overflow (which would kill the process,
+// not fail the test).
+func TestParseDeepNestingRejected(t *testing.T) {
+	_, err := Parse(strings.NewReader(nested(500_000)))
+	if !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("Parse(500k-deep) = %v, want ErrTooDeep", err)
+	}
+	// ParseAll shares the walk; it must reject the same input.
+	_, err = ParseAll(strings.NewReader(nested(500_000)))
+	if !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("ParseAll(500k-deep) = %v, want ErrTooDeep", err)
+	}
+}
+
+// TestParseDepthBoundary pins the MaxDepth semantics: exactly MaxDepth
+// nesting parses, one deeper does not.
+func TestParseDepthBoundary(t *testing.T) {
+	lim := Limits{MaxDepth: 10}
+	n, err := ParseWithLimits(strings.NewReader(nested(10)), lim)
+	if err != nil {
+		t.Fatalf("ParseWithLimits(depth=10, MaxDepth=10): %v", err)
+	}
+	if got := n.Depth(); got != 10 {
+		t.Fatalf("parsed depth = %d, want 10", got)
+	}
+	if _, err := ParseWithLimits(strings.NewReader(nested(11)), lim); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("ParseWithLimits(depth=11, MaxDepth=10) = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestParseDefaultDepthIsTenThousand(t *testing.T) {
+	n, err := Parse(strings.NewReader(nested(DefaultMaxDepth)))
+	if err != nil {
+		t.Fatalf("Parse(depth=%d): %v", DefaultMaxDepth, err)
+	}
+	if got := n.Depth(); got != DefaultMaxDepth {
+		t.Fatalf("parsed depth = %d, want %d", got, DefaultMaxDepth)
+	}
+	if _, err := Parse(strings.NewReader(nested(DefaultMaxDepth + 1))); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("Parse(depth=%d) = %v, want ErrTooDeep", DefaultMaxDepth+1, err)
+	}
+}
+
+func TestParseNodeCountLimit(t *testing.T) {
+	// <r><c/><c/>…</r>: 1 root + 10 children = 11 nodes.
+	doc := "<r>" + strings.Repeat("<c/>", 10) + "</r>"
+	if _, err := ParseWithLimits(strings.NewReader(doc), Limits{MaxNodes: 11}); err != nil {
+		t.Fatalf("ParseWithLimits(11 nodes, MaxNodes=11): %v", err)
+	}
+	if _, err := ParseWithLimits(strings.NewReader(doc), Limits{MaxNodes: 10}); !errors.Is(err, ErrTooManyNodes) {
+		t.Fatalf("ParseWithLimits(11 nodes, MaxNodes=10) = %v, want ErrTooManyNodes", err)
+	}
+	// Attributes count (element + attribute + value leaf = 3 nodes).
+	if _, err := ParseWithLimits(strings.NewReader(`<r a="v"/>`), Limits{MaxNodes: 2}); !errors.Is(err, ErrTooManyNodes) {
+		t.Fatalf("attribute-heavy doc with MaxNodes=2 = %v, want ErrTooManyNodes", err)
+	}
+}
+
+func TestParseTokenSizeLimit(t *testing.T) {
+	big := strings.Repeat("x", 100)
+	if _, err := ParseWithLimits(strings.NewReader("<r>"+big+"</r>"), Limits{MaxTokenBytes: 99}); !errors.Is(err, ErrTokenTooLarge) {
+		t.Fatalf("100-byte text with MaxTokenBytes=99 = %v, want ErrTokenTooLarge", err)
+	}
+	if _, err := ParseWithLimits(strings.NewReader(`<r a="`+big+`"/>`), Limits{MaxTokenBytes: 99}); !errors.Is(err, ErrTokenTooLarge) {
+		t.Fatalf("100-byte attribute with MaxTokenBytes=99 = %v, want ErrTokenTooLarge", err)
+	}
+	if _, err := ParseWithLimits(strings.NewReader("<r>"+big+"</r>"), Limits{MaxTokenBytes: 100}); err != nil {
+		t.Fatalf("100-byte text with MaxTokenBytes=100: %v", err)
+	}
+}
+
+// TestParseNegativeLimitDisables verifies that a negative field switches the
+// corresponding check off entirely.
+func TestParseNegativeLimitDisables(t *testing.T) {
+	n, err := ParseWithLimits(strings.NewReader(nested(DefaultMaxDepth+5)), Limits{MaxDepth: -1})
+	if err != nil {
+		t.Fatalf("ParseWithLimits(MaxDepth: -1): %v", err)
+	}
+	if got := n.Depth(); got != DefaultMaxDepth+5 {
+		t.Fatalf("parsed depth = %d, want %d", got, DefaultMaxDepth+5)
+	}
+}
+
+// TestParseIterativeMatchesRecursive pins that the explicit-stack rewrite
+// produces the same trees as before on ordinary documents.
+func TestParseIterativeMatchesRecursive(t *testing.T) {
+	doc := `<purchase total="3">
+	  <seller id="7"><name>dell</name><location>boston</location></seller>
+	  <buyer><name>alice</name></buyer>
+	  mixed text
+	</purchase>`
+	n, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	want := NewElement("purchase",
+		NewAttr("total", "3"),
+		NewElement("seller",
+			NewAttr("id", "7"),
+			NewElementText("name", "dell"),
+			NewElementText("location", "boston")),
+		NewElement("buyer", NewElementText("name", "alice")),
+		NewText("mixed text"),
+	)
+	if !Equal(n, want) {
+		t.Fatalf("parsed tree mismatch:\n got %s\nwant %s", n, want)
+	}
+}

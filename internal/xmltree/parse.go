@@ -2,16 +2,75 @@ package xmltree
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 )
 
+// Typed limit violations; test with errors.Is. The parser reports them
+// instead of exhausting the goroutine stack (nesting) or memory (node and
+// token floods), so a hostile document degrades into an error.
+var (
+	// ErrTooDeep reports element nesting beyond Limits.MaxDepth.
+	ErrTooDeep = errors.New("xmltree: document exceeds maximum element depth")
+	// ErrTooManyNodes reports a document with more nodes (elements,
+	// attributes, and text leaves) than Limits.MaxNodes.
+	ErrTooManyNodes = errors.New("xmltree: document exceeds maximum node count")
+	// ErrTokenTooLarge reports a single text run or attribute value larger
+	// than Limits.MaxTokenBytes.
+	ErrTokenTooLarge = errors.New("xmltree: token exceeds maximum size")
+)
+
+// Default limits applied by Parse/ParseAll. They are far above anything the
+// paper's datasets produce (DBLP and XMark stay under depth 15) while
+// keeping hostile input bounded.
+const (
+	DefaultMaxDepth      = 10_000
+	DefaultMaxNodes      = 50_000_000
+	DefaultMaxTokenBytes = 64 << 20 // 64 MiB
+)
+
+// Limits bounds what the parser accepts from untrusted input. The zero
+// value selects the package defaults; a negative field disables that limit.
+// Limits cap the tree the parser *builds*; encoding/xml still buffers each
+// raw token before the limits see it, so callers reading from genuinely
+// untrusted streams should additionally cap total input with io.LimitReader.
+type Limits struct {
+	// MaxDepth caps element nesting (the root element is depth 1).
+	MaxDepth int
+	// MaxNodes caps the total node count of a single document tree:
+	// elements, attributes, and value leaves all count.
+	MaxNodes int
+	// MaxTokenBytes caps a single attribute value or text run.
+	MaxTokenBytes int
+}
+
+func (l Limits) effective() Limits {
+	if l.MaxDepth == 0 {
+		l.MaxDepth = DefaultMaxDepth
+	}
+	if l.MaxNodes == 0 {
+		l.MaxNodes = DefaultMaxNodes
+	}
+	if l.MaxTokenBytes == 0 {
+		l.MaxTokenBytes = DefaultMaxTokenBytes
+	}
+	return l
+}
+
 // Parse reads one XML document from r and returns its root node. Attributes
 // become Attribute children carrying a Value leaf; non-whitespace character
-// data becomes Value leaves.
+// data becomes Value leaves. The default Limits apply; use ParseWithLimits
+// to change them.
 func Parse(r io.Reader) (*Node, error) {
+	return ParseWithLimits(r, Limits{})
+}
+
+// ParseWithLimits is Parse with explicit resource limits.
+func ParseWithLimits(r io.Reader, lim Limits) (*Node, error) {
 	dec := xml.NewDecoder(r)
+	lim = lim.effective()
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -21,16 +80,24 @@ func Parse(r io.Reader) (*Node, error) {
 			return nil, fmt.Errorf("xmltree: %w", err)
 		}
 		if start, ok := tok.(xml.StartElement); ok {
-			return parseElement(dec, start)
+			return parseElement(dec, start, lim)
 		}
 	}
 }
 
 // ParseAll reads every top-level element from r. It accepts both a single
 // rooted document and a concatenation of record fragments (the shape of
-// record-oriented datasets like DBLP exports).
+// record-oriented datasets like DBLP exports). The default Limits apply per
+// fragment; use ParseAllWithLimits to change them.
 func ParseAll(r io.Reader) ([]*Node, error) {
+	return ParseAllWithLimits(r, Limits{})
+}
+
+// ParseAllWithLimits is ParseAll with explicit resource limits, enforced on
+// each top-level fragment independently.
+func ParseAllWithLimits(r io.Reader, lim Limits) ([]*Node, error) {
 	dec := xml.NewDecoder(r)
+	lim = lim.effective()
 	var out []*Node
 	for {
 		tok, err := dec.Token()
@@ -41,7 +108,7 @@ func ParseAll(r io.Reader) ([]*Node, error) {
 			return nil, fmt.Errorf("xmltree: %w", err)
 		}
 		if start, ok := tok.(xml.StartElement); ok {
-			n, err := parseElement(dec, start)
+			n, err := parseElement(dec, start, lim)
 			if err != nil {
 				return nil, err
 			}
@@ -55,35 +122,74 @@ func ParseString(s string) (*Node, error) {
 	return Parse(strings.NewReader(s))
 }
 
-func parseElement(dec *xml.Decoder, start xml.StartElement) (*Node, error) {
-	n := NewElement(start.Name.Local)
-	for _, a := range start.Attr {
-		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
-			continue
+// parseElement consumes tokens until start's matching end tag, building the
+// subtree iteratively. The explicit stack (rather than recursion) means
+// nesting depth costs heap, not goroutine stack, and is checked against
+// lim.MaxDepth — a million-deep hostile document returns ErrTooDeep instead
+// of overflowing the stack.
+func parseElement(dec *xml.Decoder, start xml.StartElement, lim Limits) (*Node, error) {
+	nodes := 0
+	open := func(st xml.StartElement) (*Node, error) {
+		n := NewElement(st.Name.Local)
+		nodes++
+		for _, a := range st.Attr {
+			if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+				continue
+			}
+			if lim.MaxTokenBytes > 0 && len(a.Value) > lim.MaxTokenBytes {
+				return nil, fmt.Errorf("xmltree: attribute %s of <%s> is %d bytes: %w",
+					a.Name.Local, st.Name.Local, len(a.Value), ErrTokenTooLarge)
+			}
+			n.Children = append(n.Children, NewAttr(a.Name.Local, a.Value))
+			nodes += 2 // attribute node + its value leaf
 		}
-		n.Children = append(n.Children, NewAttr(a.Name.Local, a.Value))
+		if lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+			return nil, fmt.Errorf("xmltree: more than %d nodes: %w", lim.MaxNodes, ErrTooManyNodes)
+		}
+		return n, nil
 	}
-	for {
+
+	root, err := open(start)
+	if err != nil {
+		return nil, err
+	}
+	stack := []*Node{root}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
 		tok, err := dec.Token()
 		if err != nil {
-			return nil, fmt.Errorf("xmltree: in <%s>: %w", start.Name.Local, err)
+			return nil, fmt.Errorf("xmltree: in <%s>: %w", top.Name, err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			child, err := parseElement(dec, t)
+			if lim.MaxDepth > 0 && len(stack) >= lim.MaxDepth {
+				return nil, fmt.Errorf("xmltree: <%s> nested deeper than %d: %w",
+					t.Name.Local, lim.MaxDepth, ErrTooDeep)
+			}
+			child, err := open(t)
 			if err != nil {
 				return nil, err
 			}
-			n.Children = append(n.Children, child)
+			top.Children = append(top.Children, child)
+			stack = append(stack, child)
 		case xml.EndElement:
-			return n, nil
+			stack = stack[:len(stack)-1]
 		case xml.CharData:
+			if lim.MaxTokenBytes > 0 && len(t) > lim.MaxTokenBytes {
+				return nil, fmt.Errorf("xmltree: text run of %d bytes in <%s>: %w",
+					len(t), top.Name, ErrTokenTooLarge)
+			}
 			text := strings.TrimSpace(string(t))
 			if text != "" {
-				n.Children = append(n.Children, NewText(text))
+				top.Children = append(top.Children, NewText(text))
+				nodes++
+				if lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+					return nil, fmt.Errorf("xmltree: more than %d nodes: %w", lim.MaxNodes, ErrTooManyNodes)
+				}
 			}
 		}
 	}
+	return root, nil
 }
 
 // WriteXML serializes the subtree as XML text. Value leaves render as
