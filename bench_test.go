@@ -335,6 +335,30 @@ func BenchmarkAblationLabeling(b *testing.B) {
 	}
 }
 
+// BenchmarkQuery measures single-query latency (the CI regression gate's
+// read-path probe): a '//'-rooted two-step path over a 10k-record DBLP index.
+func BenchmarkQuery(b *testing.B) {
+	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range gen.DBLP(gen.DBLPConfig{Records: 10000, Seed: 11}) {
+		if _, err := ix.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	expr := "//inproceedings/author"
+	if _, err := ix.Query(expr); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInsert measures single-document insert latency on a warm index.
 func BenchmarkInsert(b *testing.B) {
 	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4})

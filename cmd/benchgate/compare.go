@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference file (BENCH_BASELINE.json at the repo
+// root). Medians of ns/op per benchmark, with the sample count recorded so a
+// reader can judge how trustworthy each figure is.
+type Baseline struct {
+	Generated  string           `json:"generated"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Samples int     `json:"samples"`
+}
+
+// benchLine matches standard testing-package benchmark output, e.g.
+//
+//	BenchmarkQuery-8   	     100	  12005463 ns/op
+//	BenchmarkInsert    	    5000	    240531 ns/op	  1024 B/op	  12 allocs/op
+//
+// Only ns/op is kept; the GOMAXPROCS suffix is stripped so results stay
+// comparable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects every ns/op sample per (suffix-stripped) benchmark name
+// from go test -bench output. Repetitions from -count N land in the same slice.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		out[name] = append(out[name], v)
+	}
+	return out, sc.Err()
+}
+
+// stripProcs removes a trailing -N GOMAXPROCS suffix: BenchmarkQuery-8 →
+// BenchmarkQuery. A dash followed by anything non-numeric is part of the name
+// (sub-benchmarks like BenchmarkQuery/deep-path keep their slash and text).
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Row is one benchmark's comparison outcome.
+type Row struct {
+	Name     string
+	Base     float64 // baseline median ns/op (0 = not in baseline)
+	New      float64 // current median ns/op (0 = not in current run)
+	DeltaPct float64 // (New-Base)/Base * 100; meaningless unless both present
+	Status   string  // "ok", "REGRESSION", "improved", "new", "missing"
+}
+
+// compare pairs current medians with the baseline. Benchmarks present on only
+// one side are reported (status new/missing) but never counted as regressions,
+// so adding a benchmark doesn't break CI before the baseline is refreshed.
+func compare(base Baseline, results map[string][]float64, thresholdPct float64) ([]Row, int) {
+	names := map[string]bool{}
+	for n := range base.Benchmarks {
+		names[n] = true
+	}
+	for n := range results {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var rows []Row
+	regressions := 0
+	for _, n := range sorted {
+		row := Row{Name: n}
+		b, inBase := base.Benchmarks[n]
+		samples, inNew := results[n]
+		switch {
+		case inBase && inNew:
+			row.Base = b.NsPerOp
+			row.New = median(samples)
+			row.DeltaPct = (row.New - row.Base) / row.Base * 100
+			switch {
+			case row.DeltaPct > thresholdPct:
+				row.Status = "REGRESSION"
+				regressions++
+			case row.DeltaPct < -thresholdPct:
+				row.Status = "improved"
+			default:
+				row.Status = "ok"
+			}
+		case inNew:
+			row.New = median(samples)
+			row.Status = "new"
+		default:
+			row.Base = b.NsPerOp
+			row.Status = "missing"
+		}
+		rows = append(rows, row)
+	}
+	return rows, regressions
+}
+
+func writeText(w io.Writer, rows []Row, threshold float64) {
+	fmt.Fprintf(w, "%-32s %14s %14s %9s  %s\n", "benchmark", "baseline", "current", "delta", "status")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-32s %14s %14s %9s  %s\n",
+			r.Name, fmtNs(r.Base), fmtNs(r.New), fmtDelta(r), r.Status)
+	}
+	fmt.Fprintf(w, "\nthreshold: ±%.0f%% on median ns/op\n", threshold)
+}
+
+func writeMarkdown(w io.Writer, rows []Row, threshold float64) {
+	fmt.Fprintln(w, "| benchmark | baseline | current | delta | status |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		status := r.Status
+		if status == "REGRESSION" {
+			status = "⚠️ **regression**"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			r.Name, fmtNs(r.Base), fmtNs(r.New), fmtDelta(r), status)
+	}
+	fmt.Fprintf(w, "\nThreshold: ±%.0f%% on median ns/op.\n", threshold)
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v == 0:
+		return "—"
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.4gms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", v)
+	}
+}
+
+func fmtDelta(r Row) string {
+	if r.Base == 0 || r.New == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", r.DeltaPct)
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: vist
+BenchmarkQuery-8   	       5	 250000000 ns/op
+BenchmarkQuery-8   	       5	 260000000 ns/op
+BenchmarkQuery-8   	       4	 300000000 ns/op
+BenchmarkInsert-8  	    2000	    500000 ns/op	  1024 B/op	      12 allocs/op
+BenchmarkInsert-8  	    2000	    520000 ns/op	  1024 B/op	      12 allocs/op
+PASS
+ok  	vist	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkQuery"]) != 3 {
+		t.Fatalf("BenchmarkQuery samples = %v, want 3", got["BenchmarkQuery"])
+	}
+	if len(got["BenchmarkInsert"]) != 2 {
+		t.Fatalf("BenchmarkInsert samples = %v, want 2", got["BenchmarkInsert"])
+	}
+	if m := median(got["BenchmarkQuery"]); m != 260000000 {
+		t.Fatalf("median = %v, want 260000000", m)
+	}
+	if m := median(got["BenchmarkInsert"]); m != 510000 {
+		t.Fatalf("even-count median = %v, want 510000", m)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkQuery-8":            "BenchmarkQuery",
+		"BenchmarkQuery":              "BenchmarkQuery",
+		"BenchmarkQuery/deep-path":    "BenchmarkQuery/deep-path",
+		"BenchmarkQuery/sub-8":        "BenchmarkQuery/sub",
+		"BenchmarkConcurrentQuery-16": "BenchmarkConcurrentQuery",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkQuery":  {NsPerOp: 200000000, Samples: 6}, // current median 260ms → +30% regression
+		"BenchmarkInsert": {NsPerOp: 500000, Samples: 6},    // +2% → ok
+		"BenchmarkGone":   {NsPerOp: 1000, Samples: 6},      // missing from current run
+	}}
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, regressions := compare(base, results, 10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", regressions)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if s := byName["BenchmarkQuery"].Status; s != "REGRESSION" {
+		t.Errorf("BenchmarkQuery status = %q, want REGRESSION", s)
+	}
+	if s := byName["BenchmarkInsert"].Status; s != "ok" {
+		t.Errorf("BenchmarkInsert status = %q, want ok", s)
+	}
+	if s := byName["BenchmarkGone"].Status; s != "missing" {
+		t.Errorf("BenchmarkGone status = %q, want missing", s)
+	}
+
+	var text, md strings.Builder
+	writeText(&text, rows, 10)
+	writeMarkdown(&md, rows, 10)
+	if !strings.Contains(text.String(), "REGRESSION") {
+		t.Error("text report missing REGRESSION marker")
+	}
+	if !strings.Contains(md.String(), "| BenchmarkQuery |") || !strings.Contains(md.String(), "regression") {
+		t.Errorf("markdown report malformed:\n%s", md.String())
+	}
+}
+
+func TestCompareImprovedAndNew(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkQuery": {NsPerOp: 500000000, Samples: 6}, // current 260ms → improved
+	}}
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, regressions := compare(base, results, 10)
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", regressions)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if s := byName["BenchmarkQuery"].Status; s != "improved" {
+		t.Errorf("BenchmarkQuery status = %q, want improved", s)
+	}
+	if s := byName["BenchmarkInsert"].Status; s != "new" {
+		t.Errorf("BenchmarkInsert status = %q, want new", s)
+	}
+}

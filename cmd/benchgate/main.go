@@ -1,0 +1,106 @@
+// Command benchgate compares `go test -bench` output against a committed
+// baseline, flagging slowdowns beyond a threshold. It exists so CI can gate
+// performance without external tooling: the repo has no dependencies, and
+// benchgate keeps it that way.
+//
+// Usage:
+//
+//	go test -bench 'Insert|Query' -count 6 . > bench.txt
+//	benchgate -baseline BENCH_BASELINE.json bench.txt          compare (never
+//	                                                           fails the build;
+//	                                                           prints a report
+//	                                                           and sets an exit
+//	                                                           code only with
+//	                                                           -fail)
+//	benchgate -baseline BENCH_BASELINE.json -update bench.txt  rewrite baseline
+//
+// Flags: -threshold sets the slowdown percentage that counts as a regression
+// (default 10); -fail exits 1 when a regression is found (default off: the CI
+// job warns but stays green, since shared runners are noisy); -markdown
+// renders the report as a GitHub-flavored table for job summaries.
+//
+// Multiple -count samples of the same benchmark are aggregated by median,
+// which shrugs off the odd slow sample. Benchmark names are compared with
+// the GOMAXPROCS suffix (-8 etc.) stripped, so baselines recorded on one
+// machine shape remain comparable on another.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline file")
+		update       = flag.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
+		threshold    = flag.Float64("threshold", 10, "slowdown percent counted as a regression")
+		fail         = flag.Bool("fail", false, "exit 1 on regression (default: warn only)")
+		markdown     = flag.Bool("markdown", false, "render the report as a markdown table")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one bench-output file"))
+	}
+
+	results, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *update {
+		b := Baseline{Generated: time.Now().UTC().Format(time.RFC3339), Benchmarks: map[string]Entry{}}
+		for name, samples := range results {
+			b.Benchmarks[name] = Entry{NsPerOp: median(samples), Samples: len(samples)}
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *baselinePath, len(b.Benchmarks))
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
+
+	report, regressions := compare(base, results, *threshold)
+	if *markdown {
+		writeMarkdown(os.Stdout, report, *threshold)
+	} else {
+		writeText(os.Stdout, report, *threshold)
+	}
+	if regressions > 0 && *fail {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

@@ -2,13 +2,25 @@
 //
 // Usage:
 //
-//	vist index  -dir ./idx [-dtd s.dtd] doc.xml …  index XML files (each file
-//	                                               may hold many record fragments)
+//	vist index  -dir ./idx [-dtd s.dtd] [-lambda N] doc.xml …
+//	                                               index XML files (each file
+//	                                               may hold many record fragments);
+//	                                               -dtd fixes the sibling order,
+//	                                               -lambda sets the labeling fan-out
+//	                                               (index creation only)
 //	vist query  -dir ./idx [-verify|-explain] [-timeout D] [-max-results N] 'EXPR'
-//	                                               run a path expression; -timeout
-//	                                               and -max-results bound its work
-//	                                               (on cut-off: partial stats to
-//	                                               stderr, exit 1)
+//	                                               run a path expression; -explain
+//	                                               prints the per-stage timing
+//	                                               breakdown and work counters;
+//	                                               -timeout and -max-results bound
+//	                                               its work (on cut-off: partial
+//	                                               stats to stderr, exit 1)
+//	vist serve  -dir ./idx [-addr A] [-metrics-addr A] [-slow-query D]
+//	                                               HTTP query API on -addr; with
+//	                                               -metrics-addr, /metrics, expvar
+//	                                               (/debug/vars) and net/http/pprof
+//	                                               on a second listener; -slow-query
+//	                                               logs slow queries to stderr
 //	vist get    -dir ./idx ID                      print a stored document
 //	vist delete -dir ./idx ID                      remove a document
 //	vist stats  -dir ./idx                         show index statistics
@@ -23,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"vist/internal/core"
 	"vist/internal/xmltree"
@@ -36,11 +49,14 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	dir := fs.String("dir", "", "index directory (required)")
 	verify := fs.Bool("verify", false, "refine candidates against stored documents (query only)")
-	explain := fs.Bool("explain", false, "print execution counters (query only)")
+	explain := fs.Bool("explain", false, "print the per-stage timing breakdown and work counters (query only)")
 	lambda := fs.Uint64("lambda", 0, "expected fan-out for dynamic labeling (index creation)")
 	dtd := fs.String("dtd", "", "DTD file supplying the sibling order (index creation)")
 	timeout := fs.Duration("timeout", 0, "cut the query off after this long (query only; 0 = no deadline)")
 	maxResults := fs.Int("max-results", 0, "cut the query off past this many candidate documents (query only; 0 = unlimited)")
+	addr := fs.String("addr", "localhost:8080", "HTTP query API address (serve only)")
+	metricsAddr := fs.String("metrics-addr", "", "metrics/debug listener: /metrics, expvar, pprof (serve only; empty = disabled)")
+	slowQuery := fs.Duration("slow-query", 0, "log queries at or over this duration to stderr (serve only; 0 = disabled)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -60,7 +76,15 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", *dtd, err))
 		}
 	}
-	ix, err := core.Open(*dir, core.Options{Lambda: *lambda, Schema: schema})
+	opts := core.Options{Lambda: *lambda, Schema: schema}
+	if cmd == "serve" && *slowQuery > 0 {
+		opts.SlowQueryThreshold = *slowQuery
+		opts.SlowQueryLog = func(sq core.SlowQuery) {
+			fmt.Fprintf(os.Stderr, "vist: slow query %q took %s (err=%v)\n%s\n",
+				sq.Expr, sq.Duration.Round(time.Microsecond), sq.Err, sq.Stats.Explain())
+		}
+	}
+	ix, err := core.Open(*dir, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -128,7 +152,7 @@ func main() {
 			fatal(err)
 		}
 		if *explain {
-			fmt.Fprintln(os.Stderr, stats)
+			fmt.Fprintln(os.Stderr, stats.Explain())
 		}
 		for _, id := range ids {
 			fmt.Println(id)
@@ -156,6 +180,10 @@ func main() {
 		fmt.Printf("index bytes:        %d\n", ix.IndexSizeBytes())
 		fmt.Printf("total bytes:        %d\n", ix.SizeBytes())
 		fmt.Printf("dictionary names:   %d\n", ix.Dict().Len())
+	case "serve":
+		if err := runServe(ix, *addr, *metricsAddr); err != nil {
+			fatal(err)
+		}
 	case "export":
 		if err := ix.ExportXML(os.Stdout); err != nil {
 			fatal(err)
@@ -194,6 +222,16 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vist {index|query|get|delete|stats|check|export} -dir DIR [args]")
+	fmt.Fprintln(os.Stderr, `usage: vist COMMAND -dir DIR [flags] [args]
+
+commands:
+  index   -dir DIR [-dtd FILE] [-lambda N] FILE...   index XML files
+  query   -dir DIR [-verify] [-explain] [-timeout D] [-max-results N] 'EXPR'
+  serve   -dir DIR [-addr A] [-metrics-addr A] [-slow-query D]
+  get     -dir DIR ID                                print a stored document
+  delete  -dir DIR ID                                remove a document
+  stats   -dir DIR                                   show index statistics
+  check   -dir DIR                                   verify structural invariants
+  export  -dir DIR                                   dump all stored documents`)
 	os.Exit(2)
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"time"
+
+	"vist/internal/core"
+)
+
+// runServe exposes an index over HTTP: a small query API on addr, and — when
+// metricsAddr is non-empty — the operational surface (plain-text /metrics,
+// expvar's /debug/vars carrying the metrics snapshot, and net/http/pprof) on
+// a separate listener so profiling endpoints are never reachable through the
+// query port.
+func runServe(ix *core.Index, addr, metricsAddr string) error {
+	if metricsAddr != "" {
+		expvar.Publish("vist.metrics", expvar.Func(func() any { return ix.Metrics() }))
+		// expvar and net/http/pprof register themselves on the default mux;
+		// /metrics joins them there.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			ix.Metrics().WriteText(w)
+		})
+		go func() {
+			fmt.Fprintf(os.Stderr, "vist: metrics on http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", metricsAddr)
+			if err := http.ListenAndServe(metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "vist: metrics server:", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		expr := r.URL.Query().Get("q")
+		if expr == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		ctx := r.Context()
+		if t := r.URL.Query().Get("timeout"); t != "" {
+			d, err := time.ParseDuration(t)
+			if err != nil {
+				http.Error(w, "bad timeout: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		var (
+			ids   []core.DocID
+			stats core.QueryStats
+			err   error
+		)
+		if r.URL.Query().Get("verify") != "" {
+			ids, stats, err = ix.QueryVerifiedCtx(ctx, expr, core.Budget{})
+		} else {
+			ids, stats, err = ix.QueryCtx(ctx, expr, core.Budget{})
+		}
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, core.ErrCanceled):
+				status = http.StatusGatewayTimeout
+			case errors.Is(err, core.ErrBudgetExceeded):
+				status = http.StatusTooManyRequests
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"ids": ids, "stats": stats})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	fmt.Fprintf(os.Stderr, "vist: query API on http://%s/query?q=EXPR\n", addr)
+	return http.ListenAndServe(addr, mux)
+}

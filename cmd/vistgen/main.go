@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	vistgen -dataset dblp  -n 1000  > dblp.xml
-//	vistgen -dataset xmark -n 400   > xmark.xml
+//	vistgen -dataset dblp  -n 1000 [-seed S]  > dblp.xml
+//	vistgen -dataset xmark -n 400  [-seed S]  > xmark.xml
 //	vistgen -dataset synthetic -n 100 -k 10 -j 8 -l 30 > synth.xml
 //	vistgen -dataset synthetic -queries 10 -l 6        # emit queries instead
+//
+// All datasets are deterministic for a fixed -seed (default 1).
 package main
 
 import (

@@ -6,11 +6,13 @@
 //
 //	query EXPR        run a path expression (candidate answers)
 //	verify EXPR       run a path expression with exact refinement
-//	explain EXPR      run a query and show execution counters
+//	explain EXPR      run a query and show its stage-timing breakdown
+//	                  and work counters
 //	get ID            print a stored document
 //	delete ID         remove a document
 //	load FILE         index every record in an XML file
 //	stats             index statistics
+//	metrics           live metrics snapshot (counters and histograms)
 //	check             structural integrity scan
 //	seq ID            print a document's structure-encoded sequence
 //	help              this text
@@ -82,7 +84,7 @@ func run(ix *core.Index, cmd, arg string) error {
 	case "quit", "exit", "q":
 		return errQuit
 	case "help", "?":
-		fmt.Println("query EXPR | verify EXPR | explain EXPR | get ID | delete ID | load FILE | seq ID | stats | check | quit")
+		fmt.Println("query EXPR | verify EXPR | explain EXPR | get ID | delete ID | load FILE | seq ID | stats | metrics | check | quit")
 		return nil
 	case "query", "verify":
 		start := time.Now()
@@ -106,7 +108,10 @@ func run(ix *core.Index, cmd, arg string) error {
 			return err
 		}
 		printIDs(ids)
-		fmt.Printf("%d documents in %s\n%s\n", len(ids), time.Since(start).Round(time.Microsecond), stats)
+		fmt.Printf("%d documents in %s\n%s\n", len(ids), time.Since(start).Round(time.Microsecond), stats.Explain())
+		return nil
+	case "metrics":
+		fmt.Print(ix.Metrics())
 		return nil
 	case "get":
 		id, err := strconv.ParseUint(arg, 10, 64)

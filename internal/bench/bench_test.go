@@ -226,3 +226,26 @@ func TestRunDurabilitySmoke(t *testing.T) {
 		t.Fatalf("rendering: %q", buf.String())
 	}
 }
+
+func TestRunObsSmoke(t *testing.T) {
+	res, err := RunObs(tiny())
+	if err != nil {
+		t.Fatalf("RunObs: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.On <= 0 || row.Off <= 0 {
+			t.Fatalf("non-positive timing: %+v", row)
+		}
+	}
+	if res.MetricsSummary == "" || !strings.Contains(res.MetricsSummary, "queries ok=") {
+		t.Fatalf("bad metrics summary: %q", res.MetricsSummary)
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "overhead") {
+		t.Fatalf("rendering missing overhead column:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+)
+
+// ObsResult prices the observability layer: the same workload runs on two
+// otherwise-identical indexes — metrics on (the default) and DisableMetrics —
+// and the per-query median latencies are compared. The acceptance target is
+// a median overhead under 5%.
+type ObsResult struct {
+	Records int
+	Rows    []ObsRow
+	// MetricsSummary is a headline extract of the instrumented run's final
+	// snapshot (query counters, cache hit rate, stage medians).
+	MetricsSummary string
+}
+
+// ObsRow is one query's metrics-on vs metrics-off comparison.
+type ObsRow struct {
+	Expr        string
+	On, Off     time.Duration // median per-query latency
+	OverheadPct float64       // (On-Off)/Off * 100
+}
+
+// sampleLatency measures one batch: expr runs for at least per (and at least
+// 3 iterations), reporting the mean per-iteration latency of the batch.
+func sampleLatency(ix *core.Index, expr string, per time.Duration) (time.Duration, error) {
+	var iters int
+	start := time.Now()
+	for iters = 0; iters < 3 || time.Since(start) < per; iters++ {
+		if iters >= 1000 {
+			break
+		}
+		if _, err := ix.Query(expr); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+// pairedMedian interleaves measurement batches between the two indexes —
+// alternating which side goes first — so slow machine-wide drift (thermal,
+// heap growth) cancels out of the comparison instead of masquerading as
+// instrumentation overhead. It reports the median batch latency per side.
+func pairedMedian(on, off *core.Index, expr string, minTime time.Duration) (time.Duration, time.Duration, error) {
+	const samples = 7
+	for _, ix := range []*core.Index{on, off} { // warm-up
+		if _, err := ix.Query(expr); err != nil {
+			return 0, 0, err
+		}
+	}
+	per := minTime / samples
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	onMeds := make([]time.Duration, 0, samples)
+	offMeds := make([]time.Duration, 0, samples)
+	for s := 0; s < samples; s++ {
+		order := []*core.Index{on, off}
+		if s%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, ix := range order {
+			d, err := sampleLatency(ix, expr, per)
+			if err != nil {
+				return 0, 0, err
+			}
+			if ix == on {
+				onMeds = append(onMeds, d)
+			} else {
+				offMeds = append(offMeds, d)
+			}
+		}
+	}
+	sort.Slice(onMeds, func(i, j int) bool { return onMeds[i] < onMeds[j] })
+	sort.Slice(offMeds, func(i, j int) bool { return offMeds[i] < offMeds[j] })
+	return onMeds[samples/2], offMeds[samples/2], nil
+}
+
+// RunObs measures the latency cost of the metrics registry and stage tracing
+// on the DBLP-like corpus.
+func RunObs(cfg Config) (*ObsResult, error) {
+	res := &ObsResult{Records: cfg.scale(5000)}
+	docs := gen.DBLP(gen.DBLPConfig{Records: res.Records, Seed: cfg.Seed})
+
+	mk := func(disable bool) (*core.Index, error) {
+		return core.NewMem(core.Options{
+			Schema:            gen.DBLPSchema(),
+			SkipDocumentStore: true,
+			DisableMetrics:    disable,
+			// A node cache big enough for the working set: with the default
+			// (512 nodes) this corpus thrashes the clock cache, and thrash
+			// dynamics are bistable enough to drown the few-percent effect
+			// this experiment prices.
+			NodeCache: 1 << 16,
+		})
+	}
+	on, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	off, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+	// Insert document-by-document into both indexes alternately: two indexes
+	// built back-to-back land in differently-fragmented heap regions and can
+	// differ 3x on scan-heavy queries from locality alone, which would drown
+	// the effect being measured. Interleaved building gives both the same
+	// allocation pattern.
+	for _, d := range docs {
+		if _, err := on.Insert(d.Clone()); err != nil {
+			return nil, err
+		}
+		if _, err := off.Insert(d.Clone()); err != nil {
+			return nil, err
+		}
+	}
+
+	exprs := []string{
+		"/inproceedings/title",
+		"//author[text()='" + gen.DBLPDavid + "']",
+		"/book[@key='" + gen.DBLPKey + "']/author",
+		"//inproceedings/author",
+	}
+	for _, expr := range exprs {
+		dOn, dOff, err := pairedMedian(on, off, expr, cfg.minTime())
+		if err != nil {
+			return nil, err
+		}
+		pct := 0.0
+		if dOff > 0 {
+			pct = 100 * (float64(dOn) - float64(dOff)) / float64(dOff)
+		}
+		res.Rows = append(res.Rows, ObsRow{Expr: expr, On: dOn, Off: dOff, OverheadPct: pct})
+	}
+
+	snap := on.Metrics()
+	lat := snap.Histograms["query.seconds"]
+	p50 := time.Duration(lat.Quantile(0.50) * float64(time.Second)).Round(time.Microsecond)
+	p99 := time.Duration(lat.Quantile(0.99) * float64(time.Second)).Round(time.Microsecond)
+	res.MetricsSummary = fmt.Sprintf(
+		"queries ok=%d slow=%d; docs inserted=%d; node-cache hit rate=%.3f; query p50=%s p99=%s",
+		snap.Counter("query.ok"), snap.Counter("query.slow"), snap.Counter("index.docs_inserted"),
+		snap.Ratio("btree.node_cache_hits", "btree.node_cache_misses"), p50, p99)
+	return res, nil
+}
+
+// Fprint renders the observability overhead experiment.
+func (r *ObsResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Observability overhead — metrics on vs DisableMetrics",
+		fmt.Sprintf("DBLP-like, %d records, in-memory; median per-query latency over interleaved samples. Target: <5%% median overhead.", r.Records))
+	fmt.Fprintf(w, "%-52s %12s %12s %10s\n", "query", "metrics on", "metrics off", "overhead")
+	var pcts []float64
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-52s %12s %12s %9.1f%%\n",
+			row.Expr, row.On.Round(time.Microsecond), row.Off.Round(time.Microsecond), row.OverheadPct)
+		pcts = append(pcts, row.OverheadPct)
+	}
+	sort.Float64s(pcts)
+	if len(pcts) > 0 {
+		fmt.Fprintf(w, "%-52s %12s %12s %9.1f%%\n", "median", "", "", pcts[len(pcts)/2])
+	}
+	fmt.Fprintf(w, "\ninstrumented run: %s\n", r.MetricsSummary)
+}

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"vist/internal/obs"
 )
 
 const (
@@ -37,6 +39,9 @@ type Options struct {
 	PageSize int
 	// NodeCache bounds the decoded-node cache. Zero selects a default.
 	NodeCache int
+	// Metrics, when non-nil, receives decoded-node-cache counters. The same
+	// bundle may be shared across trees (its metrics are atomic).
+	Metrics *obs.TreeMetrics
 }
 
 // BTree is a B+Tree over a Pager. All methods are safe for concurrent use:
@@ -72,6 +77,10 @@ type BTree struct {
 
 	buf     []byte    // scratch page buffer; exclusive-lock holders only
 	bufPool sync.Pool // page buffers for the shared-lock read path
+
+	// m counts node-cache traffic; never nil (a bundle of nil metrics when
+	// observability is off).
+	m *obs.TreeMetrics
 }
 
 // New opens the tree stored in pg, creating an empty tree when the pager has
@@ -89,11 +98,16 @@ func New(pg Pager, opts Options) (*BTree, error) {
 	if nc <= 0 {
 		nc = defaultNodeCache
 	}
+	m := opts.Metrics
+	if m == nil {
+		m = &obs.TreeMetrics{}
+	}
 	t := &BTree{
 		pg:       pg,
 		pageSize: ps,
 		cacheCap: nc,
 		buf:      make([]byte, ps),
+		m:        m,
 	}
 	t.bufPool.New = func() any { return make([]byte, ps) }
 	if pg.NumPages() == 0 {
@@ -211,6 +225,7 @@ func (t *BTree) evict() error {
 			}
 			if t.cache.CompareAndDelete(k, v) {
 				t.cacheN.Add(-1)
+				t.m.NodeCacheEvictions.Inc()
 				evicted = true
 			}
 			return true
@@ -251,6 +266,7 @@ func (t *BTree) evictClean() {
 			}
 			if t.cache.CompareAndDelete(k, v) {
 				t.cacheN.Add(-1)
+				t.m.NodeCacheEvictions.Inc()
 				evicted = true
 			}
 			return true
@@ -272,8 +288,10 @@ func (t *BTree) load(id PageID) (*node, error) {
 		if n.ref.Load() == 0 {
 			n.ref.Store(1)
 		}
+		t.m.NodeCacheHits.Inc()
 		return n, nil
 	}
+	t.m.NodeCacheMisses.Inc()
 
 	buf := t.bufPool.Get().([]byte)
 	err := t.pg.Read(id, buf)

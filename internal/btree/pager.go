@@ -9,6 +9,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"vist/internal/obs"
 )
 
 // PageID identifies a fixed-size page within a Pager. Page 0 is always the
@@ -163,6 +165,11 @@ type FilePager struct {
 	tornTail bool // file ended mid-page at open; the tail is ignored
 
 	hits, misses atomic.Uint64 // buffer-pool statistics
+
+	// m aggregates buffer-pool and file-I/O metrics; never nil (a bundle of
+	// nil metrics when observability is off), and possibly shared with other
+	// pagers of the same index.
+	m *obs.PagerMetrics
 }
 
 // DefaultCachePages is the buffer-pool capacity used when the caller passes
@@ -179,6 +186,10 @@ type PagerOptions struct {
 	WALFileID uint8
 	// FS overrides the filesystem (fault injection); nil selects the OS.
 	FS FS
+	// Metrics, when non-nil, receives buffer-pool and file-I/O counters. The
+	// same bundle may be shared by several pagers (its metrics are atomic);
+	// core shares one across an index's four tree files.
+	Metrics *obs.PagerMetrics
 }
 
 // OpenFilePager opens (or creates) the page file at path with no WAL
@@ -214,6 +225,10 @@ func OpenFilePagerOpts(path string, pageSize int, o PagerOptions) (*FilePager, e
 	if cachePages <= 0 {
 		cachePages = DefaultCachePages
 	}
+	m := o.Metrics
+	if m == nil {
+		m = &obs.PagerMetrics{}
+	}
 	diskPage := pageSize + pageTrailerSize
 	p := &FilePager{
 		f:        f,
@@ -227,6 +242,7 @@ func OpenFilePagerOpts(path string, pageSize int, o PagerOptions) (*FilePager, e
 		diskBuf:  make([]byte, diskPage),
 		wal:      o.WAL,
 		walID:    o.WALFileID,
+		m:        m,
 	}
 	if p.wal != nil {
 		if err := p.wal.attach(p.walID, p); err != nil {
@@ -298,6 +314,7 @@ func (p *FilePager) insert(fp *filePage) {
 		}
 		p.lru.Remove(e)
 		delete(p.cache, victim.id)
+		p.m.Evictions.Inc()
 		e = prev
 	}
 }
@@ -311,6 +328,7 @@ func (p *FilePager) writeFile(fp *filePage) error {
 			return err
 		}
 		fp.dirty = false
+		p.m.PageWrites.Inc()
 		return nil
 	}
 	if err := p.writeRaw(fp.id, fp.data, p.diskBuf); err != nil {
@@ -333,6 +351,9 @@ func (p *FilePager) writeRaw(id PageID, data []byte, scratch []byte) error {
 	crc := crc32.Update(crc32.Checksum(data, castagnoli), castagnoli, frame[p.pageSize+4:p.diskPage])
 	binary.BigEndian.PutUint32(frame[p.pageSize:], crc)
 	_, err := p.f.WriteAt(frame, int64(id)*int64(p.diskPage))
+	if err == nil {
+		p.m.PageWrites.Inc()
+	}
 	return err
 }
 
@@ -388,10 +409,12 @@ func (p *FilePager) truncateTornTail() error {
 func (p *FilePager) load(id PageID) (*filePage, error) {
 	if fp, ok := p.cache[id]; ok {
 		p.hits.Add(1)
+		p.m.CacheHits.Inc()
 		p.lru.MoveToFront(fp.elem)
 		return fp, nil
 	}
 	p.misses.Add(1)
+	p.m.CacheMisses.Inc()
 	if uint32(id) >= p.npages {
 		return nil, fmt.Errorf("btree: access to unallocated page %d (have %d)", id, p.npages)
 	}
@@ -436,6 +459,7 @@ func (p *FilePager) readRaw(id PageID, data []byte) error {
 		return fmt.Errorf("btree: %w: page %d fails CRC32C (torn or corrupted write)", ErrCorrupt, id)
 	}
 	copy(data, frame[:p.pageSize])
+	p.m.PageReads.Inc()
 	return nil
 }
 

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
+
+	"vist/internal/obs"
 )
 
 // The write-ahead log makes page-file mutation crash-atomic. Sync stages
@@ -90,6 +93,10 @@ type WAL struct {
 	replay    []replayFrame
 	stats     RecoveryStats
 	recovered bool
+
+	// m is never nil (a bundle of nil metrics when observability is off);
+	// replace it with SetMetrics before Recover to observe recovery too.
+	m *obs.WALMetrics
 }
 
 type replayFrame struct {
@@ -115,6 +122,7 @@ func OpenWAL(path string, fs FS) (*WAL, error) {
 		path:    path,
 		members: make(map[uint8]*FilePager),
 		index:   make(map[walKey]walFrameRef),
+		m:       &obs.WALMetrics{},
 	}
 	size, err := f.Size()
 	if err != nil {
@@ -282,9 +290,25 @@ func (w *WAL) Recover() (RecoveryStats, error) {
 		return w.stats, err
 	}
 	w.stats.Replayed = len(w.replay) > 0
+	if w.stats.Replayed {
+		w.m.Recoveries.Inc()
+		w.m.PagesReplayed.Add(uint64(len(w.replay)))
+	}
 	w.replay = nil
 	w.recovered = true
 	return w.stats, nil
+}
+
+// SetMetrics attaches an observability bundle (nil restores the no-op
+// default). Call it right after OpenWAL, before Recover, so recovery and all
+// commits are observed; swapping bundles mid-traffic is not supported.
+func (w *WAL) SetMetrics(m *obs.WALMetrics) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if m == nil {
+		m = &obs.WALMetrics{}
+	}
+	w.m = m
 }
 
 // Stats returns the recovery statistics gathered at open/Recover.
@@ -310,6 +334,8 @@ func (w *WAL) stagePage(fileID uint8, page PageID, data []byte) error {
 	}
 	w.size += int64(len(frame))
 	w.pending++
+	w.m.PagesStaged.Inc()
+	w.m.BytesLogged.Add(uint64(len(frame)))
 	return nil
 }
 
@@ -356,9 +382,12 @@ func (w *WAL) Commit() error {
 		}
 		w.size += int64(len(frame))
 		w.pending = 0
+		w.m.Commits.Inc()
+		w.m.BytesLogged.Add(uint64(len(frame)))
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
+		w.m.Fsyncs.Inc()
 	}
 	return w.checkpointLocked()
 }
@@ -367,6 +396,11 @@ func (w *WAL) Commit() error {
 // the log. All staged frames are committed when this runs (Commit just
 // fsynced the commit record), so applying them cannot expose partial state.
 func (w *WAL) checkpointLocked() error {
+	start := time.Now()
+	defer func() {
+		w.m.Checkpoints.Inc()
+		w.m.CheckpointSeconds.ObserveDuration(time.Since(start))
+	}()
 	touched := make(map[uint8]*FilePager)
 	var data, scratch []byte
 	for key, ref := range w.index {
@@ -407,6 +441,7 @@ func (w *WAL) resetLocked() error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	w.m.Fsyncs.Inc()
 	w.size = walHeaderSize
 	w.pending = 0
 	w.index = make(map[walKey]walFrameRef)

@@ -11,6 +11,7 @@ import (
 	"vist/internal/btree"
 	"vist/internal/keyenc"
 	"vist/internal/labeling"
+	"vist/internal/obs"
 	"vist/internal/seq"
 	"vist/internal/xmltree"
 )
@@ -23,6 +24,12 @@ type Options struct {
 	// CachePages bounds each file pager's buffer pool (file-backed indexes
 	// only). Zero selects a default.
 	CachePages int
+	// NodeCache bounds each B+Tree's decoded-node cache (entries, not
+	// bytes). Zero selects the btree default (512). Watch the
+	// btree.node_cache_* metrics: a hit rate well under 1 on a read-mostly
+	// workload means the working set outgrew this cache and queries are
+	// paying constant deserialization and eviction churn.
+	NodeCache int
 	// Lambda is the expected fan-out for clue-free dynamic labeling
 	// (Section 3.4.1). Values below 2 select 2.
 	Lambda uint64
@@ -59,6 +66,23 @@ type Options struct {
 	// positive limit winning, so this acts as an admission-control ceiling
 	// a caller can tighten but not raise. The zero value imposes no limits.
 	DefaultBudget Budget
+	// DisableMetrics turns off the per-index metrics registry AND per-query
+	// stage timing: Metrics() returns an empty snapshot, QueryStats.Stages
+	// stays zero, and the instrumentation's atomic counters and clock reads
+	// are skipped. The default (metrics on) costs a few percent of query
+	// latency at most — vistbench -exp obs prices it on your hardware.
+	DisableMetrics bool
+	// SlowQueryThreshold, when positive, marks any query whose total wall
+	// time (candidate phase plus verification, for QueryVerified) reaches it
+	// as slow: the "query.slow" counter is bumped and SlowQueryLog (if set)
+	// fires. Works even with DisableMetrics set (only the callback then).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog is invoked exactly once per slow query, after the query's
+	// locks are released, on the goroutine that ran the query. It must be
+	// fast and must not call back into the Index from the same goroutine's
+	// critical path expectations (a quick log write or channel send is the
+	// intended use).
+	SlowQueryLog func(SlowQuery)
 }
 
 // RecoveryInfo reports what Open found in the write-ahead log.
@@ -105,6 +129,12 @@ type Index struct {
 	stats  *labeling.Stats
 	opts   Options
 
+	// reg is the per-index metrics registry (nil when DisableMetrics); qm
+	// caches the query/insert metric handles resolved from it. Both are
+	// fixed at construction, so reads need no lock.
+	reg *obs.Registry
+	qm  queryMetrics
+
 	// mutable metadata (persisted on Sync/Close)
 	nextDoc   DocID
 	docCount  uint64
@@ -126,8 +156,10 @@ func NewMem(opts Options) (*Index, error) {
 	if ps == 0 {
 		ps = btree.DefaultPageSize
 	}
+	reg := newRegistry(opts)
+	tm := obs.NewTreeMetrics(reg)
 	open := func() (*btree.BTree, error) {
-		return btree.New(btree.NewMemPager(ps), btree.Options{PageSize: ps})
+		return btree.New(btree.NewMemPager(ps), btree.Options{PageSize: ps, NodeCache: opts.NodeCache, Metrics: tm})
 	}
 	nodes, err := open()
 	if err != nil {
@@ -145,7 +177,16 @@ func NewMem(opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return initIndex(nodes, docs, store, aux, opts)
+	return initIndex(nodes, docs, store, aux, opts, reg)
+}
+
+// newRegistry builds the per-index metrics registry, or nil (everything
+// no-ops) when the options disable observability.
+func newRegistry(opts Options) *obs.Registry {
+	if opts.DisableMetrics {
+		return nil
+	}
+	return obs.NewRegistry()
 }
 
 // walFileName is the shared write-ahead log inside an index directory.
@@ -164,6 +205,7 @@ func Open(dir string, opts Options) (*Index, error) {
 	if ps == 0 {
 		ps = btree.DefaultPageSize
 	}
+	reg := newRegistry(opts)
 	walPath := filepath.Join(dir, walFileName)
 	var wal *btree.WAL
 	if opts.DisableWAL {
@@ -178,6 +220,8 @@ func Open(dir string, opts Options) (*Index, error) {
 		if wal, err = btree.OpenWAL(walPath, opts.FS); err != nil {
 			return nil, err
 		}
+		// Attach metrics before Recover so a crash replay is observed too.
+		wal.SetMetrics(obs.NewWALMetrics(reg))
 	}
 
 	var pagers []*btree.FilePager
@@ -194,12 +238,17 @@ func Open(dir string, opts Options) (*Index, error) {
 		}
 		return nil, err
 	}
+	// One shared bundle per layer: the four tree files aggregate into the
+	// same pager/btree counters, giving whole-index hit rates.
+	pm := obs.NewPagerMetrics(reg)
+	tm := obs.NewTreeMetrics(reg)
 	for i, name := range []string{"nodes.db", "docs.db", "store.db", "aux.db"} {
 		pg, err := btree.OpenFilePagerOpts(filepath.Join(dir, name), ps, btree.PagerOptions{
 			CachePages: opts.CachePages,
 			WAL:        wal,
 			WALFileID:  uint8(i + 1),
 			FS:         opts.FS,
+			Metrics:    pm,
 		})
 		if err != nil {
 			return fail(err)
@@ -221,13 +270,13 @@ func Open(dir string, opts Options) (*Index, error) {
 		}
 	}
 	for _, pg := range pagers {
-		t, err := btree.New(pg, btree.Options{PageSize: ps})
+		t, err := btree.New(pg, btree.Options{PageSize: ps, NodeCache: opts.NodeCache, Metrics: tm})
 		if err != nil {
 			return fail(err)
 		}
 		trees = append(trees, t)
 	}
-	ix, err := initIndex(trees[0], trees[1], trees[2], trees[3], opts)
+	ix, err := initIndex(trees[0], trees[1], trees[2], trees[3], opts, reg)
 	if err != nil {
 		return fail(err)
 	}
@@ -237,8 +286,9 @@ func Open(dir string, opts Options) (*Index, error) {
 	return ix, nil
 }
 
-func initIndex(nodes, docs, store, aux *btree.BTree, opts Options) (*Index, error) {
-	ix := &Index{nodes: nodes, docs: docs, store: store, aux: aux, opts: opts}
+func initIndex(nodes, docs, store, aux *btree.BTree, opts Options, reg *obs.Registry) (*Index, error) {
+	ix := &Index{nodes: nodes, docs: docs, store: store, aux: aux, opts: opts,
+		reg: reg, qm: newQueryMetrics(reg)}
 	existing, err := ix.loadMeta()
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"vist/internal/labeling"
 	"vist/internal/seq"
@@ -21,6 +22,10 @@ func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
 	}
 	if doc.Depth() > MaxDepth {
 		return 0, fmt.Errorf("core: document depth %d exceeds max %d; split the structure into sub-structures", doc.Depth(), MaxDepth)
+	}
+	if ix.reg != nil {
+		start := time.Now()
+		defer func() { ix.qm.insertLatency.ObserveDuration(time.Since(start)) }()
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -50,6 +55,7 @@ func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
 		ix.maxDepth = d
 	}
 	ix.metaDirty = true
+	ix.qm.inserted.Inc()
 	return id, nil
 }
 
@@ -359,6 +365,7 @@ func (ix *Index) Delete(id DocID) error {
 	}
 	ix.docCount--
 	ix.metaDirty = true
+	ix.qm.deleted.Inc()
 	return nil
 }
 

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vist/internal/xmltree"
+)
+
+// TestMetricsSnapshot exercises the whole observability surface on a
+// disk-backed index: query outcome counters, stage histograms, insert/delete
+// counters, pager cache counters, and WAL activity.
+func TestMetricsSnapshot(t *testing.T) {
+	// A 4-page cache forces evictions (and so real page reads and writes)
+	// even on this small dataset.
+	ix, err := Open(t.TempDir(), Options{PageSize: 512, CachePages: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer ix.Close()
+
+	ids := insertXML(t, ix, purchaseBoston, purchaseChicago)
+	if err := ix.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	if _, err := ix.Query("/purchase/seller/item"); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if _, _, err := ix.QueryVerifiedCtx(context.Background(), "/purchase/seller/item", Budget{}); err != nil {
+		t.Fatalf("QueryVerified: %v", err)
+	}
+	// One budget-exceeded outcome.
+	if _, _, err := ix.QueryCtx(context.Background(), "//item", Budget{MaxRangeScans: 1}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("budget query: got %v, want ErrBudgetExceeded", err)
+	}
+	// One parse failure (counts as an error without executing).
+	if _, _, err := ix.QueryCtx(context.Background(), "///", Budget{}); err == nil {
+		t.Fatalf("parse failure expected")
+	}
+
+	if err := ix.Delete(ids[0]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+
+	snap := ix.Metrics()
+	wantCounter := func(name string, min uint64) {
+		t.Helper()
+		if got := snap.Counter(name); got < min {
+			t.Errorf("counter %s = %d, want >= %d", name, got, min)
+		}
+	}
+	wantCounter("query.ok", 2)
+	wantCounter("query.budget_exceeded", 1)
+	wantCounter("query.errors", 1)
+	wantCounter("index.docs_inserted", 2)
+	wantCounter("index.docs_deleted", 1)
+	wantCounter("pager.page_writes", 1)
+	wantCounter("wal.fsyncs", 1)
+	wantCounter("wal.commits", 1)
+
+	// Cache hit rate must be well-defined after this much traffic.
+	if hits, misses := snap.Counter("pager.cache_hits"), snap.Counter("pager.cache_misses"); hits+misses == 0 {
+		t.Errorf("pager cache saw no traffic")
+	}
+	if r := snap.Ratio("pager.cache_hits", "pager.cache_misses"); r < 0 || r > 1 {
+		t.Errorf("cache hit rate %v out of [0,1]", r)
+	}
+
+	h, ok := snap.Histograms["query.seconds"]
+	if !ok || h.Count < 3 {
+		t.Fatalf("query.seconds histogram: %+v (want count >= 3)", h)
+	}
+	for _, name := range []string{"query.stage.probe_seconds", "query.stage.collect_seconds", "query.stage.verify_seconds", "index.insert_seconds"} {
+		if h, ok := snap.Histograms[name]; !ok || h.Count == 0 {
+			t.Errorf("histogram %s empty: %+v", name, h)
+		}
+	}
+
+	// The text rendering mentions the headline metrics.
+	text := snap.String()
+	for _, want := range []string{"query.ok", "pager.cache_hits", "wal.fsyncs"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("snapshot text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMetricsPageReads reopens an index so queries must fault pages in from
+// disk: page_reads is only visible past the pager and node caches.
+func TestMetricsPageReads(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+	if err := ix.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	ix2, err := Open(dir, Options{PageSize: 512, CachePages: 4})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer ix2.Close()
+	if _, err := ix2.Query("//item"); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	snap := ix2.Metrics()
+	if got := snap.Counter("pager.page_reads"); got == 0 {
+		t.Errorf("pager.page_reads = 0 after reopen+query, want > 0")
+	}
+	if got := snap.Counter("pager.cache_misses"); got == 0 {
+		t.Errorf("pager.cache_misses = 0 after reopen+query, want > 0")
+	}
+}
+
+// TestQueryStatsStages checks that an executed query reports a stage
+// breakdown and that Explain renders it.
+func TestQueryStatsStages(t *testing.T) {
+	ix := mustMem(t, Options{})
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+
+	_, stats, err := ix.QueryCtx(context.Background(), "/purchase/seller/item", Budget{})
+	if err != nil {
+		t.Fatalf("QueryCtx: %v", err)
+	}
+	if stats.Stages.Total <= 0 {
+		t.Fatalf("Stages.Total = %v, want > 0", stats.Stages.Total)
+	}
+	if stats.Stages.Parse <= 0 || stats.Stages.Probe <= 0 || stats.Stages.Collect <= 0 {
+		t.Errorf("expected nonzero parse/probe/collect stages, got %+v", stats.Stages)
+	}
+	sum := stats.Stages.Parse + stats.Stages.Probe + stats.Stages.Scan + stats.Stages.Collect + stats.Stages.Verify
+	if sum > stats.Stages.Total {
+		t.Errorf("stage sum %v exceeds total %v", sum, stats.Stages.Total)
+	}
+	out := stats.Explain()
+	for _, want := range []string{"parse", "probe", "total", "counters:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+
+	_, vstats, err := ix.QueryVerifiedCtx(context.Background(), "/purchase/seller/item", Budget{})
+	if err != nil {
+		t.Fatalf("QueryVerifiedCtx: %v", err)
+	}
+	if vstats.Stages.Verify <= 0 {
+		t.Errorf("verified query reported no Verify stage time: %+v", vstats.Stages)
+	}
+}
+
+// TestMetricsDisabled checks the DisableMetrics escape hatch: empty
+// snapshots, nil registry, and no stage timing beyond Total.
+func TestMetricsDisabled(t *testing.T) {
+	ix := mustMem(t, Options{DisableMetrics: true})
+	insertXML(t, ix, purchaseBoston)
+	_, stats, err := ix.QueryCtx(context.Background(), "/purchase", Budget{})
+	if err != nil {
+		t.Fatalf("QueryCtx: %v", err)
+	}
+	if ix.MetricsRegistry() != nil {
+		t.Errorf("MetricsRegistry non-nil with DisableMetrics")
+	}
+	snap := ix.Metrics()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("expected empty snapshot, got %+v", snap)
+	}
+	if stats.Stages.Parse != 0 || stats.Stages.Probe != 0 || stats.Stages.Scan != 0 || stats.Stages.Collect != 0 {
+		t.Errorf("stage timing collected despite DisableMetrics: %+v", stats.Stages)
+	}
+	if stats.Stages.Total <= 0 {
+		t.Errorf("Total should still be stamped, got %v", stats.Stages.Total)
+	}
+	if !strings.Contains(stats.Explain(), "disabled") {
+		t.Errorf("Explain should note disabled stage timing:\n%s", stats.Explain())
+	}
+}
+
+// TestSlowQueryCallbackFiresOnce configures a threshold every query crosses
+// and checks the callback fires exactly once per executed query — including
+// for two-phase verified queries, which must not double-report.
+func TestSlowQueryCallbackFiresOnce(t *testing.T) {
+	var mu sync.Mutex
+	var calls []SlowQuery
+	ix := mustMem(t, Options{
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog: func(sq SlowQuery) {
+			mu.Lock()
+			calls = append(calls, sq)
+			mu.Unlock()
+		},
+	})
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+
+	if _, err := ix.Query("/purchase/seller/item"); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if got := len(calls); got != 1 {
+		t.Fatalf("after one query: %d callback calls, want 1", got)
+	}
+	if calls[0].Expr != "/purchase/seller/item" || calls[0].Err != nil || calls[0].Duration <= 0 {
+		t.Errorf("bad slow-query record: %+v", calls[0])
+	}
+
+	if _, _, err := ix.QueryVerifiedCtx(context.Background(), "//item", Budget{}); err != nil {
+		t.Fatalf("QueryVerified: %v", err)
+	}
+	if got := len(calls); got != 2 {
+		t.Fatalf("after verified query: %d callback calls, want 2", got)
+	}
+
+	// A failing (budget-exceeded) query still reports once, with its error.
+	if _, _, err := ix.QueryCtx(context.Background(), "//item", Budget{MaxRangeScans: 1}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("budget query: %v", err)
+	}
+	if got := len(calls); got != 3 {
+		t.Fatalf("after budget query: %d callback calls, want 3", got)
+	}
+	if !errors.Is(calls[2].Err, ErrBudgetExceeded) {
+		t.Errorf("slow-query record error = %v, want ErrBudgetExceeded", calls[2].Err)
+	}
+	if ix.Metrics().Counter("query.slow") != 3 {
+		t.Errorf("query.slow = %d, want 3", ix.Metrics().Counter("query.slow"))
+	}
+
+	// Parse failures never execute and never fire the hook.
+	if _, _, err := ix.QueryCtx(context.Background(), "///", Budget{}); err == nil {
+		t.Fatalf("parse failure expected")
+	}
+	if got := len(calls); got != 3 {
+		t.Fatalf("parse failure fired the slow-query hook: %d calls", got)
+	}
+}
+
+// TestMetricsConcurrent hammers Index.Metrics() while queries, inserts, and
+// deletes run concurrently; run under -race this proves snapshotting needs no
+// external synchronization.
+func TestMetricsConcurrent(t *testing.T) {
+	ix := mustMem(t, Options{SlowQueryThreshold: time.Nanosecond, SlowQueryLog: func(SlowQuery) {}})
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+
+	const (
+		readers  = 4
+		queriers = 4
+		iters    = 200
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				snap := ix.Metrics()
+				_ = snap.String()
+			}
+		}()
+	}
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, _, err := ix.QueryCtx(context.Background(), "//item", Budget{}); err != nil {
+					t.Errorf("QueryCtx: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			doc, err := xmltree.ParseString(purchaseBoston)
+			if err != nil {
+				t.Errorf("parse: %v", err)
+				return
+			}
+			id, err := ix.Insert(doc)
+			if err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+			if err := ix.Delete(id); err != nil {
+				t.Errorf("Delete: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	snap := ix.Metrics()
+	if got := snap.Counter("query.ok"); got < queriers*iters {
+		t.Errorf("query.ok = %d, want >= %d", got, queriers*iters)
+	}
+	if got := snap.Counter("index.docs_inserted"); got < 2+iters/4 {
+		t.Errorf("docs_inserted = %d, want >= %d", got, 2+iters/4)
+	}
+}

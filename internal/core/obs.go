@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"vist/internal/obs"
+)
+
+// queryMetrics caches the metric handles the core layer records into. All
+// fields are nil when the index was opened with DisableMetrics, and every
+// obs metric no-ops on nil, so call sites never branch on "metrics on?".
+type queryMetrics struct {
+	// Query outcomes. Exactly one of these is bumped per executed query
+	// (parse failures count as errors without executing).
+	ok, canceled, budget, panics, errors *obs.Counter
+	// slow counts queries at or over Options.SlowQueryThreshold.
+	slow *obs.Counter
+
+	// latency observes total query wall time; lockWait observes how long
+	// queries waited to acquire the shared index lock (contention with
+	// writers); the stage histograms mirror QueryStats.Stages.
+	latency, lockWait                   *obs.Histogram
+	parse, probe, scan, collect, verify *obs.Histogram
+
+	// Mutation-side metrics.
+	inserted, deleted *obs.Counter
+	insertLatency     *obs.Histogram
+}
+
+func newQueryMetrics(r *obs.Registry) queryMetrics {
+	return queryMetrics{
+		ok:            r.Counter("query.ok"),
+		canceled:      r.Counter("query.canceled"),
+		budget:        r.Counter("query.budget_exceeded"),
+		panics:        r.Counter("query.panics"),
+		errors:        r.Counter("query.errors"),
+		slow:          r.Counter("query.slow"),
+		latency:       r.Histogram("query.seconds", obs.DurationBounds),
+		lockWait:      r.Histogram("query.lock_wait_seconds", obs.DurationBounds),
+		parse:         r.Histogram("query.stage.parse_seconds", obs.DurationBounds),
+		probe:         r.Histogram("query.stage.probe_seconds", obs.DurationBounds),
+		scan:          r.Histogram("query.stage.scan_seconds", obs.DurationBounds),
+		collect:       r.Histogram("query.stage.collect_seconds", obs.DurationBounds),
+		verify:        r.Histogram("query.stage.verify_seconds", obs.DurationBounds),
+		inserted:      r.Counter("index.docs_inserted"),
+		deleted:       r.Counter("index.docs_deleted"),
+		insertLatency: r.Histogram("index.insert_seconds", obs.DurationBounds),
+	}
+}
+
+// SlowQuery is the record handed to Options.SlowQueryLog.
+type SlowQuery struct {
+	// Expr is the query text (Query.Raw for pre-parsed queries).
+	Expr string
+	// Duration is total wall time: candidate phase plus verification.
+	Duration time.Duration
+	// Stats is the work performed, including the per-stage breakdown when
+	// metrics are enabled.
+	Stats QueryStats
+	// Err is the query's final error, nil for a slow success.
+	Err error
+}
+
+// Metrics snapshots the index's metrics registry: cache hit/miss counters
+// across the pager and node-cache layers, WAL fsync/checkpoint activity,
+// query outcome counters and latency/stage histograms, and insert/delete
+// counters. DESIGN.md §9 documents every name. Safe to call from any
+// goroutine, concurrently with queries and mutations; the snapshot is
+// monitoring-grade, not a serialized cut. Returns an empty snapshot when the
+// index was opened with DisableMetrics.
+func (ix *Index) Metrics() obs.Snapshot { return ix.reg.Snapshot() }
+
+// MetricsRegistry exposes the live per-index registry (nil when metrics are
+// disabled) so callers can publish it — e.g. through expvar — or register
+// their own application metrics beside the index's.
+func (ix *Index) MetricsRegistry() *obs.Registry { return ix.reg }
+
+// observeQuery finalizes one query execution: it stamps the total wall time
+// into the stats, records outcome and latency metrics, and fires the
+// slow-query hook. It must run exactly once per executed query, after the
+// index locks are released — QueryCtx/QueryParsedCtx call it directly, and
+// QueryVerifiedCtx calls it once for both of its phases combined.
+func (ix *Index) observeQuery(expr string, start time.Time, stats *QueryStats, err error) {
+	total := time.Since(start)
+	stats.Stages.Total = total
+	switch {
+	case err == nil:
+		ix.qm.ok.Inc()
+	case errors.Is(err, ErrCanceled):
+		ix.qm.canceled.Inc()
+	case errors.Is(err, ErrBudgetExceeded):
+		ix.qm.budget.Inc()
+	case errors.Is(err, ErrQueryPanic):
+		ix.qm.panics.Inc()
+	default:
+		ix.qm.errors.Inc()
+	}
+	ix.qm.latency.ObserveDuration(total)
+	observeStage(ix.qm.parse, stats.Stages.Parse)
+	observeStage(ix.qm.probe, stats.Stages.Probe)
+	observeStage(ix.qm.scan, stats.Stages.Scan)
+	observeStage(ix.qm.collect, stats.Stages.Collect)
+	observeStage(ix.qm.verify, stats.Stages.Verify)
+	if th := ix.opts.SlowQueryThreshold; th > 0 && total >= th {
+		ix.qm.slow.Inc()
+		if cb := ix.opts.SlowQueryLog; cb != nil {
+			cb(SlowQuery{Expr: expr, Duration: total, Stats: *stats, Err: err})
+		}
+	}
+}
+
+// observeStage records a stage duration, skipping stages the query never
+// entered so the histograms reflect work done rather than zeros.
+func observeStage(h *obs.Histogram, d time.Duration) {
+	if d > 0 {
+		h.ObserveDuration(d)
+	}
+}

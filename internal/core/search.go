@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"vist/internal/keyenc"
 	"vist/internal/labeling"
@@ -41,11 +42,15 @@ func (ix *Index) Query(expr string) ([]DocID, error) {
 // error is a *QueryError carrying the same stats and the query text. Panics
 // during execution are contained and surface as ErrQueryPanic.
 func (ix *Index) QueryCtx(ctx context.Context, expr string, b Budget) ([]DocID, QueryStats, error) {
+	start := time.Now()
 	q, err := query.Parse(expr)
 	if err != nil {
+		// Parse failures never execute; count them without firing the
+		// per-query observer (there is no work or latency to report).
+		ix.qm.errors.Inc()
 		return nil, QueryStats{}, err
 	}
-	return ix.QueryParsedCtx(ctx, q, b)
+	return ix.queryObserved(ctx, q, b, start, time.Since(start))
 }
 
 // QueryParsed executes an already-parsed query. Queries whose
@@ -57,18 +62,45 @@ func (ix *Index) QueryParsed(q *query.Query) ([]DocID, error) {
 	return ids, err
 }
 
-// QueryParsedCtx is QueryCtx for an already-parsed query.
+// QueryParsedCtx is QueryCtx for an already-parsed query. Its Stages.Parse
+// covers only sequence expansion — the expression was parsed by the caller.
 func (ix *Index) QueryParsedCtx(ctx context.Context, q *query.Query, b Budget) ([]DocID, QueryStats, error) {
+	return ix.queryObserved(ctx, q, b, time.Now(), 0)
+}
+
+// queryObserved runs the candidate phase and fires the per-query observer
+// (outcome metrics, latency histograms, slow-query log) exactly once, after
+// the index lock is released. Every public single-query entry point funnels
+// through here or through QueryVerifiedCtx's own single observation.
+func (ix *Index) queryObserved(ctx context.Context, q *query.Query, b Budget, start time.Time, parseD time.Duration) ([]DocID, QueryStats, error) {
+	ids, stats, err := ix.queryParsedInner(ctx, q, b, parseD)
+	ix.observeQuery(q.Raw, start, &stats, err)
+	return ids, stats, err
+}
+
+// queryParsedInner is the unobserved candidate phase: QueryVerifiedCtx uses
+// it directly so a verified query observes once for both phases combined.
+func (ix *Index) queryParsedInner(ctx context.Context, q *query.Query, b Budget, parseD time.Duration) ([]DocID, QueryStats, error) {
 	ctx, cancel := ix.queryContext(ctx)
 	defer cancel()
 	qc := ix.newQctx(ctx, q.Raw, b)
+	if qc.timed {
+		qc.stats.Stages.Parse = parseD
+	}
 	// Fail fast on an already-dead context, before taking the lock: even a
 	// query that would do no scan work (and so hit no checkpoint) must
 	// report cancellation deterministically.
 	if err := qc.checkCtx(); err != nil {
 		return nil, qc.stats, err
 	}
+	var lockStart time.Time
+	if qc.timed {
+		lockStart = time.Now()
+	}
 	ix.mu.RLock()
+	if qc.timed {
+		ix.qm.lockWait.ObserveDuration(time.Since(lockStart))
+	}
 	defer ix.mu.RUnlock()
 	var ids []DocID
 	err := qc.contained(func() error {
@@ -83,7 +115,15 @@ func (ix *Index) QueryParsedCtx(ctx context.Context, q *query.Query, b Budget) (
 // collected so far even when a budget or cancellation error cuts the run
 // short.
 func (ix *Index) queryLocked(qc *qctx, q *query.Query) ([]DocID, error) {
+	var t0 time.Time
+	if qc.timed {
+		t0 = time.Now()
+	}
 	seqs, err := q.Sequences(ix.dict, ix.schema)
+	if qc.timed {
+		// Variant expansion is planning work; account it with Parse.
+		qc.stats.Stages.Parse += time.Since(t0)
+	}
 	if query.IsVariantCapError(err) {
 		return ix.queryDisassembled(qc, q)
 	}
@@ -162,25 +202,48 @@ func (ix *Index) QueryVerifiedCtx(ctx context.Context, expr string, b Budget) ([
 	if ix.opts.SkipDocumentStore {
 		return nil, QueryStats{}, fmt.Errorf("core: QueryVerified requires document storage (SkipDocumentStore is set)")
 	}
+	start := time.Now()
 	q, err := query.Parse(expr)
 	if err != nil {
+		ix.qm.errors.Inc()
 		return nil, QueryStats{}, err
 	}
+	parseD := time.Since(start)
 	// The default timeout is applied here so it spans both phases; the
-	// nested QueryParsedCtx sees a context that already has a deadline and
-	// leaves it alone.
+	// nested candidate phase sees a context that already has a deadline and
+	// leaves it alone. The per-query observer fires exactly once, covering
+	// both phases, after all locks are released.
 	ctx, cancel := ix.queryContext(ctx)
 	defer cancel()
-	candidates, stats, err := ix.QueryParsedCtx(ctx, q, b)
+	candidates, stats, err := ix.queryParsedInner(ctx, q, b, parseD)
 	if err != nil {
+		ix.observeQuery(q.Raw, start, &stats, err)
 		return nil, stats, err
 	}
 	qc := ix.newQctx(ctx, q.Raw, b)
 	qc.stats = stats
+	out, err := ix.verifyCandidates(qc, q, candidates)
+	ix.observeQuery(q.Raw, start, &qc.stats, err)
+	return out, qc.stats, err
+}
+
+// verifyCandidates is the refinement phase: it loads each candidate document
+// under the shared lock and keeps only true tree-embedding matches. Verify
+// stage time covers the whole phase (document loads plus tree matching).
+func (ix *Index) verifyCandidates(qc *qctx, q *query.Query, candidates []DocID) ([]DocID, error) {
+	var lockStart time.Time
+	if qc.timed {
+		lockStart = time.Now()
+	}
 	ix.mu.RLock()
+	if qc.timed {
+		ix.qm.lockWait.ObserveDuration(time.Since(lockStart))
+		t0 := time.Now()
+		defer func() { qc.stats.Stages.Verify += time.Since(t0) }()
+	}
 	defer ix.mu.RUnlock()
 	out := candidates[:0]
-	err = qc.contained(func() error {
+	err := qc.contained(func() error {
 		for _, id := range candidates {
 			if err := qc.checkCtx(); err != nil {
 				return err
@@ -198,7 +261,7 @@ func (ix *Index) QueryVerifiedCtx(ctx context.Context, expr string, b Budget) ([
 		}
 		return nil
 	})
-	return out, qc.stats, err
+	return out, err
 }
 
 // match records a matched query element: the suffix-tree node's scope and
@@ -278,8 +341,26 @@ func (ix *Index) scanCandidates(qc *qctx, sym seq.Symbol, plen int, base []seq.S
 	nLo, nHi := prev.N+1, prev.N+prev.Size // inclusive label range
 
 	cur := append([]byte(nil), loPrefix...)
+	first := true
 	for {
+		if qc.timed {
+			// The first seek of a range scan lands in the D-Ancestor key
+			// space (probe); follow-up seeks walk S-Ancestor label ranges.
+			if first {
+				qc.probeSmp.begin()
+			} else {
+				qc.scanSmp.begin()
+			}
+		}
 		k, v, ok, err := ix.nodes.SeekFirstWith(cur, hiPrefix, qc.hook)
+		if qc.timed {
+			if first {
+				qc.probeSmp.end(&qc.stats.Stages.Probe)
+			} else {
+				qc.scanSmp.end(&qc.stats.Stages.Scan)
+			}
+		}
+		first = false
 		if err != nil {
 			return err
 		}
@@ -328,7 +409,10 @@ func (ix *Index) collectDocs(qc *qctx, scope labeling.Scope, out map[DocID]struc
 	if end := scope.N + scope.Size; end < math.MaxUint64 {
 		hi = docKey(end+1, 0)
 	}
-	return ix.docs.ScanWith(lo, hi, qc.hook, func(k, v []byte) (bool, error) {
+	if qc.timed {
+		qc.collectSmp.begin()
+	}
+	err := ix.docs.ScanWith(lo, hi, qc.hook, func(k, v []byte) (bool, error) {
 		_, id, err := parseDocKey(k)
 		if err != nil {
 			return false, err
@@ -340,6 +424,10 @@ func (ix *Index) collectDocs(qc *qctx, scope labeling.Scope, out map[DocID]struc
 		}
 		return true, nil
 	})
+	if qc.timed {
+		qc.collectSmp.end(&qc.stats.Stages.Collect)
+	}
+	return err
 }
 
 // MaxTreeDepth reports the deepest indexed sequence (prefix length + 1).

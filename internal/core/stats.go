@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // QueryStats reports how much work a query's execution performed — the
@@ -33,12 +34,104 @@ type QueryStats struct {
 	// Candidates is the number of distinct documents returned (or collected
 	// so far, when a budget or cancellation stop cut the query short).
 	Candidates int
+	// Stages is the per-stage wall-time breakdown (zero except Total when
+	// the index was opened with DisableMetrics).
+	Stages StageTimings
+}
+
+// StageTimings decomposes a query's wall time into the pipeline the paper's
+// Algorithm 2 implies: parse the expression, probe the D-Ancestor key space,
+// range-scan the S-Ancestor label ranges, collect DocIDs, and (for verified
+// queries) refine against stored documents. The stages do not sum to Total:
+// lock wait, sequence bookkeeping, and result sorting are deliberately left
+// in the remainder, so `Total - sum(stages)` is the index's own overhead.
+//
+// Probe, Scan, and Collect are sampled on large queries — the first 32
+// events of each stage are timed exactly, then one in 16 (scaled by 16) — so
+// hot seek loops don't pay two clock reads per iteration. Small queries get
+// exact times; large ones a statistical estimate that can deviate a few
+// percent (and occasionally overshoot the stage's true share).
+type StageTimings struct {
+	// Parse covers expression parsing plus expansion into structure-encoded
+	// sequence variants (zero for pre-parsed QueryParsedCtx queries, whose
+	// parse happened outside the index).
+	Parse time.Duration
+	// Probe is time in the first B+Tree seek of each D-Ancestor range scan —
+	// landing in the (symbol, prefix) key space.
+	Probe time.Duration
+	// Scan is time in the follow-up seeks of those range scans — walking and
+	// label-skipping within S-Ancestor scopes.
+	Scan time.Duration
+	// Collect is time in DocId-tree range scans gathering document IDs.
+	Collect time.Duration
+	// Verify is time loading and tree-matching stored documents
+	// (QueryVerified only).
+	Verify time.Duration
+	// Total is the query's wall time from entry to observation, including
+	// everything above plus lock wait and fixed overhead.
+	Total time.Duration
+}
+
+// String renders the nonzero stages compactly.
+func (st StageTimings) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%s", st.Total.Round(time.Microsecond))
+	for _, s := range []struct {
+		name string
+		d    time.Duration
+	}{{"parse", st.Parse}, {"probe", st.Probe}, {"scan", st.Scan}, {"collect", st.Collect}, {"verify", st.Verify}} {
+		if s.d > 0 {
+			fmt.Fprintf(&b, " %s=%s", s.name, s.d.Round(time.Microsecond))
+		}
+	}
+	return b.String()
 }
 
 // String renders the counters compactly.
 func (s QueryStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sequences=%d rangeScans=%d nodesVisited=%d docScans=%d pagesRead=%d candidates=%d",
+		s.Sequences, s.RangeScans, s.NodesVisited, s.DocScans, s.PagesRead, s.Candidates)
+	if s.Stages.Total > 0 {
+		fmt.Fprintf(&b, " %s", s.Stages)
+	}
+	return b.String()
+}
+
+// Explain renders a multi-line report: the per-stage timing breakdown with
+// each stage's share of the total, then the work counters. This is what
+// `vist query -explain` and vistshell's explain command print.
+func (s QueryStats) Explain() string {
+	var b strings.Builder
+	total := s.Stages.Total
+	fmt.Fprintf(&b, "stage timings:\n")
+	row := func(name string, d time.Duration) {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-10s %12s  %5.1f%%\n", name, d.Round(time.Microsecond), pct)
+	}
+	accounted := s.Stages.Parse + s.Stages.Probe + s.Stages.Scan + s.Stages.Collect + s.Stages.Verify
+	if accounted == 0 {
+		fmt.Fprintf(&b, "  (per-stage timing disabled: index opened with DisableMetrics)\n")
+	} else {
+		for _, st := range []struct {
+			name string
+			d    time.Duration
+		}{{"parse", s.Stages.Parse}, {"probe", s.Stages.Probe}, {"scan", s.Stages.Scan}, {"collect", s.Stages.Collect}, {"verify", s.Stages.Verify}} {
+			if st.d > 0 {
+				row(st.name, st.d)
+			}
+		}
+		if rest := total - accounted; rest > 0 {
+			row("other", rest)
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(&b, "  %-10s %12s\n", "total", total.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "counters: %d sequences, %d range scans, %d nodes visited, %d doc scans, %d pages read, %d candidates",
 		s.Sequences, s.RangeScans, s.NodesVisited, s.DocScans, s.PagesRead, s.Candidates)
 	return b.String()
 }

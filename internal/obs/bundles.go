@@ -1,0 +1,87 @@
+package obs
+
+// Per-subsystem metric bundles. Each bundle is a struct of metric pointers
+// resolved once from a Registry, so instrumented hot paths pay a field load
+// plus one atomic operation — never a name lookup. Constructors accept a nil
+// registry and then return a bundle whose metrics are all nil (and so no-op);
+// callers may also share one bundle across several components, because every
+// metric is independently atomic.
+
+// PagerMetrics instruments a FilePager's buffer pool and file I/O. core
+// shares one bundle across all four tree files of an index, so the counters
+// aggregate the index's total page traffic.
+type PagerMetrics struct {
+	// CacheHits / CacheMisses count buffer-pool lookups.
+	CacheHits, CacheMisses *Counter
+	// Evictions counts pages dropped from the pool to stay within capacity.
+	Evictions *Counter
+	// PageReads counts physical main-file page reads (pool misses that went
+	// to disk; reads satisfied from the WAL's staged frames count as misses
+	// but not as PageReads).
+	PageReads *Counter
+	// PageWrites counts physical page write-backs — into the WAL when one is
+	// attached, directly into the file otherwise — plus checkpoint copies.
+	PageWrites *Counter
+}
+
+// NewPagerMetrics resolves the pager bundle under "pager.*".
+func NewPagerMetrics(r *Registry) *PagerMetrics {
+	return &PagerMetrics{
+		CacheHits:   r.Counter("pager.cache_hits"),
+		CacheMisses: r.Counter("pager.cache_misses"),
+		Evictions:   r.Counter("pager.evictions"),
+		PageReads:   r.Counter("pager.page_reads"),
+		PageWrites:  r.Counter("pager.page_writes"),
+	}
+}
+
+// TreeMetrics instruments the B+Tree's decoded-node cache (one layer above
+// the pager's page cache). core shares one bundle across an index's four
+// trees.
+type TreeMetrics struct {
+	NodeCacheHits, NodeCacheMisses *Counter
+	NodeCacheEvictions             *Counter
+}
+
+// NewTreeMetrics resolves the tree bundle under "btree.*".
+func NewTreeMetrics(r *Registry) *TreeMetrics {
+	return &TreeMetrics{
+		NodeCacheHits:      r.Counter("btree.node_cache_hits"),
+		NodeCacheMisses:    r.Counter("btree.node_cache_misses"),
+		NodeCacheEvictions: r.Counter("btree.node_cache_evictions"),
+	}
+}
+
+// WALMetrics instruments the write-ahead log.
+type WALMetrics struct {
+	// Fsyncs counts log-file fsyncs (the commit-record durability point and
+	// the post-truncate sync).
+	Fsyncs *Counter
+	// Commits counts commit records written; Checkpoints counts checkpoint
+	// passes that copied staged pages into main files.
+	Commits, Checkpoints *Counter
+	// BytesLogged counts bytes appended to the log (frames and commits).
+	BytesLogged *Counter
+	// PagesStaged counts page frames staged into the log.
+	PagesStaged *Counter
+	// Recoveries counts Recover calls that replayed a committed tail;
+	// PagesReplayed counts the page frames those replays applied.
+	Recoveries, PagesReplayed *Counter
+	// CheckpointSeconds observes the duration of each checkpoint pass
+	// (staged-page copy + main-file fsyncs + log truncate).
+	CheckpointSeconds *Histogram
+}
+
+// NewWALMetrics resolves the WAL bundle under "wal.*".
+func NewWALMetrics(r *Registry) *WALMetrics {
+	return &WALMetrics{
+		Fsyncs:            r.Counter("wal.fsyncs"),
+		Commits:           r.Counter("wal.commits"),
+		Checkpoints:       r.Counter("wal.checkpoints"),
+		BytesLogged:       r.Counter("wal.bytes_logged"),
+		PagesStaged:       r.Counter("wal.pages_staged"),
+		Recoveries:        r.Counter("wal.recoveries"),
+		PagesReplayed:     r.Counter("wal.pages_replayed"),
+		CheckpointSeconds: r.Histogram("wal.checkpoint_seconds", DurationBounds),
+	}
+}

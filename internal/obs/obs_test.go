@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every operation on nil metrics and a nil registry must be a no-op, not
+	// a panic: this is the "metrics disabled" fast path.
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", DurationBounds)
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(0.5)
+	h.ObserveDuration(time.Second)
+	if c.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	// Bundles built from a nil registry must be non-nil with nil members.
+	pm := NewPagerMetrics(nil)
+	pm.CacheHits.Inc()
+	wm := NewWALMetrics(nil)
+	wm.CheckpointSeconds.ObserveDuration(time.Millisecond)
+	tm := NewTreeMetrics(nil)
+	tm.NodeCacheHits.Inc()
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("b")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	s := r.Snapshot()
+	if s.Counter("a") != 6 || s.Gauges["b"] != 7 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if want := 0.5 + 1.5 + 1.5 + 3 + 3 + 3 + 100; math.Abs(s.Sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+	wantBuckets := []uint64{1, 2, 3, 0, 1}
+	for i, w := range wantBuckets {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+	// Median lands in the (2,4] bucket.
+	if q := s.Quantile(0.5); q <= 2 || q > 4 {
+		t.Fatalf("p50 = %v, want within (2,4]", q)
+	}
+	// The overflow observation pins the max quantile to the top bound.
+	if q := s.Quantile(1.0); q != 8 {
+		t.Fatalf("p100 = %v, want top bound 8", q)
+	}
+	if m := s.Mean(); math.Abs(m-s.Sum/7) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Counter("misses").Add(1)
+	s := r.Snapshot()
+	if got := s.Ratio("hits", "misses"); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("ratio = %v, want 0.75", got)
+	}
+	if got := s.Ratio("nope", "nada"); got != 0 {
+		t.Fatalf("empty ratio = %v, want 0", got)
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(2)
+	r.Gauge("a.gauge").Set(-1)
+	r.Histogram("lat", DurationBounds).Observe(0.001)
+	text := r.Snapshot().String()
+	for _, want := range []string{"z.count 2", "a.gauge -1", "lat count=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestConcurrentMetrics hammers one registry from many goroutines under the
+// race detector: registration races, counter adds, histogram observations,
+// and snapshots must all be safe together.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", DurationBounds).Observe(float64(i%10) * 1e-4)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("c"); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := s.Histograms["h"].Count; got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	var cum uint64
+	for _, b := range s.Histograms["h"].Buckets {
+		cum += b
+	}
+	if cum != workers*iters {
+		t.Fatalf("bucket total = %d, want %d", cum, workers*iters)
+	}
+}
