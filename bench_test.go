@@ -359,6 +359,31 @@ func BenchmarkQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryUnplanned runs the same workload as BenchmarkQuery with the
+// query planner disabled, so the baseline file records the planner's win and
+// CI catches a regression in the raw recursive matcher independently.
+func BenchmarkQueryUnplanned(b *testing.B) {
+	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4, DisablePlanner: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range gen.DBLP(gen.DBLPConfig{Records: 10000, Seed: 11}) {
+		if _, err := ix.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	expr := "//inproceedings/author"
+	if _, err := ix.Query(expr); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInsert measures single-document insert latency on a warm index.
 func BenchmarkInsert(b *testing.B) {
 	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4})

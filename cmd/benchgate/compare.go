@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"sort"
 	"strconv"
@@ -48,9 +49,30 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
 		}
+		// A zero, NaN, or infinite sample means the bench output is corrupt
+		// (a benchmark cannot take no time); letting it through would poison
+		// the median and silently disable the gate for this benchmark.
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("line %q: invalid ns/op sample %v", sc.Text(), v)
+		}
 		out[name] = append(out[name], v)
 	}
 	return out, sc.Err()
+}
+
+// validate rejects baselines carrying meaningless figures: a NaN, zero, or
+// negative ns_per_op makes every delta against it garbage — the gate would
+// pass vacuously — so a hand-edited or corrupt baseline must fail loudly.
+func (b Baseline) validate() error {
+	for name, e := range b.Benchmarks {
+		if e.NsPerOp <= 0 || math.IsNaN(e.NsPerOp) || math.IsInf(e.NsPerOp, 0) {
+			return fmt.Errorf("baseline entry %s: invalid ns_per_op %v", name, e.NsPerOp)
+		}
+		if e.Samples <= 0 {
+			return fmt.Errorf("baseline entry %s: invalid sample count %d", name, e.Samples)
+		}
+	}
+	return nil
 }
 
 // stripProcs removes a trailing -N GOMAXPROCS suffix: BenchmarkQuery-8 →

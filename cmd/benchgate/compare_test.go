@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -33,6 +34,35 @@ func TestParseBench(t *testing.T) {
 	}
 	if m := median(got["BenchmarkInsert"]); m != 510000 {
 		t.Fatalf("even-count median = %v, want 510000", m)
+	}
+}
+
+func TestParseBenchRejectsInvalidSamples(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkQuery-8   \t 100\t 0 ns/op\n",
+		"BenchmarkQuery-8   \t 100\t 0.0 ns/op\n",
+	} {
+		if _, err := parseBench(strings.NewReader(bad)); err == nil {
+			t.Errorf("parseBench accepted invalid sample: %q", bad)
+		}
+	}
+}
+
+func TestBaselineValidate(t *testing.T) {
+	good := Baseline{Benchmarks: map[string]Entry{"BenchmarkQuery": {NsPerOp: 100, Samples: 6}}}
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	for name, b := range map[string]Baseline{
+		"zero ns_per_op":     {Benchmarks: map[string]Entry{"B": {NsPerOp: 0, Samples: 6}}},
+		"negative ns_per_op": {Benchmarks: map[string]Entry{"B": {NsPerOp: -5, Samples: 6}}},
+		"NaN ns_per_op":      {Benchmarks: map[string]Entry{"B": {NsPerOp: math.NaN(), Samples: 6}}},
+		"Inf ns_per_op":      {Benchmarks: map[string]Entry{"B": {NsPerOp: math.Inf(1), Samples: 6}}},
+		"zero samples":       {Benchmarks: map[string]Entry{"B": {NsPerOp: 100, Samples: 0}}},
+	} {
+		if err := b.validate(); err == nil {
+			t.Errorf("baseline with %s validated without error", name)
+		}
 	}
 }
 

@@ -88,6 +88,9 @@ func main() {
 	if err := json.Unmarshal(data, &base); err != nil {
 		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
 	}
+	if err := base.validate(); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
 
 	report, regressions := compare(base, results, *threshold)
 	if *markdown {

@@ -11,7 +11,8 @@
 //	vist query  -dir ./idx [-verify|-explain] [-timeout D] [-max-results N] 'EXPR'
 //	                                               run a path expression; -explain
 //	                                               prints the per-stage timing
-//	                                               breakdown and work counters;
+//	                                               breakdown, work counters, and
+//	                                               the chosen query plan;
 //	                                               -timeout and -max-results bound
 //	                                               its work (on cut-off: partial
 //	                                               stats to stderr, exit 1)
@@ -49,7 +50,7 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	dir := fs.String("dir", "", "index directory (required)")
 	verify := fs.Bool("verify", false, "refine candidates against stored documents (query only)")
-	explain := fs.Bool("explain", false, "print the per-stage timing breakdown and work counters (query only)")
+	explain := fs.Bool("explain", false, "print the per-stage timing breakdown, work counters, and query plan (query only)")
 	lambda := fs.Uint64("lambda", 0, "expected fan-out for dynamic labeling (index creation)")
 	dtd := fs.String("dtd", "", "DTD file supplying the sibling order (index creation)")
 	timeout := fs.Duration("timeout", 0, "cut the query off after this long (query only; 0 = no deadline)")

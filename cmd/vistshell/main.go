@@ -6,8 +6,8 @@
 //
 //	query EXPR        run a path expression (candidate answers)
 //	verify EXPR       run a path expression with exact refinement
-//	explain EXPR      run a query and show its stage-timing breakdown
-//	                  and work counters
+//	explain EXPR      run a query and show its stage-timing breakdown,
+//	                  work counters, and chosen query plan
 //	get ID            print a stored document
 //	delete ID         remove a document
 //	load FILE         index every record in an XML file

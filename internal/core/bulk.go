@@ -20,7 +20,17 @@ func (ix *Index) BulkInsertNode(sym seq.Symbol, prefix []seq.Symbol, n, size, pa
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	rec := nodeRecord{size: size, parentN: parentN, refcount: refcount}
-	return ix.nodes.Put(nodeKey(daKey(sym, prefix), n), rec.encode())
+	if err := ix.nodes.Put(nodeKey(daKey(sym, prefix), n), rec.encode()); err != nil {
+		return err
+	}
+	if !sym.IsValue() {
+		path := make([]seq.Symbol, 0, len(prefix)+1)
+		path = append(path, prefix...)
+		path = append(path, sym)
+		ix.syn.Add(path, synDelta(refcount))
+	}
+	ix.noteWrite()
+	return nil
 }
 
 // BulkInsertDoc registers a document as ending at label n, stores its bytes

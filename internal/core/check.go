@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 )
@@ -35,7 +36,9 @@ func (r *CheckReport) problemf(format string, args ...interface{}) {
 //     sibling scopes are pairwise disjoint (Definition 3);
 //   - every DocId entry points at an existing node label;
 //   - each node's refcount equals the number of stored documents whose
-//     insertion path passes through it.
+//     insertion path passes through it;
+//   - the incrementally maintained path synopsis matches one rebuilt from
+//     the node table.
 //
 // The scan materializes the node table in memory; it is intended for tests
 // and offline verification, not hot paths.
@@ -169,6 +172,18 @@ func (ix *Index) Check() (*CheckReport, error) {
 			report.problemf("node %d: refcount %d, but %d document paths pass through it",
 				n, info.rec.refcount, info.expected)
 		}
+	}
+
+	// The maintained path synopsis must agree with one rebuilt from the node
+	// table — the planner trusts it for empty-result proofs and prefix
+	// pruning, so divergence silently drops query results.
+	rebuilt, err := ix.rebuildSynopsis()
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(rebuilt.Encode(), ix.syn.Encode()) {
+		report.problemf("path synopsis diverges from node table (paths: maintained %d, rebuilt %d)",
+			ix.syn.Paths(), rebuilt.Paths())
 	}
 	return report, nil
 }

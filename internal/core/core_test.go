@@ -527,6 +527,17 @@ func TestScopeUnderflowBorrowing(t *testing.T) {
 	if !reflect.DeepEqual(got, ids[1:2]) {
 		t.Fatalf("after deleting one borrowed doc: %v", got)
 	}
+	// The first insert creates nodes for a few levels before underflowing,
+	// and borrowing rolls those creations back: they must be removed, not
+	// left behind as refcount-0 records (which would poison D-Ancestor
+	// scans and break Check's synopsis count invariant).
+	report, err := ix.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(report.Problems) != 0 {
+		t.Fatalf("problems after borrowed insert/delete: %v", report.Problems)
+	}
 }
 
 func TestSkipDocumentStore(t *testing.T) {

@@ -115,6 +115,48 @@ func TestPathologicalQueryCutByPageBudget(t *testing.T) {
 	}
 }
 
+// TestTinyBudgetPartialStats: a query cut off by a minimal budget — in any
+// dimension, with or without the planner — must still report the pages it
+// read before the stop in its partial QueryStats. Regression test: a cut-off
+// that reported zero pages would make budget post-mortems (and the slow-query
+// log) claim the query did no work at all.
+func TestTinyBudgetPartialStats(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"planner", Options{}},
+		{"unplanned", Options{DisablePlanner: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := mustMem(t, tc.opts)
+			// Enough documents that the trees span several pages.
+			for i := 0; i < 30; i++ {
+				insertXML(t, ix, purchaseBoston, purchaseChicago)
+			}
+			// '//item' matches at two depths, so every evaluation strategy
+			// issues at least two range scans.
+			for _, b := range []Budget{{MaxPages: 1}, {MaxRangeScans: 1}, {MaxNodesVisited: 1}} {
+				_, stats, err := ix.QueryCtx(context.Background(), "//item", b)
+				if !errors.Is(err, ErrBudgetExceeded) {
+					t.Fatalf("QueryCtx(//item, %+v) err = %v, want ErrBudgetExceeded", b, err)
+				}
+				if stats.PagesRead == 0 {
+					t.Errorf("budget %+v: cut-off stats report zero pages read: %s", b, stats)
+				}
+				var qe *QueryError
+				if !errors.As(err, &qe) {
+					t.Fatalf("error %T is not a *QueryError", err)
+				}
+				if qe.Stats.PagesRead != stats.PagesRead {
+					t.Errorf("budget %+v: error stats (%d pages) disagree with returned stats (%d pages)",
+						b, qe.Stats.PagesRead, stats.PagesRead)
+				}
+			}
+		})
+	}
+}
+
 // TestPathologicalQueryCutByDeadline: an expired deadline stops the query at
 // its first checkpoint with ErrCanceled, and the context's DeadlineExceeded
 // remains visible through the wrap chain.

@@ -12,6 +12,7 @@ import (
 	"vist/internal/keyenc"
 	"vist/internal/labeling"
 	"vist/internal/obs"
+	"vist/internal/plan"
 	"vist/internal/seq"
 	"vist/internal/xmltree"
 )
@@ -83,6 +84,16 @@ type Options struct {
 	// critical path expectations (a quick log write or channel send is the
 	// intended use).
 	SlowQueryLog func(SlowQuery)
+	// DisablePlanner turns off the query planner: no plan cache, no
+	// synopsis-guided pruning — every query runs in the paper's evaluation
+	// order (one D-Ancestor range scan per candidate prefix length, one
+	// DocId scan per final match). The path synopsis is still maintained,
+	// so the flag can differ between openings of the same index. Exists for
+	// differential testing and ablation benchmarks.
+	DisablePlanner bool
+	// PlanCacheSize bounds the plan cache (distinct expression texts).
+	// Zero selects plan.DefaultCacheSize.
+	PlanCacheSize int
 }
 
 // RecoveryInfo reports what Open found in the write-ahead log.
@@ -128,6 +139,14 @@ type Index struct {
 	alloc  labeling.Allocator
 	stats  *labeling.Stats
 	opts   Options
+
+	// syn is the path synopsis (guarded by mu like the trees); plans is
+	// the bounded plan cache (internally locked — queries populate it under
+	// the shared lock); epoch counts writes and invalidates cached plans.
+	syn      *plan.Synopsis
+	plans    *plan.Cache
+	epoch    uint64
+	synDirty bool // synopsis changed since last persist
 
 	// reg is the per-index metrics registry (nil when DisableMetrics); qm
 	// caches the query/insert metric handles resolved from it. Both are
@@ -310,6 +329,10 @@ func initIndex(nodes, docs, store, aux *btree.BTree, opts Options, reg *obs.Regi
 		ix.alloc = labeling.NewStatsAllocator(ix.stats, cfg)
 	} else {
 		ix.alloc = labeling.Uniform{Config: cfg, Lambda: opts.Lambda}
+	}
+	ix.plans = plan.NewCache(opts.PlanCacheSize)
+	if err := ix.loadSynopsis(existing); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }
@@ -523,6 +546,12 @@ func (ix *Index) loadMeta() (existing bool, err error) {
 }
 
 func (ix *Index) saveMeta() error {
+	if ix.synDirty {
+		if err := ix.putBlob(synopsisBlob, ix.syn.Encode()); err != nil {
+			return err
+		}
+		ix.synDirty = false
+	}
 	if !ix.metaDirty && ix.dict != nil && ix.dict.Len() == ix.dictLen {
 		return nil
 	}

@@ -41,6 +41,11 @@ func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
 	if err != nil {
 		return 0, err
 	}
+	// The node tree changed: keep the synopsis count invariant (path count
+	// = refcount sum) in lockstep and invalidate cached plans, even if a
+	// later step of this insert fails.
+	ix.syn.AddSequence(s)
+	ix.noteWrite()
 	if err := ix.docs.Put(docKey(last, id), nil); err != nil {
 		return 0, err
 	}
@@ -190,9 +195,20 @@ func (ix *Index) borrow(path []pathEntry, s seq.Sequence, i int) (uint64, error)
 		start := lo + uint64(path[j].rec.reserveUsed)
 		ix.borrows++
 		// Roll back refcounts taken on path entries below j during this
-		// insertion (they were incremented in insertSequence).
+		// insertion (they were incremented in insertSequence). An entry
+		// whose refcount drops to zero was created by this very insert —
+		// no other sequence passes through it — so remove it outright:
+		// leaving a dead record would cost every future D-Ancestor scan a
+		// visit and break the synopsis count invariant (Check compares
+		// refcount sums against maintained path counts).
 		for t := j + 1; t < len(path); t++ {
 			path[t].rec.refcount--
+			if path[t].rec.refcount == 0 {
+				if _, err := ix.nodes.Delete(path[t].key); err != nil {
+					return 0, err
+				}
+				continue
+			}
 			if err := ix.writePathEntry(&path[t]); err != nil {
 				return 0, err
 			}
@@ -321,6 +337,7 @@ func (ix *Index) Delete(id DocID) error {
 	if _, err := ix.docs.Delete(docKey(last, id)); err != nil {
 		return err
 	}
+	ix.noteWrite()
 	// Walk the path bottom-up via parentN links, decrementing refcounts.
 	n := last
 	for i := len(s) - 1; i >= 0; i-- {
@@ -349,6 +366,8 @@ func (ix *Index) Delete(id DocID) error {
 		}
 		n = parent
 	}
+	// Refcounts are decremented; mirror the change in the synopsis.
+	ix.syn.RemoveSequence(s)
 	// Remove stored chunks.
 	var stale [][]byte
 	err = ix.store.Scan(storeKey(id, 0), storeKey(id+1, 0), func(k, v []byte) (bool, error) {

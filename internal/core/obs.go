@@ -23,6 +23,10 @@ type queryMetrics struct {
 	latency, lockWait                   *obs.Histogram
 	parse, probe, scan, collect, verify *obs.Histogram
 
+	// Plan-cache outcomes: a hit reuses a cached plan whose epoch matches
+	// the current write epoch; a miss (re)builds and caches one.
+	planHits, planMisses *obs.Counter
+
 	// Mutation-side metrics.
 	inserted, deleted *obs.Counter
 	insertLatency     *obs.Histogram
@@ -43,6 +47,8 @@ func newQueryMetrics(r *obs.Registry) queryMetrics {
 		scan:          r.Histogram("query.stage.scan_seconds", obs.DurationBounds),
 		collect:       r.Histogram("query.stage.collect_seconds", obs.DurationBounds),
 		verify:        r.Histogram("query.stage.verify_seconds", obs.DurationBounds),
+		planHits:      r.Counter("query.plan_cache_hits"),
+		planMisses:    r.Counter("query.plan_cache_misses"),
 		inserted:      r.Counter("index.docs_inserted"),
 		deleted:       r.Counter("index.docs_deleted"),
 		insertLatency: r.Histogram("index.insert_seconds", obs.DurationBounds),

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"vist/internal/naive"
+	"vist/internal/query"
+	"vist/internal/xmltree"
+)
+
+// randomDiffXML generates small documents over a four-name alphabet so that
+// random path queries have a real chance of matching, near-missing, and
+// straddling multiple prefix lengths (the cases the planner's synopsis
+// expansion has to get right).
+func randomDiffXML(rng *rand.Rand, n int) []string {
+	names := []string{"a", "b", "c", "d"}
+	values := []string{"x", "y", "z"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		name := names[rng.Intn(len(names))]
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return fmt.Sprintf("<%s>%s</%s>", name, values[rng.Intn(len(values))], name)
+		}
+		s := "<" + name
+		if rng.Intn(3) == 0 {
+			s += fmt.Sprintf(" %s=%q", names[rng.Intn(len(names))], values[rng.Intn(len(values))])
+		}
+		s += ">"
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			s += build(depth - 1)
+		}
+		return s + "</" + name + ">"
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "<r>" + build(3) + "</r>"
+	}
+	return out
+}
+
+// randomDiffExpr produces a path query mixing the child axis, the descendant
+// axis, and * wildcards, optionally ending in a text predicate. The caller
+// filters out the occasional combination the parser rejects.
+func randomDiffExpr(rng *rand.Rand) string {
+	names := []string{"a", "b", "c", "d", "r", "*"}
+	var b strings.Builder
+	if rng.Intn(2) == 0 {
+		b.WriteString("/r")
+	}
+	for i, steps := 0, 1+rng.Intn(3); i < steps; i++ {
+		if rng.Intn(3) == 0 {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(names[rng.Intn(len(names))])
+	}
+	if rng.Intn(4) == 0 {
+		b.WriteString(fmt.Sprintf("[text()='%s']", []string{"x", "y", "z"}[rng.Intn(3)]))
+	}
+	return b.String()
+}
+
+// docPositions maps result DocIDs back to insertion positions so indexes with
+// different ID assignment can be compared.
+func docPositions(t testing.TB, got []DocID, ids []DocID) []int {
+	t.Helper()
+	rev := make(map[DocID]int, len(ids))
+	for i, id := range ids {
+		rev[id] = i
+	}
+	out := []int{}
+	for _, id := range got {
+		p, ok := rev[id]
+		if !ok {
+			t.Fatalf("result id %d not among inserted ids", id)
+		}
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func docPositionsU(t testing.TB, got []uint64, ids []uint64) []int {
+	t.Helper()
+	rev := make(map[uint64]int, len(ids))
+	for i, id := range ids {
+		rev[id] = i
+	}
+	out := []int{}
+	for _, id := range got {
+		p, ok := rev[id]
+		if !ok {
+			t.Fatalf("result id %d not among inserted ids", id)
+		}
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestPlannerDifferential is the planner's correctness oracle: on random
+// documents and random /-//-* queries, the planned execution path must return
+// exactly the DocID set of (a) the same engine with the planner disabled and
+// (b) the naive Algorithm 1 suffix-tree matcher. After a round of deletions
+// the two core engines must still agree, and Check must confirm the
+// incrementally-maintained synopsis matches a from-scratch rebuild.
+func TestPlannerDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xmls := randomDiffXML(rng, 80)
+
+	planned := mustMem(t, Options{})
+	defer planned.Close()
+	unplanned := mustMem(t, Options{DisablePlanner: true})
+	defer unplanned.Close()
+	nv := naive.New(nil)
+
+	pIDs := insertXML(t, planned, xmls...)
+	uIDs := insertXML(t, unplanned, xmls...)
+	nIDs := make([]uint64, len(xmls))
+	for i, x := range xmls {
+		n, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nIDs[i] = nv.Insert(n)
+	}
+
+	// Fixed expressions covering each plan mode, plus a random batch.
+	exprs := []string{
+		"/r", "/r/a", "/r/a/b", "//b", "/r//c", "//a//b",
+		"/r/*", "/r/*/c", "//*", "/r//*/b",
+		"//b[text()='x']", "/r/a[text()='q']", "/q/z",
+	}
+	seen := map[string]bool{}
+	for _, e := range exprs {
+		seen[e] = true
+	}
+	for len(exprs) < 60 {
+		e := randomDiffExpr(rng)
+		if seen[e] {
+			continue
+		}
+		if _, err := query.Parse(e); err != nil {
+			continue // generator occasionally emits forms the grammar rejects
+		}
+		seen[e] = true
+		exprs = append(exprs, e)
+	}
+
+	check := func(compareNaive bool) {
+		t.Helper()
+		for _, expr := range exprs {
+			p, err := planned.Query(expr)
+			if err != nil {
+				t.Fatalf("%s planned: %v", expr, err)
+			}
+			u, err := unplanned.Query(expr)
+			if err != nil {
+				t.Fatalf("%s unplanned: %v", expr, err)
+			}
+			pPos := docPositions(t, p, pIDs)
+			uPos := docPositions(t, u, uIDs)
+			if !reflect.DeepEqual(pPos, uPos) {
+				t.Errorf("%s: planned=%v unplanned=%v", expr, pPos, uPos)
+			}
+			if !compareNaive {
+				continue
+			}
+			nn, err := nv.Query(expr)
+			if err != nil {
+				t.Fatalf("%s naive: %v", expr, err)
+			}
+			if nPos := docPositionsU(t, nn, nIDs); !reflect.DeepEqual(pPos, nPos) {
+				t.Errorf("%s: planned=%v naive=%v", expr, pPos, nPos)
+			}
+		}
+	}
+	check(true)
+
+	// Delete a third of the corpus from both core engines (the naive matcher
+	// has no Delete) and re-run: deletions bump the write epoch, so every
+	// cached plan must be rebuilt against the shrunken synopsis.
+	var keepP, keepU []DocID
+	for i := range pIDs {
+		if i%3 == 0 {
+			if err := planned.Delete(pIDs[i]); err != nil {
+				t.Fatalf("planned delete %d: %v", pIDs[i], err)
+			}
+			if err := unplanned.Delete(uIDs[i]); err != nil {
+				t.Fatalf("unplanned delete %d: %v", uIDs[i], err)
+			}
+			continue
+		}
+		keepP = append(keepP, pIDs[i])
+		keepU = append(keepU, uIDs[i])
+	}
+	// Reuse position mapping over surviving docs only.
+	pIDs, uIDs = keepP, keepU
+	check(false)
+
+	report, err := planned.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(report.Problems) != 0 {
+		t.Fatalf("post-delete consistency problems: %v", report.Problems)
+	}
+}

@@ -113,28 +113,41 @@ func (ix *Index) queryParsedInner(ctx context.Context, q *query.Query, b Budget,
 
 // queryLocked runs a query under the shared lock, reporting the IDs
 // collected so far even when a budget or cancellation error cuts the run
-// short.
+// short. Execution follows the cached plan when the planner is enabled:
+// sequences run most-selective first, each under its planned strategy.
 func (ix *Index) queryLocked(qc *qctx, q *query.Query) ([]DocID, error) {
 	var t0 time.Time
 	if qc.timed {
 		t0 = time.Now()
 	}
-	seqs, err := q.Sequences(ix.dict, ix.schema)
+	ent, err := ix.planFor(q)
 	if qc.timed {
-		// Variant expansion is planning work; account it with Parse.
+		// Planning — variant expansion plus synopsis probes — is accounted
+		// with Parse, like the expansion it replaces.
 		qc.stats.Stages.Parse += time.Since(t0)
-	}
-	if query.IsVariantCapError(err) {
-		return ix.queryDisassembled(qc, q)
 	}
 	if err != nil {
 		return nil, err
 	}
-	qc.stats.Sequences += len(seqs)
+	if ent.VariantCap {
+		return ix.queryDisassembled(qc, q)
+	}
+	qc.stats.Sequences += len(ent.Seqs)
+	if ent.Desc != "" && qc.stats.Plan == "" {
+		qc.stats.Plan = ent.Desc
+	}
 	out := make(map[DocID]struct{})
-	for _, qs := range seqs {
-		if err := ix.matchSeq(qc, qs, out); err != nil {
-			return sortedIDs(out), err
+	if ent.Plan == nil {
+		for _, qs := range ent.Seqs {
+			if err := ix.matchSeq(qc, qs, out); err != nil {
+				return sortedIDs(out), err
+			}
+		}
+	} else {
+		for _, si := range ent.Plan.Order {
+			if err := ix.execSeqPlan(qc, ent.Seqs[si], &ent.Plan.SeqPlans[si], out); err != nil {
+				return sortedIDs(out), err
+			}
 		}
 	}
 	ids := sortedIDs(out)
@@ -145,25 +158,53 @@ func (ix *Index) queryLocked(qc *qctx, q *query.Query) ([]DocID, error) {
 // queryDisassembled joins the results of the query's single-path splits
 // (Section 2's fallback; each split has exactly one sequence variant). The
 // budget spans all splits: work is accounted against the same qctx.
+//
+// Splits run most-selective first (by planner estimate) and the join exits
+// as soon as the running intersection empties — a split the synopsis proves
+// empty makes the whole join free. When a split stops on a budget or
+// cancellation error, the IDs intersected so far are still returned with
+// the error, matching the partial-progress contract of QueryCtx.
 func (ix *Index) queryDisassembled(qc *qctx, q *query.Query) ([]DocID, error) {
-	var result map[DocID]struct{}
-	for _, part := range query.Disassemble(q) {
-		ids, err := ix.queryLocked(qc, part)
+	parts := query.Disassemble(q)
+	type partPlan struct {
+		q   *query.Query
+		est uint64
+	}
+	plans := make([]partPlan, 0, len(parts))
+	for _, part := range parts {
+		ent, err := ix.planFor(part)
 		if err != nil {
 			return nil, err
 		}
+		plans = append(plans, partPlan{part, ent.Estimate()})
+	}
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].est < plans[j].est })
+	if !ix.opts.DisablePlanner && qc.stats.Plan == "" {
+		qc.stats.Plan = fmt.Sprintf("plan: disassembled into %d single-path joins", len(parts))
+	}
+	var result map[DocID]struct{}
+	for _, pp := range plans {
+		ids, perr := ix.queryLocked(qc, pp.q)
 		set := make(map[DocID]struct{}, len(ids))
 		for _, id := range ids {
 			set[id] = struct{}{}
 		}
 		if result == nil {
 			result = set
-			continue
-		}
-		for id := range result {
-			if _, ok := set[id]; !ok {
-				delete(result, id)
+		} else {
+			for id := range result {
+				if _, ok := set[id]; !ok {
+					delete(result, id)
+				}
 			}
+		}
+		if perr != nil {
+			ids := sortedIDs(result)
+			qc.stats.Candidates = len(ids)
+			return ids, perr
+		}
+		if len(result) == 0 {
+			break
 		}
 	}
 	ids := sortedIDs(result)

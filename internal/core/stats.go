@@ -37,6 +37,11 @@ type QueryStats struct {
 	// Stages is the per-stage wall-time breakdown (zero except Total when
 	// the index was opened with DisableMetrics).
 	Stages StageTimings
+	// Plan describes the execution strategy the planner chose for this
+	// query (per-sequence mode, synopsis probes, selectivity order). Empty
+	// when the index was opened with DisablePlanner or the query fell back
+	// to the disassemble-and-join path.
+	Plan string
 }
 
 // StageTimings decomposes a query's wall time into the pipeline the paper's
@@ -133,6 +138,9 @@ func (s QueryStats) Explain() string {
 	}
 	fmt.Fprintf(&b, "counters: %d sequences, %d range scans, %d nodes visited, %d doc scans, %d pages read, %d candidates",
 		s.Sequences, s.RangeScans, s.NodesVisited, s.DocScans, s.PagesRead, s.Candidates)
+	if s.Plan != "" {
+		fmt.Fprintf(&b, "\n%s", s.Plan)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSynopsisPersistRoundTrip verifies the synopsis blob written by saveMeta
+// is what loadSynopsis restores: a reopen must not need the node-tree rebuild
+// path, and queries and Check must behave identically to the original handle.
+func TestSynopsisPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+	paths := ix.SynopsisPaths()
+	if paths == 0 {
+		t.Fatal("synopsis empty after inserts")
+	}
+	want := queryIDs(t, ix, "//item")
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err = Open(dir, Options{PageSize: 512, CachePages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.synDirty {
+		t.Error("reopen rebuilt the synopsis instead of loading the persisted blob")
+	}
+	if got := ix.SynopsisPaths(); got != paths {
+		t.Errorf("synopsis paths after reopen = %d, want %d", got, paths)
+	}
+	if got := queryIDs(t, ix, "//item"); !reflect.DeepEqual(got, want) {
+		t.Errorf("//item after reopen = %v, want %v", got, want)
+	}
+	report, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Problems) != 0 {
+		t.Fatalf("consistency problems after reopen: %v", report.Problems)
+	}
+}
+
+// TestSynopsisMigrationRebuild simulates opening an index written before the
+// synopsis existed: with the blob deleted, loadSynopsis must rebuild it from
+// the node tree, mark it dirty so the next Sync persists it, and leave query
+// results unchanged.
+func TestSynopsisMigrationRebuild(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{PageSize: 512, CachePages: 16}
+	ix, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertXML(t, ix, purchaseBoston, purchaseChicago)
+	paths := ix.SynopsisPaths()
+	want := queryIDs(t, ix, "//item")
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strip the synopsis blob the way a pre-synopsis index simply never
+	// wrote it, then persist the mutated aux tree.
+	ix, err = Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys [][]byte
+	err = ix.aux.ScanPrefix(append([]byte(synopsisBlob), '/'), func(k, v []byte) (bool, error) {
+		keys = append(keys, append([]byte(nil), k...))
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("no persisted synopsis chunks found")
+	}
+	for _, k := range keys {
+		if _, err := ix.aux.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err = Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.synDirty {
+		t.Error("migration open did not mark the rebuilt synopsis for persistence")
+	}
+	if got := ix.SynopsisPaths(); got != paths {
+		t.Errorf("rebuilt synopsis paths = %d, want %d", got, paths)
+	}
+	if got := queryIDs(t, ix, "//item"); !reflect.DeepEqual(got, want) {
+		t.Errorf("//item after migration = %v, want %v", got, want)
+	}
+	report, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Problems) != 0 {
+		t.Fatalf("consistency problems after migration: %v", report.Problems)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebuilt synopsis must have been persisted on Close: one more
+	// reopen loads it straight from the blob.
+	ix, err = Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.synDirty {
+		t.Error("post-migration reopen rebuilt again instead of loading the blob")
+	}
+	if got := ix.SynopsisPaths(); got != paths {
+		t.Errorf("synopsis paths after final reopen = %d, want %d", got, paths)
+	}
+}

@@ -1,6 +1,7 @@
 package labeling
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -167,6 +168,58 @@ func TestFollowProbabilitiesEq2(t *testing.T) {
 	if math.Abs(out[2].P-0.2*0.2*0.5) > 1e-12 {
 		t.Fatalf("P(w) = %v", out[2].P)
 	}
+}
+
+// TestFollowProbabilitiesSubDistribution is the property behind Eq. (2):
+// whatever the inputs — including denormalized clues with p > 1, negative
+// values, and NaN — the outputs must form a valid sub-distribution (every
+// P in [0, 1], total at most 1). Before input clamping, a single p > 1
+// drove the running remainder negative and flipped the sign of every
+// subsequent probability.
+func TestFollowProbabilitiesSubDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(8) + 1
+		in := make([]FollowEntry, n)
+		for i := range in {
+			var p float64
+			switch rng.Intn(4) {
+			case 0:
+				p = rng.Float64() // well-formed
+			case 1:
+				p = 1 + rng.Float64()*10 // denormalized, > 1
+			case 2:
+				p = -rng.Float64() // negative
+			default:
+				p = math.NaN()
+			}
+			in[i] = FollowEntry{Key: fmt.Sprintf("k%d", i), P: p}
+		}
+		out := FollowProbabilities(in)
+		sum := 0.0
+		for i, f := range out {
+			if !(f.P >= 0 && f.P <= 1) { // also catches NaN
+				t.Fatalf("trial %d: P(%s) = %v out of [0,1] (inputs %+v)", trial, f.Key, f.P, in)
+			}
+			if in[i].P >= 1 && math.Abs(f.P-sumComplement(out[:i])) > 1e-9 {
+				// An input clamped to 1 takes the entire remaining mass.
+				t.Fatalf("trial %d: entry %d (p>=1) got %v, want remainder %v", trial, i, f.P, sumComplement(out[:i]))
+			}
+			sum += f.P
+		}
+		if sum > 1+1e-9 {
+			t.Fatalf("trial %d: probabilities sum to %v > 1 (inputs %+v, outputs %+v)", trial, sum, in, out)
+		}
+	}
+}
+
+// sumComplement is the probability mass left after the given entries.
+func sumComplement(entries []FollowEntry) float64 {
+	rem := 1.0
+	for _, e := range entries {
+		rem -= e.P
+	}
+	return rem
 }
 
 func sampleSequences(t *testing.T) []seq.Sequence {

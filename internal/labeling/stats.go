@@ -25,14 +25,33 @@ type FollowEntry struct {
 // It is exported for callers that hold schema-level conditional
 // probabilities (the paper's "semantic clues"); Stats computes the same
 // quantities empirically instead.
+//
+// Inputs are clamped to [0, 1] (NaN counts as 0): denormalized schema
+// clues can carry p > 1, and without the clamp a single such entry drives
+// the running remainder Π (1 − p) negative, corrupting the sign of every
+// subsequent probability. With the clamp the outputs are a valid
+// sub-distribution (each in [0, 1], summing to at most 1).
 func FollowProbabilities(follow []FollowEntry) []FollowEntry {
 	out := make([]FollowEntry, len(follow))
 	rem := 1.0
 	for i, f := range follow {
-		out[i] = FollowEntry{Key: f.Key, P: f.P * rem}
-		rem *= 1 - f.P
+		p := clamp01(f.P)
+		out[i] = FollowEntry{Key: f.Key, P: p * rem}
+		rem *= 1 - p
 	}
 	return out
+}
+
+// clamp01 forces p into [0, 1]; NaN maps to 0 (the comparisons below are
+// false for NaN, so the final return catches it).
+func clamp01(p float64) float64 {
+	if p > 1 {
+		return 1
+	}
+	if p >= 0 {
+		return p
+	}
+	return 0
 }
 
 // Stats accumulates empirical follow statistics from sample sequences: how
@@ -52,6 +71,7 @@ type Stats struct {
 	index map[string]map[string]int
 	cum   map[string][]float64 // cum[i] = Σ_{j<i} normalized P of entry j
 	order map[string][]FollowEntry
+	syms  map[seq.Symbol]uint64 // trained occurrences per element symbol
 }
 
 // NewStats returns an empty statistics collector.
@@ -84,12 +104,24 @@ func (st *Stats) add(x, y string, c uint64) {
 	st.totals[x] += c
 }
 
-// Finalize computes the normalized, probability-ordered follow tables.
-// Adding more sequences afterwards requires calling it again.
+// Finalize computes the normalized, probability-ordered follow tables and
+// the per-symbol occurrence totals. Adding more sequences afterwards
+// requires calling it again.
 func (st *Stats) Finalize() {
 	st.index = make(map[string]map[string]int, len(st.counts))
 	st.cum = make(map[string][]float64, len(st.counts))
 	st.order = make(map[string][]FollowEntry, len(st.counts))
+	st.syms = make(map[seq.Symbol]uint64)
+	for _, m := range st.counts {
+		for y, c := range m {
+			// Element keys start with the 4-byte big-endian symbol
+			// (seq.Elem.Key); every transition into y is one occurrence.
+			if len(y) >= 4 {
+				sym := seq.Symbol(uint32(y[0])<<24 | uint32(y[1])<<16 | uint32(y[2])<<8 | uint32(y[3]))
+				st.syms[sym] += c
+			}
+		}
+	}
 	for x, m := range st.counts {
 		entries := make([]FollowEntry, 0, len(m))
 		total := float64(st.totals[x])
@@ -127,6 +159,18 @@ func (st *Stats) Follow(x string) []FollowEntry {
 		st.Finalize()
 	}
 	return st.order[x]
+}
+
+// SymbolCount reports the trained occurrence count of elements with the
+// given symbol. ok is false when the symbol never occurred in the training
+// sample. The query planner uses this as a selectivity signal for
+// sequences whose cardinality the path synopsis could not bound.
+func (st *Stats) SymbolCount(sym seq.Symbol) (uint64, bool) {
+	if st.index == nil {
+		st.Finalize()
+	}
+	c, ok := st.syms[sym]
+	return c, ok
 }
 
 // Encode serializes the raw counts for persistence alongside an index.

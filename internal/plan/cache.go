@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+
+	"vist/internal/query"
+)
+
+// DefaultCacheSize is the default plan cache capacity (distinct expression
+// texts).
+const DefaultCacheSize = 128
+
+// Entry is one cached planning result, keyed by expression text. The
+// parsed query and its sequence expansion depend only on the expression
+// and the dictionary, which never shrinks — so Seqs stays reusable across
+// epochs for expressions whose names were already interned; the Plan (and
+// the empty-result proof encoded in nil Seqs) is valid only while Epoch
+// matches the index's current write epoch.
+type Entry struct {
+	Query *query.Query
+	// Seqs is the sequence expansion (nil when some query name was unknown
+	// at plan time — an empty result at that epoch).
+	Seqs []query.Seq
+	// VariantCap records that sequence expansion overflowed the variant cap
+	// and the query takes the disassemble-and-join route.
+	VariantCap bool
+	Plan       *Plan
+	// Desc is the pre-rendered Describe output (built once per plan, so
+	// per-query Explain costs nothing).
+	Desc string
+	// Epoch is the index write epoch the plan was built against.
+	Epoch uint64
+}
+
+// Estimate is the planner's result-size signal for the whole entry: the
+// saturating sum of its sequences' estimates (the variants' union at query
+// time). It is 0 for a proven-empty entry (unknown query name), and
+// EstUnknown when no plan was built or any sequence is unbounded — callers
+// ordering by Estimate run provably-empty work first and unknowns last.
+func (e *Entry) Estimate() uint64 {
+	if e.Plan == nil {
+		if e.Seqs == nil && !e.VariantCap {
+			return 0
+		}
+		return EstUnknown
+	}
+	var sum uint64
+	for i := range e.Plan.SeqPlans {
+		est := e.Plan.SeqPlans[i].Est
+		if est == EstUnknown {
+			return EstUnknown
+		}
+		sum = satAdd(sum, est)
+	}
+	return sum
+}
+
+// Cache is a bounded LRU map from expression text to planning results. It
+// has its own lock because queries consult it concurrently under the
+// index's shared lock.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recent
+}
+
+type cacheItem struct {
+	key string
+	e   *Entry
+}
+
+// NewCache returns a cache bounded to capacity entries (DefaultCacheSize
+// when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// Get returns the cached entry for key, if any, marking it recently used.
+// The caller must validate Entry.Epoch before trusting the plan.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheItem).e, true
+}
+
+// Put stores (or replaces) the entry for key, evicting the least recently
+// used entry when full.
+func (c *Cache) Put(key string, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheItem).e = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		if back := c.lru.Back(); back != nil {
+			c.lru.Remove(back)
+			delete(c.m, back.Value.(*cacheItem).key)
+		}
+	}
+	c.m[key] = c.lru.PushFront(&cacheItem{key: key, e: e})
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

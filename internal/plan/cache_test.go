@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"vist/internal/query"
+)
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	e1, e2, e3 := &Entry{Epoch: 1}, &Entry{Epoch: 2}, &Entry{Epoch: 3}
+	c.Put("q1", e1)
+	c.Put("q2", e2)
+	if _, ok := c.Get("q1"); !ok { // q1 now most recent
+		t.Fatal("q1 missing")
+	}
+	c.Put("q3", e3) // evicts q2, the least recently used
+	if _, ok := c.Get("q2"); ok {
+		t.Fatal("q2 should have been evicted")
+	}
+	if got, ok := c.Get("q1"); !ok || got != e1 {
+		t.Fatal("q1 lost")
+	}
+	if got, ok := c.Get("q3"); !ok || got != e3 {
+		t.Fatal("q3 lost")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	// Replacing in place must not evict.
+	c.Put("q1", e2)
+	if got, _ := c.Get("q1"); got != e2 {
+		t.Fatal("q1 not replaced")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after replace = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < DefaultCacheSize+10; i++ {
+		c.Put(fmt.Sprintf("q%d", i), &Entry{})
+	}
+	if c.Len() != DefaultCacheSize {
+		t.Fatalf("Len = %d, want %d", c.Len(), DefaultCacheSize)
+	}
+}
+
+func TestEntryEstimate(t *testing.T) {
+	// Proven-empty entry (unknown query name): estimate 0.
+	if got := (&Entry{}).Estimate(); got != 0 {
+		t.Fatalf("empty entry Estimate = %d, want 0", got)
+	}
+	// Variant-capped or unplanned entries are unknown.
+	if got := (&Entry{VariantCap: true}).Estimate(); got != EstUnknown {
+		t.Fatalf("variant-cap Estimate = %d, want EstUnknown", got)
+	}
+	if got := (&Entry{Seqs: []query.Seq{nil}}).Estimate(); got != EstUnknown {
+		t.Fatalf("planless Estimate = %d, want EstUnknown", got)
+	}
+	// Known sequences sum; any unknown sequence poisons the total.
+	e := &Entry{Plan: &Plan{SeqPlans: []SeqPlan{{Est: 3}, {Est: 4}}}}
+	if got := e.Estimate(); got != 7 {
+		t.Fatalf("Estimate = %d, want 7", got)
+	}
+	e.Plan.SeqPlans = append(e.Plan.SeqPlans, SeqPlan{Est: EstUnknown})
+	if got := e.Estimate(); got != EstUnknown {
+		t.Fatalf("Estimate with unknown seq = %d, want EstUnknown", got)
+	}
+}

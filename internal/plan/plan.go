@@ -1,0 +1,283 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"vist/internal/query"
+	"vist/internal/seq"
+)
+
+// Mode is the execution strategy chosen for one query sequence.
+type Mode uint8
+
+const (
+	// ModeRecursive is the paper's evaluation order (Algorithm 2 recursion),
+	// with the synopsis pruning each element's candidate prefix lengths.
+	// Chosen for branching sequences and for chains whose expansion
+	// overflowed the limit.
+	ModeRecursive Mode = iota
+	// ModeChain answers a linear (single-path) sequence with one exact
+	// D-Ancestor scan per existing concrete path of its final element. The
+	// final element's prefix transitively encodes every ancestor
+	// constraint, so the intermediate S-Ancestor checks are redundant for
+	// chains — this is where the synopsis collapses '//' sweeps into a few
+	// exact probes.
+	ModeChain
+	// ModeEmpty is a plan-time proof that the sequence matches nothing: some
+	// required path pattern has no expansion in the synopsis.
+	ModeEmpty
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeChain:
+		return "chain"
+	case ModeEmpty:
+		return "empty"
+	default:
+		return "recursive"
+	}
+}
+
+// EstUnknown marks a sequence whose cardinality the synopsis could not
+// bound (pattern expansion overflowed).
+const EstUnknown = ^uint64(0)
+
+// DefaultExpandLimit bounds how many concrete paths a single pattern may
+// expand into before the planner falls back to range scanning. Past a few
+// hundred exact probes, the paper's partial-prefix range scans win again.
+const DefaultExpandLimit = 256
+
+// Target is one exact D-Ancestor probe of a chain plan: scan the index
+// entries whose element has this symbol and exactly this prefix.
+type Target struct {
+	Sym    seq.Symbol
+	Prefix []seq.Symbol
+	Count  uint64 // synopsis occurrence estimate (upper bound for value leaves)
+}
+
+// SeqPlan is the chosen strategy for one query sequence.
+type SeqPlan struct {
+	Mode    Mode
+	Targets []Target // ModeChain: the exact probes, in key order
+	Est     uint64   // estimated matching element occurrences; EstUnknown when unbounded
+	Why     string   // one-phrase rationale for Explain output
+}
+
+// Plan is a full query plan: one SeqPlan per sequence variant, plus the
+// execution order (most selective sequence first, so budgeted runs spend
+// their pages where matches are likely and empty proofs cost nothing).
+type Plan struct {
+	SeqPlans []SeqPlan
+	Order    []int // indices into SeqPlans/the seqs slice, by ascending Est
+}
+
+// Estimator supplies a fallback cardinality signal when the synopsis
+// cannot bound a pattern: the trained occurrence count of a symbol from
+// the labeling statistics (zero, false when untrained or unknown).
+type Estimator interface {
+	SymbolCount(sym seq.Symbol) (uint64, bool)
+}
+
+// Build plans the given sequence variants against the synopsis. est may be
+// nil. The synopsis must not be mutated while Build runs (the core index
+// guarantees this by planning under its lock).
+func Build(seqs []query.Seq, sy *Synopsis, est Estimator) *Plan {
+	p := &Plan{SeqPlans: make([]SeqPlan, len(seqs)), Order: make([]int, len(seqs))}
+	for i, qs := range seqs {
+		p.SeqPlans[i] = buildSeq(qs, sy, est)
+		p.Order[i] = i
+	}
+	// Stable selectivity order: ModeEmpty (Est 0) first, unknowns last.
+	ord := p.Order
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && p.SeqPlans[ord[j]].Est < p.SeqPlans[ord[j-1]].Est; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	return p
+}
+
+func buildSeq(qs query.Seq, sy *Synopsis, est Estimator) SeqPlan {
+	if len(qs) == 0 {
+		return SeqPlan{Mode: ModeEmpty, Est: 0, Why: "empty sequence"}
+	}
+	if qs.IsChain() {
+		pat := chainPattern(qs, len(qs))
+		paths, ok := sy.Expand(pat, DefaultExpandLimit)
+		if !ok {
+			return SeqPlan{Mode: ModeRecursive, Est: fallbackEst(qs, est), Why: "chain expansion overflow"}
+		}
+		if len(paths) == 0 {
+			return SeqPlan{Mode: ModeEmpty, Est: 0, Why: "no synopsis path matches"}
+		}
+		sp := SeqPlan{Mode: ModeChain, Why: fmt.Sprintf("%d synopsis path(s)", len(paths))}
+		for _, pt := range paths {
+			sym := qs[len(qs)-1].Symbol
+			syms := pt.Syms
+			if !sym.IsValue() {
+				// The expansion's last symbol is the final element itself;
+				// the probe key wants (symbol, parent prefix).
+				syms = syms[:len(syms)-1]
+			}
+			sp.Targets = append(sp.Targets, Target{Sym: sym, Prefix: syms, Count: pt.Count})
+			sp.Est = satAdd(sp.Est, pt.Count)
+		}
+		return sp
+	}
+	// Branching sequence: the recursion must run, but a leaf chain with no
+	// synopsis expansion proves the whole sequence empty (every full match
+	// embeds each root-to-leaf chain). Est is the tightest leaf-chain bound.
+	sp := SeqPlan{Mode: ModeRecursive, Est: EstUnknown, Why: "branching query"}
+	for _, leaf := range leaves(qs) {
+		pat := anchorChainPattern(qs, leaf)
+		paths, ok := sy.Expand(pat, DefaultExpandLimit)
+		if !ok {
+			continue
+		}
+		if len(paths) == 0 {
+			return SeqPlan{Mode: ModeEmpty, Est: 0, Why: "a branch has no synopsis path"}
+		}
+		var sum uint64
+		for _, pt := range paths {
+			sum = satAdd(sum, pt.Count)
+		}
+		if sum < sp.Est {
+			sp.Est = sum
+		}
+	}
+	if sp.Est == EstUnknown {
+		sp.Est = fallbackEst(qs, est)
+	}
+	return sp
+}
+
+// satAdd adds estimates saturating just below EstUnknown, so sums of known
+// estimates never collide with the unknown sentinel.
+func satAdd(a, b uint64) uint64 {
+	if s := a + b; s >= a && s != EstUnknown {
+		return s
+	}
+	return EstUnknown - 1
+}
+
+// fallbackEst estimates a sequence's cardinality from labeling statistics
+// when the synopsis could not bound it: the trained occurrence count of the
+// rarest element symbol. The absolute scale is irrelevant — Build only
+// compares estimates against each other to order execution.
+func fallbackEst(qs query.Seq, est Estimator) uint64 {
+	if est == nil {
+		return EstUnknown
+	}
+	min := EstUnknown
+	for _, qe := range qs {
+		if c, ok := est.SymbolCount(qe.Symbol); ok && c < min {
+			min = c
+		}
+	}
+	if min == EstUnknown {
+		return EstUnknown
+	}
+	// Keep statistics-derived estimates above exact synopsis counts of the
+	// same magnitude ordering but below "no idea at all".
+	return min
+}
+
+// chainPattern builds the root path pattern of elements 0..n-1 of a linear
+// chain: per element, a gap for '//', one any-item per '*', then the
+// symbol. Unknown symbols from '*' and '//' are interchangeable within a
+// prefix, so item order within an element does not matter.
+func chainPattern(qs query.Seq, n int) Pattern {
+	var pat Pattern
+	for i := 0; i < n; i++ {
+		pat = appendElemPattern(pat, qs[i])
+	}
+	return pat
+}
+
+// anchorChainPattern builds the pattern of the root-to-leaf chain ending at
+// element leaf, following Anchor links upward.
+func anchorChainPattern(qs query.Seq, leaf int) Pattern {
+	var idxs []int
+	for i := leaf; i >= 0; i = qs[i].Anchor {
+		idxs = append(idxs, i)
+	}
+	var pat Pattern
+	for i := len(idxs) - 1; i >= 0; i-- {
+		pat = appendElemPattern(pat, qs[idxs[i]])
+	}
+	return pat
+}
+
+func appendElemPattern(pat Pattern, qe query.QElem) Pattern {
+	if qe.Desc {
+		pat = append(pat, PatItem{Op: OpGap})
+	}
+	for s := 0; s < qe.Stars; s++ {
+		pat = append(pat, PatItem{Op: OpAny})
+	}
+	return append(pat, PatItem{Op: OpSym, Sym: qe.Symbol})
+}
+
+// leaves returns the indices of sequence elements no other element anchors
+// on — the query tree's leaves.
+func leaves(qs query.Seq) []int {
+	anchored := make([]bool, len(qs))
+	for _, qe := range qs {
+		if qe.Anchor >= 0 {
+			anchored[qe.Anchor] = true
+		}
+	}
+	var out []int
+	for i := range qs {
+		if !anchored[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Describe renders the plan for Explain output, resolving symbols through
+// d. One line per sequence, in execution order.
+func (p *Plan) Describe(d *seq.Dict) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %d sequence(s)", len(p.SeqPlans))
+	for _, i := range p.Order {
+		sp := &p.SeqPlans[i]
+		fmt.Fprintf(&b, "\n  seq %d: %s (%s", i, sp.Mode, sp.Why)
+		if sp.Est != EstUnknown {
+			fmt.Fprintf(&b, ", est %d", sp.Est)
+		}
+		b.WriteString(")")
+		for t := range sp.Targets {
+			tg := &sp.Targets[t]
+			fmt.Fprintf(&b, "\n    probe %s", pathString(tg.Prefix, tg.Sym, d))
+			if tg.Count > 0 {
+				fmt.Fprintf(&b, " (count %d)", tg.Count)
+			}
+		}
+	}
+	return b.String()
+}
+
+func pathString(prefix []seq.Symbol, sym seq.Symbol, d *seq.Dict) string {
+	var b strings.Builder
+	for _, s := range prefix {
+		b.WriteByte('/')
+		b.WriteString(symName(s, d))
+	}
+	b.WriteByte('/')
+	b.WriteString(symName(sym, d))
+	return b.String()
+}
+
+func symName(s seq.Symbol, d *seq.Dict) string {
+	if s.IsValue() {
+		return fmt.Sprintf("v%08x", uint32(s))
+	}
+	if name, ok := d.Name(s); ok {
+		return name
+	}
+	return fmt.Sprintf("#%d", uint32(s))
+}

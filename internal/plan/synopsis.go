@@ -1,0 +1,428 @@
+// Package plan implements the query planner layered over the ViST index:
+// a DataGuide-style path synopsis (Goldman & Widom; see PAPERS.md) that
+// records every distinct root path present in the index, selectivity
+// estimates derived from the synopsis and from labeling statistics, and a
+// bounded plan cache keyed by expression text.
+//
+// The planner exists because the paper's evaluation order (Section 3.3,
+// "Handling Wild Cards") turns every '//' or '*' step into one D-Ancestor
+// range scan per candidate prefix length per partial match — correct, but
+// quadratic in practice. The synopsis answers "which root paths actually
+// occur?" exactly, so wildcard steps expand to the handful of existing
+// prefixes instead of sweeping key ranges that are mostly empty.
+package plan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"vist/internal/seq"
+)
+
+// MaxPathLen bounds synopsis path depth; it mirrors core.MaxDepth, which
+// rejects deeper documents at insert time.
+const MaxPathLen = 64
+
+// Synopsis is a trie over the distinct root paths of the indexed documents
+// (structural DataGuide). Each node carries the number of element
+// occurrences whose root path ends there — exactly the sum of refcounts of
+// the index nodes sharing that D-Ancestor key, which is what makes the
+// synopsis rebuildable from the node tree of a pre-synopsis index.
+//
+// Only element/attribute structure is recorded: hashed value symbols are
+// leaves of the document tree, never appear inside prefixes, and would
+// bloat the trie with one path per distinct text. Patterns ending in a
+// value symbol expand to the value's possible parent paths instead; the
+// final exact-key probe against the index decides existence.
+//
+// A Synopsis is not internally synchronized. The core index mutates it
+// under its exclusive lock and reads it under the shared lock, giving
+// queries a consistent view for free.
+type Synopsis struct {
+	root  *snode
+	paths int // trie nodes with count > 0 (distinct live paths)
+}
+
+type snode struct {
+	children map[seq.Symbol]*snode
+	count    uint64
+}
+
+// NewSynopsis returns an empty synopsis.
+func NewSynopsis() *Synopsis {
+	return &Synopsis{root: &snode{}}
+}
+
+// Paths reports the number of distinct root paths with a live occurrence
+// count.
+func (sy *Synopsis) Paths() int { return sy.paths }
+
+// Add adjusts the occurrence count of one root path by delta, creating trie
+// nodes as needed and pruning empty ones on the way back up. Underflow
+// clamps at zero (a defensive bound; consistent maintenance never
+// underflows). Paths containing value symbols are ignored — values are not
+// part of the structural synopsis.
+func (sy *Synopsis) Add(path []seq.Symbol, delta int64) {
+	if len(path) == 0 || len(path) > MaxPathLen {
+		return
+	}
+	for _, s := range path {
+		if s.IsValue() {
+			return
+		}
+	}
+	// Walk down, remembering the chain for pruning.
+	chain := make([]*snode, 0, len(path)+1)
+	chain = append(chain, sy.root)
+	n := sy.root
+	for _, s := range path {
+		child := n.children[s]
+		if child == nil {
+			if delta <= 0 {
+				return // nothing to decrement
+			}
+			child = &snode{}
+			if n.children == nil {
+				n.children = make(map[seq.Symbol]*snode)
+			}
+			n.children[s] = child
+		}
+		chain = append(chain, child)
+		n = child
+	}
+	before := n.count
+	if delta >= 0 {
+		n.count += uint64(delta)
+	} else if dec := uint64(-delta); dec >= n.count {
+		n.count = 0
+	} else {
+		n.count -= dec
+	}
+	switch {
+	case before == 0 && n.count > 0:
+		sy.paths++
+	case before > 0 && n.count == 0:
+		sy.paths--
+	}
+	// Prune empty leaves bottom-up (count 0 and no children).
+	for i := len(chain) - 1; i >= 1; i-- {
+		nd := chain[i]
+		if nd.count != 0 || len(nd.children) != 0 {
+			break
+		}
+		delete(chain[i-1].children, path[i-1])
+	}
+}
+
+// AddSequence folds one inserted document's structure-encoded sequence into
+// the synopsis: every non-value element contributes +1 to its root path
+// (prefix plus own symbol).
+func (sy *Synopsis) AddSequence(s seq.Sequence) { sy.addSequence(s, 1) }
+
+// RemoveSequence reverses AddSequence for a deleted document.
+func (sy *Synopsis) RemoveSequence(s seq.Sequence) { sy.addSequence(s, -1) }
+
+func (sy *Synopsis) addSequence(s seq.Sequence, delta int64) {
+	path := make([]seq.Symbol, 0, MaxPathLen)
+	for _, e := range s {
+		if e.Symbol.IsValue() {
+			continue
+		}
+		path = append(path[:0], e.Prefix...)
+		path = append(path, e.Symbol)
+		sy.Add(path, delta)
+	}
+}
+
+// Count returns the occurrence count of an exact root path (zero when the
+// path does not occur).
+func (sy *Synopsis) Count(path []seq.Symbol) uint64 {
+	n := sy.lookup(path)
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+func (sy *Synopsis) lookup(path []seq.Symbol) *snode {
+	n := sy.root
+	for _, s := range path {
+		if s.IsValue() {
+			return nil
+		}
+		n = n.children[s]
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// --- pattern expansion -------------------------------------------------------
+
+// PatOp is the kind of one pattern item.
+type PatOp uint8
+
+const (
+	// OpSym matches exactly one path symbol equal to Sym.
+	OpSym PatOp = iota
+	// OpAny matches exactly one path symbol of any name ('*').
+	OpAny
+	// OpGap matches zero or more path symbols ('//').
+	OpGap
+)
+
+// PatItem is one item of a path pattern.
+type PatItem struct {
+	Op  PatOp
+	Sym seq.Symbol
+}
+
+// Pattern is a root-anchored path pattern built from a linear query chain.
+type Pattern []PatItem
+
+// Path is one concrete expansion of a pattern: an existing root path and
+// its synopsis occurrence count. For paths ending in a value symbol the
+// count is the parent element's count — an upper bound, since the synopsis
+// does not record values.
+type Path struct {
+	Syms  []seq.Symbol
+	Count uint64
+}
+
+// Expand enumerates the concrete root paths matching the pattern, up to
+// limit. ok is false when the expansion would exceed limit — the caller
+// must fall back to range scanning; a true ok with zero paths is a proof
+// that no document can match.
+//
+// A trailing OpSym item with a value symbol is matched against the value's
+// possible parent paths (see the Synopsis doc comment); a value symbol
+// anywhere else can never match an index prefix and yields zero paths.
+func (sy *Synopsis) Expand(p Pattern, limit int) (paths []Path, ok bool) {
+	if limit <= 0 {
+		limit = 1
+	}
+	valueTail := false
+	if n := len(p); n > 0 && p[n-1].Op == OpSym && p[n-1].Sym.IsValue() {
+		valueTail = true
+		p = p[:n-1]
+	}
+	for _, it := range p {
+		if it.Op == OpSym && it.Sym.IsValue() {
+			return nil, true // value symbols never occur inside prefixes
+		}
+	}
+	overflow := false
+	cur := make([]seq.Symbol, 0, MaxPathLen)
+	var walk func(n *snode, i int)
+	walk = func(n *snode, i int) {
+		if overflow {
+			return
+		}
+		if i == len(p) {
+			// For a value tail, any existing node can parent a value leaf;
+			// otherwise the path itself must have live occurrences.
+			count := n.count
+			if !valueTail && count == 0 {
+				return
+			}
+			if valueTail && count == 0 && len(n.children) == 0 {
+				return
+			}
+			if len(paths) == limit {
+				overflow = true
+				return
+			}
+			paths = append(paths, Path{Syms: append([]seq.Symbol(nil), cur...), Count: count})
+			return
+		}
+		if len(cur) >= MaxPathLen {
+			return
+		}
+		switch it := p[i]; it.Op {
+		case OpSym:
+			if child := n.children[it.Sym]; child != nil {
+				cur = append(cur, it.Sym)
+				walk(child, i+1)
+				cur = cur[:len(cur)-1]
+			}
+		case OpAny:
+			for s, child := range n.children {
+				cur = append(cur, s)
+				walk(child, i+1)
+				cur = cur[:len(cur)-1]
+			}
+		case OpGap:
+			// Zero or more symbols: match here, then descend one level and
+			// retry the same item.
+			walk(n, i+1)
+			for s, child := range n.children {
+				cur = append(cur, s)
+				walk(child, i)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	walk(sy.root, 0)
+	if overflow {
+		return nil, false
+	}
+	// Map iteration makes discovery order nondeterministic; sort for stable
+	// plans (and stable scan order). Patterns with adjacent gaps can reach
+	// the same path along different item splits — drop the duplicates.
+	sort.Slice(paths, func(a, b int) bool { return symsLess(paths[a].Syms, paths[b].Syms) })
+	uniq := paths[:0]
+	for _, pt := range paths {
+		if len(uniq) == 0 || symsLess(uniq[len(uniq)-1].Syms, pt.Syms) {
+			uniq = append(uniq, pt)
+		}
+	}
+	return uniq, true
+}
+
+func symsLess(a, b []seq.Symbol) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// FeasibleLens reports which prefix lengths can possibly produce a
+// D-Ancestor match for one query element: the concrete base path (the
+// anchor's matched path) extended by at least stars unknown symbols — and
+// arbitrarily many more when desc is set — such that an element with the
+// given symbol exists at that depth in the synopsis. The result is a
+// sorted subset of [len(base)+stars, maxPlen]; lengths it omits are
+// provably empty scans. For value symbols any existing path of the right
+// depth qualifies (the synopsis does not record values).
+func (sy *Synopsis) FeasibleLens(base []seq.Symbol, stars int, desc bool, sym seq.Symbol, maxPlen int) []int {
+	start := sy.lookup(base)
+	if start == nil {
+		return nil
+	}
+	minPlen := len(base) + stars
+	if !desc {
+		if minPlen > maxPlen || !sy.feasibleAt(start, len(base), minPlen, sym) {
+			return nil
+		}
+		return []int{minPlen}
+	}
+	var lens []int
+	for plen := minPlen; plen <= maxPlen; plen++ {
+		if sy.feasibleAt(start, len(base), plen, sym) {
+			lens = append(lens, plen)
+		}
+	}
+	return lens
+}
+
+// feasibleAt reports whether some descendant of n at depth plen (n itself
+// sits at depth) can host an element with the given symbol.
+func (sy *Synopsis) feasibleAt(n *snode, depth, plen int, sym seq.Symbol) bool {
+	if plen >= MaxPathLen {
+		return false
+	}
+	if depth == plen {
+		if sym.IsValue() {
+			return true // any node of the right depth may parent a value leaf
+		}
+		child := n.children[sym]
+		return child != nil && (child.count > 0 || len(child.children) > 0)
+	}
+	for _, child := range n.children {
+		if sy.feasibleAt(child, depth+1, plen, sym) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- persistence -------------------------------------------------------------
+
+const synopsisVersion = 1
+
+// Encode serializes the synopsis deterministically (preorder, children in
+// symbol order) for persistence alongside the index metadata.
+func (sy *Synopsis) Encode() []byte {
+	out := binary.AppendUvarint(nil, synopsisVersion)
+	var enc func(n *snode)
+	enc = func(n *snode) {
+		out = binary.AppendUvarint(out, n.count)
+		out = binary.AppendUvarint(out, uint64(len(n.children)))
+		syms := make([]seq.Symbol, 0, len(n.children))
+		for s := range n.children {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, s := range syms {
+			out = binary.AppendUvarint(out, uint64(s))
+			enc(n.children[s])
+		}
+	}
+	enc(sy.root)
+	return out
+}
+
+// DecodeSynopsis restores a synopsis produced by Encode.
+func DecodeSynopsis(b []byte) (*Synopsis, error) {
+	v, b, err := readUvarint(b, "version")
+	if err != nil {
+		return nil, err
+	}
+	if v != synopsisVersion {
+		return nil, fmt.Errorf("plan: unsupported synopsis version %d", v)
+	}
+	sy := NewSynopsis()
+	var dec func(n *snode, depth int) error
+	dec = func(n *snode, depth int) error {
+		if depth > MaxPathLen {
+			return fmt.Errorf("plan: synopsis deeper than %d", MaxPathLen)
+		}
+		n.count, b, err = readUvarint(b, "count")
+		if err != nil {
+			return err
+		}
+		if n.count > 0 {
+			sy.paths++
+		}
+		var nc uint64
+		nc, b, err = readUvarint(b, "child count")
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < nc; i++ {
+			var s uint64
+			s, b, err = readUvarint(b, "symbol")
+			if err != nil {
+				return err
+			}
+			child := &snode{}
+			if n.children == nil {
+				n.children = make(map[seq.Symbol]*snode)
+			}
+			n.children[seq.Symbol(s)] = child
+			if err := dec(child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dec(sy.root, 0); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("plan: %d trailing synopsis bytes", len(b))
+	}
+	return sy, nil
+}
+
+func readUvarint(b []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("plan: truncated synopsis %s", what)
+	}
+	return v, b[n:], nil
+}

@@ -1,0 +1,229 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+
+	"vist/internal/seq"
+)
+
+// Symbols for tests: plain uint32 name symbols (top bit clear).
+const (
+	symA seq.Symbol = 1
+	symB seq.Symbol = 2
+	symC seq.Symbol = 3
+	symD seq.Symbol = 4
+)
+
+func p(syms ...seq.Symbol) []seq.Symbol { return syms }
+
+func TestSynopsisAddRemove(t *testing.T) {
+	sy := NewSynopsis()
+	sy.Add(p(symA), 2)
+	sy.Add(p(symA, symB), 1)
+	sy.Add(p(symA, symB, symC), 3)
+
+	if got := sy.Paths(); got != 3 {
+		t.Fatalf("Paths = %d, want 3", got)
+	}
+	if got := sy.Count(p(symA, symB, symC)); got != 3 {
+		t.Fatalf("Count(a/b/c) = %d, want 3", got)
+	}
+	if got := sy.Count(p(symA, symC)); got != 0 {
+		t.Fatalf("Count(a/c) = %d, want 0", got)
+	}
+
+	// Removing the leaf path prunes its trie node but keeps live ancestors.
+	sy.Add(p(symA, symB, symC), -3)
+	if got := sy.Paths(); got != 2 {
+		t.Fatalf("after removal Paths = %d, want 2", got)
+	}
+	if got := sy.Count(p(symA, symB)); got != 1 {
+		t.Fatalf("Count(a/b) = %d, want 1", got)
+	}
+
+	// Underflow clamps at zero instead of wrapping.
+	sy.Add(p(symA), -100)
+	if got := sy.Count(p(symA)); got != 0 {
+		t.Fatalf("after underflow Count(a) = %d, want 0", got)
+	}
+	// a's node must survive (b beneath it is live) even with count 0.
+	if got := sy.Count(p(symA, symB)); got != 1 {
+		t.Fatalf("Count(a/b) after parent underflow = %d, want 1", got)
+	}
+
+	// Decrementing a path that never existed is a no-op, not a trie mutation.
+	sy.Add(p(symD, symD), -1)
+	if got := sy.Count(p(symD, symD)); got != 0 {
+		t.Fatalf("Count(d/d) = %d, want 0", got)
+	}
+}
+
+func TestSynopsisIgnoresValuePathsAndBadLengths(t *testing.T) {
+	sy := NewSynopsis()
+	v := seq.ValueSymbol("x")
+	sy.Add(p(symA, v), 1)
+	sy.Add(nil, 1)
+	long := make([]seq.Symbol, MaxPathLen+1)
+	for i := range long {
+		long[i] = symA
+	}
+	sy.Add(long, 1)
+	if sy.Paths() != 0 {
+		t.Fatalf("Paths = %d, want 0 (value/empty/overlong paths ignored)", sy.Paths())
+	}
+}
+
+func TestSynopsisSequenceFold(t *testing.T) {
+	sy := NewSynopsis()
+	s := seq.Sequence{
+		{Symbol: symA, Prefix: nil},
+		{Symbol: symB, Prefix: p(symA)},
+		{Symbol: seq.ValueSymbol("v"), Prefix: p(symA, symB)},
+		{Symbol: symB, Prefix: p(symA)},
+	}
+	sy.AddSequence(s)
+	if got := sy.Count(p(symA, symB)); got != 2 {
+		t.Fatalf("Count(a/b) = %d, want 2 (two b occurrences)", got)
+	}
+	if got := sy.Paths(); got != 2 {
+		t.Fatalf("Paths = %d, want 2 (value leaf not recorded)", got)
+	}
+	sy.RemoveSequence(s)
+	if got := sy.Paths(); got != 0 {
+		t.Fatalf("Paths after RemoveSequence = %d, want 0", got)
+	}
+}
+
+// fixture: /a, /a/b(2), /a/b/c, /a/c, /d/b
+func expandFixture() *Synopsis {
+	sy := NewSynopsis()
+	sy.Add(p(symA), 1)
+	sy.Add(p(symA, symB), 2)
+	sy.Add(p(symA, symB, symC), 1)
+	sy.Add(p(symA, symC), 1)
+	sy.Add(p(symD, symB), 1)
+	return sy
+}
+
+func pat(items ...PatItem) Pattern { return items }
+func sym(s seq.Symbol) PatItem     { return PatItem{Op: OpSym, Sym: s} }
+func any() PatItem                 { return PatItem{Op: OpAny} }
+func gap() PatItem                 { return PatItem{Op: OpGap} }
+
+func TestExpandExact(t *testing.T) {
+	sy := expandFixture()
+	paths, ok := sy.Expand(pat(sym(symA), sym(symB)), 10)
+	if !ok || len(paths) != 1 || paths[0].Count != 2 {
+		t.Fatalf("Expand(/a/b) = %v, %v", paths, ok)
+	}
+	paths, ok = sy.Expand(pat(sym(symB)), 10)
+	if !ok || len(paths) != 0 {
+		t.Fatalf("Expand(/b) = %v, %v; want empty proof", paths, ok)
+	}
+}
+
+func TestExpandWildcards(t *testing.T) {
+	sy := expandFixture()
+	// '*' step: /*/b matches /a/b and /d/b.
+	paths, ok := sy.Expand(pat(any(), sym(symB)), 10)
+	if !ok || len(paths) != 2 {
+		t.Fatalf("Expand(/*/b) = %v, %v; want 2 paths", paths, ok)
+	}
+	// Sorted output.
+	if !symsLess(paths[0].Syms, paths[1].Syms) {
+		t.Fatalf("expansions not sorted: %v", paths)
+	}
+	// '//' gap: //c matches /a/b/c and /a/c.
+	paths, ok = sy.Expand(pat(gap(), sym(symC)), 10)
+	if !ok || len(paths) != 2 {
+		t.Fatalf("Expand(//c) = %v, %v; want 2 paths", paths, ok)
+	}
+	// Adjacent gaps reach the same paths once (dedup).
+	paths2, ok := sy.Expand(pat(gap(), gap(), sym(symC)), 10)
+	if !ok || len(paths2) != len(paths) {
+		t.Fatalf("Expand(////c) = %v, want same as //c", paths2)
+	}
+}
+
+func TestExpandOverflow(t *testing.T) {
+	sy := expandFixture()
+	if paths, ok := sy.Expand(pat(gap(), sym(symB)), 1); ok {
+		t.Fatalf("Expand with limit 1 over 2 matches: got ok with %v", paths)
+	}
+}
+
+func TestExpandValueSymbols(t *testing.T) {
+	sy := expandFixture()
+	v := seq.ValueSymbol("x")
+	// Trailing value expands to its parent element paths (counts are the
+	// parents').
+	paths, ok := sy.Expand(pat(sym(symA), sym(symB), sym(v)), 10)
+	if !ok || len(paths) != 1 || len(paths[0].Syms) != 2 {
+		t.Fatalf("Expand(/a/b/'x') = %v, %v; want the /a/b parent", paths, ok)
+	}
+	// A value symbol mid-pattern can never occur inside a prefix.
+	paths, ok = sy.Expand(pat(sym(v), sym(symB)), 10)
+	if !ok || len(paths) != 0 {
+		t.Fatalf("Expand('x'/b) = %v, %v; want empty proof", paths, ok)
+	}
+}
+
+func TestFeasibleLens(t *testing.T) {
+	sy := expandFixture()
+	// //c from the root: c exists at prefix lengths 1 (/a/c) and 2 (/a/b/c).
+	lens := sy.FeasibleLens(nil, 0, true, symC, 10)
+	if len(lens) != 2 || lens[0] != 1 || lens[1] != 2 {
+		t.Fatalf("FeasibleLens(//c) = %v, want [1 2]", lens)
+	}
+	// Non-desc: /a/b exists exactly at plen 1.
+	if lens := sy.FeasibleLens(p(symA), 0, false, symB, 10); len(lens) != 1 || lens[0] != 1 {
+		t.Fatalf("FeasibleLens(/a/b) = %v, want [1]", lens)
+	}
+	// Infeasible exact step.
+	if lens := sy.FeasibleLens(p(symD), 0, false, symC, 10); lens != nil {
+		t.Fatalf("FeasibleLens(/d/c) = %v, want nil", lens)
+	}
+	// Unknown base path.
+	if lens := sy.FeasibleLens(p(symC), 0, true, symB, 10); lens != nil {
+		t.Fatalf("FeasibleLens from dead base = %v, want nil", lens)
+	}
+	// Value symbols are feasible under any path of the right depth.
+	v := seq.ValueSymbol("x")
+	lens = sy.FeasibleLens(p(symA), 0, true, v, 10)
+	if len(lens) != 3 { // under /a, /a/b|/a/c, /a/b/c
+		t.Fatalf("FeasibleLens(/a//'x') = %v, want 3 lengths", lens)
+	}
+	// maxPlen caps the sweep.
+	if lens := sy.FeasibleLens(nil, 0, true, symC, 1); len(lens) != 1 || lens[0] != 1 {
+		t.Fatalf("FeasibleLens capped = %v, want [1]", lens)
+	}
+}
+
+func TestSynopsisEncodeDecode(t *testing.T) {
+	sy := expandFixture()
+	enc := sy.Encode()
+	got, err := DecodeSynopsis(enc)
+	if err != nil {
+		t.Fatalf("DecodeSynopsis: %v", err)
+	}
+	if got.Paths() != sy.Paths() {
+		t.Fatalf("Paths after decode = %d, want %d", got.Paths(), sy.Paths())
+	}
+	if !bytes.Equal(got.Encode(), enc) {
+		t.Fatalf("re-encode differs from original")
+	}
+
+	if _, err := DecodeSynopsis(enc[:len(enc)-1]); err == nil {
+		t.Fatalf("truncated synopsis decoded without error")
+	}
+	if _, err := DecodeSynopsis(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatalf("trailing bytes decoded without error")
+	}
+	if _, err := DecodeSynopsis([]byte{99}); err == nil {
+		t.Fatalf("unknown version decoded without error")
+	}
+	if _, err := DecodeSynopsis(nil); err == nil {
+		t.Fatalf("empty input decoded without error")
+	}
+}

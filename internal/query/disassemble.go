@@ -1,6 +1,9 @@
 package query
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Disassemble splits a query tree into one single-path query per
 // root-to-leaf path. The paper prescribes this as the fallback for branch
@@ -33,7 +36,10 @@ func Disassemble(q *Query) []*Query {
 				cur.Children = []*Node{&c}
 				cur = cur.Children[0]
 			}
-			out = append(out, &Query{Root: root, Raw: q.Raw + " (disassembled path)"})
+			// Number the paths so each part has a distinct Raw: caches
+			// keyed by query text must not conflate sibling splits.
+			out = append(out, &Query{Root: root,
+				Raw: fmt.Sprintf("%s (disassembled path %d)", q.Raw, len(out)+1)})
 			return
 		}
 		for _, ch := range n.Children {

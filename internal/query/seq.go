@@ -31,6 +31,21 @@ type QElem struct {
 // Seq is a structure-encoded query sequence, in preorder.
 type Seq []QElem
 
+// IsChain reports whether every element anchors on its immediate
+// predecessor — i.e. the sequence describes one linear root path with no
+// branching. Chains admit a direct evaluation strategy: the final
+// element's prefix transitively encodes every ancestor constraint, so a
+// planner can answer the whole sequence from the final element's
+// D-Ancestor entries alone.
+func (s Seq) IsChain() bool {
+	for i, qe := range s {
+		if qe.Anchor != i-1 {
+			return false
+		}
+	}
+	return true
+}
+
 // ErrTooManyVariants is wrapped by conversion errors when a query expands
 // past the variant cap; callers can fall back to Disassemble (errors.Is).
 var ErrTooManyVariants = errors.New("too many sequence variants")
