@@ -17,11 +17,15 @@
 //	                                               its work (on cut-off: partial
 //	                                               stats to stderr, exit 1)
 //	vist serve  -dir ./idx [-addr A] [-metrics-addr A] [-slow-query D]
+//	            [-query-timeout D] [-query-max-pages N]
 //	                                               HTTP query API on -addr; with
 //	                                               -metrics-addr, /metrics, expvar
 //	                                               (/debug/vars) and net/http/pprof
 //	                                               on a second listener; -slow-query
-//	                                               logs slow queries to stderr
+//	                                               logs slow queries to stderr;
+//	                                               -query-timeout and
+//	                                               -query-max-pages bound every
+//	                                               served query by default
 //	vist get    -dir ./idx ID                      print a stored document
 //	vist delete -dir ./idx ID                      remove a document
 //	vist stats  -dir ./idx                         show index statistics
@@ -58,6 +62,8 @@ func main() {
 	addr := fs.String("addr", "localhost:8080", "HTTP query API address (serve only)")
 	metricsAddr := fs.String("metrics-addr", "", "metrics/debug listener: /metrics, expvar, pprof (serve only; empty = disabled)")
 	slowQuery := fs.Duration("slow-query", 0, "log queries at or over this duration to stderr (serve only; 0 = disabled)")
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "default deadline for each served query (serve only; 0 = none)")
+	queryMaxPages := fs.Int("query-max-pages", 0, "page-fetch budget for each served query (serve only; 0 = unlimited)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -78,6 +84,13 @@ func main() {
 		}
 	}
 	opts := core.Options{Lambda: *lambda, Schema: schema}
+	if cmd == "serve" {
+		// Served queries come from untrusted clients: bound each one by
+		// default. QueryCtx applies these index-level limits to every HTTP
+		// request that doesn't carry its own tighter deadline.
+		opts.DefaultQueryTimeout = *queryTimeout
+		opts.DefaultBudget = core.Budget{MaxPages: *queryMaxPages}
+	}
 	if cmd == "serve" && *slowQuery > 0 {
 		opts.SlowQueryThreshold = *slowQuery
 		opts.SlowQueryLog = func(sq core.SlowQuery) {
@@ -228,7 +241,7 @@ func usage() {
 commands:
   index   -dir DIR [-dtd FILE] [-lambda N] FILE...   index XML files
   query   -dir DIR [-verify] [-explain] [-timeout D] [-max-results N] 'EXPR'
-  serve   -dir DIR [-addr A] [-metrics-addr A] [-slow-query D]
+  serve   -dir DIR [-addr A] [-metrics-addr A] [-slow-query D] [-query-timeout D] [-query-max-pages N]
   get     -dir DIR ID                                print a stored document
   delete  -dir DIR ID                                remove a document
   stats   -dir DIR                                   show index statistics

@@ -12,7 +12,94 @@ import (
 	"time"
 
 	"vist/internal/core"
+	"vist/internal/query"
 )
+
+// queryResponse is the JSON body of every /query reply that ran (or partially
+// ran) a query. On a budget or deadline cut-off the handler still returns it —
+// with Partial set and the IDs/stats reflecting the progress made before the
+// stop — so clients can distinguish "no matches" from "gave up early".
+type queryResponse struct {
+	IDs     []core.DocID    `json:"ids"`
+	Stats   core.QueryStats `json:"stats"`
+	Partial bool            `json:"partial,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// newQueryMux builds the query-port handler. Split from runServe so tests can
+// drive it through net/http/httptest without binding a socket.
+//
+// Budgeting note: the handler passes a zero per-call Budget, which QueryCtx
+// merges with the index's Options.DefaultBudget, and QueryCtx itself applies
+// Options.DefaultQueryTimeout when the request context carries no deadline —
+// so the index-level limits configured at Open time bound every HTTP query
+// without any handler-side plumbing. The ?timeout= parameter tightens (or,
+// absent index defaults, introduces) the deadline for one request.
+func newQueryMux(ix *core.Index) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		expr := r.URL.Query().Get("q")
+		if expr == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		// Classify malformed expressions up front: a request the parser
+		// rejects is the client's fault, never a server error.
+		if _, err := query.Parse(expr); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ctx := r.Context()
+		if t := r.URL.Query().Get("timeout"); t != "" {
+			d, err := time.ParseDuration(t)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad timeout: "+t, http.StatusBadRequest)
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		var (
+			ids   []core.DocID
+			stats core.QueryStats
+			err   error
+		)
+		if r.URL.Query().Get("verify") != "" {
+			ids, stats, err = ix.QueryVerifiedCtx(ctx, expr, core.Budget{})
+		} else {
+			ids, stats, err = ix.QueryCtx(ctx, expr, core.Budget{})
+		}
+		resp := queryResponse{IDs: ids, Stats: stats}
+		if ids == nil {
+			resp.IDs = []core.DocID{} // JSON [] — absent results are partial, not null
+		}
+		status := http.StatusOK
+		if err != nil {
+			resp.Error = err.Error()
+			switch {
+			case errors.Is(err, core.ErrCanceled):
+				// Deadline or client disconnect: the work done so far is
+				// still reported alongside the distinct status.
+				status = http.StatusGatewayTimeout
+				resp.Partial = true
+			case errors.Is(err, core.ErrBudgetExceeded):
+				status = http.StatusTooManyRequests
+				resp.Partial = true
+			default:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
 
 // runServe exposes an index over HTTP: a small query API on addr, and — when
 // metricsAddr is non-empty — the operational surface (plain-text /metrics,
@@ -36,52 +123,6 @@ func runServe(ix *core.Index, addr, metricsAddr string) error {
 			}
 		}()
 	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		expr := r.URL.Query().Get("q")
-		if expr == "" {
-			http.Error(w, "missing q parameter", http.StatusBadRequest)
-			return
-		}
-		ctx := r.Context()
-		if t := r.URL.Query().Get("timeout"); t != "" {
-			d, err := time.ParseDuration(t)
-			if err != nil {
-				http.Error(w, "bad timeout: "+err.Error(), http.StatusBadRequest)
-				return
-			}
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, d)
-			defer cancel()
-		}
-		var (
-			ids   []core.DocID
-			stats core.QueryStats
-			err   error
-		)
-		if r.URL.Query().Get("verify") != "" {
-			ids, stats, err = ix.QueryVerifiedCtx(ctx, expr, core.Budget{})
-		} else {
-			ids, stats, err = ix.QueryCtx(ctx, expr, core.Budget{})
-		}
-		if err != nil {
-			status := http.StatusInternalServerError
-			switch {
-			case errors.Is(err, core.ErrCanceled):
-				status = http.StatusGatewayTimeout
-			case errors.Is(err, core.ErrBudgetExceeded):
-				status = http.StatusTooManyRequests
-			}
-			http.Error(w, err.Error(), status)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{"ids": ids, "stats": stats})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
 	fmt.Fprintf(os.Stderr, "vist: query API on http://%s/query?q=EXPR\n", addr)
-	return http.ListenAndServe(addr, mux)
+	return http.ListenAndServe(addr, newQueryMux(ix))
 }

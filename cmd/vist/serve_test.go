@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/xmltree"
+)
+
+// openServeIndex builds a small file-backed index the way the serve command
+// would open it, with the caller's Options standing in for the serve flags.
+func openServeIndex(t *testing.T, opts core.Options, xmls ...string) *core.Index {
+	t.Helper()
+	ix, err := core.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := ix.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	for _, x := range xmls {
+		doc, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func serveGet(t *testing.T, mux *http.ServeMux, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	return rec
+}
+
+func decodeQueryResponse(t *testing.T, rec *httptest.ResponseRecorder) queryResponse {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var resp queryResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatalf("decoding body: %v", err)
+	}
+	return resp
+}
+
+func TestServeQueryOK(t *testing.T) {
+	ix := openServeIndex(t, core.Options{},
+		"<a><b>x</b></a>", "<a><c>y</c></a>", "<a><b>z</b></a>")
+	mux := newQueryMux(ix)
+
+	rec := serveGet(t, mux, "/query?q=/a/b")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %q", rec.Code, rec.Body)
+	}
+	resp := decodeQueryResponse(t, rec)
+	if len(resp.IDs) != 2 || resp.Partial || resp.Error != "" {
+		t.Fatalf("response = %+v, want 2 ids, complete, no error", resp)
+	}
+
+	rec = serveGet(t, mux, "/query?q=/a/b&verify=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("verified status = %d, body %q", rec.Code, rec.Body)
+	}
+	if resp := decodeQueryResponse(t, rec); len(resp.IDs) != 2 {
+		t.Fatalf("verified response = %+v, want 2 ids", resp)
+	}
+
+	// Zero matches must serialize as [], not null: clients distinguish an
+	// empty result from a cut-off by Partial, not by a missing array.
+	rec = serveGet(t, mux, "/query?q=/nope")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty-result status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"ids":[]`) {
+		t.Fatalf("empty result body = %q, want \"ids\":[]", rec.Body)
+	}
+
+	if rec := serveGet(t, mux, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+}
+
+// TestServeQueryBadRequest: every malformed request — absent expression,
+// syntax the parser rejects, unparsable or non-positive timeout — is the
+// client's fault and must map to 400, never 500.
+func TestServeQueryBadRequest(t *testing.T) {
+	ix := openServeIndex(t, core.Options{}, "<a><b>x</b></a>")
+	mux := newQueryMux(ix)
+	for _, target := range []string{
+		"/query",
+		"/query?q=%2Fa%5B",       // "/a[" — unterminated predicate
+		"/query?q=not-a-path%21", // "not-a-path!"
+		"/query?q=/a/b&timeout=bogus",
+		"/query?q=/a/b&timeout=-1s",
+	} {
+		if rec := serveGet(t, mux, target); rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: status = %d, want 400 (body %q)", target, rec.Code, rec.Body)
+		}
+	}
+}
+
+// TestServeQueryBudgetExceeded: an index opened with a DefaultBudget (as the
+// serve command's -query-max-pages flag does) must cut HTTP queries off with
+// 429 and still deliver the partial stats in the JSON body.
+func TestServeQueryBudgetExceeded(t *testing.T) {
+	docs := make([]string, 40)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("<a><b>v%d</b><c>w%d</c></a>", i, i)
+	}
+	ix := openServeIndex(t, core.Options{DefaultBudget: core.Budget{MaxPages: 1}}, docs...)
+	mux := newQueryMux(ix)
+
+	rec := serveGet(t, mux, "/query?q=//b")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %q)", rec.Code, rec.Body)
+	}
+	resp := decodeQueryResponse(t, rec)
+	if !resp.Partial || resp.Error == "" {
+		t.Fatalf("response = %+v, want partial with error text", resp)
+	}
+	if resp.Stats.PagesRead == 0 {
+		t.Fatalf("cut-off response carries no progress stats: %+v", resp.Stats)
+	}
+}
+
+// TestServeQueryDeadline: both the index-level DefaultQueryTimeout (the serve
+// command's -query-timeout flag) and a per-request ?timeout= must map a
+// deadline cut-off to 504 with the partial stats in the body.
+func TestServeQueryDeadline(t *testing.T) {
+	ix := openServeIndex(t, core.Options{DefaultQueryTimeout: time.Nanosecond},
+		"<a><b>x</b></a>")
+	rec := serveGet(t, newQueryMux(ix), "/query?q=//b")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("DefaultQueryTimeout status = %d, want 504 (body %q)", rec.Code, rec.Body)
+	}
+	if resp := decodeQueryResponse(t, rec); !resp.Partial || resp.Error == "" {
+		t.Fatalf("response = %+v, want partial with error text", resp)
+	}
+
+	ix2 := openServeIndex(t, core.Options{}, "<a><b>x</b></a>")
+	rec = serveGet(t, newQueryMux(ix2), "/query?q=//b&timeout=1ns")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("?timeout=1ns status = %d, want 504 (body %q)", rec.Code, rec.Body)
+	}
+}

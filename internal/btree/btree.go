@@ -50,6 +50,14 @@ type Options struct {
 // lock. The decoded-node cache has its own small mutex so parallel readers
 // can fault pages in and maintain the LRU without serializing on the tree
 // lock.
+//
+// Structural mutations are copy-on-write: a writer never rewrites a page
+// reachable from the last published version (Publish), so a Snapshot reads
+// a frozen tree without taking any tree lock at all. Pages replaced or
+// discarded by writers queue on a per-publish free list and become
+// allocatable again only after Reclaim declares their version unreferenced
+// — the layer above tracks reader pins and drives the Publish → Reclaim
+// lifecycle (see core's epoch protocol, DESIGN.md §11).
 type BTree struct {
 	mu       sync.RWMutex
 	pg       Pager
@@ -63,6 +71,21 @@ type BTree struct {
 	count     uint64
 	userMeta  []byte
 	metaDirty bool
+
+	// Copy-on-write version state. window identifies the in-progress write
+	// window: nodes born in it are mutated in place, everything older is
+	// shadowed. published is the version snapshot readers resolve against —
+	// an atomic pointer so Snapshot() never takes the tree lock. The free
+	// lists stage replaced pages through their reader-visibility lifecycle:
+	// windowFree (freed by the current window, still reachable from the
+	// published root) → aged (published away, possibly pinned by old-epoch
+	// readers) → reusable (drained; allocPage may hand them out again).
+	window      uint64
+	published   atomic.Pointer[treeSnap]
+	windowFree  []PageID
+	windowAlloc []PageID // pages allocated by the current window (for Rollback)
+	aged        []agedFree
+	reusable    []PageID
 
 	// The decoded-node cache is a lock-free-on-hit clock cache: cache maps
 	// PageID → *node, cacheN tracks its size, and each node carries a ref
@@ -110,15 +133,17 @@ func New(pg Pager, opts Options) (*BTree, error) {
 		m:        m,
 	}
 	t.bufPool.New = func() any { return make([]byte, ps) }
+	t.window = 1
 	if pg.NumPages() == 0 {
 		if err := t.create(); err != nil {
 			return nil, err
 		}
-		return t, nil
-	}
-	if err := t.readMeta(); err != nil {
+	} else if err := t.readMeta(); err != nil {
 		return nil, err
 	}
+	// The freshly opened state is version zero: snapshots taken before the
+	// first Publish read it.
+	t.published.Store(&treeSnap{root: t.root, count: t.count})
 	return t, nil
 }
 
@@ -347,9 +372,248 @@ func (t *BTree) dropFromCache(id PageID) {
 	}
 }
 
+// --- versions (copy-on-write) ---------------------------------------------
+
+// treeSnap is one published tree version: a root whose entire reachable page
+// set is frozen (writers shadow instead of rewriting) plus the entry count
+// at publish time.
+type treeSnap struct {
+	root  PageID
+	count uint64
+}
+
+// agedFree records the pages one Publish made unreachable: they belong to
+// versions strictly older than epoch and may be reused once no reader is
+// pinned below it.
+type agedFree struct {
+	epoch uint64
+	ids   []PageID
+}
+
+// shadow returns a node the current write window owns: n itself when this
+// window already created or copied it, otherwise a copy under a fresh page
+// ID, with the original queued for reclamation after the version it belongs
+// to drains. Committed pages are thereby never rewritten, which is what lets
+// Snapshot readers run without locks and lets a crash before the next
+// commit leave every published version intact.
+func (t *BTree) shadow(n *node) (*node, error) {
+	if n.born == t.window {
+		return n, nil
+	}
+	id, err := t.allocPage()
+	if err != nil {
+		return nil, err
+	}
+	c := &node{
+		id:   id,
+		leaf: n.leaf,
+		keys: append([][]byte(nil), n.keys...),
+		vals: append([][]byte(nil), n.vals...),
+		kids: append([]PageID(nil), n.kids...),
+		born: t.window,
+	}
+	t.pendingFree(n.id)
+	t.markDirty(c)
+	return c, nil
+}
+
+// pendingFree queues a page replaced or discarded by the current window.
+// The page is NOT touched on disk — old-epoch readers may still resolve it —
+// and only becomes allocatable again via Publish → Reclaim.
+func (t *BTree) pendingFree(id PageID) {
+	t.windowFree = append(t.windowFree, id)
+}
+
+// Publish freezes the pending tree state as the version lock-free Snapshot
+// readers resolve against, stamps the pages the window freed with the
+// published epoch, and opens the next write window. The caller (core) holds
+// its exclusive lock across the mutation and the Publish, and assigns
+// monotonically increasing epochs.
+func (t *BTree) Publish(epoch uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.published.Store(&treeSnap{root: t.root, count: t.count})
+	if len(t.windowFree) > 0 {
+		t.aged = append(t.aged, agedFree{epoch: epoch, ids: t.windowFree})
+		t.windowFree = nil
+	}
+	t.windowAlloc = nil
+	t.window = epoch + 1
+}
+
+// Rollback discards the current write window: the pending root reverts to the
+// last published version, pages the window allocated become immediately
+// reusable (no reader ever saw them — they were reachable only from the
+// now-abandoned pending root), and pages the window had queued for freeing
+// return to live duty (the published version still references them). Core
+// calls this when a mutation fails partway, so no later publish can carry the
+// partial writes — in particular, a half-shadowed subtree whose replaced
+// pages would otherwise hit the free lists while still reachable.
+func (t *BTree) Rollback() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.published.Load()
+	t.root = s.root
+	t.count = s.count
+	t.metaDirty = true
+	for _, id := range t.windowAlloc {
+		// Drop first: the cached node carries the abandoned contents (and
+		// possibly a dirty bit that would flush them over a reused page).
+		t.dropFromCache(id)
+		t.reusable = append(t.reusable, id)
+	}
+	t.windowAlloc = nil
+	t.windowFree = nil
+}
+
+// Reclaim makes the pages freed by publishes at or below minEpoch
+// allocatable again. minEpoch must be the minimum epoch any reader is still
+// pinned to (or the latest published epoch when no reader is pinned): pages
+// stamped with epoch E are referenced only by versions older than E, so they
+// are safe exactly when every pin is at E or beyond. Only the writer side
+// calls Reclaim — reader release never mutates free lists.
+func (t *BTree) Reclaim(minEpoch uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := 0
+	for ; i < len(t.aged) && t.aged[i].epoch <= minEpoch; i++ {
+		t.reusable = append(t.reusable, t.aged[i].ids...)
+	}
+	if i > 0 {
+		t.aged = append(t.aged[:0:0], t.aged[i:]...)
+	}
+}
+
+// Snapshot returns the last published version. Its methods take no tree
+// lock and never block on writers; the caller must keep the version pinned
+// (core's reader refcounts) for as long as it uses the snapshot, or a
+// Reclaim may hand its pages to a new write window.
+func (t *BTree) Snapshot() Snapshot {
+	s := t.published.Load()
+	return Snapshot{t: t, root: s.root, count: s.count}
+}
+
+// Snapshot is an immutable, lock-free read-only view of one published tree
+// version. See BTree.Snapshot.
+type Snapshot struct {
+	t     *BTree
+	root  PageID
+	count uint64
+}
+
+// Len reports the number of entries in the snapshot's version.
+func (s Snapshot) Len() uint64 { return s.count }
+
+// Get returns the value stored under key in the snapshot's version.
+func (s Snapshot) Get(key []byte) ([]byte, bool, error) {
+	return s.t.getFrom(s.root, key)
+}
+
+// Scan visits all snapshot entries with lo <= key < hi in ascending order.
+func (s Snapshot) Scan(lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	return s.t.scanFrom(s.root, lo, hi, nil, fn)
+}
+
+// ScanWith is Scan with a per-page hook (see BTree.ScanWith).
+func (s Snapshot) ScanWith(lo, hi []byte, onPage func() error, fn func(key, val []byte) (bool, error)) error {
+	return s.t.scanFrom(s.root, lo, hi, onPage, fn)
+}
+
+// SeekFirstWith returns the smallest snapshot entry with lo <= key < hi.
+func (s Snapshot) SeekFirstWith(lo, hi []byte, onPage func() error) (key, val []byte, ok bool, err error) {
+	err = s.t.scanFrom(s.root, lo, hi, onPage, func(k, v []byte) (bool, error) {
+		key = append([]byte(nil), k...)
+		val = append([]byte(nil), v...)
+		ok = true
+		return false, nil
+	})
+	return key, val, ok, err
+}
+
+// CheckVersions verifies the copy-on-write bookkeeping of the live
+// versions: the page sets reachable from the published root and from the
+// pending root must be duplicate-free and acyclic, and no reachable page
+// may sit on a free list (window, aged, or reusable) — a page that is both
+// reachable and queued for reuse would eventually be rewritten under a
+// reader that can still see it.
+func (t *BTree) CheckVersions() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Pages freed by past publishes (aged) or drained (reusable) must be
+	// unreachable from every live version. Pages freed by the current,
+	// still-unpublished window (windowFree) are different: the published
+	// version still references the originals that this window shadowed, so
+	// they are illegal only from the pending root.
+	shared := make(map[PageID]string)
+	for _, e := range t.aged {
+		for _, id := range e.ids {
+			shared[id] = "aged"
+		}
+	}
+	for _, id := range t.reusable {
+		shared[id] = "reusable"
+	}
+	pendingOnly := make(map[PageID]string, len(shared)+len(t.windowFree))
+	for id, list := range shared {
+		pendingOnly[id] = list
+	}
+	for _, id := range t.windowFree {
+		pendingOnly[id] = "window"
+	}
+	check := func(root PageID, what string, free map[PageID]string) error {
+		seen := make(map[PageID]struct{})
+		var walk func(id PageID, depth int) error
+		walk = func(id PageID, depth int) error {
+			if depth > 64 {
+				return fmt.Errorf("btree: %s version deeper than 64 levels (cycle?)", what)
+			}
+			if _, dup := seen[id]; dup {
+				return fmt.Errorf("btree: page %d reachable twice from the %s root", id, what)
+			}
+			seen[id] = struct{}{}
+			if list, bad := free[id]; bad {
+				return fmt.Errorf("btree: page %d reachable from the %s root but on the %s free list", id, what, list)
+			}
+			n, err := t.load(id)
+			if err != nil {
+				return err
+			}
+			if n.leaf {
+				return nil
+			}
+			for _, kid := range n.kids {
+				if err := walk(kid, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return walk(root, 0)
+	}
+	if err := check(t.published.Load().root, "published", shared); err != nil {
+		return err
+	}
+	return check(t.root, "pending", pendingOnly)
+}
+
 // --- page allocation ------------------------------------------------------
 
+// allocPage hands the current write window a page no published version can
+// reach, preferring drained version pages (no I/O), then the durable on-disk
+// freelist chain, then file growth. Every allocation is recorded in
+// windowAlloc so a Rollback can recycle the window's pages.
 func (t *BTree) allocPage() (PageID, error) {
+	if n := len(t.reusable); n > 0 {
+		// Drained version pages are preferred: reusing one needs no disk
+		// read (unlike the durable freelist chain) and no file growth. The
+		// stale cached node under this ID (from the version that freed it)
+		// must not shadow the new contents.
+		id := t.reusable[n-1]
+		t.reusable = t.reusable[:n-1]
+		t.dropFromCache(id)
+		t.windowAlloc = append(t.windowAlloc, id)
+		return id, nil
+	}
 	if t.freeHead != 0 {
 		id := t.freeHead
 		if err := t.pg.Read(id, t.buf); err != nil {
@@ -360,11 +624,22 @@ func (t *BTree) allocPage() (PageID, error) {
 		}
 		t.freeHead = PageID(binary.BigEndian.Uint32(t.buf[1:5]))
 		t.metaDirty = true
+		t.windowAlloc = append(t.windowAlloc, id)
 		return id, nil
 	}
-	return t.pg.Allocate()
+	id, err := t.pg.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	t.windowAlloc = append(t.windowAlloc, id)
+	return id, nil
 }
 
+// freePage pushes id onto the durable on-disk freelist chain, writing the
+// chain link into the page itself. Under copy-on-write this is only legal
+// for pages no reader can reach anymore, so the only caller besides create
+// is flushLocked persisting drained (reusable) pages; live frees go through
+// pendingFree instead.
 func (t *BTree) freePage(id PageID) error {
 	t.dropFromCache(id)
 	for i := range t.buf {
@@ -409,12 +684,19 @@ func (t *BTree) SetUserMeta(m []byte) error {
 	return nil
 }
 
-// Get returns the value stored under key. It holds the shared lock, so
-// concurrent Gets and Scans proceed in parallel.
+// Get returns the value stored under key in the pending (writer-visible)
+// tree. It holds the shared lock, so concurrent Gets and Scans proceed in
+// parallel; use Snapshot().Get for lock-free reads of the published version.
 func (t *BTree) Get(key []byte) ([]byte, bool, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	id := t.root
+	return t.getFrom(t.root, key)
+}
+
+// getFrom is the root-parameterized point lookup shared by BTree.Get (under
+// the shared lock, pending root) and Snapshot.Get (no lock, published root).
+func (t *BTree) getFrom(root PageID, key []byte) ([]byte, bool, error) {
+	id := root
 	for {
 		n, err := t.load(id)
 		if err != nil {
@@ -454,21 +736,26 @@ func (t *BTree) Put(key, val []byte) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	split, err := t.put(t.root, key, val)
+	newRoot, split, err := t.put(t.root, key, val)
 	if err != nil {
 		return err
+	}
+	if newRoot != t.root {
+		t.root = newRoot
+		t.metaDirty = true
 	}
 	if split != nil {
 		newRootID, err := t.allocPage()
 		if err != nil {
 			return err
 		}
-		newRoot := &node{
+		root := &node{
 			id:   newRootID,
 			keys: [][]byte{split.sep},
 			kids: []PageID{t.root, split.right},
+			born: t.window,
 		}
-		t.markDirty(newRoot)
+		t.markDirty(root)
 		t.root = newRootID
 		t.metaDirty = true
 	}
@@ -477,12 +764,20 @@ func (t *BTree) Put(key, val []byte) error {
 	return t.evict()
 }
 
-func (t *BTree) put(id PageID, key, val []byte) (*splitResult, error) {
+// put inserts key/val under the subtree rooted at id, copy-on-write: every
+// node along the descent is shadowed into the current window, so the
+// returned page ID (the subtree's new root) differs from id unless the
+// window already owned it. The published version keeps resolving through
+// the old pages untouched.
+func (t *BTree) put(id PageID, key, val []byte) (PageID, *splitResult, error) {
 	n, err := t.load(id)
 	if err != nil {
-		return nil, err
+		return id, nil, err
 	}
 	if n.leaf {
+		if n, err = t.shadow(n); err != nil {
+			return id, nil, err
+		}
 		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
 		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 			n.vals[i] = append([]byte(nil), val...)
@@ -493,27 +788,34 @@ func (t *BTree) put(id PageID, key, val []byte) (*splitResult, error) {
 		}
 		t.markDirty(n)
 		if n.serializedSize() <= t.pageSize {
-			return nil, nil
+			return n.id, nil, nil
 		}
-		return t.splitLeaf(n)
+		split, err := t.splitLeaf(n)
+		return n.id, split, err
 	}
 	idx := t.childIndex(n, key)
-	split, err := t.put(n.kids[idx], key, val)
+	newChild, split, err := t.put(n.kids[idx], key, val)
 	if err != nil {
-		return nil, err
+		return id, nil, err
 	}
+	if n, err = t.shadow(n); err != nil {
+		return id, nil, err
+	}
+	n.kids[idx] = newChild
+	t.markDirty(n)
 	if split == nil {
-		return nil, nil
+		return n.id, nil, nil
 	}
 	n.insertInternalCell(idx, split.sep, split.right)
-	t.markDirty(n)
 	if n.serializedSize() <= t.pageSize {
-		return nil, nil
+		return n.id, nil, nil
 	}
-	return t.splitInternal(n)
+	sp, err := t.splitInternal(n)
+	return n.id, sp, err
 }
 
 // splitLeaf moves the upper half of n's cells into a fresh right sibling.
+// n must be owned by the current window (shadowed by the caller).
 func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
 	rightID, err := t.allocPage()
 	if err != nil {
@@ -538,18 +840,18 @@ func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
 		leaf: true,
 		keys: append([][]byte(nil), n.keys[mid:]...),
 		vals: append([][]byte(nil), n.vals[mid:]...),
-		next: n.next,
+		born: t.window,
 	}
 	n.keys = n.keys[:mid]
 	n.vals = n.vals[:mid]
-	n.next = rightID
 	t.markDirty(n)
 	t.markDirty(right)
 	sep := append([]byte(nil), right.keys[0]...)
 	return &splitResult{sep: sep, right: rightID}, nil
 }
 
-// splitInternal promotes the middle separator of n.
+// splitInternal promotes the middle separator of n, which must be owned by
+// the current window.
 func (t *BTree) splitInternal(n *node) (*splitResult, error) {
 	rightID, err := t.allocPage()
 	if err != nil {
@@ -561,6 +863,7 @@ func (t *BTree) splitInternal(n *node) (*splitResult, error) {
 		id:   rightID,
 		keys: append([][]byte(nil), n.keys[mid+1:]...),
 		kids: append([]PageID(nil), n.kids[mid+1:]...),
+		born: t.window,
 	}
 	n.keys = n.keys[:mid]
 	n.kids = n.kids[:mid+1]
@@ -573,9 +876,13 @@ func (t *BTree) splitInternal(n *node) (*splitResult, error) {
 func (t *BTree) Delete(key []byte) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	deleted, _, err := t.del(t.root, key)
+	newRoot, deleted, _, err := t.del(t.root, key)
 	if err != nil || !deleted {
 		return deleted, err
+	}
+	if newRoot != t.root {
+		t.root = newRoot
+		t.metaDirty = true
 	}
 	root, err := t.load(t.root)
 	if err != nil {
@@ -585,44 +892,61 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 		old := t.root
 		t.root = root.kids[0]
 		t.metaDirty = true
-		if err := t.freePage(old); err != nil {
-			return true, err
+		t.pendingFree(old)
+		if root.born == t.window {
+			// Never part of a published version; no reader can load it.
+			t.dropFromCache(old)
 		}
 	}
 	return true, t.evict()
 }
 
-func (t *BTree) del(id PageID, key []byte) (deleted, underflow bool, err error) {
+// del removes key from the subtree rooted at id, copy-on-write like put:
+// the returned page ID is the subtree's new root (id itself when the key
+// was absent or the window already owned the whole path).
+func (t *BTree) del(id PageID, key []byte) (newID PageID, deleted, underflow bool, err error) {
 	n, err := t.load(id)
 	if err != nil {
-		return false, false, err
+		return id, false, false, err
 	}
 	if n.leaf {
 		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
 		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
-			return false, false, nil
+			return id, false, false, nil
+		}
+		if n, err = t.shadow(n); err != nil {
+			return id, false, false, err
 		}
 		n.removeLeafCell(i)
 		t.count--
 		t.metaDirty = true
 		t.markDirty(n)
-		return true, n.serializedSize() < t.minFill(), nil
+		return n.id, true, n.serializedSize() < t.minFill(), nil
 	}
 	idx := t.childIndex(n, key)
-	deleted, childUnder, err := t.del(n.kids[idx], key)
+	newChild, deleted, childUnder, err := t.del(n.kids[idx], key)
 	if err != nil || !deleted {
-		return deleted, false, err
+		return id, deleted, false, err
 	}
+	if n, err = t.shadow(n); err != nil {
+		return id, true, false, err
+	}
+	n.kids[idx] = newChild
+	t.markDirty(n)
 	if childUnder {
 		if err := t.rebalance(n, idx); err != nil {
-			return true, false, err
+			return n.id, true, false, err
 		}
 	}
-	return true, n.serializedSize() < t.minFill(), nil
+	return n.id, true, n.serializedSize() < t.minFill(), nil
 }
 
-// rebalance restores the fill of n.kids[idx] by borrowing from a sibling or
-// merging with one. If neither is possible the underfull child is tolerated.
+// rebalance restores the fill of parent.kids[idx] by borrowing from a
+// sibling or merging with one; if neither is possible the underfull child
+// is tolerated. parent and the child are already owned by the current
+// window (shadowed by del); siblings are shadowed here only when they will
+// actually donate cells or receive a merge, so a tolerated underflow costs
+// no page churn.
 func (t *BTree) rebalance(parent *node, idx int) error {
 	child, err := t.load(parent.kids[idx])
 	if err != nil {
@@ -631,27 +955,45 @@ func (t *BTree) rebalance(parent *node, idx int) error {
 	if child.serializedSize() >= t.minFill() {
 		return nil
 	}
-	// Try borrowing from the left sibling.
+	// Try borrowing from the left sibling. A borrow mutates the donor, so
+	// the sibling is shadowed first; a merge into it mutates it too.
 	if idx > 0 {
 		left, err := t.load(parent.kids[idx-1])
 		if err != nil {
 			return err
 		}
-		if t.borrow(parent, idx-1, left, child, true) {
-			return nil
-		}
-		if left.serializedSize()+child.serializedSize()-t.headerSize(child) <= t.pageSize {
-			return t.merge(parent, idx-1, left, child)
+		mayBorrow := left.serializedSize() > t.minFill() && len(left.keys) > 1
+		mayMerge := left.serializedSize()+child.serializedSize()-t.headerSize(child) <= t.pageSize
+		if mayBorrow || mayMerge {
+			if left, err = t.shadow(left); err != nil {
+				return err
+			}
+			parent.kids[idx-1] = left.id
+			t.markDirty(parent)
+			if t.borrow(parent, idx-1, left, child, true) {
+				return nil
+			}
+			if left.serializedSize()+child.serializedSize()-t.headerSize(child) <= t.pageSize {
+				return t.merge(parent, idx-1, left, child)
+			}
 		}
 	}
-	// Try borrowing from the right sibling.
+	// Try borrowing from the right sibling. Merging right into the child
+	// only reads the right sibling, so it needs no shadow in that case.
 	if idx < len(parent.kids)-1 {
 		right, err := t.load(parent.kids[idx+1])
 		if err != nil {
 			return err
 		}
-		if t.borrow(parent, idx, child, right, false) {
-			return nil
+		if right.serializedSize() > t.minFill() && len(right.keys) > 1 {
+			if right, err = t.shadow(right); err != nil {
+				return err
+			}
+			parent.kids[idx+1] = right.id
+			t.markDirty(parent)
+			if t.borrow(parent, idx, child, right, false) {
+				return nil
+			}
 		}
 		if child.serializedSize()+right.serializedSize()-t.headerSize(right) <= t.pageSize {
 			return t.merge(parent, idx, child, right)
@@ -749,11 +1091,12 @@ func (t *BTree) borrow(parent *node, sepIdx int, left, right *node, fromLeft boo
 }
 
 // merge folds right into left and removes separator sepIdx from the parent.
+// left and parent must be owned by the current window; right is only read
+// and then retired, so a committed right stays cached for pinned readers.
 func (t *BTree) merge(parent *node, sepIdx int, left, right *node) error {
 	if left.leaf {
 		left.keys = append(left.keys, right.keys...)
 		left.vals = append(left.vals, right.vals...)
-		left.next = right.next
 	} else {
 		left.keys = append(left.keys, append([]byte(nil), parent.keys[sepIdx]...))
 		left.keys = append(left.keys, right.keys...)
@@ -762,7 +1105,11 @@ func (t *BTree) merge(parent *node, sepIdx int, left, right *node) error {
 	parent.removeInternalCell(sepIdx)
 	t.markDirty(left)
 	t.markDirty(parent)
-	return t.freePage(right.id)
+	t.pendingFree(right.id)
+	if right.born == t.window {
+		t.dropFromCache(right.id)
+	}
+	return nil
 }
 
 // Sync flushes all dirty state to the pager and the pager to stable storage.
@@ -783,6 +1130,16 @@ func (t *BTree) Flush() error {
 }
 
 func (t *BTree) flushLocked() error {
+	// Persist drained page versions to the durable freelist chain. Only
+	// reusable pages qualify: their epoch has no pinned readers left, so
+	// overwriting them with freelist links can't disturb a live snapshot.
+	for len(t.reusable) > 0 {
+		id := t.reusable[len(t.reusable)-1]
+		t.reusable = t.reusable[:len(t.reusable)-1]
+		if err := t.freePage(id); err != nil {
+			return err
+		}
+	}
 	var flushErr error
 	t.cache.Range(func(_, v any) bool {
 		n := v.(*node)

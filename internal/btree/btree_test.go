@@ -282,22 +282,47 @@ func TestDeleteMissing(t *testing.T) {
 func TestFreelistReuse(t *testing.T) {
 	tr := newMemTree(t, 512)
 	const n = 2000
+	// Publish/Reclaim the way core does after every committed batch: with no
+	// pinned readers, pages freed by a publish become reusable immediately.
+	// Publishing frequently forces heavy copy-on-write shadowing, so this
+	// also proves shadowed-out pages are actually recycled.
+	epoch := uint64(0)
+	publish := func() {
+		epoch++
+		tr.Publish(epoch)
+		tr.Reclaim(epoch)
+		if err := tr.CheckVersions(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	for i := 0; i < n; i++ {
 		if err := tr.Put(key(i), val(i)); err != nil {
 			t.Fatal(err)
 		}
+		if i%50 == 0 {
+			publish()
+		}
 	}
+	publish()
 	grown := tr.PageCount()
 	for i := 0; i < n; i++ {
 		if _, err := tr.Delete(key(i)); err != nil {
 			t.Fatal(err)
 		}
+		if i%50 == 0 {
+			publish()
+		}
 	}
+	publish()
 	for i := 0; i < n; i++ {
 		if err := tr.Put(key(i), val(i)); err != nil {
 			t.Fatal(err)
 		}
+		if i%50 == 0 {
+			publish()
+		}
 	}
+	publish()
 	// Re-inserting the same data must not grow storage unboundedly: freed
 	// pages must be recycled. Allow some slack for different tree shape.
 	if got := tr.PageCount(); got > grown*2 {

@@ -17,48 +17,74 @@ func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) (bool, error)) erro
 
 // ScanWith is Scan with a per-page hook: onPage (when non-nil) is invoked
 // once for every tree page fetched on behalf of the scan — each node of the
-// root-to-leaf descent and each leaf of the sibling chain. Returning a
-// non-nil error aborts the scan and surfaces that error unchanged, which
-// makes the hook a natural place for per-query page accounting and
-// cancellation checkpoints: the interval between two hook calls is bounded
-// by the work of visiting one page. Like fn, onPage must not call back into
-// the tree.
+// root-to-leaf descent and each leaf visited in order. Returning a non-nil
+// error aborts the scan and surfaces that error unchanged, which makes the
+// hook a natural place for per-query page accounting and cancellation
+// checkpoints: the interval between two hook calls is bounded by the work of
+// visiting one page. Like fn, onPage must not call back into the tree.
 func (t *BTree) ScanWith(lo, hi []byte, onPage func() error, fn func(key, val []byte) (bool, error)) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	id := t.root
-	for {
+	return t.scanFrom(t.root, lo, hi, onPage, fn)
+}
+
+// scanFrame is one level of scanFrom's ancestor stack: an internal node and
+// the index of the child currently being visited.
+type scanFrame struct {
+	n   *node
+	idx int
+}
+
+// scanFrom walks the subtree rooted at root in ascending key order without
+// relying on leaf sibling links (which copy-on-write made vestigial: a
+// shadowed leaf's left neighbor still links to the replaced page). Instead it
+// keeps an explicit stack of ancestors and advances to the next leaf by
+// popping exhausted frames, which visits exactly the pages of one version.
+// Shared by the locked entry points (pending root, under t.mu) and by
+// Snapshot methods (published root, no lock).
+func (t *BTree) scanFrom(root PageID, lo, hi []byte, onPage func() error, fn func(key, val []byte) (bool, error)) error {
+	visit := func(id PageID) (*node, error) {
 		n, err := t.load(id)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if onPage != nil {
 			if err := onPage(); err != nil {
-				return err
+				return nil, err
 			}
+		}
+		return n, nil
+	}
+	// Descend to the leaf containing lo, recording the path.
+	var stack []scanFrame
+	id := root
+	var leaf *node
+	for {
+		n, err := visit(id)
+		if err != nil {
+			return err
 		}
 		if n.leaf {
-			return t.scanLeaves(n, lo, hi, onPage, fn)
+			leaf = n
+			break
 		}
-		if lo == nil {
-			id = n.kids[0]
-		} else {
-			id = n.kids[t.childIndex(n, lo)]
+		idx := 0
+		if lo != nil {
+			idx = t.childIndex(n, lo)
 		}
+		stack = append(stack, scanFrame{n: n, idx: idx})
+		id = n.kids[idx]
 	}
-}
-
-func (t *BTree) scanLeaves(n *node, lo, hi []byte, onPage func() error, fn func(key, val []byte) (bool, error)) error {
 	start := 0
 	if lo != nil {
-		start = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], lo) >= 0 })
+		start = sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], lo) >= 0 })
 	}
 	for {
-		for i := start; i < len(n.keys); i++ {
-			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+		for i := start; i < len(leaf.keys); i++ {
+			if hi != nil && bytes.Compare(leaf.keys[i], hi) >= 0 {
 				return nil
 			}
-			cont, err := fn(n.keys[i], n.vals[i])
+			cont, err := fn(leaf.keys[i], leaf.vals[i])
 			if err != nil {
 				return err
 			}
@@ -66,19 +92,28 @@ func (t *BTree) scanLeaves(n *node, lo, hi []byte, onPage func() error, fn func(
 				return nil
 			}
 		}
-		if n.next == 0 {
+		// Advance to the next leaf: pop exhausted ancestors, step one child
+		// right, then descend leftmost.
+		for len(stack) > 0 && stack[len(stack)-1].idx == len(stack[len(stack)-1].n.kids)-1 {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
 			return nil
 		}
-		next, err := t.load(n.next)
-		if err != nil {
-			return err
-		}
-		if onPage != nil {
-			if err := onPage(); err != nil {
+		stack[len(stack)-1].idx++
+		id = stack[len(stack)-1].n.kids[stack[len(stack)-1].idx]
+		for {
+			n, err := visit(id)
+			if err != nil {
 				return err
 			}
+			if n.leaf {
+				leaf = n
+				break
+			}
+			stack = append(stack, scanFrame{n: n, idx: 0})
+			id = n.kids[0]
 		}
-		n = next
 		start = 0
 	}
 }

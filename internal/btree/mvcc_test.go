@@ -1,0 +1,230 @@
+package btree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotIsolation pins a snapshot, mutates the tree heavily across
+// several publishes, and verifies the snapshot still returns exactly the
+// entries of its version — no new keys, no changed values, no lost keys.
+func TestSnapshotIsolation(t *testing.T) {
+	tr := newMemTree(t, 512)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Publish(1)
+	snap := tr.Snapshot()
+
+	// Overwrite every value, delete half the keys, add new keys; publish
+	// some of it and leave the rest pending. The reader is pinned at epoch 1,
+	// so Reclaim(1) must not recycle any page the snapshot can reach.
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), []byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Publish(2)
+	tr.Reclaim(1)
+	for i := 0; i < n; i += 2 {
+		if _, err := tr.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Publish(3)
+	tr.Reclaim(1)
+
+	if got, want := snap.Len(), uint64(n); got != want {
+		t.Fatalf("snapshot Len = %d, want %d", got, want)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := snap.Get(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != string(val(i)) {
+			t.Fatalf("snapshot Get(%d) = %q ok=%v, want original %q", i, v, ok, val(i))
+		}
+	}
+	if _, ok, err := snap.Get(key(n + 1)); err != nil || ok {
+		t.Fatalf("snapshot sees key inserted after pin (ok=%v err=%v)", ok, err)
+	}
+	count := 0
+	if err := snap.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		count++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("snapshot Scan visited %d entries, want %d", count, n)
+	}
+	if err := tr.CheckVersions(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Once the reader is done, its version's pages may drain.
+	tr.Reclaim(3)
+	if err := tr.CheckVersions(); err != nil {
+		t.Fatal(err)
+	}
+	// The live tree reflects all mutations.
+	for i := 1; i < n; i += 2 {
+		v, ok, err := tr.Get(key(i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("new-%d", i) {
+			t.Fatalf("live Get(%d) = %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+}
+
+// TestSnapshotConcurrentWithWriter races lock-free snapshot scans against a
+// publishing writer under the race detector. Every scan must see a complete,
+// self-consistent published version: exactly the keys of some committed
+// batch boundary, in order.
+func TestSnapshotConcurrentWithWriter(t *testing.T) {
+	tr := newMemTree(t, 512)
+	const batches = 40
+	const perBatch = 25
+	// Epoch e (1-based) commits keys [0, e*perBatch).
+	if err := func() error {
+		for i := 0; i < perBatch; i++ {
+			if err := tr.Put(key(i), val(i)); err != nil {
+				return err
+			}
+		}
+		tr.Publish(1)
+		return nil
+	}(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Emulate core's pin protocol: readers register the epoch they snapshot
+	// under a shared mutex; the writer reclaims only below the minimum pin.
+	var pinMu sync.Mutex
+	pins := make(map[uint64]int)
+	cur := uint64(1)
+	pin := func() (Snapshot, uint64) {
+		pinMu.Lock()
+		defer pinMu.Unlock()
+		s := tr.Snapshot()
+		pins[cur]++
+		return s, cur
+	}
+	unpin := func(e uint64) {
+		pinMu.Lock()
+		defer pinMu.Unlock()
+		if pins[e]--; pins[e] == 0 {
+			delete(pins, e)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, epoch := pin()
+				err := func() error {
+					defer unpin(epoch)
+					n := int(snap.Len())
+					if n%perBatch != 0 || n == 0 {
+						return fmt.Errorf("snapshot Len %d is not a batch boundary", n)
+					}
+					seen := 0
+					prev := []byte(nil)
+					if err := snap.Scan(nil, nil, func(k, v []byte) (bool, error) {
+						if prev != nil && string(k) <= string(prev) {
+							return false, fmt.Errorf("keys out of order: %q after %q", k, prev)
+						}
+						prev = append(prev[:0], k...)
+						seen++
+						return true, nil
+					}); err != nil {
+						return err
+					}
+					if seen != n {
+						return fmt.Errorf("scan saw %d keys, snapshot Len %d", seen, n)
+					}
+					return nil
+				}()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for e := uint64(2); e <= batches; e++ {
+		base := int(e-1) * perBatch
+		for i := 0; i < perBatch; i++ {
+			if err := tr.Put(key(base+i), val(base+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.Publish(e)
+		pinMu.Lock()
+		cur = e
+		min := e
+		for p := range pins {
+			if p < min {
+				min = p
+			}
+		}
+		pinMu.Unlock()
+		tr.Reclaim(min)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := tr.CheckVersions(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckVersionsCatchesReachableFree corrupts the version bookkeeping on
+// purpose and expects CheckVersions to flag it.
+func TestCheckVersionsCatchesReachableFree(t *testing.T) {
+	tr := newMemTree(t, 512)
+	for i := 0; i < 200; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Publish(1)
+	if err := tr.CheckVersions(); err != nil {
+		t.Fatal(err)
+	}
+	tr.mu.Lock()
+	tr.reusable = append(tr.reusable, tr.root)
+	tr.mu.Unlock()
+	if err := tr.CheckVersions(); err == nil {
+		t.Fatal("CheckVersions accepted the live root on the reusable list")
+	}
+	tr.mu.Lock()
+	tr.reusable = tr.reusable[:len(tr.reusable)-1]
+	tr.mu.Unlock()
+	if err := tr.CheckVersions(); err != nil {
+		t.Fatal(err)
+	}
+}

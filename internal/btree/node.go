@@ -25,18 +25,28 @@ const (
 	internalHeaderSize = 7
 )
 
-// node is the in-memory form of a B+Tree page. Leaves carry keys/vals and a
-// right-sibling link; internal nodes carry keys as separators with
-// len(keys)+1 children, where kids[i] holds keys < keys[i] and kids[len]
-// holds keys >= keys[len-1].
+// node is the in-memory form of a B+Tree page. Leaves carry keys/vals;
+// internal nodes carry keys as separators with len(keys)+1 children, where
+// kids[i] holds keys < keys[i] and kids[len] holds keys >= keys[len-1].
+//
+// The on-page next-leaf link is vestigial under copy-on-write: shadowing a
+// leaf would leave its left sibling's link pointing at the replaced page, so
+// range scans walk an ancestor stack instead (scanFrom) and the field is
+// written as zero on new pages and ignored on read.
 type node struct {
 	id    PageID
 	leaf  bool
 	keys  [][]byte
 	vals  [][]byte // leaves only
 	kids  []PageID // internal only; len(kids) == len(keys)+1
-	next  PageID   // leaves only
+	next  PageID   // vestigial on-page sibling link; never read
 	dirty bool
+
+	// born is the write window that created this in-memory node. Writers
+	// mutate a node in place only when born matches the tree's current
+	// window; anything older is part of a published version and must be
+	// shadowed (copied under a fresh page ID) first.
+	born uint64
 
 	// ref is the clock cache's second-chance bit: set on every cache hit,
 	// cleared by eviction sweeps. Atomic because parallel readers touch it.

@@ -296,6 +296,13 @@ func (p *FilePager) Allocate() (PageID, error) {
 // data must not be lost), the error is recorded for the next Sync, and the
 // scan moves on to the next-oldest victim so the pool still shrinks when any
 // clean (or writable) page exists. Callers must hold p.mu.
+//
+// fp itself is never a victim: load returns it to a caller that may still
+// mutate it (Write copies new data in and marks it dirty only after insert
+// returns). When every other page is dirty and unwritable — a failing disk
+// mid-eviction — evicting the one clean page we just faulted in would hand
+// that caller an orphan whose update the pool never sees, silently losing
+// the write the moment the page is next faulted from stale storage.
 func (p *FilePager) insert(fp *filePage) {
 	fp.elem = p.lru.PushFront(fp)
 	p.cache[fp.id] = fp
@@ -303,6 +310,10 @@ func (p *FilePager) insert(fp *filePage) {
 	for len(p.cache) > p.cap && e != nil {
 		victim := e.Value.(*filePage)
 		prev := e.Prev()
+		if victim == fp {
+			e = prev
+			continue
+		}
 		if victim.dirty {
 			if err := p.writeFile(victim); err != nil {
 				if p.evictErr == nil {

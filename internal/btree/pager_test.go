@@ -273,6 +273,68 @@ func TestFilePagerEvictionWriteFailure(t *testing.T) {
 	}
 }
 
+// TestFilePagerWriteNotOrphanedByEviction pins the pool bug behind a
+// freelist-corruption hang the crash matrix exposed: Write faults the target
+// page into the pool clean, and insert's eviction scan — finding every other
+// page dirty and unwritable on a failing disk — would walk to the front and
+// evict the just-faulted page itself. Write then mutated an object the pool
+// no longer tracked, and the next fault re-read stale storage: a silently
+// lost write. The page being inserted must never be the eviction victim.
+func TestFilePagerWriteNotOrphanedByEviction(t *testing.T) {
+	const (
+		pageSize = 512
+		cap      = 4
+	)
+	plan := &FaultPlan{}
+	pg, err := OpenFilePagerOpts(filepath.Join(t.TempDir(), "o.db"), pageSize,
+		PagerOptions{CachePages: cap, FS: FaultFS{Plan: plan}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := pg.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the pool with dirty pages 0..3; page 5 falls out of the pool.
+	for i := 0; i < cap; i++ {
+		if err := pg.Write(PageID(i), fillPage(PageID(i), pageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pg.mu.Lock()
+	_, pooled := pg.cache[5]
+	pg.mu.Unlock()
+	if pooled {
+		t.Fatal("page 5 still pooled; the test needs it to fault in during Write")
+	}
+	// Simulate the disk dying: every later write-back fails, reads succeed.
+	plan.mu.Lock()
+	plan.killed = true
+	plan.mu.Unlock()
+
+	want := fillPage(5, pageSize)
+	if err := pg.Write(5, want); err != nil {
+		t.Fatalf("Write into a pool of unwritable dirty pages: %v", err)
+	}
+	got := make([]byte, pageSize)
+	if err := pg.Read(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("write lost: Read returned stale content (page orphaned by its own insert's eviction)")
+	}
+	pg.mu.Lock()
+	fp, resident := pg.cache[5]
+	pg.mu.Unlock()
+	if !resident || !fp.dirty {
+		t.Fatalf("page 5 resident=%v dirty=%v after Write; want resident and dirty", resident, resident && fp.dirty)
+	}
+}
+
 // TestFilePagerSyncClearsRecordedError checks the error is reported once: a
 // Sync that manages a full flush reports the recorded error, and the Sync
 // after that is clean.

@@ -76,7 +76,16 @@ type RecoveryStats struct {
 
 // WAL is a physical redo log shared by one or more FilePagers. All methods
 // are safe for concurrent use; pagers call into the WAL while holding their
-// own mutex (lock order: FilePager.mu → WAL.mu, never reversed).
+// own mutex (lock order: FilePager.mu → WAL.mu → WAL.idxMu, never reversed).
+//
+// Locking is split so that readers never wait on a commit: w.mu serializes
+// the writer side (staging, commit, checkpoint, recovery — already mutually
+// exclusive at the index layer, which holds Index.mu for all of them), while
+// idxMu guards only the staged-frame index and the log-file bytes it points
+// into. readStaged takes idxMu alone, so a query faulting a page proceeds
+// concurrently with Commit's fsync and checkpoint — the multi-millisecond
+// operations that used to stall every cache-miss read under one big mutex —
+// and is excluded only for the brief index swap when the log resets.
 type WAL struct {
 	mu      sync.Mutex
 	f       File
@@ -86,7 +95,13 @@ type WAL struct {
 	size      int64 // append offset
 	pending   int   // frames appended since the last commit record
 	commitSeq uint32
-	index     map[walKey]walFrameRef // latest staged frame per page
+
+	// idxMu guards index and keeps the frame bytes it references stable:
+	// the log is append-only between resets, and resetLocked empties the
+	// index under the write lock before truncating, so a reader holding the
+	// read lock can pread its frame without racing the truncate.
+	idxMu sync.RWMutex
+	index map[walKey]walFrameRef // latest staged frame per page
 
 	// replay holds committed frames parsed at open, in log order, until
 	// Recover applies them.
@@ -327,11 +342,15 @@ func (w *WAL) stagePage(fileID uint8, page PageID, data []byte) error {
 	if _, err := w.f.WriteAt(frame, w.size); err != nil {
 		return err
 	}
+	// The frame bytes land beyond every offset the index references before
+	// readers can see them, so only the map insert needs reader exclusion.
+	w.idxMu.Lock()
 	w.index[walKey{fileID, page}] = walFrameRef{
 		off: w.size + walFrameHeaderSize,
 		n:   len(data),
 		crc: binary.BigEndian.Uint32(frame[len(frame)-walFrameCRCSize:]),
 	}
+	w.idxMu.Unlock()
 	w.size += int64(len(frame))
 	w.pending++
 	w.m.PagesStaged.Inc()
@@ -342,9 +361,14 @@ func (w *WAL) stagePage(fileID uint8, page PageID, data []byte) error {
 // readStaged fills buf with the latest staged version of the page, if the
 // log holds one newer than the main file. The frame CRC is re-verified so a
 // failing disk cannot feed back a torn record.
+//
+// This is the read-path entry point, so it deliberately takes only idxMu:
+// holding the read lock across the pread keeps the referenced bytes from
+// being truncated (resetLocked excludes readers), while a Commit running
+// under w.mu — fsync, checkpoint copies — proceeds in parallel.
 func (w *WAL) readStaged(fileID uint8, page PageID, buf []byte) (bool, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.idxMu.RLock()
+	defer w.idxMu.RUnlock()
 	ref, ok := w.index[walKey{fileID, page}]
 	if !ok {
 		return false, nil
@@ -434,7 +458,16 @@ func (w *WAL) checkpointLocked() error {
 // resetLocked truncates the log back to its header and clears the staged
 // index. Called only when every staged frame has been applied (or is being
 // deliberately discarded at recovery).
+//
+// The index is emptied under idxMu *before* the truncate: acquiring the
+// write lock drains any reader mid-pread, and once the map is empty no new
+// reader can reach log offsets, so the truncate runs without blocking the
+// read path. Readers that miss in the empty index fall through to the main
+// files, which the checkpoint has already written and fsynced.
 func (w *WAL) resetLocked() error {
+	w.idxMu.Lock()
+	w.index = make(map[walKey]walFrameRef)
+	w.idxMu.Unlock()
 	if err := w.f.Truncate(walHeaderSize); err != nil {
 		return err
 	}
@@ -444,7 +477,6 @@ func (w *WAL) resetLocked() error {
 	w.m.Fsyncs.Inc()
 	w.size = walHeaderSize
 	w.pending = 0
-	w.index = make(map[walKey]walFrameRef)
 	return nil
 }
 

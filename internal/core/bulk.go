@@ -21,15 +21,17 @@ func (ix *Index) BulkInsertNode(sym seq.Symbol, prefix []seq.Symbol, n, size, pa
 	defer ix.mu.Unlock()
 	rec := nodeRecord{size: size, parentN: parentN, refcount: refcount}
 	if err := ix.nodes.Put(nodeKey(daKey(sym, prefix), n), rec.encode()); err != nil {
+		ix.rollbackLocked()
 		return err
 	}
 	if !sym.IsValue() {
 		path := make([]seq.Symbol, 0, len(prefix)+1)
 		path = append(path, prefix...)
 		path = append(path, sym)
-		ix.syn.Add(path, synDelta(refcount))
+		ix.mutableSyn().Add(path, synDelta(refcount))
 	}
 	ix.noteWrite()
+	ix.publishLocked()
 	return nil
 }
 
@@ -42,10 +44,12 @@ func (ix *Index) BulkInsertDoc(n uint64, doc *xmltree.Node, depth int) (DocID, e
 	defer ix.mu.Unlock()
 	id := ix.nextDoc
 	if err := ix.docs.Put(docKey(n, id), nil); err != nil {
+		ix.rollbackLocked()
 		return 0, err
 	}
 	if !ix.opts.SkipDocumentStore && doc != nil {
 		if err := ix.storeDoc(id, n, doc); err != nil {
+			ix.rollbackLocked()
 			return 0, err
 		}
 	}
@@ -55,6 +59,7 @@ func (ix *Index) BulkInsertDoc(n uint64, doc *xmltree.Node, depth int) (DocID, e
 		ix.maxDepth = depth
 	}
 	ix.metaDirty = true
+	ix.publishLocked()
 	return id, nil
 }
 

@@ -185,5 +185,14 @@ func (ix *Index) Check() (*CheckReport, error) {
 		report.problemf("path synopsis diverges from node table (paths: maintained %d, rebuilt %d)",
 			ix.syn.Paths(), rebuilt.Paths())
 	}
+
+	// Version bookkeeping: the published and pending roots of every tree
+	// must reach only live pages — a reachable page on a free list would be
+	// rewritten under a pinned reader that can still see it.
+	for _, t := range ix.trees() {
+		if err := t.CheckVersions(); err != nil {
+			report.problemf("%v", err)
+		}
+	}
 	return report, nil
 }

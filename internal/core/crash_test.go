@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"vist/internal/btree"
@@ -163,6 +164,133 @@ func TestIndexCrashMatrix(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestIndexCrashMatrixConcurrentReads replays the crash matrix while reader
+// goroutines continuously query the index. The tiny buffer pool makes
+// eviction constant, so kills land mid-eviction while pinned snapshots are
+// mid-scan — the regime where an eviction that loses or misdirects a page
+// write corrupts the on-disk freelist (a bug this test pins). Every query
+// result must equal some published doc-ID state, and the reopened index must
+// audit clean.
+func TestIndexCrashMatrixConcurrentReads(t *testing.T) {
+	recPlan := &btree.FaultPlan{}
+	_, recIdx := crashWorkload(t, t.TempDir(), btree.FaultFS{Plan: recPlan})
+	if recIdx == 0 {
+		t.Fatal("recording run committed nothing; workload broken")
+	}
+	points := crashSamplePoints(recPlan.WriteBoundaries(), 8)
+
+	for _, kill := range points {
+		t.Run(fmt.Sprintf("kill=%d", kill), func(t *testing.T) {
+			dir := t.TempDir()
+			plan := &btree.FaultPlan{KillAfter: kill}
+			attempts, committedIdx, published, observed :=
+				crashWorkloadWithReaders(t, dir, btree.FaultFS{Plan: plan})
+			// Every result a reader saw must be a state some publish exposed:
+			// never a partial mutation, never a mix of two versions.
+			for _, obs := range observed {
+				if matchIDState(obs, published) < 0 {
+					t.Fatalf("concurrent query saw %v, which no publish exposed", obs)
+				}
+			}
+			if err := plan.Crash(false); err != nil {
+				t.Fatalf("Crash: %v", err)
+			}
+			got := reopenAndAudit(t, dir)
+			if j := matchIDState(got, attempts); j < 0 {
+				t.Fatalf("recovered doc set %v matches no attempted commit", got)
+			} else if j < committedIdx {
+				t.Fatalf("recovered doc set is attempt %d, older than acknowledged commit %d: durability lost", j, committedIdx)
+			}
+		})
+	}
+}
+
+// crashWorkloadWithReaders runs the crashWorkload mutation sequence while two
+// goroutines query continuously. It additionally returns every doc-ID state a
+// publish exposed and the distinct states the readers observed.
+func crashWorkloadWithReaders(t *testing.T, dir string, fs btree.FS) (attempts [][]DocID, committedIdx int, published, observed [][]DocID) {
+	t.Helper()
+	attempts = append(attempts, nil)
+	published = append(published, nil)
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, FS: fs})
+	if err != nil {
+		return attempts, 0, published, nil
+	}
+
+	var stateMu sync.Mutex
+	live := map[DocID]bool{}
+	snapshot := func() []DocID {
+		ids := make([]DocID, 0, len(live))
+		for id := range live {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		return ids
+	}
+	record := func() {
+		stateMu.Lock()
+		published = append(published, snapshot())
+		stateMu.Unlock()
+	}
+
+	var obsMu sync.Mutex
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ids, err := ix.Query("/purchase/seller")
+				if err != nil {
+					continue // ErrClosed near shutdown; reads themselves never fail
+				}
+				sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+				obsMu.Lock()
+				observed = append(observed, ids)
+				obsMu.Unlock()
+			}
+		}()
+	}
+
+	var inserted []DocID
+	for i := 0; i < 40; i++ {
+		n, perr := xmltree.ParseString(crashDoc(i))
+		if perr != nil {
+			t.Fatalf("parse: %v", perr)
+		}
+		if id, err := ix.Insert(n); err == nil {
+			live[id] = true
+			inserted = append(inserted, id)
+			record()
+		}
+		if i%9 == 5 && len(inserted) > 3 {
+			victim := inserted[i%len(inserted)]
+			if live[victim] {
+				if err := ix.Delete(victim); err == nil {
+					delete(live, victim)
+					record()
+				}
+			}
+		}
+		if i%8 == 7 {
+			attempts = append(attempts, snapshot())
+			if err := ix.Sync(); err == nil {
+				committedIdx = len(attempts) - 1
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	_ = ix.Close() // Close after a kill fails; that is the point
+	return attempts, committedIdx, published, observed
 }
 
 func crashSamplePoints(bounds []int64, n int) []int64 {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vist/internal/btree"
@@ -94,6 +95,12 @@ type Options struct {
 	// PlanCacheSize bounds the plan cache (distinct expression texts).
 	// Zero selects plan.DefaultCacheSize.
 	PlanCacheSize int
+	// CloseDrainTimeout bounds how long Close waits for in-flight queries
+	// (pinned snapshot readers) to finish before closing files under them.
+	// Zero selects 30 seconds; negative waits forever. A query still running
+	// when the timeout fires sees I/O errors from the closed pagers — the
+	// same failure mode as not draining at all, just bounded.
+	CloseDrainTimeout time.Duration
 }
 
 // RecoveryInfo reports what Open found in the write-ahead log.
@@ -140,13 +147,28 @@ type Index struct {
 	stats  *labeling.Stats
 	opts   Options
 
-	// syn is the path synopsis (guarded by mu like the trees); plans is
-	// the bounded plan cache (internally locked — queries populate it under
-	// the shared lock); epoch counts writes and invalidates cached plans.
-	syn      *plan.Synopsis
-	plans    *plan.Cache
-	epoch    uint64
-	synDirty bool // synopsis changed since last persist
+	// syn is the live (writer-side) path synopsis head, guarded by mu;
+	// queries read the immutable fork captured in their pinned snapshot.
+	// synShared marks that syn is that published head, so the next mutation
+	// must fork it (mutableSyn) before writing. plans is the bounded plan
+	// cache (internally locked — queries populate it lock-free); epoch
+	// counts published versions and validates cached plans against each
+	// query's pinned epoch.
+	syn       *plan.Synopsis
+	synShared bool
+	plans     *plan.Cache
+	epoch     uint64
+	synDirty  bool // synopsis changed since last persist
+
+	// snap is the current published version; queries resolve every read
+	// against the snapshot they pin, so they never take mu and never
+	// observe a mutation in progress. pins counts pinned readers per epoch
+	// (pinMu guards pins/closed and orders pinning against publication);
+	// closed makes new pins fail once Close has begun.
+	snap   atomic.Pointer[snapshot]
+	pinMu  sync.Mutex
+	pins   map[uint64]int
+	closed bool
 
 	// reg is the per-index metrics registry (nil when DisableMetrics); qm
 	// caches the query/insert metric handles resolved from it. Both are
@@ -334,6 +356,22 @@ func initIndex(nodes, docs, store, aux *btree.BTree, opts Options, reg *obs.Regi
 	if err := ix.loadSynopsis(existing); err != nil {
 		return nil, err
 	}
+	// Publish the opening state as version 0. The synopsis head is shared
+	// with this snapshot from the start, so the first mutation forks it.
+	ix.pins = make(map[uint64]int)
+	ix.synShared = true
+	ix.snap.Store(&snapshot{
+		epoch:     0,
+		nodes:     ix.nodes.Snapshot(),
+		docs:      ix.docs.Snapshot(),
+		store:     ix.store.Snapshot(),
+		syn:       ix.syn,
+		maxDepth:  ix.maxDepth,
+		docCount:  ix.docCount,
+		nextDoc:   ix.nextDoc,
+		rootK:     ix.rootK,
+		rootResvd: ix.rootResvd,
+	})
 	return ix, nil
 }
 
@@ -347,11 +385,11 @@ func (ix *Index) Dict() *seq.Dict { return ix.dict }
 // after construction, so the returned value is safe to share.
 func (ix *Index) Schema() *xmltree.Schema { return ix.schema }
 
-// DocCount reports the number of indexed documents.
+// DocCount reports the number of indexed documents in the last published
+// version (lock-free; a mutation in progress is not counted until it
+// commits).
 func (ix *Index) DocCount() uint64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.docCount
+	return ix.snap.Load().docCount
 }
 
 // NodeCount reports the number of virtual-suffix-tree nodes.
@@ -399,7 +437,17 @@ func (ix *Index) Sync() error {
 }
 
 func (ix *Index) syncLocked() error {
+	// Publish before flushing: Reclaim moves every drained page version to
+	// the reusable list, and the flush below then persists those to the
+	// durable on-disk freelist (legal exactly because they are drained — no
+	// pinned reader can reach them). This is the one place version garbage
+	// actually returns to disk; between Syncs it only recycles in memory.
+	ix.publishLocked()
 	if err := ix.saveMeta(); err != nil {
+		// Partial meta/synopsis blobs in the aux tree must not ride into a
+		// later publish; drop the window (the data trees just published, so
+		// for them this is a no-op).
+		ix.rollbackLocked()
 		return err
 	}
 	if ix.wal != nil {
@@ -432,8 +480,14 @@ func (ix *Index) syncLocked() error {
 	return nil
 }
 
-// Close persists and closes the index.
+// Close persists and closes the index. New queries fail with ErrClosed from
+// the moment Close begins; queries already running are drained (waited for)
+// up to Options.CloseDrainTimeout before the files are closed under them.
 func (ix *Index) Close() error {
+	ix.pinMu.Lock()
+	ix.closed = true
+	ix.pinMu.Unlock()
+	ix.drainReaders()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	var firstErr error

@@ -16,7 +16,7 @@ import (
 // normalized (deterministic sibling order) as a side effect, encoded into
 // its structure-encoded sequence, and inserted into the virtual suffix tree
 // per Algorithm 4 of the paper.
-func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
+func (ix *Index) Insert(doc *xmltree.Node) (_ DocID, err error) {
 	if doc == nil {
 		return 0, fmt.Errorf("core: nil document")
 	}
@@ -32,6 +32,13 @@ func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
 	if ix.frozen {
 		return 0, errFrozen
 	}
+	// A failed insert must leave no trace: abandon the write window so its
+	// partial state can never be published (runs before the mu unlock).
+	defer func() {
+		if err != nil {
+			ix.rollbackLocked()
+		}
+	}()
 
 	xmltree.Normalize(doc, ix.schema)
 	s := seq.Encode(doc, ix.dict)
@@ -42,9 +49,10 @@ func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
 		return 0, err
 	}
 	// The node tree changed: keep the synopsis count invariant (path count
-	// = refcount sum) in lockstep and invalidate cached plans, even if a
-	// later step of this insert fails.
-	ix.syn.AddSequence(s)
+	// = refcount sum) in lockstep, even if a later step of this insert
+	// fails. The fork (mutableSyn) keeps the published snapshot's synopsis
+	// untouched.
+	ix.mutableSyn().AddSequence(s)
 	ix.noteWrite()
 	if err := ix.docs.Put(docKey(last, id), nil); err != nil {
 		return 0, err
@@ -61,6 +69,9 @@ func (ix *Index) Insert(doc *xmltree.Node) (DocID, error) {
 	}
 	ix.metaDirty = true
 	ix.qm.inserted.Inc()
+	// Commit: expose the new version to queries. Failure paths above return
+	// without publishing, so queries keep reading the previous version.
+	ix.publishLocked()
 	return id, nil
 }
 
@@ -279,9 +290,23 @@ func (ix *Index) storeDoc(id DocID, last uint64, doc *xmltree.Node) error {
 // errors.Is and treat the document as a non-match.
 var ErrDocNotFound = errors.New("document not found")
 
-// loadDoc retrieves a stored document and its final label.
+// storeGetter is the point-lookup capability loadDocFrom needs; both the
+// writer-side *btree.BTree (pending state, under ix.mu) and a pinned
+// btree.Snapshot satisfy it.
+type storeGetter interface {
+	Get(key []byte) ([]byte, bool, error)
+}
+
+// loadDoc retrieves a stored document and its final label from the pending
+// (writer-visible) store; Delete uses it under the exclusive lock so it
+// deletes exactly what it read.
 func (ix *Index) loadDoc(id DocID) (*xmltree.Node, uint64, error) {
-	v0, ok, err := ix.store.Get(storeKey(id, 0))
+	return loadDocFrom(ix.store, id)
+}
+
+// loadDocFrom retrieves a stored document and its final label through st.
+func loadDocFrom(st storeGetter, id DocID) (*xmltree.Node, uint64, error) {
+	v0, ok, err := st.Get(storeKey(id, 0))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -295,7 +320,7 @@ func (ix *Index) loadDoc(id DocID) (*xmltree.Node, uint64, error) {
 	nchunks := binary.BigEndian.Uint32(v0[8:12])
 	data := append([]byte(nil), v0[12:]...)
 	for i := uint32(1); i < nchunks; i++ {
-		v, ok, err := ix.store.Get(storeKey(id, i))
+		v, ok, err := st.Get(storeKey(id, i))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -311,24 +336,34 @@ func (ix *Index) loadDoc(id DocID) (*xmltree.Node, uint64, error) {
 	return doc, last, nil
 }
 
-// Get returns the stored document (requires document storage). A missing
-// document reports ErrDocNotFound (wrapped).
+// Get returns the stored document from the last published version (requires
+// document storage; lock-free). A missing document reports ErrDocNotFound
+// (wrapped).
 func (ix *Index) Get(id DocID) (*xmltree.Node, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	doc, _, err := ix.loadDoc(id)
+	snap, err := ix.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer ix.unpin(snap)
+	doc, _, err := loadDocFrom(snap.store, id)
 	return doc, err
 }
 
 // Delete removes a document from the index: its DocId entry, its stored
 // bytes, and — via refcounts — every virtual-suffix-tree node that no other
 // document shares. Requires document storage.
-func (ix *Index) Delete(id DocID) error {
+func (ix *Index) Delete(id DocID) (err error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.opts.SkipDocumentStore {
 		return fmt.Errorf("core: Delete requires document storage (SkipDocumentStore is set)")
 	}
+	// As with Insert: a failed delete abandons its write window entirely.
+	defer func() {
+		if err != nil {
+			ix.rollbackLocked()
+		}
+	}()
 	doc, last, err := ix.loadDoc(id)
 	if err != nil {
 		return err
@@ -366,8 +401,9 @@ func (ix *Index) Delete(id DocID) error {
 		}
 		n = parent
 	}
-	// Refcounts are decremented; mirror the change in the synopsis.
-	ix.syn.RemoveSequence(s)
+	// Refcounts are decremented; mirror the change in the synopsis (on a
+	// fork when the head is shared with the published snapshot).
+	ix.mutableSyn().RemoveSequence(s)
 	// Remove stored chunks.
 	var stale [][]byte
 	err = ix.store.Scan(storeKey(id, 0), storeKey(id+1, 0), func(k, v []byte) (bool, error) {
@@ -385,19 +421,27 @@ func (ix *Index) Delete(id DocID) error {
 	ix.docCount--
 	ix.metaDirty = true
 	ix.qm.deleted.Inc()
+	// Commit: expose the post-delete version to queries.
+	ix.publishLocked()
 	return nil
 }
 
 // Docs iterates over all stored documents in DocID order, stopping early
-// when fn returns false. Requires document storage.
+// when fn returns false. It reads the last published version lock-free and
+// keeps it pinned for the whole iteration, so fn sees one consistent
+// committed state regardless of concurrent mutations. Requires document
+// storage.
 func (ix *Index) Docs(fn func(id DocID, doc *xmltree.Node) (bool, error)) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	if ix.opts.SkipDocumentStore {
 		return fmt.Errorf("core: Docs requires document storage (SkipDocumentStore is set)")
 	}
+	snap, err := ix.pin()
+	if err != nil {
+		return err
+	}
+	defer ix.unpin(snap)
 	var ids []DocID
-	err := ix.store.Scan(nil, nil, func(k, v []byte) (bool, error) {
+	err = snap.store.Scan(nil, nil, func(k, v []byte) (bool, error) {
 		if len(k) != 12 {
 			return false, fmt.Errorf("core: malformed store key (%d bytes)", len(k))
 		}
@@ -410,7 +454,7 @@ func (ix *Index) Docs(fn func(id DocID, doc *xmltree.Node) (bool, error)) error 
 		return err
 	}
 	for _, id := range ids {
-		doc, _, err := ix.loadDoc(id)
+		doc, _, err := loadDocFrom(snap.store, id)
 		if err != nil {
 			return err
 		}

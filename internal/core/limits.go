@@ -117,6 +117,7 @@ type qctx struct {
 	stats QueryStats
 	hook  func() error // onPage callback handed to B+Tree scans
 	timed bool         // collect StageTimings (off with DisableMetrics)
+	snap  *snapshot    // pinned index version every read resolves against
 
 	// Per-stage samplers for the hot loops (B+Tree seeks, DocId scans).
 	probeSmp, scanSmp, collectSmp stageSampler

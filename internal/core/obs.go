@@ -30,6 +30,10 @@ type queryMetrics struct {
 	// Mutation-side metrics.
 	inserted, deleted *obs.Counter
 	insertLatency     *obs.Histogram
+
+	// MVCC state: epochGauge tracks the last published version number;
+	// pinnedReaders tracks queries currently pinned to some snapshot.
+	epochGauge, pinnedReaders *obs.Gauge
 }
 
 func newQueryMetrics(r *obs.Registry) queryMetrics {
@@ -52,6 +56,8 @@ func newQueryMetrics(r *obs.Registry) queryMetrics {
 		inserted:      r.Counter("index.docs_inserted"),
 		deleted:       r.Counter("index.docs_deleted"),
 		insertLatency: r.Histogram("index.insert_seconds", obs.DurationBounds),
+		epochGauge:    r.Gauge("index.epoch"),
+		pinnedReaders: r.Gauge("index.pinned_readers"),
 	}
 }
 

@@ -19,13 +19,24 @@ import (
 
 // planFor resolves the planning state for a query: sequence expansion plus
 // a Plan, through the bounded plan cache. Entries are keyed by expression
-// text (Query.Raw) and validated against the write epoch, so any Insert,
-// Delete, or bulk load invalidates every cached plan at once; the cache is
-// repopulated on the next query. Callers must hold the shared lock.
+// text (Query.Raw) and validated against the structure generation of the
+// *query's pinned* synopsis, not the index's current one: a plan is
+// reusable exactly when the path set it was built from is the path set
+// this query reads — everything the plan takes from the synopsis (chain
+// target expansion, feasible-length pruning, the empty-result proof)
+// depends only on which paths exist, never on their counts. Validating by
+// StructGen instead of epoch keeps the cache hot through an update-heavy
+// workload, where every commit bumps the epoch but the path set is stable;
+// counts drifting since plan time can at worst mis-order the work, not
+// change its answer. Cached entries are (re)built from the pinned
+// snapshot's synopsis so a concurrent writer can neither invalidate this
+// query's plan under it nor hand it pruning belonging to a version it
+// cannot see. Readers at structurally different versions may alternately
+// overwrite each other's cache slot; that thrashes at worst, never lies.
 //
 // With the planner disabled the entry is built fresh each time with a nil
 // Plan, which selects the paper's evaluation order downstream.
-func (ix *Index) planFor(q *query.Query) (*plan.Entry, error) {
+func (ix *Index) planFor(snap *snapshot, q *query.Query) (*plan.Entry, error) {
 	if ix.opts.DisablePlanner {
 		seqs, err := q.Sequences(ix.dict, ix.schema)
 		if query.IsVariantCapError(err) {
@@ -36,23 +47,23 @@ func (ix *Index) planFor(q *query.Query) (*plan.Entry, error) {
 		}
 		return &plan.Entry{Query: q, Seqs: seqs}, nil
 	}
-	if e, ok := ix.plans.Get(q.Raw); ok && e.Epoch == ix.epoch {
+	if e, ok := ix.plans.Get(q.Raw); ok && e.SynGen == snap.syn.StructGen() {
 		ix.qm.planHits.Inc()
 		return e, nil
 	}
 	ix.qm.planMisses.Inc()
 	seqs, err := q.Sequences(ix.dict, ix.schema)
 	if query.IsVariantCapError(err) {
-		e := &plan.Entry{Query: q, VariantCap: true, Epoch: ix.epoch}
+		e := &plan.Entry{Query: q, VariantCap: true, SynGen: snap.syn.StructGen()}
 		ix.plans.Put(q.Raw, e)
 		return e, nil
 	}
 	if err != nil {
 		return nil, err // hard errors are not cached
 	}
-	e := &plan.Entry{Query: q, Seqs: seqs, Epoch: ix.epoch}
+	e := &plan.Entry{Query: q, Seqs: seqs, SynGen: snap.syn.StructGen()}
 	if len(seqs) > 0 {
-		e.Plan = plan.Build(seqs, ix.syn, ix.estimator())
+		e.Plan = plan.Build(seqs, snap.syn, ix.estimator())
 		e.Desc = e.Plan.Describe(ix.dict)
 	}
 	ix.plans.Put(q.Raw, e)
@@ -107,7 +118,7 @@ func (ix *Index) chainScan(qc *qctx, sp *plan.SeqPlan, out map[DocID]struct{}) e
 		if qc.timed {
 			qc.probeSmp.begin()
 		}
-		err := ix.nodes.ScanWith(lo, hi, qc.hook, func(k, v []byte) (bool, error) {
+		err := qc.snap.nodes.ScanWith(lo, hi, qc.hook, func(k, v []byte) (bool, error) {
 			qc.stats.NodesVisited++
 			if qc.b.MaxNodesVisited > 0 && qc.stats.NodesVisited > qc.b.MaxNodesVisited {
 				return false, qc.fail(ErrBudgetExceeded, fmt.Errorf("node-visit budget %d exhausted", qc.b.MaxNodesVisited))
@@ -158,12 +169,12 @@ func (ix *Index) matchSeqPruned(qc *qctx, qs query.Seq, out map[DocID]struct{}) 
 		}
 		maxPlen := len(base) + qe.Stars
 		if qe.Desc {
-			maxPlen = ix.maxDepth - 1
+			maxPlen = qc.snap.maxDepth - 1
 		}
 		if maxPlen >= MaxDepth {
 			maxPlen = MaxDepth - 1
 		}
-		for _, plen := range ix.syn.FeasibleLens(base, qe.Stars, qe.Desc, qe.Symbol, maxPlen) {
+		for _, plen := range qc.snap.syn.FeasibleLens(base, qe.Stars, qe.Desc, qe.Symbol, maxPlen) {
 			qc.stats.RangeScans++
 			if qc.b.MaxRangeScans > 0 && qc.stats.RangeScans > qc.b.MaxRangeScans {
 				return qc.fail(ErrBudgetExceeded, fmt.Errorf("range-scan budget %d exhausted", qc.b.MaxRangeScans))
@@ -242,7 +253,7 @@ func (ix *Index) collectScopes(qc *qctx, scopes []labeling.Scope, out map[DocID]
 	for i < len(merged) {
 		qc.stats.DocScans++
 		reseek := false
-		err := ix.docs.ScanWith(docKey(merged[i].lo, 0), hi, qc.hook, func(k, v []byte) (bool, error) {
+		err := qc.snap.docs.ScanWith(docKey(merged[i].lo, 0), hi, qc.hook, func(k, v []byte) (bool, error) {
 			n, id, err := parseDocKey(k)
 			if err != nil {
 				return false, err
@@ -276,11 +287,12 @@ func (ix *Index) collectScopes(qc *qctx, scopes []labeling.Scope, out map[DocID]
 
 // --- synopsis maintenance and persistence ------------------------------------
 
-// noteWrite bumps the write epoch (invalidating every cached plan) and
-// marks the synopsis dirty for the next Sync. Callers hold the exclusive
-// lock.
+// noteWrite marks the synopsis dirty for the next Sync. Callers hold the
+// exclusive lock. The epoch no longer advances here: versions (and with
+// them plan-cache validity) move only when a successful mutation publishes,
+// so a failed mutation's partial pending state invalidates nothing — the
+// published version queries read is unchanged.
 func (ix *Index) noteWrite() {
-	ix.epoch++
 	ix.synDirty = true
 }
 
@@ -369,10 +381,8 @@ func (ix *Index) PlanCacheLen() int {
 	return ix.plans.Len()
 }
 
-// SynopsisPaths reports the number of distinct root paths the synopsis
-// tracks.
+// SynopsisPaths reports the number of distinct root paths the synopsis of
+// the last published version tracks (lock-free).
 func (ix *Index) SynopsisPaths() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.syn.Paths()
+	return ix.snap.Load().syn.Paths()
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"vist/internal/naive"
@@ -210,5 +211,126 @@ func TestPlannerDifferential(t *testing.T) {
 	}
 	if len(report.Problems) != 0 {
 		t.Fatalf("post-delete consistency problems: %v", report.Problems)
+	}
+}
+
+// TestPlannerDifferentialConcurrentMutator is the epoch-validation half of
+// the differential oracle: query workers hammer a fixed expression set —
+// keeping the plan cache hot — while a mutator concurrently inserts and
+// deletes documents, advancing the epoch under them. The dangerous stale
+// plan is the pruned-empty one: "/q/z" matches nothing at warm-up, so its
+// cached plan short-circuits to an empty result; once the mutator inserts
+// <q><z> documents, a plan validated against anything but the query's own
+// pinned snapshot epoch would keep answering from the dead epoch. The final
+// agreement check against a planner-free engine catches that, and any
+// mid-flight error or torn read fails the run. Run with -race.
+func TestPlannerDifferentialConcurrentMutator(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xmls := randomDiffXML(rng, 40)
+
+	planned := mustMem(t, Options{})
+	defer planned.Close()
+	unplanned := mustMem(t, Options{DisablePlanner: true})
+	defer unplanned.Close()
+	pIDs := insertXML(t, planned, xmls...)
+
+	exprs := []string{
+		"/r/a", "//b", "/r//c", "/r/*/c", "//a//b",
+		"/q/z", "//z", "/q//z", // empty at warm-up; live after the mutator runs
+	}
+	// Warm the plan cache at the initial epoch, pruned-empty plans included.
+	for _, e := range exprs {
+		if _, err := planned.Query(e); err != nil {
+			t.Fatalf("warm-up %q: %v", e, err)
+		}
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range exprs {
+					if _, err := planned.Query(e); err != nil {
+						select {
+						case errCh <- fmt.Errorf("concurrent Query(%q): %w", e, err):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Mutate under the readers: new documents (including ones that revive the
+	// pruned-empty paths) and deletions of seeded ones. Every mutation is
+	// recorded so the planner-free engine can replay it afterwards.
+	var newXMLs []string
+	var deletedPos []int
+	for i := 0; i < 30; i++ {
+		x := randomDiffXML(rng, 1)[0]
+		if i%5 == 2 {
+			x = fmt.Sprintf("<q><z>%s</z><z>w</z></q>", []string{"x", "y", "z"}[i%3])
+		}
+		newXMLs = append(newXMLs, x)
+		insertXML(t, planned, x)
+		if i%4 == 0 && i/4 < len(pIDs) {
+			pos := i / 4 * 3
+			if pos < len(pIDs) {
+				if err := planned.Delete(pIDs[pos]); err != nil {
+					t.Fatalf("concurrent Delete: %v", err)
+				}
+				deletedPos = append(deletedPos, pos)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Replay on the planner-free engine, then the two must agree exactly —
+	// including non-empty results for the paths that were dead at warm-up.
+	uIDs := insertXML(t, unplanned, xmls...)
+	insertXML(t, unplanned, newXMLs...)
+	for _, pos := range deletedPos {
+		if err := unplanned.Delete(uIDs[pos]); err != nil {
+			t.Fatalf("replay Delete: %v", err)
+		}
+	}
+	for _, e := range exprs {
+		p, err := planned.Query(e)
+		if err != nil {
+			t.Fatalf("%s planned: %v", e, err)
+		}
+		u, err := unplanned.Query(e)
+		if err != nil {
+			t.Fatalf("%s unplanned: %v", e, err)
+		}
+		if len(p) != len(u) {
+			t.Errorf("%s: planned found %d docs, unplanned %d", e, len(p), len(u))
+		}
+	}
+	if got, err := planned.Query("/q/z"); err != nil || len(got) == 0 {
+		t.Fatalf("/q/z still empty after mutator inserted matching docs (stale pruned plan): ids=%v err=%v", got, err)
+	}
+	report, err := planned.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(report.Problems) != 0 {
+		t.Fatalf("post-churn consistency problems: %v", report.Problems)
 	}
 }

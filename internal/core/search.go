@@ -87,40 +87,50 @@ func (ix *Index) queryParsedInner(ctx context.Context, q *query.Query, b Budget,
 	if qc.timed {
 		qc.stats.Stages.Parse = parseD
 	}
-	// Fail fast on an already-dead context, before taking the lock: even a
-	// query that would do no scan work (and so hit no checkpoint) must
-	// report cancellation deterministically.
+	// Fail fast on an already-dead context, before pinning: even a query
+	// that would do no scan work (and so hit no checkpoint) must report
+	// cancellation deterministically.
 	if err := qc.checkCtx(); err != nil {
 		return nil, qc.stats, err
 	}
+	// Pin the current published version. This replaces the shared index
+	// lock: a concurrent Insert/Delete/Sync builds the next version without
+	// blocking this query or changing anything it can see. The histogram
+	// keeps its pre-MVCC name so dashboards show the contention collapsing;
+	// pin acquisition is a mutex-protected map increment, never a wait for
+	// a writer.
 	var lockStart time.Time
 	if qc.timed {
 		lockStart = time.Now()
 	}
-	ix.mu.RLock()
+	snap, err := ix.pin()
 	if qc.timed {
 		ix.qm.lockWait.ObserveDuration(time.Since(lockStart))
 	}
-	defer ix.mu.RUnlock()
+	if err != nil {
+		return nil, qc.stats, err
+	}
+	defer ix.unpin(snap)
+	qc.snap = snap
 	var ids []DocID
-	err := qc.contained(func() error {
+	err = qc.contained(func() error {
 		var err error
-		ids, err = ix.queryLocked(qc, q)
+		ids, err = ix.queryPinned(qc, q)
 		return err
 	})
 	return ids, qc.stats, err
 }
 
-// queryLocked runs a query under the shared lock, reporting the IDs
+// queryPinned runs a query against its pinned snapshot, reporting the IDs
 // collected so far even when a budget or cancellation error cuts the run
 // short. Execution follows the cached plan when the planner is enabled:
 // sequences run most-selective first, each under its planned strategy.
-func (ix *Index) queryLocked(qc *qctx, q *query.Query) ([]DocID, error) {
+func (ix *Index) queryPinned(qc *qctx, q *query.Query) ([]DocID, error) {
 	var t0 time.Time
 	if qc.timed {
 		t0 = time.Now()
 	}
-	ent, err := ix.planFor(q)
+	ent, err := ix.planFor(qc.snap, q)
 	if qc.timed {
 		// Planning — variant expansion plus synopsis probes — is accounted
 		// with Parse, like the expansion it replaces.
@@ -172,7 +182,7 @@ func (ix *Index) queryDisassembled(qc *qctx, q *query.Query) ([]DocID, error) {
 	}
 	plans := make([]partPlan, 0, len(parts))
 	for _, part := range parts {
-		ent, err := ix.planFor(part)
+		ent, err := ix.planFor(qc.snap, part)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +194,7 @@ func (ix *Index) queryDisassembled(qc *qctx, q *query.Query) ([]DocID, error) {
 	}
 	var result map[DocID]struct{}
 	for _, pp := range plans {
-		ids, perr := ix.queryLocked(qc, pp.q)
+		ids, perr := ix.queryPinned(qc, pp.q)
 		set := make(map[DocID]struct{}, len(ids))
 		for _, id := range ids {
 			set[id] = struct{}{}
@@ -268,28 +278,37 @@ func (ix *Index) QueryVerifiedCtx(ctx context.Context, expr string, b Budget) ([
 	return out, qc.stats, err
 }
 
-// verifyCandidates is the refinement phase: it loads each candidate document
-// under the shared lock and keeps only true tree-embedding matches. Verify
-// stage time covers the whole phase (document loads plus tree matching).
+// verifyCandidates is the refinement phase: it pins its own (possibly newer)
+// snapshot and keeps only candidates that are true tree-embedding matches
+// there. Verify stage time covers the whole phase (document loads plus tree
+// matching). A candidate whose document is gone from the verification
+// snapshot (deleted and published between the phases) is a non-match, the
+// same tolerance the lock-based implementation needed for deletes racing in
+// between its two lock acquisitions.
 func (ix *Index) verifyCandidates(qc *qctx, q *query.Query, candidates []DocID) ([]DocID, error) {
 	var lockStart time.Time
 	if qc.timed {
 		lockStart = time.Now()
 	}
-	ix.mu.RLock()
+	snap, err := ix.pin()
 	if qc.timed {
 		ix.qm.lockWait.ObserveDuration(time.Since(lockStart))
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer ix.unpin(snap)
+	if qc.timed {
 		t0 := time.Now()
 		defer func() { qc.stats.Stages.Verify += time.Since(t0) }()
 	}
-	defer ix.mu.RUnlock()
 	out := candidates[:0]
-	err := qc.contained(func() error {
+	err = qc.contained(func() error {
 		for _, id := range candidates {
 			if err := qc.checkCtx(); err != nil {
 				return err
 			}
-			doc, _, err := ix.loadDoc(id)
+			doc, _, err := loadDocFrom(snap.store, id)
 			if err != nil {
 				if errors.Is(err, ErrDocNotFound) {
 					continue
@@ -336,7 +355,7 @@ func (ix *Index) matchSeq(qc *qctx, qs query.Seq, out map[DocID]struct{}) error 
 		minPlen := len(base) + qe.Stars
 		maxPlen := minPlen
 		if qe.Desc {
-			maxPlen = ix.maxDepth - 1
+			maxPlen = qc.snap.maxDepth - 1
 		}
 		if maxPlen >= MaxDepth {
 			maxPlen = MaxDepth - 1
@@ -393,7 +412,7 @@ func (ix *Index) scanCandidates(qc *qctx, sym seq.Symbol, plen int, base []seq.S
 				qc.scanSmp.begin()
 			}
 		}
-		k, v, ok, err := ix.nodes.SeekFirstWith(cur, hiPrefix, qc.hook)
+		k, v, ok, err := qc.snap.nodes.SeekFirstWith(cur, hiPrefix, qc.hook)
 		if qc.timed {
 			if first {
 				qc.probeSmp.end(&qc.stats.Stages.Probe)
@@ -453,7 +472,7 @@ func (ix *Index) collectDocs(qc *qctx, scope labeling.Scope, out map[DocID]struc
 	if qc.timed {
 		qc.collectSmp.begin()
 	}
-	err := ix.docs.ScanWith(lo, hi, qc.hook, func(k, v []byte) (bool, error) {
+	err := qc.snap.docs.ScanWith(lo, hi, qc.hook, func(k, v []byte) (bool, error) {
 		_, id, err := parseDocKey(k)
 		if err != nil {
 			return false, err
@@ -471,9 +490,8 @@ func (ix *Index) collectDocs(qc *qctx, scope labeling.Scope, out map[DocID]struc
 	return err
 }
 
-// MaxTreeDepth reports the deepest indexed sequence (prefix length + 1).
+// MaxTreeDepth reports the deepest indexed sequence (prefix length + 1) in
+// the last published version (lock-free).
 func (ix *Index) MaxTreeDepth() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.maxDepth
+	return ix.snap.Load().maxDepth
 }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"vist/internal/btree"
+	"vist/internal/plan"
+)
+
+// ErrClosed reports a query attempted against an index whose Close has
+// begun. Queries racing Close fail fast with this error instead of reading
+// through pagers that are about to be unmapped.
+var ErrClosed = errors.New("core: index is closed")
+
+// snapshot is one published index version: the epoch that committed it, a
+// frozen root per tree, the synopsis fork the planner may consult, and the
+// scalar metadata queries read. Everything in it is immutable — writers
+// shadow tree pages and fork the synopsis instead of rewriting them — so any
+// number of queries can execute against it without locks, while any number
+// of writers (serialized by Index.mu) build the next version.
+//
+// Lifecycle (DESIGN.md §11): a query pins the current snapshot (a refcount
+// on its epoch, under pinMu), runs entirely against it, and unpins; a
+// mutation publishes a new snapshot by bumping the epoch, publishing every
+// tree, and storing the new version pointer; pages freed by superseded
+// versions are reclaimed only once no reader is pinned at or below the
+// epoch that freed them.
+type snapshot struct {
+	epoch    uint64
+	nodes    btree.Snapshot
+	docs     btree.Snapshot
+	store    btree.Snapshot
+	syn      *plan.Synopsis
+	maxDepth int
+	docCount uint64
+	// Writer-side scalars captured at publish so a failed mutation can
+	// restore them (rollbackLocked); queries never read these.
+	nextDoc   DocID
+	rootK     uint32
+	rootResvd uint32
+}
+
+// pin registers the calling query on the current snapshot and returns it.
+// The snapshot pointer and the refcount move together under pinMu, so a
+// concurrent publish either sees this reader in its minimum-pin computation
+// or hands it the new snapshot — never a pinned-but-uncounted reader whose
+// pages a Reclaim could recycle mid-query.
+func (ix *Index) pin() (*snapshot, error) {
+	ix.pinMu.Lock()
+	defer ix.pinMu.Unlock()
+	if ix.closed {
+		return nil, ErrClosed
+	}
+	s := ix.snap.Load()
+	ix.pins[s.epoch]++
+	ix.qm.pinnedReaders.Add(1)
+	return s, nil
+}
+
+// unpin releases a query's claim on its snapshot. Release never reclaims
+// anything itself — garbage collection is driven entirely by the writer side
+// at publish time — so the read path stays free of free-list work.
+func (ix *Index) unpin(s *snapshot) {
+	ix.pinMu.Lock()
+	defer ix.pinMu.Unlock()
+	if ix.pins[s.epoch]--; ix.pins[s.epoch] <= 0 {
+		delete(ix.pins, s.epoch)
+	}
+	ix.qm.pinnedReaders.Add(-1)
+}
+
+// publishLocked commits the pending state of every tree as a new version and
+// exposes it to queries. Callers hold ix.mu exclusively and call this only
+// after a mutation fully succeeded; a failed mutation calls rollbackLocked
+// instead, so partial writes are never published.
+//
+// After the version pointer swap, pages freed by epochs no pinned reader
+// can still see are reclaimed for reuse.
+func (ix *Index) publishLocked() {
+	ix.epoch++
+	for _, t := range ix.trees() {
+		t.Publish(ix.epoch)
+	}
+	s := &snapshot{
+		epoch:     ix.epoch,
+		nodes:     ix.nodes.Snapshot(),
+		docs:      ix.docs.Snapshot(),
+		store:     ix.store.Snapshot(),
+		syn:       ix.syn,
+		maxDepth:  ix.maxDepth,
+		docCount:  ix.docCount,
+		nextDoc:   ix.nextDoc,
+		rootK:     ix.rootK,
+		rootResvd: ix.rootResvd,
+	}
+	// The published synopsis is now shared with readers: the next mutation
+	// must fork it before touching it.
+	ix.synShared = true
+	ix.pinMu.Lock()
+	ix.snap.Store(s)
+	min := ix.epoch
+	for e := range ix.pins {
+		if e < min {
+			min = e
+		}
+	}
+	ix.pinMu.Unlock()
+	ix.qm.epochGauge.Set(int64(ix.epoch))
+	for _, t := range ix.trees() {
+		t.Reclaim(min)
+	}
+}
+
+// rollbackLocked abandons a failed mutation's pending state: every tree
+// reverts to its last published version (pages the mutation allocated are
+// recycled; pages it meant to free stay live), and the writer-side scalar
+// state reverts to the values captured at the last publish. Without this, a
+// half-shadowed subtree would leave replaced pages on the window free list
+// while the pending root still references the replacements' ancestors — and a
+// later successful publish would recycle still-reachable pages, corrupting
+// the tree. Callers hold ix.mu exclusively.
+func (ix *Index) rollbackLocked() {
+	for _, t := range ix.trees() {
+		t.Rollback()
+	}
+	s := ix.snap.Load()
+	// The synopsis fork (if any) is simply dropped; the published head is
+	// authoritative and once again shared.
+	ix.syn = s.syn
+	ix.synShared = true
+	ix.maxDepth = s.maxDepth
+	ix.docCount = s.docCount
+	ix.nextDoc = s.nextDoc
+	ix.rootK = s.rootK
+	ix.rootResvd = s.rootResvd
+	ix.metaDirty = true
+	// saveMeta may have persisted the synopsis blob (clearing synDirty)
+	// before a later step failed and rolled the blob back; force a re-persist
+	// on the next successful Sync.
+	ix.synDirty = true
+}
+
+// mutableSyn returns a synopsis the current mutation may write: the live one
+// when it is already private to the writer, otherwise a copy-on-write fork
+// (the published snapshot keeps the old head). Callers hold ix.mu.
+func (ix *Index) mutableSyn() *plan.Synopsis {
+	if ix.synShared {
+		ix.syn = ix.syn.Fork()
+		ix.synShared = false
+	}
+	return ix.syn
+}
+
+// drainReaders waits for every pinned query to finish, bounded by
+// Options.CloseDrainTimeout. It reports whether the index fully drained.
+func (ix *Index) drainReaders() bool {
+	timeout := ix.opts.CloseDrainTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		ix.pinMu.Lock()
+		n := len(ix.pins)
+		ix.pinMu.Unlock()
+		if n == 0 {
+			return true
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -15,8 +15,11 @@ const DefaultCacheSize = 128
 // parsed query and its sequence expansion depend only on the expression
 // and the dictionary, which never shrinks — so Seqs stays reusable across
 // epochs for expressions whose names were already interned; the Plan (and
-// the empty-result proof encoded in nil Seqs) is valid only while Epoch
-// matches the index's current write epoch.
+// the empty-result proof encoded in nil Seqs) is valid only while SynGen
+// matches the structure generation of the synopsis the query reads: the
+// plan's synopsis-derived parts (chain targets, pruning, the empty proof)
+// depend only on which paths exist, so pure count churn — the steady state
+// of an update-heavy workload — never invalidates it.
 type Entry struct {
 	Query *query.Query
 	// Seqs is the sequence expansion (nil when some query name was unknown
@@ -29,8 +32,8 @@ type Entry struct {
 	// Desc is the pre-rendered Describe output (built once per plan, so
 	// per-query Explain costs nothing).
 	Desc string
-	// Epoch is the index write epoch the plan was built against.
-	Epoch uint64
+	// SynGen is the StructGen of the synopsis the plan was built against.
+	SynGen uint64
 }
 
 // Estimate is the planner's result-size signal for the whole entry: the
@@ -81,7 +84,7 @@ func NewCache(capacity int) *Cache {
 }
 
 // Get returns the cached entry for key, if any, marking it recently used.
-// The caller must validate Entry.Epoch before trusting the plan.
+// The caller must validate Entry.SynGen before trusting the plan.
 func (c *Cache) Get(key string) (*Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

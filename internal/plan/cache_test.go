@@ -9,7 +9,7 @@ import (
 
 func TestCacheLRU(t *testing.T) {
 	c := NewCache(2)
-	e1, e2, e3 := &Entry{Epoch: 1}, &Entry{Epoch: 2}, &Entry{Epoch: 3}
+	e1, e2, e3 := &Entry{SynGen: 1}, &Entry{SynGen: 2}, &Entry{SynGen: 3}
 	c.Put("q1", e1)
 	c.Put("q2", e2)
 	if _, ok := c.Get("q1"); !ok { // q1 now most recent

@@ -36,17 +36,35 @@ const MaxPathLen = 64
 // value symbol expand to the value's possible parent paths instead; the
 // final exact-key probe against the index decides existence.
 //
-// A Synopsis is not internally synchronized. The core index mutates it
-// under its exclusive lock and reads it under the shared lock, giving
-// queries a consistent view for free.
+// A Synopsis is not internally synchronized, but it supports persistent
+// (copy-on-write) forking: Fork returns a new head sharing the whole trie,
+// and mutations through either head path-copy any node belonging to an
+// older generation before touching it. The core index mutates only the
+// newest head under its exclusive lock; queries read the head captured in
+// their pinned snapshot lock-free.
 type Synopsis struct {
 	root  *snode
 	paths int // trie nodes with count > 0 (distinct live paths)
+	gen   uint64
+
+	// structGen advances exactly when the *path set* changes — a path's
+	// count crossing zero in either direction — and is untouched by pure
+	// count updates. Two synopses on the same fork lineage with equal
+	// structGen therefore hold identical path sets (counts may differ),
+	// which is the validity condition for cached query plans: Expand
+	// targets and FeasibleLens pruning depend only on which paths exist,
+	// while counts merely order the work.
+	structGen uint64
 }
 
 type snode struct {
 	children map[seq.Symbol]*snode
 	count    uint64
+
+	// gen is the Synopsis generation that created this node. A mutator owns
+	// a node (may write it in place) only when gens match; otherwise the
+	// node is shared with an older fork and must be copied first.
+	gen uint64
 }
 
 // NewSynopsis returns an empty synopsis.
@@ -54,9 +72,39 @@ func NewSynopsis() *Synopsis {
 	return &Synopsis{root: &snode{}}
 }
 
+// Fork returns a new synopsis head that shares the entire trie with sy.
+// Mutations through the fork copy shared nodes along the touched path, so
+// sy's view stays frozen — the persistent-data-structure analogue of the
+// B+Tree's shadow pages. The caller must stop mutating sy itself (reads
+// remain safe forever).
+func (sy *Synopsis) Fork() *Synopsis {
+	return &Synopsis{root: sy.root, paths: sy.paths, gen: sy.gen + 1, structGen: sy.structGen}
+}
+
+// mutable returns a node the current generation owns: n itself when gens
+// match, otherwise a copy (children map and count) stamped with sy.gen.
+func (sy *Synopsis) mutable(n *snode) *snode {
+	if n.gen == sy.gen {
+		return n
+	}
+	c := &snode{count: n.count, gen: sy.gen}
+	if len(n.children) > 0 {
+		c.children = make(map[seq.Symbol]*snode, len(n.children))
+		for k, v := range n.children {
+			c.children[k] = v
+		}
+	}
+	return c
+}
+
 // Paths reports the number of distinct root paths with a live occurrence
 // count.
 func (sy *Synopsis) Paths() int { return sy.paths }
+
+// StructGen identifies the synopsis's path set: it changes exactly when a
+// path appears or disappears. Along one fork lineage, equal StructGen means
+// an identical path set.
+func (sy *Synopsis) StructGen() uint64 { return sy.structGen }
 
 // Add adjusts the occurrence count of one root path by delta, creating trie
 // nodes as needed and pruning empty ones on the way back up. Underflow
@@ -72,7 +120,12 @@ func (sy *Synopsis) Add(path []seq.Symbol, delta int64) {
 			return
 		}
 	}
-	// Walk down, remembering the chain for pruning.
+	// Walk down copy-on-write, remembering the chain for pruning. Every
+	// node on the chain is owned by the current generation once visited, so
+	// the count update and bottom-up pruning below may mutate freely without
+	// disturbing older forks. Copies made before an early "nothing to
+	// decrement" return are harmless: they are exact replicas.
+	sy.root = sy.mutable(sy.root)
 	chain := make([]*snode, 0, len(path)+1)
 	chain = append(chain, sy.root)
 	n := sy.root
@@ -82,10 +135,13 @@ func (sy *Synopsis) Add(path []seq.Symbol, delta int64) {
 			if delta <= 0 {
 				return // nothing to decrement
 			}
-			child = &snode{}
+			child = &snode{gen: sy.gen}
 			if n.children == nil {
 				n.children = make(map[seq.Symbol]*snode)
 			}
+			n.children[s] = child
+		} else if child.gen != sy.gen {
+			child = sy.mutable(child)
 			n.children[s] = child
 		}
 		chain = append(chain, child)
@@ -102,8 +158,10 @@ func (sy *Synopsis) Add(path []seq.Symbol, delta int64) {
 	switch {
 	case before == 0 && n.count > 0:
 		sy.paths++
+		sy.structGen++
 	case before > 0 && n.count == 0:
 		sy.paths--
+		sy.structGen++
 	}
 	// Prune empty leaves bottom-up (count 0 and no children).
 	for i := len(chain) - 1; i >= 1; i-- {

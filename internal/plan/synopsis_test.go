@@ -227,3 +227,48 @@ func TestSynopsisEncodeDecode(t *testing.T) {
 		t.Fatalf("empty input decoded without error")
 	}
 }
+
+func TestSynopsisForkIsolation(t *testing.T) {
+	sy := NewSynopsis()
+	sy.Add(p(symA), 2)
+	sy.Add(p(symA, symB), 1)
+	sy.Add(p(symA, symB, symC), 3)
+	frozen := sy.Encode()
+
+	// Mutate a chain of forks: add under an existing branch, grow a new
+	// branch, remove a path, underflow-clamp another. The original head must
+	// keep the exact pre-fork trie.
+	f := sy.Fork()
+	f.Add(p(symA, symB, symC), 5)
+	f.Add(p(symD), 1)
+	f = f.Fork()
+	f.Add(p(symA, symB), -1)
+	f.Add(p(symA), -100)
+
+	if got := sy.Count(p(symA, symB, symC)); got != 3 {
+		t.Fatalf("original Count(a/b/c) = %d, want 3", got)
+	}
+	if got := sy.Count(p(symA)); got != 2 {
+		t.Fatalf("original Count(a) = %d, want 2", got)
+	}
+	if got := sy.Count(p(symD)); got != 0 {
+		t.Fatalf("original sees forked insert d: count %d", got)
+	}
+	if got := sy.Paths(); got != 3 {
+		t.Fatalf("original Paths = %d, want 3", got)
+	}
+	after := sy.Encode()
+	if !bytes.Equal(frozen, after) {
+		t.Fatal("original synopsis bytes changed across fork mutations")
+	}
+
+	if got := f.Count(p(symA, symB, symC)); got != 8 {
+		t.Fatalf("fork Count(a/b/c) = %d, want 8", got)
+	}
+	if got := f.Count(p(symA, symB)); got != 0 {
+		t.Fatalf("fork Count(a/b) = %d, want 0", got)
+	}
+	if got := f.Count(p(symD)); got != 1 {
+		t.Fatalf("fork Count(d) = %d, want 1", got)
+	}
+}
