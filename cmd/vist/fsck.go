@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vist/internal/core"
+)
+
+// runFsck verifies an index directory offline, optionally rebuilding it from
+// the document store first (-repair). Exit status: 0 when the index verifies
+// clean (and, for -repair, no documents were lost), 1 otherwise.
+func runFsck(dir string, opts core.Options, repair bool) {
+	lossy := false
+	if repair {
+		rep, err := core.Repair(dir, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rebuilt %s from its document store: %d documents salvaged\n", dir, rep.DocsSalvaged)
+		fmt.Printf("previous index preserved at %s\n", rep.BackupDir)
+		if rep.SkippedSubtrees > 0 {
+			fmt.Printf("skipped %d corrupt store subtrees\n", rep.SkippedSubtrees)
+			lossy = true
+		}
+		if len(rep.DocsLost) > 0 {
+			fmt.Printf("%d documents unrecoverable:", len(rep.DocsLost))
+			for _, id := range rep.DocsLost {
+				fmt.Printf(" %d", id)
+			}
+			fmt.Println()
+			lossy = true
+		}
+		for _, n := range rep.Notes {
+			fmt.Println("note:", n)
+		}
+	}
+
+	rep, err := core.Fsck(dir, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vist: fsck:", err)
+		if !repair {
+			fmt.Fprintln(os.Stderr, "vist: the index cannot be opened; -repair rebuilds it from the document store")
+		}
+		os.Exit(1)
+	}
+	if rep.Recovery.Replayed {
+		fmt.Printf("write-ahead log: replayed %d committed pages, discarded %d uncommitted records\n",
+			rep.Recovery.PagesReplayed, rep.Recovery.FramesDiscarded)
+	}
+	fmt.Printf("pages: %d verified, %d not yet flushed\n", rep.Scrub.PagesChecked, rep.Scrub.PagesSkipped)
+	fmt.Printf("structure: %d nodes, %d doc entries, %d documents decoded\n",
+		rep.Structure.Nodes, rep.Structure.Docs, rep.Docs)
+	for _, p := range rep.Scrub.Corrupt {
+		fmt.Println("CORRUPT:", p)
+	}
+	for _, p := range rep.Structure.Problems {
+		fmt.Println("PROBLEM:", p)
+	}
+	for _, p := range rep.Unreadable {
+		fmt.Println("UNREADABLE:", p)
+	}
+	if !rep.Ok() {
+		fmt.Fprintln(os.Stderr, "vist: index has problems; -repair rebuilds it from the document store")
+		os.Exit(1)
+	}
+	fmt.Println("OK")
+	if lossy {
+		os.Exit(1)
+	}
+}

@@ -17,7 +17,8 @@
 //	                                               its work (on cut-off: partial
 //	                                               stats to stderr, exit 1)
 //	vist serve  -dir ./idx [-addr A] [-metrics-addr A] [-slow-query D]
-//	            [-query-timeout D] [-query-max-pages N]
+//	            [-query-timeout D] [-query-max-pages N] [-drain D]
+//	            [-scrub D] [-scrub-rate N] [-wal-max-bytes N]
 //	                                               HTTP query API on -addr; with
 //	                                               -metrics-addr, /metrics, expvar
 //	                                               (/debug/vars) and net/http/pprof
@@ -25,11 +26,31 @@
 //	                                               logs slow queries to stderr;
 //	                                               -query-timeout and
 //	                                               -query-max-pages bound every
-//	                                               served query by default
+//	                                               served query by default;
+//	                                               SIGINT/SIGTERM shut down
+//	                                               gracefully, draining requests up
+//	                                               to -drain; -scrub runs background
+//	                                               verification passes at that
+//	                                               interval (-scrub-rate pages/sec);
+//	                                               -wal-max-bytes auto-checkpoints
+//	                                               the write-ahead log past that
+//	                                               size; /healthz reports 503 with
+//	                                               the cause while the index is
+//	                                               degraded, /readyz gates traffic
+//	                                               until startup completes
 //	vist get    -dir ./idx ID                      print a stored document
 //	vist delete -dir ./idx ID                      remove a document
 //	vist stats  -dir ./idx                         show index statistics
 //	vist check  -dir ./idx                         verify structural invariants
+//	vist fsck   -dir ./idx [-repair]               offline verification: WAL
+//	                                               recovery, a CRC sweep of every
+//	                                               page, the structural invariant
+//	                                               scan, and a decode of every
+//	                                               stored document; -repair
+//	                                               rebuilds the index from its
+//	                                               document store (the old
+//	                                               directory is kept as
+//	                                               DIR.pre-repair)
 //	vist export -dir ./idx > docs.xml              dump all stored documents
 package main
 
@@ -64,6 +85,11 @@ func main() {
 	slowQuery := fs.Duration("slow-query", 0, "log queries at or over this duration to stderr (serve only; 0 = disabled)")
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "default deadline for each served query (serve only; 0 = none)")
 	queryMaxPages := fs.Int("query-max-pages", 0, "page-fetch budget for each served query (serve only; 0 = unlimited)")
+	drain := fs.Duration("drain", 30*time.Second, "in-flight request drain bound on graceful shutdown (serve only)")
+	scrub := fs.Duration("scrub", 0, "background scrub pass interval (serve only; 0 = disabled)")
+	scrubRate := fs.Int("scrub-rate", 0, "background scrub rate in pages/sec (serve only; 0 = default, negative = unthrottled)")
+	walMax := fs.Int64("wal-max-bytes", 0, "auto-checkpoint when the write-ahead log exceeds this size (0 = unbounded)")
+	repair := fs.Bool("repair", false, "rebuild the index from its document store (fsck only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -83,8 +109,16 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", *dtd, err))
 		}
 	}
-	opts := core.Options{Lambda: *lambda, Schema: schema}
+	opts := core.Options{Lambda: *lambda, Schema: schema, WALMaxBytes: *walMax}
+	if cmd == "fsck" {
+		// fsck owns the open (and, with -repair, replaces the directory
+		// outright), so it runs before the common Open below.
+		runFsck(*dir, opts, *repair)
+		return
+	}
 	if cmd == "serve" {
+		opts.ScrubInterval = *scrub
+		opts.ScrubPagesPerSecond = *scrubRate
 		// Served queries come from untrusted clients: bound each one by
 		// default. QueryCtx applies these index-level limits to every HTTP
 		// request that doesn't carry its own tighter deadline.
@@ -195,7 +229,7 @@ func main() {
 		fmt.Printf("total bytes:        %d\n", ix.SizeBytes())
 		fmt.Printf("dictionary names:   %d\n", ix.Dict().Len())
 	case "serve":
-		if err := runServe(ix, *addr, *metricsAddr); err != nil {
+		if err := runServe(ix, *addr, *metricsAddr, *drain); err != nil {
 			fatal(err)
 		}
 	case "export":
@@ -242,10 +276,12 @@ commands:
   index   -dir DIR [-dtd FILE] [-lambda N] FILE...   index XML files
   query   -dir DIR [-verify] [-explain] [-timeout D] [-max-results N] 'EXPR'
   serve   -dir DIR [-addr A] [-metrics-addr A] [-slow-query D] [-query-timeout D] [-query-max-pages N]
+          [-drain D] [-scrub D] [-scrub-rate N] [-wal-max-bytes N]
   get     -dir DIR ID                                print a stored document
   delete  -dir DIR ID                                remove a document
   stats   -dir DIR                                   show index statistics
   check   -dir DIR                                   verify structural invariants
+  fsck    -dir DIR [-repair]                         offline verify; -repair rebuilds from the document store
   export  -dir DIR                                   dump all stored documents`)
 	os.Exit(2)
 }

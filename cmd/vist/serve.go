@@ -9,6 +9,9 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"vist/internal/core"
@@ -26,8 +29,21 @@ type queryResponse struct {
 	Error   string          `json:"error,omitempty"`
 }
 
+// healthResponse is the JSON body of /healthz. While the index is degraded
+// (read-only after a write-path failure) the endpoint serves 503 with the
+// cause, so load balancers stop routing writes while dashboards still see
+// why.
+type healthResponse struct {
+	Status string `json:"status"` // "ok" or "degraded"
+	Op     string `json:"op,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Since  string `json:"since,omitempty"`
+}
+
 // newQueryMux builds the query-port handler. Split from runServe so tests can
-// drive it through net/http/httptest without binding a socket.
+// drive it through net/http/httptest without binding a socket. ready gates
+// /readyz: it flips true once startup (including WAL recovery, which Open
+// performs before returning the index) has finished; nil means always ready.
 //
 // Budgeting note: the handler passes a zero per-call Budget, which QueryCtx
 // merges with the index's Options.DefaultBudget, and QueryCtx itself applies
@@ -35,7 +51,7 @@ type queryResponse struct {
 // so the index-level limits configured at Open time bound every HTTP query
 // without any handler-side plumbing. The ?timeout= parameter tightens (or,
 // absent index defaults, introduces) the deadline for one request.
-func newQueryMux(ix *core.Index) *http.ServeMux {
+func newQueryMux(ix *core.Index, ready *atomic.Bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		expr := r.URL.Query().Get("q")
@@ -96,7 +112,25 @@ func newQueryMux(ix *core.Index) *http.ServeMux {
 		json.NewEncoder(w).Encode(resp)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json")
+		if d := ix.Degraded(); d != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(healthResponse{
+				Status: "degraded",
+				Op:     d.Op,
+				Reason: d.Cause.Error(),
+				Since:  d.At.UTC().Format(time.RFC3339),
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(healthResponse{Status: "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil && !ready.Load() {
+			http.Error(w, "starting: WAL recovery in progress", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	return mux
 }
@@ -106,7 +140,12 @@ func newQueryMux(ix *core.Index) *http.ServeMux {
 // expvar's /debug/vars carrying the metrics snapshot, and net/http/pprof) on
 // a separate listener so profiling endpoints are never reachable through the
 // query port.
-func runServe(ix *core.Index, addr, metricsAddr string) error {
+//
+// SIGINT or SIGTERM shuts the server down gracefully: the listener closes,
+// in-flight requests get up to drain to finish (http.Server.Shutdown), and
+// runServe returns so the caller can Close the index — which itself drains
+// pinned readers under Options.CloseDrainTimeout before touching files.
+func runServe(ix *core.Index, addr, metricsAddr string, drain time.Duration) error {
 	if metricsAddr != "" {
 		expvar.Publish("vist.metrics", expvar.Func(func() any { return ix.Metrics() }))
 		// expvar and net/http/pprof register themselves on the default mux;
@@ -123,6 +162,36 @@ func runServe(ix *core.Index, addr, metricsAddr string) error {
 			}
 		}()
 	}
-	fmt.Fprintf(os.Stderr, "vist: query API on http://%s/query?q=EXPR\n", addr)
-	return http.ListenAndServe(addr, newQueryMux(ix))
+	var ready atomic.Bool
+	srv := &http.Server{Addr: addr, Handler: newQueryMux(ix, &ready)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "vist: query API on http://%s/query?q=EXPR\n", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	// WAL recovery ran inside Open, before this index existed; with the
+	// listener up the process is ready.
+	ready.Store(true)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal now kills the process the default way
+		if drain <= 0 {
+			drain = 30 * time.Second
+		}
+		fmt.Fprintf(os.Stderr, "vist: shutting down (draining up to %s)\n", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return <-errc
+	}
 }

@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"vist/internal/btree"
 	"vist/internal/core"
 	"vist/internal/xmltree"
 )
@@ -60,7 +62,7 @@ func decodeQueryResponse(t *testing.T, rec *httptest.ResponseRecorder) queryResp
 func TestServeQueryOK(t *testing.T) {
 	ix := openServeIndex(t, core.Options{},
 		"<a><b>x</b></a>", "<a><c>y</c></a>", "<a><b>z</b></a>")
-	mux := newQueryMux(ix)
+	mux := newQueryMux(ix, nil)
 
 	rec := serveGet(t, mux, "/query?q=/a/b")
 	if rec.Code != http.StatusOK {
@@ -99,7 +101,7 @@ func TestServeQueryOK(t *testing.T) {
 // client's fault and must map to 400, never 500.
 func TestServeQueryBadRequest(t *testing.T) {
 	ix := openServeIndex(t, core.Options{}, "<a><b>x</b></a>")
-	mux := newQueryMux(ix)
+	mux := newQueryMux(ix, nil)
 	for _, target := range []string{
 		"/query",
 		"/query?q=%2Fa%5B",       // "/a[" — unterminated predicate
@@ -122,7 +124,7 @@ func TestServeQueryBudgetExceeded(t *testing.T) {
 		docs[i] = fmt.Sprintf("<a><b>v%d</b><c>w%d</c></a>", i, i)
 	}
 	ix := openServeIndex(t, core.Options{DefaultBudget: core.Budget{MaxPages: 1}}, docs...)
-	mux := newQueryMux(ix)
+	mux := newQueryMux(ix, nil)
 
 	rec := serveGet(t, mux, "/query?q=//b")
 	if rec.Code != http.StatusTooManyRequests {
@@ -143,7 +145,7 @@ func TestServeQueryBudgetExceeded(t *testing.T) {
 func TestServeQueryDeadline(t *testing.T) {
 	ix := openServeIndex(t, core.Options{DefaultQueryTimeout: time.Nanosecond},
 		"<a><b>x</b></a>")
-	rec := serveGet(t, newQueryMux(ix), "/query?q=//b")
+	rec := serveGet(t, newQueryMux(ix, nil), "/query?q=//b")
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("DefaultQueryTimeout status = %d, want 504 (body %q)", rec.Code, rec.Body)
 	}
@@ -152,8 +154,95 @@ func TestServeQueryDeadline(t *testing.T) {
 	}
 
 	ix2 := openServeIndex(t, core.Options{}, "<a><b>x</b></a>")
-	rec = serveGet(t, newQueryMux(ix2), "/query?q=//b&timeout=1ns")
+	rec = serveGet(t, newQueryMux(ix2, nil), "/query?q=//b&timeout=1ns")
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("?timeout=1ns status = %d, want 504 (body %q)", rec.Code, rec.Body)
+	}
+}
+
+// TestServeHealthzDegraded: once the index flips into read-only degradation
+// (here: the disk fills mid-insert), /healthz turns 503 with a JSON body
+// naming the failed operation and cause — and recovers to 200 after Heal.
+// Queries keep answering 200 throughout.
+func TestServeHealthzDegraded(t *testing.T) {
+	plan := &btree.FaultPlan{NoSpaceAfter: 48 * 1024}
+	ix, err := core.Open(t.TempDir(), core.Options{
+		PageSize: 512, CachePages: 4, FS: btree.FaultFS{Plan: plan},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		plan.AddSpace(1 << 20)
+		if err := ix.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	for i := 0; i < 500 && ix.Degraded() == nil; i++ {
+		doc, perr := xmltree.ParseString(fmt.Sprintf("<a><b>doc %d</b></a>", i))
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if _, err := ix.Insert(doc); err != nil {
+			break
+		}
+		if i%5 == 4 {
+			if err := ix.Sync(); err != nil {
+				break
+			}
+		}
+	}
+	if ix.Degraded() == nil {
+		t.Fatal("index never degraded; NoSpaceAfter budget too large for the workload")
+	}
+	mux := newQueryMux(ix, nil)
+
+	rec := serveGet(t, mux, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz status = %d, want 503 (body %q)", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("degraded /healthz Content-Type = %q", ct)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(rec.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Op == "" || h.Reason == "" || h.Since == "" {
+		t.Fatalf("degraded /healthz body = %+v, want status/op/reason/since populated", h)
+	}
+
+	// The query path is unaffected: reads serve the last published snapshot.
+	if rec := serveGet(t, mux, "/query?q=/a/b"); rec.Code != http.StatusOK {
+		t.Fatalf("degraded /query status = %d, want 200", rec.Code)
+	}
+
+	plan.AddSpace(1 << 20)
+	if err := ix.Heal(); err != nil {
+		t.Fatalf("Heal after freeing space: %v", err)
+	}
+	rec = serveGet(t, mux, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healed /healthz status = %d, want 200 (body %q)", rec.Code, rec.Body)
+	}
+}
+
+// TestServeReadyz: /readyz answers 503 until the server marks itself ready
+// (startup, including WAL recovery, complete) and 200 afterwards; a nil
+// gate means always ready.
+func TestServeReadyz(t *testing.T) {
+	ix := openServeIndex(t, core.Options{}, "<a><b>x</b></a>")
+	var ready atomic.Bool
+	mux := newQueryMux(ix, &ready)
+
+	if rec := serveGet(t, mux, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-ready /readyz status = %d, want 503", rec.Code)
+	}
+	ready.Store(true)
+	if rec := serveGet(t, mux, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("ready /readyz status = %d, want 200", rec.Code)
+	}
+	if rec := serveGet(t, newQueryMux(ix, nil), "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("nil-gate /readyz status = %d, want 200", rec.Code)
 	}
 }

@@ -6,11 +6,32 @@ import (
 	"io"
 	"os"
 	"sync"
+	"syscall"
+	"time"
 )
 
 // ErrInjectedFault is returned by FaultFS file operations once the plan's
 // write budget is exhausted — the moment the simulated crash happens.
 var ErrInjectedFault = errors.New("btree: injected fault (simulated crash)")
+
+// ErrNoSpace is returned by FaultFS writes once the plan's space budget is
+// exhausted. Unlike ErrInjectedFault it models a live, recoverable failure:
+// the process is still running, reads and syncs keep working, and raising
+// the budget with AddSpace (freeing disk) lets later writes succeed. It
+// wraps syscall.ENOSPC so errors.Is(err, syscall.ENOSPC) holds, matching
+// what a real full disk reports.
+var ErrNoSpace = fmt.Errorf("btree: injected fault: %w", syscall.ENOSPC)
+
+// FaultOp identifies the kind of file operation a FaultPlan is charging,
+// for FailOp error schedules.
+type FaultOp uint8
+
+// The operation kinds a FailOp schedule can distinguish.
+const (
+	FaultWrite FaultOp = iota
+	FaultSync
+	FaultTruncate
+)
 
 // FaultPlan coordinates crash injection across every file a FaultFS opens.
 //
@@ -44,22 +65,59 @@ type FaultPlan struct {
 	KillAfter int64
 	// DropSyncs makes Sync a successful no-op that flushes nothing.
 	DropSyncs bool
+	// NoSpaceAfter is the disk-space budget in bytes (writes only). The
+	// write that crosses it is torn — its prefix lands in the mirror — and
+	// fails with ErrNoSpace, as does every later write until AddSpace
+	// raises the budget. Unlike KillAfter the plan is not killed: the
+	// process lives on, and reads, syncs and truncates keep succeeding
+	// (whatever landed before the budget ran out can still be made
+	// durable, exactly like a real full disk). Zero means unlimited.
+	NoSpaceAfter int64
+	// OpDelay, when positive, sleeps before every write, sync, and
+	// truncate — per-op latency injection for timeout and slow-disk tests.
+	OpDelay time.Duration
+	// FailOp, when non-nil, is consulted before each operation with the
+	// 1-based operation sequence number and kind. A non-nil return fails
+	// that operation cleanly — no bytes are consumed and nothing is torn —
+	// which models transient (fail op 7 only) or persistent (fail every op
+	// past 7) error schedules without tearing state.
+	FailOp func(op int64, kind FaultOp) error
 
 	mu         sync.Mutex
 	written    int64
+	spaceUsed  int64
+	ops        int64
 	killed     bool
 	boundaries []int64
 	files      []*FaultFile
 }
 
-// consume charges n units against the budget, returning how many are
-// granted. Once the budget is crossed the plan is killed and every later
-// call is denied outright.
-func (pl *FaultPlan) consume(n int) (allowed int, killedNow bool) {
+// op charges one operation of the given kind (writes carry their byte
+// length; syncs and truncates charge 1 unit against the kill budget only).
+// It returns how many bytes are granted and the injected error, if any:
+// ErrInjectedFault once the kill budget is crossed (torn prefix granted,
+// plan dead), ErrNoSpace once the space budget is crossed (torn prefix
+// granted, plan still live), or a FailOp-scheduled error (nothing granted,
+// nothing charged).
+func (pl *FaultPlan) op(kind FaultOp, n int) (allowed int, err error) {
+	pl.mu.Lock()
+	delay := pl.OpDelay
+	pl.ops++
+	seq := pl.ops
+	failOp := pl.FailOp
+	pl.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if failOp != nil {
+		if err := failOp(seq, kind); err != nil {
+			return 0, err
+		}
+	}
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	if pl.killed {
-		return 0, false
+		return 0, ErrInjectedFault
 	}
 	allowed = n
 	if pl.KillAfter > 0 && pl.written+int64(n) > pl.KillAfter {
@@ -68,13 +126,47 @@ func (pl *FaultPlan) consume(n int) (allowed int, killedNow bool) {
 			allowed = 0
 		}
 		pl.killed = true
-		killedNow = true
+		pl.written += int64(allowed)
+		return allowed, ErrInjectedFault
 	}
-	pl.written += int64(allowed)
-	if !killedNow {
-		pl.boundaries = append(pl.boundaries, pl.written)
+	if kind == FaultWrite && pl.NoSpaceAfter > 0 && pl.spaceUsed+int64(n) > pl.NoSpaceAfter {
+		allowed = int(pl.NoSpaceAfter - pl.spaceUsed)
+		if allowed < 0 {
+			allowed = 0
+		}
+		pl.spaceUsed += int64(allowed)
+		pl.written += int64(allowed)
+		return allowed, ErrNoSpace
 	}
-	return allowed, killedNow
+	if kind == FaultWrite {
+		pl.spaceUsed += int64(n)
+	}
+	pl.written += int64(n)
+	pl.boundaries = append(pl.boundaries, pl.written)
+	return n, nil
+}
+
+// AddSpace raises the space budget by n bytes — the injected disk gained
+// room (files were deleted elsewhere). Later writes may succeed again.
+func (pl *FaultPlan) AddSpace(n int64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.NoSpaceAfter += n
+}
+
+// SpaceUsed reports the bytes charged against the space budget so far.
+func (pl *FaultPlan) SpaceUsed() int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.spaceUsed
+}
+
+// Ops reports how many file operations the plan has seen (the sequence
+// numbers FailOp schedules key on).
+func (pl *FaultPlan) Ops() int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.ops
 }
 
 // Killed reports whether the injected crash has happened.
@@ -165,30 +257,30 @@ func (f *FaultFile) ReadAt(b []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// WriteAt implements io.WriterAt; the write that crosses the plan's budget
-// is torn (only its prefix lands in the mirror) and returns ErrInjectedFault.
+// WriteAt implements io.WriterAt; the write that crosses the kill or space
+// budget is torn (only its prefix lands in the mirror) and returns the
+// injected error.
 func (f *FaultFile) WriteAt(b []byte, off int64) (int, error) {
-	allowed, killedNow := f.plan.consume(len(b))
-	if allowed == 0 && !killedNow && len(b) > 0 {
-		return 0, ErrInjectedFault // already dead
+	allowed, ferr := f.plan.op(FaultWrite, len(b))
+	if allowed > 0 {
+		f.mu.Lock()
+		end := off + int64(allowed)
+		if end > int64(len(f.mem)) {
+			f.mem = append(f.mem, make([]byte, end-int64(len(f.mem)))...)
+		}
+		copy(f.mem[off:end], b[:allowed])
+		f.mu.Unlock()
 	}
-	f.mu.Lock()
-	end := off + int64(allowed)
-	if end > int64(len(f.mem)) {
-		f.mem = append(f.mem, make([]byte, end-int64(len(f.mem)))...)
-	}
-	copy(f.mem[off:end], b[:allowed])
-	f.mu.Unlock()
-	if allowed < len(b) || killedNow {
-		return allowed, ErrInjectedFault
+	if ferr != nil {
+		return allowed, ferr
 	}
 	return allowed, nil
 }
 
 // Truncate resizes the mirror.
 func (f *FaultFile) Truncate(size int64) error {
-	if allowed, killedNow := f.plan.consume(1); allowed == 0 || killedNow {
-		return ErrInjectedFault
+	if _, err := f.plan.op(FaultTruncate, 1); err != nil {
+		return err
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -203,8 +295,8 @@ func (f *FaultFile) Truncate(size int64) error {
 // Sync flushes the mirror to the real file and fsyncs it — unless the plan
 // drops syncs (lying disk) or has already killed the run.
 func (f *FaultFile) Sync() error {
-	if allowed, killedNow := f.plan.consume(1); allowed == 0 || killedNow {
-		return ErrInjectedFault
+	if _, err := f.plan.op(FaultSync, 1); err != nil {
+		return err
 	}
 	if f.plan.DropSyncs {
 		return nil

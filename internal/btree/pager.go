@@ -474,6 +474,43 @@ func (p *FilePager) readRaw(id PageID, data []byte) error {
 	return nil
 }
 
+// VerifyPage checks the durable copy of one page without disturbing the
+// buffer pool: the latest staged WAL frame wins when one exists (readStaged
+// re-verifies the frame CRC on every read), otherwise the main-file frame's
+// CRC32C + pageID trailer is verified. checked is false when the page has no
+// durable frame at all — allocated but never written past the pool — which
+// is healthy, not corrupt: there is simply nothing on stable storage to
+// verify yet. A checked page that fails verification returns an error
+// wrapping ErrCorrupt. The online scrubber walks every allocated page
+// through this; holding p.mu for the one-frame read serializes it against
+// evictions and checkpoints of the same pager, which is what makes the
+// staged-or-file decision race-free.
+func (p *FilePager) VerifyPage(id PageID) (checked bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if uint32(id) >= p.npages {
+		return false, fmt.Errorf("btree: verify of unallocated page %d (have %d)", id, p.npages)
+	}
+	buf := make([]byte, p.pageSize)
+	if p.wal != nil {
+		ok, err := p.wal.readStaged(p.walID, id, buf)
+		if err != nil {
+			return true, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	size, err := p.f.Size()
+	if err != nil {
+		return false, err
+	}
+	if int64(id)*int64(p.diskPage)+int64(p.diskPage) > size {
+		return false, nil // never flushed: no durable frame to verify
+	}
+	return true, p.readRaw(id, buf)
+}
+
 // Read implements Pager.
 func (p *FilePager) Read(id PageID, buf []byte) error {
 	p.mu.Lock()

@@ -1,0 +1,62 @@
+package btree
+
+// SalvageScan walks the tree from its current root, visiting every readable
+// leaf cell in key order and skipping any subtree whose pages cannot be read
+// or parsed — corrupt frames, dangling child pointers, cycles, over-deep
+// chains. It exists for offline repair: a normal Scan aborts on the first
+// corrupt page, abandoning everything behind healthy pages, while a salvage
+// scan recovers every entry still reachable through intact interior nodes.
+//
+// skipped counts the subtrees abandoned (0 means the walk saw the whole
+// tree and the recovered entry set is complete). The returned error is only
+// ever the callback's own error; page-level failures are absorbed into
+// skipped.
+func (t *BTree) SalvageScan(fn func(k, v []byte) (bool, error)) (skipped int, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[PageID]struct{})
+	var stop bool
+	var cbErr error
+	var walk func(id PageID, depth int)
+	walk = func(id PageID, depth int) {
+		if stop || cbErr != nil {
+			return
+		}
+		// A corrupt child pointer can lead anywhere, including back into
+		// pages already visited; the seen set and depth bound turn would-be
+		// infinite descents into skipped subtrees.
+		if depth > 64 {
+			skipped++
+			return
+		}
+		if _, dup := seen[id]; dup {
+			skipped++
+			return
+		}
+		seen[id] = struct{}{}
+		n, err := t.load(id)
+		if err != nil {
+			skipped++
+			return
+		}
+		if n.leaf {
+			for i, k := range n.keys {
+				cont, err := fn(k, n.vals[i])
+				if err != nil {
+					cbErr = err
+					return
+				}
+				if !cont {
+					stop = true
+					return
+				}
+			}
+			return
+		}
+		for _, kid := range n.kids {
+			walk(kid, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return skipped, cbErr
+}

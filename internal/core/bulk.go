@@ -19,9 +19,16 @@ import (
 func (ix *Index) BulkInsertNode(sym seq.Symbol, prefix []seq.Symbol, n, size, parentN uint64, refcount uint32) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if err := ix.failIfDegraded(); err != nil {
+		return err
+	}
+	if err := ix.maybeAutoCheckpointLocked(); err != nil {
+		return err
+	}
 	rec := nodeRecord{size: size, parentN: parentN, refcount: refcount}
 	if err := ix.nodes.Put(nodeKey(daKey(sym, prefix), n), rec.encode()); err != nil {
 		ix.rollbackLocked()
+		ix.degrade("bulk-insert", err)
 		return err
 	}
 	if !sym.IsValue() {
@@ -42,14 +49,22 @@ func (ix *Index) BulkInsertNode(sym seq.Symbol, prefix []seq.Symbol, n, size, pa
 func (ix *Index) BulkInsertDoc(n uint64, doc *xmltree.Node, depth int) (DocID, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if err := ix.failIfDegraded(); err != nil {
+		return 0, err
+	}
+	if err := ix.maybeAutoCheckpointLocked(); err != nil {
+		return 0, err
+	}
 	id := ix.nextDoc
 	if err := ix.docs.Put(docKey(n, id), nil); err != nil {
 		ix.rollbackLocked()
+		ix.degrade("bulk-insert", err)
 		return 0, err
 	}
 	if !ix.opts.SkipDocumentStore && doc != nil {
 		if err := ix.storeDoc(id, n, doc); err != nil {
 			ix.rollbackLocked()
+			ix.degrade("bulk-insert", err)
 			return 0, err
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+
+	"vist/internal/plan"
 )
 
 // CheckReport summarizes an integrity scan of the index structure.
@@ -29,6 +31,13 @@ func (r *CheckReport) problemf(format string, args ...interface{}) {
 	}
 }
 
+// scanner is the range-scan capability the invariant checks and the
+// synopsis rebuild need; both the writer-side *btree.BTree (under ix.mu)
+// and a pinned btree.Snapshot (lock-free) satisfy it.
+type scanner interface {
+	Scan(lo, hi []byte, fn func(k, v []byte) (bool, error)) error
+}
+
 // Check verifies the structural invariants of the index:
 //
 //   - node labels are unique and parent links resolve;
@@ -41,12 +50,50 @@ func (r *CheckReport) problemf(format string, args ...interface{}) {
 //     the node table.
 //
 // The scan materializes the node table in memory; it is intended for tests
-// and offline verification, not hot paths.
+// and offline verification, not hot paths. Check reads the writer-side
+// (pending) state under the shared lock; CheckSnapshot runs the same
+// structural checks against the published snapshot without taking ix.mu at
+// all.
 func (ix *Index) Check() (*CheckReport, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	report := &CheckReport{}
+	if err := checkStructure(ix.nodes, ix.docs, ix.syn, report); err != nil {
+		return nil, err
+	}
+	// Version bookkeeping: the published and pending roots of every tree
+	// must reach only live pages — a reachable page on a free list would be
+	// rewritten under a pinned reader that can still see it.
+	for _, t := range ix.trees() {
+		if err := t.CheckVersions(); err != nil {
+			report.problemf("%v", err)
+		}
+	}
+	return report, nil
+}
 
+// CheckSnapshot runs the structural invariant checks (everything Check
+// verifies except the writer-coupled version bookkeeping) against the last
+// published snapshot, pinned for the duration. It never takes ix.mu, so it
+// can run concurrently with mutations — the online scrubber uses it to
+// verify invariants without stalling writers.
+func (ix *Index) CheckSnapshot() (*CheckReport, error) {
+	snap, err := ix.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer ix.unpin(snap)
+	report := &CheckReport{}
+	if err := checkStructure(snap.nodes, snap.docs, snap.syn, report); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// checkStructure performs the structural invariant scan over any coherent
+// (node table, DocId table, synopsis) triple, appending violations to
+// report.
+func checkStructure(nodeTree, docTree scanner, syn *plan.Synopsis, report *CheckReport) error {
 	type nodeInfo struct {
 		rec      nodeRecord
 		plen     int
@@ -55,7 +102,7 @@ func (ix *Index) Check() (*CheckReport, error) {
 	}
 	nodes := make(map[uint64]*nodeInfo)
 
-	err := ix.nodes.Scan(nil, nil, func(k, v []byte) (bool, error) {
+	err := nodeTree.Scan(nil, nil, func(k, v []byte) (bool, error) {
 		da, n, err := splitNodeKey(k)
 		if err != nil {
 			report.problemf("unparseable node key: %v", err)
@@ -86,7 +133,7 @@ func (ix *Index) Check() (*CheckReport, error) {
 		return true, nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Parent resolution and scope nesting.
@@ -140,7 +187,7 @@ func (ix *Index) Check() (*CheckReport, error) {
 
 	// DocId entries must land on real nodes; recompute refcounts by
 	// walking parent chains.
-	err = ix.docs.Scan(nil, nil, func(k, v []byte) (bool, error) {
+	err = docTree.Scan(nil, nil, func(k, v []byte) (bool, error) {
 		n, id, err := parseDocKey(k)
 		if err != nil {
 			report.problemf("unparseable DocId key: %v", err)
@@ -165,7 +212,7 @@ func (ix *Index) Check() (*CheckReport, error) {
 		return true, nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for n, info := range nodes {
 		if info.rec.refcount != info.expected {
@@ -177,22 +224,13 @@ func (ix *Index) Check() (*CheckReport, error) {
 	// The maintained path synopsis must agree with one rebuilt from the node
 	// table — the planner trusts it for empty-result proofs and prefix
 	// pruning, so divergence silently drops query results.
-	rebuilt, err := ix.rebuildSynopsis()
+	rebuilt, err := rebuildSynopsisFrom(nodeTree)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if !bytes.Equal(rebuilt.Encode(), ix.syn.Encode()) {
+	if !bytes.Equal(rebuilt.Encode(), syn.Encode()) {
 		report.problemf("path synopsis diverges from node table (paths: maintained %d, rebuilt %d)",
-			ix.syn.Paths(), rebuilt.Paths())
+			syn.Paths(), rebuilt.Paths())
 	}
-
-	// Version bookkeeping: the published and pending roots of every tree
-	// must reach only live pages — a reachable page on a free list would be
-	// rewritten under a pinned reader that can still see it.
-	for _, t := range ix.trees() {
-		if err := t.CheckVersions(); err != nil {
-			report.problemf("%v", err)
-		}
-	}
-	return report, nil
+	return nil
 }

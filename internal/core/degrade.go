@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vist/internal/btree"
+)
+
+// ErrReadOnly reports that the index has flipped into sticky read-only
+// degradation: a write-path failure (ENOSPC, EIO, detected corruption, or a
+// structural invariant violation) rolled back and froze mutations. Queries
+// keep serving the last published snapshot; Insert, Delete, Sync, and the
+// Bulk* loaders fail fast wrapping this sentinel until Heal succeeds or the
+// index is reopened. Test with errors.Is(err, ErrReadOnly); the root cause
+// is reachable through errors.Is/As on the same error.
+var ErrReadOnly = errors.New("core: index is read-only (degraded)")
+
+// ErrScopeExhausted reports that an insertion ran out of label space: no
+// ancestor reserve could hold the document's remaining elements. It is a
+// capacity limit of the labeling scheme, not a storage failure, so it does
+// NOT degrade the index — the insert rolls back and the index stays
+// writable for smaller documents.
+var ErrScopeExhausted = errors.New("core: scope space exhausted")
+
+// ErrInvariantViolation marks a degradation caused by a detected structural
+// invariant violation (scrub or Check found the published state
+// inconsistent) rather than an I/O failure. Heal refuses to clear such a
+// degradation until a full Check passes; vist fsck -repair is the intended
+// recovery.
+var ErrInvariantViolation = errors.New("core: structural invariant violation")
+
+// DegradedError is the sticky degradation record: the failing operation,
+// the root cause, and when it happened. It satisfies
+// errors.Is(err, ErrReadOnly) and unwraps to the cause.
+type DegradedError struct {
+	// Op names the operation that failed ("insert", "delete", "sync",
+	// "auto-checkpoint", "scrub").
+	Op string
+	// Cause is the root failure that triggered degradation.
+	Cause error
+	// At is when the index degraded.
+	At time.Time
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("core: index is read-only (degraded during %s at %s): %v",
+		e.Op, e.At.UTC().Format(time.RFC3339), e.Cause)
+}
+
+// Is reports ErrReadOnly so callers need only one sentinel test.
+func (e *DegradedError) Is(target error) bool { return target == ErrReadOnly }
+
+// Unwrap exposes the root cause to errors.Is/As.
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// Degraded reports the index's sticky degradation state: nil while healthy,
+// otherwise the failure that flipped it read-only. Lock-free; safe from any
+// goroutine.
+func (ix *Index) Degraded() *DegradedError {
+	return ix.degraded.Load()
+}
+
+// degrade flips the index read-only. Only the first failure sticks (the
+// state is CAS'd from nil), so concurrent failure paths — a writer under
+// ix.mu and the lock-free scrubber — record one coherent root cause. The
+// rollback that precedes a writer-side degrade already restored the pending
+// state to the published version; queries are untouched.
+func (ix *Index) degrade(op string, cause error) {
+	d := &DegradedError{Op: op, Cause: cause, At: time.Now()}
+	if ix.degraded.CompareAndSwap(nil, d) {
+		ix.qm.degradations.Inc()
+		ix.qm.degradedGauge.Set(1)
+	}
+}
+
+// failIfDegraded returns the sticky degradation error, if any. Every write
+// entry point calls it first so mutations fail fast instead of retrying
+// against a broken disk.
+func (ix *Index) failIfDegraded() error {
+	if d := ix.degraded.Load(); d != nil {
+		return d
+	}
+	return nil
+}
+
+// degradeWorthy classifies a write-path error: validation and capacity
+// errors that fail before or cleanly around the storage layer leave the
+// index healthy; anything else that reached storage (I/O errors, ENOSPC,
+// checksum corruption, undecodable records) means the write path can no
+// longer be trusted and must degrade.
+func degradeWorthy(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, ErrDocNotFound),
+		errors.Is(err, ErrScopeExhausted),
+		errors.Is(err, ErrReadOnly),
+		errors.Is(err, errFrozen):
+		return false
+	}
+	return true
+}
+
+// Heal attempts to clear a sticky degradation after the underlying fault is
+// fixed (disk space freed, device recovered). It probes the write path with
+// a full group commit under the exclusive lock; only a successful probe
+// clears the state. A degradation caused by detected corruption or an
+// invariant violation additionally requires a clean Check() first — a disk
+// that works again does not make a corrupt tree trustworthy (use vist fsck
+// -repair for that). Returns nil when the index is healthy afterwards.
+func (ix *Index) Heal() error {
+	d := ix.degraded.Load()
+	if d == nil {
+		return nil
+	}
+	if errors.Is(d.Cause, btree.ErrCorrupt) || errors.Is(d.Cause, ErrInvariantViolation) {
+		rep, err := ix.Check()
+		if err != nil {
+			return fmt.Errorf("core: heal: integrity check failed: %w", err)
+		}
+		if !rep.Ok() {
+			return fmt.Errorf("core: heal refused, index is still inconsistent (%s); rebuild with vist fsck -repair", rep.Problems[0])
+		}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	// Drop write-back errors recorded during the degraded window: the pages
+	// they cover are still dirty in the pool (a failed eviction keeps its
+	// victim), so the probe below re-flushes them — a fault that persists
+	// fails the probe with a fresh error, while a stale record must not.
+	for _, p := range ix.pagers {
+		_ = p.TakeRecordedError()
+	}
+	if err := ix.syncLocked(); err != nil {
+		return fmt.Errorf("core: heal probe failed, storage still unhealthy: %w", err)
+	}
+	// Clear exactly the degradation we verified against: if the scrubber
+	// degraded the index again concurrently, that newer failure must stick.
+	if ix.degraded.CompareAndSwap(d, nil) {
+		ix.qm.heals.Inc()
+		ix.qm.degradedGauge.Set(0)
+	}
+	return nil
+}

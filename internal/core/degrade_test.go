@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+	"testing"
+
+	"vist/internal/btree"
+	"vist/internal/xmltree"
+)
+
+// fillUntilENOSPC inserts documents until the injected disk fills up,
+// returning the IDs of acknowledged inserts and the failing error.
+func fillUntilENOSPC(t *testing.T, ix *Index) (ok []DocID, failErr error) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		n, perr := xmltree.ParseString(crashDoc(i))
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		id, err := ix.Insert(n)
+		if err == nil {
+			ok = append(ok, id)
+			if i%7 == 6 {
+				if err := ix.Sync(); err != nil {
+					return ok, err
+				}
+			}
+			continue
+		}
+		return ok, err
+	}
+	t.Fatal("500 inserts never hit the space budget; raise the workload or lower NoSpaceAfter")
+	return nil, nil
+}
+
+// TestInsertENOSPCDegradesAndHeals: a full disk flips the index into sticky
+// read-only degradation — writes fail fast with ErrReadOnly, queries keep
+// serving the last published snapshot — and once space is freed, Heal
+// restores write service without a reopen.
+func TestInsertENOSPCDegradesAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	plan := &btree.FaultPlan{NoSpaceAfter: 48 * 1024}
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, FS: btree.FaultFS{Plan: plan}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	ok, failErr := fillUntilENOSPC(t, ix)
+	if !errors.Is(failErr, syscall.ENOSPC) {
+		t.Fatalf("failing write error = %v, want ENOSPC", failErr)
+	}
+	if len(ok) == 0 {
+		t.Fatal("disk filled before any insert succeeded; budget too small for the test")
+	}
+
+	d := ix.Degraded()
+	if d == nil {
+		t.Fatal("index not degraded after ENOSPC write failure")
+	}
+	if !errors.Is(d, ErrReadOnly) || !errors.Is(d, syscall.ENOSPC) {
+		t.Fatalf("DegradedError = %v, want wraps ErrReadOnly and ENOSPC", d)
+	}
+
+	// Writes fail fast with the typed error; nothing further is attempted.
+	doc, _ := xmltree.ParseString(crashDoc(9999))
+	if _, err := ix.Insert(doc); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Insert while degraded = %v, want ErrReadOnly", err)
+	}
+	if err := ix.Delete(ok[0]); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete while degraded = %v, want ErrReadOnly", err)
+	}
+	if err := ix.Sync(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Sync while degraded = %v, want ErrReadOnly", err)
+	}
+
+	// Queries still serve the last published snapshot: every acknowledged
+	// insert is visible, the failed one is not.
+	ids, err := ix.Query("/purchase/seller")
+	if err != nil {
+		t.Fatalf("Query while degraded: %v", err)
+	}
+	if len(ids) != len(ok) {
+		t.Fatalf("degraded query sees %d docs, want the %d acknowledged", len(ids), len(ok))
+	}
+	for _, id := range ok {
+		if _, err := ix.Get(id); err != nil {
+			t.Fatalf("Get(%d) while degraded: %v", id, err)
+		}
+	}
+
+	// The disk is still full: Heal's probe commit must fail and leave the
+	// index degraded.
+	if err := ix.Heal(); err == nil {
+		t.Fatal("Heal succeeded on a still-full disk")
+	}
+	if ix.Degraded() == nil {
+		t.Fatal("failed Heal cleared the degradation")
+	}
+
+	// Free space; now Heal must verify, re-commit, and restore writes.
+	plan.AddSpace(1 << 20)
+	if err := ix.Heal(); err != nil {
+		t.Fatalf("Heal after AddSpace: %v", err)
+	}
+	if ix.Degraded() != nil {
+		t.Fatal("index still degraded after successful Heal")
+	}
+	id, err := ix.Insert(doc)
+	if err != nil {
+		t.Fatalf("Insert after Heal: %v", err)
+	}
+	if err := ix.Sync(); err != nil {
+		t.Fatalf("Sync after Heal: %v", err)
+	}
+	if _, err := ix.Get(id); err != nil {
+		t.Fatalf("Get after Heal: %v", err)
+	}
+	rep, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("index inconsistent after degrade/heal cycle: %v", rep.Problems)
+	}
+}
+
+// TestIndexENOSPCMatrix is the disk-full crash-matrix row: the space budget
+// runs out at (a sample of) every write boundary of a recorded workload.
+// Whatever the failure point, the process-lifetime guarantees hold — no
+// panic, queries keep working — and after a clean close and reopen the index
+// audits clean with every acknowledged commit intact.
+func TestIndexENOSPCMatrix(t *testing.T) {
+	recPlan := &btree.FaultPlan{}
+	_, recIdx := crashWorkload(t, t.TempDir(), btree.FaultFS{Plan: recPlan})
+	if recIdx == 0 {
+		t.Fatal("recording run committed nothing; workload broken")
+	}
+	points := crashSamplePoints(recPlan.WriteBoundaries(), 20)
+
+	for _, budget := range points {
+		if budget == 0 {
+			continue
+		}
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			dir := t.TempDir()
+			plan := &btree.FaultPlan{NoSpaceAfter: budget}
+			attempts, committedIdx := crashWorkload(t, dir, btree.FaultFS{Plan: plan})
+			// crashWorkload's deferred Close flushed the mirrors (an ENOSPC
+			// plan stays alive, unlike a killed one): reopen on the real
+			// filesystem and audit.
+			got := reopenAndAudit(t, dir)
+			if j := matchIDState(got, attempts); j < 0 {
+				t.Fatalf("recovered doc set %v matches no attempted commit", got)
+			} else if j < committedIdx {
+				t.Fatalf("recovered doc set is attempt %d, older than acknowledged commit %d: durability lost", j, committedIdx)
+			}
+		})
+	}
+}
+
+// TestDegradeUnderConcurrentQueries drives reader goroutines continuously
+// while the disk fills and the index flips into degraded mode. Run under
+// -race this pins the lock-free degradation handoff: queries never fail,
+// never block, and never observe a partially-applied mutation.
+func TestDegradeUnderConcurrentQueries(t *testing.T) {
+	dir := t.TempDir()
+	plan := &btree.FaultPlan{NoSpaceAfter: 48 * 1024}
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, FS: btree.FaultFS{Plan: plan}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := ix.Query("/purchase/seller"); err != nil {
+					t.Errorf("concurrent query failed during degradation: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	ok, failErr := fillUntilENOSPC(t, ix)
+	if !errors.Is(failErr, syscall.ENOSPC) {
+		t.Fatalf("failing write error = %v, want ENOSPC", failErr)
+	}
+	if ix.Degraded() == nil {
+		t.Fatal("index not degraded")
+	}
+	// Keep querying a little while degraded, then stop the readers.
+	ids, err := ix.Query("/purchase/seller")
+	if err != nil || len(ids) != len(ok) {
+		t.Fatalf("degraded query: ids=%d err=%v, want %d", len(ids), err, len(ok))
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestWALAutoCheckpoint: with WALMaxBytes set, a long unsynced insert burst
+// keeps the log bounded via automatic group commits, each counted in
+// wal.auto_checkpoints, and commits remain all-or-nothing (audit clean on
+// reopen).
+func TestWALAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	const maxWAL = 64 * 1024
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, WALMaxBytes: maxWAL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		n, perr := xmltree.ParseString(crashDoc(i))
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if _, err := ix.Insert(n); err != nil {
+			t.Fatal(err)
+		}
+		// The cap is checked at the top of each mutation, so the log may
+		// overshoot by at most one mutation's staging.
+		if sz := ix.wal.Size(); sz > maxWAL+64*1024 {
+			t.Fatalf("WAL grew to %d bytes despite %d cap", sz, maxWAL)
+		}
+	}
+	snap := ix.Metrics()
+	auto := snap.Counters["wal.auto_checkpoints"]
+	if auto == 0 {
+		t.Fatal("150 unsynced inserts triggered no auto-checkpoint")
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ids := reopenAndAudit(t, dir)
+	if len(ids) != 150 {
+		t.Fatalf("reopened index has %d docs, want 150", len(ids))
+	}
+}

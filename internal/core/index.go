@@ -101,6 +101,24 @@ type Options struct {
 	// when the timeout fires sees I/O errors from the closed pagers — the
 	// same failure mode as not draining at all, just bounded.
 	CloseDrainTimeout time.Duration
+	// WALMaxBytes bounds write-ahead-log growth between explicit Syncs: when
+	// a mutation finds the log larger than this, it group-commits the current
+	// state first (checkpointing and truncating the log) before mutating.
+	// The "wal.auto_checkpoints" counter tracks how often this fires. Zero
+	// means unbounded (only explicit Sync/Close truncate the log).
+	WALMaxBytes int64
+	// ScrubInterval, when positive, runs the online scrubber continuously in
+	// the background: full verification passes over every allocated page
+	// (CRC32C trailers, via the pinned published snapshot — writers are
+	// never blocked), separated by this much idle time between passes.
+	// Corruption degrades the index to read-only (see ErrReadOnly) instead
+	// of panicking. Zero disables the background scrubber; Scrub can still
+	// be called directly.
+	ScrubInterval time.Duration
+	// ScrubPagesPerSecond bounds the background scrubber's page-verification
+	// rate so a pass costs bounded I/O and mutex time. Zero selects
+	// DefaultScrubRate; negative means unthrottled.
+	ScrubPagesPerSecond int
 }
 
 // RecoveryInfo reports what Open found in the write-ahead log.
@@ -169,6 +187,19 @@ type Index struct {
 	pinMu  sync.Mutex
 	pins   map[uint64]int
 	closed bool
+
+	// degraded is the sticky read-only state (nil while healthy). Set once
+	// via CAS by the first write-path failure or scrub finding; read
+	// lock-free by every mutation entry point and by Degraded(). See
+	// degrade.go.
+	degraded atomic.Pointer[DegradedError]
+
+	// scrubStop/scrubDone manage the background scrubber goroutine started
+	// when Options.ScrubInterval is positive; Close signals stop before
+	// draining readers so a mid-pass scrub unpins promptly.
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+	scrubOnce sync.Once
 
 	// reg is the per-index metrics registry (nil when DisableMetrics); qm
 	// caches the query/insert metric handles resolved from it. Both are
@@ -324,6 +355,9 @@ func Open(dir string, opts Options) (*Index, error) {
 	ix.wal = wal
 	ix.pagers = pagers
 	ix.recovery = recovery
+	if opts.ScrubInterval > 0 {
+		ix.startScrubber()
+	}
 	return ix, nil
 }
 
@@ -429,11 +463,42 @@ func (ix *Index) trees() []*btree.BTree {
 
 // Sync persists metadata and flushes all trees. For a WAL-backed index the
 // whole Sync is one atomic commit: either every tree's new state (and the
-// metadata) survives a crash, or none of it does.
+// metadata) survives a crash, or none of it does. A failing Sync degrades
+// the index to read-only (ErrReadOnly): the commit that failed may sit
+// half-staged in the log, so no later mutation may build on it — queries
+// keep serving the last published snapshot, and Heal retries the commit
+// once the disk recovers.
 func (ix *Index) Sync() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	return ix.syncLocked()
+	if err := ix.failIfDegraded(); err != nil {
+		return err
+	}
+	if err := ix.syncLocked(); err != nil {
+		ix.degrade("sync", err)
+		return err
+	}
+	return nil
+}
+
+// maybeAutoCheckpointLocked bounds WAL growth (Options.WALMaxBytes): when
+// the log has outgrown the cap, the current state is group-committed —
+// checkpointing every staged page into the main files and truncating the
+// log — before the next mutation begins. It runs at the top of a mutation,
+// while pending == published, so the commit can never persist half of an
+// operation. A failure degrades the index and fails the mutation before it
+// touched anything.
+func (ix *Index) maybeAutoCheckpointLocked() error {
+	max := ix.opts.WALMaxBytes
+	if max <= 0 || ix.wal == nil || ix.wal.Size() <= max {
+		return nil
+	}
+	if err := ix.syncLocked(); err != nil {
+		ix.degrade("auto-checkpoint", err)
+		return err
+	}
+	ix.qm.autoCheckpoints.Inc()
+	return nil
 }
 
 func (ix *Index) syncLocked() error {
@@ -484,6 +549,7 @@ func (ix *Index) syncLocked() error {
 // the moment Close begins; queries already running are drained (waited for)
 // up to Options.CloseDrainTimeout before the files are closed under them.
 func (ix *Index) Close() error {
+	ix.stopScrubber()
 	ix.pinMu.Lock()
 	ix.closed = true
 	ix.pinMu.Unlock()

@@ -32,14 +32,35 @@ func (ix *Index) Insert(doc *xmltree.Node) (_ DocID, err error) {
 	if ix.frozen {
 		return 0, errFrozen
 	}
+	if err := ix.failIfDegraded(); err != nil {
+		return 0, err
+	}
+	if err := ix.maybeAutoCheckpointLocked(); err != nil {
+		return 0, err
+	}
 	// A failed insert must leave no trace: abandon the write window so its
-	// partial state can never be published (runs before the mu unlock).
+	// partial state can never be published (runs before the mu unlock). A
+	// storage-layer failure additionally degrades the index read-only —
+	// rollback restored the published state, but the disk can no longer be
+	// trusted with the next mutation.
 	defer func() {
 		if err != nil {
 			ix.rollbackLocked()
+			if degradeWorthy(err) {
+				ix.degrade("insert", err)
+			}
 		}
 	}()
 
+	return ix.insertDocLocked(doc)
+}
+
+// insertDocLocked is the body of Insert: normalize, sequence-encode, thread
+// the sequence into the virtual suffix tree, register and store the document
+// under ix.nextDoc, publish. Callers hold the exclusive lock and own the
+// failure protocol (rollback + degradation); the repair path reuses it to
+// re-insert salvaged documents under their original IDs.
+func (ix *Index) insertDocLocked(doc *xmltree.Node) (_ DocID, err error) {
 	xmltree.Normalize(doc, ix.schema)
 	s := seq.Encode(doc, ix.dict)
 	id := ix.nextDoc
@@ -246,7 +267,7 @@ func (ix *Index) borrow(path []pathEntry, s seq.Sequence, i int) (uint64, error)
 		}
 		return scopes[need-1].N, nil
 	}
-	return 0, fmt.Errorf("core: scope space exhausted: no ancestor reserve can hold %d labels", len(s))
+	return 0, fmt.Errorf("%w: no ancestor reserve can hold %d labels", ErrScopeExhausted, len(s))
 }
 
 // --- document store ----------------------------------------------------------
@@ -358,10 +379,20 @@ func (ix *Index) Delete(id DocID) (err error) {
 	if ix.opts.SkipDocumentStore {
 		return fmt.Errorf("core: Delete requires document storage (SkipDocumentStore is set)")
 	}
-	// As with Insert: a failed delete abandons its write window entirely.
+	if err := ix.failIfDegraded(); err != nil {
+		return err
+	}
+	if err := ix.maybeAutoCheckpointLocked(); err != nil {
+		return err
+	}
+	// As with Insert: a failed delete abandons its write window entirely,
+	// and a storage-layer failure degrades the index read-only.
 	defer func() {
 		if err != nil {
 			ix.rollbackLocked()
+			if degradeWorthy(err) {
+				ix.degrade("delete", err)
+			}
 		}
 	}()
 	doc, last, err := ix.loadDoc(id)

@@ -34,6 +34,17 @@ type queryMetrics struct {
 	// MVCC state: epochGauge tracks the last published version number;
 	// pinnedReaders tracks queries currently pinned to some snapshot.
 	epochGauge, pinnedReaders *obs.Gauge
+
+	// Failure containment: degradations counts write-path failures that
+	// flipped the index read-only, heals counts successful Heal()s, and
+	// degradedGauge is 1 while degraded. autoCheckpoints counts WAL
+	// size-triggered group commits (Options.WALMaxBytes).
+	degradations, heals, autoCheckpoints *obs.Counter
+	degradedGauge                        *obs.Gauge
+
+	// Online scrubber progress and findings (scrub.go).
+	scrubPasses, scrubPages, scrubCorrupt, scrubInvariant *obs.Counter
+	scrubRunning                                          *obs.Gauge
 }
 
 func newQueryMetrics(r *obs.Registry) queryMetrics {
@@ -58,6 +69,17 @@ func newQueryMetrics(r *obs.Registry) queryMetrics {
 		insertLatency: r.Histogram("index.insert_seconds", obs.DurationBounds),
 		epochGauge:    r.Gauge("index.epoch"),
 		pinnedReaders: r.Gauge("index.pinned_readers"),
+
+		degradations:    r.Counter("index.degradations"),
+		heals:           r.Counter("index.heals"),
+		autoCheckpoints: r.Counter("wal.auto_checkpoints"),
+		degradedGauge:   r.Gauge("index.degraded"),
+
+		scrubPasses:    r.Counter("scrub.passes"),
+		scrubPages:     r.Counter("scrub.pages_verified"),
+		scrubCorrupt:   r.Counter("scrub.corrupt_pages"),
+		scrubInvariant: r.Counter("scrub.invariant_violations"),
+		scrubRunning:   r.Gauge("scrub.running"),
 	}
 }
 

@@ -347,9 +347,16 @@ func (ix *Index) loadSynopsis(existing bool) error {
 // scan loadSynopsis uses for migration). Check compares it with the
 // maintained one.
 func (ix *Index) rebuildSynopsis() (*plan.Synopsis, error) {
+	return rebuildSynopsisFrom(ix.nodes)
+}
+
+// rebuildSynopsisFrom recomputes the synopsis from any scannable node
+// table: the writer-side tree (Check, under ix.mu) or a pinned snapshot's
+// (CheckSnapshot, lock-free).
+func rebuildSynopsisFrom(nodes scanner) (*plan.Synopsis, error) {
 	sy := plan.NewSynopsis()
 	path := make([]seq.Symbol, 0, MaxDepth)
-	err := ix.nodes.Scan(nil, nil, func(k, v []byte) (bool, error) {
+	err := nodes.Scan(nil, nil, func(k, v []byte) (bool, error) {
 		da, _, err := splitNodeKey(k)
 		if err != nil {
 			return false, err

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vist/internal/btree"
+	"vist/internal/xmltree"
+)
+
+// indexFileNames are the four tree files inside an index directory, in WAL
+// file-ID order (ID = position + 1).
+var indexFileNames = []string{"nodes.db", "docs.db", "store.db", "aux.db"}
+
+// FsckReport is the result of an offline verification pass.
+type FsckReport struct {
+	// Recovery reports what opening the index found in the write-ahead log.
+	Recovery RecoveryInfo
+	// Scrub is the full-speed page sweep: every allocated page of every
+	// tree file, CRC32C-verified.
+	Scrub *ScrubReport
+	// Structure is the invariant scan (Check): scope nesting, refcounts,
+	// synopsis agreement, version bookkeeping.
+	Structure *CheckReport
+	// Docs counts stored documents that decoded cleanly; Unreadable lists
+	// those that did not (capped at 100 entries).
+	Docs       int
+	Unreadable []string
+}
+
+// Ok reports whether verification found nothing wrong.
+func (r *FsckReport) Ok() bool {
+	return r.Scrub.Ok() && r.Structure.Ok() && len(r.Unreadable) == 0
+}
+
+// Fsck verifies an index directory offline: WAL recovery (as any Open),
+// then an unthrottled scrub of every page, the full structural invariant
+// scan, and a decode of every stored document. The index files are not
+// modified beyond what WAL recovery itself applies. An index too damaged
+// to open at all makes Fsck return an error — Repair is the next step.
+func Fsck(dir string, opts Options) (*FsckReport, error) {
+	opts.ScrubInterval = 0 // one explicit pass, no background loop
+	ix, err := Open(dir, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: fsck: %w", err)
+	}
+	defer ix.Close()
+	report := &FsckReport{Recovery: ix.Recovery()}
+	if report.Scrub, err = ix.Scrub(context.Background(), ScrubOptions{PagesPerSecond: -1}); err != nil {
+		return nil, err
+	}
+	if report.Structure, err = ix.Check(); err != nil {
+		// The scan itself died (corrupt interior page): that is a finding,
+		// not an fsck failure.
+		report.Structure = &CheckReport{}
+		report.Structure.problemf("structural scan aborted: %v", err)
+	}
+	if !opts.SkipDocumentStore {
+		snap, err := ix.pin()
+		if err != nil {
+			return nil, err
+		}
+		var ids []DocID
+		scanErr := snap.store.Scan(nil, nil, func(k, v []byte) (bool, error) {
+			if len(k) == 12 && binary.BigEndian.Uint32(k[8:12]) == 0 {
+				ids = append(ids, DocID(binary.BigEndian.Uint64(k[:8])))
+			}
+			return true, nil
+		})
+		if scanErr != nil {
+			report.Unreadable = append(report.Unreadable, fmt.Sprintf("document store scan aborted: %v", scanErr))
+		}
+		for _, id := range ids {
+			if _, _, err := loadDocFrom(snap.store, id); err != nil {
+				if len(report.Unreadable) < 100 {
+					report.Unreadable = append(report.Unreadable, fmt.Sprintf("doc %d: %v", id, err))
+				}
+				continue
+			}
+			report.Docs++
+		}
+		ix.unpin(snap)
+	}
+	return report, nil
+}
+
+// RepairReport is the result of Repair.
+type RepairReport struct {
+	// DocsSalvaged counts documents recovered from the store and re-indexed
+	// under their original IDs.
+	DocsSalvaged int
+	// DocsLost lists documents whose stored bytes were found but could not
+	// be assembled or decoded. Documents whose chunks sat entirely inside
+	// corrupt subtrees are not listed — they are simply absent.
+	DocsLost []DocID
+	// SkippedSubtrees counts store-tree pages the salvage scan had to skip
+	// as corrupt (each prunes the subtree below it).
+	SkippedSubtrees int
+	// Notes records non-fatal trouble (unreadable WAL, failed replay, …).
+	Notes []string
+	// BackupDir is where the pre-repair index directory was moved.
+	BackupDir string
+}
+
+// Repair rebuilds an index from whatever survives of its document store.
+// The node, DocId, and aux trees — and the path synopsis — are all derived
+// from the stored documents, so a rebuild from the store alone restores a
+// fully consistent index; the store tree is the one unrecoverable file (a
+// destroyed store.db meta page means total loss, and Repair says so).
+//
+// The sequence: best-effort WAL recovery into the existing files; a
+// fault-tolerant salvage scan of the store tree (corrupt subtrees are
+// skipped, partially-readable documents dropped); a fresh index built in
+// dir+".repair.tmp" with every salvaged document re-inserted under its
+// original DocID; then an atomic-as-the-filesystem-allows swap — the old
+// directory is renamed to dir+".pre-repair" (kept, never deleted) and the
+// rebuilt one takes its place. A crash mid-swap leaves both directories on
+// disk under their temporary names; nothing is destroyed.
+func Repair(dir string, opts Options) (*RepairReport, error) {
+	if opts.SkipDocumentStore {
+		return nil, fmt.Errorf("core: repair needs the document store (SkipDocumentStore is set)")
+	}
+	ps := opts.PageSize
+	if ps == 0 {
+		ps = btree.DefaultPageSize
+	}
+	report := &RepairReport{}
+	note := func(format string, args ...interface{}) {
+		report.Notes = append(report.Notes, fmt.Sprintf(format, args...))
+	}
+
+	// Phase 1 — best-effort WAL recovery: a committed tail may hold the only
+	// durable copy of store pages. Failures here cost at most that tail.
+	walPath := filepath.Join(dir, walFileName)
+	if st, err := os.Stat(walPath); err == nil && st.Size() > 0 && !opts.DisableWAL {
+		recoverWAL(dir, walPath, ps, opts, note)
+	}
+
+	// Phase 2 — salvage documents from the store tree. The pager opens
+	// without the WAL: recovery (if any) already materialized the committed
+	// state into the file.
+	storePg, err := btree.OpenFilePagerOpts(filepath.Join(dir, "store.db"), ps,
+		btree.PagerOptions{CachePages: opts.CachePages, FS: opts.FS})
+	if err != nil {
+		return nil, fmt.Errorf("core: repair: document store unopenable, nothing to rebuild from: %w", err)
+	}
+	storeTree, err := btree.New(storePg, btree.Options{PageSize: ps})
+	if err != nil {
+		storePg.Close()
+		return nil, fmt.Errorf("core: repair: document store meta page unreadable, all documents lost: %w", err)
+	}
+	docs, lost, skipped, err := salvageDocs(storeTree)
+	storeTree.Close()
+	if err != nil {
+		return nil, err
+	}
+	report.DocsLost = lost
+	report.SkippedSubtrees = skipped
+
+	// Phase 3 — rebuild. Every tree and the synopsis re-derive from the
+	// documents; original DocIDs are preserved so external references
+	// survive the repair.
+	tmp := dir + ".repair.tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return nil, err
+	}
+	bopts := opts
+	bopts.ScrubInterval = 0
+	nix, err := Open(tmp, bopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: repair: building replacement index: %w", err)
+	}
+	for _, d := range docs {
+		if err := nix.insertAs(d.id, d.doc); err != nil {
+			nix.Close()
+			return nil, fmt.Errorf("core: repair: re-inserting doc %d: %w", d.id, err)
+		}
+		report.DocsSalvaged++
+	}
+	if err := nix.Close(); err != nil {
+		return nil, fmt.Errorf("core: repair: persisting replacement index: %w", err)
+	}
+
+	// Phase 4 — swap. Two renames; the backup survives regardless.
+	backup := dir + ".pre-repair"
+	if err := os.RemoveAll(backup); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(dir, backup); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		// Put the original back rather than leave no index at dir.
+		if rerr := os.Rename(backup, dir); rerr != nil {
+			return nil, fmt.Errorf("core: repair: swap failed (%v) and restore failed (%v); index is at %s, rebuild at %s", err, rerr, backup, tmp)
+		}
+		return nil, err
+	}
+	report.BackupDir = backup
+	return report, nil
+}
+
+// recoverWAL replays the committed WAL tail into the four tree files, best
+// effort: any failure is noted and recovery is abandoned (the files keep
+// their pre-replay state).
+func recoverWAL(dir, walPath string, ps int, opts Options, note func(string, ...interface{})) {
+	wal, err := btree.OpenWAL(walPath, opts.FS)
+	if err != nil {
+		note("write-ahead log unreadable, committed tail lost: %v", err)
+		return
+	}
+	defer wal.Close()
+	var pagers []*btree.FilePager
+	defer func() {
+		for _, p := range pagers {
+			p.Close()
+		}
+	}()
+	for i, name := range indexFileNames {
+		pg, err := btree.OpenFilePagerOpts(filepath.Join(dir, name), ps,
+			btree.PagerOptions{WAL: wal, WALFileID: uint8(i + 1), FS: opts.FS})
+		if err != nil {
+			note("%s unopenable, WAL replay skipped: %v", name, err)
+			return
+		}
+		pagers = append(pagers, pg)
+	}
+	if _, err := wal.Recover(); err != nil {
+		note("WAL replay failed, continuing with file state: %v", err)
+	}
+}
+
+// salvagedDoc is one document recovered from the store tree.
+type salvagedDoc struct {
+	id  DocID
+	doc *xmltree.Node
+}
+
+// salvageDocs walks the store tree fault-tolerantly and reassembles every
+// document whose chunks all survived, in DocID order. Documents that are
+// partially present (missing or out-of-order chunks, truncated header,
+// undecodable bytes) are reported in lost.
+func salvageDocs(store *btree.BTree) (docs []salvagedDoc, lost []DocID, skipped int, err error) {
+	var (
+		curID   DocID
+		have    bool
+		nchunks uint32
+		next    uint32
+		bad     bool
+		data    []byte
+	)
+	finalize := func() {
+		if !have {
+			return
+		}
+		if bad || nchunks == 0 || next != nchunks {
+			lost = append(lost, curID)
+			return
+		}
+		doc, derr := xmltree.Decode(data)
+		if derr != nil {
+			lost = append(lost, curID)
+			return
+		}
+		docs = append(docs, salvagedDoc{id: curID, doc: doc})
+	}
+	skipped, err = store.SalvageScan(func(k, v []byte) (bool, error) {
+		if len(k) != 12 {
+			return true, nil // not a store chunk key; ignore
+		}
+		id := DocID(binary.BigEndian.Uint64(k[:8]))
+		chunk := binary.BigEndian.Uint32(k[8:12])
+		if !have || id != curID {
+			finalize()
+			curID, have = id, true
+			nchunks, next, bad, data = 0, 0, false, nil
+		}
+		switch {
+		case bad:
+		case chunk == 0:
+			if len(v) < 12 {
+				bad = true
+				break
+			}
+			nchunks = binary.BigEndian.Uint32(v[8:12])
+			data = append(data, v[12:]...)
+			next = 1
+		case chunk != next || nchunks == 0:
+			bad = true // chunk 0 lost to a skipped subtree, or a gap
+		default:
+			data = append(data, v...)
+			next++
+		}
+		return true, nil
+	})
+	finalize()
+	if err != nil {
+		return nil, nil, skipped, err
+	}
+	return docs, lost, skipped, nil
+}
+
+// insertAs inserts a document under a caller-chosen DocID. IDs must arrive
+// in ascending order (the salvage scan yields them sorted); nextDoc ends up
+// past the highest ID, so post-repair inserts never collide.
+func (ix *Index) insertAs(id DocID, doc *xmltree.Node) (err error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id < ix.nextDoc {
+		return fmt.Errorf("core: insertAs %d: IDs must be ascending (next is %d)", id, ix.nextDoc)
+	}
+	if err := ix.failIfDegraded(); err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			ix.rollbackLocked()
+			if degradeWorthy(err) {
+				ix.degrade("repair-insert", err)
+			}
+		}
+	}()
+	ix.nextDoc = id
+	ix.metaDirty = true
+	_, err = ix.insertDocLocked(doc)
+	return err
+}

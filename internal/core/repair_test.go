@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vist/internal/naive"
+	"vist/internal/xmltree"
+)
+
+// repairStride is the on-disk footprint of one page at PageSize 512 (page
+// body plus the CRC trailer), used to aim corruption at page boundaries.
+const repairStride = 512 + 8
+
+// buildRepairIndex creates a synced 512-byte-page index at dir holding xmls
+// and closes it cleanly, returning the assigned DocIDs.
+func buildRepairIndex(t testing.TB, dir string, xmls []string) []DocID {
+	t.Helper()
+	ix, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := insertXML(t, ix, xmls...)
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// corruptFilePages overwrites bytes in the middle of the given on-disk
+// pages, behind any pager's back. Pages past EOF are ignored.
+func corruptFilePages(t testing.TB, path string, pages ...int) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages {
+		off := int64(p)*repairStride + 19
+		if off >= st.Size() {
+			continue
+		}
+		if _, err := f.WriteAt([]byte("xx-bitrot-xx-bitrot-xx"), off); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// filePages reports how many on-disk pages path holds at PageSize 512.
+func filePages(t testing.TB, path string) int {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(st.Size() / repairStride)
+}
+
+// repairDiffExprs are the fixed query shapes the differential oracle runs:
+// rooted, descendant, wildcard, and value-predicate paths.
+func repairDiffExprs() []string {
+	return []string{
+		"/r", "/r/a", "/r/a/b", "//b", "/r//c", "//a//b",
+		"/r/*", "//*", "//b[text()='x']", "/q/z",
+	}
+}
+
+// compareRepairedToNaive checks that the repaired index answers every oracle
+// query with exactly the naive matcher's result set restricted to documents
+// that survived the repair. ids/nIDs are the original parallel ID slices.
+func compareRepairedToNaive(t *testing.T, ix *Index, nv *naive.Index, ids []DocID, nIDs []uint64) {
+	t.Helper()
+	alive := map[int]bool{}
+	for i, id := range ids {
+		if _, err := ix.Get(id); err == nil {
+			alive[i] = true
+		}
+	}
+	for _, expr := range repairDiffExprs() {
+		got, err := ix.Query(expr)
+		if err != nil {
+			t.Fatalf("%s on repaired index: %v", expr, err)
+		}
+		want, err := nv.Query(expr)
+		if err != nil {
+			t.Fatalf("%s naive: %v", expr, err)
+		}
+		gotPos := docPositions(t, got, ids)
+		wantPos := []int{}
+		for _, p := range docPositionsU(t, want, nIDs) {
+			if alive[p] {
+				wantPos = append(wantPos, p)
+			}
+		}
+		if !reflect.DeepEqual(gotPos, wantPos) {
+			t.Errorf("%s: repaired=%v naive(surviving)=%v", expr, gotPos, wantPos)
+		}
+	}
+}
+
+// naiveOracle inserts xmls into a fresh naive matcher and returns it with
+// its assigned IDs (parallel to the core index's).
+func naiveOracle(t testing.TB, xmls []string) (*naive.Index, []uint64) {
+	t.Helper()
+	nv := naive.New(nil)
+	nIDs := make([]uint64, len(xmls))
+	for i, x := range xmls {
+		n, err := xmltree.ParseString(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nIDs[i] = nv.Insert(n)
+	}
+	return nv, nIDs
+}
+
+// TestRepairDifferential: with the derived trees (nodes, docs) corrupted —
+// including their meta pages — but the document store intact, Repair
+// rebuilds a fully consistent index whose query results match the naive
+// Algorithm 1 matcher exactly, under the original DocIDs.
+func TestRepairDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xmls := randomDiffXML(rng, 40)
+	dir := filepath.Join(t.TempDir(), "idx")
+	ids := buildRepairIndex(t, dir, xmls)
+	nv, nIDs := naiveOracle(t, xmls)
+
+	nodes := filepath.Join(dir, "nodes.db")
+	np := filePages(t, nodes)
+	corruptFilePages(t, nodes, 0, 1, np/3, np/2, np-1)
+	corruptFilePages(t, filepath.Join(dir, "docs.db"), 1)
+
+	rep, err := Repair(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if rep.DocsSalvaged != len(xmls) || len(rep.DocsLost) != 0 {
+		t.Fatalf("store was intact, yet salvaged=%d lost=%v of %d docs",
+			rep.DocsSalvaged, rep.DocsLost, len(xmls))
+	}
+	if _, err := os.Stat(rep.BackupDir); err != nil {
+		t.Fatalf("pre-repair backup missing: %v", err)
+	}
+
+	frep, err := Fsck(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatalf("fsck after repair: %v", err)
+	}
+	if !frep.Ok() {
+		t.Fatalf("repaired index fails fsck: corrupt=%v structure=%v unreadable=%v",
+			frep.Scrub.Corrupt, frep.Structure.Problems, frep.Unreadable)
+	}
+
+	ix, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	compareRepairedToNaive(t, ix, nv, ids, nIDs)
+}
+
+// TestRepairPreservesDocIDs: documents keep their original IDs across a
+// repair — including around deletion gaps — and the next insert continues
+// past the highest salvaged ID rather than reusing one.
+func TestRepairPreservesDocIDs(t *testing.T) {
+	xmls := make([]string, 12)
+	for i := range xmls {
+		xmls[i] = crashDoc(i)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+
+	ix, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := insertXML(t, ix, xmls...)
+	for _, j := range []int{3, 7} {
+		if err := ix.Delete(ids[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Repair(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if rep.DocsSalvaged != 10 {
+		t.Fatalf("salvaged %d docs, want the 10 not deleted", rep.DocsSalvaged)
+	}
+
+	ix2, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	for j, id := range ids {
+		_, err := ix2.Get(id)
+		if j == 3 || j == 7 {
+			if !errors.Is(err, ErrDocNotFound) {
+				t.Fatalf("deleted doc %d resurrected by repair: err=%v", id, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Get(%d) after repair: %v", id, err)
+		}
+	}
+	doc, _ := xmltree.ParseString(crashDoc(100))
+	newID, err := ix2.Insert(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= ids[len(ids)-1] {
+		t.Fatalf("post-repair insert got ID %d, must exceed salvaged max %d", newID, ids[len(ids)-1])
+	}
+}
+
+// TestRepairLossyStore: corruption inside the document store itself makes
+// the repair lossy, never fatal — surviving documents come back in a
+// consistent, fully queryable index, and the damage is reported.
+func TestRepairLossyStore(t *testing.T) {
+	xmls := make([]string, 40)
+	for i := range xmls {
+		xmls[i] = crashDoc(i)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	buildRepairIndex(t, dir, xmls)
+
+	// Pages 2..8 of the store: past the meta page, across early leaves.
+	corruptFilePages(t, filepath.Join(dir, "store.db"), 2, 3, 4, 5, 6, 7, 8)
+
+	rep, err := Repair(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatalf("lossy repair must still succeed: %v", err)
+	}
+	if rep.DocsSalvaged >= len(xmls) {
+		t.Fatalf("salvaged %d of %d docs despite 7 corrupted store pages", rep.DocsSalvaged, len(xmls))
+	}
+	if rep.SkippedSubtrees == 0 && len(rep.DocsLost) == 0 {
+		t.Fatal("lossy repair reported no skipped subtrees and no lost docs")
+	}
+
+	ix, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	crep, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crep.Ok() {
+		t.Fatalf("repaired index inconsistent: %v", crep.Problems)
+	}
+	got, err := ix.Query("/purchase/seller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != rep.DocsSalvaged {
+		t.Fatalf("query sees %d docs, repair salvaged %d", len(got), rep.DocsSalvaged)
+	}
+}
+
+// FuzzRepair corrupts a fuzzer-chosen set of pages across all four tree
+// files, runs Repair, and requires (a) no panic, (b) a consistent repaired
+// index, and (c) query results equal to the naive matcher on every
+// surviving document. The store meta page is spared: its loss is the
+// documented total-loss error, not an interesting path.
+func FuzzRepair(f *testing.F) {
+	f.Add(uint64(1), uint64(0x5555))
+	f.Add(uint64(7), uint64(0))
+	f.Add(uint64(13), uint64(0xffffffff))
+	f.Add(uint64(99), uint64(1)<<63|0xf0f0)
+	f.Fuzz(func(t *testing.T, seed, mask uint64) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		xmls := randomDiffXML(rng, 12+int(seed%8))
+		dir := filepath.Join(t.TempDir(), "idx")
+		ids := buildRepairIndex(t, dir, xmls)
+		nv, nIDs := naiveOracle(t, xmls)
+
+		bit := uint(0)
+		for _, name := range indexFileNames {
+			path := filepath.Join(dir, name)
+			n := filePages(t, path)
+			for p := 0; p < n && bit < 64; p++ {
+				if name == "store.db" && p == 0 {
+					continue
+				}
+				if mask>>bit&1 == 1 {
+					corruptFilePages(t, path, p)
+				}
+				bit++
+			}
+		}
+
+		rep, err := Repair(dir, Options{PageSize: 512})
+		if err != nil {
+			t.Fatalf("repair must contain damage, not fail: %v", err)
+		}
+		ix, err := Open(dir, Options{PageSize: 512})
+		if err != nil {
+			t.Fatalf("repaired index unopenable: %v", err)
+		}
+		defer ix.Close()
+		crep, err := ix.Check()
+		if err != nil {
+			t.Fatalf("Check on repaired index: %v", err)
+		}
+		if !crep.Ok() {
+			t.Fatalf("repaired index inconsistent (salvaged=%d lost=%v): %v",
+				rep.DocsSalvaged, rep.DocsLost, crep.Problems)
+		}
+		compareRepairedToNaive(t, ix, nv, ids, nIDs)
+	})
+}

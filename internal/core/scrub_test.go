@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vist/internal/btree"
+	"vist/internal/xmltree"
+)
+
+// scrubIndex builds a small synced file-backed index for scrubbing tests.
+func scrubIndex(t *testing.T, dir string, opts Options, docs int) *Index {
+	t.Helper()
+	if opts.PageSize == 0 {
+		opts.PageSize = 512
+	}
+	ix, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < docs; i++ {
+		n, perr := xmltree.ParseString(crashDoc(i))
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if _, err := ix.Insert(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestScrubCleanPass: a healthy synced index scrubs clean, covering every
+// flushed page and the structural invariants, and records its progress in
+// the scrub.* metrics.
+func TestScrubCleanPass(t *testing.T) {
+	ix := scrubIndex(t, t.TempDir(), Options{}, 25)
+	defer ix.Close()
+	rep, err := ix.Scrub(context.Background(), ScrubOptions{PagesPerSecond: -1, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean index scrub found: corrupt=%v invariants=%v", rep.Corrupt, rep.InvariantProblems)
+	}
+	if rep.PagesChecked == 0 {
+		t.Fatal("scrub verified no pages on a synced index")
+	}
+	m := ix.Metrics()
+	if m.Counters["scrub.passes"] != 1 {
+		t.Fatalf("scrub.passes = %d, want 1", m.Counters["scrub.passes"])
+	}
+	if int(m.Counters["scrub.pages_verified"]) != rep.PagesChecked {
+		t.Fatalf("scrub.pages_verified = %d, report says %d", m.Counters["scrub.pages_verified"], rep.PagesChecked)
+	}
+	if m.Counters["scrub.corrupt_pages"] != 0 || ix.Degraded() != nil {
+		t.Fatal("clean pass degraded the index")
+	}
+}
+
+// TestScrubDetectsCorruptionAndDegrades: a byte flip on disk behind the
+// index's back is found by the next scrub pass, which degrades the index
+// read-only (never panics) while queries keep serving the pinned snapshot.
+func TestScrubDetectsCorruptionAndDegrades(t *testing.T) {
+	dir := t.TempDir()
+	ix := scrubIndex(t, dir, Options{}, 25)
+	defer ix.Close()
+
+	// Flip bytes in nodes.db page 1, bypassing the pager.
+	const diskPage = 512 + 8
+	raw, err := os.OpenFile(filepath.Join(dir, "nodes.db"), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.WriteAt([]byte("bitrot!"), diskPage+77); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	rep, err := ix.Scrub(context.Background(), ScrubOptions{PagesPerSecond: -1})
+	if err != nil {
+		t.Fatalf("scrub must contain corruption, not fail: %v", err)
+	}
+	if len(rep.Corrupt) == 0 {
+		t.Fatal("scrub missed the flipped page")
+	}
+	d := ix.Degraded()
+	if d == nil {
+		t.Fatal("corruption finding did not degrade the index")
+	}
+	if d.Op != "scrub" || !errors.Is(d, ErrReadOnly) || !errors.Is(d, btree.ErrCorrupt) {
+		t.Fatalf("DegradedError = %v (op %q), want scrub ErrCorrupt wrapped in ErrReadOnly", d, d.Op)
+	}
+	if m := ix.Metrics(); m.Counters["scrub.corrupt_pages"] == 0 {
+		t.Fatal("scrub.corrupt_pages not bumped")
+	}
+
+	// Writes fail fast; Heal refuses while the tree is corrupt on disk.
+	doc, _ := xmltree.ParseString(crashDoc(999))
+	if _, err := ix.Insert(doc); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Insert after scrub degradation = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestScrubRateBound: the pages-per-second throttle actually paces a pass,
+// and the unthrottled mode does not.
+func TestScrubRateBound(t *testing.T) {
+	ix := scrubIndex(t, t.TempDir(), Options{}, 60)
+	defer ix.Close()
+	fast, err := ix.Scrub(context.Background(), ScrubOptions{PagesPerSecond: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.PagesChecked < 64 {
+		t.Skipf("index too small to pace (%d pages)", fast.PagesChecked)
+	}
+	// At 320 pages/sec, a pass over >=64 pages must take >= ~(checked-32)/320
+	// seconds (pacing is checked every 32 pages).
+	slow, err := ix.Scrub(context.Background(), ScrubOptions{PagesPerSecond: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := time.Duration(slow.PagesChecked-32) * time.Second / 320
+	if slow.Duration < min/2 {
+		t.Fatalf("throttled pass over %d pages took %v, want >= %v", slow.PagesChecked, slow.Duration, min/2)
+	}
+	if fast.Duration > slow.Duration {
+		t.Fatalf("unthrottled pass (%v) slower than throttled (%v)", fast.Duration, slow.Duration)
+	}
+}
+
+// TestBackgroundScrubber: Options.ScrubInterval runs passes continuously in
+// the background — visible through the metrics — concurrently with queries
+// and mutations, and Close stops the loop promptly.
+func TestBackgroundScrubber(t *testing.T) {
+	dir := t.TempDir()
+	ix := scrubIndex(t, dir, Options{ScrubInterval: 5 * time.Millisecond}, 25)
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if ix.Metrics().Counters["scrub.passes"] >= 2 {
+			break
+		}
+		// The index stays fully usable while scrubbing.
+		if _, err := ix.Query("/purchase/seller"); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background scrubber completed no passes in 5s")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if ix.Degraded() != nil {
+		t.Fatalf("background scrub degraded a healthy index: %v", ix.Degraded())
+	}
+	start := time.Now()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Close with a live scrubber took %v", d)
+	}
+}
