@@ -384,6 +384,35 @@ func BenchmarkQueryUnplanned(b *testing.B) {
 	}
 }
 
+// BenchmarkStorageBytesPerDoc builds a file-backed index over 1000 DBLP
+// records and reports its on-disk footprint per document (index structure
+// only — the document store holds raw input bytes the storage format cannot
+// shrink, so it would only dilute the signal). The figure feeds the CI
+// regression gate as a custom bytes/doc metric: a change that bloats the
+// storage format fails the gate even if it costs no time.
+func BenchmarkStorageBytesPerDoc(b *testing.B) {
+	docs := gen.DBLP(gen.DBLPConfig{Records: 1000, Seed: 12})
+	for i := 0; i < b.N; i++ {
+		ix, err := core.Open(b.TempDir(), core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range docs {
+			if _, err := ix.Insert(d.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ix.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		st := ix.StorageStats()
+		if err := ix.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.BytesPerDoc, "bytes/doc")
+	}
+}
+
 // BenchmarkInsert measures single-document insert latency on a warm index.
 func BenchmarkInsert(b *testing.B) {
 	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4})

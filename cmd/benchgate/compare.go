@@ -12,29 +12,55 @@ import (
 )
 
 // Baseline is the committed reference file (BENCH_BASELINE.json at the repo
-// root). Medians of ns/op per benchmark, with the sample count recorded so a
+// root). Medians per benchmark metric, with the sample count recorded so a
 // reader can judge how trustworthy each figure is.
 type Baseline struct {
 	Generated  string           `json:"generated"`
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
+// Entry holds one gated figure. The value field keeps its historical
+// "ns_per_op" JSON name for baseline compatibility, but for custom metrics
+// (Unit != "") it is that metric's median — e.g. bytes/doc — not a time.
 type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	Samples int     `json:"samples"`
+	Unit    string  `json:"unit,omitempty"`
 }
 
 // benchLine matches standard testing-package benchmark output, e.g.
 //
 //	BenchmarkQuery-8   	     100	  12005463 ns/op
 //	BenchmarkInsert    	    5000	    240531 ns/op	  1024 B/op	  12 allocs/op
+//	BenchmarkStorage   	       1	   9912345 ns/op	   532.1 bytes/doc
 //
-// Only ns/op is kept; the GOMAXPROCS suffix is stripped so results stay
-// comparable across machines.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+// The remainder of the line is parsed as (value, unit) pairs so custom
+// b.ReportMetric figures gate alongside ns/op. The GOMAXPROCS suffix is
+// stripped so results stay comparable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.+)$`)
 
-// parseBench collects every ns/op sample per (suffix-stripped) benchmark name
-// from go test -bench output. Repetitions from -count N land in the same slice.
+// metricKey names one gated figure in the results and baseline maps: the bare
+// benchmark name for ns/op, "Name [unit]" for custom metrics.
+func metricKey(bench, unit string) string {
+	if unit == "ns/op" {
+		return bench
+	}
+	return bench + " [" + unit + "]"
+}
+
+// unitOf recovers the unit from a metric key ("ns/op" for bare names).
+func unitOf(key string) string {
+	if i := strings.LastIndex(key, " ["); i >= 0 && strings.HasSuffix(key, "]") {
+		return key[i+2 : len(key)-1]
+	}
+	return "ns/op"
+}
+
+// parseBench collects every metric sample per (suffix-stripped) benchmark name
+// from go test -bench output. Repetitions from -count N land in the same
+// slice. ns/op keeps the bare benchmark name; custom b.ReportMetric units are
+// keyed "Name [unit]". The -benchmem figures (B/op, allocs/op) are skipped —
+// they are per-iteration noise, not gated metrics.
 func parseBench(r io.Reader) (map[string][]float64, error) {
 	out := map[string][]float64{}
 	sc := bufio.NewScanner(r)
@@ -45,17 +71,25 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 			continue
 		}
 		name := stripProcs(m[1])
-		v, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			unit := fields[i+1]
+			if unit == "B/op" || unit == "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			// A zero, NaN, or infinite sample means the bench output is
+			// corrupt (a benchmark cannot take no time, and a zero custom
+			// metric reports nothing worth gating); letting it through would
+			// poison the median and silently disable the gate.
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("line %q: invalid %s sample %v", sc.Text(), unit, v)
+			}
+			out[metricKey(name, unit)] = append(out[metricKey(name, unit)], v)
 		}
-		// A zero, NaN, or infinite sample means the bench output is corrupt
-		// (a benchmark cannot take no time); letting it through would poison
-		// the median and silently disable the gate for this benchmark.
-		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("line %q: invalid ns/op sample %v", sc.Text(), v)
-		}
-		out[name] = append(out[name], v)
 	}
 	return out, sc.Err()
 }
@@ -66,7 +100,7 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 func (b Baseline) validate() error {
 	for name, e := range b.Benchmarks {
 		if e.NsPerOp <= 0 || math.IsNaN(e.NsPerOp) || math.IsInf(e.NsPerOp, 0) {
-			return fmt.Errorf("baseline entry %s: invalid ns_per_op %v", name, e.NsPerOp)
+			return fmt.Errorf("baseline entry %s: invalid value %v", name, e.NsPerOp)
 		}
 		if e.Samples <= 0 {
 			return fmt.Errorf("baseline entry %s: invalid sample count %d", name, e.Samples)
@@ -102,11 +136,12 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// Row is one benchmark's comparison outcome.
+// Row is one benchmark metric's comparison outcome.
 type Row struct {
 	Name     string
-	Base     float64 // baseline median ns/op (0 = not in baseline)
-	New      float64 // current median ns/op (0 = not in current run)
+	Unit     string  // "ns/op" or a custom b.ReportMetric unit
+	Base     float64 // baseline median (0 = not in baseline)
+	New      float64 // current median (0 = not in current run)
 	DeltaPct float64 // (New-Base)/Base * 100; meaningless unless both present
 	Status   string  // "ok", "REGRESSION", "improved", "new", "missing"
 }
@@ -131,7 +166,7 @@ func compare(base Baseline, results map[string][]float64, thresholdPct float64) 
 	var rows []Row
 	regressions := 0
 	for _, n := range sorted {
-		row := Row{Name: n}
+		row := Row{Name: n, Unit: unitOf(n)}
 		b, inBase := base.Benchmarks[n]
 		samples, inNew := results[n]
 		switch {
@@ -161,12 +196,12 @@ func compare(base Baseline, results map[string][]float64, thresholdPct float64) 
 }
 
 func writeText(w io.Writer, rows []Row, threshold float64) {
-	fmt.Fprintf(w, "%-32s %14s %14s %9s  %s\n", "benchmark", "baseline", "current", "delta", "status")
+	fmt.Fprintf(w, "%-44s %14s %14s %9s  %s\n", "benchmark", "baseline", "current", "delta", "status")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-32s %14s %14s %9s  %s\n",
-			r.Name, fmtNs(r.Base), fmtNs(r.New), fmtDelta(r), r.Status)
+		fmt.Fprintf(w, "%-44s %14s %14s %9s  %s\n",
+			r.Name, fmtVal(r.Base, r.Unit), fmtVal(r.New, r.Unit), fmtDelta(r), r.Status)
 	}
-	fmt.Fprintf(w, "\nthreshold: ±%.0f%% on median ns/op\n", threshold)
+	fmt.Fprintf(w, "\nthreshold: ±%.0f%% on per-metric medians\n", threshold)
 }
 
 func writeMarkdown(w io.Writer, rows []Row, threshold float64) {
@@ -178,15 +213,21 @@ func writeMarkdown(w io.Writer, rows []Row, threshold float64) {
 			status = "⚠️ **regression**"
 		}
 		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
-			r.Name, fmtNs(r.Base), fmtNs(r.New), fmtDelta(r), status)
+			r.Name, fmtVal(r.Base, r.Unit), fmtVal(r.New, r.Unit), fmtDelta(r), status)
 	}
-	fmt.Fprintf(w, "\nThreshold: ±%.0f%% on median ns/op.\n", threshold)
+	fmt.Fprintf(w, "\nThreshold: ±%.0f%% on per-metric medians.\n", threshold)
 }
 
-func fmtNs(v float64) string {
-	switch {
-	case v == 0:
+// fmtVal renders ns/op values with time units; custom metrics print raw with
+// their unit, since benchgate cannot know their natural scale.
+func fmtVal(v float64, unit string) string {
+	if v == 0 {
 		return "—"
+	}
+	if unit != "ns/op" && unit != "" {
+		return fmt.Sprintf("%.4g %s", v, unit)
+	}
+	switch {
 	case v >= 1e9:
 		return fmt.Sprintf("%.3gs", v/1e9)
 	case v >= 1e6:

@@ -37,6 +37,48 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchCustomMetrics(t *testing.T) {
+	out := `BenchmarkStorageBytesPerDoc-8 	       1	 991234567 ns/op	   532.1 bytes/doc
+BenchmarkStorageBytesPerDoc-8 	       1	 987654321 ns/op	   530.9 bytes/doc
+`
+	got, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkStorageBytesPerDoc"]) != 2 {
+		t.Fatalf("ns/op samples = %v, want 2", got["BenchmarkStorageBytesPerDoc"])
+	}
+	key := "BenchmarkStorageBytesPerDoc [bytes/doc]"
+	if len(got[key]) != 2 {
+		t.Fatalf("custom metric samples = %v, want 2", got[key])
+	}
+	if m := median(got[key]); m != 531.5 {
+		t.Fatalf("custom metric median = %v, want 531.5", m)
+	}
+	if u := unitOf(key); u != "bytes/doc" {
+		t.Fatalf("unitOf(%q) = %q", key, u)
+	}
+	if u := unitOf("BenchmarkQuery"); u != "ns/op" {
+		t.Fatalf("unitOf bare name = %q, want ns/op", u)
+	}
+	if s := fmtVal(531.5, "bytes/doc"); s != "531.5 bytes/doc" {
+		t.Fatalf("fmtVal custom = %q", s)
+	}
+
+	base := Baseline{Benchmarks: map[string]Entry{
+		key: {NsPerOp: 400, Samples: 2, Unit: "bytes/doc"}, // current 531.5 → +33% regression
+	}}
+	rows, regressions := compare(base, got, 10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (bytes/doc growth must gate)", regressions)
+	}
+	for _, r := range rows {
+		if r.Name == key && r.Status != "REGRESSION" {
+			t.Errorf("%s status = %q, want REGRESSION", key, r.Status)
+		}
+	}
+}
+
 func TestParseBenchRejectsInvalidSamples(t *testing.T) {
 	for _, bad := range []string{
 		"BenchmarkQuery-8   \t 100\t 0 ns/op\n",

@@ -67,7 +67,11 @@ func main() {
 	if *update {
 		b := Baseline{Generated: time.Now().UTC().Format(time.RFC3339), Benchmarks: map[string]Entry{}}
 		for name, samples := range results {
-			b.Benchmarks[name] = Entry{NsPerOp: median(samples), Samples: len(samples)}
+			e := Entry{NsPerOp: median(samples), Samples: len(samples)}
+			if u := unitOf(name); u != "ns/op" {
+				e.Unit = u
+			}
+			b.Benchmarks[name] = e
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {

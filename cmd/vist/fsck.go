@@ -8,9 +8,10 @@ import (
 )
 
 // runFsck verifies an index directory offline, optionally rebuilding it from
-// the document store first (-repair). Exit status: 0 when the index verifies
-// clean (and, for -repair, no documents were lost), 1 otherwise.
-func runFsck(dir string, opts core.Options, repair bool) {
+// the document store first (-repair) or rewriting it into the current
+// storage format (-compact). Exit status: 0 when the index verifies clean
+// (and, for -repair, no documents were lost), 1 otherwise.
+func runFsck(dir string, opts core.Options, repair, compact bool) {
 	lossy := false
 	if repair {
 		rep, err := core.Repair(dir, opts)
@@ -34,6 +35,17 @@ func runFsck(dir string, opts core.Options, repair bool) {
 		for _, n := range rep.Notes {
 			fmt.Println("note:", n)
 		}
+	}
+	if compact {
+		rep, err := core.Compact(dir, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("compacted %s: %d nodes, %d doc entries, %d store chunks rewritten\n",
+			dir, rep.Nodes, rep.Docs, rep.StoreChunks)
+		fmt.Printf("bytes: %d -> %d (%.2fx)\n", rep.BytesBefore, rep.BytesAfter,
+			float64(rep.BytesBefore)/float64(max64(rep.BytesAfter, 1)))
+		fmt.Printf("previous index preserved at %s\n", rep.BackupDir)
 	}
 
 	rep, err := core.Fsck(dir, opts)
@@ -68,4 +80,11 @@ func runFsck(dir string, opts core.Options, repair bool) {
 	if lossy {
 		os.Exit(1)
 	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

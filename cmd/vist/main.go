@@ -42,7 +42,7 @@
 //	vist delete -dir ./idx ID                      remove a document
 //	vist stats  -dir ./idx                         show index statistics
 //	vist check  -dir ./idx                         verify structural invariants
-//	vist fsck   -dir ./idx [-repair]               offline verification: WAL
+//	vist fsck   -dir ./idx [-repair] [-compact]    offline verification: WAL
 //	                                               recovery, a CRC sweep of every
 //	                                               page, the structural invariant
 //	                                               scan, and a decode of every
@@ -50,7 +50,11 @@
 //	                                               rebuilds the index from its
 //	                                               document store (the old
 //	                                               directory is kept as
-//	                                               DIR.pre-repair)
+//	                                               DIR.pre-repair); -compact
+//	                                               rewrites a healthy index into
+//	                                               the current storage format
+//	                                               (old directory kept as
+//	                                               DIR.pre-compact)
 //	vist export -dir ./idx > docs.xml              dump all stored documents
 package main
 
@@ -90,6 +94,8 @@ func main() {
 	scrubRate := fs.Int("scrub-rate", 0, "background scrub rate in pages/sec (serve only; 0 = default, negative = unthrottled)")
 	walMax := fs.Int64("wal-max-bytes", 0, "auto-checkpoint when the write-ahead log exceeds this size (0 = unbounded)")
 	repair := fs.Bool("repair", false, "rebuild the index from its document store (fsck only)")
+	compact := fs.Bool("compact", false, "rewrite the index into the current storage format, packing pages (fsck only)")
+	legacyFormat := fs.Bool("legacy-format", false, "use the original fixed-width storage layout for new or compacted indexes")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -109,11 +115,11 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", *dtd, err))
 		}
 	}
-	opts := core.Options{Lambda: *lambda, Schema: schema, WALMaxBytes: *walMax}
+	opts := core.Options{Lambda: *lambda, Schema: schema, WALMaxBytes: *walMax, LegacyFormat: *legacyFormat}
 	if cmd == "fsck" {
-		// fsck owns the open (and, with -repair, replaces the directory
-		// outright), so it runs before the common Open below.
-		runFsck(*dir, opts, *repair)
+		// fsck owns the open (and, with -repair or -compact, replaces the
+		// directory outright), so it runs before the common Open below.
+		runFsck(*dir, opts, *repair, *compact)
 		return
 	}
 	if cmd == "serve" {
@@ -222,12 +228,26 @@ func main() {
 		}
 		fmt.Printf("deleted %d\n", id)
 	case "stats":
+		st := ix.StorageStats()
 		fmt.Printf("documents:          %d\n", ix.DocCount())
 		fmt.Printf("suffix-tree nodes:  %d\n", ix.NodeCount())
 		fmt.Printf("max tree depth:     %d\n", ix.MaxTreeDepth())
 		fmt.Printf("index bytes:        %d\n", ix.IndexSizeBytes())
-		fmt.Printf("total bytes:        %d\n", ix.SizeBytes())
+		fmt.Printf("total bytes:        %d\n", st.TotalBytes)
+		fmt.Printf("bytes per document: %.1f\n", st.BytesPerDoc)
 		fmt.Printf("dictionary names:   %d\n", ix.Dict().Len())
+		fmt.Printf("key format:         %s\n", st.KeyFormat)
+		if st.KeyFormat == "interned" {
+			fmt.Printf("interned paths:     %d\n", st.InternedPaths)
+		}
+		for _, f := range st.Files {
+			fmt.Printf("  %-10s %d bytes\n", f.Name, f.Bytes)
+		}
+		if st.ColdEntries > 0 {
+			fmt.Printf("cold pages:         %d (%d bytes compressed, %.2fx)\n",
+				st.ColdEntries, st.ColdCompressedBytes,
+				float64(st.ColdRawBytes)/float64(st.ColdCompressedBytes))
+		}
 	case "serve":
 		if err := runServe(ix, *addr, *metricsAddr, *drain); err != nil {
 			fatal(err)
@@ -281,7 +301,8 @@ commands:
   delete  -dir DIR ID                                remove a document
   stats   -dir DIR                                   show index statistics
   check   -dir DIR                                   verify structural invariants
-  fsck    -dir DIR [-repair]                         offline verify; -repair rebuilds from the document store
+  fsck    -dir DIR [-repair] [-compact]              offline verify; -repair rebuilds from the document store,
+                                                     -compact rewrites into the current storage format
   export  -dir DIR                                   dump all stored documents`)
 	os.Exit(2)
 }

@@ -8,7 +8,7 @@
 //
 // Experiments: table4, fig10a, fig10b, fig11a, fig11b, ablation-labeling,
 // ablation-verify, ablation-pager, ablation-refined, scaling, concurrency,
-// durability, scrub, obs, all. The -scale flag multiplies dataset sizes (1.0 is a
+// durability, scrub, obs, compression, all. The -scale flag multiplies dataset sizes (1.0 is a
 // laptop-sized run; the paper's full sizes need 15–50). The -seed flag fixes
 // the workload generator; -mintime sets the minimum measurement window per
 // timed query.
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: table4, fig10a, fig10b, fig11a, fig11b, ablation-labeling, ablation-verify, ablation-pager, ablation-refined, scaling, concurrency, durability, scrub, obs, all")
+		exp     = flag.String("exp", "all", "comma-separated experiments: table4, fig10a, fig10b, fig11a, fig11b, ablation-labeling, ablation-verify, ablation-pager, ablation-refined, scaling, concurrency, durability, scrub, obs, compression, all")
 		scale   = flag.Float64("scale", 0.2, "dataset size multiplier (1.0 ≈ laptop-sized)")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		minTime = flag.Duration("mintime", 100*time.Millisecond, "minimum measurement window per query")
@@ -70,4 +70,5 @@ func main() {
 	run("durability", func() (printer, error) { return bench.RunDurability(cfg) })
 	run("scrub", func() (printer, error) { return bench.RunScrub(cfg) })
 	run("obs", func() (printer, error) { return bench.RunObs(cfg) })
+	run("compression", func() (printer, error) { return bench.RunCompression(cfg) })
 }

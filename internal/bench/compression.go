@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+	"vist/internal/xmltree"
+)
+
+// CompressionRow reports one storage-format variant's footprint and read
+// cost over the same DBLP-like corpus.
+type CompressionRow struct {
+	Variant     string
+	TotalBytes  int64
+	BytesPerDoc float64
+	QueryTime   time.Duration // average over the Table 3 DBLP queries
+	ColdEntries int
+	ColdRatio   float64 // raw/compressed for the cold tier (0 = no cold tier)
+}
+
+// CompressionResult aggregates the storage-compression experiment.
+type CompressionResult struct {
+	Docs int
+	Rows []CompressionRow
+}
+
+// RunCompression measures what the storage-compression work buys: the same
+// documents are indexed on disk under (1) the original fixed-width key and
+// page layout, (2) the interned-key front-coded format, and (3) the interned
+// format with cold-page compression over a deliberately tiny buffer pool.
+// Each variant reports its on-disk footprint and its average latency over the
+// paper's DBLP queries, so the size/speed trade is visible in one table.
+func RunCompression(cfg Config) (*CompressionResult, error) {
+	docs := gen.DBLP(gen.DBLPConfig{Records: cfg.scale(5000), Seed: cfg.Seed})
+	res := &CompressionResult{Docs: len(docs)}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"fixed-width (legacy)", core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, LegacyFormat: true}},
+		{"interned+front-coded", core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true}},
+		{"interned+cold-compressed", core.Options{
+			Schema: gen.DBLPSchema(), SkipDocumentStore: true, CompressColdPages: true,
+			CachePages: 32, NodeCache: 64,
+		}},
+	}
+	for _, v := range variants {
+		dir, err := os.MkdirTemp("", "vist-compression-*")
+		if err != nil {
+			return nil, err
+		}
+		row, err := runCompressionVariant(dir, v.name, v.opts, docs, cfg)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func runCompressionVariant(dir, name string, opts core.Options, docs []*xmltree.Node, cfg Config) (*CompressionRow, error) {
+	ix, err := core.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+	clones := make([]*xmltree.Node, len(docs))
+	for i, d := range docs {
+		clones[i] = d.Clone()
+	}
+	if err := insertAll(ix, clones); err != nil {
+		return nil, err
+	}
+	if err := ix.Sync(); err != nil {
+		return nil, err
+	}
+	row := &CompressionRow{Variant: name}
+	var total time.Duration
+	queries := 0
+	for _, q := range Table3Queries {
+		if q.Dataset != "dblp" {
+			continue
+		}
+		d, _, err := timeQuery(vistEngine(ix), q.Expr, cfg.minTime())
+		if err != nil {
+			return nil, err
+		}
+		total += d
+		queries++
+	}
+	if queries > 0 {
+		row.QueryTime = total / time.Duration(queries)
+	}
+	st := ix.StorageStats()
+	row.TotalBytes = st.TotalBytes
+	row.BytesPerDoc = st.BytesPerDoc
+	row.ColdEntries = st.ColdEntries
+	if st.ColdCompressedBytes > 0 {
+		row.ColdRatio = float64(st.ColdRawBytes) / float64(st.ColdCompressedBytes)
+	}
+	return row, nil
+}
+
+// Fprint renders the compression table.
+func (r *CompressionResult) Fprint(w io.Writer) {
+	fprintHeader(w, "Storage compression — format variants",
+		fmt.Sprintf("%d DBLP-like records on disk, index structure only (document store skipped, as in Figure 11a). Expected shape: interned+front-coded several times smaller than fixed-width at comparable query time; the cold tier trades query time for a bounded compressed page cache.", r.Docs))
+	fmt.Fprintf(w, "%-26s %14s %12s %12s %8s %10s\n",
+		"variant", "total bytes", "bytes/doc", "avg query", "cold", "cold ratio")
+	for _, row := range r.Rows {
+		cold, ratio := "—", "—"
+		if row.ColdEntries > 0 {
+			cold = fmt.Sprintf("%d", row.ColdEntries)
+			ratio = fmt.Sprintf("%.2fx", row.ColdRatio)
+		}
+		fmt.Fprintf(w, "%-26s %14d %12.1f %12s %8s %10s\n",
+			row.Variant, row.TotalBytes, row.BytesPerDoc,
+			row.QueryTime.Round(time.Microsecond), cold, ratio)
+	}
+}

@@ -42,6 +42,11 @@ type Options struct {
 	// Metrics, when non-nil, receives decoded-node-cache counters. The same
 	// bundle may be shared across trees (its metrics are atomic).
 	Metrics *obs.TreeMetrics
+	// LegacyPageFormat writes the v1 fixed-width page format instead of the
+	// front-coded v2 format. Reads always accept both. The knob exists for
+	// A/B measurement (vistbench -exp compression) and format-migration
+	// tests; new trees should leave it off.
+	LegacyPageFormat bool
 }
 
 // BTree is a B+Tree over a Pager. All methods are safe for concurrent use:
@@ -63,6 +68,7 @@ type BTree struct {
 	pg       Pager
 	pageSize int
 	cacheCap int
+	legacy   bool // write v1 pages (Options.LegacyPageFormat)
 
 	// Tree state below is written only under mu (exclusive) and read under
 	// mu or mu.RLock.
@@ -129,6 +135,7 @@ func New(pg Pager, opts Options) (*BTree, error) {
 		pg:       pg,
 		pageSize: ps,
 		cacheCap: nc,
+		legacy:   opts.LegacyPageFormat,
 		buf:      make([]byte, ps),
 		m:        m,
 	}
@@ -219,6 +226,54 @@ func (t *BTree) MaxEntrySize() int { return (t.pageSize - leafHeaderSize) / 2 }
 func (t *BTree) maxKeySize() int { return (t.pageSize - internalHeaderSize) / 3 }
 
 func (t *BTree) minFill() int { return t.pageSize / 4 }
+
+// nodeSize is the exact on-page size of n in the tree's write format. All
+// fill decisions (split, underflow, borrow, merge) measure the encoded
+// size: pages are fixed-size, so front coding shrinks the file only if
+// splits are deferred until the compressed image overflows.
+func (t *BTree) nodeSize(n *node) int { return n.serializedSize(t.legacy) }
+
+// leafSize returns the exact encoded size of a hypothetical leaf holding
+// the given cells; internalSize is its internal-node counterpart
+// (len(kids) == len(keys)+1). Borrow and merge feasibility checks feed
+// candidate cell lists through these before mutating anything.
+func (t *BTree) leafSize(keys, vals [][]byte) int {
+	if t.legacy {
+		sz := leafHeaderSize
+		for i, k := range keys {
+			sz += leafCellSize(k, vals[i])
+		}
+		return sz
+	}
+	return encodedLeafSize(keys, vals)
+}
+
+func (t *BTree) internalSize(keys [][]byte, kids []PageID) int {
+	if t.legacy {
+		sz := internalHeaderSize
+		for _, k := range keys {
+			sz += internalCellSize(k)
+		}
+		return sz
+	}
+	return encodedInternalSize(keys, kids)
+}
+
+// mergedSize returns the exact page size of folding right into left. For
+// internal nodes the parent separator joins the merged cell list — the v1
+// additive estimate omitted it, which could overflow a page when both
+// halves were near the merge threshold with a long separator.
+func (t *BTree) mergedSize(left, right *node, sep []byte) int {
+	if left.leaf {
+		ks := append(left.keys[:len(left.keys):len(left.keys)], right.keys...)
+		vs := append(left.vals[:len(left.vals):len(left.vals)], right.vals...)
+		return t.leafSize(ks, vs)
+	}
+	ks := append(left.keys[:len(left.keys):len(left.keys)], sep)
+	ks = append(ks, right.keys...)
+	kids := append(left.kids[:len(left.kids):len(left.kids)], right.kids...)
+	return t.internalSize(ks, kids)
+}
 
 // --- node cache -----------------------------------------------------------
 //
@@ -356,7 +411,7 @@ func (t *BTree) markDirty(n *node) {
 // flushNode serializes n through the scratch buffer. Exclusive-lock holders
 // only.
 func (t *BTree) flushNode(n *node) error {
-	if err := n.serialize(t.buf); err != nil {
+	if err := n.serialize(t.buf, t.legacy); err != nil {
 		return err
 	}
 	if err := t.pg.Write(n.id, t.buf); err != nil {
@@ -787,7 +842,7 @@ func (t *BTree) put(id PageID, key, val []byte) (PageID, *splitResult, error) {
 			t.metaDirty = true
 		}
 		t.markDirty(n)
-		if n.serializedSize() <= t.pageSize {
+		if t.nodeSize(n) <= t.pageSize {
 			return n.id, nil, nil
 		}
 		split, err := t.splitLeaf(n)
@@ -807,33 +862,70 @@ func (t *BTree) put(id PageID, key, val []byte) (PageID, *splitResult, error) {
 		return n.id, nil, nil
 	}
 	n.insertInternalCell(idx, split.sep, split.right)
-	if n.serializedSize() <= t.pageSize {
+	if t.nodeSize(n) <= t.pageSize {
 		return n.id, nil, nil
 	}
 	sp, err := t.splitInternal(n)
 	return n.id, sp, err
 }
 
+// findSplit searches for a split index m in [lo, hi] such that both halves
+// fit a page, starting from the balance point start and widening outward.
+// Under front coding half sizes are not monotone in m (the right half's
+// first cell becomes a full restart key, and restart positions shift), so
+// the balance point alone cannot be trusted to fit — each candidate is
+// verified against the exact encoded sizes.
+func (t *BTree) findSplit(lo, hi, start int, halves func(m int) (left, right int)) (int, error) {
+	if start < lo {
+		start = lo
+	}
+	if start > hi {
+		start = hi
+	}
+	for d := 0; ; d++ {
+		m1, m2 := start+d, start-d
+		if m1 > hi && m2 < lo {
+			return 0, fmt.Errorf("btree: no split point fits a page")
+		}
+		if m1 <= hi {
+			if l, r := halves(m1); l <= t.pageSize && r <= t.pageSize {
+				return m1, nil
+			}
+		}
+		if m2 >= lo && m2 != m1 {
+			if l, r := halves(m2); l <= t.pageSize && r <= t.pageSize {
+				return m2, nil
+			}
+		}
+	}
+}
+
 // splitLeaf moves the upper half of n's cells into a fresh right sibling.
 // n must be owned by the current window (shadowed by the caller).
 func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
-	rightID, err := t.allocPage()
-	if err != nil {
-		return nil, err
+	// Balance point: where the accumulated per-cell payload first reaches
+	// half the total (fixed-width accounting is fine for a starting guess;
+	// findSplit verifies candidates with exact encoded sizes).
+	total, acc, start := 0, 0, len(n.keys)/2
+	for i := range n.keys {
+		total += leafCellSize(n.keys[i], n.vals[i])
 	}
-	// Find the split point where the left half first reaches half the
-	// serialized payload.
-	total := n.serializedSize() - leafHeaderSize
-	acc, mid := 0, 0
 	for i := range n.keys {
 		acc += leafCellSize(n.keys[i], n.vals[i])
 		if acc >= total/2 {
-			mid = i + 1
+			start = i + 1
 			break
 		}
 	}
-	if mid == 0 || mid >= len(n.keys) {
-		mid = len(n.keys) / 2
+	mid, err := t.findSplit(1, len(n.keys)-1, start, func(m int) (int, int) {
+		return t.leafSize(n.keys[:m], n.vals[:m]), t.leafSize(n.keys[m:], n.vals[m:])
+	})
+	if err != nil {
+		return nil, err
+	}
+	rightID, err := t.allocPage()
+	if err != nil {
+		return nil, err
 	}
 	right := &node{
 		id:   rightID,
@@ -850,14 +942,20 @@ func (t *BTree) splitLeaf(n *node) (*splitResult, error) {
 	return &splitResult{sep: sep, right: rightID}, nil
 }
 
-// splitInternal promotes the middle separator of n, which must be owned by
-// the current window.
+// splitInternal promotes separator mid of n, which must be owned by the
+// current window: left keeps keys[:mid]/kids[:mid+1], the new right sibling
+// takes keys[mid+1:]/kids[mid+1:].
 func (t *BTree) splitInternal(n *node) (*splitResult, error) {
+	mid, err := t.findSplit(0, len(n.keys)-1, len(n.keys)/2, func(m int) (int, int) {
+		return t.internalSize(n.keys[:m], n.kids[:m+1]), t.internalSize(n.keys[m+1:], n.kids[m+1:])
+	})
+	if err != nil {
+		return nil, err
+	}
 	rightID, err := t.allocPage()
 	if err != nil {
 		return nil, err
 	}
-	mid := len(n.keys) / 2
 	sep := n.keys[mid]
 	right := &node{
 		id:   rightID,
@@ -876,13 +974,32 @@ func (t *BTree) splitInternal(n *node) (*splitResult, error) {
 func (t *BTree) Delete(key []byte) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	newRoot, deleted, _, err := t.del(t.root, key)
+	newRoot, deleted, _, split, err := t.del(t.root, key)
 	if err != nil || !deleted {
 		return deleted, err
 	}
 	if newRoot != t.root {
 		t.root = newRoot
 		t.metaDirty = true
+	}
+	if split != nil {
+		// Front coding can grow a page on removal (restart points shift to
+		// different cells, which then store their keys in full), so even a
+		// delete can split the root.
+		newRootID, err := t.allocPage()
+		if err != nil {
+			return true, err
+		}
+		root := &node{
+			id:   newRootID,
+			keys: [][]byte{split.sep},
+			kids: []PageID{t.root, split.right},
+			born: t.window,
+		}
+		t.markDirty(root)
+		t.root = newRootID
+		t.metaDirty = true
+		return true, t.evict()
 	}
 	root, err := t.load(t.root)
 	if err != nil {
@@ -904,41 +1021,59 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 // del removes key from the subtree rooted at id, copy-on-write like put:
 // the returned page ID is the subtree's new root (id itself when the key
 // was absent or the window already owned the whole path).
-func (t *BTree) del(id PageID, key []byte) (newID PageID, deleted, underflow bool, err error) {
+//
+// Under front coding a removal can grow the encoded page: cell indices
+// shift, restart points land on different cells, and a formerly-compressed
+// cell at a new restart stores its key in full. Likewise rebalance can grow
+// this node (borrow replaces the parent separator; merge removes a cell).
+// When that overflows the page, del splits it and hands the separator up
+// exactly like put — so the split return is part of the delete path too.
+func (t *BTree) del(id PageID, key []byte) (newID PageID, deleted, underflow bool, split *splitResult, err error) {
 	n, err := t.load(id)
 	if err != nil {
-		return id, false, false, err
+		return id, false, false, nil, err
 	}
 	if n.leaf {
 		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
 		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
-			return id, false, false, nil
+			return id, false, false, nil, nil
 		}
 		if n, err = t.shadow(n); err != nil {
-			return id, false, false, err
+			return id, false, false, nil, err
 		}
 		n.removeLeafCell(i)
 		t.count--
 		t.metaDirty = true
 		t.markDirty(n)
-		return n.id, true, n.serializedSize() < t.minFill(), nil
+		if t.nodeSize(n) > t.pageSize {
+			sp, err := t.splitLeaf(n)
+			return n.id, true, false, sp, err
+		}
+		return n.id, true, t.nodeSize(n) < t.minFill(), nil, nil
 	}
 	idx := t.childIndex(n, key)
-	newChild, deleted, childUnder, err := t.del(n.kids[idx], key)
+	newChild, deleted, childUnder, childSplit, err := t.del(n.kids[idx], key)
 	if err != nil || !deleted {
-		return id, deleted, false, err
+		return id, deleted, false, nil, err
 	}
 	if n, err = t.shadow(n); err != nil {
-		return id, true, false, err
+		return id, true, false, nil, err
 	}
 	n.kids[idx] = newChild
 	t.markDirty(n)
+	if childSplit != nil {
+		n.insertInternalCell(idx, childSplit.sep, childSplit.right)
+	}
 	if childUnder {
 		if err := t.rebalance(n, idx); err != nil {
-			return n.id, true, false, err
+			return n.id, true, false, nil, err
 		}
 	}
-	return n.id, true, n.serializedSize() < t.minFill(), nil
+	if t.nodeSize(n) > t.pageSize {
+		sp, err := t.splitInternal(n)
+		return n.id, true, false, sp, err
+	}
+	return n.id, true, t.nodeSize(n) < t.minFill(), nil, nil
 }
 
 // rebalance restores the fill of parent.kids[idx] by borrowing from a
@@ -952,7 +1087,7 @@ func (t *BTree) rebalance(parent *node, idx int) error {
 	if err != nil {
 		return err
 	}
-	if child.serializedSize() >= t.minFill() {
+	if t.nodeSize(child) >= t.minFill() {
 		return nil
 	}
 	// Try borrowing from the left sibling. A borrow mutates the donor, so
@@ -962,8 +1097,8 @@ func (t *BTree) rebalance(parent *node, idx int) error {
 		if err != nil {
 			return err
 		}
-		mayBorrow := left.serializedSize() > t.minFill() && len(left.keys) > 1
-		mayMerge := left.serializedSize()+child.serializedSize()-t.headerSize(child) <= t.pageSize
+		mayBorrow := t.nodeSize(left) > t.minFill() && len(left.keys) > 1
+		mayMerge := t.mergedSize(left, child, parent.keys[idx-1]) <= t.pageSize
 		if mayBorrow || mayMerge {
 			if left, err = t.shadow(left); err != nil {
 				return err
@@ -973,7 +1108,7 @@ func (t *BTree) rebalance(parent *node, idx int) error {
 			if t.borrow(parent, idx-1, left, child, true) {
 				return nil
 			}
-			if left.serializedSize()+child.serializedSize()-t.headerSize(child) <= t.pageSize {
+			if t.mergedSize(left, child, parent.keys[idx-1]) <= t.pageSize {
 				return t.merge(parent, idx-1, left, child)
 			}
 		}
@@ -985,7 +1120,7 @@ func (t *BTree) rebalance(parent *node, idx int) error {
 		if err != nil {
 			return err
 		}
-		if right.serializedSize() > t.minFill() && len(right.keys) > 1 {
+		if t.nodeSize(right) > t.minFill() && len(right.keys) > 1 {
 			if right, err = t.shadow(right); err != nil {
 				return err
 			}
@@ -995,18 +1130,11 @@ func (t *BTree) rebalance(parent *node, idx int) error {
 				return nil
 			}
 		}
-		if child.serializedSize()+right.serializedSize()-t.headerSize(right) <= t.pageSize {
+		if t.mergedSize(child, right, parent.keys[idx]) <= t.pageSize {
 			return t.merge(parent, idx, child, right)
 		}
 	}
 	return nil
-}
-
-func (t *BTree) headerSize(n *node) int {
-	if n.leaf {
-		return leafHeaderSize
-	}
-	return internalHeaderSize
 }
 
 // borrow moves cells from the donor side toward the receiver until the
@@ -1021,16 +1149,18 @@ func (t *BTree) borrow(parent *node, sepIdx int, left, right *node, fromLeft boo
 		} else {
 			donor, recv = right, left
 		}
-		if recv.serializedSize() >= t.minFill() {
+		if t.nodeSize(recv) >= t.minFill() {
 			break
 		}
-		if donor.serializedSize() <= t.minFill() || len(donor.keys) <= 1 {
+		if t.nodeSize(donor) <= t.minFill() || len(donor.keys) <= 1 {
 			break
 		}
 		if donor.leaf {
 			if fromLeft {
 				k, v := donor.keys[len(donor.keys)-1], donor.vals[len(donor.vals)-1]
-				if recv.serializedSize()+leafCellSize(k, v) > t.pageSize {
+				ks := append([][]byte{k}, recv.keys...)
+				vs := append([][]byte{v}, recv.vals...)
+				if t.leafSize(ks, vs) > t.pageSize {
 					break
 				}
 				donor.removeLeafCell(len(donor.keys) - 1)
@@ -1038,7 +1168,14 @@ func (t *BTree) borrow(parent *node, sepIdx int, left, right *node, fromLeft boo
 				parent.keys[sepIdx] = append([]byte(nil), recv.keys[0]...)
 			} else {
 				k, v := donor.keys[0], donor.vals[0]
-				if recv.serializedSize()+leafCellSize(k, v) > t.pageSize {
+				ks := append(recv.keys[:len(recv.keys):len(recv.keys)], k)
+				vs := append(recv.vals[:len(recv.vals):len(recv.vals)], v)
+				if t.leafSize(ks, vs) > t.pageSize {
+					break
+				}
+				// Dropping the donor's first cell shifts every index, which
+				// can move restart points and grow its encoding.
+				if t.leafSize(donor.keys[1:], donor.vals[1:]) > t.pageSize {
 					break
 				}
 				donor.removeLeafCell(0)
@@ -1050,10 +1187,12 @@ func (t *BTree) borrow(parent *node, sepIdx int, left, right *node, fromLeft boo
 			sep := parent.keys[sepIdx]
 			if fromLeft {
 				k := donor.keys[len(donor.keys)-1]
-				if recv.serializedSize()+internalCellSize(sep) > t.pageSize {
+				c := donor.kids[len(donor.kids)-1]
+				ks := append([][]byte{sep}, recv.keys...)
+				kids := append([]PageID{c}, recv.kids...)
+				if t.internalSize(ks, kids) > t.pageSize {
 					break
 				}
-				c := donor.kids[len(donor.kids)-1]
 				donor.keys = donor.keys[:len(donor.keys)-1]
 				donor.kids = donor.kids[:len(donor.kids)-1]
 				recv.keys = append([][]byte{append([]byte(nil), sep...)}, recv.keys...)
@@ -1061,10 +1200,17 @@ func (t *BTree) borrow(parent *node, sepIdx int, left, right *node, fromLeft boo
 				parent.keys[sepIdx] = append([]byte(nil), k...)
 			} else {
 				k := donor.keys[0]
-				if recv.serializedSize()+internalCellSize(sep) > t.pageSize {
+				c := donor.kids[0]
+				ks := append(recv.keys[:len(recv.keys):len(recv.keys)], sep)
+				kids := append(recv.kids[:len(recv.kids):len(recv.kids)], c)
+				if t.internalSize(ks, kids) > t.pageSize {
 					break
 				}
-				c := donor.kids[0]
+				// Dropping the donor's first cell shifts every index, which
+				// can move restart points and grow its encoding.
+				if t.internalSize(donor.keys[1:], donor.kids[1:]) > t.pageSize {
+					break
+				}
 				donor.keys = donor.keys[1:]
 				donor.kids = donor.kids[1:]
 				recv.keys = append(recv.keys, append([]byte(nil), sep...))
@@ -1087,7 +1233,7 @@ func (t *BTree) borrow(parent *node, sepIdx int, left, right *node, fromLeft boo
 	} else {
 		recv = left
 	}
-	return recv.serializedSize() >= t.minFill()
+	return t.nodeSize(recv) >= t.minFill()
 }
 
 // merge folds right into left and removes separator sepIdx from the parent.

@@ -265,6 +265,150 @@ func TestDeleteHalfThenScan(t *testing.T) {
 	}
 }
 
+// TestFrontCodedDeleteGrowth: removing a cell from a front-coded page shifts
+// every following cell's index, which moves restart points onto different
+// cells — cells that then store their keys in full, so a delete can GROW the
+// encoded page and force a split on the delete path. Long-shared-prefix keys
+// on small pages with heavy interleaved churn drive exactly that geometry;
+// the tree must stay consistent (no overflow error, exact membership, sorted
+// scans) throughout.
+func TestFrontCodedDeleteGrowth(t *testing.T) {
+	tr := newMemTree(t, 512)
+	prefix := bytes.Repeat([]byte("p"), 100) // near maxKeySize keys, tiny suffix deltas
+	key := func(i int) []byte {
+		return append(append([]byte(nil), prefix...), []byte(fmt.Sprintf("%06d", i))...)
+	}
+	live := map[int]bool{}
+	for i := 0; i < 400; i++ {
+		if err := tr.Put(key(i), []byte{byte(i)}); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+		live[i] = true
+	}
+	rng := rand.New(rand.NewSource(61))
+	for round := 0; round < 6; round++ {
+		// Delete a random third, including long ascending runs (removing a
+		// page's first cells repeatedly is the restart-shifting case).
+		for i := 0; i < 400; i++ {
+			if live[i] && (i%3 == round%3 || rng.Intn(4) == 0) {
+				deleted, err := tr.Delete(key(i))
+				if err != nil {
+					t.Fatalf("round %d Delete(%d): %v", round, i, err)
+				}
+				if !deleted {
+					t.Fatalf("round %d Delete(%d): key missing", round, i)
+				}
+				delete(live, i)
+			}
+		}
+		for i := 0; i < 400; i++ {
+			if !live[i] {
+				if err := tr.Put(key(i), []byte{byte(i)}); err != nil {
+					t.Fatalf("round %d re-Put(%d): %v", round, i, err)
+				}
+				live[i] = true
+			}
+		}
+	}
+	if got := int(tr.Len()); got != len(live) {
+		t.Fatalf("Len = %d, want %d", got, len(live))
+	}
+	var prev []byte
+	n := 0
+	err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			return false, fmt.Errorf("scan out of order at %q", k)
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != len(live) {
+		t.Fatalf("scan visited %d keys, want %d", n, len(live))
+	}
+}
+
+// TestDeleteGrowsPageAndSplits pins the delete-split mechanism with a
+// crafted page: cell 17 is a long key that front-codes against its restart
+// predecessor (cell 16). Removing cell 0 shifts every index, making old cell
+// 17 the new restart at index 16 — stored in full, growing the encoding past
+// the page. The delete path must split the leaf instead of erroring at
+// serialize time. The padding search keeps the construction valid if codec
+// constants drift: setup fails loudly rather than silently not exercising
+// the branch.
+func TestDeleteGrowsPageAndSplits(t *testing.T) {
+	const page = 512
+	long := bytes.Repeat([]byte("x"), 90)
+	build := func(pad int) (keys, vals [][]byte) {
+		add := func(k []byte, v int) {
+			keys = append(keys, k)
+			vals = append(vals, bytes.Repeat([]byte{7}, v))
+		}
+		add([]byte("a0"), 0)
+		for i := 1; i <= 15; i++ {
+			add([]byte(fmt.Sprintf("b%02d", i)), 0)
+		}
+		add(append(append([]byte("c"), long...), '0'), 0) // index 16: restart
+		add(append(append([]byte("c"), long...), '1'), 0) // index 17: shares 92 bytes
+		for i := 18; i < 34; i++ {
+			add([]byte(fmt.Sprintf("d%03d", i)), pad)
+		}
+		return keys, vals
+	}
+	var keys, vals [][]byte
+	found := false
+	for pad := 0; pad <= 120 && !found; pad++ {
+		keys, vals = build(pad)
+		if encodedLeafSize(keys, vals) <= page && encodedLeafSize(keys[1:], vals[1:]) > page {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("setup: no padding makes the page grow past the page size on first-cell removal")
+	}
+
+	tr := newMemTree(t, page)
+	for i, k := range keys {
+		if err := tr.Put(k, vals[i]); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	root, err := tr.load(tr.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.leaf {
+		t.Fatal("setup: tree split during sorted inserts; page no longer crafted")
+	}
+
+	deleted, err := tr.Delete(keys[0])
+	if err != nil {
+		t.Fatalf("Delete of first cell: %v", err)
+	}
+	if !deleted {
+		t.Fatal("Delete reported the key missing")
+	}
+	root, err = tr.load(tr.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.leaf {
+		t.Fatal("delete left an overflowing leaf unsplit")
+	}
+	if got := int(tr.Len()); got != len(keys)-1 {
+		t.Fatalf("Len = %d, want %d", got, len(keys)-1)
+	}
+	for i := 1; i < len(keys); i++ {
+		v, ok, err := tr.Get(keys[i])
+		if err != nil || !ok || !bytes.Equal(v, vals[i]) {
+			t.Fatalf("Get(%d) after delete-split = %v, %v, %v", i, v, ok, err)
+		}
+	}
+}
+
 func TestDeleteMissing(t *testing.T) {
 	tr := newMemTree(t, 512)
 	if err := tr.Put([]byte("a"), nil); err != nil {

@@ -7,22 +7,61 @@ import (
 )
 
 const (
+	// v1 page types: fixed-width cells, keys stored verbatim.
 	pageLeaf     = byte(1)
 	pageInternal = byte(2)
+	// pageFree (3) is declared in btree.go: freelist chain links.
 
-	// leaf page layout:
+	// v2 page types: front-coded cells (see below). New pages are written
+	// in v2 unless Options.LegacyPageFormat is set; v1 pages from existing
+	// index files stay readable and are rewritten in v2 whenever
+	// copy-on-write shadows them.
+	pageLeafV2     = byte(4)
+	pageInternalV2 = byte(5)
+
+	// v1 leaf page layout:
 	//   [0]      type
 	//   [1:3]    cell count (uint16)
-	//   [3:7]    next leaf PageID (uint32, 0 = none)
+	//   [3:7]    next leaf PageID (uint32, 0 = none; vestigial, see node)
 	//   cells... each: klen uint16, vlen uint16, key, val
 	leafHeaderSize = 7
 
-	// internal page layout:
+	// v1 internal page layout:
 	//   [0]      type
 	//   [1:3]    cell count (uint16)
 	//   [3:7]    child[0] PageID
 	//   cells... each: klen uint16, key, child PageID (uint32)
 	internalHeaderSize = 7
+
+	// v2 leaf page layout:
+	//   [0]      type
+	//   [1:3]    cell count (uint16)
+	//   cells... each: uvarint shared, uvarint suffixLen, uvarint vlen,
+	//                  suffix, val
+	// where key[i] = key[i-1][:shared] + suffix. Every restartInterval-th
+	// cell is a restart point: shared is forced to zero and the key is
+	// stored in full, so decoding can resynchronize (and binary-search
+	// within a page) without unwinding the whole prefix chain.
+	leafHeaderSizeV2 = 3
+
+	// v2 internal page layout:
+	//   [0]      type
+	//   [1:3]    cell count (uint16)
+	//   [3:7]    child[0] PageID (uint32)
+	//   cells... each: uvarint shared, uvarint suffixLen, suffix,
+	//                  child PageID (uint32)
+	// Child pointers stay fixed-width on purpose: copy-on-write rewrites a
+	// child pointer in place on every descent (put/del shadow the child and
+	// store its new ID), and those rewrites carry no overflow check — a
+	// varint pointer that grew with the page ID could silently overflow a
+	// full page. Fixed width makes an internal node's size a function of its
+	// keys alone, which every key-mutating path does check.
+	internalHeaderSizeV2 = 3
+
+	// restartInterval is the distance between v2 restart points. Small
+	// enough that a corrupt shared-length can poison at most 15 trailing
+	// cells of one page, large enough that full keys stay rare.
+	restartInterval = 16
 )
 
 // node is the in-memory form of a B+Tree page. Leaves carry keys/vals;
@@ -55,30 +94,135 @@ type node struct {
 
 func leafCellSize(k, v []byte) int  { return 4 + len(k) + len(v) }
 func internalCellSize(k []byte) int { return 6 + len(k) }
-func (n *node) serializedSize() int {
-	if n.leaf {
-		sz := leafHeaderSize
-		for i, k := range n.keys {
-			sz += leafCellSize(k, n.vals[i])
-		}
-		return sz
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
 	}
-	sz := internalHeaderSize
-	for _, k := range n.keys {
-		sz += internalCellSize(k)
+	return n
+}
+
+// sharedLen returns the length of the longest common prefix of a and b.
+func sharedLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// cellShared returns the front-coded shared-prefix length of cell i given
+// its predecessor: zero at restart points, the common prefix otherwise.
+func cellShared(keys [][]byte, i int) int {
+	if i%restartInterval == 0 {
+		return 0
+	}
+	return sharedLen(keys[i-1], keys[i])
+}
+
+// encodedLeafSize returns the exact on-page size of the v2 encoding of the
+// given leaf cells. Split, borrow, and merge decisions feed candidate cell
+// lists through it: because pages are fixed-size, the on-disk win of
+// front coding is realized only if fill decisions use the compressed size.
+func encodedLeafSize(keys, vals [][]byte) int {
+	sz := leafHeaderSizeV2
+	for i, k := range keys {
+		shared := cellShared(keys, i)
+		sz += uvarintLen(uint64(shared)) + uvarintLen(uint64(len(k)-shared)) +
+			uvarintLen(uint64(len(vals[i]))) + len(k) - shared + len(vals[i])
 	}
 	return sz
 }
 
+// encodedInternalSize is encodedLeafSize for internal cells: len(kids) must
+// be len(keys)+1. Child pointers are fixed-width (see the layout comment),
+// so the result depends only on the keys.
+func encodedInternalSize(keys [][]byte, kids []PageID) int {
+	_ = kids
+	sz := internalHeaderSizeV2 + 4
+	for i, k := range keys {
+		shared := cellShared(keys, i)
+		sz += uvarintLen(uint64(shared)) + uvarintLen(uint64(len(k)-shared)) +
+			len(k) - shared + 4
+	}
+	return sz
+}
+
+// serializedSize returns the exact on-page byte size of the node in the
+// requested format.
+func (n *node) serializedSize(legacy bool) int {
+	if legacy {
+		if n.leaf {
+			sz := leafHeaderSize
+			for i, k := range n.keys {
+				sz += leafCellSize(k, n.vals[i])
+			}
+			return sz
+		}
+		sz := internalHeaderSize
+		for _, k := range n.keys {
+			sz += internalCellSize(k)
+		}
+		return sz
+	}
+	if n.leaf {
+		return encodedLeafSize(n.keys, n.vals)
+	}
+	return encodedInternalSize(n.keys, n.kids)
+}
+
 // serialize writes the node into buf, which must be a full page.
-func (n *node) serialize(buf []byte) error {
-	need := n.serializedSize()
+func (n *node) serialize(buf []byte, legacy bool) error {
+	need := n.serializedSize(legacy)
 	if need > len(buf) {
 		return fmt.Errorf("btree: node %d overflows page: %d > %d", n.id, need, len(buf))
 	}
 	for i := range buf {
 		buf[i] = 0
 	}
+	if legacy {
+		n.serializeV1(buf)
+		return nil
+	}
+	if n.leaf {
+		buf[0] = pageLeafV2
+		binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+		off := leafHeaderSizeV2
+		for i, k := range n.keys {
+			shared := cellShared(n.keys, i)
+			off += binary.PutUvarint(buf[off:], uint64(shared))
+			off += binary.PutUvarint(buf[off:], uint64(len(k)-shared))
+			off += binary.PutUvarint(buf[off:], uint64(len(n.vals[i])))
+			off += copy(buf[off:], k[shared:])
+			off += copy(buf[off:], n.vals[i])
+		}
+		return nil
+	}
+	buf[0] = pageInternalV2
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	off := internalHeaderSizeV2
+	binary.BigEndian.PutUint32(buf[off:], uint32(n.kids[0]))
+	off += 4
+	for i, k := range n.keys {
+		shared := cellShared(n.keys, i)
+		off += binary.PutUvarint(buf[off:], uint64(shared))
+		off += binary.PutUvarint(buf[off:], uint64(len(k)-shared))
+		off += copy(buf[off:], k[shared:])
+		binary.BigEndian.PutUint32(buf[off:], uint32(n.kids[i+1]))
+		off += 4
+	}
+	return nil
+}
+
+// serializeV1 writes the legacy fixed-width format; buf is pre-zeroed and
+// pre-sized by serialize.
+func (n *node) serializeV1(buf []byte) {
 	if n.leaf {
 		buf[0] = pageLeaf
 		binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
@@ -92,7 +236,7 @@ func (n *node) serialize(buf []byte) error {
 			off += copy(buf[off:], k)
 			off += copy(buf[off:], v)
 		}
-		return nil
+		return
 	}
 	buf[0] = pageInternal
 	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
@@ -105,18 +249,31 @@ func (n *node) serialize(buf []byte) error {
 		binary.BigEndian.PutUint32(buf[off:], uint32(n.kids[i+1]))
 		off += 4
 	}
-	return nil
 }
 
-// deserializeNode parses a page image into a node. Key and value slices are
-// copied out of buf so the caller may reuse the buffer.
+// pageUvarint reads one uvarint at off, bounds-checked against the page.
+func pageUvarint(id PageID, buf []byte, off int, what string) (uint64, int, error) {
+	v, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("btree: page %d: truncated %s at offset %d", id, what, off)
+	}
+	return v, off + n, nil
+}
+
+// deserializeNode parses a page image into a node, accepting both the v1
+// and v2 formats. Key and value slices are copied out of buf so the caller
+// may reuse the buffer. Corrupt input of either format yields an error,
+// never a panic (FuzzNodeCodec).
 func deserializeNode(id PageID, buf []byte) (*node, error) {
-	if len(buf) < leafHeaderSize {
+	if len(buf) < leafHeaderSizeV2 {
 		return nil, fmt.Errorf("btree: page %d too short (%d bytes)", id, len(buf))
 	}
 	count := int(binary.BigEndian.Uint16(buf[1:3]))
 	switch buf[0] {
 	case pageLeaf:
+		if len(buf) < leafHeaderSize {
+			return nil, fmt.Errorf("btree: page %d too short (%d bytes)", id, len(buf))
+		}
 		n := &node{
 			id:   id,
 			leaf: true,
@@ -146,6 +303,9 @@ func deserializeNode(id PageID, buf []byte) (*node, error) {
 		}
 		return n, nil
 	case pageInternal:
+		if len(buf) < internalHeaderSize {
+			return nil, fmt.Errorf("btree: page %d too short (%d bytes)", id, len(buf))
+		}
 		n := &node{
 			id:   id,
 			keys: make([][]byte, 0, count),
@@ -170,9 +330,99 @@ func deserializeNode(id PageID, buf []byte) (*node, error) {
 			off += 4
 		}
 		return n, nil
+	case pageLeafV2:
+		n := &node{
+			id:   id,
+			leaf: true,
+			keys: make([][]byte, 0, count),
+			vals: make([][]byte, 0, count),
+		}
+		off := leafHeaderSizeV2
+		var prev []byte
+		for i := 0; i < count; i++ {
+			shared, suffLen, off2, err := readCellPrefix(id, buf, off, i, prev)
+			if err != nil {
+				return nil, err
+			}
+			off = off2
+			vlen64, off3, err := pageUvarint(id, buf, off, "value length")
+			if err != nil {
+				return nil, err
+			}
+			off = off3
+			vlen := int(vlen64)
+			if vlen < 0 || off+suffLen+vlen > len(buf) {
+				return nil, fmt.Errorf("btree: leaf %d cell %d out of bounds", id, i)
+			}
+			k := make([]byte, shared+suffLen)
+			copy(k, prev[:shared])
+			copy(k[shared:], buf[off:off+suffLen])
+			off += suffLen
+			v := make([]byte, vlen)
+			copy(v, buf[off:off+vlen])
+			off += vlen
+			n.keys = append(n.keys, k)
+			n.vals = append(n.vals, v)
+			prev = k
+		}
+		return n, nil
+	case pageInternalV2:
+		if len(buf) < internalHeaderSizeV2+4 {
+			return nil, fmt.Errorf("btree: page %d too short (%d bytes)", id, len(buf))
+		}
+		n := &node{
+			id:   id,
+			keys: make([][]byte, 0, count),
+			kids: make([]PageID, 0, count+1),
+		}
+		n.kids = append(n.kids, PageID(binary.BigEndian.Uint32(buf[internalHeaderSizeV2:])))
+		off := internalHeaderSizeV2 + 4
+		var prev []byte
+		for i := 0; i < count; i++ {
+			shared, suffLen, off2, err := readCellPrefix(id, buf, off, i, prev)
+			if err != nil {
+				return nil, err
+			}
+			off = off2
+			if off+suffLen+4 > len(buf) {
+				return nil, fmt.Errorf("btree: internal %d cell %d out of bounds", id, i)
+			}
+			k := make([]byte, shared+suffLen)
+			copy(k, prev[:shared])
+			copy(k[shared:], buf[off:off+suffLen])
+			off += suffLen
+			n.keys = append(n.keys, k)
+			n.kids = append(n.kids, PageID(binary.BigEndian.Uint32(buf[off:])))
+			off += 4
+			prev = k
+		}
+		return n, nil
 	default:
 		return nil, fmt.Errorf("btree: page %d has unknown type %d", id, buf[0])
 	}
+}
+
+// readCellPrefix decodes the shared/suffix length pair of v2 cell i,
+// validating the restart discipline and the shared bound against prev.
+func readCellPrefix(id PageID, buf []byte, off, i int, prev []byte) (shared, suffLen, newOff int, err error) {
+	s64, off, err := pageUvarint(id, buf, off, "shared length")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	l64, off, err := pageUvarint(id, buf, off, "suffix length")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if s64 > uint64(len(prev)) {
+		return 0, 0, 0, fmt.Errorf("btree: page %d cell %d shares %d bytes of a %d-byte predecessor", id, i, s64, len(prev))
+	}
+	if i%restartInterval == 0 && s64 != 0 {
+		return 0, 0, 0, fmt.Errorf("btree: page %d cell %d is a restart point with shared %d", id, i, s64)
+	}
+	if l64 > uint64(len(buf)) {
+		return 0, 0, 0, fmt.Errorf("btree: page %d cell %d suffix of %d bytes overflows page", id, i, l64)
+	}
+	return int(s64), int(l64), off, nil
 }
 
 // insertLeafCell inserts key/val at index i.

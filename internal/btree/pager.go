@@ -1,6 +1,8 @@
 package btree
 
 import (
+	"bytes"
+	"compress/flate"
 	"container/list"
 	"encoding/binary"
 	"errors"
@@ -164,6 +166,19 @@ type FilePager struct {
 	walID    uint8
 	tornTail bool // file ended mid-page at open; the tail is ignored
 
+	// Cold tier (optional): flate-compressed copies of clean evicted pages.
+	// A pool miss checks here before touching the disk; a hit decompresses
+	// and promotes the page back into the pool, removing the cold copy, so a
+	// page is never simultaneously pooled and cold (which is what keeps the
+	// cold copy from going stale — pages are only ever modified while
+	// pooled). Capacity is bounded in compressed bytes; overflow evicts
+	// arbitrary entries (they are a cache of re-readable disk state, so any
+	// victim is safe).
+	compressCold bool
+	coldCap      int64
+	cold         map[PageID][]byte
+	coldBytes    int64 // total compressed bytes currently held
+
 	hits, misses atomic.Uint64 // buffer-pool statistics
 
 	// m aggregates buffer-pool and file-I/O metrics; never nil (a bundle of
@@ -190,6 +205,15 @@ type PagerOptions struct {
 	// same bundle may be shared by several pagers (its metrics are atomic);
 	// core shares one across an index's four tree files.
 	Metrics *obs.PagerMetrics
+	// CompressCold keeps flate-compressed copies of clean evicted pages in a
+	// second cache tier, turning many would-be disk reads into in-memory
+	// decompressions. Index pages front-code their keys, so they still
+	// compress 2-4x; the tier holds ColdCapBytes compressed bytes (<=0
+	// selects 4x the buffer pool's byte capacity).
+	CompressCold bool
+	// ColdCapBytes bounds the cold tier's compressed footprint when
+	// CompressCold is set.
+	ColdCapBytes int64
 }
 
 // OpenFilePager opens (or creates) the page file at path with no WAL
@@ -243,6 +267,14 @@ func OpenFilePagerOpts(path string, pageSize int, o PagerOptions) (*FilePager, e
 		wal:      o.WAL,
 		walID:    o.WALFileID,
 		m:        m,
+	}
+	if o.CompressCold {
+		p.compressCold = true
+		p.cold = make(map[PageID][]byte)
+		p.coldCap = o.ColdCapBytes
+		if p.coldCap <= 0 {
+			p.coldCap = 4 * int64(cachePages) * int64(pageSize)
+		}
 	}
 	if p.wal != nil {
 		if err := p.wal.attach(p.walID, p); err != nil {
@@ -326,8 +358,76 @@ func (p *FilePager) insert(fp *filePage) {
 		p.lru.Remove(e)
 		delete(p.cache, victim.id)
 		p.m.Evictions.Inc()
+		if p.compressCold {
+			p.storeCold(victim)
+		}
 		e = prev
 	}
+}
+
+// storeCold compresses an evicted page into the cold tier. Incompressible
+// pages are skipped — re-reading them from disk costs the same as holding
+// them would. Callers must hold p.mu; the victim is clean (dirty victims are
+// written back before eviction, so the pool copy equals durable state).
+func (p *FilePager) storeCold(victim *filePage) {
+	var buf bytes.Buffer
+	w, _ := flate.NewWriter(&buf, flate.BestSpeed)
+	if _, err := w.Write(victim.data); err != nil {
+		return
+	}
+	if err := w.Close(); err != nil {
+		return
+	}
+	cz := buf.Bytes()
+	if len(cz) >= p.pageSize {
+		return
+	}
+	if old, ok := p.cold[victim.id]; ok {
+		p.coldBytes -= int64(len(old))
+	}
+	for p.coldBytes+int64(len(cz)) > p.coldCap {
+		dropped := false
+		for id, b := range p.cold { // arbitrary victim; all entries are re-readable
+			delete(p.cold, id)
+			p.coldBytes -= int64(len(b))
+			dropped = true
+			break
+		}
+		if !dropped {
+			return // single page larger than the whole cap
+		}
+	}
+	p.cold[victim.id] = cz
+	p.coldBytes += int64(len(cz))
+	p.m.ColdStores.Inc()
+}
+
+// loadCold tries to satisfy a pool miss from the cold tier. On a hit the
+// entry is removed (the page re-enters the pool, where it may be modified;
+// eviction re-stores it fresh). Callers must hold p.mu.
+func (p *FilePager) loadCold(id PageID, data []byte) bool {
+	cz, ok := p.cold[id]
+	if !ok {
+		return false
+	}
+	delete(p.cold, id)
+	p.coldBytes -= int64(len(cz))
+	r := flate.NewReader(bytes.NewReader(cz))
+	n, err := io.ReadFull(r, data)
+	if err != nil || n != p.pageSize {
+		return false // fall through to the durable copy
+	}
+	p.m.ColdHits.Inc()
+	return true
+}
+
+// ColdStats reports the cold tier's current state: resident entries, their
+// compressed footprint, and the uncompressed bytes they stand in for. All
+// zeros when cold compression is off.
+func (p *FilePager) ColdStats() (entries int, compressedBytes, rawBytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cold), p.coldBytes, int64(len(p.cold)) * int64(p.pageSize)
 }
 
 // writeFile writes fp back: into the WAL when one is attached (the page then
@@ -430,6 +530,14 @@ func (p *FilePager) load(id PageID) (*filePage, error) {
 		return nil, fmt.Errorf("btree: access to unallocated page %d (have %d)", id, p.npages)
 	}
 	data := make([]byte, p.pageSize)
+	if p.compressCold && p.loadCold(id, data) {
+		// The cold copy was taken at eviction from the then-current pool
+		// content, which any staged WAL frame for the page was written from —
+		// so it is always at least as fresh as the durable copies below.
+		fp := &filePage{id: id, data: data}
+		p.insert(fp)
+		return fp, nil
+	}
 	if p.wal != nil {
 		ok, err := p.wal.readStaged(p.walID, id, data)
 		if err != nil {

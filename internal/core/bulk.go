@@ -26,7 +26,7 @@ func (ix *Index) BulkInsertNode(sym seq.Symbol, prefix []seq.Symbol, n, size, pa
 		return err
 	}
 	rec := nodeRecord{size: size, parentN: parentN, refcount: refcount}
-	if err := ix.nodes.Put(nodeKey(daKey(sym, prefix), n), rec.encode()); err != nil {
+	if err := ix.nodes.Put(nodeKey(ix.kc.daKeyW(sym, prefix), n), ix.kc.encodeRecord(n, rec)); err != nil {
 		ix.rollbackLocked()
 		ix.degrade("bulk-insert", err)
 		return err

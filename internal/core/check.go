@@ -58,7 +58,7 @@ func (ix *Index) Check() (*CheckReport, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	report := &CheckReport{}
-	if err := checkStructure(ix.nodes, ix.docs, ix.syn, report); err != nil {
+	if err := checkStructure(ix.nodes, ix.docs, ix.syn, ix.kc, report); err != nil {
 		return nil, err
 	}
 	// Version bookkeeping: the published and pending roots of every tree
@@ -84,7 +84,7 @@ func (ix *Index) CheckSnapshot() (*CheckReport, error) {
 	}
 	defer ix.unpin(snap)
 	report := &CheckReport{}
-	if err := checkStructure(snap.nodes, snap.docs, snap.syn, report); err != nil {
+	if err := checkStructure(snap.nodes, snap.docs, snap.syn, ix.kc, report); err != nil {
 		return nil, err
 	}
 	return report, nil
@@ -93,7 +93,7 @@ func (ix *Index) CheckSnapshot() (*CheckReport, error) {
 // checkStructure performs the structural invariant scan over any coherent
 // (node table, DocId table, synopsis) triple, appending violations to
 // report.
-func checkStructure(nodeTree, docTree scanner, syn *plan.Synopsis, report *CheckReport) error {
+func checkStructure(nodeTree, docTree scanner, syn *plan.Synopsis, kc keyCodec, report *CheckReport) error {
 	type nodeInfo struct {
 		rec      nodeRecord
 		plen     int
@@ -103,17 +103,17 @@ func checkStructure(nodeTree, docTree scanner, syn *plan.Synopsis, report *Check
 	nodes := make(map[uint64]*nodeInfo)
 
 	err := nodeTree.Scan(nil, nil, func(k, v []byte) (bool, error) {
-		da, n, err := splitNodeKey(k)
+		da, n, err := kc.splitNodeKey(k)
 		if err != nil {
 			report.problemf("unparseable node key: %v", err)
 			return true, nil
 		}
-		rec, err := decodeNodeRecord(v)
+		rec, err := kc.decodeRecord(n, v)
 		if err != nil {
 			report.problemf("node %d: unparseable record: %v", n, err)
 			return true, nil
 		}
-		_, prefix, err := parseDAKey(da)
+		_, prefix, err := kc.parseDAKey(da)
 		if err != nil {
 			report.problemf("node %d: unparseable D-Ancestor key: %v", n, err)
 			return true, nil
@@ -224,7 +224,7 @@ func checkStructure(nodeTree, docTree scanner, syn *plan.Synopsis, report *Check
 	// The maintained path synopsis must agree with one rebuilt from the node
 	// table — the planner trusts it for empty-result proofs and prefix
 	// pruning, so divergence silently drops query results.
-	rebuilt, err := rebuildSynopsisFrom(nodeTree)
+	rebuilt, err := rebuildSynopsisFrom(nodeTree, kc)
 	if err != nil {
 		return err
 	}

@@ -65,12 +65,16 @@ func TestCheckDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := decodeNodeRecord(val)
+	_, n, err := ix.kc.splitNodeKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ix.kc.decodeRecord(n, val)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rec.refcount = 99
-	if err := ix.nodes.Put(key, rec.encode()); err != nil {
+	if err := ix.nodes.Put(key, ix.kc.encodeRecord(n, rec)); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := ix.Check()

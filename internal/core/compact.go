@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CompactReport summarizes an offline Compact run.
+type CompactReport struct {
+	// Nodes, Docs, and StoreChunks count the entries copied into the
+	// rewritten index.
+	Nodes, Docs, StoreChunks int
+	// BytesBefore and BytesAfter are the summed sizes of the four tree files
+	// (WAL excluded) before and after the rewrite.
+	BytesBefore, BytesAfter int64
+	// BackupDir is where the pre-compaction index directory was moved
+	// (kept, never deleted).
+	BackupDir string
+}
+
+// Compact rewrites the index at dir into the storage format the given
+// options select: interned D-Ancestor keys with varint records by default,
+// the original fixed-width layout under Options.LegacyFormat — in both cases
+// on freshly packed pages (front-coded unless LegacyFormat), which also
+// reclaims the space of dead page versions accumulated on the freelist. It
+// is the migration path for indexes created before path interning existed,
+// and doubles as an offline defragmenter for current-format indexes.
+//
+// Compact is strict where Repair is forgiving: the source index must open
+// and pass its structural invariant check, or Compact refuses and points at
+// Repair — rewriting a corrupt index would launder its corruption into a
+// "clean" replacement. Unlike Repair it copies the trees entry by entry
+// (re-encoding node keys and records), so it works on indexes built with
+// SkipDocumentStore, which Repair cannot rebuild.
+//
+// The directory swap mirrors Repair: the rewrite lands in
+// dir+".compact.tmp", the original is renamed to dir+".pre-compact" (kept),
+// and the rewrite takes its place. A crash mid-swap leaves both directories
+// on disk; nothing is destroyed.
+func Compact(dir string, opts Options) (*CompactReport, error) {
+	opts.ScrubInterval = 0
+	src, err := Open(dir, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: compact: %w", err)
+	}
+	report := &CompactReport{}
+	rep, err := src.Check()
+	if err != nil {
+		src.Close()
+		return nil, fmt.Errorf("core: compact: structural check aborted (run Repair): %w", err)
+	}
+	if !rep.Ok() {
+		src.Close()
+		return nil, fmt.Errorf("core: compact refused: index has %d invariant violations (first: %s); run Repair first",
+			len(rep.Problems), rep.Problems[0])
+	}
+	for _, name := range indexFileNames {
+		if st, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			report.BytesBefore += st.Size()
+		}
+	}
+
+	tmp := dir + ".compact.tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		src.Close()
+		return nil, err
+	}
+	dst, err := Open(tmp, opts)
+	if err != nil {
+		src.Close()
+		return nil, fmt.Errorf("core: compact: creating replacement index: %w", err)
+	}
+	fail := func(err error) (*CompactReport, error) {
+		dst.Close()
+		src.Close()
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	if err := copyIndex(src, dst, report); err != nil {
+		return fail(fmt.Errorf("core: compact: %w", err))
+	}
+	if err := dst.Close(); err != nil {
+		src.Close()
+		os.RemoveAll(tmp)
+		return nil, fmt.Errorf("core: compact: persisting replacement index: %w", err)
+	}
+	if err := src.Close(); err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+
+	backup := dir + ".pre-compact"
+	if err := os.RemoveAll(backup); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(dir, backup); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		if rerr := os.Rename(backup, dir); rerr != nil {
+			return nil, fmt.Errorf("core: compact: swap failed (%v) and restore failed (%v); index is at %s, rewrite at %s", err, rerr, backup, tmp)
+		}
+		return nil, err
+	}
+	report.BackupDir = backup
+	for _, name := range indexFileNames {
+		if st, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			report.BytesAfter += st.Size()
+		}
+	}
+	return report, nil
+}
+
+// copyIndex copies src's logical content into the freshly created dst,
+// re-encoding node keys and records from src's key format to dst's. The
+// DocId and store trees are format-independent and copy raw. In-memory
+// metadata transplants directly; dst.Close persists it. Both indexes are
+// private to the caller, so the trees are driven without taking locks.
+func copyIndex(src, dst *Index, report *CompactReport) error {
+	err := src.nodes.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		da, n, err := src.kc.splitNodeKey(k)
+		if err != nil {
+			return false, err
+		}
+		sym, prefix, err := src.kc.parseDAKey(da)
+		if err != nil {
+			return false, err
+		}
+		rec, err := src.kc.decodeRecord(n, v)
+		if err != nil {
+			return false, err
+		}
+		report.Nodes++
+		return true, dst.nodes.Put(nodeKey(dst.kc.daKeyW(sym, prefix), n), dst.kc.encodeRecord(n, rec))
+	})
+	if err != nil {
+		return fmt.Errorf("rewriting node tree: %w", err)
+	}
+	err = src.docs.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		report.Docs++
+		return true, dst.docs.Put(k, v)
+	})
+	if err != nil {
+		return fmt.Errorf("copying DocId tree: %w", err)
+	}
+	err = src.store.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		report.StoreChunks++
+		return true, dst.store.Put(k, v)
+	})
+	if err != nil {
+		return fmt.Errorf("copying document store: %w", err)
+	}
+	// Transplant the derived and scalar state; everything marked dirty so
+	// dst.Close's saveMeta writes it all (the synopsis and, for an interned
+	// dst, the path dictionary daKeyW just populated).
+	dst.dict = src.dict
+	dst.dictLen = 0
+	dst.schema = src.schema
+	dst.opts.Schema = src.opts.Schema
+	dst.stats = src.stats
+	dst.alloc = src.alloc
+	dst.syn = src.syn
+	dst.synShared = false
+	dst.synDirty = true
+	dst.nextDoc = src.nextDoc
+	dst.docCount = src.docCount
+	dst.maxDepth = src.maxDepth
+	dst.rootK = src.rootK
+	dst.rootResvd = src.rootResvd
+	dst.metaDirty = true
+	dst.pdLen = 0
+	return nil
+}

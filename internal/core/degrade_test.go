@@ -218,7 +218,10 @@ func TestDegradeUnderConcurrentQueries(t *testing.T) {
 // reopen).
 func TestWALAutoCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	const maxWAL = 64 * 1024
+	// Small enough that 150 inserts cross it several times even with the
+	// compact interned key format (varint records stage far fewer dirty
+	// pages per insert than the fixed layout did).
+	const maxWAL = 16 * 1024
 	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, WALMaxBytes: maxWAL})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vist/internal/keyenc"
+	"vist/internal/seq"
+)
+
+// formatTestExprs exercises every evaluation shape over randomRecords data:
+// chains, wildcards, '//', branches, values, attributes.
+var formatTestExprs = []string{
+	"/r", "/r/a", "/r/a/b", "/r//c", "//d", "/r/*[a]", "/r[a][b]",
+	"/r/a[b]/c", "//b[text()='x']", "/r//c[text()='y']",
+	"/r[a[b]]", "//a//b", "/r/*/*[text()='z']", "/r[@a='x']",
+	"//b[c='x']",
+}
+
+// TestFormatQueryEquivalence: the fixed and interned key formats must be
+// query-indistinguishable — same documents in, same result sets out, through
+// inserts and deletes, with and without the planner.
+func TestFormatQueryEquivalence(t *testing.T) {
+	for _, planner := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(41))
+		docs := randomRecords(rng, 80)
+		fixed := mustMem(t, Options{LegacyFormat: true, DisablePlanner: !planner})
+		interned := mustMem(t, Options{DisablePlanner: !planner})
+		fixedIDs := insertXML(t, fixed, docs...)
+		internedIDs := insertXML(t, interned, docs...)
+		if !reflect.DeepEqual(fixedIDs, internedIDs) {
+			t.Fatal("formats assigned different DocIDs")
+		}
+		compare := func(stage string) {
+			t.Helper()
+			for _, expr := range formatTestExprs {
+				a := queryIDs(t, fixed, expr)
+				b := queryIDs(t, interned, expr)
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("planner=%v %s: %q: fixed=%v interned=%v", planner, stage, expr, a, b)
+				}
+			}
+		}
+		compare("after insert")
+		for i := 0; i < len(fixedIDs); i += 3 {
+			if err := fixed.Delete(fixedIDs[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := interned.Delete(internedIDs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		compare("after deletes")
+		for _, ix := range []*Index{fixed, interned} {
+			rep, err := ix.Check()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("planner=%v check: %v", planner, rep.Problems)
+			}
+		}
+	}
+}
+
+// TestFormatMigrationRoundTrip: a directory created with the legacy layout
+// must reopen under default options (the key format is pinned by the
+// metadata version, not the option), accept writes, survive reopen, and pass
+// the full structural check.
+func TestFormatMigrationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	docs := randomRecords(rand.New(rand.NewSource(5)), 30)
+
+	old, err := Open(dir, Options{PageSize: 512, LegacyFormat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertXML(t, old, docs[:15]...)
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with defaults: the index must stay in its recorded fixed-key
+	// format rather than misread its keys as interned.
+	ix, err := Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.kc.fmtV != keyFmtFixed {
+		t.Fatalf("reopened legacy index has key format %d, want %d", ix.kc.fmtV, keyFmtFixed)
+	}
+	before := queryIDs(t, ix, "//a")
+	insertXML(t, ix, docs[15:]...)
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err = Open(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if got := ix.DocCount(); got != 30 {
+		t.Fatalf("doc count after round trip = %d, want 30", got)
+	}
+	if after := queryIDs(t, ix, "//a"); len(after) < len(before) {
+		t.Fatalf("query lost results across the round trip: %d -> %d", len(before), len(after))
+	}
+	rep, err := ix.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("check after migration round trip: %v", rep.Problems)
+	}
+}
+
+// TestCompactUpgradesFormat: Compact rewrites a legacy directory into the
+// interned format (and back under LegacyFormat), preserving every query
+// result and passing the structural check; the upgrade direction must shrink
+// the node file.
+func TestCompactUpgradesFormat(t *testing.T) {
+	dir := t.TempDir()
+	docs := randomRecords(rand.New(rand.NewSource(17)), 60)
+	old, err := Open(dir, Options{PageSize: 512, LegacyFormat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertXML(t, old, docs...)
+	want := map[string][]DocID{}
+	for _, expr := range formatTestExprs {
+		want[expr] = queryIDs(t, old, expr)
+	}
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Compact(dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesAfter >= rep.BytesBefore {
+		t.Errorf("compact to interned format grew the index: %d -> %d bytes", rep.BytesBefore, rep.BytesAfter)
+	}
+	verify := func(wantFmt byte) {
+		t.Helper()
+		ix, err := Open(dir, Options{PageSize: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ix.Close()
+		if ix.kc.fmtV != wantFmt {
+			t.Fatalf("compacted index has key format %d, want %d", ix.kc.fmtV, wantFmt)
+		}
+		for _, expr := range formatTestExprs {
+			if got := queryIDs(t, ix, expr); !reflect.DeepEqual(got, want[expr]) {
+				t.Errorf("%q after compact: got %v want %v", expr, got, want[expr])
+			}
+		}
+		crep, err := ix.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !crep.Ok() {
+			t.Fatalf("check after compact: %v", crep.Problems)
+		}
+	}
+	verify(keyFmtInterned)
+
+	// And back down to the legacy layout.
+	if _, err := Compact(dir, Options{PageSize: 512, LegacyFormat: true}); err != nil {
+		t.Fatal(err)
+	}
+	verify(keyFmtFixed)
+}
+
+// TestPathDictCodec: the persisted path dictionary round-trips exactly and
+// rejects corrupt encodings.
+func TestPathDictCodec(t *testing.T) {
+	pd := NewPathDict()
+	paths := [][]uint32{{1}, {1, 2}, {1, 2, 3}, {7, 7}, {}}
+	ids := make([]uint32, len(paths))
+	for i, p := range paths {
+		syms := symbolsOf(p)
+		ids[i] = pd.Intern(syms)
+		if again := pd.Intern(syms); again != ids[i] {
+			t.Fatalf("re-interning path %v changed its ID: %d -> %d", p, ids[i], again)
+		}
+	}
+	blob := pd.Encode()
+	got, err := DecodePathDict(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != pd.Len() {
+		t.Fatalf("decoded dictionary has %d paths, want %d", got.Len(), pd.Len())
+	}
+	for i, p := range paths {
+		id, ok := got.Lookup(symbolsOf(p))
+		if !ok || id != ids[i] {
+			t.Fatalf("decoded Lookup(%v) = %d,%v; want %d,true", p, id, ok, ids[i])
+		}
+	}
+	// Truncations and garbage must error, never panic.
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodePathDict(blob[:cut]); err == nil && cut != len(blob) {
+			// Some prefixes can be self-consistent; only the empty and
+			// version-damaged ones are guaranteed invalid.
+			continue
+		}
+	}
+	if _, err := DecodePathDict(nil); err == nil {
+		t.Fatal("empty blob decoded")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := DecodePathDict(bad); err == nil {
+		t.Fatal("wrong version decoded")
+	}
+}
+
+// TestColdPageCompression: with a tiny buffer pool and cold compression on,
+// evictions populate the cold tier and later misses hit it; results match an
+// uncompressed in-memory index exactly.
+func TestColdPageCompression(t *testing.T) {
+	docs := randomRecords(rand.New(rand.NewSource(23)), 120)
+	dir := t.TempDir()
+	// Tiny caches at both layers (pages AND decoded nodes) so queries
+	// actually fault pages instead of being absorbed above the pager.
+	ix, err := Open(dir, Options{PageSize: 512, CachePages: 4, NodeCache: 8, CompressColdPages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ref := mustMem(t, Options{})
+	insertXML(t, ix, docs...)
+	insertXML(t, ref, docs...)
+	for _, expr := range formatTestExprs {
+		got := queryIDs(t, ix, expr)
+		want := queryIDs(t, ref, expr)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: cold-compressed=%v mem=%v", expr, got, want)
+		}
+	}
+	m := ix.Metrics()
+	if m.Counters["pager.cold_stores"] == 0 {
+		t.Error("4-page pool over 120 docs produced no cold stores")
+	}
+	if m.Counters["pager.cold_hits"] == 0 {
+		t.Error("repeated queries over an evicting pool produced no cold hits")
+	}
+	st := ix.StorageStats()
+	if st.KeyFormat != "interned" {
+		t.Errorf("key format = %q, want interned", st.KeyFormat)
+	}
+	if st.BytesPerDoc <= 0 {
+		t.Error("StorageStats reports no bytes per document")
+	}
+	if st.ColdCompressedBytes >= st.ColdRawBytes && st.ColdEntries > 0 {
+		t.Errorf("cold tier does not compress: %d compressed vs %d raw", st.ColdCompressedBytes, st.ColdRawBytes)
+	}
+}
+
+// TestAllFFRangeBound: the scan paths bound every D-Ancestor group by
+// [da, PrefixSuccessor(da)); at the key-space ceiling PrefixSuccessor
+// returns nil and the scan must treat that as "to the end" — covering the
+// whole group, terminating, and never skipping past it. Constructible keys
+// never reach the ceiling (the prefix-length/uvarint byte can't be 0xFF), so
+// this drives the bound directly against the node tree.
+func TestAllFFRangeBound(t *testing.T) {
+	ix := mustMem(t, Options{LegacyFormat: true})
+	da := bytes.Repeat([]byte{0xFF}, 6) // sym=0xFFFFFFFF, plen=0xFFFF: the ceiling group
+	rec := nodeRecord{size: 10, refcount: 1}
+	for _, n := range []uint64{5, 9, 1<<64 - 1} {
+		if err := ix.nodes.Put(nodeKey(da, n), rec.encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hi := keyenc.PrefixSuccessor(da); hi != nil {
+		t.Fatalf("PrefixSuccessor(all-0xFF) = %x, want nil", hi)
+	}
+	// The chain-scan idiom: scan [da, nil) — unbounded above.
+	count := 0
+	err := ix.nodes.Scan(da, keyenc.PrefixSuccessor(da), func(k, v []byte) (bool, error) {
+		count++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("ceiling-group scan visited %d keys, want 3", count)
+	}
+}
+
+// symbolsOf converts raw uint32s to seq.Symbols for dictionary tests.
+func symbolsOf(p []uint32) []seq.Symbol {
+	out := make([]seq.Symbol, len(p))
+	for i, v := range p {
+		out[i] = seq.Symbol(v)
+	}
+	return out
+}

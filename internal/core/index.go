@@ -119,6 +119,20 @@ type Options struct {
 	// rate so a pass costs bounded I/O and mutex time. Zero selects
 	// DefaultScrubRate; negative means unthrottled.
 	ScrubPagesPerSecond int
+	// LegacyFormat makes newly created indexes use the original storage
+	// layout: fixed-width D-Ancestor keys (no path interning) and
+	// uncompressed v1 B+Tree pages. Existing indexes keep the key format
+	// they were created with regardless of this option (it is recorded in
+	// the index metadata); the page format of anything written follows this
+	// option. Exists for A/B benchmarks and for producing files older
+	// binaries can read.
+	LegacyFormat bool
+	// CompressColdPages keeps flate-compressed copies of clean pages the
+	// buffer pool evicts (file-backed indexes only): a later miss on such a
+	// page decompresses from memory instead of reading disk. The
+	// "pager.cold_hits"/"pager.cold_stores" counters and StorageStats
+	// report how often that pays.
+	CompressColdPages bool
 }
 
 // RecoveryInfo reports what Open found in the write-ahead log.
@@ -164,6 +178,13 @@ type Index struct {
 	alloc  labeling.Allocator
 	stats  *labeling.Stats
 	opts   Options
+
+	// kc is the node-key/record codec for this index's key format, fixed at
+	// open (the format is recorded in the metadata version). Immutable after
+	// initIndex, so queries use it lock-free; the PathDict inside it (interned
+	// format only) is internally synchronized and grow-only.
+	kc    keyCodec
+	pdLen int // interned paths at last persist
 
 	// syn is the live (writer-side) path synopsis head, guarded by mu;
 	// queries read the immutable fork captured in their pinned snapshot.
@@ -231,7 +252,7 @@ func NewMem(opts Options) (*Index, error) {
 	reg := newRegistry(opts)
 	tm := obs.NewTreeMetrics(reg)
 	open := func() (*btree.BTree, error) {
-		return btree.New(btree.NewMemPager(ps), btree.Options{PageSize: ps, NodeCache: opts.NodeCache, Metrics: tm})
+		return btree.New(btree.NewMemPager(ps), btree.Options{PageSize: ps, NodeCache: opts.NodeCache, Metrics: tm, LegacyPageFormat: opts.LegacyFormat})
 	}
 	nodes, err := open()
 	if err != nil {
@@ -316,11 +337,12 @@ func Open(dir string, opts Options) (*Index, error) {
 	tm := obs.NewTreeMetrics(reg)
 	for i, name := range []string{"nodes.db", "docs.db", "store.db", "aux.db"} {
 		pg, err := btree.OpenFilePagerOpts(filepath.Join(dir, name), ps, btree.PagerOptions{
-			CachePages: opts.CachePages,
-			WAL:        wal,
-			WALFileID:  uint8(i + 1),
-			FS:         opts.FS,
-			Metrics:    pm,
+			CachePages:   opts.CachePages,
+			WAL:          wal,
+			WALFileID:    uint8(i + 1),
+			FS:           opts.FS,
+			Metrics:      pm,
+			CompressCold: opts.CompressColdPages,
 		})
 		if err != nil {
 			return fail(err)
@@ -342,7 +364,7 @@ func Open(dir string, opts Options) (*Index, error) {
 		}
 	}
 	for _, pg := range pagers {
-		t, err := btree.New(pg, btree.Options{PageSize: ps, NodeCache: opts.NodeCache, Metrics: tm})
+		t, err := btree.New(pg, btree.Options{PageSize: ps, NodeCache: opts.NodeCache, Metrics: tm, LegacyPageFormat: opts.LegacyFormat})
 		if err != nil {
 			return fail(err)
 		}
@@ -377,6 +399,14 @@ func initIndex(nodes, docs, store, aux *btree.BTree, opts Options, reg *obs.Regi
 		if opts.Training != nil {
 			ix.dict = opts.Training.Dict
 			ix.stats = opts.Training.Stats
+		}
+		// New indexes default to the interned key format; LegacyFormat
+		// selects the original fixed-width layout. Existing indexes had
+		// their codec fixed by loadMeta.
+		if opts.LegacyFormat {
+			ix.kc = keyCodec{fmtV: keyFmtFixed}
+		} else {
+			ix.kc = keyCodec{fmtV: keyFmtInterned, pd: NewPathDict()}
 		}
 		ix.metaDirty = true
 	}
@@ -448,6 +478,63 @@ func (ix *Index) SizeBytes() int64 {
 // of the paper measures.
 func (ix *Index) IndexSizeBytes() int64 {
 	return ix.nodes.SizeBytes() + ix.docs.SizeBytes()
+}
+
+// FileStorage is one tree file's footprint within StorageStats.
+type FileStorage struct {
+	Name  string
+	Bytes int64
+}
+
+// StorageStats describes an index's storage footprint: per-file bytes (file
+// backed indexes only), the bytes-per-document ratio, the key format in use,
+// and — when cold-page compression is on — the cold tier's current state.
+type StorageStats struct {
+	// Files lists the four tree files and their sizes (nil for in-memory
+	// indexes).
+	Files []FileStorage
+	// TotalBytes sums the tree footprints (page data plus checksum trailers
+	// for file-backed indexes; the WAL is excluded — it truncates on Sync).
+	TotalBytes int64
+	// BytesPerDoc is TotalBytes over the published document count (0 when
+	// the index is empty).
+	BytesPerDoc float64
+	// KeyFormat is "fixed" or "interned".
+	KeyFormat string
+	// InternedPaths counts distinct root paths in the path dictionary
+	// (interned format only).
+	InternedPaths int
+	// Cold-tier state, summed across the four pagers: resident compressed
+	// pages, their compressed footprint, and the uncompressed bytes they
+	// stand in for. All zero unless Options.CompressColdPages is set.
+	ColdEntries                       int
+	ColdCompressedBytes, ColdRawBytes int64
+}
+
+// StorageStats reports the index's storage footprint (see the field docs).
+func (ix *Index) StorageStats() StorageStats {
+	st := StorageStats{KeyFormat: "fixed"}
+	if ix.kc.fmtV == keyFmtInterned {
+		st.KeyFormat = "interned"
+		st.InternedPaths = ix.kc.pd.Len()
+	}
+	if len(ix.pagers) > 0 {
+		for i, p := range ix.pagers {
+			b := p.Size()
+			st.Files = append(st.Files, FileStorage{Name: indexFileNames[i], Bytes: b})
+			st.TotalBytes += b
+			entries, comp, raw := p.ColdStats()
+			st.ColdEntries += entries
+			st.ColdCompressedBytes += comp
+			st.ColdRawBytes += raw
+		}
+	} else {
+		st.TotalBytes = ix.SizeBytes()
+	}
+	if dc := ix.DocCount(); dc > 0 {
+		st.BytesPerDoc = float64(st.TotalBytes) / float64(dc)
+	}
+	return st
 }
 
 // Recovered reports whether opening this index replayed a committed WAL
@@ -589,7 +676,15 @@ func (ix *Index) Close() error {
 
 // --- metadata persistence ---------------------------------------------------
 
-const metaVersion = 1
+// Metadata versions double as the key-format signal: version 1 indexes use
+// fixed-width D-Ancestor keys (and are byte-identical to what pre-interning
+// binaries wrote), version 2 indexes use interned keys plus the persisted
+// path dictionary. Binaries that predate interning fail loudly on version 2
+// instead of misreading the keys.
+const (
+	metaVersion         = 1
+	metaVersionInterned = 2
+)
 
 // loadMeta restores persisted metadata; existing reports whether the aux
 // tree held an index.
@@ -604,7 +699,12 @@ func (ix *Index) loadMeta() (existing bool, err error) {
 	if len(blob) < 33 {
 		return false, fmt.Errorf("core: meta blob truncated (%d bytes)", len(blob))
 	}
-	if v := binary.BigEndian.Uint32(blob[0:4]); v != metaVersion {
+	switch v := binary.BigEndian.Uint32(blob[0:4]); v {
+	case metaVersion:
+		ix.kc = keyCodec{fmtV: keyFmtFixed}
+	case metaVersionInterned:
+		ix.kc = keyCodec{fmtV: keyFmtInterned} // dictionary attached below
+	default:
 		return false, fmt.Errorf("core: unsupported index version %d", v)
 	}
 	ix.nextDoc = DocID(binary.BigEndian.Uint64(blob[4:12]))
@@ -647,6 +747,20 @@ func (ix *Index) loadMeta() (existing bool, err error) {
 	}
 	ix.dictLen = ix.dict.Len()
 
+	if ix.kc.fmtV == keyFmtInterned {
+		pdBlob, ok, err := ix.getBlob(pathDictBlob)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, fmt.Errorf("core: interned-key index has no path dictionary")
+		}
+		if ix.kc.pd, err = DecodePathDict(pdBlob); err != nil {
+			return false, err
+		}
+		ix.pdLen = ix.kc.pd.Len()
+	}
+
 	statsBlob, ok, err := ix.getBlob("stats")
 	if err != nil {
 		return false, err
@@ -672,11 +786,16 @@ func (ix *Index) saveMeta() error {
 		}
 		ix.synDirty = false
 	}
-	if !ix.metaDirty && ix.dict != nil && ix.dict.Len() == ix.dictLen {
+	if !ix.metaDirty && ix.dict != nil && ix.dict.Len() == ix.dictLen &&
+		(ix.kc.pd == nil || ix.kc.pd.Len() == ix.pdLen) {
 		return nil
 	}
+	ver := uint32(metaVersion)
+	if ix.kc.fmtV == keyFmtInterned {
+		ver = metaVersionInterned
+	}
 	blob := make([]byte, 32)
-	binary.BigEndian.PutUint32(blob[0:4], metaVersion)
+	binary.BigEndian.PutUint32(blob[0:4], ver)
 	binary.BigEndian.PutUint64(blob[4:12], uint64(ix.nextDoc))
 	binary.BigEndian.PutUint64(blob[12:20], ix.docCount)
 	binary.BigEndian.PutUint32(blob[20:24], uint32(ix.maxDepth))
@@ -693,6 +812,14 @@ func (ix *Index) saveMeta() error {
 	if err := ix.putBlob("dict", ix.dict.Encode()); err != nil {
 		return err
 	}
+	if ix.kc.pd != nil {
+		// Persisted in the same aux-tree window as everything else, so one
+		// WAL commit covers keys and the dictionary they reference.
+		if err := ix.putBlob(pathDictBlob, ix.kc.pd.Encode()); err != nil {
+			return err
+		}
+		ix.pdLen = ix.kc.pd.Len()
+	}
 	if ix.stats != nil {
 		if err := ix.putBlob("stats", ix.stats.Encode()); err != nil {
 			return err
@@ -702,6 +829,10 @@ func (ix *Index) saveMeta() error {
 	ix.dictLen = ix.dict.Len()
 	return nil
 }
+
+// pathDictBlob is the aux-tree blob name the path dictionary persists under
+// (interned key format only).
+const pathDictBlob = "pathdict"
 
 // --- blob storage in the aux tree -------------------------------------------
 

@@ -116,18 +116,18 @@ func (ix *Index) insertSequence(s seq.Sequence) (uint64, error) {
 	prevKey := "" // element key of the current node (root = empty)
 	for i := range s {
 		cur := &path[len(path)-1]
-		da := daKey(s[i].Symbol, s[i].Prefix)
+		da := ix.kc.daKeyW(s[i].Symbol, s[i].Prefix)
 		childKey, childRec, found, err := ix.findChild(da, cur.scope)
 		if err != nil {
 			return 0, err
 		}
 		if found {
-			childRec.refcount++
-			if err := ix.nodes.Put(childKey, childRec.encode()); err != nil {
+			_, n, err := ix.kc.splitNodeKey(childKey)
+			if err != nil {
 				return 0, err
 			}
-			_, n, err := splitNodeKey(childKey)
-			if err != nil {
+			childRec.refcount++
+			if err := ix.nodes.Put(childKey, ix.kc.encodeRecord(n, childRec)); err != nil {
 				return 0, err
 			}
 			path = append(path, pathEntry{key: childKey, rec: childRec, scope: labeling.Scope{N: n, Size: childRec.size}})
@@ -148,7 +148,7 @@ func (ix *Index) insertSequence(s seq.Sequence) (uint64, error) {
 		}
 		rec := nodeRecord{size: sub.Size, parentN: cur.scope.N, refcount: 1}
 		key := nodeKey(da, sub.N)
-		if err := ix.nodes.Put(key, rec.encode()); err != nil {
+		if err := ix.nodes.Put(key, ix.kc.encodeRecord(sub.N, rec)); err != nil {
 			return 0, err
 		}
 		path = append(path, pathEntry{key: key, rec: rec, scope: sub})
@@ -165,7 +165,7 @@ func (ix *Index) writePathEntry(e *pathEntry) error {
 		ix.metaDirty = true
 		return nil
 	}
-	return ix.nodes.Put(e.key, e.rec.encode())
+	return ix.nodes.Put(e.key, ix.kc.encodeRecord(e.scope.N, e.rec))
 }
 
 // findChild locates the shareable (non-sequential) immediate child of the
@@ -182,7 +182,12 @@ func (ix *Index) findChild(da []byte, parent labeling.Scope) ([]byte, nodeRecord
 		scanErr  error
 	)
 	err := ix.nodes.Scan(lo, hiEx, func(k, v []byte) (bool, error) {
-		rec, err := decodeNodeRecord(v)
+		_, n, err := ix.kc.splitNodeKey(k)
+		if err != nil {
+			scanErr = err
+			return false, err
+		}
+		rec, err := ix.kc.decodeRecord(n, v)
 		if err != nil {
 			scanErr = err
 			return false, err
@@ -256,7 +261,7 @@ func (ix *Index) borrow(path []pathEntry, s seq.Sequence, i int) (uint64, error)
 				refcount: 1,
 				flags:    flagSequential,
 			}
-			if err := ix.nodes.Put(nodeKey(daKey(el.Symbol, el.Prefix), scopes[t].N), rec.encode()); err != nil {
+			if err := ix.nodes.Put(nodeKey(ix.kc.daKeyW(el.Symbol, el.Prefix), scopes[t].N), ix.kc.encodeRecord(scopes[t].N, rec)); err != nil {
 				return 0, err
 			}
 			parentN = scopes[t].N
@@ -407,7 +412,7 @@ func (ix *Index) Delete(id DocID) (err error) {
 	// Walk the path bottom-up via parentN links, decrementing refcounts.
 	n := last
 	for i := len(s) - 1; i >= 0; i-- {
-		key := nodeKey(daKey(s[i].Symbol, s[i].Prefix), n)
+		key := nodeKey(ix.kc.daKeyW(s[i].Symbol, s[i].Prefix), n)
 		v, ok, err := ix.nodes.Get(key)
 		if err != nil {
 			return err
@@ -415,7 +420,7 @@ func (ix *Index) Delete(id DocID) (err error) {
 		if !ok {
 			return fmt.Errorf("core: delete %d: path node at element %d (label %d) missing", id, i, n)
 		}
-		rec, err := decodeNodeRecord(v)
+		rec, err := ix.kc.decodeRecord(n, v)
 		if err != nil {
 			return err
 		}
@@ -426,7 +431,7 @@ func (ix *Index) Delete(id DocID) (err error) {
 			}
 		} else {
 			rec.refcount--
-			if err := ix.nodes.Put(key, rec.encode()); err != nil {
+			if err := ix.nodes.Put(key, ix.kc.encodeRecord(n, rec)); err != nil {
 				return err
 			}
 		}

@@ -31,7 +31,103 @@ type DocID uint64
 // splitting large structures into sub-structures; Section 3.4.1).
 const MaxDepth = 64
 
-// daKey encodes the D-Ancestor part of a node key:
+// Key formats for the combined D/S-Ancestor tree. The format is a property
+// of the index file, fixed at creation and recorded in the metadata version;
+// one index never mixes formats.
+const (
+	// keyFmtFixed is the paper-literal layout: the prefix is spelled out as
+	// fixed-width symbols, ordered (symbol, len(prefix), prefix content), so
+	// wildcard prefixes are key-range scans (Section 3.3).
+	keyFmtFixed = 1
+	// keyFmtInterned compacts the prefix to a PathDict ID:
+	//
+	//	symbol(4) ‖ uvarint(pathID) ‖ n(8)
+	//
+	// Distinct prefixes number in the hundreds while keys number in the
+	// millions, so interning removes the dominant key cost. Uvarints are
+	// prefix-free, so [da, PrefixSuccessor(da)) still bounds exactly one
+	// (symbol, prefix) group and the per-group label-range scans
+	// (findChild, chainScan, scanGroup) are unchanged; only the wildcard
+	// sweep over the key range is replaced by synopsis-driven enumeration
+	// of the concrete prefixes that exist (Synopsis.EachHosting).
+	keyFmtInterned = 2
+)
+
+// keyCodec encodes and decodes node keys and records for one index's key
+// format. The zero value is invalid; initIndex builds it after the format
+// is known. It is immutable after construction (the PathDict it may hold is
+// internally synchronized), so queries use it lock-free.
+type keyCodec struct {
+	fmtV byte
+	pd   *PathDict // non-nil iff fmtV == keyFmtInterned
+}
+
+// daKeyW encodes the D-Ancestor part of a key on the write path, interning
+// the prefix on first use under the interned format. Callers hold the
+// exclusive index lock.
+func (kc keyCodec) daKeyW(sym seq.Symbol, prefix []seq.Symbol) []byte {
+	if kc.fmtV == keyFmtFixed {
+		return daKey(sym, prefix)
+	}
+	b := make([]byte, 0, 4+binary.MaxVarintLen32+8)
+	b = keyenc.AppendUint32(b, uint32(sym))
+	return binary.AppendUvarint(b, uint64(kc.pd.Intern(prefix)))
+}
+
+// daKeyQ encodes the D-Ancestor part of a key on the query path. ok is
+// false when the prefix was never interned — then no index node can carry
+// it and the group provably does not exist.
+func (kc keyCodec) daKeyQ(sym seq.Symbol, prefix []seq.Symbol) ([]byte, bool) {
+	if kc.fmtV == keyFmtFixed {
+		return daKey(sym, prefix), true
+	}
+	id, ok := kc.pd.Lookup(prefix)
+	if !ok {
+		return nil, false
+	}
+	b := make([]byte, 0, 4+binary.MaxVarintLen32+8)
+	b = keyenc.AppendUint32(b, uint32(sym))
+	return binary.AppendUvarint(b, uint64(id)), true
+}
+
+// parseDAKey decodes symbol and prefix from a D-Ancestor key part. Under
+// the interned format the prefix resolves through the dictionary and the
+// returned slice is shared — callers must not modify it.
+func (kc keyCodec) parseDAKey(da []byte) (seq.Symbol, []seq.Symbol, error) {
+	if kc.fmtV == keyFmtFixed {
+		return parseDAKey(da)
+	}
+	s, rest, err := keyenc.Uint32(da)
+	if err != nil {
+		return 0, nil, err
+	}
+	id, n := binary.Uvarint(rest)
+	if n <= 0 || n != len(rest) {
+		return 0, nil, fmt.Errorf("core: malformed interned D-Ancestor key (%d bytes)", len(da))
+	}
+	if id > uint64(^uint32(0)) {
+		return 0, nil, fmt.Errorf("core: path ID %d out of range", id)
+	}
+	p, ok := kc.pd.Path(uint32(id))
+	if !ok {
+		return 0, nil, fmt.Errorf("core: path ID %d not in dictionary (%d entries)", id, kc.pd.Len())
+	}
+	return seq.Symbol(s), p, nil
+}
+
+// splitNodeKey separates a combined key into its D-Ancestor part and label.
+func (kc keyCodec) splitNodeKey(key []byte) (da []byte, n uint64, err error) {
+	min := 14 // 4+2+8
+	if kc.fmtV == keyFmtInterned {
+		min = 13 // 4+1+8
+	}
+	if len(key) < min {
+		return nil, 0, fmt.Errorf("core: node key too short (%d bytes)", len(key))
+	}
+	return key[:len(key)-8], binary.BigEndian.Uint64(key[len(key)-8:]), nil
+}
+
+// daKey encodes the fixed-format D-Ancestor part of a node key:
 //
 //	symbol(4) ‖ len(prefix)(2) ‖ prefix[0](4) ‖ … ‖ prefix[plen-1](4)
 //

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"vist/internal/keyenc"
+	"vist/internal/seq"
 )
 
 // Sentinel errors for bounded query execution. Both are reported wrapped in
@@ -121,6 +124,35 @@ type qctx struct {
 
 	// Per-stage samplers for the hot loops (B+Tree seeks, DocId scans).
 	probeSmp, scanSmp, collectSmp stageSampler
+
+	// Scratch for decoding fixed-format D-Ancestor keys in scan loops; reused
+	// across every key one query visits so the hot sweep allocates nothing
+	// per key. prefixBuf is handed to scan callbacks, which copy it if they
+	// keep it (documented on scanCandidates).
+	symBuf    []uint32
+	prefixBuf []seq.Symbol
+}
+
+// prefixOf decodes the plen-symbol prefix from a fixed-format D-Ancestor key
+// into the query's scratch buffers. The returned slice is valid until the
+// next prefixOf call on this qctx.
+func (qc *qctx) prefixOf(da []byte, plen int) ([]seq.Symbol, error) {
+	if len(da) != 6+4*plen {
+		return nil, fmt.Errorf("core: D-Ancestor key has %d bytes, want %d for prefix length %d", len(da), 6+4*plen, plen)
+	}
+	var err error
+	qc.symBuf, _, err = keyenc.AppendSymbolsInto(qc.symBuf[:0], da[6:], plen)
+	if err != nil {
+		return nil, err
+	}
+	if cap(qc.prefixBuf) < plen {
+		qc.prefixBuf = make([]seq.Symbol, plen)
+	}
+	p := qc.prefixBuf[:plen]
+	for i, s := range qc.symBuf {
+		p[i] = seq.Symbol(s)
+	}
+	return p, nil
 }
 
 // Stage-timing sampling parameters: the first sampleExact events of a stage
@@ -199,6 +231,19 @@ func (qc *qctx) checkCtx() error {
 		return qc.fail(ErrCanceled, err)
 	}
 	return nil
+}
+
+// noteRangeScan accounts one issued D-Ancestor/S-Ancestor range scan against
+// the budget and polls cancellation. The scan primitives call it at issue
+// time — one count per key-range sweep (fixed format) or per D-Ancestor
+// group scan (interned format) — so candidate prefix lengths the synopsis
+// proves empty cost no budget: no scan is issued for them.
+func (qc *qctx) noteRangeScan() error {
+	qc.stats.RangeScans++
+	if qc.b.MaxRangeScans > 0 && qc.stats.RangeScans > qc.b.MaxRangeScans {
+		return qc.fail(ErrBudgetExceeded, fmt.Errorf("range-scan budget %d exhausted", qc.b.MaxRangeScans))
+	}
+	return qc.checkCtx()
 }
 
 // onPage is invoked by the B+Tree once per page fetched for this query: it

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vist/internal/seq"
+)
+
+// PathDict interns the distinct root-path prefixes of the index's elements
+// to compact IDs, so interned-format D-Ancestor keys carry one varuint
+// instead of a 4-bytes-per-symbol sequence. The set of distinct prefixes is
+// exactly the set of element paths the synopsis tracks — small, regardless
+// of document count — which is what makes interning pay: every one of the
+// millions of keys sharing a prefix shrinks to the cost of one table entry.
+//
+// The dictionary is grow-only: IDs are never reassigned or reclaimed, so a
+// query pinned at an old snapshot can always resolve the IDs its keys carry,
+// and entries orphaned by a rolled-back insert are harmless (at worst one
+// table row nothing references). ID 0 is the empty prefix (depth-1 elements).
+//
+// Reads are lock-free: Lookup and Path run on every query probe and on every
+// key decoded by a range scan, so they load an immutable snapshot from an
+// atomic pointer instead of sharing an RWMutex cache line across query
+// goroutines. Intern copies the (tiny, schema-sized) table on growth.
+type PathDict struct {
+	mu    sync.Mutex // serializes Intern's copy-and-swap
+	state atomic.Pointer[pathDictState]
+}
+
+// pathDictState is an immutable snapshot of the dictionary. Never mutated
+// after publication; Intern replaces the whole state.
+type pathDictState struct {
+	ids   map[string]uint32
+	paths [][]seq.Symbol
+}
+
+// NewPathDict returns a dictionary holding only the empty prefix (ID 0).
+func NewPathDict() *PathDict {
+	d := &PathDict{}
+	d.state.Store(&pathDictState{
+		ids:   map[string]uint32{"": 0},
+		paths: [][]seq.Symbol{nil},
+	})
+	return d
+}
+
+// appendPathKey appends the map key for a prefix to dst: the raw
+// little-endian symbol bytes (only equality matters, not order). Callers
+// pass a stack buffer so typical lookups never allocate — indexing a map
+// with string(bytes) does not copy.
+func appendPathKey(dst []byte, path []seq.Symbol) []byte {
+	for _, s := range path {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s))
+	}
+	return dst
+}
+
+// Intern returns the ID for path, assigning the next free one on first use.
+// Writer-side only (insert, delete, compact); queries use Lookup.
+func (d *PathDict) Intern(path []seq.Symbol) uint32 {
+	var kbuf [64]byte
+	k := appendPathKey(kbuf[:0], path)
+	if id, ok := d.state.Load().ids[string(k)]; ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state.Load()
+	if id, ok := st.ids[string(k)]; ok {
+		return id
+	}
+	next := &pathDictState{
+		ids:   make(map[string]uint32, len(st.ids)+1),
+		paths: make([][]seq.Symbol, len(st.paths), len(st.paths)+1),
+	}
+	for pk, id := range st.ids {
+		next.ids[pk] = id
+	}
+	copy(next.paths, st.paths)
+	id := uint32(len(next.paths))
+	next.ids[string(k)] = id
+	next.paths = append(next.paths, append([]seq.Symbol(nil), path...))
+	d.state.Store(next)
+	return id
+}
+
+// Lookup returns the ID for path if it has been interned. A miss means no
+// index node can carry the prefix — the group provably does not exist.
+func (d *PathDict) Lookup(path []seq.Symbol) (uint32, bool) {
+	var kbuf [64]byte
+	k := appendPathKey(kbuf[:0], path)
+	id, ok := d.state.Load().ids[string(k)]
+	return id, ok
+}
+
+// Path resolves an ID back to its prefix. The returned slice is shared and
+// must not be modified.
+func (d *PathDict) Path(id uint32) ([]seq.Symbol, bool) {
+	st := d.state.Load()
+	if int(id) >= len(st.paths) {
+		return nil, false
+	}
+	return st.paths[id], true
+}
+
+// Len reports the number of interned prefixes (including the empty one).
+func (d *PathDict) Len() int {
+	return len(d.state.Load().paths)
+}
+
+const pathDictVersion = 1
+
+// Encode serializes the dictionary for persistence in the aux tree. IDs are
+// positional, so the encoding is just the paths in ID order.
+func (d *PathDict) Encode() []byte {
+	st := d.state.Load()
+	out := binary.AppendUvarint(nil, pathDictVersion)
+	out = binary.AppendUvarint(out, uint64(len(st.paths)))
+	for _, p := range st.paths {
+		out = binary.AppendUvarint(out, uint64(len(p)))
+		for _, s := range p {
+			out = binary.AppendUvarint(out, uint64(s))
+		}
+	}
+	return out
+}
+
+// DecodePathDict restores a dictionary produced by Encode.
+func DecodePathDict(b []byte) (*PathDict, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 || v != pathDictVersion {
+		return nil, fmt.Errorf("core: unsupported path dictionary version")
+	}
+	b = b[n:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count == 0 || count > 1<<31 {
+		return nil, fmt.Errorf("core: path dictionary truncated or oversized")
+	}
+	b = b[n:]
+	st := &pathDictState{
+		ids:   make(map[string]uint32, count),
+		paths: make([][]seq.Symbol, 0, count),
+	}
+	for i := uint64(0); i < count; i++ {
+		plen, n := binary.Uvarint(b)
+		if n <= 0 || plen > MaxDepth {
+			return nil, fmt.Errorf("core: path dictionary entry %d truncated", i)
+		}
+		b = b[n:]
+		var p []seq.Symbol
+		for j := uint64(0); j < plen; j++ {
+			s, n := binary.Uvarint(b)
+			if n <= 0 || s > 1<<32-1 {
+				return nil, fmt.Errorf("core: path dictionary entry %d symbol %d truncated", i, j)
+			}
+			b = b[n:]
+			p = append(p, seq.Symbol(s))
+		}
+		k := string(appendPathKey(nil, p))
+		if _, dup := st.ids[k]; dup {
+			return nil, fmt.Errorf("core: path dictionary entry %d duplicates an earlier path", i)
+		}
+		st.ids[k] = uint32(i)
+		st.paths = append(st.paths, p)
+	}
+	if st.paths[0] != nil && len(st.paths[0]) != 0 {
+		return nil, fmt.Errorf("core: path dictionary ID 0 is not the empty prefix")
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("core: %d trailing path dictionary bytes", len(b))
+	}
+	d := &PathDict{}
+	d.state.Store(st)
+	return d, nil
+}

@@ -104,14 +104,13 @@ func (ix *Index) chainScan(qc *qctx, sp *plan.SeqPlan, out map[DocID]struct{}) e
 	var scopes []labeling.Scope
 	for i := range sp.Targets {
 		t := &sp.Targets[i]
-		qc.stats.RangeScans++
-		if qc.b.MaxRangeScans > 0 && qc.stats.RangeScans > qc.b.MaxRangeScans {
-			return qc.fail(ErrBudgetExceeded, fmt.Errorf("range-scan budget %d exhausted", qc.b.MaxRangeScans))
+		lo, ok := ix.kc.daKeyQ(t.Sym, t.Prefix)
+		if !ok {
+			continue // path never interned ⇒ no node carries this target
 		}
-		if err := qc.checkCtx(); err != nil {
+		if err := qc.noteRangeScan(); err != nil {
 			return err
 		}
-		lo := daKey(t.Sym, t.Prefix)
 		hi := keyenc.PrefixSuccessor(lo)
 		// The whole target scan is one D-Ancestor key-space landing — there
 		// are no S-Ancestor follow-up seeks — so it counts as probe time.
@@ -123,11 +122,11 @@ func (ix *Index) chainScan(qc *qctx, sp *plan.SeqPlan, out map[DocID]struct{}) e
 			if qc.b.MaxNodesVisited > 0 && qc.stats.NodesVisited > qc.b.MaxNodesVisited {
 				return false, qc.fail(ErrBudgetExceeded, fmt.Errorf("node-visit budget %d exhausted", qc.b.MaxNodesVisited))
 			}
-			_, n, err := splitNodeKey(k)
+			_, n, err := ix.kc.splitNodeKey(k)
 			if err != nil {
 				return false, err
 			}
-			rec, err := decodeNodeRecord(v)
+			rec, err := ix.kc.decodeRecord(n, v)
 			if err != nil {
 				return false, err
 			}
@@ -174,14 +173,9 @@ func (ix *Index) matchSeqPruned(qc *qctx, qs query.Seq, out map[DocID]struct{}) 
 		if maxPlen >= MaxDepth {
 			maxPlen = MaxDepth - 1
 		}
+		// Budget accounting happens inside the scan primitives, at issue
+		// time.
 		for _, plen := range qc.snap.syn.FeasibleLens(base, qe.Stars, qe.Desc, qe.Symbol, maxPlen) {
-			qc.stats.RangeScans++
-			if qc.b.MaxRangeScans > 0 && qc.stats.RangeScans > qc.b.MaxRangeScans {
-				return qc.fail(ErrBudgetExceeded, fmt.Errorf("range-scan budget %d exhausted", qc.b.MaxRangeScans))
-			}
-			if err := qc.checkCtx(); err != nil {
-				return err
-			}
 			err := ix.scanCandidates(qc, qe.Symbol, plen, base, prev, func(prefix []seq.Symbol, scope labeling.Scope) error {
 				qc.stats.NodesVisited++
 				if qc.b.MaxNodesVisited > 0 && qc.stats.NodesVisited > qc.b.MaxNodesVisited {
@@ -347,25 +341,25 @@ func (ix *Index) loadSynopsis(existing bool) error {
 // scan loadSynopsis uses for migration). Check compares it with the
 // maintained one.
 func (ix *Index) rebuildSynopsis() (*plan.Synopsis, error) {
-	return rebuildSynopsisFrom(ix.nodes)
+	return rebuildSynopsisFrom(ix.nodes, ix.kc)
 }
 
 // rebuildSynopsisFrom recomputes the synopsis from any scannable node
 // table: the writer-side tree (Check, under ix.mu) or a pinned snapshot's
 // (CheckSnapshot, lock-free).
-func rebuildSynopsisFrom(nodes scanner) (*plan.Synopsis, error) {
+func rebuildSynopsisFrom(nodes scanner, kc keyCodec) (*plan.Synopsis, error) {
 	sy := plan.NewSynopsis()
 	path := make([]seq.Symbol, 0, MaxDepth)
 	err := nodes.Scan(nil, nil, func(k, v []byte) (bool, error) {
-		da, _, err := splitNodeKey(k)
+		da, n, err := kc.splitNodeKey(k)
 		if err != nil {
 			return false, err
 		}
-		sym, prefix, err := parseDAKey(da)
+		sym, prefix, err := kc.parseDAKey(da)
 		if err != nil {
 			return false, err
 		}
-		rec, err := decodeNodeRecord(v)
+		rec, err := kc.decodeRecord(n, v)
 		if err != nil {
 			return false, err
 		}

@@ -66,3 +66,58 @@ func decodeNodeRecord(b []byte) (nodeRecord, error) {
 		flags:       b[28],
 	}, nil
 }
+
+// encodeRecord serializes a node record for the codec's format. The
+// interned format varint-encodes every field and stores the parent label as
+// a delta from the node's own label n (a child label always exceeds its
+// parent's, so the delta is small; the subtraction wraps mod 2^64 and the
+// decode inverts it exactly, so no guard is needed). Typical records shrink
+// from the fixed 29 bytes to 6–10.
+func (kc keyCodec) encodeRecord(n uint64, r nodeRecord) []byte {
+	if kc.fmtV == keyFmtFixed {
+		return r.encode()
+	}
+	b := make([]byte, 1, 24)
+	b[0] = r.flags
+	b = binary.AppendUvarint(b, r.size)
+	b = binary.AppendUvarint(b, n-r.parentN)
+	b = binary.AppendUvarint(b, uint64(r.k))
+	b = binary.AppendUvarint(b, uint64(r.reserveUsed))
+	return binary.AppendUvarint(b, uint64(r.refcount))
+}
+
+// decodeRecord parses a node record for the codec's format. n is the node's
+// own label from the key; the interned format needs it to undo the parent
+// delta.
+func (kc keyCodec) decodeRecord(n uint64, b []byte) (nodeRecord, error) {
+	if kc.fmtV == keyFmtFixed {
+		return decodeNodeRecord(b)
+	}
+	if len(b) < 6 {
+		return nodeRecord{}, fmt.Errorf("core: node record truncated (%d bytes)", len(b))
+	}
+	r := nodeRecord{flags: b[0]}
+	rest := b[1:]
+	fields := [5]uint64{}
+	for i := range fields {
+		v, m := binary.Uvarint(rest)
+		if m <= 0 {
+			return nodeRecord{}, fmt.Errorf("core: node record field %d truncated", i)
+		}
+		fields[i] = v
+		rest = rest[m:]
+	}
+	if len(rest) != 0 {
+		return nodeRecord{}, fmt.Errorf("core: %d trailing node record bytes", len(rest))
+	}
+	const max32 = uint64(^uint32(0))
+	if fields[2] > max32 || fields[3] > max32 || fields[4] > max32 {
+		return nodeRecord{}, fmt.Errorf("core: node record counter overflows uint32")
+	}
+	r.size = fields[0]
+	r.parentN = n - fields[1]
+	r.k = uint32(fields[2])
+	r.reserveUsed = uint32(fields[3])
+	r.refcount = uint32(fields[4])
+	return r, nil
+}

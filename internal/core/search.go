@@ -362,14 +362,9 @@ func (ix *Index) matchSeq(qc *qctx, qs query.Seq, out map[DocID]struct{}) error 
 		}
 		// The paper's wildcard handling: one D-Ancestor range query per
 		// candidate prefix length (Section 3.3, "Handling Wild Cards").
+		// Budget accounting happens inside the scan primitives, at issue
+		// time.
 		for plen := minPlen; plen <= maxPlen; plen++ {
-			qc.stats.RangeScans++
-			if qc.b.MaxRangeScans > 0 && qc.stats.RangeScans > qc.b.MaxRangeScans {
-				return qc.fail(ErrBudgetExceeded, fmt.Errorf("range-scan budget %d exhausted", qc.b.MaxRangeScans))
-			}
-			if err := qc.checkCtx(); err != nil {
-				return err
-			}
 			err := ix.scanCandidates(qc, qe.Symbol, plen, base, prev, func(prefix []seq.Symbol, scope labeling.Scope) error {
 				qc.stats.NodesVisited++
 				if qc.b.MaxNodesVisited > 0 && qc.stats.NodesVisited > qc.b.MaxNodesVisited {
@@ -392,10 +387,72 @@ func (ix *Index) matchSeq(qc *qctx, qs query.Seq, out map[DocID]struct{}) error 
 
 // scanCandidates visits every index node whose element has the given
 // symbol, a prefix of exactly plen symbols starting with base, and a label
-// inside (prev.N, prev.N+prev.Size] — the S-Ancestorship range query. For
-// each distinct D-Ancestor key the scan jumps directly to the label range,
-// mirroring the paper's per-S-Ancestor-tree range queries.
+// inside (prev.N, prev.N+prev.Size] — the S-Ancestorship range query. The
+// prefix slice handed to fn is valid only for the duration of the call;
+// callers that keep it must copy (both recursion sites copy it into the
+// match path immediately).
+//
+// Under the fixed key format this is the paper's key-range sweep: all
+// matching D-Ancestor keys are contiguous, and the scan jumps between each
+// key's label range. Under the interned format prefix content no longer
+// orders the key space, so the concrete prefixes that exist are enumerated
+// from the pinned snapshot's synopsis (maintained in lockstep with the node
+// tree, so the enumeration is exact for this snapshot) and each group gets
+// one label-range scan.
 func (ix *Index) scanCandidates(qc *qctx, sym seq.Symbol, plen int, base []seq.Symbol, prev labeling.Scope, fn func(prefix []seq.Symbol, scope labeling.Scope) error) error {
+	if ix.kc.fmtV == keyFmtFixed {
+		return ix.scanCandidatesSweep(qc, sym, plen, base, prev, fn)
+	}
+	if plen < len(base) {
+		return nil
+	}
+	return qc.snap.syn.EachHosting(base, plen-len(base), sym, func(prefix []seq.Symbol) error {
+		da, ok := ix.kc.daKeyQ(sym, prefix)
+		if !ok {
+			return nil // prefix never interned ⇒ no node can carry it
+		}
+		return ix.scanGroup(qc, da, prefix, prev, fn)
+	})
+}
+
+// scanGroup runs the S-Ancestorship label-range scan within one exact
+// D-Ancestor group: every key in [da‖nLo, da‖nHi] belongs to the group
+// (interned D-Ancestor encodings are prefix-free) and every one of them is
+// a match, so this is a single contiguous range scan with no skipping.
+func (ix *Index) scanGroup(qc *qctx, da []byte, prefix []seq.Symbol, prev labeling.Scope, fn func(prefix []seq.Symbol, scope labeling.Scope) error) error {
+	if err := qc.noteRangeScan(); err != nil {
+		return err
+	}
+	nLo, nHi := prev.N+1, prev.N+prev.Size // inclusive label range
+	lo := nodeKey(da, nLo)
+	hiEx := append(nodeKey(da, nHi), 0)
+	// One landing in the D-Ancestor key space plus a leaf walk — probe time,
+	// like chainScan's whole-group scans.
+	if qc.timed {
+		qc.probeSmp.begin()
+		defer qc.probeSmp.end(&qc.stats.Stages.Probe)
+	}
+	return qc.snap.nodes.ScanWith(lo, hiEx, qc.hook, func(k, v []byte) (bool, error) {
+		_, n, err := ix.kc.splitNodeKey(k)
+		if err != nil {
+			return false, err
+		}
+		recd, err := ix.kc.decodeRecord(n, v)
+		if err != nil {
+			return false, err
+		}
+		return true, fn(prefix, labeling.Scope{N: n, Size: recd.size})
+	})
+}
+
+// scanCandidatesSweep is the fixed-format key-range sweep (Section 3.3 of
+// the paper): one seek lands in the (symbol, plen, base…) key range, then
+// the scan alternates between jumping into a D-Ancestor key's label range
+// and jumping past it to the next key.
+func (ix *Index) scanCandidatesSweep(qc *qctx, sym seq.Symbol, plen int, base []seq.Symbol, prev labeling.Scope, fn func(prefix []seq.Symbol, scope labeling.Scope) error) error {
+	if err := qc.noteRangeScan(); err != nil {
+		return err
+	}
 	loPrefix := daPartial(sym, plen, base)
 	hiPrefix := keyenc.PrefixSuccessor(loPrefix)
 	nLo, nHi := prev.N+1, prev.N+prev.Size // inclusive label range
@@ -427,7 +484,7 @@ func (ix *Index) scanCandidates(qc *qctx, sym seq.Symbol, plen int, base []seq.S
 		if !ok {
 			return nil
 		}
-		da, n, err := splitNodeKey(k)
+		da, n, err := ix.kc.splitNodeKey(k)
 		if err != nil {
 			return err
 		}
@@ -447,7 +504,7 @@ func (ix *Index) scanCandidates(qc *qctx, sym seq.Symbol, plen int, base []seq.S
 			if err != nil {
 				return err
 			}
-			_, prefix, err := parseDAKey(da)
+			prefix, err := qc.prefixOf(da, plen)
 			if err != nil {
 				return err
 			}

@@ -137,8 +137,11 @@ func (ix *Index) rollbackLocked() {
 	ix.metaDirty = true
 	// saveMeta may have persisted the synopsis blob (clearing synDirty)
 	// before a later step failed and rolled the blob back; force a re-persist
-	// on the next successful Sync.
+	// on the next successful Sync. The path dictionary blob is in the same
+	// boat, so its persisted-length marker is reset too (the dictionary
+	// itself is grow-only and never rolls back — only the blob write does).
 	ix.synDirty = true
+	ix.pdLen = 0
 }
 
 // mutableSyn returns a synopsis the current mutation may write: the live one

@@ -75,26 +75,38 @@ func AppendSymbols(dst []byte, syms []uint32) []byte {
 
 // Symbols decodes n fixed-width symbol IDs from the front of b.
 func Symbols(b []byte, n int) ([]uint32, []byte, error) {
+	out, rest, err := AppendSymbolsInto(nil, b, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rest, nil
+}
+
+// AppendSymbolsInto decodes n fixed-width symbol IDs from the front of b,
+// appending them to dst. Hot scan loops pass a reused buffer (dst[:0]) to
+// avoid the per-key allocation Symbols pays.
+func AppendSymbolsInto(dst []uint32, b []byte, n int) ([]uint32, []byte, error) {
 	if len(b) < 4*n {
-		return nil, nil, fmt.Errorf("keyenc: need %d bytes for %d symbols, have %d", 4*n, n, len(b))
+		return dst, nil, fmt.Errorf("keyenc: need %d bytes for %d symbols, have %d", 4*n, n, len(b))
 	}
-	out := make([]uint32, n)
-	for i := range out {
-		out[i] = binary.BigEndian.Uint32(b[4*i:])
+	for i := 0; i < n; i++ {
+		dst = append(dst, binary.BigEndian.Uint32(b[4*i:]))
 	}
-	return out, b[4*n:], nil
+	return dst, b[4*n:], nil
 }
 
 // PrefixSuccessor returns the smallest key that is strictly greater than
 // every key having p as a prefix, or nil if no such key exists (p is all
-// 0xFF). It is the canonical upper bound for a prefix range scan.
+// 0xFF). It is the canonical upper bound for a prefix range scan. The
+// result is freshly allocated at exactly the length it needs: trailing
+// 0xFF bytes of p never appear in the successor, so they are not copied.
 func PrefixSuccessor(p []byte) []byte {
-	out := make([]byte, len(p))
-	copy(out, p)
-	for i := len(out) - 1; i >= 0; i-- {
-		if out[i] != 0xFF {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0xFF {
+			out := make([]byte, i+1)
+			copy(out, p[:i+1])
 			out[i]++
-			return out[:i+1]
+			return out
 		}
 	}
 	return nil

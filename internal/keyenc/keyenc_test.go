@@ -55,6 +55,32 @@ func TestSymbolsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAppendSymbolsInto(t *testing.T) {
+	in := []uint32{7, 0, math.MaxUint32}
+	b := AppendSymbols(nil, in)
+	scratch := make([]uint32, 0, 8)
+	out, rest, err := AppendSymbolsInto(scratch, b, len(in))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("AppendSymbolsInto: %v, %d rest", err, len(rest))
+	}
+	if &out[0] != &scratch[:1][0] {
+		t.Fatal("AppendSymbolsInto did not reuse the caller's buffer")
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("symbol %d: %d != %d", i, out[i], in[i])
+		}
+	}
+	// Appending preserves existing elements.
+	out2, _, err := AppendSymbolsInto(out, b, len(in))
+	if err != nil || len(out2) != 2*len(in) || out2[0] != 7 || out2[len(in)] != 7 {
+		t.Fatalf("second append: %v %v", out2, err)
+	}
+	if _, _, err := AppendSymbolsInto(nil, []byte{1, 2, 3}, 1); err == nil {
+		t.Fatal("short AppendSymbolsInto accepted")
+	}
+}
+
 func TestPropertyUint64OrderPreserving(t *testing.T) {
 	f := func(a, b uint64) bool {
 		ka := AppendUint64(nil, a)
@@ -113,5 +139,20 @@ func TestPrefixSuccessorDoesNotMutate(t *testing.T) {
 	_ = PrefixSuccessor(p)
 	if p[0] != 1 || p[1] != 0xFF {
 		t.Fatalf("input mutated: %v", p)
+	}
+}
+
+func TestPrefixSuccessorTightAllocation(t *testing.T) {
+	// When trailing 0xFF bytes truncate the successor, the returned slice
+	// is allocated at exactly the truncated length.
+	got := PrefixSuccessor([]byte{5, 0xFF, 0xFF, 0xFF})
+	if !bytes.Equal(got, []byte{6}) {
+		t.Fatalf("successor = %v, want [6]", got)
+	}
+	if cap(got) != 1 {
+		t.Fatalf("successor cap = %d, want 1 (no over-allocation for truncated bytes)", cap(got))
+	}
+	if PrefixSuccessor(nil) != nil {
+		t.Fatal("PrefixSuccessor(nil) must be nil (every key extends the empty prefix)")
 	}
 }

@@ -22,6 +22,11 @@ type PagerMetrics struct {
 	// PageWrites counts physical page write-backs — into the WAL when one is
 	// attached, directly into the file otherwise — plus checkpoint copies.
 	PageWrites *Counter
+	// ColdStores counts clean evicted pages compressed into the cold tier;
+	// ColdHits counts pool misses satisfied by decompressing a cold page
+	// instead of reading disk. Both stay zero unless cold-page compression is
+	// enabled.
+	ColdStores, ColdHits *Counter
 }
 
 // NewPagerMetrics resolves the pager bundle under "pager.*".
@@ -32,6 +37,8 @@ func NewPagerMetrics(r *Registry) *PagerMetrics {
 		Evictions:   r.Counter("pager.evictions"),
 		PageReads:   r.Counter("pager.page_reads"),
 		PageWrites:  r.Counter("pager.page_writes"),
+		ColdStores:  r.Counter("pager.cold_stores"),
+		ColdHits:    r.Counter("pager.cold_hits"),
 	}
 }
 

@@ -348,6 +348,63 @@ func symsLess(a, b []seq.Symbol) bool {
 	return len(a) < len(b)
 }
 
+// EachHosting enumerates, in sorted symbol order, every existing root path
+// of exactly len(base)+extra symbols that extends base and can host an
+// element with the given symbol: for element symbols the path must have a
+// child with that symbol in the synopsis (the synopsis count invariant makes
+// this exact — a child path exists iff at least one index node carries its
+// D-Ancestor key); for value symbols any existing path of the right depth
+// qualifies, since values are not recorded structurally and only the index
+// probe can decide. fn receives a shared buffer valid only for the duration
+// of the call; callers that retain the path must copy it.
+//
+// This is the interned-key replacement for the paper's D-Ancestor key-range
+// sweep: with prefixes compacted to dictionary IDs the key space no longer
+// orders by prefix content, so wildcard steps enumerate the concrete
+// prefixes that exist instead of range-scanning the ones that might.
+func (sy *Synopsis) EachHosting(base []seq.Symbol, extra int, sym seq.Symbol, fn func(path []seq.Symbol) error) error {
+	start := sy.lookup(base)
+	if start == nil {
+		return nil
+	}
+	path := make([]seq.Symbol, len(base), len(base)+extra)
+	copy(path, base)
+	hosts := func(n *snode) bool {
+		if sym.IsValue() {
+			return true
+		}
+		child := n.children[sym]
+		return child != nil && (child.count > 0 || len(child.children) > 0)
+	}
+	var walk func(n *snode, depth int) error
+	walk = func(n *snode, depth int) error {
+		if depth == len(base)+extra {
+			if !hosts(n) {
+				return nil
+			}
+			return fn(path)
+		}
+		if depth >= MaxPathLen {
+			return nil
+		}
+		syms := make([]seq.Symbol, 0, len(n.children))
+		for s := range n.children {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, s := range syms {
+			path = append(path, s)
+			err := walk(n.children[s], depth+1)
+			path = path[:len(path)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(start, len(base))
+}
+
 // FeasibleLens reports which prefix lengths can possibly produce a
 // D-Ancestor match for one query element: the concrete base path (the
 // anchor's matched path) extended by at least stars unknown symbols — and
