@@ -14,11 +14,21 @@ package vist_test
 // For paper-style tables, use cmd/vistbench instead.
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"vist/internal/bench"
+	"vist/internal/cluster"
 	"vist/internal/core"
 	"vist/internal/gen"
 	"vist/internal/nodeindex"
@@ -26,6 +36,32 @@ import (
 	"vist/internal/rist"
 	"vist/internal/xmltree"
 )
+
+// benchDBLP10k returns the canonical 10k-record DBLP corpus (seed 11) that
+// BenchmarkQuery, BenchmarkInsert, and the sharded benchmarks share. When
+// VIST_DBLP_CORPUS points at a pre-generated corpus file (CI caches one
+// between jobs, keyed on the generator sources), it is parsed instead of
+// regenerated; the records are identical either way because generation is
+// seed-deterministic.
+func benchDBLP10k(b *testing.B) []*xmltree.Node {
+	b.Helper()
+	if path := os.Getenv("VIST_DBLP_CORPUS"); path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		docs, err := xmltree.ParseAll(f)
+		if err != nil {
+			b.Fatalf("%s: %v", path, err)
+		}
+		if len(docs) == 10000 {
+			return docs
+		}
+		b.Logf("VIST_DBLP_CORPUS holds %d records, want 10000; regenerating", len(docs))
+	}
+	return gen.DBLP(gen.DBLPConfig{Records: 10000, Seed: 11})
+}
 
 // ---- shared fixtures (built once) ------------------------------------------
 
@@ -342,7 +378,7 @@ func BenchmarkQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, d := range gen.DBLP(gen.DBLPConfig{Records: 10000, Seed: 11}) {
+	for _, d := range benchDBLP10k(b) {
 		if _, err := ix.Insert(d); err != nil {
 			b.Fatal(err)
 		}
@@ -367,7 +403,7 @@ func BenchmarkQueryUnplanned(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, d := range gen.DBLP(gen.DBLPConfig{Records: 10000, Seed: 11}) {
+	for _, d := range benchDBLP10k(b) {
 		if _, err := ix.Insert(d); err != nil {
 			b.Fatal(err)
 		}
@@ -419,11 +455,100 @@ func BenchmarkInsert(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	docs := gen.DBLP(gen.DBLPConfig{Records: 10000, Seed: 11})
+	docs := benchDBLP10k(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ix.Insert(docs[i%len(docs)].Clone()); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkShardedQuery runs the BenchmarkQuery workload — same corpus, same
+// expression, same index options — through cluster.ShardedIndex at N = 1, 2,
+// and 4 shards. The shards=1 figure is the scatter-gather overhead gate: CI
+// compares it against BenchmarkQuery with benchgate -within, so the cluster
+// layer may cost at most 10% on a single shard.
+func BenchmarkShardedQuery(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			s, err := cluster.NewMemSharded(n, core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for _, d := range benchDBLP10k(b) {
+				if _, err := s.Insert(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+			expr := "//inproceedings/author"
+			if _, _, err := s.QueryCtx(ctx, expr, core.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.QueryCtx(ctx, expr, core.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouterHedged measures end-to-end query latency through the HTTP
+// router when the backend occasionally stalls: every 10th backend request
+// sleeps 25ms (a synthetic GC pause / queue spike), and the router's 2ms
+// hedge re-issues the read so the stall is bounded by the hedge delay plus a
+// normal query, not the full pause. The p99-ns custom metric is the gated
+// figure — it is exactly the tail the hedging exists to cut.
+func BenchmarkRouterHedged(b *testing.B) {
+	ix, err := core.NewMem(core.Options{Schema: gen.DBLPSchema(), SkipDocumentStore: true, Lambda: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	for _, d := range benchDBLP10k(b) {
+		if _, err := ix.Insert(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	inner := cluster.QueryMux(ix, cluster.MuxConfig{})
+	var reqs atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reqs.Add(1)%10 == 0 {
+			time.Sleep(25 * time.Millisecond)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer backend.Close()
+	rt := cluster.NewRouter([]string{backend.URL}, 2*time.Millisecond)
+	if err := rt.Init(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+	target := router.URL + "/query?q=" + url.QueryEscape("//inproceedings/author")
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		resp, err := http.Get(target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
 }

@@ -195,6 +195,73 @@ func compare(base Baseline, results map[string][]float64, thresholdPct float64) 
 	return rows, regressions
 }
 
+// withinSpec is one -within gate: metric A's current-run median must be no
+// more than LimitPct percent above metric B's. Both sides come from the same
+// bench output, so the comparison is machine-independent.
+type withinSpec struct {
+	A, B     string
+	LimitPct float64
+}
+
+// withinFlags collects repeated -within flags.
+type withinFlags []withinSpec
+
+func (f *withinFlags) String() string {
+	var parts []string
+	for _, s := range *f {
+		parts = append(parts, fmt.Sprintf("%s:%s:%g", s.A, s.B, s.LimitPct))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *withinFlags) Set(v string) error {
+	// Split on the LAST two colons so metric names containing colons (none
+	// today, but sub-benchmark labels are free-form) stay expressible.
+	j := strings.LastIndexByte(v, ':')
+	if j < 0 {
+		return fmt.Errorf("-within %q: want 'A:B:PCT'", v)
+	}
+	pct, err := strconv.ParseFloat(v[j+1:], 64)
+	if err != nil || pct < 0 {
+		return fmt.Errorf("-within %q: bad percent %q", v, v[j+1:])
+	}
+	i := strings.LastIndexByte(v[:j], ':')
+	if i <= 0 || i == j-1 {
+		return fmt.Errorf("-within %q: want 'A:B:PCT'", v)
+	}
+	*f = append(*f, withinSpec{A: v[:i], B: v[i+1 : j], LimitPct: pct})
+	return nil
+}
+
+// WithinRow is one -within gate's outcome.
+type WithinRow struct {
+	A, B     string
+	DeltaPct float64 // (median(A)-median(B))/median(B) * 100
+	LimitPct float64
+	Status   string // "ok" or "REGRESSION"
+}
+
+// compareWithin evaluates one ratio gate against the current run's medians.
+// A missing metric is a hard error, not a skip: a gate that silently stops
+// gating (benchmark renamed, filter too narrow) is worse than a red build.
+func compareWithin(spec withinSpec, results map[string][]float64) (WithinRow, error) {
+	row := WithinRow{A: spec.A, B: spec.B, LimitPct: spec.LimitPct}
+	a, ok := results[spec.A]
+	if !ok {
+		return row, fmt.Errorf("-within: metric %q not in bench output", spec.A)
+	}
+	b, ok := results[spec.B]
+	if !ok {
+		return row, fmt.Errorf("-within: metric %q not in bench output", spec.B)
+	}
+	row.DeltaPct = (median(a) - median(b)) / median(b) * 100
+	row.Status = "ok"
+	if row.DeltaPct > spec.LimitPct {
+		row.Status = "REGRESSION"
+	}
+	return row, nil
+}
+
 func writeText(w io.Writer, rows []Row, threshold float64) {
 	fmt.Fprintf(w, "%-44s %14s %14s %9s  %s\n", "benchmark", "baseline", "current", "delta", "status")
 	for _, r := range rows {

@@ -162,6 +162,60 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestWithinGate(t *testing.T) {
+	out := `BenchmarkShardedQuery/shards=1-8   	 100	 330000 ns/op
+BenchmarkShardedQuery/shards=1-8   	 100	 310000 ns/op
+BenchmarkShardedQuery/shards=1-8   	 100	 320000 ns/op
+BenchmarkQuery-8                   	 100	 300000 ns/op
+BenchmarkQuery-8                   	 100	 300000 ns/op
+`
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var f withinFlags
+	if err := f.Set("BenchmarkShardedQuery/shards=1:BenchmarkQuery:10"); err != nil {
+		t.Fatal(err)
+	}
+	row, err := compareWithin(f[0], results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// medians: 320000 vs 300000 → +6.7%, inside the 10% limit.
+	if row.Status != "ok" || row.DeltaPct < 6 || row.DeltaPct > 7 {
+		t.Fatalf("within row = %+v, want ok at ~+6.7%%", row)
+	}
+
+	if err := f.Set("BenchmarkShardedQuery/shards=1:BenchmarkQuery:5"); err != nil {
+		t.Fatal(err)
+	}
+	if row, err := compareWithin(f[1], results); err != nil || row.Status != "REGRESSION" {
+		t.Fatalf("tight limit: row=%+v err=%v, want REGRESSION", row, err)
+	}
+
+	// A gate over a metric absent from the run must error, not silently pass.
+	if err := f.Set("BenchmarkNope:BenchmarkQuery:10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compareWithin(f[2], results); err == nil {
+		t.Fatal("missing metric A accepted")
+	}
+	if err := f.Set("BenchmarkQuery:BenchmarkNope:10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compareWithin(f[3], results); err == nil {
+		t.Fatal("missing metric B accepted")
+	}
+
+	for _, bad := range []string{"", "A:B", "A:B:x", "A:B:-5", ":B:10", "A::10"} {
+		var g withinFlags
+		if err := g.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
 func TestCompareImprovedAndNew(t *testing.T) {
 	base := Baseline{Benchmarks: map[string]Entry{
 		"BenchmarkQuery": {NsPerOp: 500000000, Samples: 6}, // current 260ms → improved

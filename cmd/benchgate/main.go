@@ -19,6 +19,15 @@
 // job warns but stays green, since shared runners are noisy); -markdown
 // renders the report as a GitHub-flavored table for job summaries.
 //
+// -within 'A:B:PCT' (repeatable) gates one benchmark against another within
+// the same run: the median of metric A must not exceed the median of metric B
+// by more than PCT percent. Both medians come from the current bench output,
+// so the gate is immune to machine drift — it measures relative overhead
+// (e.g. the sharding layer at N=1 vs the bare index), not absolute speed.
+// Metric names are baseline keys: bare benchmark names for ns/op, "Name
+// [unit]" for custom metrics. A violated -within gate counts as a regression
+// for -fail.
+//
 // Multiple -count samples of the same benchmark are aggregated by median,
 // which shrugs off the odd slow sample. Benchmark names are compared with
 // the GOMAXPROCS suffix (-8 etc.) stripped, so baselines recorded on one
@@ -41,7 +50,9 @@ func main() {
 		threshold    = flag.Float64("threshold", 10, "slowdown percent counted as a regression")
 		fail         = flag.Bool("fail", false, "exit 1 on regression (default: warn only)")
 		markdown     = flag.Bool("markdown", false, "render the report as a markdown table")
+		withins      withinFlags
 	)
+	flag.Var(&withins, "within", "same-run ratio gate 'A:B:PCT' (repeatable): median of A at most PCT% over median of B")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -101,6 +112,17 @@ func main() {
 		writeMarkdown(os.Stdout, report, *threshold)
 	} else {
 		writeText(os.Stdout, report, *threshold)
+	}
+	for _, spec := range withins {
+		row, err := compareWithin(spec, results)
+		if err != nil {
+			fatal(err)
+		}
+		if row.Status == "REGRESSION" {
+			regressions++
+		}
+		fmt.Printf("\nwithin-gate: %s is %+.1f%% vs %s (limit +%.0f%%): %s\n",
+			row.A, row.DeltaPct, row.B, row.LimitPct, row.Status)
 	}
 	if regressions > 0 && *fail {
 		os.Exit(1)

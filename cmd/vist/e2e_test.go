@@ -1,0 +1,356 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"vist/internal/cluster"
+	"vist/internal/gen"
+	"vist/internal/naive"
+	"vist/internal/xmltree"
+)
+
+// TestClusterE2E is the cluster integration test: it builds the vist binary,
+// launches N shard servers, a scatter-gather router over them, and a
+// WAL-shipped follower of shard 0 — all as real processes talking real HTTP —
+// ingests a generated DBLP corpus through the router, and diffs every query
+// against the in-process naive oracle. It runs only when VIST_CLUSTER_E2E=1
+// (the CI cluster job sets it); VIST_E2E_SHARDS picks the shard count
+// (default 3).
+func TestClusterE2E(t *testing.T) {
+	if os.Getenv("VIST_CLUSTER_E2E") != "1" {
+		t.Skip("set VIST_CLUSTER_E2E=1 to run the real-process cluster test")
+	}
+	shards := 3
+	if s := os.Getenv("VIST_E2E_SHARDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad VIST_E2E_SHARDS=%q", s)
+		}
+		shards = n
+	}
+
+	bin := filepath.Join(t.TempDir(), "vist")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building vist: %v", err)
+	}
+
+	// Shard servers. Shard 0 is also the -ship leader the follower tails.
+	work := t.TempDir()
+	backendURLs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		addr := freeAddr(t)
+		backendURLs[i] = "http://" + addr
+		args := []string{"serve",
+			"-dir", filepath.Join(work, fmt.Sprintf("shard%d", i)),
+			"-addr", addr, "-drain", "2s"}
+		if i == 0 {
+			args = append(args, "-ship")
+		}
+		startProc(t, bin, args...)
+	}
+	// One more process: the in-process sharded mode (`serve -shards N`),
+	// fed the same corpus directly — its results must also match the oracle.
+	shardedAddr := freeAddr(t)
+	startProc(t, bin, "serve",
+		"-dir", filepath.Join(work, "sharded"),
+		"-shards", strconv.Itoa(shards),
+		"-addr", shardedAddr, "-drain", "2s")
+	shardedURL := "http://" + shardedAddr
+
+	routerAddr := freeAddr(t)
+	startProc(t, bin, "serve", "-router",
+		"-backends", joinCSV(backendURLs),
+		"-addr", routerAddr, "-hedge", "50ms", "-drain", "2s")
+	followerAddr := freeAddr(t)
+	startProc(t, bin, "replicate",
+		"-dir", filepath.Join(work, "follower"),
+		"-from", backendURLs[0],
+		"-addr", followerAddr, "-poll", "100ms", "-drain", "2s")
+	routerURL := "http://" + routerAddr
+	followerURL := "http://" + followerAddr
+
+	for _, u := range backendURLs {
+		waitReady(t, u+"/readyz")
+	}
+	waitReady(t, shardedURL+"/readyz")
+	waitReady(t, routerURL+"/readyz")
+	waitReady(t, followerURL+"/readyz")
+
+	// Ingest through the router; the oracle sees the same documents in the
+	// same order, so document IDs line up (both allocate 1, 2, 3, …).
+	docs := gen.DBLP(gen.DBLPConfig{Records: 150, Seed: 5})
+	oracle := naive.New(nil)
+	for i, d := range docs {
+		var buf bytes.Buffer
+		if err := xmltree.WriteXML(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(routerURL+"/insert", "application/xml", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ir cluster.InsertResponse
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert %d: %d %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatal(err)
+		}
+		if want := oracle.Insert(d); uint64(ir.ID) != want {
+			t.Fatalf("insert %d: router assigned %d, oracle %d", i, ir.ID, want)
+		}
+		buf.Reset()
+		if err := xmltree.WriteXML(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		sresp, err := http.Post(shardedURL+"/insert", "application/xml", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sir cluster.InsertResponse
+		sbody, _ := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if sresp.StatusCode != http.StatusOK || json.Unmarshal(sbody, &sir) != nil || sir.ID != ir.ID {
+			t.Fatalf("sharded serve insert %d: %d %s (router assigned %d)", i, sresp.StatusCode, sbody, ir.ID)
+		}
+	}
+
+	queries := []string{
+		"//inproceedings/author",
+		"//author",
+		"/article/year",
+		"//title",
+		"/inproceedings/booktitle",
+		fmt.Sprintf("//author[text()='%s']", gen.DBLPDavid),
+		"/book/*",
+		"//*/year",
+		"/phdthesis//author",
+		"/nosuch/path",
+	}
+	for _, q := range queries {
+		want, err := oracle.Query(q)
+		if err != nil {
+			t.Fatalf("oracle %q: %v", q, err)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if got := queryIDs(t, routerURL, q); !equalIDs(got, want) {
+			t.Errorf("query %q: router %v, oracle %v", q, got, want)
+		}
+		if got := queryIDs(t, shardedURL, q); !equalIDs(got, want) {
+			t.Errorf("query %q: sharded serve %v, oracle %v", q, got, want)
+		}
+	}
+
+	// Deletes route to the owning shard; the oracle has no delete, so the
+	// expectation is its result set minus the removed IDs.
+	deleted := map[uint64]bool{}
+	for id := uint64(3); id <= uint64(len(docs)); id += 7 {
+		req, _ := http.NewRequest(http.MethodDelete,
+			fmt.Sprintf("%s/delete?id=%d", routerURL, id), nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete %d: %d", id, resp.StatusCode)
+		}
+		deleted[id] = true
+	}
+	for _, q := range queries {
+		got := queryIDs(t, routerURL, q)
+		all, err := oracle.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uint64
+		for _, id := range all {
+			if !deleted[id] {
+				want = append(want, id)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !equalIDs(got, want) {
+			t.Errorf("after deletes, query %q: router %v, want %v", q, got, want)
+		}
+	}
+
+	// The follower tails shard 0's ship log. Its own lag gauge can read zero
+	// against a stale leader-size sample, so "caught up" is judged against
+	// the leader's authoritative log size, taken after the last mutation was
+	// acknowledged. Once there, it must serve exactly the leader's document
+	// set and still refuse writes.
+	waitCaughtUp(t, followerURL, shipSize(t, backendURLs[0]))
+	for _, q := range queries {
+		leader := queryIDs(t, backendURLs[0], q)
+		follower := queryIDs(t, followerURL, q)
+		if !equalIDs(follower, leader) {
+			t.Errorf("follower %q: %v, leader has %v", q, follower, leader)
+		}
+	}
+	resp, err := http.Post(followerURL+"/insert", "application/xml",
+		bytes.NewReader([]byte("<r/>")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower accepted a write: %d", resp.StatusCode)
+	}
+}
+
+// startProc launches the vist binary and guarantees teardown: SIGTERM first
+// (exercising the graceful drain path), SIGKILL if it lingers.
+func startProc(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %v: %v", args, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func joinCSV(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}
+
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", url)
+}
+
+// shipSize asks the leader for its current ship-log end (the X-Ship-Size
+// header every /wal/ship response carries). With all mutations acknowledged
+// — and acks imply commit + ship — this is the replication high-water mark.
+func shipSize(t *testing.T, leaderURL string) int64 {
+	t.Helper()
+	resp, err := http.Get(leaderURL + "/wal/ship?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	size, err := strconv.ParseInt(resp.Header.Get("X-Ship-Size"), 10, 64)
+	if err != nil {
+		t.Fatalf("leader sent bad X-Ship-Size: %v", err)
+	}
+	return size
+}
+
+// waitCaughtUp polls the follower's /status until its applied offset reaches
+// the leader's ship-log high-water mark.
+func waitCaughtUp(t *testing.T, followerURL string, target int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(followerURL + "/status")
+		if err == nil {
+			var st cluster.StatusResponse
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if json.Unmarshal(body, &st) == nil && st.Replica != nil &&
+				st.Replica.Offset >= target {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("follower never reached leader ship offset %d", target)
+}
+
+func queryIDs(t *testing.T, base, expr string) []uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/query?q=" + url.QueryEscape(expr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %q against %s: %d %s", expr, base, resp.StatusCode, body)
+	}
+	var qr cluster.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, len(qr.IDs))
+	for i, id := range qr.IDs {
+		ids[i] = uint64(id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

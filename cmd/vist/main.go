@@ -19,6 +19,7 @@
 //	vist serve  -dir ./idx [-addr A] [-metrics-addr A] [-slow-query D]
 //	            [-query-timeout D] [-query-max-pages N] [-drain D]
 //	            [-scrub D] [-scrub-rate N] [-wal-max-bytes N]
+//	            [-shards N] [-ship]
 //	                                               HTTP query API on -addr; with
 //	                                               -metrics-addr, /metrics, expvar
 //	                                               (/debug/vars) and net/http/pprof
@@ -37,7 +38,34 @@
 //	                                               size; /healthz reports 503 with
 //	                                               the cause while the index is
 //	                                               degraded, /readyz gates traffic
-//	                                               until startup completes
+//	                                               until startup completes and
+//	                                               reports per-shard readiness;
+//	                                               -shards N partitions documents
+//	                                               across N in-process shards by
+//	                                               docID hash, queries scatter-
+//	                                               gather across them; -ship keeps
+//	                                               an append-only log of committed
+//	                                               WAL frames and serves it on
+//	                                               /wal/ship for replicas (single
+//	                                               shard only)
+//	vist serve  -router -backends URL,URL,… [-addr A] [-metrics-addr A]
+//	            [-hedge D] [-drain D]
+//	                                               stateless scatter-gather router:
+//	                                               fans /query out to every backend
+//	                                               and merges results, routes
+//	                                               /insert, /delete, and /get to the
+//	                                               owning backend by docID hash;
+//	                                               -hedge duplicates slow backend
+//	                                               reads after that delay and takes
+//	                                               the first response
+//	vist replicate -dir ./rep -from URL [-addr A] [-poll D]
+//	            [-metrics-addr A] [-drain D]
+//	                                               WAL-shipped read replica: polls
+//	                                               the leader's /wal/ship every
+//	                                               -poll, applies committed frames,
+//	                                               and serves read-only queries on
+//	                                               -addr (writes get 503); lag is
+//	                                               exported as replica.lag_bytes
 //	vist get    -dir ./idx ID                      print a stored document
 //	vist delete -dir ./idx ID                      remove a document
 //	vist stats  -dir ./idx                         show index statistics
@@ -64,9 +92,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
+	"vist/internal/cluster"
 	"vist/internal/core"
 	"vist/internal/xmltree"
 )
@@ -96,8 +127,32 @@ func main() {
 	repair := fs.Bool("repair", false, "rebuild the index from its document store (fsck only)")
 	compact := fs.Bool("compact", false, "rewrite the index into the current storage format, packing pages (fsck only)")
 	legacyFormat := fs.Bool("legacy-format", false, "use the original fixed-width storage layout for new or compacted indexes")
+	shards := fs.Int("shards", 0, "partition documents across this many in-process shards (serve only; 0 = single index)")
+	ship := fs.Bool("ship", false, "keep a WAL ship log and serve it on /wal/ship for replicas (serve only, single shard)")
+	router := fs.Bool("router", false, "run as a stateless scatter-gather router over -backends instead of opening an index (serve only)")
+	backends := fs.String("backends", "", "comma-separated backend base URLs, e.g. http://h1:8080,http://h2:8080 (router only)")
+	hedge := fs.Duration("hedge", 0, "duplicate slow backend reads after this delay (router only; 0 = disabled)")
+	from := fs.String("from", "", "leader base URL to replicate from (replicate only)")
+	poll := fs.Duration("poll", time.Second, "leader poll interval (replicate only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if cmd == "serve" && *router {
+		// The router holds no index of its own, so -dir is not required.
+		if *backends == "" {
+			fmt.Fprintln(os.Stderr, "vist: serve -router requires -backends")
+			os.Exit(2)
+		}
+		var urls []string
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				urls = append(urls, strings.TrimRight(b, "/"))
+			}
+		}
+		if err := runRouter(*addr, *metricsAddr, urls, *hedge, *drain); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "vist: -dir is required")
@@ -122,14 +177,16 @@ func main() {
 		runFsck(*dir, opts, *repair, *compact)
 		return
 	}
-	if cmd == "serve" {
-		opts.ScrubInterval = *scrub
-		opts.ScrubPagesPerSecond = *scrubRate
+	if cmd == "serve" || cmd == "replicate" {
 		// Served queries come from untrusted clients: bound each one by
 		// default. QueryCtx applies these index-level limits to every HTTP
 		// request that doesn't carry its own tighter deadline.
 		opts.DefaultQueryTimeout = *queryTimeout
 		opts.DefaultBudget = core.Budget{MaxPages: *queryMaxPages}
+	}
+	if cmd == "serve" {
+		opts.ScrubInterval = *scrub
+		opts.ScrubPagesPerSecond = *scrubRate
 	}
 	if cmd == "serve" && *slowQuery > 0 {
 		opts.SlowQueryThreshold = *slowQuery
@@ -137,6 +194,52 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vist: slow query %q took %s (err=%v)\n%s\n",
 				sq.Expr, sq.Duration.Round(time.Microsecond), sq.Err, sq.Stats.Explain())
 		}
+	}
+	if cmd == "replicate" {
+		// The replica opens its own index via OpenReplica (read-only, fed by
+		// the leader's ship log), so it skips the common Open below.
+		if *from == "" {
+			fmt.Fprintln(os.Stderr, "vist: replicate requires -from URL")
+			os.Exit(2)
+		}
+		if err := runReplicate(*dir, strings.TrimRight(*from, "/"), *addr, *metricsAddr, *poll, *drain, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if cmd == "serve" && shardedServe(*dir, *shards) {
+		if *ship {
+			fatal(fmt.Errorf("-ship requires a single-shard leader (run one serve -ship per shard and point replicas at each)"))
+		}
+		si, err := cluster.OpenSharded(*dir, *shards, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := si.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		if err := runServe(si, cluster.MuxConfig{}, *addr, *metricsAddr, *drain); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	var muxCfg cluster.MuxConfig
+	if cmd == "serve" && *ship {
+		// The ship log must exist before Open so the recovery path can
+		// re-ship any committed frames replayed from the WAL. On a fresh
+		// leader the index directory doesn't exist yet either.
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		sl, err := cluster.OpenShipLog(filepath.Join(*dir, "shiplog"))
+		if err != nil {
+			fatal(err)
+		}
+		defer sl.Close()
+		opts.WALShipper = sl.Append
+		muxCfg.Ship = sl
 	}
 	ix, err := core.Open(*dir, opts)
 	if err != nil {
@@ -249,7 +352,7 @@ func main() {
 				float64(st.ColdRawBytes)/float64(st.ColdCompressedBytes))
 		}
 	case "serve":
-		if err := runServe(ix, *addr, *metricsAddr, *drain); err != nil {
+		if err := runServe(ix, muxCfg, *addr, *metricsAddr, *drain); err != nil {
 			fatal(err)
 		}
 	case "export":
@@ -276,6 +379,18 @@ func main() {
 	}
 }
 
+// shardedServe reports whether serve should open dir as a sharded group:
+// either the operator asked for shards explicitly, or the directory was
+// created sharded (cluster.json records the shard count) and must not be
+// reopened as a plain index.
+func shardedServe(dir string, shards int) bool {
+	if shards > 0 {
+		return true
+	}
+	_, err := os.Stat(filepath.Join(dir, "cluster.json"))
+	return err == nil
+}
+
 func parseID(s string) uint64 {
 	id, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
@@ -296,7 +411,9 @@ commands:
   index   -dir DIR [-dtd FILE] [-lambda N] FILE...   index XML files
   query   -dir DIR [-verify] [-explain] [-timeout D] [-max-results N] 'EXPR'
   serve   -dir DIR [-addr A] [-metrics-addr A] [-slow-query D] [-query-timeout D] [-query-max-pages N]
-          [-drain D] [-scrub D] [-scrub-rate N] [-wal-max-bytes N]
+          [-drain D] [-scrub D] [-scrub-rate N] [-wal-max-bytes N] [-shards N] [-ship]
+  serve   -router -backends URL,URL,... [-addr A] [-hedge D]    scatter-gather router over shard servers
+  replicate -dir DIR -from URL [-addr A] [-poll D]   WAL-shipped read-only replica of a -ship leader
   get     -dir DIR ID                                print a stored document
   delete  -dir DIR ID                                remove a document
   stats   -dir DIR                                   show index statistics

@@ -2,10 +2,10 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
@@ -14,170 +14,63 @@ import (
 	"syscall"
 	"time"
 
+	"vist/internal/cluster"
 	"vist/internal/core"
-	"vist/internal/query"
 )
 
-// queryResponse is the JSON body of every /query reply that ran (or partially
-// ran) a query. On a budget or deadline cut-off the handler still returns it —
-// with Partial set and the IDs/stats reflecting the progress made before the
-// stop — so clients can distinguish "no matches" from "gave up early".
-type queryResponse struct {
-	IDs     []core.DocID    `json:"ids"`
-	Stats   core.QueryStats `json:"stats"`
-	Partial bool            `json:"partial,omitempty"`
-	Error   string          `json:"error,omitempty"`
+// newQueryMux builds the query-port handler over any core.Shard — a single
+// index, an in-process sharded group, or a WAL-shipped replica. Kept as a
+// thin wrapper over cluster.QueryMux so the serve tests exercise exactly
+// what runServe mounts.
+func newQueryMux(s core.Shard, cfg cluster.MuxConfig) *http.ServeMux {
+	return cluster.QueryMux(s, cfg)
 }
 
-// healthResponse is the JSON body of /healthz. While the index is degraded
-// (read-only after a write-path failure) the endpoint serves 503 with the
-// cause, so load balancers stop routing writes while dashboards still see
-// why.
-type healthResponse struct {
-	Status string `json:"status"` // "ok" or "degraded"
-	Op     string `json:"op,omitempty"`
-	Reason string `json:"reason,omitempty"`
-	Since  string `json:"since,omitempty"`
+// serveMetrics mounts the operational surface (plain-text /metrics, expvar's
+// /debug/vars carrying the metrics snapshot, and net/http/pprof) on its own
+// listener so profiling endpoints are never reachable through the query
+// port.
+func serveMetrics(metricsAddr string, snapshot func() any, writeText func(w io.Writer)) {
+	expvar.Publish("vist.metrics", expvar.Func(snapshot))
+	// expvar and net/http/pprof register themselves on the default mux;
+	// /metrics joins them there.
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeText(w)
+	})
+	go func() {
+		fmt.Fprintf(os.Stderr, "vist: metrics on http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", metricsAddr)
+		if err := http.ListenAndServe(metricsAddr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "vist: metrics server:", err)
+			os.Exit(1)
+		}
+	}()
 }
 
-// newQueryMux builds the query-port handler. Split from runServe so tests can
-// drive it through net/http/httptest without binding a socket. ready gates
-// /readyz: it flips true once startup (including WAL recovery, which Open
-// performs before returning the index) has finished; nil means always ready.
-//
-// Budgeting note: the handler passes a zero per-call Budget, which QueryCtx
-// merges with the index's Options.DefaultBudget, and QueryCtx itself applies
-// Options.DefaultQueryTimeout when the request context carries no deadline —
-// so the index-level limits configured at Open time bound every HTTP query
-// without any handler-side plumbing. The ?timeout= parameter tightens (or,
-// absent index defaults, introduces) the deadline for one request.
-func newQueryMux(ix *core.Index, ready *atomic.Bool) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		expr := r.URL.Query().Get("q")
-		if expr == "" {
-			http.Error(w, "missing q parameter", http.StatusBadRequest)
-			return
-		}
-		// Classify malformed expressions up front: a request the parser
-		// rejects is the client's fault, never a server error.
-		if _, err := query.Parse(expr); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		ctx := r.Context()
-		if t := r.URL.Query().Get("timeout"); t != "" {
-			d, err := time.ParseDuration(t)
-			if err != nil || d <= 0 {
-				http.Error(w, "bad timeout: "+t, http.StatusBadRequest)
-				return
-			}
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, d)
-			defer cancel()
-		}
-		var (
-			ids   []core.DocID
-			stats core.QueryStats
-			err   error
-		)
-		if r.URL.Query().Get("verify") != "" {
-			ids, stats, err = ix.QueryVerifiedCtx(ctx, expr, core.Budget{})
-		} else {
-			ids, stats, err = ix.QueryCtx(ctx, expr, core.Budget{})
-		}
-		resp := queryResponse{IDs: ids, Stats: stats}
-		if ids == nil {
-			resp.IDs = []core.DocID{} // JSON [] — absent results are partial, not null
-		}
-		status := http.StatusOK
-		if err != nil {
-			resp.Error = err.Error()
-			switch {
-			case errors.Is(err, core.ErrCanceled):
-				// Deadline or client disconnect: the work done so far is
-				// still reported alongside the distinct status.
-				status = http.StatusGatewayTimeout
-				resp.Partial = true
-			case errors.Is(err, core.ErrBudgetExceeded):
-				status = http.StatusTooManyRequests
-				resp.Partial = true
-			default:
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		json.NewEncoder(w).Encode(resp)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if d := ix.Degraded(); d != nil {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			json.NewEncoder(w).Encode(healthResponse{
-				Status: "degraded",
-				Op:     d.Op,
-				Reason: d.Cause.Error(),
-				Since:  d.At.UTC().Format(time.RFC3339),
-			})
-			return
-		}
-		json.NewEncoder(w).Encode(healthResponse{Status: "ok"})
-	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if ready != nil && !ready.Load() {
-			http.Error(w, "starting: WAL recovery in progress", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ready")
-	})
-	return mux
-}
-
-// runServe exposes an index over HTTP: a small query API on addr, and — when
-// metricsAddr is non-empty — the operational surface (plain-text /metrics,
-// expvar's /debug/vars carrying the metrics snapshot, and net/http/pprof) on
-// a separate listener so profiling endpoints are never reachable through the
-// query port.
-//
-// SIGINT or SIGTERM shuts the server down gracefully: the listener closes,
-// in-flight requests get up to drain to finish (http.Server.Shutdown), and
-// runServe returns so the caller can Close the index — which itself drains
-// pinned readers under Options.CloseDrainTimeout before touching files.
-func runServe(ix *core.Index, addr, metricsAddr string, drain time.Duration) error {
-	if metricsAddr != "" {
-		expvar.Publish("vist.metrics", expvar.Func(func() any { return ix.Metrics() }))
-		// expvar and net/http/pprof register themselves on the default mux;
-		// /metrics joins them there.
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			ix.Metrics().WriteText(w)
-		})
-		go func() {
-			fmt.Fprintf(os.Stderr, "vist: metrics on http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", metricsAddr)
-			if err := http.ListenAndServe(metricsAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "vist: metrics server:", err)
-				os.Exit(1)
-			}
-		}()
-	}
-	var ready atomic.Bool
-	srv := &http.Server{Addr: addr, Handler: newQueryMux(ix, &ready)}
+// runHTTP runs handler on addr with signal-based graceful shutdown: SIGINT
+// or SIGTERM closes the listener, in-flight requests get up to drain to
+// finish (http.Server.Shutdown), and runHTTP returns so the caller can close
+// the index — which itself drains pinned readers before touching files.
+// ready (may be nil) flips true once the listener is up. banner is logged at
+// start.
+func runHTTP(addr, banner string, handler http.Handler, ready *atomic.Bool, drain time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "vist: query API on http://%s/query?q=EXPR\n", addr)
+		fmt.Fprintln(os.Stderr, banner)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
 		}
 		errc <- nil
 	}()
-	// WAL recovery ran inside Open, before this index existed; with the
-	// listener up the process is ready.
-	ready.Store(true)
+	// WAL recovery ran inside Open, before the caller built the handler;
+	// with the listener up the process is ready.
+	if ready != nil {
+		ready.Store(true)
+	}
 	select {
 	case err := <-errc:
 		return err
@@ -194,4 +87,76 @@ func runServe(ix *core.Index, addr, metricsAddr string, drain time.Duration) err
 		}
 		return <-errc
 	}
+}
+
+// runServe exposes a Shard (single index, sharded group, or replica) over
+// HTTP: the query API on addr and, when metricsAddr is non-empty, the
+// operational surface on a separate listener.
+func runServe(s core.Shard, cfg cluster.MuxConfig, addr, metricsAddr string, drain time.Duration) error {
+	if metricsAddr != "" {
+		serveMetrics(metricsAddr,
+			func() any { return s.Metrics() },
+			func(w io.Writer) { s.Metrics().WriteText(w) })
+	}
+	var ready atomic.Bool
+	cfg.Ready = &ready
+	banner := fmt.Sprintf("vist: query API on http://%s/query?q=EXPR", addr)
+	return runHTTP(addr, banner, newQueryMux(s, cfg), &ready, drain)
+}
+
+// runRouter exposes the scatter-gather router over HTTP. The router is
+// stateless apart from its docID allocator, which Init seeds from the
+// backends before the listener opens.
+func runRouter(addr, metricsAddr string, backends []string, hedge time.Duration, drain time.Duration) error {
+	rt := cluster.NewRouter(backends, hedge)
+	// Backends and router typically start together (systemd units, a CI
+	// harness, docker-compose), so a refused connection at startup is
+	// ordinary, not fatal: retry Init until the deadline.
+	initCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		err := rt.Init(initCtx)
+		if err == nil {
+			break
+		}
+		select {
+		case <-initCtx.Done():
+			return err
+		case <-time.After(250 * time.Millisecond):
+			fmt.Fprintln(os.Stderr, "vist: router init:", err, "(retrying)")
+		}
+	}
+	if metricsAddr != "" {
+		serveMetrics(metricsAddr,
+			func() any { return rt.Metrics() },
+			func(w io.Writer) { rt.Metrics().WriteText(w) })
+	}
+	banner := fmt.Sprintf("vist: router on http://%s/query?q=EXPR over %d backends (hedge %s)", addr, len(backends), hedge)
+	return runHTTP(addr, banner, rt.Handler(), nil, drain)
+}
+
+// runReplicate opens a WAL-shipped follower of the leader at fromURL,
+// starts the poll loop, and serves read-only queries.
+func runReplicate(dir, fromURL, addr, metricsAddr string, poll, drain time.Duration, opts core.Options) error {
+	rep, err := cluster.OpenReplica(dir, fromURL, opts)
+	if err != nil {
+		return err
+	}
+	defer rep.Close()
+	pollCtx, stopPoll := context.WithCancel(context.Background())
+	defer stopPoll()
+	// One synchronous poll before serving, so a fresh follower that can
+	// reach its leader comes up already converged rather than empty.
+	if _, err := rep.Poll(pollCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vist: replicate: initial poll:", err, "(will keep retrying)")
+	}
+	go rep.Run(pollCtx, poll)
+	if metricsAddr != "" {
+		serveMetrics(metricsAddr,
+			func() any { return rep.Metrics() },
+			func(w io.Writer) { rep.Metrics().WriteText(w) })
+	}
+	var ready atomic.Bool
+	banner := fmt.Sprintf("vist: replica of %s serving read-only on http://%s/query?q=EXPR (poll %s)", fromURL, addr, poll)
+	return runHTTP(addr, banner, newQueryMux(rep, cluster.MuxConfig{Ready: &ready, Replica: rep}), &ready, drain)
 }

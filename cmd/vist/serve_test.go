@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vist/internal/btree"
+	"vist/internal/cluster"
 	"vist/internal/core"
 	"vist/internal/xmltree"
 )
@@ -47,12 +48,12 @@ func serveGet(t *testing.T, mux *http.ServeMux, target string) *httptest.Respons
 	return rec
 }
 
-func decodeQueryResponse(t *testing.T, rec *httptest.ResponseRecorder) queryResponse {
+func decodeQueryResponse(t *testing.T, rec *httptest.ResponseRecorder) cluster.QueryResponse {
 	t.Helper()
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("Content-Type = %q, want application/json", ct)
 	}
-	var resp queryResponse
+	var resp cluster.QueryResponse
 	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
 		t.Fatalf("decoding body: %v", err)
 	}
@@ -62,7 +63,7 @@ func decodeQueryResponse(t *testing.T, rec *httptest.ResponseRecorder) queryResp
 func TestServeQueryOK(t *testing.T) {
 	ix := openServeIndex(t, core.Options{},
 		"<a><b>x</b></a>", "<a><c>y</c></a>", "<a><b>z</b></a>")
-	mux := newQueryMux(ix, nil)
+	mux := newQueryMux(ix, cluster.MuxConfig{})
 
 	rec := serveGet(t, mux, "/query?q=/a/b")
 	if rec.Code != http.StatusOK {
@@ -101,7 +102,7 @@ func TestServeQueryOK(t *testing.T) {
 // client's fault and must map to 400, never 500.
 func TestServeQueryBadRequest(t *testing.T) {
 	ix := openServeIndex(t, core.Options{}, "<a><b>x</b></a>")
-	mux := newQueryMux(ix, nil)
+	mux := newQueryMux(ix, cluster.MuxConfig{})
 	for _, target := range []string{
 		"/query",
 		"/query?q=%2Fa%5B",       // "/a[" — unterminated predicate
@@ -124,7 +125,7 @@ func TestServeQueryBudgetExceeded(t *testing.T) {
 		docs[i] = fmt.Sprintf("<a><b>v%d</b><c>w%d</c></a>", i, i)
 	}
 	ix := openServeIndex(t, core.Options{DefaultBudget: core.Budget{MaxPages: 1}}, docs...)
-	mux := newQueryMux(ix, nil)
+	mux := newQueryMux(ix, cluster.MuxConfig{})
 
 	rec := serveGet(t, mux, "/query?q=//b")
 	if rec.Code != http.StatusTooManyRequests {
@@ -145,7 +146,7 @@ func TestServeQueryBudgetExceeded(t *testing.T) {
 func TestServeQueryDeadline(t *testing.T) {
 	ix := openServeIndex(t, core.Options{DefaultQueryTimeout: time.Nanosecond},
 		"<a><b>x</b></a>")
-	rec := serveGet(t, newQueryMux(ix, nil), "/query?q=//b")
+	rec := serveGet(t, newQueryMux(ix, cluster.MuxConfig{}), "/query?q=//b")
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("DefaultQueryTimeout status = %d, want 504 (body %q)", rec.Code, rec.Body)
 	}
@@ -154,7 +155,7 @@ func TestServeQueryDeadline(t *testing.T) {
 	}
 
 	ix2 := openServeIndex(t, core.Options{}, "<a><b>x</b></a>")
-	rec = serveGet(t, newQueryMux(ix2, nil), "/query?q=//b&timeout=1ns")
+	rec = serveGet(t, newQueryMux(ix2, cluster.MuxConfig{}), "/query?q=//b&timeout=1ns")
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("?timeout=1ns status = %d, want 504 (body %q)", rec.Code, rec.Body)
 	}
@@ -195,7 +196,7 @@ func TestServeHealthzDegraded(t *testing.T) {
 	if ix.Degraded() == nil {
 		t.Fatal("index never degraded; NoSpaceAfter budget too large for the workload")
 	}
-	mux := newQueryMux(ix, nil)
+	mux := newQueryMux(ix, cluster.MuxConfig{})
 
 	rec := serveGet(t, mux, "/healthz")
 	if rec.Code != http.StatusServiceUnavailable {
@@ -204,7 +205,7 @@ func TestServeHealthzDegraded(t *testing.T) {
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("degraded /healthz Content-Type = %q", ct)
 	}
-	var h healthResponse
+	var h cluster.HealthResponse
 	if err := json.NewDecoder(rec.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestServeHealthzDegraded(t *testing.T) {
 func TestServeReadyz(t *testing.T) {
 	ix := openServeIndex(t, core.Options{}, "<a><b>x</b></a>")
 	var ready atomic.Bool
-	mux := newQueryMux(ix, &ready)
+	mux := newQueryMux(ix, cluster.MuxConfig{Ready: &ready})
 
 	if rec := serveGet(t, mux, "/readyz"); rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("pre-ready /readyz status = %d, want 503", rec.Code)
@@ -242,7 +243,7 @@ func TestServeReadyz(t *testing.T) {
 	if rec := serveGet(t, mux, "/readyz"); rec.Code != http.StatusOK {
 		t.Fatalf("ready /readyz status = %d, want 200", rec.Code)
 	}
-	if rec := serveGet(t, newQueryMux(ix, nil), "/readyz"); rec.Code != http.StatusOK {
+	if rec := serveGet(t, newQueryMux(ix, cluster.MuxConfig{}), "/readyz"); rec.Code != http.StatusOK {
 		t.Fatalf("nil-gate /readyz status = %d, want 200", rec.Code)
 	}
 }

@@ -7,15 +7,22 @@
 //	vistgen -dataset xmark -n 400  [-seed S]  > xmark.xml
 //	vistgen -dataset synthetic -n 100 -k 10 -j 8 -l 30 > synth.xml
 //	vistgen -dataset synthetic -queries 10 -l 6        # emit queries instead
+//	vistgen -dataset dblp -n 10000 -seed 11 -out .bench-corpus/dblp-10k.xml
 //
-// All datasets are deterministic for a fixed -seed (default 1).
+// All datasets are deterministic for a fixed -seed (default 1). With -out the
+// corpus is written via a temp file and renamed into place, so an interrupted
+// run never leaves a truncated file behind — CI caches the result between
+// jobs and a half-corpus in the cache would silently skew every benchmark
+// that reads it.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"vist/internal/gen"
 	"vist/internal/xmltree"
@@ -30,11 +37,40 @@ func main() {
 		j       = flag.Int("j", 8, "synthetic: conceptual fan-out")
 		l       = flag.Int("l", 30, "synthetic: nodes per record (or query length with -queries)")
 		queries = flag.Int("queries", 0, "synthetic: emit this many random queries instead of records")
+		out     = flag.String("out", "", "write atomically to this file instead of stdout (parent dir is created)")
 	)
 	flag.Parse()
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
+	var sink io.Writer = os.Stdout
+	var tmp *os.File
+	if *out != "" {
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		var err error
+		tmp, err = os.CreateTemp(filepath.Dir(*out), ".vistgen-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.Remove(tmp.Name())
+		sink = tmp
+	}
+	w := bufio.NewWriter(sink)
+	defer func() {
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if tmp != nil {
+			if err := tmp.Close(); err != nil {
+				fatal(err)
+			}
+			if err := os.Rename(tmp.Name(), *out); err != nil {
+				fatal(err)
+			}
+		}
+	}()
 
 	var docs []*xmltree.Node
 	switch *dataset {
@@ -61,8 +97,12 @@ func main() {
 	}
 	for _, d := range docs {
 		if err := xmltree.WriteXML(w, d); err != nil {
-			fmt.Fprintln(os.Stderr, "vistgen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vistgen:", err)
+	os.Exit(1)
 }

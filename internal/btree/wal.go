@@ -112,6 +112,15 @@ type WAL struct {
 	// m is never nil (a bundle of nil metrics when observability is off);
 	// replace it with SetMetrics before Recover to observe recovery too.
 	m *obs.WALMetrics
+
+	// ship, when set, receives the raw bytes of every committed frame run
+	// (page frames + their commit record) after the commit fsync and before
+	// the checkpoint truncates them — the hook WAL shipping replication
+	// hangs off. committedEnd tracks where the committed region parsed at
+	// open ends, so Recover can re-ship a tail whose shipping the crash may
+	// have interrupted.
+	ship         func(frames []byte) error
+	committedEnd int64
 }
 
 type replayFrame struct {
@@ -204,6 +213,7 @@ func (w *WAL) parse(size int64) error {
 		case walKindCommit:
 			w.replay = append(w.replay, pending...)
 			pending = pending[:0]
+			w.committedEnd = next
 		}
 		pos = next
 	}
@@ -301,6 +311,12 @@ func (w *WAL) Recover() (RecoveryStats, error) {
 			return w.stats, err
 		}
 	}
+	// Re-ship the committed tail before it is truncated: the crash may have
+	// hit between the commit fsync and the ship, and the downstream apply is
+	// idempotent, so shipping it again is always safe.
+	if err := w.shipLocked(w.committedEnd); err != nil {
+		return w.stats, err
+	}
 	if err := w.resetLocked(); err != nil {
 		return w.stats, err
 	}
@@ -312,6 +328,38 @@ func (w *WAL) Recover() (RecoveryStats, error) {
 	w.replay = nil
 	w.recovered = true
 	return w.stats, nil
+}
+
+// SetShipper attaches a replication hook: fn is called with the raw bytes of
+// the committed log region — page frames followed by their commit record,
+// exactly as framed on disk — after each commit fsync and before the
+// checkpoint truncates the log. A failing fn fails the Commit (before the
+// checkpoint, so the frames survive in the log); the retry after a heal
+// re-ships the same region, so fn must tolerate duplicate byte runs. Physical
+// page redo is idempotent, which is what makes that safe to apply downstream.
+//
+// Call it after OpenWAL and before Recover: a committed tail found at open is
+// re-shipped during Recover, healing a crash that landed between the commit
+// fsync and the ship.
+func (w *WAL) SetShipper(fn func(frames []byte) error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ship = fn
+}
+
+// shipLocked sends the log bytes in [walHeaderSize, end) to the shipper.
+func (w *WAL) shipLocked(end int64) error {
+	if w.ship == nil || end <= walHeaderSize {
+		return nil
+	}
+	frames := make([]byte, end-walHeaderSize)
+	if _, err := w.f.ReadAt(frames, walHeaderSize); err != nil {
+		return fmt.Errorf("btree: WAL ship read: %w", err)
+	}
+	if err := w.ship(frames); err != nil {
+		return fmt.Errorf("btree: WAL ship: %w", err)
+	}
+	return nil
 }
 
 // SetMetrics attaches an observability bundle (nil restores the no-op
@@ -413,6 +461,13 @@ func (w *WAL) Commit() error {
 		}
 		w.m.Fsyncs.Inc()
 	}
+	// Everything in the log is now committed and durable; ship it before the
+	// checkpoint truncates it. This also runs on the retry path (pending == 0
+	// after a failed ship or checkpoint), re-shipping the same region, which
+	// the downstream apply tolerates.
+	if err := w.shipLocked(w.size); err != nil {
+		return err
+	}
 	return w.checkpointLocked()
 }
 
@@ -477,6 +532,7 @@ func (w *WAL) resetLocked() error {
 	w.m.Fsyncs.Inc()
 	w.size = walHeaderSize
 	w.pending = 0
+	w.committedEnd = 0
 	return nil
 }
 

@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/query"
+	"vist/internal/xmltree"
+)
+
+// QueryResponse is the JSON body of every /query reply that ran (or
+// partially ran) a query. On a budget or deadline cut-off the handler still
+// returns it — with Partial set and the IDs/stats reflecting the progress
+// made before the stop — so clients can distinguish "no matches" from "gave
+// up early".
+type QueryResponse struct {
+	IDs     []core.DocID    `json:"ids"`
+	Stats   core.QueryStats `json:"stats"`
+	Partial bool            `json:"partial,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// HealthResponse is the JSON body of /healthz. While the index is degraded
+// (read-only after a write-path failure) the endpoint serves 503 with the
+// cause, so load balancers stop routing writes while dashboards still see
+// why.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "degraded"
+	Op     string `json:"op,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Since  string `json:"since,omitempty"`
+}
+
+// ReadyResponse is the JSON body of /readyz: overall status plus the
+// per-shard breakdown when the Shard behind the mux is sharded. Any degraded
+// shard makes the whole endpoint 503, with the first cause in Reason, so a
+// load balancer backs off a partially read-only server while the body still
+// names the exact shard.
+type ReadyResponse struct {
+	Status string       `json:"status"` // "ready", "starting", or "degraded"
+	Reason string       `json:"reason,omitempty"`
+	Shards []ShardState `json:"shards,omitempty"`
+}
+
+// InsertResponse is the JSON body of a successful /insert.
+type InsertResponse struct {
+	ID core.DocID `json:"id"`
+}
+
+// StatusResponse is the JSON body of /status — the coordination surface a
+// Router (docID allocation) or an operator reads.
+type StatusResponse struct {
+	Docs     uint64         `json:"docs"`
+	NextDoc  core.DocID     `json:"next_doc"`
+	Degraded bool           `json:"degraded"`
+	Shards   int            `json:"shards,omitempty"`
+	Replica  *ReplicaStatus `json:"replica,omitempty"`
+}
+
+// shardStater is the optional interface ShardedIndex implements; the mux
+// upgrades to it for per-shard /readyz reporting.
+type shardStater interface{ ShardStates() []ShardState }
+
+// MuxConfig configures QueryMux.
+type MuxConfig struct {
+	// Ready gates /readyz: it flips true once startup (including WAL
+	// recovery, which Open performs before returning the index) has
+	// finished; nil means always ready.
+	Ready *atomic.Bool
+	// Ship, when non-nil, serves the replication stream on /wal/ship.
+	Ship *ShipLog
+	// Replica, when non-nil, adds replication lag to /status.
+	Replica *Replica
+	// MaxInsertBytes bounds a /insert request body. Zero selects 16 MB.
+	MaxInsertBytes int64
+}
+
+// QueryMux builds the HTTP API over any core.Shard — one index, a sharded
+// group, or a replica. Endpoints: /query, /insert, /delete, /get, /status,
+// /healthz, /readyz, and (leaders only) /wal/ship.
+//
+// Budgeting note: /query passes a zero per-call Budget, which QueryCtx
+// merges with the index's Options.DefaultBudget, and QueryCtx itself applies
+// Options.DefaultQueryTimeout when the request context carries no deadline —
+// so the index-level limits configured at Open time bound every HTTP query
+// without any handler-side plumbing. The ?timeout= parameter tightens (or,
+// absent index defaults, introduces) the deadline for one request.
+func QueryMux(s core.Shard, cfg MuxConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		expr := r.URL.Query().Get("q")
+		if expr == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		// Classify malformed expressions up front: a request the parser
+		// rejects is the client's fault, never a server error.
+		if _, err := query.Parse(expr); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ctx := r.Context()
+		if t := r.URL.Query().Get("timeout"); t != "" {
+			d, err := time.ParseDuration(t)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad timeout: "+t, http.StatusBadRequest)
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		var (
+			ids   []core.DocID
+			stats core.QueryStats
+			err   error
+		)
+		if r.URL.Query().Get("verify") != "" {
+			ids, stats, err = s.QueryVerifiedCtx(ctx, expr, core.Budget{})
+		} else {
+			ids, stats, err = s.QueryCtx(ctx, expr, core.Budget{})
+		}
+		resp := QueryResponse{IDs: ids, Stats: stats}
+		if ids == nil {
+			resp.IDs = []core.DocID{} // JSON [] — absent results are partial, not null
+		}
+		status := http.StatusOK
+		if err != nil {
+			resp.Error = err.Error()
+			switch {
+			case errors.Is(err, core.ErrCanceled):
+				// Deadline or client disconnect: the work done so far is
+				// still reported alongside the distinct status.
+				status = http.StatusGatewayTimeout
+				resp.Partial = true
+			case errors.Is(err, core.ErrBudgetExceeded):
+				status = http.StatusTooManyRequests
+				resp.Partial = true
+			default:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST an XML document", http.StatusMethodNotAllowed)
+			return
+		}
+		limit := cfg.MaxInsertBytes
+		if limit <= 0 {
+			limit = 16 << 20
+		}
+		doc, err := xmltree.Parse(io.LimitReader(r.Body, limit))
+		if err != nil {
+			http.Error(w, "bad document: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		var id core.DocID
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			// Coordinator-assigned ID (the Router allocates globally and
+			// routes here): place the document under exactly that ID.
+			n, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil || n == 0 {
+				http.Error(w, "bad id: "+idStr, http.StatusBadRequest)
+				return
+			}
+			id = core.DocID(n)
+			err = s.InsertAs(id, doc)
+			if err != nil {
+				writeMutationError(w, err)
+				return
+			}
+		} else {
+			id, err = s.Insert(doc)
+			if err != nil {
+				writeMutationError(w, err)
+				return
+			}
+		}
+		// Durability point: an acknowledged insert has been committed to the
+		// WAL (and, on a -ship leader, handed to the ship log) before the
+		// reply — a replica can never miss a write the client saw succeed.
+		if err := s.Sync(); err != nil {
+			writeMutationError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(InsertResponse{ID: id})
+	})
+	mux.HandleFunc("/delete", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+			http.Error(w, "POST or DELETE with ?id=", http.StatusMethodNotAllowed)
+			return
+		}
+		n, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil || n == 0 {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		if err := s.Delete(core.DocID(n)); err != nil {
+			writeMutationError(w, err)
+			return
+		}
+		if err := s.Sync(); err != nil {
+			writeMutationError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
+		n, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil || n == 0 {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		doc, err := s.Get(core.DocID(n))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		_ = xmltree.WriteXML(w, doc)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		resp := StatusResponse{
+			Docs:     s.DocCount(),
+			NextDoc:  s.NextDocID(),
+			Degraded: s.Degraded() != nil,
+		}
+		if ss, ok := s.(shardStater); ok {
+			resp.Shards = len(ss.ShardStates())
+		}
+		if cfg.Replica != nil {
+			st := cfg.Replica.Status()
+			resp.Replica = &st
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if d := s.Degraded(); d != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(HealthResponse{
+				Status: "degraded",
+				Op:     d.Op,
+				Reason: d.Cause.Error(),
+				Since:  d.At.UTC().Format(time.RFC3339),
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(HealthResponse{Status: "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if cfg.Ready != nil && !cfg.Ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(ReadyResponse{Status: "starting", Reason: "startup in progress"})
+			return
+		}
+		resp := ReadyResponse{Status: "ready"}
+		if ss, ok := s.(shardStater); ok {
+			resp.Shards = ss.ShardStates()
+		} else {
+			// Single index (or replica): present it as shard 0 so clients
+			// parse one shape everywhere.
+			st := ShardState{ID: 0, Docs: s.DocCount(), Status: "ok"}
+			if d := s.Degraded(); d != nil {
+				st.Status = "degraded"
+				st.Op = d.Op
+				st.Reason = d.Cause.Error()
+				st.Since = d.At.UTC().Format(time.RFC3339)
+			}
+			resp.Shards = []ShardState{st}
+		}
+		for _, st := range resp.Shards {
+			if st.Status == "degraded" {
+				resp.Status = "degraded"
+				resp.Reason = fmt.Sprintf("shard %d read-only: %s", st.ID, st.Reason)
+				w.WriteHeader(http.StatusServiceUnavailable)
+				break
+			}
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	if cfg.Ship != nil {
+		mux.Handle("/wal/ship", ShipHandler(cfg.Ship))
+	}
+	return mux
+}
+
+// writeMutationError maps a failed write to an HTTP status: read-only states
+// (degraded index, replica) are 503 — retry elsewhere or after a heal — and
+// everything else is the client's or server's fault as usual.
+func writeMutationError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrReadOnly) || errors.Is(err, ErrReplicaReadOnly):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, core.ErrDocNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ShipHandler serves the replication stream: GET /wal/ship?from=OFFSET
+// returns the concatenated payloads of complete batches starting there, with
+// X-Ship-Next (offset to fetch next) and X-Ship-Size (current log end, for
+// lag computation) headers. An empty 200 body means caught up. Offsets off a
+// batch boundary return 416 — the follower must resync from scratch.
+func ShipHandler(l *ShipLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var from int64
+		if f := r.URL.Query().Get("from"); f != "" {
+			n, err := strconv.ParseInt(f, 10, 64)
+			if err != nil || n < 0 {
+				http.Error(w, "bad from offset", http.StatusBadRequest)
+				return
+			}
+			from = n
+		}
+		maxBytes := 0
+		if m := r.URL.Query().Get("max"); m != "" {
+			n, err := strconv.Atoi(m)
+			if err != nil || n < 0 {
+				http.Error(w, "bad max", http.StatusBadRequest)
+				return
+			}
+			maxBytes = n
+		}
+		data, next, err := l.Read(from, maxBytes)
+		if err != nil {
+			if errors.Is(err, ErrShipRange) {
+				http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Ship-Next", strconv.FormatInt(next, 10))
+		w.Header().Set("X-Ship-Size", strconv.FormatInt(l.Size(), 10))
+		w.Write(data)
+	})
+}

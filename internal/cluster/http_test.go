@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"vist/internal/btree"
+	"vist/internal/core"
+)
+
+func muxGet(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+// TestMuxMutations exercises the write endpoints over a single index:
+// insert (allocated and coordinator-assigned IDs), get, delete, and the
+// /status coordination surface.
+func TestMuxMutations(t *testing.T) {
+	ix := mustMem(t, core.Options{})
+	srv := httptest.NewServer(QueryMux(ix, MuxConfig{}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/insert", "application/xml", strings.NewReader("<r><a>one</a></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir InsertResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir.ID != 1 {
+		t.Fatalf("insert: %d id=%d", resp.StatusCode, ir.ID)
+	}
+
+	// Coordinator-assigned ID (what the router sends).
+	resp, err = http.Post(srv.URL+"/insert?id=5", "application/xml", strings.NewReader("<r><a>five</a></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert?id=5: %d", resp.StatusCode)
+	}
+	var st StatusResponse
+	if status, body := muxGet(t, srv, "/status"); status != http.StatusOK || json.Unmarshal(body, &st) != nil {
+		t.Fatalf("status: %d %s", status, body)
+	}
+	if st.Docs != 2 || st.NextDoc != 6 || st.Degraded {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Regressing the ID ordering is a client error, not a crash.
+	resp, err = http.Post(srv.URL+"/insert?id=2", "application/xml", strings.NewReader("<r/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("out-of-order InsertAs accepted")
+	}
+
+	if status, body := muxGet(t, srv, "/get?id=1"); status != http.StatusOK || !strings.Contains(string(body), "one") {
+		t.Fatalf("get: %d %q", status, body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/delete?id=1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	if status, _ := muxGet(t, srv, "/get?id=1"); status != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", status)
+	}
+	if status, _ := muxGet(t, srv, "/get?id=0"); status != http.StatusBadRequest {
+		t.Fatalf("get id=0: %d", status)
+	}
+	resp, err = http.Post(srv.URL+"/insert", "application/xml", strings.NewReader("not xml at all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad document: %d", resp.StatusCode)
+	}
+	if resp, err := http.Get(srv.URL + "/insert"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /insert: %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestMuxReadyzPerShard is the readiness fix from the issue: when one shard
+// of a sharded group degrades to read-only, /readyz flips to 503 and the
+// JSON body names the degraded shard while still listing the healthy ones.
+func TestMuxReadyzPerShard(t *testing.T) {
+	dir := t.TempDir()
+	plan := &btree.FaultPlan{NoSpaceAfter: 256 * 1024}
+	s, err := OpenSharded(dir, 2, core.Options{FS: btree.FaultFS{Plan: plan}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var ready atomic.Bool
+	srv := httptest.NewServer(QueryMux(s, MuxConfig{Ready: &ready}))
+	defer srv.Close()
+
+	// Before startup completes, /readyz gates traffic.
+	if status, _ := muxGet(t, srv, "/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("pre-ready: %d", status)
+	}
+	ready.Store(true)
+	var rr ReadyResponse
+	if status, body := muxGet(t, srv, "/readyz"); status != http.StatusOK || json.Unmarshal(body, &rr) != nil {
+		t.Fatalf("ready: %d %s", status, body)
+	}
+	if rr.Status != "ready" || len(rr.Shards) != 2 {
+		t.Fatalf("ready response = %+v", rr)
+	}
+
+	// Fill the disk until a write path degrades one shard.
+	for i := 0; s.Degraded() == nil; i++ {
+		if i > 100000 {
+			t.Fatal("no shard ever degraded")
+		}
+		doc := mustParse(t, fmt.Sprintf("<r><a>padding-%06d-%s</a></r>", i, strings.Repeat("x", 256)))
+		if _, err := s.Insert(doc); err != nil {
+			if err := s.Sync(); err == nil {
+				t.Fatal("insert failed but nothing degraded")
+			}
+			break
+		}
+		if i%50 == 0 {
+			s.Sync()
+		}
+	}
+	plan.AddSpace(1 << 30) // the probe itself must not hit ENOSPC
+
+	status, body := muxGet(t, srv, "/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readyz: %d %s", status, body)
+	}
+	rr = ReadyResponse{}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "degraded" || !strings.Contains(rr.Reason, "read-only") {
+		t.Fatalf("degraded response = %+v", rr)
+	}
+	if len(rr.Shards) != 2 {
+		t.Fatalf("per-shard breakdown missing: %+v", rr)
+	}
+	found := false
+	for _, sh := range rr.Shards {
+		if sh.Status == "degraded" {
+			if sh.Reason == "" || sh.Op == "" {
+				t.Fatalf("degraded shard missing cause: %+v", sh)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("503 without any degraded shard: %+v", rr)
+	}
+	// /healthz agrees, with the same cause.
+	if status, _ := muxGet(t, srv, "/healthz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while degraded: %d", status)
+	}
+	// A degraded shard rejects writes with 503 so the router retries later.
+	resp, err := http.Post(srv.URL+"/insert", "application/xml",
+		strings.NewReader("<r><a>rejected</a></r>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert while degraded: %d", resp.StatusCode)
+	}
+}
+
+// TestMuxReadyzSingleIndex: a single index reports itself as pseudo-shard 0
+// so probes parse one shape everywhere.
+func TestMuxReadyzSingleIndex(t *testing.T) {
+	ix := mustMem(t, core.Options{})
+	srv := httptest.NewServer(QueryMux(ix, MuxConfig{}))
+	defer srv.Close()
+	var rr ReadyResponse
+	if status, body := muxGet(t, srv, "/readyz"); status != http.StatusOK || json.Unmarshal(body, &rr) != nil {
+		t.Fatalf("readyz: %d %s", status, body)
+	}
+	if len(rr.Shards) != 1 || rr.Shards[0].ID != 0 || rr.Shards[0].Status != "ok" {
+		t.Fatalf("single-index readyz = %+v", rr)
+	}
+}

@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/obs"
+	"vist/internal/xmltree"
+)
+
+// ErrReplicaReadOnly is returned by every mutation on a Replica: followers
+// apply the leader's WAL stream and never accept writes of their own.
+var ErrReplicaReadOnly = errors.New("cluster: replica is read-only (WAL-shipped follower)")
+
+// errReplicaUnavailable is returned while the index is swapped out (a failed
+// apply left no open index) or after Close.
+var errReplicaUnavailable = errors.New("cluster: replica index unavailable")
+
+// Replica is a read-only follower of a WAL-shipping leader. It polls the
+// leader's /wal/ship endpoint for committed WAL frame batches, appends them
+// to its local write-ahead log, and reopens the index so the PR-2 recovery
+// path replays them into the page files — physical replication built
+// entirely from machinery the crash story already proves out.
+//
+// Consistency guarantee: the leader ships bytes only after its commit fsync,
+// and the ship log exposes only complete, CRC-checked batches, so every
+// state the replica ever serves is a committed prefix of the leader's
+// history. The replica can lag (poll interval + apply time) but can never
+// show an uncommitted or torn write. Duplicate batch delivery (leader crash
+// between fsync and ship, or a retried poll) is harmless because physical
+// page redo is idempotent.
+//
+// Bootstrap: the ship log is append-only since the leader index's creation,
+// so a follower starts from an empty directory and offset zero and replays
+// the full history; its files converge on the leader's because both started
+// from the same deterministic empty-index layout (the options — page size
+// above all — must match the leader's).
+type Replica struct {
+	dir    string
+	leader string // base URL of the leader's query/ship server
+	opts   core.Options
+	client *http.Client
+
+	// mu orders queries (read lock, held for the query's duration) against
+	// apply (write lock: close index, append WAL, reopen, swap).
+	mu sync.RWMutex
+	ix *core.Index
+
+	offset     int64 // next ship-log offset to fetch
+	leaderSize int64 // leader ship-log size at last poll
+
+	reg           *obs.Registry
+	lagBytes      *obs.Gauge
+	applied       *obs.Counter
+	bytesApplied  *obs.Counter
+	polls         *obs.Counter
+	pollErrs      *obs.Counter
+	lastApplyUnix *obs.Gauge
+}
+
+var _ core.Shard = (*Replica)(nil)
+
+// replicaOffsetName persists the next ship-log offset to fetch. It is
+// written after an apply completes; a crash between apply and offset write
+// just refetches and reapplies the same batches (idempotent).
+const replicaOffsetName = "replica.offset"
+
+// OpenReplica opens (or bootstraps) a follower in dir tracking the leader at
+// leaderURL (e.g. "http://10.0.0.1:8080"). opts must match the leader's page
+// size; WAL-dependent options are forced sane (the WAL is the whole point).
+func OpenReplica(dir, leaderURL string, opts core.Options) (*Replica, error) {
+	if opts.DisableWAL {
+		return nil, fmt.Errorf("cluster: a replica needs the write-ahead log (DisableWAL is set)")
+	}
+	opts.WALShipper = nil // followers never re-ship
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		dir:    dir,
+		leader: strings.TrimRight(leaderURL, "/"),
+		opts:   opts,
+		client: &http.Client{Timeout: 30 * time.Second},
+		reg:    obs.NewRegistry(),
+	}
+	r.lagBytes = r.reg.Gauge("replica.lag_bytes")
+	r.applied = r.reg.Counter("replica.batches_applied")
+	r.bytesApplied = r.reg.Counter("replica.bytes_applied")
+	r.polls = r.reg.Counter("replica.polls")
+	r.pollErrs = r.reg.Counter("replica.poll_errors")
+	r.lastApplyUnix = r.reg.Gauge("replica.last_apply_unix")
+
+	if raw, err := os.ReadFile(filepath.Join(dir, replicaOffsetName)); err == nil {
+		off, perr := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", replicaOffsetName, perr)
+		}
+		r.offset = off
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	ix, err := core.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.ix = ix
+	return r, nil
+}
+
+// Poll fetches and applies one batch run from the leader. It returns the
+// number of payload bytes applied (0 when caught up) and updates the lag
+// metrics either way.
+func (r *Replica) Poll(ctx context.Context) (int, error) {
+	r.polls.Inc()
+	n, err := r.pollOnce(ctx)
+	if err != nil {
+		r.pollErrs.Inc()
+	}
+	return n, err
+}
+
+func (r *Replica) pollOnce(ctx context.Context) (int, error) {
+	r.mu.RLock()
+	from := r.offset
+	r.mu.RUnlock()
+	url := fmt.Sprintf("%s/wal/ship?from=%d", r.leader, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("cluster: leader %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	next, err := strconv.ParseInt(resp.Header.Get("X-Ship-Next"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: leader sent bad X-Ship-Next: %w", err)
+	}
+	if size, err := strconv.ParseInt(resp.Header.Get("X-Ship-Size"), 10, 64); err == nil {
+		r.mu.Lock()
+		r.leaderSize = size
+		r.lagBytes.Set(size - next)
+		r.mu.Unlock()
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) == 0 {
+		return 0, nil
+	}
+	if err := r.apply(payload, next); err != nil {
+		return 0, err
+	}
+	return len(payload), nil
+}
+
+// apply appends the shipped frames to the local WAL and reopens the index,
+// letting the standard committed-tail recovery replay them. The write lock
+// excludes queries for the swap; queries in flight finish first (they hold
+// the read lock for their duration).
+func (r *Replica) apply(frames []byte, next int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ix.Close(); err != nil {
+		return fmt.Errorf("cluster: close before apply: %w", err)
+	}
+	r.ix = nil
+	if err := appendWAL(filepath.Join(r.dir, "wal"), frames); err != nil {
+		return fmt.Errorf("cluster: append shipped frames: %w", err)
+	}
+	ix, err := core.Open(r.dir, r.opts)
+	if err != nil {
+		return fmt.Errorf("cluster: reopen after apply: %w", err)
+	}
+	r.ix = ix
+	r.offset = next
+	r.applied.Inc()
+	r.bytesApplied.Add(uint64(len(frames)))
+	r.lastApplyUnix.Set(time.Now().Unix())
+	r.lagBytes.Set(r.leaderSize - next)
+	// Persist the offset last: a crash before this line refetches from the
+	// old offset and reapplies the same frames, which is idempotent.
+	tmp := filepath.Join(r.dir, replicaOffsetName+".tmp")
+	if err := os.WriteFile(tmp, []byte(strconv.FormatInt(next, 10)+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(r.dir, replicaOffsetName))
+}
+
+// appendWAL appends raw committed frames to the WAL file at path, creating
+// it (with the standard header) if needed, and fsyncs. The next core.Open
+// replays them exactly as it would a crash-left committed tail.
+func appendWAL(path string, frames []byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	off := st.Size()
+	if off < 16 {
+		// Fresh (or header-torn) log: write the 16-byte WAL header the
+		// recovery parser expects — magic "VISTWAL1", version 1, reserved.
+		hdr := make([]byte, 16)
+		copy(hdr, "VISTWAL1")
+		hdr[11] = 1 // version uint32 big-endian
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			return err
+		}
+		off = 16
+	}
+	if _, err := f.WriteAt(frames, off); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Run polls in a loop until ctx is done, sleeping interval between polls
+// (with an immediate first poll). Poll errors are reported through the
+// replica.poll_errors counter and the returned channel is not used for them;
+// the loop keeps retrying, because a leader restart is a normal event.
+func (r *Replica) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		// Drain everything available before sleeping, so catch-up after a
+		// long partition is bounded by bandwidth, not poll cadence.
+		for {
+			n, err := r.Poll(ctx)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ReplicaStatus is the JSON shape of the follower's /status extension.
+type ReplicaStatus struct {
+	Leader     string `json:"leader"`
+	Offset     int64  `json:"offset"`
+	LeaderSize int64  `json:"leader_size"`
+	LagBytes   int64  `json:"lag_bytes"`
+	Applied    uint64 `json:"batches_applied"`
+}
+
+// Status reports the replication position and lag.
+func (r *Replica) Status() ReplicaStatus {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	lag := r.leaderSize - r.offset
+	if lag < 0 {
+		lag = 0
+	}
+	return ReplicaStatus{
+		Leader:     r.leader,
+		Offset:     r.offset,
+		LeaderSize: r.leaderSize,
+		LagBytes:   lag,
+		Applied:    r.applied.Load(),
+	}
+}
+
+// QueryCtx serves a read against the last applied committed state.
+func (r *Replica) QueryCtx(ctx context.Context, expr string, b core.Budget) ([]core.DocID, core.QueryStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.ix == nil {
+		return nil, core.QueryStats{}, errReplicaUnavailable
+	}
+	return r.ix.QueryCtx(ctx, expr, b)
+}
+
+// QueryVerifiedCtx serves a verified read against the last applied state.
+func (r *Replica) QueryVerifiedCtx(ctx context.Context, expr string, b core.Budget) ([]core.DocID, core.QueryStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.ix == nil {
+		return nil, core.QueryStats{}, errReplicaUnavailable
+	}
+	return r.ix.QueryVerifiedCtx(ctx, expr, b)
+}
+
+// Get loads a document from the last applied state.
+func (r *Replica) Get(id core.DocID) (*xmltree.Node, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.ix == nil {
+		return nil, errReplicaUnavailable
+	}
+	return r.ix.Get(id)
+}
+
+// Insert fails: replicas are read-only.
+func (r *Replica) Insert(*xmltree.Node) (core.DocID, error) { return 0, ErrReplicaReadOnly }
+
+// InsertAs fails: replicas are read-only.
+func (r *Replica) InsertAs(core.DocID, *xmltree.Node) error { return ErrReplicaReadOnly }
+
+// Delete fails: replicas are read-only.
+func (r *Replica) Delete(core.DocID) error { return ErrReplicaReadOnly }
+
+// Sync is a no-op: a replica holds no local mutations to commit.
+func (r *Replica) Sync() error { return nil }
+
+// Close stops serving and closes the underlying index.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ix == nil {
+		return nil
+	}
+	err := r.ix.Close()
+	r.ix = nil
+	return err
+}
+
+// DocCount reports the last applied state's live document count.
+func (r *Replica) DocCount() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.ix == nil {
+		return 0
+	}
+	return r.ix.DocCount()
+}
+
+// NextDocID reports the last applied state's next docID.
+func (r *Replica) NextDocID() core.DocID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.ix == nil {
+		return 0
+	}
+	return r.ix.NextDocID()
+}
+
+// Degraded reports the underlying index's degradation state.
+func (r *Replica) Degraded() *core.DegradedError {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.ix == nil {
+		return nil
+	}
+	return r.ix.Degraded()
+}
+
+// Metrics merges the replication metrics with the underlying index's.
+func (r *Replica) Metrics() obs.Snapshot {
+	merged := r.reg.Snapshot()
+	r.mu.RLock()
+	ix := r.ix
+	r.mu.RUnlock()
+	if ix != nil {
+		mergeSnapshot(&merged, ix.Metrics())
+	}
+	return merged
+}

@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"vist/internal/btree"
+	"vist/internal/core"
+	"vist/internal/xmltree"
+)
+
+func mustParse(t *testing.T, xml string) *xmltree.Node {
+	t.Helper()
+	n, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// leaderHarness is a -ship leader: an index whose commits append to a ship
+// log, served (ship endpoint included) over HTTP.
+type leaderHarness struct {
+	dir string
+	log *ShipLog
+	ix  *core.Index
+	srv *httptest.Server
+}
+
+func newLeader(t *testing.T, dir string, fs btree.FS) (*leaderHarness, error) {
+	t.Helper()
+	log, err := OpenShipLog(filepath.Join(dir, "shiplog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Open(dir, core.Options{FS: fs, WALShipper: log.Append})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	h := &leaderHarness{dir: dir, log: log, ix: ix}
+	h.srv = httptest.NewServer(QueryMux(ix, MuxConfig{Ship: log}))
+	t.Cleanup(func() { h.srv.Close(); h.log.Close() })
+	return h, nil
+}
+
+// drain polls until the replica reports itself caught up.
+func drain(t *testing.T, rep *Replica) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; ; i++ {
+		n, err := rep.Poll(ctx)
+		if err != nil {
+			t.Fatal("poll:", err)
+		}
+		if n == 0 {
+			return
+		}
+		if i > 1000 {
+			t.Fatal("replica never catches up")
+		}
+	}
+}
+
+func docIDs(t *testing.T, s core.Shard, expr string) []core.DocID {
+	t.Helper()
+	ids, _, err := s.QueryCtx(context.Background(), expr, core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestReplicaFollowsLeader is the happy-path replication story: a follower
+// bootstraps from an empty directory by replaying the leader's ship log,
+// serves the same query results, tracks later inserts and deletes, rejects
+// writes, and resumes from its persisted offset after a restart.
+func TestReplicaFollowsLeader(t *testing.T) {
+	h, err := newLeader(t, t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.ix.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := h.ix.Insert(mustParse(t, fmt.Sprintf("<r><a>v%d</a></r>", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	rdir := t.TempDir()
+	rep, err := OpenReplica(rdir, h.srv.URL, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, rep)
+	if got, want := docIDs(t, rep, "/r"), docIDs(t, h.ix, "/r"); !sameIDs(got, want) {
+		t.Fatalf("replica serves %v, leader %v", got, want)
+	}
+	if rep.DocCount() != 5 {
+		t.Fatalf("replica DocCount = %d, want 5", rep.DocCount())
+	}
+	if doc, err := rep.Get(3); err != nil || doc == nil {
+		t.Fatalf("replica Get(3): %v", err)
+	}
+	if st := rep.Status(); st.LagBytes != 0 || st.Applied == 0 {
+		t.Fatalf("caught-up status = %+v", st)
+	}
+
+	// Followers never accept writes.
+	if _, err := rep.Insert(mustParse(t, "<r/>")); !errors.Is(err, ErrReplicaReadOnly) {
+		t.Fatalf("Insert on replica: %v", err)
+	}
+	if err := rep.Delete(1); !errors.Is(err, ErrReplicaReadOnly) {
+		t.Fatalf("Delete on replica: %v", err)
+	}
+	if err := rep.InsertAs(9, mustParse(t, "<r/>")); !errors.Is(err, ErrReplicaReadOnly) {
+		t.Fatalf("InsertAs on replica: %v", err)
+	}
+
+	// Deletes and later inserts ship too.
+	if err := h.ix.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ix.Insert(mustParse(t, "<r><a>late</a></r>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, rep)
+	if got, want := docIDs(t, rep, "/r"), docIDs(t, h.ix, "/r"); !sameIDs(got, want) {
+		t.Fatalf("after delete+insert: replica %v, leader %v", got, want)
+	}
+	if _, err := rep.Get(2); !errors.Is(err, core.ErrDocNotFound) {
+		t.Fatalf("replica Get(deleted): %v", err)
+	}
+	snap := rep.Metrics()
+	if snap.Counters["replica.batches_applied"] == 0 || snap.Counters["replica.polls"] == 0 {
+		t.Fatalf("replication metrics missing: %v", snap.Counters)
+	}
+
+	// Restart: the offset file makes the reopened follower resume, not
+	// re-bootstrap, and it serves its local state before any poll.
+	off := rep.Status().Offset
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := OpenReplica(rdir, h.srv.URL, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Close()
+	if rep2.Status().Offset != off {
+		t.Fatalf("reopened offset = %d, want %d", rep2.Status().Offset, off)
+	}
+	if got, want := docIDs(t, rep2, "/r"), docIDs(t, h.ix, "/r"); !sameIDs(got, want) {
+		t.Fatalf("reopened replica serves %v, leader %v", got, want)
+	}
+	if n, err := rep2.Poll(context.Background()); err != nil || n != 0 {
+		t.Fatalf("reopened replica not caught up: (%d, %v)", n, err)
+	}
+}
+
+// TestReplicaLeaderCrash kills the leader at byte-granular fault points
+// spanning its whole write history (FaultFS byte budget, unsynced writes
+// dropped) and checks the replication consistency guarantee: after draining
+// the surviving ship log, the follower's state equals the leader's recovered
+// committed state — every acknowledged commit present, no uncommitted
+// document ever served — and after the leader heals, ships duplicates of its
+// recovered tail, and commits fresh writes, the follower converges again.
+func TestReplicaLeaderCrash(t *testing.T) {
+	const rounds = 3
+	workload := func(h *leaderHarness) (acked int) {
+		for i := 1; i <= rounds; i++ {
+			if _, err := h.ix.Insert(mustParse(t, fmt.Sprintf("<r><a>d%d</a></r>", i))); err != nil {
+				return acked
+			}
+			if err := h.ix.Sync(); err != nil {
+				return acked
+			}
+			acked = i
+		}
+		return acked
+	}
+
+	// Recording run: no faults, just the write-op byte boundaries.
+	recPlan := &btree.FaultPlan{}
+	recLeader, err := newLeader(t, t.TempDir(), btree.FaultFS{Plan: recPlan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := workload(recLeader); got != rounds {
+		t.Fatalf("recording run acked %d of %d", got, rounds)
+	}
+	recLeader.ix.Close()
+	bounds := recPlan.WriteBoundaries()
+	if len(bounds) < 6 {
+		t.Fatalf("only %d write ops recorded", len(bounds))
+	}
+	var points []int64
+	for i := 0; i < 6; i++ {
+		points = append(points, bounds[i*len(bounds)/6])
+	}
+
+	for _, kill := range points {
+		t.Run(fmt.Sprintf("kill=%d", kill), func(t *testing.T) {
+			ldir := t.TempDir()
+			plan := &btree.FaultPlan{KillAfter: kill}
+			acked := 0
+			h, err := newLeader(t, ldir, btree.FaultFS{Plan: plan})
+			if err == nil {
+				acked = workload(h)
+				h.srv.Close()
+			}
+			// Simulate the process dying: unsynced index writes are lost.
+			// The ship log lives outside FaultFS — its Append fsyncs before
+			// exposing a batch, so it only ever holds commit-fsynced frames.
+			if err := plan.Crash(false); err != nil {
+				t.Fatal(err)
+			}
+
+			// Leader recovers on the real filesystem; its doc set is the
+			// committed prefix the crash story guarantees.
+			log2, err := OpenShipLog(filepath.Join(ldir, "shiplog"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer log2.Close()
+			lix, err := core.Open(ldir, core.Options{WALShipper: log2.Append})
+			if err != nil {
+				t.Fatalf("leader recovery: %v", err)
+			}
+			defer lix.Close()
+			committed := docIDs(t, lix, "/r")
+			if len(committed) < acked {
+				t.Fatalf("leader recovered %v, older than acknowledged commit %d", committed, acked)
+			}
+
+			mux := http.NewServeMux()
+			mux.Handle("/wal/ship", ShipHandler(log2))
+			srv := httptest.NewServer(mux)
+			defer srv.Close()
+			rep, err := OpenReplica(t.TempDir(), srv.URL, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rep.Close()
+			drain(t, rep)
+			if got := docIDs(t, rep, "/r"); !sameIDs(got, committed) {
+				t.Fatalf("replica serves %v, committed leader state is %v (acked %d)", got, committed, acked)
+			}
+
+			// Heal-and-continue: a fresh commit on the recovered leader
+			// (whose recovery may have re-shipped its committed tail —
+			// duplicate batches the follower must absorb idempotently).
+			if _, err := lix.Insert(mustParse(t, "<r><a>post-crash</a></r>")); err != nil {
+				t.Fatal(err)
+			}
+			if err := lix.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			drain(t, rep)
+			if got, want := docIDs(t, rep, "/r"), docIDs(t, lix, "/r"); !sameIDs(got, want) {
+				t.Fatalf("after heal: replica %v, leader %v", got, want)
+			}
+		})
+	}
+}

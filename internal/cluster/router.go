@@ -1,0 +1,425 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/obs"
+)
+
+// Router fans HTTP requests out over N backend shard servers (each a `vist
+// serve` process owning one docID partition). Queries scatter to every
+// backend — with a hedged duplicate request per backend after HedgeDelay,
+// first response wins — and gather into one merged QueryResponse. Writes
+// route: the router allocates globally increasing docIDs (seeded from the
+// backends' next_doc at Init) and places each document on hash(id) mod N,
+// the same placement function ShardedIndex uses in process.
+//
+// Hedging policy: only idempotent reads are hedged (queries and health
+// probes), never writes — a duplicated insert would double-apply. The hedge
+// re-issues to the same backend on the assumption that tail latency is
+// transient (GC pause, request queue, page-cache miss), which is the common
+// case for a single-replica shard; the router.hedges_fired and
+// router.hedge_wins counters tell you whether the delay is set usefully.
+type Router struct {
+	backends []string
+	client   *http.Client
+	hedge    time.Duration
+
+	mu      sync.Mutex
+	nextDoc core.DocID
+
+	reg        *obs.Registry
+	queries    *obs.Counter
+	inserts    *obs.Counter
+	hedges     *obs.Counter
+	hedgeWins  *obs.Counter
+	backendErr *obs.Counter
+}
+
+// NewRouter builds a router over backend base URLs (e.g.
+// "http://127.0.0.1:8081"). hedge <= 0 disables hedging.
+func NewRouter(backends []string, hedge time.Duration) *Router {
+	cleaned := make([]string, len(backends))
+	for i, b := range backends {
+		cleaned[i] = strings.TrimRight(b, "/")
+	}
+	rt := &Router{
+		backends: cleaned,
+		client:   &http.Client{},
+		hedge:    hedge,
+		reg:      obs.NewRegistry(),
+	}
+	rt.queries = rt.reg.Counter("router.queries")
+	rt.inserts = rt.reg.Counter("router.inserts")
+	rt.hedges = rt.reg.Counter("router.hedges_fired")
+	rt.hedgeWins = rt.reg.Counter("router.hedge_wins")
+	rt.backendErr = rt.reg.Counter("router.backend_errors")
+	return rt
+}
+
+// Init seeds the docID allocator from the backends: the next global ID is
+// the max next_doc any backend reports. Must run before serving writes.
+func (rt *Router) Init(ctx context.Context) error {
+	next := core.DocID(1)
+	for _, b := range rt.backends {
+		res, err := rt.fetch(ctx, b+"/status")
+		if err != nil {
+			return fmt.Errorf("cluster: router init: backend %s: %w", b, err)
+		}
+		if res.status != http.StatusOK {
+			return fmt.Errorf("cluster: router init: backend %s: %s", b, strings.TrimSpace(string(res.body)))
+		}
+		var st StatusResponse
+		if err := json.Unmarshal(res.body, &st); err != nil {
+			return fmt.Errorf("cluster: router init: backend %s: %w", b, err)
+		}
+		if st.NextDoc > next {
+			next = st.NextDoc
+		}
+	}
+	rt.mu.Lock()
+	rt.nextDoc = next
+	rt.mu.Unlock()
+	return nil
+}
+
+// Metrics exposes the router's own counters.
+func (rt *Router) Metrics() obs.Snapshot { return rt.reg.Snapshot() }
+
+// fetchResult is one backend reply, body fully read (hedging requires the
+// body to be consumed before the losing request is canceled).
+type fetchResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// fetch GETs a URL without hedging.
+func (rt *Router) fetch(ctx context.Context, url string) (*fetchResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &fetchResult{status: resp.StatusCode, header: resp.Header, body: body}, nil
+}
+
+// hedgedFetch GETs a URL, issuing one duplicate request if the first has not
+// completed within the hedge delay; the first completed response wins and
+// the loser is canceled. Failures do not trigger hedges (hedging is for
+// slowness); the first attempt's error is returned only once no attempt can
+// succeed.
+func (rt *Router) hedgedFetch(ctx context.Context, url string) (*fetchResult, error) {
+	if rt.hedge <= 0 {
+		return rt.fetch(ctx, url)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts the losing in-flight request once we return
+	type outcome struct {
+		res    *fetchResult
+		err    error
+		hedged bool
+	}
+	ch := make(chan outcome, 2)
+	attempt := func(hedged bool) {
+		res, err := rt.fetch(hctx, url)
+		ch <- outcome{res: res, err: err, hedged: hedged}
+	}
+	go attempt(false)
+	timer := time.NewTimer(rt.hedge)
+	defer timer.Stop()
+	outstanding := 1
+	timerC := timer.C
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				if o.hedged {
+					rt.hedgeWins.Inc()
+				}
+				return o.res, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			outstanding--
+			if outstanding == 0 {
+				// No attempt left in flight: fail fast rather than hedge —
+				// a duplicate of a failing request fails the same way.
+				return nil, firstErr
+			}
+		case <-timerC:
+			timerC = nil
+			outstanding++
+			rt.hedges.Inc()
+			go attempt(true)
+		}
+	}
+}
+
+// Handler returns the router's HTTP API — the same endpoint shapes as a
+// shard server, so clients cannot tell a router from a single node.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", rt.handleQuery)
+	mux.HandleFunc("/insert", rt.handleInsert)
+	mux.HandleFunc("/delete", rt.handleDelete)
+	mux.HandleFunc("/get", rt.handleGet)
+	mux.HandleFunc("/status", rt.handleStatus)
+	mux.HandleFunc("/healthz", rt.handleProbe("/healthz"))
+	mux.HandleFunc("/readyz", rt.handleProbe("/readyz"))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rt.reg.Snapshot().WriteText(w)
+	})
+	return mux
+}
+
+// handleQuery scatters the query (raw query string and all) to every
+// backend with hedging, and merges: IDs concatenate (backends own disjoint
+// docID partitions) and sort, stats sum, Partial if any backend was partial.
+// Status is the worst backend status: any transport failure → 502, else any
+// 504 (timeout) → 504, else any 429 (budget) → 429.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rt.queries.Inc()
+	type backendReply struct {
+		res *fetchResult
+		err error
+	}
+	replies := make([]backendReply, len(rt.backends))
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			res, err := rt.hedgedFetch(r.Context(), b+"/query?"+r.URL.RawQuery)
+			replies[i] = backendReply{res: res, err: err}
+		}(i, b)
+	}
+	wg.Wait()
+
+	merged := QueryResponse{IDs: []core.DocID{}}
+	status := http.StatusOK
+	for i, rep := range replies {
+		if rep.err != nil {
+			rt.backendErr.Inc()
+			http.Error(w, fmt.Sprintf("backend %s: %v", rt.backends[i], rep.err), http.StatusBadGateway)
+			return
+		}
+		switch rep.res.status {
+		case http.StatusOK, http.StatusGatewayTimeout, http.StatusTooManyRequests:
+			var qr QueryResponse
+			if err := json.Unmarshal(rep.res.body, &qr); err != nil {
+				rt.backendErr.Inc()
+				http.Error(w, fmt.Sprintf("backend %s: bad response: %v", rt.backends[i], err), http.StatusBadGateway)
+				return
+			}
+			merged.IDs = append(merged.IDs, qr.IDs...)
+			merged.Stats.Merge(qr.Stats)
+			if qr.Partial {
+				merged.Partial = true
+			}
+			if merged.Error == "" && qr.Error != "" {
+				merged.Error = fmt.Sprintf("backend %d: %s", i, qr.Error)
+			}
+			// 504 outranks 429: a timeout means the merged result may be
+			// missing arbitrarily much, a budget stop is at least bounded.
+			if rep.res.status == http.StatusGatewayTimeout ||
+				(rep.res.status == http.StatusTooManyRequests && status == http.StatusOK) {
+				status = rep.res.status
+			}
+		case http.StatusBadRequest:
+			// The expression is equally malformed everywhere; relay one.
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write(rep.res.body)
+			return
+		default:
+			rt.backendErr.Inc()
+			http.Error(w, fmt.Sprintf("backend %s: status %d: %s",
+				rt.backends[i], rep.res.status, strings.TrimSpace(string(rep.res.body))), http.StatusBadGateway)
+			return
+		}
+	}
+	sort.Slice(merged.IDs, func(a, b int) bool { return merged.IDs[a] < merged.IDs[b] })
+	merged.Stats.Candidates = len(merged.IDs)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(merged)
+}
+
+// handleInsert allocates the next global docID and forwards the document to
+// its owner backend as /insert?id=N. The allocator advances only on success,
+// so a failed insert leaves no gap.
+func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST an XML document", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.nextDoc == 0 {
+		http.Error(w, "router not initialized", http.StatusServiceUnavailable)
+		return
+	}
+	id := rt.nextDoc
+	backend := rt.backends[shardFor(id, len(rt.backends))]
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		fmt.Sprintf("%s/insert?id=%d", backend, id), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.backendErr.Inc()
+		http.Error(w, fmt.Sprintf("backend %s: %v", backend, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		rt.nextDoc = id + 1
+		rt.inserts.Inc()
+	}
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(out)
+}
+
+// routeByID forwards a single-document request to the owner backend.
+func (rt *Router) routeByID(w http.ResponseWriter, r *http.Request, path string) {
+	n, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+	if err != nil || n == 0 {
+		http.Error(w, "bad id", http.StatusBadRequest)
+		return
+	}
+	backend := rt.backends[shardFor(core.DocID(n), len(rt.backends))]
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		backend+path+"?"+r.URL.RawQuery, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.backendErr.Inc()
+		http.Error(w, fmt.Sprintf("backend %s: %v", backend, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		http.Error(w, "POST or DELETE with ?id=", http.StatusMethodNotAllowed)
+		return
+	}
+	rt.routeByID(w, r, "/delete")
+}
+
+func (rt *Router) handleGet(w http.ResponseWriter, r *http.Request) {
+	rt.routeByID(w, r, "/get")
+}
+
+// handleStatus aggregates backend /status into one view.
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	agg := StatusResponse{Shards: len(rt.backends)}
+	for _, b := range rt.backends {
+		res, err := rt.fetch(r.Context(), b+"/status")
+		if err != nil || res.status != http.StatusOK {
+			agg.Degraded = true
+			continue
+		}
+		var st StatusResponse
+		if json.Unmarshal(res.body, &st) == nil {
+			agg.Docs += st.Docs
+			if st.NextDoc > agg.NextDoc {
+				agg.NextDoc = st.NextDoc
+			}
+			agg.Degraded = agg.Degraded || st.Degraded
+		}
+	}
+	rt.mu.Lock()
+	if rt.nextDoc > agg.NextDoc {
+		agg.NextDoc = rt.nextDoc
+	}
+	rt.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(agg)
+}
+
+// handleProbe fans a health probe out to every backend (hedged — probes are
+// idempotent); the router is healthy only if every backend is.
+func (rt *Router) handleProbe(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		type probe struct {
+			Backend string          `json:"backend"`
+			Status  int             `json:"status"`
+			Body    json.RawMessage `json:"body,omitempty"`
+			Error   string          `json:"error,omitempty"`
+		}
+		probes := make([]probe, len(rt.backends))
+		var wg sync.WaitGroup
+		ok := true
+		var okMu sync.Mutex
+		for i, b := range rt.backends {
+			wg.Add(1)
+			go func(i int, b string) {
+				defer wg.Done()
+				p := probe{Backend: b}
+				res, err := rt.hedgedFetch(r.Context(), b+path)
+				if err != nil {
+					p.Error = err.Error()
+				} else {
+					p.Status = res.status
+					if json.Valid(res.body) {
+						p.Body = res.body
+					}
+				}
+				probes[i] = p
+				if err != nil || res.status != http.StatusOK {
+					okMu.Lock()
+					ok = false
+					okMu.Unlock()
+				}
+			}(i, b)
+		}
+		wg.Wait()
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"ok": ok, "backends": probes})
+	}
+}

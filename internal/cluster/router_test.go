@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+	"vist/internal/xmltree"
+)
+
+// routerHarness is a router in front of N single-index backend servers —
+// the process topology `vist serve -router` builds, shrunk into one test.
+type routerHarness struct {
+	backends []*core.Index
+	servers  []*httptest.Server
+	rt       *Router
+	srv      *httptest.Server
+}
+
+func newRouterHarness(t *testing.T, n int, hedge time.Duration) *routerHarness {
+	t.Helper()
+	h := &routerHarness{}
+	var urls []string
+	for i := 0; i < n; i++ {
+		ix := mustMem(t, core.Options{})
+		srv := httptest.NewServer(QueryMux(ix, MuxConfig{}))
+		t.Cleanup(srv.Close)
+		h.backends = append(h.backends, ix)
+		h.servers = append(h.servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	h.rt = NewRouter(urls, hedge)
+	if err := h.rt.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h.srv = httptest.NewServer(h.rt.Handler())
+	t.Cleanup(h.srv.Close)
+	return h
+}
+
+func (h *routerHarness) get(t *testing.T, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(h.srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func (h *routerHarness) post(t *testing.T, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(h.srv.URL+path, "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+// TestRouterScatterGather drives the full HTTP path — insert through the
+// router, query through the router — and diffs every result against a
+// single-node index fed the same documents: the router over N backends must
+// be indistinguishable from one index.
+func TestRouterScatterGather(t *testing.T) {
+	h := newRouterHarness(t, 3, 0)
+	oracle := mustMem(t, core.Options{})
+	docs := gen.DBLP(gen.DBLPConfig{Records: 60, Seed: 9})
+
+	for i, d := range docs {
+		var buf strings.Builder
+		if err := xmltree.WriteXML(&buf, d); err != nil {
+			t.Fatal(err)
+		}
+		status, body := h.post(t, "/insert", buf.String())
+		if status != http.StatusOK {
+			t.Fatalf("insert %d: status %d: %s", i, status, body)
+		}
+		var ir InsertResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatal(err)
+		}
+		oid, err := oracle.Insert(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ir.ID != oid {
+			t.Fatalf("insert %d: router id %d, oracle id %d", i, ir.ID, oid)
+		}
+	}
+
+	// Placement: each backend holds exactly the IDs shardFor assigns it, so
+	// in-process sharding and HTTP fan-out agree on ownership.
+	var total uint64
+	for i, ix := range h.backends {
+		want := uint64(0)
+		for id := core.DocID(1); id <= core.DocID(len(docs)); id++ {
+			if shardFor(id, len(h.backends)) == i {
+				want++
+			}
+		}
+		if got := ix.DocCount(); got != want {
+			t.Fatalf("backend %d holds %d docs, want %d", i, got, want)
+		}
+		total += ix.DocCount()
+	}
+	if total != uint64(len(docs)) {
+		t.Fatalf("backends hold %d docs, want %d", total, len(docs))
+	}
+
+	for _, q := range dblpQueries {
+		status, body := h.get(t, "/query?q="+urlQueryEscape(q))
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", q, status, body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle.QueryCtx(context.Background(), q, core.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if !sameIDs(qr.IDs, want) {
+			t.Fatalf("%s: router %v, oracle %v", q, qr.IDs, want)
+		}
+	}
+
+	// Routed single-document operations.
+	if status, body := h.get(t, "/get?id=1"); status != http.StatusOK || !strings.Contains(string(body), "<") {
+		t.Fatalf("get: %d %q", status, body)
+	}
+	if status, _ := h.get(t, "/get?id=99999"); status != http.StatusNotFound {
+		t.Fatalf("get missing doc: status %d", status)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, h.srv.URL+"/delete?id=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if err := oracle.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	status, body := h.get(t, "/query?q="+urlQueryEscape(dblpQueries[0]))
+	var qr QueryResponse
+	if status != http.StatusOK || json.Unmarshal(body, &qr) != nil {
+		t.Fatalf("query after delete: %d %s", status, body)
+	}
+	want, _, err := oracle.QueryCtx(context.Background(), dblpQueries[0], core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	if !sameIDs(qr.IDs, want) {
+		t.Fatalf("after delete: router %v, oracle %v", qr.IDs, want)
+	}
+
+	// Aggregated status and probes.
+	var st StatusResponse
+	if status, body := h.get(t, "/status"); status != http.StatusOK || json.Unmarshal(body, &st) != nil {
+		t.Fatalf("status: %d %s", status, body)
+	}
+	if st.Docs != uint64(len(docs)-1) || st.NextDoc != core.DocID(len(docs)+1) || st.Shards != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+	if status, _ := h.get(t, "/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz: %d", status)
+	}
+	if status, _ := h.get(t, "/readyz"); status != http.StatusOK {
+		t.Fatalf("readyz: %d", status)
+	}
+	if status, _ := h.get(t, "/query?q="+urlQueryEscape("///bad[[")); status != http.StatusBadRequest {
+		t.Fatalf("bad query: %d", status)
+	}
+
+	// A dead backend turns queries into 502 and probes into 503.
+	h.servers[1].Close()
+	if status, _ := h.get(t, "/query?q="+urlQueryEscape("//author")); status != http.StatusBadGateway {
+		t.Fatalf("query with dead backend: %d", status)
+	}
+	if status, _ := h.get(t, "/healthz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with dead backend: %d", status)
+	}
+}
+
+func urlQueryEscape(q string) string {
+	r := strings.NewReplacer("/", "%2F", "[", "%5B", "]", "%5D", "'", "%27", "*", "%2A", " ", "%20")
+	return r.Replace(q)
+}
+
+// TestRouterHedgedRequests pins the hedging policy: a backend whose first
+// response stalls past the hedge delay gets a duplicate request, the fast
+// duplicate wins, and the router's counters attribute the win. The stall is
+// deterministic: the backend sleeps only on the first /query it sees.
+func TestRouterHedgedRequests(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/status":
+			json.NewEncoder(w).Encode(StatusResponse{NextDoc: 1})
+		case "/query":
+			if calls.Add(1) == 1 {
+				// First attempt stalls until the test ends; only the hedge
+				// can complete the request.
+				<-release
+			}
+			json.NewEncoder(w).Encode(QueryResponse{IDs: []core.DocID{7}})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer backend.Close()
+	defer close(release)
+
+	rt := NewRouter([]string{backend.URL}, 5*time.Millisecond)
+	if err := rt.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var status int
+	var body []byte
+	go func() {
+		defer close(done)
+		resp, err := http.Get(srv.URL + "/query?q=%2Fr")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		status = resp.StatusCode
+		body, _ = io.ReadAll(resp.Body)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedged query never completed; hedge did not fire")
+	}
+	if status != http.StatusOK {
+		t.Fatalf("hedged query: status %d: %s", status, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil || len(qr.IDs) != 1 || qr.IDs[0] != 7 {
+		t.Fatalf("hedged query body: %s (%v)", body, err)
+	}
+	snap := rt.Metrics()
+	if snap.Counters["router.hedges_fired"] == 0 {
+		t.Fatalf("no hedge fired: %v", snap.Counters)
+	}
+	if snap.Counters["router.hedge_wins"] == 0 {
+		t.Fatalf("hedge fired but win not attributed: %v", snap.Counters)
+	}
+}
+
+// TestRouterHedgeDisabled: with hedge <= 0 a stalled backend means the
+// request waits — no duplicate is ever sent (the counter stays zero).
+func TestRouterHedgeDisabled(t *testing.T) {
+	var calls atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/status":
+			json.NewEncoder(w).Encode(StatusResponse{NextDoc: 1})
+		default:
+			calls.Add(1)
+			json.NewEncoder(w).Encode(QueryResponse{IDs: []core.DocID{}})
+		}
+	}))
+	defer backend.Close()
+	rt := NewRouter([]string{backend.URL}, 0)
+	if err := rt.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?q=%2Fr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := rt.Metrics().Counters["router.hedges_fired"]; got != 0 {
+		t.Fatalf("hedges fired with hedging disabled: %d", got)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("backend saw %d query calls, want 1", calls.Load())
+	}
+}
+
+// TestRouterInsertUninitialized: a router that never ran Init refuses writes
+// rather than allocating IDs from zero.
+func TestRouterInsertUninitialized(t *testing.T) {
+	rt := NewRouter([]string{"http://127.0.0.1:0"}, 0)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/insert", "application/xml", strings.NewReader("<r/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("uninitialized insert: status %d", resp.StatusCode)
+	}
+}
+
+// TestRouterPartialMerge: one backend cut off by its budget makes the merged
+// response partial with 429, and the partial IDs from every backend survive
+// the merge.
+func TestRouterPartialMerge(t *testing.T) {
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/status" {
+			json.NewEncoder(w).Encode(StatusResponse{NextDoc: 1})
+			return
+		}
+		json.NewEncoder(w).Encode(QueryResponse{IDs: []core.DocID{2, 4}})
+	}))
+	defer fast.Close()
+	capped := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/status" {
+			json.NewEncoder(w).Encode(StatusResponse{NextDoc: 1})
+			return
+		}
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(QueryResponse{IDs: []core.DocID{1}, Partial: true, Error: "budget exhausted"})
+	}))
+	defer capped.Close()
+
+	rt := NewRouter([]string{fast.URL, capped.URL}, 0)
+	if err := rt.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?q=%2Fr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("merged status = %d, want 429", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Partial || !sameIDs(qr.IDs, []core.DocID{1, 2, 4}) || qr.Error == "" {
+		t.Fatalf("merged partial response = %+v", qr)
+	}
+}

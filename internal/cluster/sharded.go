@@ -1,0 +1,497 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"vist/internal/core"
+	"vist/internal/obs"
+	"vist/internal/xmltree"
+)
+
+// ShardedIndex partitions documents across N core indexes by docID hash.
+// Each shard is a complete index — its own directory, WAL, and pagers — so
+// shards fail, degrade, and recover independently. DocIDs are allocated from
+// one global counter in insertion order (1, 2, 3, …), exactly as a single
+// index would assign them, which keeps sharded results byte-identical to a
+// single-node index or the naive oracle fed the same documents in the same
+// order. The owner shard of a document is hash(id) mod N, so lookups route
+// without any directory state.
+//
+// Queries scatter to every shard and gather: per-shard work budgets are the
+// caller's budget split N ways (stricter is safer — see splitBudget), the
+// first shard error cancels the rest through the shared context, and the
+// merged result keeps the core contract: on a stop error the returned IDs
+// are everything collected before the stop, and the merged QueryStats sum
+// the per-shard work counters.
+//
+// Rebalance caveat: the hash is over the docID, so changing N reassigns
+// ownership of almost every document. OpenSharded therefore persists the
+// shard count and refuses to reopen with a different one; resharding means
+// rebuilding (export, reopen with new N, re-ingest).
+type ShardedIndex struct {
+	shards []*core.Index
+	opts   core.Options
+
+	// mu serializes writers: the global docID allocation and the per-shard
+	// InsertAs must be atomic so IDs arrive at each shard in ascending
+	// order, which the shard enforces.
+	mu      sync.Mutex
+	nextDoc core.DocID
+}
+
+var _ core.Shard = (*ShardedIndex)(nil)
+
+// shardConfig is persisted as cluster.json in the sharded directory.
+type shardConfig struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+const shardConfigName = "cluster.json"
+
+// hashDoc maps a docID to its owner shard via a splitmix64 finalizer —
+// cheap, stateless, and uniform even over the sequential IDs the allocator
+// hands out. The Router uses the same function, so in-process sharding and
+// HTTP fan-out agree on placement.
+func hashDoc(id core.DocID) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardFor returns the owner shard of id among n shards.
+func shardFor(id core.DocID, n int) int { return int(hashDoc(id) % uint64(n)) }
+
+// OpenSharded opens (or creates) a sharded index under dir with n shards,
+// each in its own subdirectory dir/shard-NNN. The shard count is recorded in
+// dir/cluster.json on first open; later opens must pass the same n (or 0 to
+// adopt the recorded count) — see the rebalance caveat on ShardedIndex.
+func OpenSharded(dir string, n int, opts core.Options) (*ShardedIndex, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cfgPath := filepath.Join(dir, shardConfigName)
+	if raw, err := os.ReadFile(cfgPath); err == nil {
+		var cfg shardConfig
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", cfgPath, err)
+		}
+		if cfg.Shards < 1 {
+			return nil, fmt.Errorf("cluster: %s records %d shards", cfgPath, cfg.Shards)
+		}
+		if n != 0 && n != cfg.Shards {
+			return nil, fmt.Errorf("cluster: %s was created with %d shards; reopening with %d would reassign document ownership (docID-hash placement) — rebuild to reshard", dir, cfg.Shards, n)
+		}
+		n = cfg.Shards
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	} else {
+		if n < 1 {
+			return nil, fmt.Errorf("cluster: shard count %d (want >= 1)", n)
+		}
+		raw, err := json.Marshal(shardConfig{Version: 1, Shards: n})
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfgPath, append(raw, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	s := &ShardedIndex{opts: opts}
+	for i := 0; i < n; i++ {
+		ix, err := core.Open(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)), opts)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("cluster: open shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, ix)
+	}
+	s.seedNextDoc()
+	return s, nil
+}
+
+// NewMemSharded builds an in-memory sharded index (tests and benchmarks).
+func NewMemSharded(n int, opts core.Options) (*ShardedIndex, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d (want >= 1)", n)
+	}
+	s := &ShardedIndex{opts: opts}
+	for i := 0; i < n; i++ {
+		ix, err := core.NewMem(opts)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, ix)
+	}
+	s.seedNextDoc()
+	return s, nil
+}
+
+// seedNextDoc initializes the global allocator past every ID any shard has
+// assigned. Global IDs are handed out in ascending order, so the max across
+// shards is exactly where a previous incarnation stopped.
+func (s *ShardedIndex) seedNextDoc() {
+	s.nextDoc = 1
+	for _, sh := range s.shards {
+		if nd := sh.NextDocID(); nd > s.nextDoc {
+			s.nextDoc = nd
+		}
+	}
+}
+
+// NumShards reports the shard count.
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// Insert allocates the next global docID and places the document on its
+// owner shard. IDs are assigned in call order (serialized), so a corpus
+// inserted sequentially gets the same IDs a single index would assign.
+func (s *ShardedIndex) Insert(doc *xmltree.Node) (core.DocID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextDoc
+	if err := s.shards[shardFor(id, len(s.shards))].InsertAs(id, doc); err != nil {
+		return 0, err
+	}
+	s.nextDoc = id + 1
+	return id, nil
+}
+
+// InsertAs places a document under a caller-chosen ID on its owner shard.
+// Like core.Index.InsertAs, IDs must arrive in ascending order.
+func (s *ShardedIndex) InsertAs(id core.DocID, doc *xmltree.Node) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < s.nextDoc {
+		return fmt.Errorf("cluster: InsertAs %d: IDs must be ascending (next is %d)", id, s.nextDoc)
+	}
+	if err := s.shards[shardFor(id, len(s.shards))].InsertAs(id, doc); err != nil {
+		return err
+	}
+	s.nextDoc = id + 1
+	return nil
+}
+
+// Delete removes a document from its owner shard.
+func (s *ShardedIndex) Delete(id core.DocID) error {
+	return s.shards[shardFor(id, len(s.shards))].Delete(id)
+}
+
+// Get loads a document from its owner shard.
+func (s *ShardedIndex) Get(id core.DocID) (*xmltree.Node, error) {
+	return s.shards[shardFor(id, len(s.shards))].Get(id)
+}
+
+// QueryCtx scatter-gathers a candidate query across every shard.
+func (s *ShardedIndex) QueryCtx(ctx context.Context, expr string, b core.Budget) ([]core.DocID, core.QueryStats, error) {
+	return s.scatter(ctx, expr, b, false)
+}
+
+// QueryVerifiedCtx scatter-gathers a verified query across every shard.
+func (s *ShardedIndex) QueryVerifiedCtx(ctx context.Context, expr string, b core.Budget) ([]core.DocID, core.QueryStats, error) {
+	return s.scatter(ctx, expr, b, true)
+}
+
+// splitBudget divides the per-query work limits across n shards (ceiling
+// division, so small budgets never round to zero = unlimited). MaxResults is
+// deliberately left whole: result counts don't partition predictably across
+// shards, so each shard may collect up to the full cap and the merge
+// enforces it globally. The split makes N shards do at most ~the work one
+// index would — a query that would exceed its budget unsharded still fails
+// sharded, rather than N-times the work sneaking under N separate caps.
+func splitBudget(b core.Budget, n int) core.Budget {
+	div := func(v int) int {
+		if v <= 0 {
+			return v
+		}
+		return (v + n - 1) / n
+	}
+	return core.Budget{
+		MaxPages:        div(b.MaxPages),
+		MaxRangeScans:   div(b.MaxRangeScans),
+		MaxNodesVisited: div(b.MaxNodesVisited),
+		MaxResults:      b.MaxResults,
+	}
+}
+
+// scatter fans the query out, one goroutine per shard, and merges. The first
+// shard error cancels the shared context; the other shards stop at their
+// next budget checkpoint and report what they had, so the merged IDs on
+// error are the cross-shard partial results the core contract promises.
+func (s *ShardedIndex) scatter(ctx context.Context, expr string, b core.Budget, verified bool) ([]core.DocID, core.QueryStats, error) {
+	// Single-shard fast path: with one shard there is nothing to split,
+	// cancel, or merge — the goroutine handoff and stats merge would be pure
+	// overhead on every query (the benchgate -within gate holds this
+	// configuration within 10% of a bare index). The shard enforces budgets
+	// and caps itself; only the plan line notes the cluster layer.
+	if len(s.shards) == 1 {
+		var (
+			ids   []core.DocID
+			stats core.QueryStats
+			err   error
+		)
+		if verified {
+			ids, stats, err = s.shards[0].QueryVerifiedCtx(ctx, expr, b)
+		} else {
+			ids, stats, err = s.shards[0].QueryCtx(ctx, expr, b)
+		}
+		stats.Plan = joinLines([]string{"plan: scatter-gather over 1 shards (direct)", stats.Plan})
+		if qe, ok := err.(*core.QueryError); ok {
+			return ids, stats, &core.QueryError{Expr: qe.Expr, Stats: stats, Reason: qe.Reason, Cause: qe.Cause, Stack: qe.Stack}
+		}
+		return ids, stats, err
+	}
+	start := time.Now()
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sb := splitBudget(b, len(s.shards))
+
+	type shardResult struct {
+		ids   []core.DocID
+		stats core.QueryStats
+		err   error
+	}
+	results := make([]shardResult, len(s.shards))
+	var (
+		errMu    sync.Mutex
+		firstErr error // first non-cancel error, or first cancel if nothing else
+	)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			if verified {
+				r.ids, r.stats, r.err = s.shards[i].QueryVerifiedCtx(sctx, expr, sb)
+			} else {
+				r.ids, r.stats, r.err = s.shards[i].QueryCtx(sctx, expr, sb)
+			}
+			if r.err != nil {
+				errMu.Lock()
+				// Prefer the root cause: once one shard fails we cancel the
+				// rest, and their induced ErrCanceled must not mask the
+				// error that triggered it.
+				if firstErr == nil || (errorIsCancel(firstErr) && !errorIsCancel(r.err)) {
+					firstErr = r.err
+				}
+				errMu.Unlock()
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var (
+		ids   []core.DocID
+		stats core.QueryStats
+		plan  []string
+	)
+	plan = append(plan, fmt.Sprintf("plan: scatter-gather over %d shards", len(s.shards)))
+	for i := range results {
+		// Shards own disjoint docID partitions, so concatenation is a union.
+		ids = append(ids, results[i].ids...)
+		stats.Merge(results[i].stats)
+		plan = append(plan, fmt.Sprintf("  shard %d: %s", i, results[i].stats.String()))
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	stats.Stages.Total = time.Since(start)
+	stats.Plan = joinLines(plan)
+
+	// Each shard respects MaxResults individually, but the union can exceed
+	// it — including on the error path, where one shard stopped at the cap
+	// and its siblings still contributed a few IDs before the cancel.
+	// Enforce the cap globally, keeping the core contract (never more than
+	// MaxResults IDs, plus a budget stop error).
+	capped := false
+	if max := effectiveMaxResults(b, s.opts.DefaultBudget); max > 0 && len(ids) > max {
+		ids = ids[:max]
+		stats.Candidates = len(ids)
+		capped = true
+	}
+	if firstErr == nil {
+		if capped {
+			return ids, stats, &core.QueryError{
+				Expr:   expr,
+				Stats:  stats,
+				Reason: core.ErrBudgetExceeded,
+				Cause:  fmt.Errorf("result budget %d exhausted across %d shards", len(ids), len(s.shards)),
+			}
+		}
+		return ids, stats, nil
+	}
+	if qe, ok := firstErr.(*core.QueryError); ok {
+		// Re-wrap with the merged stats so the error's view matches the
+		// cross-shard partial results actually returned.
+		return ids, stats, &core.QueryError{Expr: expr, Stats: stats, Reason: qe.Reason, Cause: qe.Cause, Stack: qe.Stack}
+	}
+	return ids, stats, firstErr
+}
+
+func errorIsCancel(err error) bool {
+	qe, ok := err.(*core.QueryError)
+	return ok && qe.Reason == core.ErrCanceled
+}
+
+// effectiveMaxResults mirrors the stricter-wins merge of the per-call and
+// index-default result caps.
+func effectiveMaxResults(b, def core.Budget) int {
+	switch {
+	case b.MaxResults <= 0:
+		return def.MaxResults
+	case def.MaxResults <= 0:
+		return b.MaxResults
+	case def.MaxResults < b.MaxResults:
+		return def.MaxResults
+	default:
+		return b.MaxResults
+	}
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n"
+		}
+		out += l
+	}
+	return out
+}
+
+// Sync commits every shard (first error wins, but every shard is attempted).
+func (s *ShardedIndex) Sync() error {
+	var firstErr error
+	for i, sh := range s.shards {
+		if err := sh.Sync(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: sync shard %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// Close closes every shard (first error wins, but every shard is closed).
+func (s *ShardedIndex) Close() error {
+	var firstErr error
+	for i, sh := range s.shards {
+		if err := sh.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: close shard %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// DocCount sums the live document counts across shards.
+func (s *ShardedIndex) DocCount() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.DocCount()
+	}
+	return n
+}
+
+// NextDocID reports the next globally allocated docID.
+func (s *ShardedIndex) NextDocID() core.DocID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextDoc
+}
+
+// Degraded reports the first degraded shard's state, nil when all healthy.
+// ShardStates gives the full per-shard picture.
+func (s *ShardedIndex) Degraded() *core.DegradedError {
+	for _, sh := range s.shards {
+		if d := sh.Degraded(); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// ShardState is one shard's health, as reported by /readyz.
+type ShardState struct {
+	ID     int    `json:"id"`
+	Docs   uint64 `json:"docs"`
+	Status string `json:"status"` // "ok" or "degraded"
+	Op     string `json:"op,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Since  string `json:"since,omitempty"`
+}
+
+// ShardStates reports per-shard health for readiness endpoints.
+func (s *ShardedIndex) ShardStates() []ShardState {
+	states := make([]ShardState, len(s.shards))
+	for i, sh := range s.shards {
+		st := ShardState{ID: i, Docs: sh.DocCount(), Status: "ok"}
+		if d := sh.Degraded(); d != nil {
+			st.Status = "degraded"
+			st.Op = d.Op
+			st.Reason = d.Cause.Error()
+			st.Since = d.At.UTC().Format(time.RFC3339)
+		}
+		states[i] = st
+	}
+	return states
+}
+
+// Metrics merges the per-shard registries into one snapshot: counters and
+// gauges sum, histograms with identical bounds merge bucket-wise — so
+// cluster dashboards read the same metric names as single-node ones.
+func (s *ShardedIndex) Metrics() obs.Snapshot {
+	merged := obs.Snapshot{}
+	for _, sh := range s.shards {
+		mergeSnapshot(&merged, sh.Metrics())
+	}
+	return merged
+}
+
+// mergeSnapshot folds src into dst (see Metrics).
+func mergeSnapshot(dst *obs.Snapshot, src obs.Snapshot) {
+	if len(src.Counters) > 0 && dst.Counters == nil {
+		dst.Counters = make(map[string]uint64)
+	}
+	for k, v := range src.Counters {
+		dst.Counters[k] += v
+	}
+	if len(src.Gauges) > 0 && dst.Gauges == nil {
+		dst.Gauges = make(map[string]int64)
+	}
+	for k, v := range src.Gauges {
+		dst.Gauges[k] += v
+	}
+	if len(src.Histograms) > 0 && dst.Histograms == nil {
+		dst.Histograms = make(map[string]obs.HistogramSnapshot)
+	}
+	for k, h := range src.Histograms {
+		cur, ok := dst.Histograms[k]
+		if !ok {
+			dst.Histograms[k] = h
+			continue
+		}
+		cur.Count += h.Count
+		cur.Sum += h.Sum
+		if len(cur.Buckets) == len(h.Buckets) {
+			buckets := append([]uint64(nil), cur.Buckets...)
+			for i, b := range h.Buckets {
+				buckets[i] += b
+			}
+			cur.Buckets = buckets
+		}
+		dst.Histograms[k] = cur
+	}
+}

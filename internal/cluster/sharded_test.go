@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vist/internal/core"
+	"vist/internal/gen"
+	"vist/internal/naive"
+)
+
+func mustMemSharded(t *testing.T, n int, opts core.Options) *ShardedIndex {
+	t.Helper()
+	s, err := NewMemSharded(n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustMem(t *testing.T, opts core.Options) *core.Index {
+	t.Helper()
+	ix, err := core.NewMem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+func sameIDs(a, b []core.DocID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dblpQueries covers each plan mode over the DBLP corpus: rooted, //, value
+// predicates, wildcards, and a miss.
+var dblpQueries = []string{
+	"//inproceedings/author",
+	"//author",
+	"/article/year",
+	"//title",
+	"/inproceedings/booktitle",
+	fmt.Sprintf("//author[text()='%s']", gen.DBLPDavid),
+	"/book/*",
+	"//*/year",
+	"/phdthesis//author",
+	"/nosuch/path",
+}
+
+// TestShardedDifferential is the tentpole's correctness oracle: a corpus
+// inserted through ShardedIndex (N = 1, 2, 4) must assign exactly the docIDs
+// a single index assigns, and every query — candidate and verified — must
+// return the identical ID list the single index and the naive Algorithm 1
+// matcher return, before and after a round of deletions. Candidate
+// membership is decided per document (matched nodes lie on the document's
+// own trie path), so partitioning by docID must never change a result set.
+func TestShardedDifferential(t *testing.T) {
+	docs := gen.DBLP(gen.DBLPConfig{Records: 250, Seed: 7})
+
+	single := mustMem(t, core.Options{})
+	nv := naive.New(nil)
+	singleIDs := make([]core.DocID, len(docs))
+	for i, d := range docs {
+		id, err := single.Insert(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleIDs[i] = id
+		if nid := nv.Insert(d); nid != uint64(id) {
+			t.Fatalf("doc %d: naive id %d, core id %d", i, nid, id)
+		}
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			s := mustMemSharded(t, n, core.Options{})
+			for i, d := range docs {
+				id, err := s.Insert(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id != singleIDs[i] {
+					t.Fatalf("doc %d: sharded id %d, single id %d", i, id, singleIDs[i])
+				}
+			}
+			if s.DocCount() != single.DocCount() {
+				t.Fatalf("DocCount %d, want %d", s.DocCount(), single.DocCount())
+			}
+			if s.NextDocID() != single.NextDocID() {
+				t.Fatalf("NextDocID %d, want %d", s.NextDocID(), single.NextDocID())
+			}
+
+			ctx := context.Background()
+			for _, q := range dblpQueries {
+				want, _, err := single.QueryCtx(ctx, q, core.Budget{})
+				if err != nil {
+					t.Fatalf("%s: single: %v", q, err)
+				}
+				nWant, err := nv.Query(q)
+				if err != nil {
+					t.Fatalf("%s: naive: %v", q, err)
+				}
+				if len(nWant) != len(want) {
+					t.Fatalf("%s: naive %d results, single %d", q, len(nWant), len(want))
+				}
+				got, stats, err := s.QueryCtx(ctx, q, core.Budget{})
+				if err != nil {
+					t.Fatalf("%s: sharded: %v", q, err)
+				}
+				if !sameIDs(got, want) {
+					t.Fatalf("%s: sharded %v, single %v", q, got, want)
+				}
+				if !strings.Contains(stats.Plan, fmt.Sprintf("scatter-gather over %d shards", n)) {
+					t.Fatalf("%s: plan missing scatter line:\n%s", q, stats.Plan)
+				}
+				vGot, _, err := s.QueryVerifiedCtx(ctx, q, core.Budget{})
+				if err != nil {
+					t.Fatalf("%s: sharded verified: %v", q, err)
+				}
+				vWant, _, err := single.QueryVerifiedCtx(ctx, q, core.Budget{})
+				if err != nil {
+					t.Fatalf("%s: single verified: %v", q, err)
+				}
+				if !sameIDs(vGot, vWant) {
+					t.Fatalf("%s: verified sharded %v, single %v", q, vGot, vWant)
+				}
+			}
+
+			// Delete every third document from both engines; Get must route to
+			// the owner shard and the query sets must still agree.
+			for i := 0; i < len(singleIDs); i += 3 {
+				if err := s.Delete(singleIDs[i]); err != nil {
+					t.Fatalf("sharded delete %d: %v", singleIDs[i], err)
+				}
+				if _, err := s.Get(singleIDs[i]); !errors.Is(err, core.ErrDocNotFound) {
+					t.Fatalf("Get after delete: %v", err)
+				}
+			}
+			for _, q := range dblpQueries {
+				want, _, err := single.QueryCtx(ctx, q, core.Budget{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The single-index oracle still has the deleted docs; filter.
+				want = filterIDs(want, func(id core.DocID) bool {
+					for i := 0; i < len(singleIDs); i += 3 {
+						if singleIDs[i] == id {
+							return false
+						}
+					}
+					return true
+				})
+				got, _, err := s.QueryCtx(ctx, q, core.Budget{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameIDs(got, want) {
+					t.Fatalf("%s after deletes: sharded %v, want %v", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+func filterIDs(ids []core.DocID, keep func(core.DocID) bool) []core.DocID {
+	out := ids[:0:0]
+	for _, id := range ids {
+		if keep(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestShardedPersistence reopens a file-backed sharded index: the recorded
+// shard count is adopted (n = 0) and enforced (wrong n refused), the docID
+// allocator resumes past every assigned ID, and the data survives.
+func TestShardedPersistence(t *testing.T) {
+	dir := t.TempDir()
+	docs := gen.DBLP(gen.DBLPConfig{Records: 40, Seed: 3})
+
+	s, err := OpenSharded(dir, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if _, err := s.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := s.QueryCtx(context.Background(), "//author", core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenSharded(dir, 2, core.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "rebuild to reshard") {
+		t.Fatalf("reopen with wrong shard count: %v", err)
+	}
+
+	s2, err := OpenSharded(dir, 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumShards() != 3 {
+		t.Fatalf("NumShards %d, want 3 (adopted from cluster.json)", s2.NumShards())
+	}
+	if s2.NextDocID() != core.DocID(len(docs)+1) {
+		t.Fatalf("NextDocID %d after reopen, want %d", s2.NextDocID(), len(docs)+1)
+	}
+	got, _, err := s2.QueryCtx(context.Background(), "//author", core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, want) {
+		t.Fatalf("reopen lost results: %v, want %v", got, want)
+	}
+	if id, err := s2.Insert(docs[0]); err != nil || id != core.DocID(len(docs)+1) {
+		t.Fatalf("insert after reopen: id %d err %v", id, err)
+	}
+}
+
+// TestShardedBudgetAndCancel pins the cross-shard stop-error semantics: a
+// result cap is enforced globally after the merge, a canceled context
+// surfaces as ErrCanceled, and a tiny work budget stops with
+// ErrBudgetExceeded while still returning the partial IDs collected.
+func TestShardedBudgetAndCancel(t *testing.T) {
+	docs := gen.DBLP(gen.DBLPConfig{Records: 120, Seed: 5})
+	s := mustMemSharded(t, 3, core.Options{})
+	for _, d := range docs {
+		if _, err := s.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+
+	all, _, err := s.QueryCtx(ctx, "//author", core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 20 {
+		t.Fatalf("want a selective-enough corpus, got %d results", len(all))
+	}
+
+	ids, stats, err := s.QueryCtx(ctx, "//author", core.Budget{MaxResults: 7})
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("MaxResults: err %v, want ErrBudgetExceeded", err)
+	}
+	if len(ids) != 7 {
+		t.Fatalf("MaxResults: %d ids, want 7", len(ids))
+	}
+	if stats.Candidates != 7 {
+		t.Fatalf("MaxResults: stats.Candidates %d, want 7", stats.Candidates)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := s.QueryCtx(canceled, "//author", core.Budget{}); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("canceled ctx: err %v, want ErrCanceled", err)
+	}
+
+	// A one-page budget split across shards cannot finish; the root cause
+	// must be the budget stop, not the induced cancellation of sibling
+	// shards.
+	_, _, err = s.QueryCtx(ctx, "//author", core.Budget{MaxPages: 1})
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("MaxPages: err %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	b := splitBudget(core.Budget{MaxPages: 5, MaxRangeScans: 4, MaxNodesVisited: 1, MaxResults: 9}, 2)
+	want := core.Budget{MaxPages: 3, MaxRangeScans: 2, MaxNodesVisited: 1, MaxResults: 9}
+	if b != want {
+		t.Fatalf("splitBudget = %+v, want %+v", b, want)
+	}
+	// Zero means unlimited and must stay zero, never round to "unlimited by
+	// accident" from a small positive value (ceiling division guarantees ≥1).
+	if z := splitBudget(core.Budget{}, 4); z != (core.Budget{}) {
+		t.Fatalf("splitBudget zero = %+v", z)
+	}
+}
+
+// TestShardForPlacement pins that placement is deterministic and reasonably
+// uniform — every shard owns a fair share of sequential IDs (the allocator
+// hands out 1, 2, 3, …).
+func TestShardForPlacement(t *testing.T) {
+	const n, ids = 4, 4000
+	counts := make([]int, n)
+	for id := core.DocID(1); id <= ids; id++ {
+		sh := shardFor(id, n)
+		if sh != shardFor(id, n) {
+			t.Fatal("shardFor is not deterministic")
+		}
+		counts[sh]++
+	}
+	for i, c := range counts {
+		if c < ids/n/2 || c > ids/n*2 {
+			t.Fatalf("shard %d owns %d of %d sequential IDs; hash is skewed: %v", i, c, ids, counts)
+		}
+	}
+}
+
+// TestShardedMetricsMerge checks the dashboard contract: per-shard counters
+// sum under the same names a single node exports.
+func TestShardedMetricsMerge(t *testing.T) {
+	s := mustMemSharded(t, 2, core.Options{})
+	docs := gen.DBLP(gen.DBLPConfig{Records: 20, Seed: 1})
+	for _, d := range docs {
+		if _, err := s.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.QueryCtx(context.Background(), "//author", core.Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Metrics()
+	if snap.Counters["index.docs_inserted"] != uint64(len(docs)) {
+		t.Fatalf("merged insert counter = %d, want %d (counters: %v)", snap.Counters["index.docs_inserted"], len(docs), snap.Counters)
+	}
+	if snap.Counters["query.ok"] == 0 {
+		t.Fatalf("merged query counter missing: %v", snap.Counters)
+	}
+}

@@ -1,0 +1,225 @@
+// Package cluster composes core indexes into a serving topology: a
+// ShardedIndex that partitions documents across N shards by docID hash and
+// scatter-gathers queries, a Router that fans HTTP requests out over shard
+// servers with hedged reads, and a Replica that follows a leader by WAL
+// shipping and serves read-only snapshot queries. Everything is written
+// against the core.Shard interface, so the vist serve HTTP layer runs
+// unchanged over a single index, a sharded group, or a follower.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The ship log is the leader-side durable buffer of the replication stream:
+// every WAL commit's frame bytes are appended as one batch, and followers
+// read batches by byte offset over HTTP (see ShipHandler and Replica). It is
+// append-only for its whole life — the concatenation of all batch payloads
+// since creation is the leader's complete committed physical history, which
+// is what lets a follower bootstrap from an empty directory by replaying
+// from offset zero.
+//
+// Layout: an 8-byte magic header, then batches of
+//
+//	length uint32 | crc32c(payload) uint32 | payload
+//
+// where each payload is a run of WAL frames ending in a commit record,
+// exactly as the leader's log framed them. A torn tail (crash mid-append) is
+// truncated at open; because the WAL re-ships the committed region on
+// recovery, the truncated batch is appended again by the leader's next open.
+const (
+	shipMagic      = "VISTSHP1"
+	shipHeaderSize = 8
+	shipBatchHdr   = 8
+	// maxShipBatch bounds a parsed batch length so a corrupt length field
+	// cannot provoke a huge allocation. Batches are one WAL commit each;
+	// WALMaxBytes keeps real ones far below this.
+	maxShipBatch = 1 << 28
+)
+
+var shipCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrShipRange reports a read offset outside the log — a follower asking for
+// bytes the leader does not have (or not at a batch boundary), which means
+// follower and leader disagree about history and resync is needed.
+var ErrShipRange = fmt.Errorf("cluster: ship offset out of range")
+
+// ShipLog is the append-only batch log. Append and Read are safe for
+// concurrent use (the HTTP handler reads while commits append).
+type ShipLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64 // end of the last valid batch
+}
+
+// OpenShipLog opens or creates the log at path, scanning existing batches
+// and truncating any torn tail so the log always ends at a batch boundary.
+func OpenShipLog(path string) (*ShipLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &ShipLog{f: f}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < shipHeaderSize {
+		// New log, or a crash tore the header write: start fresh.
+		if err := l.reset(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	hdr := make([]byte, shipHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr) != shipMagic {
+		f.Close()
+		return nil, fmt.Errorf("cluster: %s is not a ship log (magic %q)", path, hdr)
+	}
+	end, err := l.scan(st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if end < st.Size() {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	l.size = end
+	return l, nil
+}
+
+func (l *ShipLog) reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.WriteAt([]byte(shipMagic), 0); err != nil {
+		return err
+	}
+	l.size = shipHeaderSize
+	return nil
+}
+
+// scan walks batches from the header and returns the offset just past the
+// last intact one.
+func (l *ShipLog) scan(size int64) (int64, error) {
+	pos := int64(shipHeaderSize)
+	hdr := make([]byte, shipBatchHdr)
+	for pos+shipBatchHdr <= size {
+		if _, err := l.f.ReadAt(hdr, pos); err != nil {
+			return 0, err
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[:4]))
+		if n == 0 || n > maxShipBatch || pos+shipBatchHdr+n > size {
+			break // torn or corrupt tail
+		}
+		payload := make([]byte, n)
+		if _, err := l.f.ReadAt(payload, pos+shipBatchHdr); err != nil {
+			return 0, err
+		}
+		if crc32.Checksum(payload, shipCRC) != binary.BigEndian.Uint32(hdr[4:8]) {
+			break
+		}
+		pos += shipBatchHdr + n
+	}
+	return pos, nil
+}
+
+// Append writes one batch (the raw frame bytes of one WAL commit) and
+// fsyncs. The batch becomes visible to Read only after the fsync, so a
+// follower can never fetch bytes a leader crash would take back.
+func (l *ShipLog) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	if len(payload) > maxShipBatch {
+		return fmt.Errorf("cluster: ship batch of %d bytes exceeds limit %d", len(payload), maxShipBatch)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	buf := make([]byte, shipBatchHdr+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, shipCRC))
+	copy(buf[shipBatchHdr:], payload)
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size += int64(len(buf))
+	return nil
+}
+
+// Read returns the concatenated payloads of complete batches starting at
+// offset from (0 and shipHeaderSize both mean "the beginning"), at least one
+// batch and at most ~maxBytes of payload, plus the offset of the next unread
+// batch. An empty result with next == from means the follower is caught up.
+// from must sit on a batch boundary within the log; anything else returns
+// ErrShipRange.
+func (l *ShipLog) Read(from int64, maxBytes int) (data []byte, next int64, err error) {
+	l.mu.Lock()
+	size := l.size
+	l.mu.Unlock()
+	if from == 0 {
+		from = shipHeaderSize
+	}
+	if from < shipHeaderSize || from > size {
+		return nil, 0, fmt.Errorf("%w: from=%d log=[%d,%d]", ErrShipRange, from, shipHeaderSize, size)
+	}
+	if maxBytes <= 0 {
+		maxBytes = 4 << 20
+	}
+	pos := from
+	hdr := make([]byte, shipBatchHdr)
+	for pos < size && (len(data) == 0 || len(data) < maxBytes) {
+		if pos+shipBatchHdr > size {
+			return nil, 0, fmt.Errorf("%w: offset %d splits a batch", ErrShipRange, pos)
+		}
+		if _, err := l.f.ReadAt(hdr, pos); err != nil {
+			return nil, 0, err
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[:4]))
+		if n == 0 || n > maxShipBatch || pos+shipBatchHdr+n > size {
+			return nil, 0, fmt.Errorf("%w: offset %d is not a batch boundary", ErrShipRange, from)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(io.NewSectionReader(l.f, pos+shipBatchHdr, n), payload); err != nil {
+			return nil, 0, err
+		}
+		if crc32.Checksum(payload, shipCRC) != binary.BigEndian.Uint32(hdr[4:8]) {
+			return nil, 0, fmt.Errorf("cluster: ship batch at %d fails CRC", pos)
+		}
+		data = append(data, payload...)
+		pos += shipBatchHdr + n
+	}
+	return data, pos, nil
+}
+
+// Size reports the end offset of the last durable batch — the "leader size"
+// a follower diffs against its own offset to compute replication lag.
+func (l *ShipLog) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close releases the file.
+func (l *ShipLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestShipLogAppendRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shiplog")
+	l, err := OpenShipLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	batches := [][]byte{[]byte("alpha"), []byte("bravo-bravo"), []byte("c")}
+	var all []byte
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, b...)
+	}
+	if err := l.Append(nil); err != nil {
+		t.Fatal("empty append must be a no-op:", err)
+	}
+
+	data, next, err := l.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, all) {
+		t.Fatalf("Read = %q, want %q", data, all)
+	}
+	if next != l.Size() {
+		t.Fatalf("next = %d, size = %d", next, l.Size())
+	}
+
+	// Caught up: empty result, same offset.
+	data, next2, err := l.Read(next, 0)
+	if err != nil || len(data) != 0 || next2 != next {
+		t.Fatalf("caught-up Read = (%q, %d, %v)", data, next2, err)
+	}
+
+	// maxBytes=1 still returns at least one whole batch, and walking batch
+	// by batch reassembles the stream.
+	var walked []byte
+	for pos := int64(0); ; {
+		data, n, err := l.Read(pos, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			break
+		}
+		walked = append(walked, data...)
+		pos = n
+	}
+	if !bytes.Equal(walked, all) {
+		t.Fatalf("batch walk = %q, want %q", walked, all)
+	}
+
+	// Off-boundary and out-of-range offsets are a protocol error.
+	if _, _, err := l.Read(shipHeaderSize+1, 0); !errors.Is(err, ErrShipRange) {
+		t.Fatalf("mid-batch offset: %v", err)
+	}
+	if _, _, err := l.Read(l.Size()+100, 0); !errors.Is(err, ErrShipRange) {
+		t.Fatalf("past-end offset: %v", err)
+	}
+}
+
+func TestShipLogReopenTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shiplog")
+	l, err := OpenShipLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("good-batch")); err != nil {
+		t.Fatal(err)
+	}
+	goodEnd := l.Size()
+	if err := l.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second batch: chop bytes off its payload, as a crash
+	// mid-append would.
+	if err := os.Truncate(path, goodEnd+shipBatchHdr+2); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenShipLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Size() != goodEnd {
+		t.Fatalf("reopen size = %d, want torn tail truncated to %d", l2.Size(), goodEnd)
+	}
+	data, _, err := l2.Read(0, 0)
+	if err != nil || string(data) != "good-batch" {
+		t.Fatalf("after truncation Read = (%q, %v)", data, err)
+	}
+	// The log must still accept appends at the boundary.
+	if err := l2.Append([]byte("replacement")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err = l2.Read(goodEnd, 0)
+	if err != nil || string(data) != "replacement" {
+		t.Fatalf("post-truncation append Read = (%q, %v)", data, err)
+	}
+}
+
+func TestShipLogRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notalog")
+	if err := os.WriteFile(path, []byte("definitely not a ship log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShipLog(path); err == nil {
+		t.Fatal("OpenShipLog accepted a foreign file")
+	}
+}
+
+func TestShipLogCorruptCRCStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shiplog")
+	l, err := OpenShipLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := l.Size()
+	if err := l.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Flip a payload byte in the second batch; reopen must cut the log back
+	// to the first.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{'X'}, firstEnd+shipBatchHdr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2, err := OpenShipLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Size() != firstEnd {
+		t.Fatalf("reopen size = %d, want %d (corrupt batch dropped)", l2.Size(), firstEnd)
+	}
+}

@@ -127,6 +127,16 @@ type Options struct {
 	// option. Exists for A/B benchmarks and for producing files older
 	// binaries can read.
 	LegacyFormat bool
+	// WALShipper, when non-nil, receives the raw committed WAL frame bytes
+	// of every Sync after their durability fsync and before the checkpoint
+	// truncates them (see btree.WAL.SetShipper) — the leader-side hook for
+	// WAL-shipping replication. A failing shipper fails the Sync, which
+	// degrades the index read-only rather than letting the replication
+	// stream silently gap: a physical page stream with a hole never
+	// reconverges. Duplicate deliveries are possible on retries and after
+	// crash recovery; the consumer must treat appends idempotently.
+	// Requires the WAL (incompatible with DisableWAL); ignored for NewMem.
+	WALShipper func(frames []byte) error
 	// CompressColdPages keeps flate-compressed copies of clean pages the
 	// buffer pool evicts (file-backed indexes only): a later miss on such a
 	// page decompresses from memory instead of reading disk. The
@@ -302,6 +312,9 @@ func Open(dir string, opts Options) (*Index, error) {
 	walPath := filepath.Join(dir, walFileName)
 	var wal *btree.WAL
 	if opts.DisableWAL {
+		if opts.WALShipper != nil {
+			return nil, fmt.Errorf("core: WALShipper requires the write-ahead log (DisableWAL is set)")
+		}
 		// Refuse to ignore a log that may hold the only durable copy of
 		// committed pages: opening past it would silently roll back (or
 		// corrupt) the last committed Sync.
@@ -315,6 +328,11 @@ func Open(dir string, opts Options) (*Index, error) {
 		}
 		// Attach metrics before Recover so a crash replay is observed too.
 		wal.SetMetrics(obs.NewWALMetrics(reg))
+		// And the shipper, so Recover re-ships a committed tail whose
+		// shipping the previous crash may have interrupted.
+		if opts.WALShipper != nil {
+			wal.SetShipper(opts.WALShipper)
+		}
 	}
 
 	var pagers []*btree.FilePager

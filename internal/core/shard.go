@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vist/internal/obs"
+	"vist/internal/xmltree"
+)
+
+// Shard is the slice of Index that cluster composition builds on: everything
+// a query router, a sharded index, or a read replica needs from one
+// partition of the data. *Index implements it directly; cluster.ShardedIndex
+// implements it by scatter-gathering over N Shards, and cluster.Replica by
+// delegating reads to a WAL-shipped follower (writes fail). Code written
+// against Shard — the vist serve HTTP layer, most importantly — therefore
+// runs unchanged over one index, a sharded group, or a replica.
+type Shard interface {
+	// QueryCtx and QueryVerifiedCtx keep the Index contract: on a stop
+	// error (*QueryError) the returned IDs are the partial results
+	// collected so far, and stats always reflect work actually done.
+	QueryCtx(ctx context.Context, expr string, b Budget) ([]DocID, QueryStats, error)
+	QueryVerifiedCtx(ctx context.Context, expr string, b Budget) ([]DocID, QueryStats, error)
+	Get(id DocID) (*xmltree.Node, error)
+
+	Insert(doc *xmltree.Node) (DocID, error)
+	// InsertAs inserts under a caller-chosen DocID; IDs must arrive in
+	// ascending order per shard. This is how a coordinator that allocates
+	// globally sequential IDs places documents on their owner shard.
+	InsertAs(id DocID, doc *xmltree.Node) error
+	Delete(id DocID) error
+
+	Sync() error
+	Close() error
+
+	DocCount() uint64
+	NextDocID() DocID
+	Degraded() *DegradedError
+	Metrics() obs.Snapshot
+}
+
+var _ Shard = (*Index)(nil)
+
+// NextDocID reports the DocID the next Insert will assign. It reads the
+// published snapshot, so it is lock-free and reflects the last committed
+// mutation; a cluster coordinator uses the max across shards to seed its
+// global allocator.
+func (ix *Index) NextDocID() DocID {
+	return ix.snap.Load().nextDoc
+}
+
+// InsertAs inserts a document under a caller-chosen DocID. IDs must arrive
+// in ascending order (nextDoc ends up just past id, exactly as if Insert had
+// assigned it), which a coordinator handing out globally increasing IDs
+// guarantees per shard. Otherwise it behaves like Insert: same normalization,
+// same rollback-and-degrade failure protocol, same budget on WAL growth.
+func (ix *Index) InsertAs(id DocID, doc *xmltree.Node) (err error) {
+	if doc == nil {
+		return fmt.Errorf("core: nil document")
+	}
+	if doc.Depth() > MaxDepth {
+		return fmt.Errorf("core: document depth %d exceeds max %d; split the structure into sub-structures", doc.Depth(), MaxDepth)
+	}
+	if ix.reg != nil {
+		start := time.Now()
+		defer func() { ix.qm.insertLatency.ObserveDuration(time.Since(start)) }()
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.frozen {
+		return errFrozen
+	}
+	if id < ix.nextDoc {
+		return fmt.Errorf("core: InsertAs %d: IDs must be ascending (next is %d)", id, ix.nextDoc)
+	}
+	if err := ix.failIfDegraded(); err != nil {
+		return err
+	}
+	if err := ix.maybeAutoCheckpointLocked(); err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			ix.rollbackLocked()
+			if degradeWorthy(err) {
+				ix.degrade("insert", err)
+			}
+		}
+	}()
+	ix.nextDoc = id
+	ix.metaDirty = true
+	_, err = ix.insertDocLocked(doc)
+	return err
+}

@@ -92,6 +92,27 @@ func (st StageTimings) String() string {
 	return b.String()
 }
 
+// Merge folds another query's stats into s: every work counter and stage
+// duration is summed, Total included. A scatter-gather caller therefore gets
+// totals that mean "work done across all shards"; it should overwrite
+// Stages.Total with its own wall clock afterwards (summed per-shard wall
+// times exceed elapsed time when shards run in parallel). Plan strings are
+// not merged — the caller composes its own per-shard plan summary.
+func (s *QueryStats) Merge(o QueryStats) {
+	s.Sequences += o.Sequences
+	s.RangeScans += o.RangeScans
+	s.NodesVisited += o.NodesVisited
+	s.DocScans += o.DocScans
+	s.PagesRead += o.PagesRead
+	s.Candidates += o.Candidates
+	s.Stages.Parse += o.Stages.Parse
+	s.Stages.Probe += o.Stages.Probe
+	s.Stages.Scan += o.Stages.Scan
+	s.Stages.Collect += o.Stages.Collect
+	s.Stages.Verify += o.Stages.Verify
+	s.Stages.Total += o.Stages.Total
+}
+
 // String renders the counters compactly.
 func (s QueryStats) String() string {
 	var b strings.Builder
